@@ -1,0 +1,145 @@
+// qsim_amplitudes_hip — mirrors qsim's qsim_amplitudes driver: simulates a
+// circuit and prints the amplitudes of specific bitstrings (the primitive
+// behind RQC cross-entropy verification, where only the sampled bitstrings'
+// ideal amplitudes are needed).
+//
+// Usage:
+//   qsim_amplitudes_hip -c <circuit> -i <bitstrings-file> [-f <max-fused>]
+//                       [-b cpu|hip|a100] [-p single|double]
+//
+// The bitstrings file holds one bitstring per line, most significant qubit
+// first (ket notation: the leftmost character is qubit n-1). '#' comments
+// and blank lines are ignored. Output: one line per bitstring with its
+// complex amplitude and probability.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/base/error.h"
+#include "src/base/strings.h"
+#include "src/hipsim/simulator_hip.h"
+#include "src/io/circuit_io.h"
+#include "src/simulator/runner.h"
+#include "src/simulator/simulator_cpu.h"
+
+namespace {
+
+using namespace qhip;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: qsim_amplitudes_hip -c <circuit> -i <bitstrings> "
+               "[-f <max-fused>] [-b cpu|hip|a100] [-p single|double]\n");
+  return 1;
+}
+
+std::vector<index_t> read_bitstrings(const std::string& path, unsigned n) {
+  std::ifstream f(path);
+  check(f.good(), "cannot open bitstrings file '" + path + "'");
+  std::vector<index_t> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    const std::string_view body = trim(line);
+    if (body.empty() || body[0] == '#') continue;
+    const std::string ctx = path + ":" + std::to_string(lineno);
+    check(body.size() == n,
+          ctx + strfmt(": expected %u bits, got %zu", n, body.size()));
+    index_t v = 0;
+    for (char c : body) {
+      check(c == '0' || c == '1', ctx + ": bitstrings must be 0/1");
+      v = (v << 1) | static_cast<index_t>(c - '0');
+    }
+    out.push_back(v);
+  }
+  check(!out.empty(), path + ": no bitstrings");
+  return out;
+}
+
+std::string to_bits(index_t v, unsigned n) {
+  std::string s(n, '0');
+  for (unsigned i = 0; i < n; ++i) {
+    if (v & (index_t{1} << (n - 1 - i))) s[i] = '1';
+  }
+  return s;
+}
+
+template <typename FP>
+int run(const std::string& backend, const Circuit& circuit,
+        const std::vector<index_t>& bits, unsigned max_fused) {
+  const unsigned n = circuit.num_qubits;
+  std::vector<cplx<FP>> amps;
+  if (backend == "cpu") {
+    StateVector<FP> host(n);
+    SimulatorCPU<FP> sim;
+    RunOptions opt;
+    opt.max_fused_qubits = max_fused;
+    run_circuit(circuit, sim, host, opt);
+    for (index_t v : bits) amps.push_back(host[v]);
+  } else {
+    vgpu::Device dev(backend == "a100" ? vgpu::a100() : vgpu::mi250x_gcd());
+    hipsim::SimulatorHIP<FP> sim(dev);
+    hipsim::DeviceStateVector<FP> ds(dev, n);
+    sim.state_space().set_zero_state(ds);
+    sim.run(fuse_circuit(circuit, {max_fused}).circuit, ds);
+    // Device-side gather: only the requested amplitudes leave the device.
+    amps = sim.state_space().get_amplitudes(ds, bits);
+  }
+  for (std::size_t k = 0; k < bits.size(); ++k) {
+    const cplx64 a(amps[k].real(), amps[k].imag());
+    std::printf("%s  % .8e % .8e  p=%.8e\n", to_bits(bits[k], n).c_str(),
+                a.real(), a.imag(), std::norm(a));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string circuit_file, bits_file, backend = "hip", precision = "single";
+  unsigned max_fused = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return ++i < argc ? argv[i] : nullptr; };
+    if (arg == "-c") {
+      const char* v = next();
+      if (!v) return usage();
+      circuit_file = v;
+    } else if (arg == "-i") {
+      const char* v = next();
+      if (!v) return usage();
+      bits_file = v;
+    } else if (arg == "-f") {
+      const char* v = next();
+      if (!v) return usage();
+      max_fused = static_cast<unsigned>(qhip::parse_uint(v, "-f"));
+    } else if (arg == "-b") {
+      const char* v = next();
+      if (!v) return usage();
+      backend = v;
+    } else if (arg == "-p") {
+      const char* v = next();
+      if (!v) return usage();
+      precision = v;
+    } else {
+      return usage();
+    }
+  }
+  if (circuit_file.empty() || bits_file.empty()) return usage();
+  if (backend != "cpu" && backend != "hip" && backend != "a100") return usage();
+
+  try {
+    const qhip::Circuit circuit = qhip::read_circuit_file(circuit_file);
+    qhip::check(circuit.num_qubits <= 26,
+                "this host build caps circuits at 26 qubits (memory)");
+    const auto bits = read_bitstrings(bits_file, circuit.num_qubits);
+    return precision == "double"
+               ? run<double>(backend, circuit, bits, max_fused)
+               : run<float>(backend, circuit, bits, max_fused);
+  } catch (const qhip::Error& e) {
+    std::fprintf(stderr, "qsim_amplitudes_hip: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,82 @@
+// Ablation — fusion design choices called out in DESIGN.md.
+//
+// Two knobs are swept on the paper's 30-qubit RQC workload:
+//
+//  1. The fusion *window* (moments a block may stay open). qsim-style
+//     frontier fusion corresponds to a small window; an unbounded greedy
+//     clusterer (window 0) collapses the circuit into a handful of
+//     maximal-width gates — this sweep shows why the bounded window is
+//     the realistic choice (with window 0 there is no fusion optimum and
+//     Figure 7/9's U-shape cannot exist).
+//
+//  2. The H/L kernel split threshold. The paper fixes it at log2(32) = 5
+//     (the shared-memory tile). Sweeping the hypothetical threshold shows
+//     how many gate launches would take the expensive L path per setting,
+//     using the real fused RQC gate stream.
+#include <cstdio>
+
+#include "bench/figures_common.h"
+
+using namespace qhip;
+using namespace qhip::bench;
+using perfmodel::Backend;
+
+int main() {
+  std::printf("Ablation 1: fusion window vs fused workload (max_fused = 4)\n");
+  std::printf("%-10s %12s %12s %16s %16s\n", "window", "gates",
+              "mean width", "HIP model [s]", "fuse time [ms]");
+  const Circuit c = rqc::circuit_q30();
+  for (unsigned w : {0u, 1u, 2u, 3u, 4u, 6u, 8u, 12u}) {
+    Timer t;
+    const FusionResult r = fuse_circuit(c, {4, w});
+    const double fuse_ms = t.seconds() * 1e3;
+    const auto stats = perfmodel::WorkloadStats::from_circuit(r.circuit);
+    std::printf("%-10s %12zu %12.2f %16.3f %16.2f\n",
+                w == 0 ? "unbounded" : std::to_string(w).c_str(),
+                stats.num_gates, r.stats.mean_width(),
+                perfmodel::predict_seconds(stats, Backend::kHipMi250x,
+                                           Precision::kSingle),
+                fuse_ms);
+  }
+
+  std::printf("\nAblation 2: hypothetical H/L split threshold "
+              "(paper: 5 = log2 of the 32-amplitude tile)\n");
+  std::printf("%-12s %16s %16s\n", "threshold", "L-kernel gates",
+              "H-kernel gates");
+  const Circuit fused = fuse_circuit(c, {4}).circuit;
+  for (unsigned thr : {1u, 3u, 5u, 7u, 9u}) {
+    std::size_t low = 0, high = 0;
+    for (const auto& g : fused.gates) {
+      qubit_t lowest = g.qubits[0];
+      for (qubit_t t : g.qubits) lowest = std::min(lowest, t);
+      (lowest < thr ? low : high) += 1;
+    }
+    std::printf("%-12u %16zu %16zu%s\n", thr, low, high,
+                thr == 5 ? "   <- paper's split" : "");
+  }
+
+  std::printf("\nAblation 3: fusion window at every max_fused "
+              "(does the f=4 optimum survive?)\n");
+  std::printf("%-10s", "window");
+  for (unsigned f = 2; f <= 6; ++f) std::printf("      f=%u", f);
+  std::printf("   optimum\n");
+  for (unsigned w : {0u, 2u, 4u, 8u}) {
+    std::printf("%-10s", w == 0 ? "unbounded" : std::to_string(w).c_str());
+    unsigned best_f = 0;
+    double best_t = 1e30;
+    for (unsigned f = 2; f <= 6; ++f) {
+      const auto stats = perfmodel::WorkloadStats::from_circuit(
+          fuse_circuit(c, {f, w}).circuit);
+      const double t = perfmodel::predict_seconds(stats, Backend::kHipMi250x,
+                                                  Precision::kSingle);
+      std::printf("  %7.3f", t);
+      if (t < best_t) {
+        best_t = t;
+        best_f = f;
+      }
+    }
+    std::printf("   f=%u%s\n", best_f,
+                w == 4 ? "  <- default (matches the paper)" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 8 — single vs double precision with the qsim HIP backend on the
+// AMD MI250X GPU, varying the maximum number of fused gates.
+//
+// Paper: "calculations performed in double-precision exhibit an approximate
+// slowdown of 1.8 to 2 times compared to those in single-precision", with
+// no accuracy benefit for the RQC workload. The accuracy side is verified
+// here for real: the same 16-qubit RQC is simulated in both precisions on
+// the virtual GPU and the states compared.
+#include "bench/figures_common.h"
+#include "src/hipsim/simulator_hip.h"
+
+using namespace qhip;
+using namespace qhip::bench;
+using perfmodel::Backend;
+
+int main() {
+  print_header(
+      "Figure 8: single vs double precision, HIP backend on MI250X",
+      "double precision 1.8-2x slower; no accuracy benefit for RQC");
+  const Sweep s = build_sweep();
+
+  std::printf("%-10s %16s %16s %10s\n", "max_fused", "single [s]",
+              "double [s]", "ratio");
+  std::vector<std::string> csv;
+  bool ratio_ok = true;
+  for (unsigned f = kFusedMin; f <= kFusedMax; ++f) {
+    const double sp = model_time(s, Backend::kHipMi250x, f, Precision::kSingle);
+    const double dp = model_time(s, Backend::kHipMi250x, f, Precision::kDouble);
+    std::printf("%-10u %16.3f %16.3f %9.2fx\n", f, sp, dp, dp / sp);
+    csv.push_back(std::to_string(f) + "," + std::to_string(sp) + "," +
+                  std::to_string(dp));
+    ratio_ok &= dp / sp >= 1.75 && dp / sp <= 2.05;
+  }
+
+  write_csv("fig8.csv", "max_fused,single_seconds,double_seconds", csv);
+
+  // Accuracy comparison on a real (emulated-GPU) run at 16 qubits.
+  std::printf("\naccuracy check (real run, 16-qubit RQC on virtual MI250X):\n");
+  rqc::RqcOptions opt;
+  opt.rows = 4;
+  opt.cols = 4;
+  opt.depth = 14;
+  const Circuit c16 = rqc::generate_rqc(opt);
+  const Circuit fused = fuse_circuit(c16, {4}).circuit;
+
+  vgpu::Device dev{vgpu::mi250x_gcd()};
+  hipsim::SimulatorHIP<float> sim_sp(dev);
+  hipsim::DeviceStateVector<float> st_sp(dev, 16);
+  sim_sp.state_space().set_zero_state(st_sp);
+  sim_sp.run(fused, st_sp);
+
+  hipsim::SimulatorHIP<double> sim_dp(dev);
+  hipsim::DeviceStateVector<double> st_dp(dev, 16);
+  sim_dp.state_space().set_zero_state(st_dp);
+  sim_dp.run(fused, st_dp);
+
+  const StateVector<float> h_sp = st_sp.to_host();
+  const StateVector<double> h_dp = st_dp.to_host();
+  double worst = 0;
+  for (index_t i = 0; i < h_sp.size(); ++i) {
+    worst = std::max(worst, std::abs(cplx64(h_sp[i].real(), h_sp[i].imag()) -
+                                     h_dp[i]));
+  }
+  std::printf("  max |psi_sp - psi_dp| = %.2e over %llu amplitudes\n", worst,
+              static_cast<unsigned long long>(h_sp.size()));
+
+  std::printf("\nreproduction checks:\n");
+  bool ok = true;
+  ok &= check(ratio_ok, "DP/SP ratio within 1.8-2x at every fusion setting");
+  ok &= check(worst < 1e-4,
+              "single precision reproduces the double-precision state "
+              "(no substantive disparity, as the paper observed)");
+  return ok ? 0 : 1;
+}

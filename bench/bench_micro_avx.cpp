@@ -1,0 +1,81 @@
+// Microbenchmark (real wall-clock on this host): scalar vs AVX2 gate
+// kernels — the CPU-side ancestor of the GPU port (paper §2.3 traces the
+// CUDA backend to qsim's AVX implementation). Reports achieved bytes/s for
+// both paths across gate widths.
+#include <benchmark/benchmark.h>
+
+#include "src/base/rng.h"
+#include "src/core/gates.h"
+#include "src/simulator/simulator_avx.h"
+#include "src/simulator/simulator_cpu.h"
+
+namespace {
+
+using namespace qhip;
+
+Gate wide_gate(unsigned q, qubit_t start, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Circuit c;
+  c.num_qubits = q;
+  for (unsigned t = 0; t < 4; ++t) {
+    for (unsigned j = 0; j < q; ++j) {
+      c.gates.push_back(gates::rxy(t, j, rng.uniform() * 6, rng.uniform() * 3));
+    }
+  }
+  Gate g;
+  g.name = "fused";
+  for (unsigned j = 0; j < q; ++j) g.qubits.push_back(start + j);
+  g.matrix = circuit_unitary(c);
+  return g;
+}
+
+void BM_ScalarApply(benchmark::State& state) {
+  const unsigned q = static_cast<unsigned>(state.range(0));
+  const Gate g = wide_gate(q, 4, 1);
+  ThreadPool pool(1);
+  StateVector<float> s(18);
+  s.set_uniform_state();
+  for (auto _ : state) {
+    apply_gate_inplace(g, s, pool);
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.size()) * 2 * sizeof(cplx32));
+}
+BENCHMARK(BM_ScalarApply)->DenseRange(1, 6)->Unit(benchmark::kMillisecond);
+
+#if defined(__AVX2__) && defined(__FMA__)
+void BM_AvxApply(benchmark::State& state) {
+  const unsigned q = static_cast<unsigned>(state.range(0));
+  const Gate g = wide_gate(q, 4, 1);
+  ThreadPool pool(1);
+  StateVector<float> s(18);
+  s.set_uniform_state();
+  for (auto _ : state) {
+    apply_gate_avx(g, s, pool);
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.size()) * 2 * sizeof(cplx32));
+}
+BENCHMARK(BM_AvxApply)->DenseRange(1, 6)->Unit(benchmark::kMillisecond);
+
+void BM_AvxApplyDouble(benchmark::State& state) {
+  const unsigned q = static_cast<unsigned>(state.range(0));
+  const Gate g = wide_gate(q, 4, 1);
+  ThreadPool pool(1);
+  StateVector<double> s(18);
+  s.set_uniform_state();
+  for (auto _ : state) {
+    apply_gate_avx(g, s, pool);
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.size()) * 2 * sizeof(cplx64));
+}
+BENCHMARK(BM_AvxApplyDouble)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+#endif
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Microbenchmarks (real wall-clock on this host): the gate-fusion
+// transpiler on the paper's 30-qubit RQC — the cost the paper bounds at
+// < 2% of total execution time — plus hipify translation throughput.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "src/core/circuit.h"
+#include "src/fusion/fuser.h"
+#include "src/hipify/hipify.h"
+#include "src/rqc/rqc.h"
+#include "src/transpile/optimizer.h"
+
+namespace {
+
+using namespace qhip;
+
+void BM_FuseRqc30(benchmark::State& state) {
+  const unsigned f = static_cast<unsigned>(state.range(0));
+  const Circuit c = rqc::circuit_q30();
+  std::size_t out_gates = 0;
+  for (auto _ : state) {
+    const FusionResult r = fuse_circuit(c, {f});
+    out_gates = r.stats.output_gates;
+    benchmark::DoNotOptimize(r.circuit.gates.data());
+  }
+  state.counters["fused_gates"] = static_cast<double>(out_gates);
+}
+BENCHMARK(BM_FuseRqc30)->DenseRange(1, 6)->Unit(benchmark::kMillisecond);
+
+void BM_OptimizeEchoCircuit(benchmark::State& state) {
+  // Optimizer throughput on the worst case it excels at: a Loschmidt echo
+  // (forward + inverse RQC), which collapses toward the identity.
+  rqc::RqcOptions opt;
+  opt.rows = 3;
+  opt.cols = 4;
+  opt.depth = static_cast<unsigned>(state.range(0));
+  const Circuit fwd = rqc::generate_rqc(opt);
+  const Circuit echo = concatenate(fwd, inverse_circuit(fwd));
+  std::size_t out_gates = 0;
+  for (auto _ : state) {
+    const auto r = transpile::optimize(echo);
+    out_gates = r.stats.output_gates;
+    benchmark::DoNotOptimize(out_gates);
+  }
+  state.counters["in_gates"] = static_cast<double>(echo.size());
+  state.counters["out_gates"] = static_cast<double>(out_gates);
+}
+BENCHMARK(BM_OptimizeEchoCircuit)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_RqcGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rqc::circuit_q30().gates.data());
+  }
+}
+BENCHMARK(BM_RqcGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_HipifyKernels(benchmark::State& state) {
+  // Translate a synthetic CUDA file of the given size (repeated kernel
+  // blocks), measuring translator throughput.
+  const int blocks = static_cast<int>(state.range(0));
+  std::ostringstream src;
+  src << "#include <cuda_runtime.h>\n";
+  for (int i = 0; i < blocks; ++i) {
+    src << "__global__ void k" << i << "(float* p) {\n"
+        << "  double v = p[threadIdx.x];\n"
+        << "  for (int o = 16; o > 0; o >>= 1) v += __shfl_down_sync(0xffffffff, v, o);\n"
+        << "  p[0] = v;\n}\n"
+        << "void h" << i << "(float* d, float* h, cudaStream_t s) {\n"
+        << "  cudaMemcpyAsync(d, h, 64, cudaMemcpyHostToDevice, s);\n"
+        << "  k" << i << "<<<128, 64, 0, s>>>(d);\n}\n";
+  }
+  const std::string text = src.str();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hipify::hipify_source(text).output.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_HipifyKernels)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

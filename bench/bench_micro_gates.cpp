@@ -1,0 +1,106 @@
+// Microbenchmarks (real wall-clock on this host): gate application on the
+// CPU backend — per-width cost of the blocked apply-gate kernel, the
+// low-vs-high qubit effect, and single vs double precision. These are the
+// host-side analogues of the paper's per-kernel GPU measurements and the
+// numbers that ground the CPU device model's width-dependence.
+#include <benchmark/benchmark.h>
+
+#include "src/base/rng.h"
+#include "src/fusion/fuser.h"
+#include "src/rqc/rqc.h"
+#include "src/core/gates.h"
+#include "src/simulator/apply.h"
+#include "src/simulator/simulator_cpu.h"
+
+namespace {
+
+using namespace qhip;
+
+// A random q-qubit fused-style gate on the given targets.
+template <typename FP>
+Gate wide_gate(const std::vector<qubit_t>& targets, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Circuit c;
+  c.num_qubits = static_cast<unsigned>(targets.size());
+  for (unsigned t = 0; t < 4; ++t) {
+    for (unsigned q = 0; q < c.num_qubits; ++q) {
+      c.gates.push_back(gates::rxy(t, q, rng.uniform() * 6, rng.uniform() * 3));
+    }
+  }
+  Gate g;
+  g.name = "fused";
+  g.qubits = targets;
+  g.matrix = circuit_unitary(c);
+  return g;
+}
+
+template <typename FP>
+void BM_ApplyGateWidth(benchmark::State& state) {
+  const unsigned n = 18;
+  const unsigned q = static_cast<unsigned>(state.range(0));
+  std::vector<qubit_t> targets;
+  for (unsigned j = 0; j < q; ++j) targets.push_back(5 + j);  // high qubits
+  const Gate g = wide_gate<FP>(targets, 1);
+
+  ThreadPool pool(1);
+  StateVector<FP> s(n);
+  s.set_uniform_state();
+  for (auto _ : state) {
+    apply_gate_inplace(g, s, pool);
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.size()) * 2 *
+                          sizeof(cplx<FP>));
+  state.counters["amps"] = static_cast<double>(s.size());
+}
+
+BENCHMARK_TEMPLATE(BM_ApplyGateWidth, float)->DenseRange(1, 6)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_ApplyGateWidth, double)->DenseRange(1, 6)->Unit(benchmark::kMillisecond);
+
+// Low vs high target qubit: the strided-gather penalty that motivates the
+// GPU backend's H/L kernel split.
+template <typename FP>
+void BM_ApplyGateTargetQubit(benchmark::State& state) {
+  const unsigned n = 18;
+  const qubit_t target = static_cast<qubit_t>(state.range(0));
+  const Gate g = wide_gate<FP>({target}, 2);
+  ThreadPool pool(1);
+  StateVector<FP> s(n);
+  s.set_uniform_state();
+  for (auto _ : state) {
+    apply_gate_inplace(g, s, pool);
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.size()) * 2 *
+                          sizeof(cplx<FP>));
+}
+
+BENCHMARK_TEMPLATE(BM_ApplyGateTargetQubit, float)
+    ->Arg(0)->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Arg(17)
+    ->Unit(benchmark::kMillisecond);
+
+// End-to-end: fused RQC on the CPU backend at a host-friendly size, the
+// real-machine analogue of Figure 7's CPU curve.
+void BM_RqcCpuFusedSweep(benchmark::State& state) {
+  const unsigned f = static_cast<unsigned>(state.range(0));
+  rqc::RqcOptions opt;
+  opt.rows = 4;
+  opt.cols = 4;
+  opt.depth = 14;
+  const Circuit fused = fuse_circuit(rqc::generate_rqc(opt), {f}).circuit;
+  SimulatorCPU<float> sim;
+  for (auto _ : state) {
+    StateVector<float> s(16);
+    sim.run(fused, s);
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.counters["fused_gates"] = static_cast<double>(fused.size());
+}
+
+BENCHMARK(BM_RqcCpuFusedSweep)->DenseRange(1, 6)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Microbenchmarks (real wall-clock on this host): state-space operations —
+// norms, inner products, Born sampling and measurement — on the host
+// backend and on the virtual GPU (reduction kernels with wavefront
+// collectives).
+#include <benchmark/benchmark.h>
+
+#include "src/hipsim/state_space_hip.h"
+#include "src/statespace/statevector.h"
+
+namespace {
+
+using namespace qhip;
+
+void BM_HostNorm2(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  StateVector<float> s(n);
+  s.set_uniform_state();
+  ThreadPool pool(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(statespace::norm2(s, pool));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.size()) * sizeof(cplx32));
+}
+BENCHMARK(BM_HostNorm2)->Arg(16)->Arg(18)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_HostInnerProduct(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  StateVector<float> a(n), b(n);
+  a.set_uniform_state();
+  b.set_uniform_state();
+  ThreadPool pool(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(statespace::inner_product(a, b, pool));
+  }
+}
+BENCHMARK(BM_HostInnerProduct)->Arg(16)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_HostSample(benchmark::State& state) {
+  const unsigned n = 18;
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  StateVector<float> s(n);
+  s.set_uniform_state();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(statespace::sample(s, m, ++seed));
+  }
+  state.counters["samples"] = static_cast<double>(m);
+}
+BENCHMARK(BM_HostSample)->Arg(100)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_HostMeasure(benchmark::State& state) {
+  const unsigned n = 16;
+  ThreadPool pool(1);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    StateVector<float> s(n);
+    s.set_uniform_state();
+    benchmark::DoNotOptimize(statespace::measure(s, {0, 5, 9}, ++seed, pool));
+  }
+}
+BENCHMARK(BM_HostMeasure)->Unit(benchmark::kMillisecond);
+
+void BM_VgpuNorm2(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  vgpu::Device dev{vgpu::mi250x_gcd()};
+  hipsim::StateSpaceHIP<float> space(dev);
+  hipsim::DeviceStateVector<float> s(dev, n);
+  space.set_uniform_state(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.norm2(s));
+  }
+  state.SetLabel("Norm2_Kernel (wavefront reduction)");
+}
+BENCHMARK(BM_VgpuNorm2)->Arg(12)->Arg(14)->Unit(benchmark::kMillisecond);
+
+void BM_VgpuSample(benchmark::State& state) {
+  vgpu::Device dev{vgpu::mi250x_gcd()};
+  hipsim::StateSpaceHIP<float> space(dev);
+  hipsim::DeviceStateVector<float> s(dev, 14);
+  space.set_uniform_state(s);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.sample(s, 1000, ++seed));
+  }
+}
+BENCHMARK(BM_VgpuSample)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+// Table 1 — hardware and software setup. Prints the device parameters the
+// performance models are built from (the paper's Table 1) plus the derived
+// model quantities (per-width achieved bandwidth) for transparency.
+#include <cstdio>
+
+#include "src/perfmodel/model.h"
+
+using namespace qhip;
+using namespace qhip::perfmodel;
+
+int main() {
+  std::printf("%s\n", format_table1().c_str());
+
+  std::printf("Calibrated model parameters (achieved fraction of peak "
+              "bandwidth per fused gate width):\n");
+  std::printf("%-42s", "backend");
+  for (unsigned q = 1; q <= 6; ++q) std::printf("   q=%u", q);
+  std::printf("   launch\n");
+  for (Backend b : kAllBackends) {
+    const BackendModel& m = backend_model(b);
+    std::printf("%-42s", backend_name(b));
+    for (unsigned q = 1; q <= 6; ++q) std::printf("  %.3f", m.eff_bw[q]);
+    std::printf("  %.1f us\n", m.launch_us);
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench regenerates one table or figure of the paper: it builds the
+// paper's exact workload (30-qubit RQC), transpiles it at each fusion
+// setting, derives the exact per-kernel work statistics, and evaluates the
+// calibrated device models (see DESIGN.md §2 for why model-driven times
+// stand in for the unavailable MI250X/A100/Trento hardware). The printed
+// series are the ones the paper plots; each bench also prints the paper's
+// claimed ratios next to the reproduced ones.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+#include <map>
+
+#include "src/base/timer.h"
+#include "src/fusion/fuser.h"
+#include "src/perfmodel/model.h"
+#include "src/rqc/rqc.h"
+
+namespace qhip::bench {
+
+inline constexpr unsigned kFusedMin = 2;
+inline constexpr unsigned kFusedMax = 6;
+inline constexpr int kRepeats = 5;  // the paper averages five runs
+
+struct Sweep {
+  Circuit circuit;  // the 30-qubit RQC
+  // max_fused -> (workload stats, mean fusion transpile seconds, stddev).
+  std::map<unsigned, perfmodel::WorkloadStats> stats;
+  std::map<unsigned, double> fuse_mean_s;
+  std::map<unsigned, double> fuse_std_s;
+};
+
+// Generates the paper's benchmark circuit and fuses it at every setting,
+// timing the (real) transpile kRepeats times.
+inline Sweep build_sweep() {
+  Sweep s;
+  s.circuit = rqc::circuit_q30();
+  for (unsigned f = kFusedMin; f <= kFusedMax; ++f) {
+    double sum = 0, sum2 = 0;
+    FusionResult last;
+    for (int r = 0; r < kRepeats; ++r) {
+      Timer t;
+      last = fuse_circuit(s.circuit, {f});
+      const double sec = t.seconds();
+      sum += sec;
+      sum2 += sec * sec;
+    }
+    const double mean = sum / kRepeats;
+    s.fuse_mean_s[f] = mean;
+    s.fuse_std_s[f] = std::sqrt(std::max(0.0, sum2 / kRepeats - mean * mean));
+    s.stats[f] = perfmodel::WorkloadStats::from_circuit(last.circuit);
+  }
+  return s;
+}
+
+inline double model_time(const Sweep& s, perfmodel::Backend b, unsigned f,
+                         Precision p = Precision::kSingle) {
+  return perfmodel::predict_seconds(s.stats.at(f), b, p);
+}
+
+inline void print_header(const char* figure, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("workload: 30-qubit RQC (5x6 grid, 14 cycles), single precision"
+              " unless stated;\nmodel-predicted times on the paper's hardware"
+              " (exact workload, calibrated roofline)\n");
+  std::printf("==============================================================\n");
+}
+
+inline bool check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "OK" : "MISS", what);
+  return ok;
+}
+
+// Writes a simple CSV (header + rows) next to the binary so the figures
+// can be re-plotted; prints the path.
+inline void write_csv(const char* path, const std::string& header,
+                      const std::vector<std::string>& rows) {
+  std::ofstream f(path);
+  if (!f.good()) {
+    std::printf("(could not write %s)\n", path);
+    return;
+  }
+  f << header << "\n";
+  for (const auto& r : rows) f << r << "\n";
+  std::printf("series written to %s\n", path);
+}
+
+}  // namespace qhip::bench

@@ -1,0 +1,71 @@
+// noise_trajectories — quantum-trajectory simulation of noisy circuits,
+// the qsim feature the paper's §2.1 mentions ("a quantum trajectory
+// simulator optimized for modeling noisy circuits"), built on the
+// src/noise Kraus-channel machinery.
+//
+// Each trajectory runs the ideal circuit with a noise channel applied to
+// every touched qubit (Kraus operators selected with their Born
+// probabilities, state renormalized). Averaging over trajectories
+// estimates the noisy output; we report the state fidelity
+// |<psi_ideal|psi_traj>|^2 decay across channels and error rates.
+//
+//   $ ./noise_trajectories [qubits=10] [depth=8] [trajectories=60]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/noise/trajectory.h"
+#include "src/rqc/rqc.h"
+#include "src/simulator/simulator_cpu.h"
+
+using namespace qhip;
+
+int main(int argc, char** argv) {
+  const unsigned n = argc > 1 ? std::atoi(argv[1]) : 10;
+  const unsigned depth = argc > 2 ? std::atoi(argv[2]) : 8;
+  const unsigned trajectories = argc > 3 ? std::atoi(argv[3]) : 60;
+
+  rqc::RqcOptions opt;
+  opt.rows = 2;
+  opt.cols = n / 2;
+  opt.depth = depth;
+  opt.seed = 5;
+  const Circuit circuit = rqc::generate_rqc(opt);
+  std::printf("noisy trajectories over %s\n", rqc::describe(circuit).c_str());
+
+  SimulatorCPU<double> sim;
+  StateVector<double> ideal(circuit.num_qubits);
+  sim.run(circuit, ideal);
+
+  const auto mean_fidelity = [&](const noise::NoiseModel& model) {
+    double fid_sum = 0;
+    for (unsigned t = 0; t < trajectories; ++t) {
+      const StateVector<double> traj =
+          noise::run_trajectory<double>(circuit, model, 1000, t);
+      fid_sum += std::norm(statespace::inner_product(ideal, traj));
+    }
+    return fid_sum / trajectories;
+  };
+
+  std::printf("\n%-34s %-16s\n", "channel", "mean fidelity");
+  bool monotone = true;
+  double prev = 1.1;
+  for (double p : {0.0, 0.002, 0.01, 0.03}) {
+    const noise::NoiseModel m{noise::depolarizing(p)};
+    const double fid = mean_fidelity(m);
+    std::printf("%-34s %-16.4f\n", m.channel.name.c_str(), fid);
+    monotone &= fid <= prev + 1e-9;
+    prev = fid;
+  }
+  for (double g : {0.005, 0.02}) {
+    const noise::NoiseModel m{noise::amplitude_damping(g)};
+    std::printf("%-34s %-16.4f\n", m.channel.name.c_str(), mean_fidelity(m));
+  }
+  const noise::NoiseModel dephase{noise::phase_damping(0.01)};
+  std::printf("%-34s %-16.4f\n", dephase.channel.name.c_str(),
+              mean_fidelity(dephase));
+
+  std::printf("\nfidelity decays monotonically with depolarizing rate: %s\n",
+              monotone ? "yes" : "NO");
+  return monotone ? 0 : 1;
+}

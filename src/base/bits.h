@@ -1,0 +1,111 @@
+// Bit-manipulation helpers for state-vector index arithmetic.
+//
+// Applying a q-qubit gate to qubits {t_0 < t_1 < ... < t_{q-1}} of an n-qubit
+// state partitions the 2^n amplitudes into 2^{n-q} groups of 2^q amplitudes.
+// Enumerating a group means taking a (n-q)-bit "outer" counter and expanding
+// it by inserting zero bits at the target positions; the 2^q group members
+// are then obtained by OR-ing in every subset of the target-bit masks.
+// These helpers implement that expansion, which is the innermost loop of
+// every apply-gate routine in the simulator (CPU and virtual-GPU backends).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace qhip {
+
+// 2^e as a 64-bit value.
+constexpr index_t pow2(unsigned e) {
+  assert(e < 64);
+  return index_t{1} << e;
+}
+
+// Mask with the low e bits set.
+constexpr index_t low_mask(unsigned e) {
+  return e >= 64 ? ~index_t{0} : (index_t{1} << e) - 1;
+}
+
+constexpr bool is_pow2(index_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+constexpr unsigned log2_exact(index_t v) {
+  assert(is_pow2(v));
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+
+// Expands `outer` by inserting a zero bit at each position in `sorted_bits`
+// (ascending). After the call, the bits of `outer` occupy the positions not
+// listed in `sorted_bits`.
+//
+// Example: sorted_bits = {1, 3}, outer = b_3 b_2 b_1 b_0
+//          result      = b_3 0 b_2 b_1 0 b_0.
+template <std::size_t Q>
+constexpr index_t expand_bits(index_t outer, const std::array<qubit_t, Q>& sorted_bits) {
+  index_t r = outer;
+  for (std::size_t i = 0; i < Q; ++i) {
+    const index_t lo = r & low_mask(sorted_bits[i]);
+    r = ((r >> sorted_bits[i]) << (sorted_bits[i] + 1)) | lo;
+  }
+  return r;
+}
+
+inline index_t expand_bits(index_t outer, const std::vector<qubit_t>& sorted_bits) {
+  index_t r = outer;
+  for (qubit_t b : sorted_bits) {
+    const index_t lo = r & low_mask(b);
+    r = ((r >> b) << (b + 1)) | lo;
+  }
+  return r;
+}
+
+// Precomputed masks such that group member k (0 <= k < 2^q) of the group with
+// base index `base` is at `base | member_mask[k]`.
+//
+// member_mask[k] scatters the q bits of k to the target qubit positions.
+inline std::vector<index_t> scatter_masks(const std::vector<qubit_t>& targets) {
+  const std::size_t q = targets.size();
+  std::vector<index_t> masks(std::size_t{1} << q);
+  for (index_t k = 0; k < masks.size(); ++k) {
+    index_t m = 0;
+    for (std::size_t j = 0; j < q; ++j) {
+      if (k & (index_t{1} << j)) m |= pow2(targets[j]);
+    }
+    masks[k] = m;
+  }
+  return masks;
+}
+
+// Scatters the bits of `value` onto the positions given in `positions`
+// (positions[j] receives bit j of value).
+inline index_t scatter_bits(index_t value, const std::vector<qubit_t>& positions) {
+  index_t m = 0;
+  for (std::size_t j = 0; j < positions.size(); ++j) {
+    if (value & (index_t{1} << j)) m |= pow2(positions[j]);
+  }
+  return m;
+}
+
+// Gathers the bits at `positions` of `value` into a dense low-order integer
+// (bit j of the result = bit positions[j] of value). Inverse of scatter_bits.
+inline index_t gather_bits(index_t value, const std::vector<qubit_t>& positions) {
+  index_t r = 0;
+  for (std::size_t j = 0; j < positions.size(); ++j) {
+    if (value & pow2(positions[j])) r |= index_t{1} << j;
+  }
+  return r;
+}
+
+// Reverses the low `n` bits of `v` (used by the QFT example).
+inline index_t reverse_bits(index_t v, unsigned n) {
+  index_t r = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    r = (r << 1) | ((v >> i) & 1);
+  }
+  return r;
+}
+
+}  // namespace qhip

@@ -1,0 +1,23 @@
+// Error handling for the qsim-HIP reproduction.
+//
+// Library code throws qhip::Error for unrecoverable misuse (bad circuit
+// files, out-of-range qubits, precondition violations discoverable only at
+// run time). Hot loops use assert() for internal invariants instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qhip {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+// Throws qhip::Error with `msg` when `cond` is false.
+inline void check(bool cond, const std::string& msg) {
+  if (!cond) throw Error(msg);
+}
+
+}  // namespace qhip

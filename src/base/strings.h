@@ -1,0 +1,30 @@
+// Small string utilities for the circuit parser and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qhip {
+
+// Splits on any run of characters from `delims`; empty tokens are dropped.
+std::vector<std::string_view> split(std::string_view s, std::string_view delims = " \t");
+
+// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+// Lower-cases ASCII.
+std::string to_lower(std::string_view s);
+
+// Parses an unsigned integer / double; throws qhip::Error with `context` on
+// malformed input (used by the circuit parser for precise diagnostics).
+unsigned long long parse_uint(std::string_view s, const std::string& context);
+double parse_double(std::string_view s, const std::string& context);
+
+// printf-style formatting into std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace qhip

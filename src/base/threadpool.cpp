@@ -1,0 +1,114 @@
+#include "src/base/threadpool.h"
+
+#include <algorithm>
+
+namespace qhip {
+
+namespace {
+
+// Chunk [0, total) into `parts` contiguous ranges; returns [begin, end) of
+// chunk `rank`.
+std::pair<index_t, index_t> chunk(index_t total, unsigned parts, unsigned rank) {
+  const index_t base = total / parts;
+  const index_t rem = total % parts;
+  const index_t begin = rank * base + std::min<index_t>(rank, rem);
+  const index_t size = base + (rank < rem ? 1 : 0);
+  return {begin, begin + size};
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads - 1);
+  for (unsigned r = 1; r < num_threads; ++r) {
+    workers_.emplace_back([this, r] { worker_loop(r); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(unsigned rank) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned, index_t, index_t)>* fn;
+    index_t total;
+    {
+      std::unique_lock lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      fn = fn_;
+      total = total_;
+    }
+    const auto [b, e] = chunk(total, num_threads(), rank);
+    std::exception_ptr err;
+    if (b < e) {
+      try {
+        (*fn)(rank, b, e);
+      } catch (...) {
+        err = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard lk(mu_);
+      if (err && !first_error_) first_error_ = err;
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_ranges(
+    index_t total, const std::function<void(unsigned, index_t, index_t)>& fn) {
+  if (total == 0) return;
+  if (workers_.empty()) {
+    fn(0, 0, total);
+    return;
+  }
+  {
+    std::lock_guard lk(mu_);
+    fn_ = &fn;
+    total_ = total;
+    pending_ = static_cast<unsigned>(workers_.size());
+    first_error_ = nullptr;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+
+  // The caller participates as rank 0.
+  const auto [b, e] = chunk(total, num_threads(), 0);
+  std::exception_ptr err;
+  if (b < e) {
+    try {
+      fn(0, b, e);
+    } catch (...) {
+      err = std::current_exception();
+    }
+  }
+  std::unique_lock lk(mu_);
+  cv_done_.wait(lk, [&] { return pending_ == 0; });
+  fn_ = nullptr;
+  if (err && !first_error_) first_error_ = err;
+  if (first_error_) {
+    auto ep = first_error_;
+    first_error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(ep);
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace qhip

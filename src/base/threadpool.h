@@ -1,0 +1,67 @@
+// A minimal work-sharing thread pool with a parallel_for primitive.
+//
+// This stands in for qsim's OpenMP usage on the CPU backend: the paper runs
+// the CPU baseline with 128 OpenMP threads over a static iteration split,
+// which is exactly what parallel_for below does. Keeping the pool in-library
+// (instead of depending on the OpenMP runtime) makes the thread count a
+// run-time parameter the benchmarks and tests can sweep.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace qhip {
+
+class ThreadPool {
+ public:
+  // Creates `num_threads` workers. 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  // Runs fn(thread_rank, begin, end) on every worker plus the calling thread,
+  // with [0, total) statically split into num_threads() contiguous chunks.
+  // Blocks until all chunks complete. Exceptions from fn are rethrown on the
+  // caller (first one wins).
+  void parallel_ranges(index_t total,
+                       const std::function<void(unsigned, index_t, index_t)>& fn);
+
+  // Convenience: fn(i) for every i in [0, total), statically chunked.
+  void parallel_for(index_t total, const std::function<void(index_t)>& fn) {
+    parallel_ranges(total, [&fn](unsigned, index_t b, index_t e) {
+      for (index_t i = b; i < e; ++i) fn(i);
+    });
+  }
+
+  // Global pool sized to the machine, shared by backends that are not handed
+  // an explicit pool.
+  static ThreadPool& shared();
+
+ private:
+  struct Task;
+  void worker_loop(unsigned rank);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  // Current task, guarded by mu_.
+  const std::function<void(unsigned, index_t, index_t)>* fn_ = nullptr;
+  index_t total_ = 0;
+  std::uint64_t epoch_ = 0;
+  unsigned pending_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace qhip

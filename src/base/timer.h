@@ -1,0 +1,38 @@
+// Wall-clock timing helpers used by benchmarks and the tracer.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace qhip {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  std::uint64_t micros() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(clock::now() - start_)
+            .count());
+  }
+
+  // Monotonic microsecond timestamp shared by all trace events in a process.
+  static std::uint64_t now_micros() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace qhip

@@ -1,0 +1,53 @@
+// Fundamental scalar and complex types used across the qsim-HIP reproduction.
+//
+// The simulator stores state vectors as arrays of std::complex<fp> with
+// fp in {float, double}; most templates are parameterized on the floating
+// point type and use the aliases below for indices and sizes.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <type_traits>
+
+namespace qhip {
+
+using index_t = std::uint64_t;  // amplitude index into a 2^n state vector
+using qubit_t = unsigned;       // qubit label, 0 = least significant
+
+template <typename FP>
+using cplx = std::complex<FP>;
+
+using cplx32 = cplx<float>;
+using cplx64 = cplx<double>;
+
+// Floating point precision selector, mirroring qsim's separate single- and
+// double-precision builds (the paper's Figure 8 compares the two).
+enum class Precision { kSingle, kDouble };
+
+constexpr const char* to_string(Precision p) {
+  return p == Precision::kSingle ? "single" : "double";
+}
+
+template <typename FP>
+constexpr Precision precision_of() {
+  static_assert(std::is_floating_point_v<FP>);
+  return sizeof(FP) == 4 ? Precision::kSingle : Precision::kDouble;
+}
+
+// Bytes per complex amplitude for a given precision.
+constexpr std::size_t amp_bytes(Precision p) {
+  return p == Precision::kSingle ? 8 : 16;
+}
+
+// Tolerances used by tests and internal sanity checks.
+template <typename FP>
+constexpr FP unitary_tol() {
+  return std::is_same_v<FP, float> ? FP(1e-5) : FP(1e-12);
+}
+
+template <typename FP>
+constexpr FP state_tol() {
+  return std::is_same_v<FP, float> ? FP(1e-5) : FP(1e-11);
+}
+
+}  // namespace qhip

@@ -1,0 +1,50 @@
+// Circuit IR: an ordered list of gates over a fixed qubit count.
+//
+// Gates carry a `time` (moment) index; the invariant, checked by validate(),
+// is that times are non-decreasing in program order and gates sharing a
+// moment act on disjoint qubits — the same contract qsim's circuit reader
+// enforces.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/gate.h"
+
+namespace qhip {
+
+struct Circuit {
+  unsigned num_qubits = 0;
+  std::vector<Gate> gates;
+
+  std::size_t size() const { return gates.size(); }
+
+  // Highest moment index + 1 (0 for an empty circuit).
+  unsigned depth() const;
+
+  // Gate count per mnemonic, for reports.
+  std::map<std::string, std::size_t> histogram() const;
+
+  // Number of measurement gates.
+  std::size_t num_measurements() const;
+
+  // Throws qhip::Error if any gate references a qubit >= num_qubits, repeats
+  // a qubit, has times out of order, or overlaps another gate in its moment.
+  void validate() const;
+};
+
+// Total unitary of a (measurement-free) circuit as a dense 2^n x 2^n matrix.
+// Exponential in n — intended for tests with n <= 10.
+CMatrix circuit_unitary(const Circuit& c);
+
+// The inverse circuit: gates reversed, each matrix replaced by its adjoint
+// (controls preserved). Running c then inverse_circuit(c) is the identity —
+// the Loschmidt echo construction. Throws on measurement gates.
+Circuit inverse_circuit(const Circuit& c);
+
+// `a` followed by `b` (times renumbered so moments stay monotone).
+Circuit concatenate(const Circuit& a, const Circuit& b);
+
+}  // namespace qhip

@@ -1,0 +1,69 @@
+#include "src/core/gate.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/base/bits.h"
+#include "src/base/error.h"
+
+namespace qhip {
+
+Gate normalized(const Gate& g) {
+  if (g.is_measurement()) {
+    Gate out = g;
+    std::sort(out.qubits.begin(), out.qubits.end());
+    return out;
+  }
+  const unsigned q = g.num_targets();
+  std::vector<unsigned> order(q);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&g](unsigned a, unsigned b) { return g.qubits[a] < g.qubits[b]; });
+
+  const bool already = std::is_sorted(g.qubits.begin(), g.qubits.end());
+  Gate out = g;
+  if (already) return out;
+
+  // perm[j] = new bit position of old bit j.
+  std::vector<unsigned> perm(q);
+  for (unsigned newpos = 0; newpos < q; ++newpos) perm[order[newpos]] = newpos;
+
+  std::vector<qubit_t> sorted_qubits(q);
+  for (unsigned j = 0; j < q; ++j) sorted_qubits[perm[j]] = g.qubits[j];
+
+  out.qubits = std::move(sorted_qubits);
+  out.matrix = g.matrix.permute_bits(perm);
+  return out;
+}
+
+Gate expand_controls(const Gate& g) {
+  check(!g.is_measurement(), "expand_controls: measurement gates have no matrix");
+  if (g.controls.empty()) return g;
+
+  const unsigned nt = g.num_targets();
+  const unsigned nc = static_cast<unsigned>(g.controls.size());
+  const std::size_t dim = std::size_t{1} << (nt + nc);
+
+  // Layout of the expanded gate: bits [0, nt) are the original targets,
+  // bits [nt, nt+nc) are the controls. The subspace with all control bits
+  // set gets g.matrix; everything else is identity.
+  CMatrix m = CMatrix::identity(dim);
+  const std::size_t cmask = ((std::size_t{1} << nc) - 1) << nt;
+  const std::size_t tdim = std::size_t{1} << nt;
+  for (std::size_t r = 0; r < tdim; ++r) {
+    for (std::size_t c = 0; c < tdim; ++c) {
+      m.at(cmask | r, cmask | c) = g.matrix.at(r, c);
+    }
+  }
+  Gate out;
+  out.kind = GateKind::kUnitary;
+  out.name = "c:" + g.name;
+  out.time = g.time;
+  out.qubits = g.qubits;
+  out.qubits.insert(out.qubits.end(), g.controls.begin(), g.controls.end());
+  out.params = g.params;
+  out.matrix = std::move(m);
+  return normalized(out);
+}
+
+}  // namespace qhip

@@ -1,0 +1,55 @@
+// Gate IR: one quantum gate instance inside a circuit.
+//
+// Mirrors qsim's gate representation: a time slot (circuits are organized in
+// moments; gates in the same moment act on disjoint qubits), the target
+// qubits, optional classical controls, the real parameters the gate was
+// built from, and the unitary matrix. Measurement is represented as a
+// special kind with no matrix, as in qsim's gates_qsim.h.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/core/matrix.h"
+
+namespace qhip {
+
+enum class GateKind {
+  kUnitary,      // any matrix gate (named or fused)
+  kMeasurement,  // computational-basis measurement of `qubits`
+};
+
+struct Gate {
+  GateKind kind = GateKind::kUnitary;
+  std::string name;             // lower-case mnemonic from the circuit format
+  unsigned time = 0;            // moment index
+  std::vector<qubit_t> qubits;  // targets; matrix bit j <-> qubits[j]
+  std::vector<qubit_t> controls;  // all-ones controls (controlled gate)
+  std::vector<double> params;   // angles etc., as parsed
+  CMatrix matrix;               // dim 2^qubits.size(); empty for measurement
+
+  unsigned num_targets() const { return static_cast<unsigned>(qubits.size()); }
+
+  bool is_measurement() const { return kind == GateKind::kMeasurement; }
+
+  // Every qubit the gate touches (targets + controls).
+  std::vector<qubit_t> all_qubits() const {
+    std::vector<qubit_t> q = qubits;
+    q.insert(q.end(), controls.begin(), controls.end());
+    return q;
+  }
+};
+
+// Returns an equivalent gate whose target qubits are sorted ascending, with
+// the matrix bits permuted to match. Simulator backends and the fuser assume
+// this normal form.
+Gate normalized(const Gate& g);
+
+// Folds the controls into the matrix: returns an uncontrolled gate over
+// (controls + targets) whose matrix applies `g.matrix` on the subspace where
+// every control is |1> and the identity elsewhere. Used by backends that have
+// no native controlled-apply path.
+Gate expand_controls(const Gate& g);
+
+}  // namespace qhip

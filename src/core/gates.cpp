@@ -1,0 +1,224 @@
+#include "src/core/gates.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/base/error.h"
+
+namespace qhip {
+namespace gates {
+
+namespace {
+
+using std::numbers::sqrt2;
+
+constexpr cplx64 kI{0.0, 1.0};
+
+Gate make1(unsigned time, qubit_t q, std::string name, std::vector<cplx64> m,
+           std::vector<double> params = {}) {
+  Gate g;
+  g.name = std::move(name);
+  g.time = time;
+  g.qubits = {q};
+  g.params = std::move(params);
+  g.matrix = CMatrix(2, std::move(m));
+  return g;
+}
+
+Gate make2(unsigned time, qubit_t q0, qubit_t q1, std::string name,
+           std::vector<cplx64> m, std::vector<double> params = {}) {
+  check(q0 != q1, "two-qubit gate '" + name + "' needs distinct qubits");
+  Gate g;
+  g.name = std::move(name);
+  g.time = time;
+  g.qubits = {q0, q1};
+  g.params = std::move(params);
+  g.matrix = CMatrix(4, std::move(m));
+  return g;
+}
+
+}  // namespace
+
+Gate id1(unsigned time, qubit_t q) {
+  return make1(time, q, "id1", {1, 0, 0, 1});
+}
+
+Gate h(unsigned time, qubit_t q) {
+  const double s = 1.0 / sqrt2;
+  return make1(time, q, "h", {s, s, s, -s});
+}
+
+Gate x(unsigned time, qubit_t q) { return make1(time, q, "x", {0, 1, 1, 0}); }
+
+Gate y(unsigned time, qubit_t q) { return make1(time, q, "y", {0, -kI, kI, 0}); }
+
+Gate z(unsigned time, qubit_t q) { return make1(time, q, "z", {1, 0, 0, -1}); }
+
+Gate s(unsigned time, qubit_t q) { return make1(time, q, "s", {1, 0, 0, kI}); }
+
+Gate sdg(unsigned time, qubit_t q) { return make1(time, q, "sdg", {1, 0, 0, -kI}); }
+
+Gate t(unsigned time, qubit_t q) {
+  return make1(time, q, "t", {1, 0, 0, std::polar(1.0, std::numbers::pi / 4)});
+}
+
+Gate tdg(unsigned time, qubit_t q) {
+  return make1(time, q, "tdg", {1, 0, 0, std::polar(1.0, -std::numbers::pi / 4)});
+}
+
+Gate x_1_2(unsigned time, qubit_t q) {
+  const cplx64 a{0.5, 0.5}, b{0.5, -0.5};
+  return make1(time, q, "x_1_2", {a, b, b, a});
+}
+
+Gate y_1_2(unsigned time, qubit_t q) {
+  const cplx64 a{0.5, 0.5};
+  return make1(time, q, "y_1_2", {a, -a, a, a});
+}
+
+Gate hz_1_2(unsigned time, qubit_t q) {
+  // sqrt(W), W = (X + Y)/sqrt(2); the third single-qubit gate of the
+  // Sycamore random-circuit gate set.
+  const cplx64 a{0.5, 0.5};
+  return make1(time, q, "hz_1_2", {a, -kI / sqrt2, 1.0 / sqrt2, a});
+}
+
+Gate rx(unsigned time, qubit_t q, double theta) {
+  const double c = std::cos(theta / 2), s = std::sin(theta / 2);
+  return make1(time, q, "rx", {c, -kI * s, -kI * s, c}, {theta});
+}
+
+Gate ry(unsigned time, qubit_t q, double theta) {
+  const double c = std::cos(theta / 2), s = std::sin(theta / 2);
+  return make1(time, q, "ry", {c, -s, s, c}, {theta});
+}
+
+Gate rz(unsigned time, qubit_t q, double theta) {
+  return make1(time, q, "rz",
+               {std::polar(1.0, -theta / 2), 0, 0, std::polar(1.0, theta / 2)},
+               {theta});
+}
+
+Gate rxy(unsigned time, qubit_t q, double phi, double theta) {
+  const double c = std::cos(theta / 2), s = std::sin(theta / 2);
+  return make1(time, q, "rxy",
+               {c, -kI * std::polar(1.0, -phi) * s, -kI * std::polar(1.0, phi) * s, c},
+               {phi, theta});
+}
+
+Gate p(unsigned time, qubit_t q, double phi) {
+  return make1(time, q, "p", {1, 0, 0, std::polar(1.0, phi)}, {phi});
+}
+
+Gate mg1(unsigned time, qubit_t q, const std::vector<cplx64>& u) {
+  check(u.size() == 4, "mg1: need 4 matrix entries");
+  return make1(time, q, "mg1", u);
+}
+
+Gate id2(unsigned time, qubit_t q0, qubit_t q1) {
+  return make2(time, q0, q1, "id2",
+               {1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1});
+}
+
+Gate cz(unsigned time, qubit_t q0, qubit_t q1) {
+  return make2(time, q0, q1, "cz",
+               {1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, -1});
+}
+
+Gate cnot(unsigned time, qubit_t control, qubit_t target) {
+  // qubits = {control, target}: index bit 0 = control, bit 1 = target.
+  // |c=1, t> -> |c=1, t^1>: columns 1 <-> 3 swap.
+  return make2(time, control, target, "cnot",
+               {1, 0, 0, 0, 0, 0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0});
+}
+
+Gate sw(unsigned time, qubit_t q0, qubit_t q1) {
+  return make2(time, q0, q1, "sw",
+               {1, 0, 0, 0, 0, 0, 1, 0, 0, 1, 0, 0, 0, 0, 0, 1});
+}
+
+Gate is(unsigned time, qubit_t q0, qubit_t q1) {
+  return make2(time, q0, q1, "is",
+               {1, 0, 0, 0, 0, 0, kI, 0, 0, kI, 0, 0, 0, 0, 0, 1});
+}
+
+Gate fs(unsigned time, qubit_t q0, qubit_t q1, double theta, double phi) {
+  const double c = std::cos(theta), s = std::sin(theta);
+  return make2(time, q0, q1, "fs",
+               {1, 0, 0, 0,
+                0, c, -kI * s, 0,
+                0, -kI * s, c, 0,
+                0, 0, 0, std::polar(1.0, -phi)},
+               {theta, phi});
+}
+
+Gate cp(unsigned time, qubit_t q0, qubit_t q1, double phi) {
+  return make2(time, q0, q1, "cp",
+               {1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0,
+                std::polar(1.0, phi)},
+               {phi});
+}
+
+Gate mg2(unsigned time, qubit_t q0, qubit_t q1, const std::vector<cplx64>& u) {
+  check(u.size() == 16, "mg2: need 16 matrix entries");
+  return make2(time, q0, q1, "mg2", u);
+}
+
+Gate ccz(unsigned time, qubit_t q0, qubit_t q1, qubit_t q2) {
+  check(q0 != q1 && q1 != q2 && q0 != q2, "ccz needs distinct qubits");
+  CMatrix m = CMatrix::identity(8);
+  m.at(7, 7) = -1.0;
+  Gate g;
+  g.name = "ccz";
+  g.time = time;
+  g.qubits = {q0, q1, q2};
+  g.matrix = std::move(m);
+  return g;
+}
+
+Gate ccx(unsigned time, qubit_t c0, qubit_t c1, qubit_t target) {
+  check(c0 != c1 && c1 != target && c0 != target, "ccx needs distinct qubits");
+  // qubits = {c0, c1, target}: bit 2 is the target; flip it when bits 0,1 set.
+  CMatrix m = CMatrix::identity(8);
+  m.at(3, 3) = m.at(7, 7) = 0.0;
+  m.at(7, 3) = m.at(3, 7) = 1.0;
+  Gate g;
+  g.name = "ccx";
+  g.time = time;
+  g.qubits = {c0, c1, target};
+  g.matrix = std::move(m);
+  return g;
+}
+
+Gate measure(unsigned time, std::vector<qubit_t> qubits) {
+  check(!qubits.empty(), "measure: need at least one qubit");
+  Gate g;
+  g.kind = GateKind::kMeasurement;
+  g.name = "m";
+  g.time = time;
+  g.qubits = std::move(qubits);
+  return g;
+}
+
+Gate controlled(Gate g, std::vector<qubit_t> controls) {
+  check(!g.is_measurement(), "controlled: cannot control a measurement");
+  for (qubit_t c : controls) {
+    for (qubit_t q : g.qubits) {
+      check(c != q, "controlled: control qubit overlaps target");
+    }
+  }
+  g.controls.insert(g.controls.end(), controls.begin(), controls.end());
+  return g;
+}
+
+const std::vector<std::string>& known_names() {
+  static const std::vector<std::string> names = {
+      "id1", "h",  "x",  "y",  "z",   "s",  "sdg", "t",   "tdg", "x_1_2",
+      "y_1_2", "hz_1_2", "rx", "ry", "rz", "rxy", "p", "mg1",
+      "id2", "cz", "cnot", "cx", "sw", "is", "fs", "cp", "mg2",
+      "ccz", "ccx", "m"};
+  return names;
+}
+
+}  // namespace gates
+}  // namespace qhip

@@ -1,0 +1,66 @@
+// The qsim gate set (gates_qsim.h equivalent).
+//
+// These are the gates accepted by the qsim text circuit format and produced
+// by the RQC generator: the Clifford+T set, square-root gates used by the
+// Sycamore supremacy circuits (x_1_2, y_1_2, hz_1_2), rotation gates, and
+// the two-qubit entanglers (cz, cnot, swap, iswap, fsim, cphase).
+//
+// Matrix convention: bit j of a matrix index corresponds to qubits[j];
+// qubits[0] is the least significant bit (see matrix.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/gate.h"
+
+namespace qhip {
+namespace gates {
+
+// --- one-qubit gates -------------------------------------------------------
+Gate id1(unsigned time, qubit_t q);
+Gate h(unsigned time, qubit_t q);
+Gate x(unsigned time, qubit_t q);
+Gate y(unsigned time, qubit_t q);
+Gate z(unsigned time, qubit_t q);
+Gate s(unsigned time, qubit_t q);
+Gate sdg(unsigned time, qubit_t q);
+Gate t(unsigned time, qubit_t q);
+Gate tdg(unsigned time, qubit_t q);
+Gate x_1_2(unsigned time, qubit_t q);   // sqrt(X)
+Gate y_1_2(unsigned time, qubit_t q);   // sqrt(Y)
+Gate hz_1_2(unsigned time, qubit_t q);  // sqrt(W), W = (X + Y)/sqrt(2)
+Gate rx(unsigned time, qubit_t q, double theta);
+Gate ry(unsigned time, qubit_t q, double theta);
+Gate rz(unsigned time, qubit_t q, double theta);
+// Rotation about cos(phi) X + sin(phi) Y by angle theta (qsim's rxy).
+Gate rxy(unsigned time, qubit_t q, double phi, double theta);
+Gate p(unsigned time, qubit_t q, double phi);  // phase gate diag(1, e^{i phi})
+// Generic 1-qubit unitary from row-major entries (qsim's mg1 "matrix gate").
+Gate mg1(unsigned time, qubit_t q, const std::vector<cplx64>& u);
+
+// --- two-qubit gates --------------------------------------------------------
+Gate id2(unsigned time, qubit_t q0, qubit_t q1);
+Gate cz(unsigned time, qubit_t q0, qubit_t q1);
+Gate cnot(unsigned time, qubit_t control, qubit_t target);
+Gate sw(unsigned time, qubit_t q0, qubit_t q1);  // SWAP
+Gate is(unsigned time, qubit_t q0, qubit_t q1);  // iSWAP
+Gate fs(unsigned time, qubit_t q0, qubit_t q1, double theta, double phi);  // fSim
+Gate cp(unsigned time, qubit_t q0, qubit_t q1, double phi);  // controlled phase
+Gate mg2(unsigned time, qubit_t q0, qubit_t q1, const std::vector<cplx64>& u);
+
+// --- three-qubit gates ------------------------------------------------------
+Gate ccz(unsigned time, qubit_t q0, qubit_t q1, qubit_t q2);
+Gate ccx(unsigned time, qubit_t c0, qubit_t c1, qubit_t target);  // Toffoli
+
+// --- measurement -------------------------------------------------------------
+Gate measure(unsigned time, std::vector<qubit_t> qubits);
+
+// Wraps `g` with additional all-ones controls (qsim's MakeControlledGate).
+Gate controlled(Gate g, std::vector<qubit_t> controls);
+
+// All mnemonics understood by the circuit parser, for diagnostics.
+const std::vector<std::string>& known_names();
+
+}  // namespace gates
+}  // namespace qhip

@@ -1,0 +1,147 @@
+#include "src/dist/comm.h"
+
+#include <cstring>
+#include <thread>
+
+#include "src/base/error.h"
+#include "src/base/strings.h"
+
+namespace qhip::dist {
+
+class World {
+ public:
+  explicit World(int num_ranks) : size_(num_ranks), reduce_(num_ranks * 2) {
+    check(num_ranks >= 1 && num_ranks <= 64, "World: ranks out of [1, 64]");
+  }
+
+  int size() const { return size_; }
+
+  void send(int src, int dst, int tag, const void* data, std::size_t bytes) {
+    check(dst >= 0 && dst < size_, "send: bad destination rank");
+    const auto* b = static_cast<const std::byte*>(data);
+    std::lock_guard lk(mu_);
+    mail_[key(src, dst, tag)].emplace(b, b + bytes);
+    cv_.notify_all();
+  }
+
+  void recv(int src, int dst, int tag, void* data, std::size_t bytes) {
+    check(src >= 0 && src < size_, "recv: bad source rank");
+    std::unique_lock lk(mu_);
+    auto& q = mail_[key(src, dst, tag)];
+    cv_.wait(lk, [&] { return !q.empty(); });
+    const std::vector<std::byte> msg = std::move(q.front());
+    q.pop();
+    check(msg.size() == bytes,
+          strfmt("recv: size mismatch (sent %zu B, requested %zu B)",
+                 msg.size(), bytes));
+    std::memcpy(data, msg.data(), bytes);
+  }
+
+  void barrier() {
+    std::unique_lock lk(mu_);
+    const std::uint64_t gen = barrier_gen_;
+    if (++barrier_count_ == static_cast<unsigned>(size_)) {
+      barrier_count_ = 0;
+      ++barrier_gen_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lk, [&] { return barrier_gen_ != gen; });
+    }
+  }
+
+  // Phase-alternating contribution slots so back-to-back reductions never
+  // race: reduction k uses slots [parity * size, parity * size + size).
+  std::vector<double> allgather(int rank, double v) {
+    std::size_t base;
+    {
+      std::lock_guard lk(mu_);
+      base = static_cast<std::size_t>(reduce_parity_) * size_;
+      reduce_[base + rank] = v;
+    }
+    barrier();
+    std::vector<double> out(size_);
+    {
+      std::lock_guard lk(mu_);
+      for (int r = 0; r < size_; ++r) out[r] = reduce_[base + r];
+    }
+    barrier();
+    {
+      std::lock_guard lk(mu_);
+      if (rank == 0) reduce_parity_ ^= 1;
+    }
+    barrier();
+    return out;
+  }
+
+ private:
+  static std::uint64_t key(int src, int dst, int tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 40) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 20) |
+           static_cast<std::uint32_t>(tag);
+  }
+
+  int size_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, std::queue<std::vector<std::byte>>> mail_;
+  unsigned barrier_count_ = 0;
+  std::uint64_t barrier_gen_ = 0;
+  std::vector<double> reduce_;
+  int reduce_parity_ = 0;
+};
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
+  world_->send(rank_, dst, tag, data, bytes);
+}
+
+void Comm::recv(int src, int tag, void* data, std::size_t bytes) {
+  world_->recv(src, rank_, tag, data, bytes);
+}
+
+void Comm::sendrecv(int peer, int tag, const void* send_buf, void* recv_buf,
+                    std::size_t bytes) {
+  send(peer, tag, send_buf, bytes);
+  recv(peer, tag, recv_buf, bytes);
+}
+
+void Comm::barrier() { world_->barrier(); }
+
+double Comm::allreduce_sum(double v) {
+  const auto all = world_->allgather(rank_, v);
+  double total = 0;
+  for (double x : all) total += x;
+  return total;
+}
+
+cplx64 Comm::allreduce_sum(cplx64 v) {
+  return {allreduce_sum(v.real()), allreduce_sum(v.imag())};
+}
+
+std::vector<double> Comm::allgather(double v) {
+  return world_->allgather(rank_, v);
+}
+
+void run_spmd(int num_ranks, const std::function<void(Comm&)>& body) {
+  World world(num_ranks);
+  std::vector<std::thread> threads;
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < num_ranks; ++r) {
+    threads.emplace_back([&world, &body, &err_mu, &first_error, r] {
+      Comm comm(&world, r);
+      try {
+        body(comm);
+      } catch (...) {
+        std::lock_guard lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace qhip::dist

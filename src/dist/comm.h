@@ -1,0 +1,76 @@
+// In-process message-passing communicator (MPI-flavoured).
+//
+// The paper situates qsim among MPI-based HPC simulators (Intel-QS, QuEST,
+// Qiskit — §1); this layer provides the message-passing model those
+// simulators distribute over, with ranks backed by threads so the
+// distributed state-vector algorithms (src/dist/simulator_dist.h) run and
+// test on a single host. The API is the usual blocking subset:
+// send / recv / sendrecv (tagged, message semantics — one recv matches one
+// send of the same (src, tag) in order), barrier, and allreduce.
+//
+// Determinism: message matching is per (src, dst, tag) FIFO, and the
+// collectives are rank-ordered, so SPMD programs behave identically run to
+// run regardless of thread scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace qhip::dist {
+
+class World;
+
+// Per-rank communicator handle, valid inside run_spmd's body.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  // Blocking tagged point-to-point. recv must request exactly the byte
+  // count that was sent (mismatch throws — catches protocol bugs).
+  void send(int dst, int tag, const void* data, std::size_t bytes);
+  void recv(int src, int tag, void* data, std::size_t bytes);
+
+  // Bidirectional exchange with `peer` (deadlock-free: sends are buffered).
+  void sendrecv(int peer, int tag, const void* send_buf, void* recv_buf,
+                std::size_t bytes);
+
+  template <typename T>
+  void send_vec(int dst, int tag, const std::vector<T>& v) {
+    send(dst, tag, v.data(), v.size() * sizeof(T));
+  }
+  template <typename T>
+  void recv_vec(int src, int tag, std::vector<T>* v) {
+    recv(src, tag, v->data(), v->size() * sizeof(T));
+  }
+
+  // Collectives (all ranks must call).
+  void barrier();
+  double allreduce_sum(double v);
+  cplx64 allreduce_sum(cplx64 v);
+  // Every rank contributes `v`; all ranks receive the rank-indexed vector.
+  std::vector<double> allgather(double v);
+
+ private:
+  friend class World;
+  friend void run_spmd(int, const std::function<void(Comm&)>&);
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+
+  World* world_;
+  int rank_;
+};
+
+// Runs `body(comm)` on `num_ranks` threads, one rank each. Exceptions from
+// any rank are rethrown on the caller (first one wins) after all ranks
+// finish or abort.
+void run_spmd(int num_ranks, const std::function<void(Comm&)>& body);
+
+}  // namespace qhip::dist

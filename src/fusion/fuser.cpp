@@ -1,0 +1,190 @@
+#include "src/fusion/fuser.h"
+
+#include <algorithm>
+#include <list>
+
+#include "src/base/bits.h"
+#include "src/base/error.h"
+#include "src/base/timer.h"
+
+namespace qhip {
+
+double FusionStats::mean_width() const {
+  std::size_t total = 0, count = 0;
+  for (const auto& [w, n] : width_histogram) {
+    total += static_cast<std::size_t>(w) * n;
+    count += n;
+  }
+  return count == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(count);
+}
+
+namespace {
+
+// An open fusion block: sorted qubit set + accumulated matrix over it.
+struct Block {
+  std::vector<qubit_t> qubits;  // ascending
+  CMatrix matrix;               // dim 2^qubits.size()
+  unsigned birth_time = 0;      // moment of the first absorbed gate
+};
+
+bool intersects(const std::vector<qubit_t>& a, const std::vector<qubit_t>& b) {
+  // Both sorted; linear merge scan.
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) ++i; else ++j;
+  }
+  return false;
+}
+
+std::vector<qubit_t> set_union(const std::vector<qubit_t>& a,
+                               const std::vector<qubit_t>& b) {
+  std::vector<qubit_t> u;
+  u.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(u));
+  return u;
+}
+
+// Positions of `sub` within `super` (both sorted, sub ⊆ super).
+std::vector<unsigned> positions_in(const std::vector<qubit_t>& sub,
+                                   const std::vector<qubit_t>& super) {
+  std::vector<unsigned> pos(sub.size());
+  for (std::size_t j = 0; j < sub.size(); ++j) {
+    const auto it = std::lower_bound(super.begin(), super.end(), sub[j]);
+    pos[j] = static_cast<unsigned>(it - super.begin());
+  }
+  return pos;
+}
+
+class Fuser {
+ public:
+  explicit Fuser(const FusionOptions& opt, unsigned num_qubits)
+      : opt_(opt) {
+    out_.num_qubits = num_qubits;
+  }
+
+  void add(const Gate& gate_in) {
+    ++stats_.input_gates;
+    close_stale(gate_in.time);
+    if (gate_in.is_measurement()) {
+      Gate m = normalized(gate_in);
+      close_touching(m.qubits);
+      m.time = next_time_++;
+      out_.gates.push_back(std::move(m));
+      return;
+    }
+    const Gate g =
+        normalized(gate_in.controls.empty() ? gate_in : expand_controls(gate_in));
+
+    if (g.num_targets() > opt_.max_fused_qubits) {
+      // Wider than the fusion limit: passes through as its own block.
+      close_touching(g.qubits);
+      emit(Block{g.qubits, g.matrix, g.time});
+      return;
+    }
+
+    // Gather open blocks the gate touches and the merged qubit set.
+    std::vector<std::list<Block>::iterator> touched;
+    std::vector<qubit_t> merged = g.qubits;
+    for (auto it = open_.begin(); it != open_.end(); ++it) {
+      if (intersects(it->qubits, g.qubits)) {
+        touched.push_back(it);
+        merged = set_union(merged, it->qubits);
+      }
+    }
+
+    if (merged.size() > opt_.max_fused_qubits) {
+      // Cannot grow: close every touched block, then start fresh.
+      for (auto it : touched) {
+        emit(std::move(*it));
+        open_.erase(it);
+      }
+      open_.push_back(Block{g.qubits, g.matrix, g.time});
+      return;
+    }
+
+    // Merge the touched blocks and the gate into one block over `merged`.
+    // The merged block inherits the oldest constituent's birth moment so
+    // the fusion window bounds the temporal span of every fused gate.
+    Block nb;
+    nb.qubits = merged;
+    nb.matrix = CMatrix::identity(pow2(static_cast<unsigned>(merged.size())));
+    nb.birth_time = g.time;
+    for (auto it : touched) {
+      nb.birth_time = std::min(nb.birth_time, it->birth_time);
+      nb.matrix.compose_on_qubits(it->matrix, positions_in(it->qubits, merged));
+      open_.erase(it);
+    }
+    nb.matrix.compose_on_qubits(g.matrix, positions_in(g.qubits, merged));
+    open_.push_back(std::move(nb));
+  }
+
+  FusionResult finish() {
+    for (auto& b : open_) emit(std::move(b));
+    open_.clear();
+    FusionResult r;
+    r.circuit = std::move(out_);
+    r.stats = stats_;
+    return r;
+  }
+
+ private:
+  // Emits blocks that opened more than the fusion window ago: qsim's fuser
+  // grows clusters along a bounded temporal frontier, never globally.
+  void close_stale(unsigned now) {
+    if (opt_.window_moments == 0) return;
+    for (auto it = open_.begin(); it != open_.end();) {
+      if (now >= it->birth_time + opt_.window_moments) {
+        emit(std::move(*it));
+        it = open_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void close_touching(const std::vector<qubit_t>& qubits) {
+    for (auto it = open_.begin(); it != open_.end();) {
+      if (intersects(it->qubits, qubits)) {
+        emit(std::move(*it));
+        it = open_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void emit(Block b) {
+    Gate g;
+    g.name = "fused";
+    g.time = next_time_++;
+    g.qubits = std::move(b.qubits);
+    g.matrix = std::move(b.matrix);
+    ++stats_.width_histogram[g.num_targets()];
+    ++stats_.output_gates;
+    out_.gates.push_back(std::move(g));
+  }
+
+  FusionOptions opt_;
+  Circuit out_;
+  std::list<Block> open_;
+  FusionStats stats_;
+  unsigned next_time_ = 0;
+};
+
+}  // namespace
+
+FusionResult fuse_circuit(const Circuit& in, const FusionOptions& opt) {
+  check(opt.max_fused_qubits >= 1 && opt.max_fused_qubits <= 6,
+        "fuse_circuit: max_fused_qubits must be in [1, 6]");
+  Timer timer;
+  Fuser fuser(opt, in.num_qubits);
+  for (const auto& g : in.gates) fuser.add(g);
+  FusionResult r = fuser.finish();
+  // Count measurement pass-throughs in output_gates too.
+  r.stats.output_gates = r.circuit.gates.size();
+  r.stats.seconds = timer.seconds();
+  return r;
+}
+
+}  // namespace qhip

@@ -1,0 +1,566 @@
+#include "src/hipify/hipify.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "src/base/error.h"
+#include "src/base/strings.h"
+
+namespace qhip::hipify {
+
+namespace {
+
+// Identifier-level API mapping (subset of hipify-perl's CUDA2HIP tables
+// covering the runtime API, types, memcpy kinds, events, streams, device
+// intrinsics and the math libraries qsim links).
+const std::map<std::string, std::string>& map_instance() {
+  static const std::map<std::string, std::string> m = {
+      // Memory management
+      {"cudaMalloc", "hipMalloc"},
+      {"cudaMallocHost", "hipHostMalloc"},
+      {"cudaMallocManaged", "hipMallocManaged"},
+      {"cudaFree", "hipFree"},
+      {"cudaFreeHost", "hipHostFree"},
+      {"cudaMemcpy", "hipMemcpy"},
+      {"cudaMemcpyAsync", "hipMemcpyAsync"},
+      {"cudaMemcpy2D", "hipMemcpy2D"},
+      {"cudaMemset", "hipMemset"},
+      {"cudaMemsetAsync", "hipMemsetAsync"},
+      {"cudaMemGetInfo", "hipMemGetInfo"},
+      {"cudaMemcpyHostToDevice", "hipMemcpyHostToDevice"},
+      {"cudaMemcpyDeviceToHost", "hipMemcpyDeviceToHost"},
+      {"cudaMemcpyDeviceToDevice", "hipMemcpyDeviceToDevice"},
+      {"cudaMemcpyHostToHost", "hipMemcpyHostToHost"},
+      {"cudaMemcpyDefault", "hipMemcpyDefault"},
+      {"cudaMemcpyKind", "hipMemcpyKind"},
+      // Error handling
+      {"cudaError_t", "hipError_t"},
+      {"cudaError", "hipError_t"},
+      {"cudaSuccess", "hipSuccess"},
+      {"cudaGetLastError", "hipGetLastError"},
+      {"cudaPeekAtLastError", "hipPeekAtLastError"},
+      {"cudaGetErrorString", "hipGetErrorString"},
+      {"cudaGetErrorName", "hipGetErrorName"},
+      // Device management
+      {"cudaSetDevice", "hipSetDevice"},
+      {"cudaGetDevice", "hipGetDevice"},
+      {"cudaGetDeviceCount", "hipGetDeviceCount"},
+      {"cudaDeviceSynchronize", "hipDeviceSynchronize"},
+      {"cudaDeviceReset", "hipDeviceReset"},
+      {"cudaDeviceProp", "hipDeviceProp_t"},
+      {"cudaGetDeviceProperties", "hipGetDeviceProperties"},
+      {"cudaDeviceGetAttribute", "hipDeviceGetAttribute"},
+      {"cudaFuncSetCacheConfig", "hipFuncSetCacheConfig"},
+      {"cudaFuncCachePreferShared", "hipFuncCachePreferShared"},
+      {"cudaFuncCachePreferL1", "hipFuncCachePreferL1"},
+      // Streams
+      {"cudaStream_t", "hipStream_t"},
+      {"cudaStreamCreate", "hipStreamCreate"},
+      {"cudaStreamCreateWithFlags", "hipStreamCreateWithFlags"},
+      {"cudaStreamDestroy", "hipStreamDestroy"},
+      {"cudaStreamSynchronize", "hipStreamSynchronize"},
+      {"cudaStreamWaitEvent", "hipStreamWaitEvent"},
+      {"cudaStreamNonBlocking", "hipStreamNonBlocking"},
+      {"cudaStreamDefault", "hipStreamDefault"},
+      // Events
+      {"cudaEvent_t", "hipEvent_t"},
+      {"cudaEventCreate", "hipEventCreate"},
+      {"cudaEventDestroy", "hipEventDestroy"},
+      {"cudaEventRecord", "hipEventRecord"},
+      {"cudaEventSynchronize", "hipEventSynchronize"},
+      {"cudaEventElapsedTime", "hipEventElapsedTime"},
+      // Symbols / pitched / legacy
+      {"cudaMemcpyToSymbol", "hipMemcpyToSymbol"},
+      {"cudaMemcpyFromSymbol", "hipMemcpyFromSymbol"},
+      {"cudaHostAlloc", "hipHostMalloc"},
+      {"cudaHostAllocDefault", "hipHostMallocDefault"},
+      {"cudaMallocPitch", "hipMallocPitch"},
+      {"cudaThreadSynchronize", "hipDeviceSynchronize"},
+      {"cudaFuncAttributes", "hipFuncAttributes"},
+      {"cudaFuncGetAttributes", "hipFuncGetAttributes"},
+      {"cudaDeviceGetLimit", "hipDeviceGetLimit"},
+      {"cudaLimitMallocHeapSize", "hipLimitMallocHeapSize"},
+      {"cudaEventCreateWithFlags", "hipEventCreateWithFlags"},
+      {"cudaEventDisableTiming", "hipEventDisableTiming"},
+      {"cudaEventQuery", "hipEventQuery"},
+      {"cudaErrorNotReady", "hipErrorNotReady"},
+      // cuFFT -> hipFFT
+      {"cufftHandle", "hipfftHandle"},
+      {"cufftPlan1d", "hipfftPlan1d"},
+      {"cufftExecC2C", "hipfftExecC2C"},
+      {"cufftDestroy", "hipfftDestroy"},
+      {"CUFFT_FORWARD", "HIPFFT_FORWARD"},
+      // Host registration
+      {"cudaHostRegister", "hipHostRegister"},
+      {"cudaHostUnregister", "hipHostUnregister"},
+      {"cudaHostRegisterDefault", "hipHostRegisterDefault"},
+      // Occupancy
+      {"cudaOccupancyMaxActiveBlocksPerMultiprocessor",
+       "hipOccupancyMaxActiveBlocksPerMultiprocessor"},
+      // Complex types
+      {"cuComplex", "hipComplex"},
+      {"cuFloatComplex", "hipFloatComplex"},
+      {"cuDoubleComplex", "hipDoubleComplex"},
+      {"make_cuComplex", "make_hipComplex"},
+      {"make_cuFloatComplex", "make_hipFloatComplex"},
+      {"make_cuDoubleComplex", "make_hipDoubleComplex"},
+      {"cuCrealf", "hipCrealf"},
+      {"cuCimagf", "hipCimagf"},
+      {"cuCreal", "hipCreal"},
+      {"cuCimag", "hipCimag"},
+      {"cuCmulf", "hipCmulf"},
+      {"cuCaddf", "hipCaddf"},
+      // cuBLAS -> hipBLAS
+      {"cublasHandle_t", "hipblasHandle_t"},
+      {"cublasCreate", "hipblasCreate"},
+      {"cublasDestroy", "hipblasDestroy"},
+      {"cublasStatus_t", "hipblasStatus_t"},
+      {"CUBLAS_STATUS_SUCCESS", "HIPBLAS_STATUS_SUCCESS"},
+      {"cublasCgemm", "hipblasCgemm"},
+      {"cublasZgemm", "hipblasZgemm"},
+      // cuRAND -> hipRAND
+      {"curandGenerator_t", "hiprandGenerator_t"},
+      {"curandCreateGenerator", "hiprandCreateGenerator"},
+      {"curandGenerateUniform", "hiprandGenerateUniform"},
+      {"curandDestroyGenerator", "hiprandDestroyGenerator"},
+      {"CURAND_RNG_PSEUDO_PHILOX4_32_10", "HIPRAND_RNG_PSEUDO_PHILOX4_32_10"},
+      // Intrinsics without signature changes
+      {"__threadfence", "__threadfence"},
+      {"__syncwarp", "__builtin_amdgcn_wave_barrier"},
+  };
+  return m;
+}
+
+// _sync collectives: (new name, drop-first-arg).
+struct SyncRule {
+  const char* hip_name;
+  bool drop_first_arg;
+};
+
+const std::map<std::string, SyncRule>& sync_rules() {
+  static const std::map<std::string, SyncRule> m = {
+      {"__shfl_sync", {"__shfl", true}},
+      {"__shfl_up_sync", {"__shfl_up", true}},
+      {"__shfl_down_sync", {"__shfl_down", true}},
+      {"__shfl_xor_sync", {"__shfl_xor", true}},
+      {"__ballot_sync", {"__ballot", true}},
+      {"__any_sync", {"__any", true}},
+      {"__all_sync", {"__all", true}},
+      {"__activemask", {"__ballot(1)", false}},
+  };
+  return m;
+}
+
+// Include-line substring rewrites.
+const std::vector<std::pair<std::string, std::string>>& include_map() {
+  static const std::vector<std::pair<std::string, std::string>> v = {
+      {"<cuda_runtime.h>", "<hip/hip_runtime.h>"},
+      {"<cuda_runtime_api.h>", "<hip/hip_runtime_api.h>"},
+      {"<cuda.h>", "<hip/hip_runtime.h>"},
+      {"<cuComplex.h>", "<hip/hip_complex.h>"},
+      {"<cuda_fp16.h>", "<hip/hip_fp16.h>"},
+      {"<cublas_v2.h>", "<hipblas.h>"},
+      {"<curand.h>", "<hiprand.h>"},
+      {"<cooperative_groups.h>", "<hip/hip_cooperative_groups.h>"},
+  };
+  return v;
+}
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+class Translator {
+ public:
+  Translator(const std::string& src, const HipifyOptions& opt)
+      : src_(src), opt_(opt) {}
+
+  HipifyResult run() {
+    out_.reserve(src_.size() + src_.size() / 8);
+    while (i_ < src_.size()) step();
+    if (opt_.warp_size_audit) audit();
+    HipifyResult r;
+    r.output = std::move(out_);
+    r.replacements = replacements_;
+    r.rule_hits = std::move(rule_hits_);
+    r.warnings = std::move(warnings_);
+    return r;
+  }
+
+ private:
+  void step() {
+    const char c = src_[i_];
+    // Comments and literals pass through untouched.
+    if (c == '/' && i_ + 1 < src_.size() && src_[i_ + 1] == '/') {
+      copy_until("\n");
+      return;
+    }
+    if (c == '/' && i_ + 1 < src_.size() && src_[i_ + 1] == '*') {
+      copy_through("*/");
+      return;
+    }
+    if (c == '"') {
+      copy_string('"');
+      return;
+    }
+    if (c == '\'') {
+      copy_string('\'');
+      return;
+    }
+    if (c == '#' && at_line_start()) {
+      rewrite_directive();
+      return;
+    }
+    if (opt_.rewrite_launches && c == '<' && src_.compare(i_, 3, "<<<") == 0) {
+      rewrite_launch();
+      return;
+    }
+    if (ident_start(c)) {
+      rewrite_identifier();
+      return;
+    }
+    if (c == '\n') ++line_;
+    out_ += c;
+    ++i_;
+  }
+
+  bool at_line_start() const {
+    for (std::size_t k = out_.size(); k > 0; --k) {
+      const char p = out_[k - 1];
+      if (p == '\n') return true;
+      if (p != ' ' && p != '\t') return false;
+    }
+    return true;
+  }
+
+  void copy_until(const char* stop) {  // stop char excluded
+    const std::size_t e = src_.find(stop, i_);
+    const std::size_t end = e == std::string::npos ? src_.size() : e;
+    append_range(i_, end);
+    i_ = end;
+  }
+
+  void copy_through(const char* stop) {
+    std::size_t e = src_.find(stop, i_ + 2);
+    e = e == std::string::npos ? src_.size() : e + 2;
+    append_range(i_, e);
+    i_ = e;
+  }
+
+  void copy_string(char quote) {
+    std::size_t j = i_ + 1;
+    while (j < src_.size()) {
+      if (src_[j] == '\\') {
+        j += 2;
+        continue;
+      }
+      if (src_[j] == quote) {
+        ++j;
+        break;
+      }
+      ++j;
+    }
+    append_range(i_, j);
+    i_ = j;
+  }
+
+  void append_range(std::size_t b, std::size_t e) {
+    for (std::size_t k = b; k < e && k < src_.size(); ++k) {
+      if (src_[k] == '\n') ++line_;
+      out_ += src_[k];
+    }
+  }
+
+  void rewrite_directive() {
+    std::size_t e = src_.find('\n', i_);
+    e = e == std::string::npos ? src_.size() : e;
+    std::string dir = src_.substr(i_, e - i_);
+    for (const auto& [from, to] : include_map()) {
+      const std::size_t pos = dir.find(from);
+      if (pos != std::string::npos) {
+        dir.replace(pos, from.size(), to);
+        ++replacements_;
+        ++rule_hits_[from];
+      }
+    }
+    out_ += dir;
+    i_ = e;
+  }
+
+  std::string read_identifier() {
+    std::size_t j = i_;
+    while (j < src_.size() && ident_char(src_[j])) ++j;
+    std::string id = src_.substr(i_, j - i_);
+    i_ = j;
+    return id;
+  }
+
+  // Splits "(...)" starting at src_[i_] (must be '(') into top-level args;
+  // returns false if unbalanced.
+  bool parse_call_args(std::vector<std::string>* args) {
+    if (i_ >= src_.size() || src_[i_] != '(') return false;
+    int depth = 0;
+    std::string cur;
+    std::size_t j = i_;
+    for (; j < src_.size(); ++j) {
+      const char c = src_[j];
+      if (c == '(' || c == '[' || c == '{') {
+        if (depth++ > 0) cur += c;
+        continue;
+      }
+      if (c == ')' || c == ']' || c == '}') {
+        if (--depth == 0) break;
+        cur += c;
+        continue;
+      }
+      if (c == ',' && depth == 1) {
+        args->push_back(std::string(trim(cur)));
+        cur.clear();
+        continue;
+      }
+      if (depth >= 1) cur += c;
+    }
+    if (j >= src_.size()) return false;
+    if (!trim(cur).empty()) args->push_back(std::string(trim(cur)));
+    for (std::size_t k = i_; k <= j; ++k) {
+      if (src_[k] == '\n') ++line_;
+    }
+    i_ = j + 1;
+    return true;
+  }
+
+  void rewrite_identifier() {
+    const std::size_t save = i_;
+    const std::string id = read_identifier();
+
+    if (const auto it = sync_rules().find(id); it != sync_rules().end()) {
+      if (!it->second.drop_first_arg) {
+        out_ += it->second.hip_name;
+        ++replacements_;
+        ++rule_hits_[id];
+        return;
+      }
+      std::vector<std::string> args;
+      const std::size_t before = i_;
+      if (parse_call_args(&args) && args.size() >= 2) {
+        out_ += it->second.hip_name;
+        out_ += '(';
+        for (std::size_t k = 1; k < args.size(); ++k) {
+          if (k > 1) out_ += ", ";
+          out_ += args[k];
+        }
+        out_ += ')';
+        ++replacements_;
+        ++rule_hits_[id];
+        return;
+      }
+      i_ = before;
+      warn("could not parse arguments of " + id + "; left unconverted");
+      out_ += id;
+      return;
+    }
+
+    if (const auto it = map_instance().find(id); it != map_instance().end()) {
+      out_ += it->second;
+      if (it->second != id) {
+        ++replacements_;
+        ++rule_hits_[id];
+      }
+      return;
+    }
+
+    if (starts_with(id, "cuda") || starts_with(id, "cublas") ||
+        starts_with(id, "curand") || starts_with(id, "cufft") ||
+        starts_with(id, "cusparse")) {
+      warn("unrecognized CUDA identifier '" + id + "' left unconverted");
+    }
+    (void)save;
+    out_ += id;
+  }
+
+  // Rewrites `name<<<g, b[, shm[, stream]]>>>(args)` into
+  // hipLaunchKernelGGL(name, dim3(g), dim3(b), shm, stream, args).
+  void rewrite_launch() {
+    // The kernel name (possibly with a template argument list) was already
+    // emitted; peel it off the output tail.
+    std::size_t tail = out_.size();
+    while (tail > 0 && std::isspace(static_cast<unsigned char>(out_[tail - 1]))) {
+      --tail;
+    }
+    std::size_t name_end = tail;
+    if (tail > 0 && out_[tail - 1] == '>') {
+      int depth = 0;
+      std::size_t k = tail;
+      while (k > 0) {
+        const char c = out_[--k];
+        if (c == '>') ++depth;
+        if (c == '<' && --depth == 0) break;
+      }
+      tail = k;
+    }
+    while (tail > 0 && ident_char(out_[tail - 1])) --tail;
+    const std::string name = out_.substr(tail, name_end - tail);
+    if (name.empty() || !ident_start(name[0])) {
+      warn("<<< without a preceding kernel name; left unconverted");
+      out_ += "<<<";
+      i_ += 3;
+      return;
+    }
+
+    // Parse the launch configuration between <<< and >>>.
+    const std::size_t cfg_end = src_.find(">>>", i_ + 3);
+    if (cfg_end == std::string::npos) {
+      warn("unterminated <<<...>>> launch");
+      out_ += "<<<";
+      i_ += 3;
+      return;
+    }
+    const std::string cfg = src_.substr(i_ + 3, cfg_end - i_ - 3);
+    std::vector<std::string> cfg_args;
+    {
+      int depth = 0;
+      std::string cur;
+      for (char c : cfg) {
+        if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+        if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+        if (c == ',' && depth == 0) {
+          cfg_args.push_back(std::string(trim(cur)));
+          cur.clear();
+        } else {
+          cur += c;
+        }
+      }
+      if (!trim(cur).empty()) cfg_args.push_back(std::string(trim(cur)));
+    }
+    if (cfg_args.size() < 2 || cfg_args.size() > 4) {
+      warn("launch config with " + std::to_string(cfg_args.size()) +
+           " arguments; left unconverted");
+      out_ += "<<<";
+      i_ += 3;
+      return;
+    }
+    for (std::size_t k = i_; k < cfg_end + 3; ++k) {
+      if (src_[k] == '\n') ++line_;
+    }
+    i_ = cfg_end + 3;
+    while (i_ < src_.size() && std::isspace(static_cast<unsigned char>(src_[i_]))) {
+      if (src_[i_] == '\n') ++line_;
+      ++i_;
+    }
+    std::vector<std::string> call_args;
+    if (!parse_call_args(&call_args)) {
+      warn("kernel launch without argument list; left unconverted");
+      out_ += "<<<" + cfg + ">>>";
+      return;
+    }
+
+    out_.erase(tail);
+    const bool templated = name_end > tail && out_.size() >= tail &&
+                           name.find('<') != std::string::npos;
+    out_ += "hipLaunchKernelGGL(";
+    out_ += templated ? "HIP_KERNEL_NAME(" + name + ")" : name;
+    out_ += ", dim3(" + cfg_args[0] + "), dim3(" + cfg_args[1] + "), ";
+    out_ += cfg_args.size() >= 3 && !cfg_args[2].empty() ? cfg_args[2] : "0";
+    out_ += ", ";
+    out_ += cfg_args.size() >= 4 ? cfg_args[3] : "0";
+    for (const auto& a : call_args) {
+      out_ += ", ";
+      out_ += a;
+    }
+    out_ += ')';
+    ++replacements_;
+    ++rule_hits_["<<<>>>"];
+  }
+
+  void warn(std::string msg) { warnings_.push_back({line_, std::move(msg)}); }
+
+  // Post-pass: flag hardcoded warp-width constants within two lines of a
+  // wavefront collective (the paper's §3 porting bug — reduction loops
+  // start at offset 16 on the line *above* the __shfl_down call).
+  void audit() {
+    std::vector<std::string> lines;
+    {
+      std::istringstream is(out_);
+      std::string ln;
+      while (std::getline(is, ln)) lines.push_back(std::move(ln));
+    }
+    auto is_collective = [](const std::string& ln) {
+      return ln.find("shfl") != std::string::npos ||
+             ln.find("ballot") != std::string::npos ||
+             ln.find("WARP") != std::string::npos ||
+             ln.find("warpSize") != std::string::npos;
+    };
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      bool near_collective = false;
+      const std::size_t lo = i >= 2 ? i - 2 : 0;
+      const std::size_t hi = std::min(i + 2, lines.size() - 1);
+      for (std::size_t k = lo; k <= hi && !near_collective; ++k) {
+        near_collective = is_collective(lines[k]);
+      }
+      if (!near_collective) continue;
+      const auto toks = split(lines[i], " \t(),;=<>+-*/&|{}%");
+      for (const auto& t : toks) {
+        if (t == "32" || t == "16") {
+          warnings_.push_back(
+              {i + 1,
+               "warp-size audit: literal " + std::string(t) +
+                   " near a wavefront collective — AMD wavefronts are 64 "
+                   "lanes; derive widths from warpSize"});
+          break;
+        }
+      }
+    }
+  }
+
+  const std::string& src_;
+  HipifyOptions opt_;
+  std::string out_;
+  std::size_t i_ = 0;
+  std::size_t line_ = 1;
+  std::size_t replacements_ = 0;
+  std::map<std::string, std::size_t> rule_hits_;
+  std::vector<Warning> warnings_;
+};
+
+}  // namespace
+
+std::string HipifyResult::format_report(const std::string& filename) const {
+  std::ostringstream os;
+  os << "hipify report for " << filename << "\n";
+  os << "  replacements: " << replacements << "\n";
+  for (const auto& [rule, n] : rule_hits) {
+    os << "    " << rule << " -> " << n << "\n";
+  }
+  if (warnings.empty()) {
+    os << "  warnings: none\n";
+  } else {
+    os << "  warnings (" << warnings.size() << "):\n";
+    for (const auto& w : warnings) {
+      os << "    line " << w.line << ": " << w.message << "\n";
+    }
+  }
+  return os.str();
+}
+
+HipifyResult hipify_source(const std::string& cuda_source,
+                           const HipifyOptions& opt) {
+  return Translator(cuda_source, opt).run();
+}
+
+HipifyResult hipify_file(const std::string& in_path, const std::string& out_path,
+                         const HipifyOptions& opt) {
+  std::ifstream in(in_path, std::ios::binary);
+  check(in.good(), "hipify_file: cannot open '" + in_path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  HipifyResult r = hipify_source(ss.str(), opt);
+  std::ofstream out(out_path, std::ios::binary);
+  check(out.good(), "hipify_file: cannot open '" + out_path + "' for writing");
+  out << r.output;
+  check(out.good(), "hipify_file: write failed");
+  return r;
+}
+
+const std::map<std::string, std::string>& api_map() { return map_instance(); }
+
+}  // namespace qhip::hipify

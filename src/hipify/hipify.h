@@ -1,0 +1,61 @@
+// hipify: CUDA -> HIP source-to-source translation (hipify-perl equivalent).
+//
+// The paper's port of qsim was produced by running hipify-perl over the
+// seven CUDA backend files (§3). This module reimplements that translator:
+//
+//  * an API mapping table (cudaMalloc -> hipMalloc, cudaStream_t ->
+//    hipStream_t, <cuda_runtime.h> -> <hip/hip_runtime.h>, ...);
+//  * triple-chevron kernel launches `k<<<g, b, shm, s>>>(args)` rewritten to
+//    `hipLaunchKernelGGL(k, g, b, shm, s, args)` with nesting-aware
+//    argument parsing;
+//  * warp-collective `_sync` intrinsics (`__shfl_down_sync(mask, v, d)`)
+//    rewritten to their HIP forms with the mask argument dropped
+//    (`__shfl_down(v, d)`);
+//  * a *warp-size audit*: HIP wavefronts are 64-wide, so CUDA code with
+//    hardcoded 32/16 warp constants near collectives is flagged — the exact
+//    bug class the paper fixed by hand after running hipify.
+//
+// Identifiers are matched on token boundaries and skipped inside string
+// literals and comments, like the real tool.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qhip::hipify {
+
+struct Warning {
+  std::size_t line;      // 1-based
+  std::string message;
+};
+
+struct HipifyResult {
+  std::string output;
+  std::size_t replacements = 0;
+  std::map<std::string, std::size_t> rule_hits;  // cuda identifier -> count
+  std::vector<Warning> warnings;
+
+  std::string format_report(const std::string& filename = "<source>") const;
+};
+
+struct HipifyOptions {
+  bool rewrite_launches = true;   // <<<...>>> -> hipLaunchKernelGGL
+  bool warp_size_audit = true;    // flag hardcoded 32/16 near collectives
+};
+
+// Translates one CUDA source. Never throws on translatable input; unknown
+// cuda* identifiers produce warnings and are left untouched.
+HipifyResult hipify_source(const std::string& cuda_source,
+                           const HipifyOptions& opt = {});
+
+// Reads `in_path`, writes the translation to `out_path` (parent directory
+// must exist); returns the result (output also kept in memory).
+HipifyResult hipify_file(const std::string& in_path, const std::string& out_path,
+                         const HipifyOptions& opt = {});
+
+// The full mapping table (for tests and documentation).
+const std::map<std::string, std::string>& api_map();
+
+}  // namespace qhip::hipify

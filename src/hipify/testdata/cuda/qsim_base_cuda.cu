@@ -1,0 +1,34 @@
+// Miniature of qsim's qsim_base_cuda.cu (conversion inventory item 1):
+// the stand-alone driver that loads a circuit file, runs the state-vector
+// simulation on the GPU and prints amplitudes.
+#include <cuda_runtime.h>
+
+#include <cstdio>
+
+#include "simulator_cuda.h"
+
+int main(int argc, char** argv) {
+  int device_count = 0;
+  cudaGetDeviceCount(&device_count);
+  if (device_count == 0) {
+    std::fprintf(stderr, "no CUDA device\n");
+    return 1;
+  }
+  cudaSetDevice(0);
+
+  cudaDeviceProp prop;
+  cudaGetDeviceProperties(&prop, 0);
+  std::printf("running on %s\n", prop.name);
+
+  SimulatorCUDA<float> sim;
+  const int rc = sim.RunCircuitFile(argc > 1 ? argv[1] : "circuit_q30");
+
+  cudaError_t err = cudaGetLastError();
+  if (err != cudaSuccess) {
+    std::fprintf(stderr, "CUDA error: %s\n", cudaGetErrorString(err));
+    return 1;
+  }
+  cudaDeviceSynchronize();
+  cudaDeviceReset();
+  return rc;
+}

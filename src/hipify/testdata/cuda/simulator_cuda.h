@@ -1,0 +1,44 @@
+// Miniature of qsim's simulator_cuda.h (conversion inventory item 2):
+// ApplyGate / ApplyControlledGate host methods that stage the gate matrix
+// and launch the H or L kernel on the backend stream.
+#pragma once
+
+#include <cuda_runtime.h>
+
+#include "simulator_cuda_kernels.h"
+
+template <typename FP>
+class SimulatorCUDA {
+ public:
+  SimulatorCUDA() {
+    cudaStreamCreate(&stream_);
+    cudaMalloc(&d_matrix_, 64 * 64 * 2 * sizeof(FP));
+  }
+
+  ~SimulatorCUDA() {
+    cudaFree(d_matrix_);
+    cudaStreamDestroy(stream_);
+  }
+
+  void ApplyGate(const FP* matrix, unsigned q, unsigned num_qubits,
+                 const unsigned* targets, FP* d_state) {
+    const unsigned d = 1u << q;
+    cudaMemcpyAsync(d_matrix_, matrix, 2ull * d * d * sizeof(FP),
+                    cudaMemcpyHostToDevice, stream_);
+    const unsigned long long groups = (1ull << num_qubits) >> q;
+    if (targets[0] >= 5) {
+      const unsigned blocks = (groups + 63) / 64;
+      ApplyGateH_Kernel<FP><<<blocks, 64, 0, stream_>>>(d_matrix_, q, groups,
+                                                        d_state);
+    } else {
+      ApplyGateL_Kernel<FP><<<groups, 32, 2 * 1024 * sizeof(FP), stream_>>>(
+          d_matrix_, q, groups, d_state);
+    }
+  }
+
+  int RunCircuitFile(const char* path);
+
+ private:
+  cudaStream_t stream_;
+  FP* d_matrix_;
+};

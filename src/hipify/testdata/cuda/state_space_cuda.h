@@ -1,0 +1,33 @@
+// Miniature of qsim's state_space_cuda.h (conversion inventory item 4):
+// host-side state manipulation — set/normalize/sample — launching the
+// state-space kernels and moving partial results over the PCIe bus.
+#pragma once
+
+#include <cuda_runtime.h>
+
+#include "state_space_cuda_kernels.h"
+
+template <typename FP>
+class StateSpaceCUDA {
+ public:
+  double Norm(const FP* d_state, unsigned long long size) {
+    const unsigned blocks = 512;
+    double* d_partial;
+    cudaMalloc(&d_partial, blocks * sizeof(double));
+    Norm2_Kernel<FP><<<blocks, 256, 8 * sizeof(double)>>>(d_state, size,
+                                                          d_partial);
+    double partial[512];
+    cudaMemcpy(partial, d_partial, blocks * sizeof(double),
+               cudaMemcpyDeviceToHost);
+    cudaFree(d_partial);
+    double total = 0;
+    for (unsigned b = 0; b < blocks; ++b) total += partial[b];
+    return total;
+  }
+
+  void SetStateZero(FP* d_state, unsigned long long size) {
+    cudaMemset(d_state, 0, 2 * size * sizeof(FP));
+    const FP one[2] = {1, 0};
+    cudaMemcpy(d_state, one, sizeof(one), cudaMemcpyHostToDevice);
+  }
+};

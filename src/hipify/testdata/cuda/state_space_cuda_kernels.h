@@ -1,0 +1,36 @@
+// Miniature of qsim's state_space_cuda_kernels.h (conversion inventory
+// item 5): reductions, element-wise operations and sampling kernels.
+#pragma once
+
+#include <cuda_runtime.h>
+
+#include "cuda_util.h"
+
+template <typename FP>
+__global__ void Norm2_Kernel(const FP* state, unsigned long long size,
+                             double* partial) {
+  double acc = 0;
+  for (unsigned long long i = blockIdx.x * blockDim.x + threadIdx.x; i < size;
+       i += 1ull * gridDim.x * blockDim.x) {
+    acc += static_cast<double>(state[i]) * state[i];
+  }
+  extern __shared__ double scratch[];
+  acc = BlockReduceSum(acc, scratch);
+  if (threadIdx.x == 0) partial[blockIdx.x] = acc;
+}
+
+template <typename FP>
+__global__ void Scale_Kernel(FP* state, unsigned long long size, FP s) {
+  for (unsigned long long i = blockIdx.x * blockDim.x + threadIdx.x; i < size;
+       i += 1ull * gridDim.x * blockDim.x) {
+    state[i] *= s;
+  }
+}
+
+template <typename FP>
+__global__ void Add_Kernel(FP* dst, const FP* src, unsigned long long size) {
+  for (unsigned long long i = blockIdx.x * blockDim.x + threadIdx.x; i < size;
+       i += 1ull * gridDim.x * blockDim.x) {
+    dst[i] += src[i];
+  }
+}

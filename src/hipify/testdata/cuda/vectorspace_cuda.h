@@ -1,0 +1,29 @@
+// Miniature of qsim's vectorspace_cuda.h (conversion inventory item 7):
+// templated device-vector management — allocation, copies, sync.
+#pragma once
+
+#include <cuda_runtime.h>
+
+template <typename FP>
+class VectorSpaceCUDA {
+ public:
+  FP* Create(unsigned long long size) {
+    FP* p = nullptr;
+    cudaMalloc(&p, 2 * size * sizeof(FP));
+    return p;
+  }
+
+  void Free(FP* p) { cudaFree(p); }
+
+  void CopyToHost(FP* dst, const FP* src, unsigned long long size) {
+    cudaMemcpy(dst, src, 2 * size * sizeof(FP), cudaMemcpyDeviceToHost);
+    cudaDeviceSynchronize();
+  }
+
+  void CopyToDevice(FP* dst, const FP* src, unsigned long long size,
+                    cudaStream_t stream) {
+    cudaMemcpyAsync(dst, src, 2 * size * sizeof(FP), cudaMemcpyHostToDevice,
+                    stream);
+    cudaStreamSynchronize(stream);
+  }
+};

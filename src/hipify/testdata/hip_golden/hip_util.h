@@ -1,0 +1,35 @@
+// Miniature of qsim's cuda_util.h (conversion inventory item 6): error
+// checking and the warp-level reduction helpers.
+#pragma once
+
+#include <hip/hip_runtime.h>
+
+#include <cstdio>
+
+#define ErrorCheck(call)                                              \
+  do {                                                                \
+    hipError_t err__ = (call);                                       \
+    if (err__ != hipSuccess) {                                       \
+      std::fprintf(stderr, "%s\n", hipGetErrorString(err__));        \
+      abort();                                                        \
+    }                                                                 \
+  } while (0)
+
+__device__ inline double WarpReduceSum(double v) {
+  for (int offset = 16; offset > 0; offset >>= 1) {
+    v += __shfl_down(v, offset);
+  }
+  return v;
+}
+
+__device__ inline double BlockReduceSum(double v, double* scratch) {
+  v = WarpReduceSum(v);
+  if (threadIdx.x % 32 == 0) scratch[threadIdx.x / 32] = v;
+  __syncthreads();
+  double total = 0;
+  if (threadIdx.x == 0) {
+    for (unsigned w = 0; w < blockDim.x / 32; ++w) total += scratch[w];
+  }
+  __syncthreads();
+  return total;
+}

@@ -1,0 +1,42 @@
+// Miniature of qsim's simulator_cuda.h (conversion inventory item 2):
+// ApplyGate / ApplyControlledGate host methods that stage the gate matrix
+// and launch the H or L kernel on the backend stream.
+#pragma once
+
+#include <hip/hip_runtime.h>
+
+#include "simulator_cuda_kernels.h"
+
+template <typename FP>
+class SimulatorCUDA {
+ public:
+  SimulatorCUDA() {
+    hipStreamCreate(&stream_);
+    hipMalloc(&d_matrix_, 64 * 64 * 2 * sizeof(FP));
+  }
+
+  ~SimulatorCUDA() {
+    hipFree(d_matrix_);
+    hipStreamDestroy(stream_);
+  }
+
+  void ApplyGate(const FP* matrix, unsigned q, unsigned num_qubits,
+                 const unsigned* targets, FP* d_state) {
+    const unsigned d = 1u << q;
+    hipMemcpyAsync(d_matrix_, matrix, 2ull * d * d * sizeof(FP),
+                    hipMemcpyHostToDevice, stream_);
+    const unsigned long long groups = (1ull << num_qubits) >> q;
+    if (targets[0] >= 5) {
+      const unsigned blocks = (groups + 63) / 64;
+      hipLaunchKernelGGL(HIP_KERNEL_NAME(ApplyGateH_Kernel<FP>), dim3(blocks), dim3(64), 0, stream_, d_matrix_, q, groups, d_state);
+    } else {
+      hipLaunchKernelGGL(HIP_KERNEL_NAME(ApplyGateL_Kernel<FP>), dim3(groups), dim3(32), 2 * 1024 * sizeof(FP), stream_, d_matrix_, q, groups, d_state);
+    }
+  }
+
+  int RunCircuitFile(const char* path);
+
+ private:
+  hipStream_t stream_;
+  FP* d_matrix_;
+};

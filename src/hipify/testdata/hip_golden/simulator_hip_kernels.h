@@ -1,0 +1,45 @@
+// Miniature of qsim's simulator_cuda_kernels.h (conversion inventory item
+// 3): the ApplyGateH / ApplyGateL device kernels. Note the warp-level
+// reduction in ApplyGateSum_Kernel written the CUDA way, with a hardcoded
+// 32-lane warp — the exact construct §3 of the paper had to fix for the
+// 64-lane AMD wavefront.
+#pragma once
+
+#include <hip/hip_runtime.h>
+
+template <typename FP>
+__global__ void ApplyGateH_Kernel(const FP* matrix, unsigned q,
+                                  unsigned long long groups, FP* state) {
+  const unsigned long long g = blockIdx.x * blockDim.x + threadIdx.x;
+  if (g >= groups) return;
+  // ... gather, multiply, scatter (elided in the miniature) ...
+  state[2 * g] *= matrix[0];
+}
+
+template <typename FP>
+__global__ void ApplyGateL_Kernel(const FP* matrix, unsigned q,
+                                  unsigned long long groups, FP* state) {
+  extern __shared__ unsigned char smem[];
+  FP* re = reinterpret_cast<FP*>(smem);
+  FP* im = re + 1024;
+  re[threadIdx.x] = state[2 * (blockIdx.x * blockDim.x + threadIdx.x)];
+  im[threadIdx.x] = state[2 * (blockIdx.x * blockDim.x + threadIdx.x) + 1];
+  __syncthreads();
+  state[2 * (blockIdx.x * blockDim.x + threadIdx.x)] =
+      re[threadIdx.x] * matrix[0] - im[threadIdx.x] * matrix[1];
+  __syncthreads();
+}
+
+template <typename FP>
+__global__ void ApplyGateSum_Kernel(const FP* state, unsigned long long size,
+                                    double* partial) {
+  double v = 0;
+  for (unsigned long long i = blockIdx.x * blockDim.x + threadIdx.x; i < size;
+       i += 1ull * gridDim.x * blockDim.x) {
+    v += static_cast<double>(state[i]) * state[i];
+  }
+  for (int offset = 16; offset > 0; offset >>= 1) {
+    v += __shfl_down(v, offset);
+  }
+  if (threadIdx.x % 32 == 0) partial[blockIdx.x] = v;
+}

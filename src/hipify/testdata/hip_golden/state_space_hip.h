@@ -1,0 +1,32 @@
+// Miniature of qsim's state_space_cuda.h (conversion inventory item 4):
+// host-side state manipulation — set/normalize/sample — launching the
+// state-space kernels and moving partial results over the PCIe bus.
+#pragma once
+
+#include <hip/hip_runtime.h>
+
+#include "state_space_cuda_kernels.h"
+
+template <typename FP>
+class StateSpaceCUDA {
+ public:
+  double Norm(const FP* d_state, unsigned long long size) {
+    const unsigned blocks = 512;
+    double* d_partial;
+    hipMalloc(&d_partial, blocks * sizeof(double));
+    hipLaunchKernelGGL(HIP_KERNEL_NAME(Norm2_Kernel<FP>), dim3(blocks), dim3(256), 8 * sizeof(double), 0, d_state, size, d_partial);
+    double partial[512];
+    hipMemcpy(partial, d_partial, blocks * sizeof(double),
+               hipMemcpyDeviceToHost);
+    hipFree(d_partial);
+    double total = 0;
+    for (unsigned b = 0; b < blocks; ++b) total += partial[b];
+    return total;
+  }
+
+  void SetStateZero(FP* d_state, unsigned long long size) {
+    hipMemset(d_state, 0, 2 * size * sizeof(FP));
+    const FP one[2] = {1, 0};
+    hipMemcpy(d_state, one, sizeof(one), hipMemcpyHostToDevice);
+  }
+};

@@ -1,0 +1,29 @@
+// Miniature of qsim's vectorspace_cuda.h (conversion inventory item 7):
+// templated device-vector management — allocation, copies, sync.
+#pragma once
+
+#include <hip/hip_runtime.h>
+
+template <typename FP>
+class VectorSpaceCUDA {
+ public:
+  FP* Create(unsigned long long size) {
+    FP* p = nullptr;
+    hipMalloc(&p, 2 * size * sizeof(FP));
+    return p;
+  }
+
+  void Free(FP* p) { hipFree(p); }
+
+  void CopyToHost(FP* dst, const FP* src, unsigned long long size) {
+    hipMemcpy(dst, src, 2 * size * sizeof(FP), hipMemcpyDeviceToHost);
+    hipDeviceSynchronize();
+  }
+
+  void CopyToDevice(FP* dst, const FP* src, unsigned long long size,
+                    hipStream_t stream) {
+    hipMemcpyAsync(dst, src, 2 * size * sizeof(FP), hipMemcpyHostToDevice,
+                    stream);
+    hipStreamSynchronize(stream);
+  }
+};

@@ -1,0 +1,53 @@
+// Device-side Pauli-observable expectation values for the HIP backend —
+// the GPU analogue of qsim's ExpectationValue, evaluated entirely on the
+// (virtual) device with the width-aware wavefront reductions; only the
+// per-block partial sums cross the bus.
+#pragma once
+
+#include "src/hipsim/state_space_hip.h"
+#include "src/obs/observable.h"
+
+namespace qhip::hipsim {
+
+// <psi| P |psi> for one Pauli string (coefficient included).
+template <typename FP>
+cplx64 expectation(const obs::PauliString& p, const DeviceStateVector<FP>& s,
+                   vgpu::Device& dev) {
+  p.validate(s.num_qubits());
+
+  const unsigned block = kReduceBlockDim;
+  const index_t blocks_needed = (s.size() + block - 1) / block;
+  const unsigned grid =
+      static_cast<unsigned>(std::min<index_t>(blocks_needed, 4096));
+  double* d_re = dev.malloc_n<double>(grid);
+  double* d_im = dev.malloc_n<double>(grid);
+
+  ExpectationKernel<FP> k{s.device_data(), s.size(), p.flip_mask(),
+                          p.phase_mask(), d_re, d_im};
+  const vgpu::LaunchConfig cfg{std::max(grid, 1u), block,
+                               (block / 32) * sizeof(double), true, {}};
+  dev.launch("Expectation_Kernel", cfg, k);
+
+  std::vector<double> re(grid), im(grid);
+  dev.memcpy_d2h(re.data(), d_re, grid * sizeof(double));
+  dev.memcpy_d2h(im.data(), d_im, grid * sizeof(double));
+  dev.free(d_re);
+  dev.free(d_im);
+
+  cplx64 total{};
+  for (unsigned i = 0; i < grid; ++i) total += cplx64(re[i], im[i]);
+
+  static constexpr cplx64 kIPow[4] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+  return p.coefficient * kIPow[p.num_y() % 4] * total;
+}
+
+// <psi| O |psi> summed over strings.
+template <typename FP>
+cplx64 expectation(const obs::Observable& o, const DeviceStateVector<FP>& s,
+                   vgpu::Device& dev) {
+  cplx64 total{};
+  for (const auto& p : o.strings) total += expectation(p, s, dev);
+  return total;
+}
+
+}  // namespace qhip::hipsim

@@ -1,0 +1,59 @@
+// Utility device functions for the HIP backend (cuda_util.h -> hip_util.h in
+// the paper's conversion inventory, item 6).
+//
+// The warp-level reductions here are where the paper's one real porting bug
+// lived: CUDA warp-collective loops are traditionally written with a
+// hardcoded width of 32, which silently drops half of every wavefront on
+// AMD GPUs (wavefront width 64). `warp_reduce_sum` derives the width from
+// the device; `warp_reduce_sum_fixed32` preserves the pre-port CUDA code
+// verbatim so the regression test can demonstrate the failure the paper
+// describes in §3 ("we make a minor change in the code by ensuring the
+// warp-level collective functions support a warp size 64").
+#pragma once
+
+#include "src/vgpu/kernel_ctx.h"
+
+namespace qhip::hipsim {
+
+// Correct, width-aware wavefront reduction: after the call, lane 0 of each
+// wavefront holds the sum over all lanes of that wavefront.
+template <typename T>
+T warp_reduce_sum(vgpu::KernelCtx& ctx, T val) {
+  for (unsigned offset = ctx.warp_size() / 2; offset > 0; offset >>= 1) {
+    val += ctx.shfl_down(val, offset);
+  }
+  return val;
+}
+
+// The original CUDA code path: starts at offset 16, i.e. assumes a 32-wide
+// warp. Correct on the virtual A100 (warp 32); on the virtual MI250X
+// (wavefront 64) lane 0 only accumulates lanes 0..31 — the bug the port
+// fixed. Kept for tests; never used by the backend.
+template <typename T>
+T warp_reduce_sum_fixed32(vgpu::KernelCtx& ctx, T val) {
+  for (unsigned offset = 16; offset > 0; offset >>= 1) {
+    val += ctx.shfl_down(val, offset);
+  }
+  return val;
+}
+
+// Block-level sum reduction. `scratch` must hold at least
+// block_dim / warp_size elements of T in shared memory. Returns the block
+// total in thread 0 (other threads' return value is unspecified, as in the
+// CUDA original).
+template <typename T>
+T block_reduce_sum(vgpu::KernelCtx& ctx, T val, T* scratch) {
+  val = warp_reduce_sum(ctx, val);
+  const unsigned warps = (ctx.block_dim() + ctx.warp_size() - 1) / ctx.warp_size();
+  if (warps == 1) return val;
+  if (ctx.lane() == 0) scratch[ctx.warp_id()] = val;
+  ctx.syncthreads();
+  T total{};
+  if (ctx.thread_idx() == 0) {
+    for (unsigned w = 0; w < warps; ++w) total += scratch[w];
+  }
+  ctx.syncthreads();
+  return total;
+}
+
+}  // namespace qhip::hipsim

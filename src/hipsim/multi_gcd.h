@@ -1,0 +1,398 @@
+// Multi-GCD (multi-GPU) HIP backend — the paper's stated future work:
+// "the multi-GPU porting for the HIP backend is an important goal for
+// future work, offering the prospect of simulating ... even larger qubit
+// counts" (§7). Each MI250X package already exposes two GCDs as separate
+// devices, so this is the natural next step for the port.
+//
+// Design: the cache-blocking distribution of Doi & Horii (cited by the
+// paper's related work) adapted to 2^d virtual GCDs.
+//
+//  * The state vector is split by the top d physical index bits: GCD k
+//    holds the 2^(n-d) amplitudes whose top bits equal k ("global" slots);
+//    the low n-d bits are "local" slots addressable inside one GCD.
+//  * A logical->physical qubit layout is maintained. Gates whose targets
+//    are all local run independently on every GCD with the single-device
+//    ApplyGateH/L kernels — no communication.
+//  * A gate touching a global slot first swaps that slot with a free local
+//    slot: for each GCD pair differing in the global bit, the halves with
+//    opposite local-bit values are exchanged (pack kernel -> peer copy ->
+//    unpack kernel; the emulator stages peer copies through the host and
+//    records them as hipMemcpyPeer traffic). The layout permutation is
+//    updated instead of ever moving data back.
+//  * Sampling draws per-GCD probability masses, splits the sorted uniforms
+//    across GCDs, resolves locally, and maps physical indices back through
+//    the layout.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "src/base/bits.h"
+#include "src/base/error.h"
+#include "src/core/circuit.h"
+#include "src/hipsim/simulator_hip.h"
+#include "src/hipsim/state_space_hip_kernels.h"
+#include "src/hipsim/vectorspace_hip.h"
+
+namespace qhip::hipsim {
+
+struct MultiGcdStats {
+  std::uint64_t slot_swaps = 0;       // global<->local qubit swaps
+  std::uint64_t peer_bytes = 0;       // inter-GCD traffic
+  std::uint64_t local_gate_launches = 0;
+};
+
+// Packs the elements of `amps` whose local bit `bit_pos` equals `bit_value`
+// into the contiguous buffer `out` (size/2 elements), ordered by the
+// remaining bits.
+template <typename FP>
+struct PackHalfKernel {
+  const cplx<FP>* amps = nullptr;
+  cplx<FP>* out = nullptr;
+  index_t half = 0;  // size / 2
+  unsigned bit_pos = 0;
+  unsigned bit_value = 0;
+
+  void operator()(vgpu::KernelCtx& ctx) const {
+    const index_t stride = static_cast<index_t>(ctx.grid_dim()) * ctx.block_dim();
+    const index_t bit = index_t{1} << bit_pos;
+    for (index_t t = ctx.global_idx(); t < half; t += stride) {
+      const index_t lo = t & (bit - 1);
+      const index_t src = ((t >> bit_pos) << (bit_pos + 1)) | lo |
+                          (bit_value ? bit : 0);
+      out[t] = amps[src];
+    }
+  }
+};
+
+template <typename FP>
+struct UnpackHalfKernel {
+  cplx<FP>* amps = nullptr;
+  const cplx<FP>* in = nullptr;
+  index_t half = 0;
+  unsigned bit_pos = 0;
+  unsigned bit_value = 0;
+
+  void operator()(vgpu::KernelCtx& ctx) const {
+    const index_t stride = static_cast<index_t>(ctx.grid_dim()) * ctx.block_dim();
+    const index_t bit = index_t{1} << bit_pos;
+    for (index_t t = ctx.global_idx(); t < half; t += stride) {
+      const index_t lo = t & (bit - 1);
+      const index_t dst = ((t >> bit_pos) << (bit_pos + 1)) | lo |
+                          (bit_value ? bit : 0);
+      amps[dst] = in[t];
+    }
+  }
+};
+
+template <typename FP>
+class MultiGcdSimulator {
+ public:
+  // `num_gcds` must be a power of two >= 2; each GCD gets its own virtual
+  // device with `props` (MI250X GCD by default).
+  MultiGcdSimulator(unsigned num_qubits, unsigned num_gcds,
+                    vgpu::DeviceProps props = vgpu::mi250x_gcd(),
+                    Tracer* tracer = nullptr)
+      : n_(num_qubits),
+        d_(log2_exact(num_gcds)),
+        local_(num_qubits - d_),
+        tracer_(tracer) {
+    check(is_pow2(num_gcds) && num_gcds >= 2,
+          "MultiGcdSimulator: num_gcds must be a power of two >= 2");
+    check(num_qubits > d_ + 1, "MultiGcdSimulator: too few qubits to split");
+    layout_.resize(n_);
+    std::iota(layout_.begin(), layout_.end(), 0u);  // phys slot -> logical q
+    for (unsigned k = 0; k < num_gcds; ++k) {
+      devices_.push_back(std::make_unique<vgpu::Device>(props, tracer));
+      sims_.push_back(std::make_unique<SimulatorHIP<FP>>(*devices_.back()));
+      states_.push_back(
+          std::make_unique<DeviceStateVector<FP>>(*devices_.back(), local_));
+    }
+    set_zero_state();
+  }
+
+  unsigned num_qubits() const { return n_; }
+  unsigned num_gcds() const { return 1u << d_; }
+  const MultiGcdStats& stats() const { return stats_; }
+  vgpu::Device& device(unsigned k) { return *devices_[k]; }
+
+  void set_zero_state() {
+    for (unsigned k = 0; k < num_gcds(); ++k) {
+      sims_[k]->state_space().fill(*states_[k], cplx<FP>{});
+    }
+    sims_[0]->state_space().set_ampl(*states_[0], 0, cplx<FP>{1});
+    std::iota(layout_.begin(), layout_.end(), 0u);
+  }
+
+  // Applies one (unitary) gate; controlled gates are folded first.
+  void apply_gate(const Gate& gate) {
+    Gate g = normalized(gate.controls.empty() ? gate : expand_controls(gate));
+    check(!g.is_measurement(), "MultiGcdSimulator: measurement via measure()");
+    check(g.num_targets() <= local_,
+          "MultiGcdSimulator: gate wider than the local qubit count");
+
+    // Localize every target: swap global slots with free local slots.
+    for (qubit_t q : g.qubits) localize(q, g.qubits);
+
+    // Remap logical targets to physical slots (all local now).
+    Gate phys = g;
+    for (auto& q : phys.qubits) q = slot_of(q);
+    phys = normalized(phys);
+
+    for (unsigned k = 0; k < num_gcds(); ++k) {
+      sims_[k]->apply_gate(phys, *states_[k]);
+      ++stats_.local_gate_launches;
+    }
+  }
+
+  void run(const Circuit& c, std::uint64_t seed = 0,
+           std::vector<index_t>* measurements = nullptr) {
+    check(c.num_qubits == n_, "MultiGcdSimulator::run: qubit mismatch");
+    std::uint64_t meas_idx = 0;
+    for (const auto& g : c.gates) {
+      if (g.is_measurement()) {
+        const index_t outcome =
+            measure(g.qubits, seed ^ (0x9E3779B97F4A7C15 * ++meas_idx));
+        if (measurements) measurements->push_back(outcome);
+      } else {
+        apply_gate(g);
+      }
+    }
+  }
+
+  double norm2() {
+    double total = 0;
+    for (unsigned k = 0; k < num_gcds(); ++k) {
+      total += sims_[k]->state_space().norm2(*states_[k]);
+    }
+    return total;
+  }
+
+  // Gathers the full state in *logical* qubit order.
+  StateVector<FP> to_host() const {
+    StateVector<FP> out(n_);
+    out[0] = cplx<FP>{};
+    StateVector<FP> part(local_);
+    for (unsigned k = 0; k < num_gcds(); ++k) {
+      states_[k]->download(part);
+      const index_t base = static_cast<index_t>(k) << local_;
+      for (index_t i = 0; i < part.size(); ++i) {
+        out[physical_to_logical(base | i)] = part[i];
+      }
+    }
+    return out;
+  }
+
+  // Born sampling across GCDs; returned indices are logical.
+  std::vector<index_t> sample(std::size_t num_samples, std::uint64_t seed) {
+    if (num_samples == 0) return {};
+    // Per-GCD mass.
+    std::vector<double> mass(num_gcds());
+    double total = 0;
+    for (unsigned k = 0; k < num_gcds(); ++k) {
+      mass[k] = sims_[k]->state_space().norm2(*states_[k]);
+      total += mass[k];
+    }
+    // Sorted uniforms over the total mass, split by GCD.
+    std::vector<double> rs(num_samples);
+    Philox rng(seed, /*stream=*/0x6a17);
+    for (auto& r : rs) r = rng.uniform() * total;
+    std::sort(rs.begin(), rs.end());
+
+    std::vector<index_t> out;
+    out.reserve(num_samples);
+    double csum = 0;
+    std::size_t k0 = 0;
+    for (unsigned k = 0; k < num_gcds(); ++k) {
+      std::size_t k1 = k0;
+      while (k1 < num_samples && rs[k1] < csum + mass[k]) ++k1;
+      if (k1 > k0) {
+        // Draw (k1 - k0) samples from GCD k's local distribution.
+        const auto local = sims_[k]->state_space().sample(
+            *states_[k], k1 - k0, seed ^ (0x9E37ull * (k + 1)));
+        const index_t base = static_cast<index_t>(k) << local_;
+        for (index_t li : local) {
+          out.push_back(physical_to_logical(base | li));
+        }
+      }
+      csum += mass[k];
+      k0 = k1;
+    }
+    // Tail from rounding: draw from the last GCD.
+    while (out.size() < num_samples) {
+      const auto extra = sims_[num_gcds() - 1]->state_space().sample(
+          *states_[num_gcds() - 1], 1, seed ^ 0x777);
+      out.push_back(
+          physical_to_logical((static_cast<index_t>(num_gcds() - 1) << local_) |
+                              extra[0]));
+    }
+    // Deterministic de-sort.
+    Philox shuf(seed, /*stream=*/0x6a18);
+    for (std::size_t i = out.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(shuf.uniform() * i);
+      std::swap(out[i - 1], out[j]);
+    }
+    return out;
+  }
+
+  // Measures logical `qubits` (collapse + renormalize); returns outcome.
+  index_t measure(const std::vector<qubit_t>& qubits, std::uint64_t seed) {
+    check(!qubits.empty(), "measure: empty qubit list");
+    const std::vector<index_t> one = sample(1, seed);
+    const index_t outcome = gather_bits(one[0], qubits);
+
+    // Collapse: physical constraint per GCD.
+    index_t lmask = 0, lval = 0;  // over local slots
+    for (std::size_t j = 0; j < qubits.size(); ++j) {
+      const unsigned slot = slot_of(qubits[j]);
+      const index_t bitval = (outcome >> j) & 1;
+      if (slot < local_) {
+        lmask |= index_t{1} << slot;
+        lval |= bitval << slot;
+      }
+    }
+    for (unsigned k = 0; k < num_gcds(); ++k) {
+      bool device_allowed = true;
+      for (std::size_t j = 0; j < qubits.size(); ++j) {
+        const unsigned slot = slot_of(qubits[j]);
+        if (slot >= local_) {
+          const index_t devbit = (k >> (slot - local_)) & 1;
+          device_allowed &= devbit == ((outcome >> j) & 1);
+        }
+      }
+      if (!device_allowed) {
+        sims_[k]->state_space().fill(*states_[k], cplx<FP>{});
+      } else if (lmask != 0) {
+        CollapseKernel<FP> ck{states_[k]->device_data(), states_[k]->size(),
+                              lmask, lval};
+        const index_t blocks =
+            (states_[k]->size() + kReduceBlockDim - 1) / kReduceBlockDim;
+        devices_[k]->launch(
+            "Collapse_Kernel",
+            {static_cast<unsigned>(std::min<index_t>(blocks, 4096)),
+             kReduceBlockDim, 0, false, {}},
+            ck);
+      }
+    }
+    // Renormalize globally.
+    const double n2 = norm2();
+    check(n2 > 0, "measure: zero state after collapse");
+    const FP inv = static_cast<FP>(1.0 / std::sqrt(n2));
+    for (unsigned k = 0; k < num_gcds(); ++k) {
+      ScaleKernel<FP> sk{states_[k]->device_data(), states_[k]->size(), inv};
+      const index_t blocks =
+          (states_[k]->size() + kReduceBlockDim - 1) / kReduceBlockDim;
+      devices_[k]->launch(
+          "Scale_Kernel",
+          {static_cast<unsigned>(std::min<index_t>(blocks, 4096)),
+           kReduceBlockDim, 0, false, {}},
+          sk);
+    }
+    return outcome;
+  }
+
+ private:
+  unsigned slot_of(qubit_t logical) const {
+    for (unsigned s = 0; s < n_; ++s) {
+      if (layout_[s] == logical) return s;
+    }
+    throw Error("MultiGcdSimulator: logical qubit not in layout");
+  }
+
+  index_t physical_to_logical(index_t phys) const {
+    index_t logical = 0;
+    for (unsigned s = 0; s < n_; ++s) {
+      if (phys & (index_t{1} << s)) logical |= index_t{1} << layout_[s];
+    }
+    return logical;
+  }
+
+  // Ensures logical qubit q sits in a local slot, swapping with a free
+  // local slot if needed. `targets` are the gate's logical qubits (their
+  // slots must not be displaced).
+  void localize(qubit_t q, const std::vector<qubit_t>& targets) {
+    const unsigned gslot = slot_of(q);
+    if (gslot < local_) return;
+
+    // Find the highest local slot holding a non-target logical qubit.
+    unsigned lslot = local_;
+    for (unsigned s = local_; s-- > 0;) {
+      const qubit_t holder = layout_[s];
+      if (std::find(targets.begin(), targets.end(), holder) == targets.end()) {
+        lslot = s;
+        break;
+      }
+    }
+    check(lslot < local_, "MultiGcdSimulator: no free local slot");
+    swap_slots(gslot, lslot);
+  }
+
+  // Exchanges a global slot with a local slot across all GCD pairs.
+  void swap_slots(unsigned gslot, unsigned lslot) {
+    const unsigned gbit = gslot - local_;  // bit within the GCD index
+    const index_t half = states_[0]->size() >> 1;
+    const std::size_t bytes = half * sizeof(cplx<FP>);
+    std::vector<cplx<FP>> host_a(half), host_b(half);
+
+    for (unsigned k = 0; k < num_gcds(); ++k) {
+      if ((k >> gbit) & 1) continue;  // k is the low side of the pair
+      const unsigned mate = k | (1u << gbit);
+
+      // Pack: A's half with local bit = 1; B's half with local bit = 0.
+      cplx<FP>* buf_a = devices_[k]->template malloc_n<cplx<FP>>(half);
+      cplx<FP>* buf_b = devices_[mate]->template malloc_n<cplx<FP>>(half);
+      launch_pack(k, buf_a, lslot, 1);
+      launch_pack(mate, buf_b, lslot, 0);
+
+      // Peer exchange (staged through the host in the emulator).
+      devices_[k]->memcpy_d2h(host_a.data(), buf_a, bytes);
+      devices_[mate]->memcpy_d2h(host_b.data(), buf_b, bytes);
+      devices_[k]->memcpy_h2d(buf_a, host_b.data(), bytes);
+      devices_[mate]->memcpy_h2d(buf_b, host_a.data(), bytes);
+      stats_.peer_bytes += 2 * bytes;
+
+      launch_unpack(k, buf_a, lslot, 1);
+      launch_unpack(mate, buf_b, lslot, 0);
+      devices_[k]->free(buf_a);
+      devices_[mate]->free(buf_b);
+    }
+    std::swap(layout_[gslot], layout_[lslot]);
+    ++stats_.slot_swaps;
+  }
+
+  void launch_pack(unsigned k, cplx<FP>* buf, unsigned bit_pos,
+                   unsigned bit_value) {
+    const index_t half = states_[k]->size() >> 1;
+    PackHalfKernel<FP> pk{states_[k]->device_data(), buf, half, bit_pos,
+                          bit_value};
+    devices_[k]->launch("PackHalf_Kernel", grid_for(half), pk);
+  }
+
+  void launch_unpack(unsigned k, const cplx<FP>* buf, unsigned bit_pos,
+                     unsigned bit_value) {
+    const index_t half = states_[k]->size() >> 1;
+    UnpackHalfKernel<FP> uk{states_[k]->device_data(), buf, half, bit_pos,
+                            bit_value};
+    devices_[k]->launch("UnpackHalf_Kernel", grid_for(half), uk);
+  }
+
+  static vgpu::LaunchConfig grid_for(index_t size) {
+    const index_t blocks = (size + kReduceBlockDim - 1) / kReduceBlockDim;
+    return {static_cast<unsigned>(std::min<index_t>(std::max<index_t>(blocks, 1), 4096)),
+            kReduceBlockDim, 0, false, {}};
+  }
+
+  unsigned n_;
+  unsigned d_;
+  unsigned local_;
+  Tracer* tracer_;
+  std::vector<std::unique_ptr<vgpu::Device>> devices_;
+  std::vector<std::unique_ptr<SimulatorHIP<FP>>> sims_;
+  std::vector<std::unique_ptr<DeviceStateVector<FP>>> states_;
+  std::vector<qubit_t> layout_;  // physical slot -> logical qubit
+  MultiGcdStats stats_;
+};
+
+}  // namespace qhip::hipsim

@@ -1,0 +1,188 @@
+// Gate-application kernels (simulator_cuda_kernels.h ->
+// simulator_hip_kernels.h, conversion inventory item 3).
+//
+// qsim's GPU backend splits qubit indices at log2(32) = 5:
+//
+//  * ApplyGateH_Kernel — every target qubit >= 5. The 32 amplitudes of a
+//    warp-aligned tile then belong to 32 *different* gate groups with
+//    identical relative indexing, so each thread independently gathers its
+//    group (strides >= 32 apart), multiplies by the gate matrix and scatters
+//    back. No intra-block communication: launched in direct mode.
+//
+//  * ApplyGateL_Kernel — at least one target qubit < 5. Gate groups now mix
+//    amplitudes *within* a 32-amplitude tile, so a workgroup stages the
+//    32 * 2^|H| amplitudes it needs (H = high targets) into shared memory —
+//    real and imaginary parts in separate arrays, as the paper describes —
+//    synchronizes, computes, synchronizes, and writes back. Launched in
+//    fiber mode (uses __syncthreads).
+//
+// Controlled gates reuse the same kernels with a (mask, value) constraint on
+// the group base index, mirroring qsim's ApplyControlledGate kernels.
+//
+// Kernel parameters are captured by value into the kernel functor, just as
+// real HIP kernel arguments are passed by value through the launch packet.
+#pragma once
+
+#include <array>
+
+#include "src/base/bits.h"
+#include "src/vgpu/kernel_ctx.h"
+#include "src/base/types.h"
+
+namespace qhip::hipsim {
+
+// Low/high split point: log2 of the 32-amplitude tile (paper §2.3).
+inline constexpr unsigned kLowBits = 5;
+inline constexpr unsigned kTile = 1u << kLowBits;  // 32
+
+// Workgroup sizes used by the paper's port (§4): 64 threads for the H
+// kernel, 32 for the L kernel (fixed by the shared-memory array sizes; on
+// AMD this under-fills the 64-wide wavefront, one of the observed
+// inefficiencies).
+inline constexpr unsigned kHBlockDim = 64;
+inline constexpr unsigned kLBlockDim = kTile;
+
+// Static kernel-argument block shared by both kernels.
+template <typename FP>
+struct GateArgs {
+  const cplx<FP>* matrix = nullptr;  // device pointer, row-major 2^q x 2^q
+  cplx<FP>* amps = nullptr;          // device state vector
+  unsigned num_qubits = 0;
+  unsigned q = 0;                      // gate width
+  std::array<qubit_t, 6> targets{};    // ascending
+  // Controlled-gate constraint: group base must satisfy
+  // (base & ctrl_mask) == ctrl_value. Zero mask = uncontrolled.
+  index_t ctrl_mask = 0;
+  index_t ctrl_value = 0;
+};
+
+// --- ApplyGateH_Kernel -------------------------------------------------------
+//
+// One thread per gate group. Group id g (over the grid) is expanded by
+// inserting zeros at the target *and control* positions; control bits are
+// then forced to their required values.
+template <typename FP>
+struct ApplyGateHKernel {
+  GateArgs<FP> a;
+  index_t num_groups = 0;
+  std::array<qubit_t, 12> expand_positions{};  // targets + controls, ascending
+  unsigned num_expand = 0;
+
+  void operator()(vgpu::KernelCtx& ctx) const {
+    const index_t g = ctx.global_idx();
+    if (g >= num_groups) return;
+
+    index_t base = g;
+    for (unsigned i = 0; i < num_expand; ++i) {
+      const index_t lo = base & low_mask(expand_positions[i]);
+      base = ((base >> expand_positions[i]) << (expand_positions[i] + 1)) | lo;
+    }
+    base |= a.ctrl_value;
+
+    const unsigned d = 1u << a.q;
+    std::array<cplx<FP>, 64> tmp;
+    std::array<index_t, 64> idx;
+    for (unsigned k = 0; k < d; ++k) {
+      index_t m = 0;
+      for (unsigned j = 0; j < a.q; ++j) {
+        if (k & (1u << j)) m |= pow2(a.targets[j]);
+      }
+      idx[k] = base | m;
+      tmp[k] = a.amps[idx[k]];
+    }
+    for (unsigned r = 0; r < d; ++r) {
+      cplx<FP> acc{};
+      const cplx<FP>* row = a.matrix + static_cast<std::size_t>(r) * d;
+      for (unsigned c = 0; c < d; ++c) acc += row[c] * tmp[c];
+      a.amps[idx[r]] = acc;
+    }
+  }
+};
+
+// --- ApplyGateL_Kernel -------------------------------------------------------
+//
+// One workgroup per supergroup of T = 32 * 2^|H| amplitudes. Local index
+// layout: bits [0, 5) are the tile offset, bits [5, 5+|H|) enumerate the
+// high-target combinations. Shared memory holds the staged amplitudes as
+// separate real/imaginary FP arrays of length T.
+template <typename FP>
+struct ApplyGateLKernel {
+  GateArgs<FP> a;
+  index_t num_supergroups = 0;
+  std::array<qubit_t, 6> high_targets{};  // ascending targets >= kLowBits
+  unsigned num_high = 0;
+  // Positions to expand the supergroup id over: the 5 tile bits, the high
+  // targets, and any control bits; ascending.
+  std::array<qubit_t, 18> expand_positions{};
+  unsigned num_expand = 0;
+  // Local (shared-memory) bit position of each gate target.
+  std::array<unsigned, 6> local_targets{};
+
+  void operator()(vgpu::KernelCtx& ctx) const {
+    const index_t sg = ctx.block_idx();
+    if (sg >= num_supergroups) return;
+
+    index_t gbase = sg;
+    for (unsigned i = 0; i < num_expand; ++i) {
+      const index_t lo = gbase & low_mask(expand_positions[i]);
+      gbase = ((gbase >> expand_positions[i]) << (expand_positions[i] + 1)) | lo;
+    }
+    gbase |= a.ctrl_value;
+
+    const unsigned t_total = kTile << num_high;  // staged amplitudes
+    FP* sre = ctx.shared_as<FP>(0);
+    FP* sim = ctx.shared_as<FP>(sizeof(FP) * t_total);
+
+    // Global address of local element j.
+    auto global_of = [&](unsigned j) {
+      const unsigned jl = j & (kTile - 1);
+      const unsigned jh = j >> kLowBits;
+      index_t m = 0;
+      for (unsigned k = 0; k < num_high; ++k) {
+        if (jh & (1u << k)) m |= pow2(high_targets[k]);
+      }
+      return gbase | jl | m;
+    };
+
+    // Stage.
+    for (unsigned j = ctx.thread_idx(); j < t_total; j += ctx.block_dim()) {
+      const cplx<FP> v = a.amps[global_of(j)];
+      sre[j] = v.real();
+      sim[j] = v.imag();
+    }
+    ctx.syncthreads();
+
+    // Compute: each thread owns the local elements j = tid, tid+32, ...
+    const unsigned d = 1u << a.q;
+    std::array<cplx<FP>, 64> out;
+    unsigned count = 0;
+    for (unsigned j = ctx.thread_idx(); j < t_total; j += ctx.block_dim()) {
+      // Row of the matrix this element corresponds to.
+      unsigned r = 0;
+      unsigned lbase = j;
+      for (unsigned k = 0; k < a.q; ++k) {
+        if (j & (1u << local_targets[k])) r |= 1u << k;
+        lbase &= ~(1u << local_targets[k]);
+      }
+      cplx<FP> acc{};
+      const cplx<FP>* row = a.matrix + static_cast<std::size_t>(r) * d;
+      for (unsigned c = 0; c < d; ++c) {
+        unsigned src = lbase;
+        for (unsigned k = 0; k < a.q; ++k) {
+          if (c & (1u << k)) src |= 1u << local_targets[k];
+        }
+        acc += row[c] * cplx<FP>(sre[src], sim[src]);
+      }
+      out[count++] = acc;
+    }
+    ctx.syncthreads();
+
+    // Write back.
+    count = 0;
+    for (unsigned j = ctx.thread_idx(); j < t_total; j += ctx.block_dim()) {
+      a.amps[global_of(j)] = out[count++];
+    }
+  }
+};
+
+}  // namespace qhip::hipsim

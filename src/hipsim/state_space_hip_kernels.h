@@ -1,0 +1,260 @@
+// State-space kernels (state_space_cuda_kernels.h ->
+// state_space_hip_kernels.h, conversion inventory item 5): reductions over
+// arrays of complex numbers, element setting, scaling, collapse, and
+// sampling support.
+//
+// The reduction kernels use the width-aware wavefront reduction from
+// hip_util.h — the exact place the 32-vs-64 warp-size port fix applies.
+// Block size is a multiple of 64 so every wavefront lane is live on both
+// virtual devices (a requirement of warp-synchronous code, as on real
+// hardware).
+#pragma once
+
+#include "src/base/bits.h"
+#include "src/base/types.h"
+#include "src/hipsim/hip_util.h"
+#include "src/vgpu/kernel_ctx.h"
+
+namespace qhip::hipsim {
+
+inline constexpr unsigned kReduceBlockDim = 256;
+
+// Grid-stride |amps[i]|^2 partial sums; one double per block in `partial`.
+template <typename FP>
+struct Norm2Kernel {
+  const cplx<FP>* amps = nullptr;
+  index_t size = 0;
+  double* partial = nullptr;
+
+  void operator()(vgpu::KernelCtx& ctx) const {
+    double acc = 0;
+    const index_t stride = static_cast<index_t>(ctx.grid_dim()) * ctx.block_dim();
+    for (index_t i = ctx.global_idx(); i < size; i += stride) {
+      const cplx<FP> v = amps[i];
+      acc += static_cast<double>(v.real()) * v.real() +
+             static_cast<double>(v.imag()) * v.imag();
+    }
+    double* scratch = ctx.shared_as<double>(0);
+    const double total = block_reduce_sum(ctx, acc, scratch);
+    if (ctx.thread_idx() == 0) partial[ctx.block_idx()] = total;
+  }
+};
+
+// Grid-stride conj(a[i]) * b[i] partial sums (separate re/im accumulators).
+template <typename FP>
+struct InnerProductKernel {
+  const cplx<FP>* a = nullptr;
+  const cplx<FP>* b = nullptr;
+  index_t size = 0;
+  double* partial_re = nullptr;
+  double* partial_im = nullptr;
+
+  void operator()(vgpu::KernelCtx& ctx) const {
+    double re = 0, im = 0;
+    const index_t stride = static_cast<index_t>(ctx.grid_dim()) * ctx.block_dim();
+    for (index_t i = ctx.global_idx(); i < size; i += stride) {
+      const cplx<FP> x = a[i], y = b[i];
+      re += static_cast<double>(x.real()) * y.real() +
+            static_cast<double>(x.imag()) * y.imag();
+      im += static_cast<double>(x.real()) * y.imag() -
+            static_cast<double>(x.imag()) * y.real();
+    }
+    double* scratch = ctx.shared_as<double>(0);
+    const double tre = block_reduce_sum(ctx, re, scratch);
+    ctx.syncthreads();  // scratch reuse between the two reductions
+    const double tim = block_reduce_sum(ctx, im, scratch);
+    if (ctx.thread_idx() == 0) {
+      partial_re[ctx.block_idx()] = tre;
+      partial_im[ctx.block_idx()] = tim;
+    }
+  }
+};
+
+// amps[i] = value for all i; then SetAmpl-style single writes fix up |0>.
+template <typename FP>
+struct FillKernel {
+  cplx<FP>* amps = nullptr;
+  index_t size = 0;
+  cplx<FP> value{};
+
+  void operator()(vgpu::KernelCtx& ctx) const {
+    const index_t stride = static_cast<index_t>(ctx.grid_dim()) * ctx.block_dim();
+    for (index_t i = ctx.global_idx(); i < size; i += stride) amps[i] = value;
+  }
+};
+
+// amps[index] = value (one-thread kernel, as qsim's SetAmpl does).
+template <typename FP>
+struct SetAmplKernel {
+  cplx<FP>* amps = nullptr;
+  index_t index = 0;
+  cplx<FP> value{};
+
+  void operator()(vgpu::KernelCtx& ctx) const {
+    if (ctx.global_idx() == 0) amps[index] = value;
+  }
+};
+
+// amps[i] *= s.
+template <typename FP>
+struct ScaleKernel {
+  cplx<FP>* amps = nullptr;
+  index_t size = 0;
+  FP s = 1;
+
+  void operator()(vgpu::KernelCtx& ctx) const {
+    const index_t stride = static_cast<index_t>(ctx.grid_dim()) * ctx.block_dim();
+    for (index_t i = ctx.global_idx(); i < size; i += stride) amps[i] *= s;
+  }
+};
+
+// dst[i] += src[i] (used by the trajectory example's state accumulation).
+template <typename FP>
+struct AxpyKernel {
+  cplx<FP>* dst = nullptr;
+  const cplx<FP>* src = nullptr;
+  index_t size = 0;
+  cplx<FP> alpha{1};
+
+  void operator()(vgpu::KernelCtx& ctx) const {
+    const index_t stride = static_cast<index_t>(ctx.grid_dim()) * ctx.block_dim();
+    for (index_t i = ctx.global_idx(); i < size; i += stride) {
+      dst[i] += alpha * src[i];
+    }
+  }
+};
+
+// Zeroes every amplitude whose index does not satisfy (i & mask) == value
+// (measurement collapse).
+template <typename FP>
+struct CollapseKernel {
+  cplx<FP>* amps = nullptr;
+  index_t size = 0;
+  index_t mask = 0;
+  index_t value = 0;
+
+  void operator()(vgpu::KernelCtx& ctx) const {
+    const index_t stride = static_cast<index_t>(ctx.grid_dim()) * ctx.block_dim();
+    for (index_t i = ctx.global_idx(); i < size; i += stride) {
+      if ((i & mask) != value) amps[i] = cplx<FP>{};
+    }
+  }
+};
+
+// Gathers amplitudes at arbitrary indices into a compact output buffer
+// (qsim_amplitudes: only the requested bitstrings' amplitudes leave the
+// device).
+template <typename FP>
+struct GatherAmplitudesKernel {
+  const cplx<FP>* amps = nullptr;
+  const index_t* indices = nullptr;
+  index_t count = 0;
+  cplx<FP>* out = nullptr;
+
+  void operator()(vgpu::KernelCtx& ctx) const {
+    const index_t stride = static_cast<index_t>(ctx.grid_dim()) * ctx.block_dim();
+    for (index_t i = ctx.global_idx(); i < count; i += stride) {
+      out[i] = amps[indices[i]];
+    }
+  }
+};
+
+// Pauli-string expectation partial sums:
+//   sum_y conj(a[y ^ flip]) * (-1)^popcount(y & phase_mask) * a[y]
+// (the i^{#Y} factor and coefficient are applied on the host).
+template <typename FP>
+struct ExpectationKernel {
+  const cplx<FP>* amps = nullptr;
+  index_t size = 0;
+  index_t flip_mask = 0;
+  index_t phase_mask = 0;
+  double* partial_re = nullptr;
+  double* partial_im = nullptr;
+
+  void operator()(vgpu::KernelCtx& ctx) const {
+    double re = 0, im = 0;
+    const index_t stride = static_cast<index_t>(ctx.grid_dim()) * ctx.block_dim();
+    for (index_t y = ctx.global_idx(); y < size; y += stride) {
+      const int sign = __builtin_popcountll(y & phase_mask) & 1 ? -1 : 1;
+      const cplx<FP> ay = amps[y];
+      const cplx<FP> af = amps[y ^ flip_mask];
+      // conj(af) * ay * sign, accumulated in double.
+      const double ar = af.real(), ai = af.imag();
+      const double br = ay.real(), bi = ay.imag();
+      re += sign * (ar * br + ai * bi);
+      im += sign * (ar * bi - ai * br);
+    }
+    double* scratch = ctx.shared_as<double>(0);
+    const double tre = block_reduce_sum(ctx, re, scratch);
+    ctx.syncthreads();
+    const double tim = block_reduce_sum(ctx, im, scratch);
+    if (ctx.thread_idx() == 0) {
+      partial_re[ctx.block_idx()] = tre;
+      partial_im[ctx.block_idx()] = tim;
+    }
+  }
+};
+
+// Per-chunk probability sums for sampling: chunk c covers
+// [c * chunk_size, min((c+1) * chunk_size, size)). One block per chunk.
+template <typename FP>
+struct ChunkSumKernel {
+  const cplx<FP>* amps = nullptr;
+  index_t size = 0;
+  index_t chunk_size = 0;
+  double* chunk_sums = nullptr;
+
+  void operator()(vgpu::KernelCtx& ctx) const {
+    const index_t lo = static_cast<index_t>(ctx.block_idx()) * chunk_size;
+    const index_t hi = lo + chunk_size < size ? lo + chunk_size : size;
+    double acc = 0;
+    for (index_t i = lo + ctx.thread_idx(); i < hi; i += ctx.block_dim()) {
+      const cplx<FP> v = amps[i];
+      acc += static_cast<double>(v.real()) * v.real() +
+             static_cast<double>(v.imag()) * v.imag();
+    }
+    double* scratch = ctx.shared_as<double>(0);
+    const double total = block_reduce_sum(ctx, acc, scratch);
+    if (ctx.thread_idx() == 0) chunk_sums[ctx.block_idx()] = total;
+  }
+};
+
+// Resolves sorted uniforms to amplitude indices within chunks. Work item w
+// describes one chunk with a contiguous run of pending samples:
+//   rs[sample_begin[w] .. sample_end[w]) all fall into chunk chunk_idx[w],
+//   whose cumulative probability start is csum0[w].
+// Thread 0 of block w scans the chunk sequentially, emitting indices; this
+// matches the inherently sequential inverse-CDF walk (qsim does the same
+// per-thread scan in its sampling kernel).
+template <typename FP>
+struct SampleResolveKernel {
+  const cplx<FP>* amps = nullptr;
+  index_t size = 0;
+  index_t chunk_size = 0;
+  const index_t* chunk_idx = nullptr;
+  const double* csum0 = nullptr;
+  const std::uint32_t* sample_begin = nullptr;
+  const std::uint32_t* sample_end = nullptr;
+  const double* rs = nullptr;  // sorted uniforms
+  index_t* out = nullptr;      // resolved amplitude indices
+
+  void operator()(vgpu::KernelCtx& ctx) const {
+    if (ctx.thread_idx() != 0) return;
+    const unsigned w = ctx.block_idx();
+    const index_t lo = chunk_idx[w] * chunk_size;
+    const index_t hi = lo + chunk_size < size ? lo + chunk_size : size;
+    double csum = csum0[w];
+    std::uint32_t k = sample_begin[w];
+    const std::uint32_t kend = sample_end[w];
+    for (index_t i = lo; i < hi && k < kend; ++i) {
+      const cplx<FP> v = amps[i];
+      csum += static_cast<double>(v.real()) * v.real() +
+              static_cast<double>(v.imag()) * v.imag();
+      while (k < kend && rs[k] < csum) out[k++] = i;
+    }
+    // Rounding tail: park any unresolved samples on the chunk's last index.
+    while (k < kend) out[k++] = hi - 1;
+  }
+};
+
+}  // namespace qhip::hipsim

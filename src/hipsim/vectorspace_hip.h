@@ -1,0 +1,69 @@
+// RAII device vector (vectorspace_cuda.h -> vectorspace_hip.h, conversion
+// inventory item 7): allocation, host<->device copies, and synchronization
+// for the state vector living in (virtual) GPU memory.
+#pragma once
+
+#include <cstddef>
+
+#include "src/base/bits.h"
+#include "src/base/error.h"
+#include "src/statespace/statevector.h"
+#include "src/vgpu/device.h"
+
+namespace qhip::hipsim {
+
+// A 2^n-amplitude state vector in device memory.
+template <typename FP>
+class DeviceStateVector {
+ public:
+  DeviceStateVector(vgpu::Device& dev, unsigned num_qubits)
+      : dev_(&dev), num_qubits_(num_qubits), size_(pow2(num_qubits)) {
+    check(num_qubits >= 1 && num_qubits <= 34,
+          "DeviceStateVector: qubits out of range");
+    amps_ = dev_->malloc_n<cplx<FP>>(size_);
+  }
+
+  ~DeviceStateVector() {
+    if (amps_) dev_->free(amps_);
+  }
+
+  DeviceStateVector(const DeviceStateVector&) = delete;
+  DeviceStateVector& operator=(const DeviceStateVector&) = delete;
+
+  DeviceStateVector(DeviceStateVector&& o) noexcept
+      : dev_(o.dev_), num_qubits_(o.num_qubits_), size_(o.size_), amps_(o.amps_) {
+    o.amps_ = nullptr;
+  }
+
+  unsigned num_qubits() const { return num_qubits_; }
+  index_t size() const { return size_; }
+  cplx<FP>* device_data() { return amps_; }
+  const cplx<FP>* device_data() const { return amps_; }
+  vgpu::Device& device() { return *dev_; }
+
+  // hipMemcpy HtoD of a full host state.
+  void upload(const StateVector<FP>& host) {
+    check(host.size() == size_, "DeviceStateVector::upload: size mismatch");
+    dev_->memcpy_h2d(amps_, host.data(), size_ * sizeof(cplx<FP>));
+  }
+
+  // hipMemcpy DtoH into a full host state.
+  void download(StateVector<FP>& host) const {
+    check(host.size() == size_, "DeviceStateVector::download: size mismatch");
+    dev_->memcpy_d2h(host.data(), amps_, size_ * sizeof(cplx<FP>));
+  }
+
+  StateVector<FP> to_host() const {
+    StateVector<FP> s(num_qubits_);
+    download(s);
+    return s;
+  }
+
+ private:
+  vgpu::Device* dev_;
+  unsigned num_qubits_;
+  index_t size_;
+  cplx<FP>* amps_ = nullptr;
+};
+
+}  // namespace qhip::hipsim

@@ -1,0 +1,242 @@
+#include "src/io/circuit_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "src/base/error.h"
+#include "src/base/strings.h"
+#include "src/core/gates.h"
+
+namespace qhip {
+
+namespace {
+
+using Tokens = std::vector<std::string_view>;
+
+// Pops `n` qubit arguments from tok starting at *pos.
+std::vector<qubit_t> pop_qubits(const Tokens& tok, std::size_t* pos, std::size_t n,
+                                const std::string& ctx) {
+  check(tok.size() >= *pos + n, ctx + ": missing qubit argument");
+  std::vector<qubit_t> qs;
+  qs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    qs.push_back(static_cast<qubit_t>(parse_uint(tok[(*pos)++], ctx)));
+  }
+  return qs;
+}
+
+std::vector<double> pop_params(const Tokens& tok, std::size_t* pos, std::size_t n,
+                               const std::string& ctx) {
+  check(tok.size() >= *pos + n, ctx + ": missing parameter");
+  std::vector<double> ps;
+  ps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ps.push_back(parse_double(tok[(*pos)++], ctx));
+  }
+  return ps;
+}
+
+std::vector<cplx64> pop_matrix(const Tokens& tok, std::size_t* pos, std::size_t dim,
+                               const std::string& ctx) {
+  const std::vector<double> flat = pop_params(tok, pos, 2 * dim * dim, ctx);
+  std::vector<cplx64> m(dim * dim);
+  for (std::size_t i = 0; i < m.size(); ++i) m[i] = {flat[2 * i], flat[2 * i + 1]};
+  return m;
+}
+
+// Builds a gate from tokens following the time field. `*pos` starts at the
+// mnemonic and must end at the line's last token.
+Gate parse_gate(unsigned time, const Tokens& tok, std::size_t* pos,
+                const std::string& ctx) {
+  check(*pos < tok.size(), ctx + ": missing gate name");
+  const std::string name = to_lower(tok[(*pos)++]);
+
+  using GF = std::function<Gate(unsigned, const Tokens&, std::size_t*, const std::string&)>;
+  static const std::map<std::string, GF> table = {
+      {"id1", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         return gates::id1(t, pop_qubits(tk, p, 1, c)[0]); }},
+      {"h", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         return gates::h(t, pop_qubits(tk, p, 1, c)[0]); }},
+      {"x", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         return gates::x(t, pop_qubits(tk, p, 1, c)[0]); }},
+      {"y", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         return gates::y(t, pop_qubits(tk, p, 1, c)[0]); }},
+      {"z", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         return gates::z(t, pop_qubits(tk, p, 1, c)[0]); }},
+      {"s", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         return gates::s(t, pop_qubits(tk, p, 1, c)[0]); }},
+      {"sdg", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         return gates::sdg(t, pop_qubits(tk, p, 1, c)[0]); }},
+      {"t", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         return gates::t(t, pop_qubits(tk, p, 1, c)[0]); }},
+      {"tdg", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         return gates::tdg(t, pop_qubits(tk, p, 1, c)[0]); }},
+      {"x_1_2", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         return gates::x_1_2(t, pop_qubits(tk, p, 1, c)[0]); }},
+      {"y_1_2", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         return gates::y_1_2(t, pop_qubits(tk, p, 1, c)[0]); }},
+      {"hz_1_2", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         return gates::hz_1_2(t, pop_qubits(tk, p, 1, c)[0]); }},
+      {"rx", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         const auto q = pop_qubits(tk, p, 1, c);
+         return gates::rx(t, q[0], pop_params(tk, p, 1, c)[0]); }},
+      {"ry", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         const auto q = pop_qubits(tk, p, 1, c);
+         return gates::ry(t, q[0], pop_params(tk, p, 1, c)[0]); }},
+      {"rz", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         const auto q = pop_qubits(tk, p, 1, c);
+         return gates::rz(t, q[0], pop_params(tk, p, 1, c)[0]); }},
+      {"rxy", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         const auto q = pop_qubits(tk, p, 1, c);
+         const auto a = pop_params(tk, p, 2, c);
+         return gates::rxy(t, q[0], a[0], a[1]); }},
+      {"p", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         const auto q = pop_qubits(tk, p, 1, c);
+         return gates::p(t, q[0], pop_params(tk, p, 1, c)[0]); }},
+      {"mg1", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         const auto q = pop_qubits(tk, p, 1, c);
+         return gates::mg1(t, q[0], pop_matrix(tk, p, 2, c)); }},
+      {"id2", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         const auto q = pop_qubits(tk, p, 2, c);
+         return gates::id2(t, q[0], q[1]); }},
+      {"cz", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         const auto q = pop_qubits(tk, p, 2, c);
+         return gates::cz(t, q[0], q[1]); }},
+      {"cnot", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         const auto q = pop_qubits(tk, p, 2, c);
+         return gates::cnot(t, q[0], q[1]); }},
+      {"cx", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         const auto q = pop_qubits(tk, p, 2, c);
+         return gates::cnot(t, q[0], q[1]); }},
+      {"sw", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         const auto q = pop_qubits(tk, p, 2, c);
+         return gates::sw(t, q[0], q[1]); }},
+      {"is", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         const auto q = pop_qubits(tk, p, 2, c);
+         return gates::is(t, q[0], q[1]); }},
+      {"fs", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         const auto q = pop_qubits(tk, p, 2, c);
+         const auto a = pop_params(tk, p, 2, c);
+         return gates::fs(t, q[0], q[1], a[0], a[1]); }},
+      {"cp", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         const auto q = pop_qubits(tk, p, 2, c);
+         return gates::cp(t, q[0], q[1], pop_params(tk, p, 1, c)[0]); }},
+      {"mg2", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         const auto q = pop_qubits(tk, p, 2, c);
+         return gates::mg2(t, q[0], q[1], pop_matrix(tk, p, 4, c)); }},
+      {"ccz", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         const auto q = pop_qubits(tk, p, 3, c);
+         return gates::ccz(t, q[0], q[1], q[2]); }},
+      {"ccx", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         const auto q = pop_qubits(tk, p, 3, c);
+         return gates::ccx(t, q[0], q[1], q[2]); }},
+      {"m", [](unsigned t, const Tokens& tk, std::size_t* p, const std::string& c) {
+         const std::size_t rest = tk.size() - *p;
+         check(rest >= 1, c + ": measurement needs at least one qubit");
+         return gates::measure(t, pop_qubits(tk, p, rest, c)); }},
+  };
+
+  const auto it = table.find(name);
+  check(it != table.end(), ctx + ": unknown gate '" + name + "'");
+  return it->second(time, tok, pos, ctx + " (" + name + ")");
+}
+
+void write_gate(const Gate& g, std::ostream& out) {
+  out << g.time;
+  if (!g.controls.empty()) {
+    out << " c";
+    for (qubit_t q : g.controls) out << ' ' << q;
+  }
+  out << ' ' << g.name;
+  for (qubit_t q : g.qubits) out << ' ' << q;
+  if (g.name == "mg1" || g.name == "mg2") {
+    for (const cplx64& v : g.matrix.data()) {
+      out << ' ' << v.real() << ' ' << v.imag();
+    }
+  } else {
+    for (double pv : g.params) out << ' ' << pv;
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+Circuit read_circuit(std::istream& in, const std::string& source_name) {
+  Circuit c;
+  std::string line;
+  std::size_t lineno = 0;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string_view body = trim(line);
+    if (body.empty() || body[0] == '#') continue;
+    const std::string ctx = source_name + ":" + std::to_string(lineno);
+    const Tokens tok = split(body);
+    if (!have_header) {
+      check(tok.size() == 1, ctx + ": first line must be the qubit count");
+      c.num_qubits = static_cast<unsigned>(parse_uint(tok[0], ctx));
+      have_header = true;
+      continue;
+    }
+    std::size_t pos = 0;
+    const unsigned time = static_cast<unsigned>(parse_uint(tok[pos++], ctx));
+    std::vector<qubit_t> controls;
+    if (pos < tok.size() && tok[pos] == "c") {
+      ++pos;
+      // Controls run until the next non-integer token (the mnemonic).
+      while (pos < tok.size()) {
+        unsigned long long v = 0;
+        const auto* s = tok[pos].data();
+        const auto [e, ec] = std::from_chars(s, s + tok[pos].size(), v);
+        if (ec != std::errc{} || e != s + tok[pos].size()) break;
+        controls.push_back(static_cast<qubit_t>(v));
+        ++pos;
+      }
+      check(!controls.empty(), ctx + ": 'c' with no control qubits");
+    }
+    Gate g = parse_gate(time, tok, &pos, ctx);
+    check(pos == tok.size(), ctx + ": trailing tokens after gate definition");
+    if (!controls.empty()) g = gates::controlled(std::move(g), std::move(controls));
+    c.gates.push_back(std::move(g));
+  }
+  check(have_header, source_name + ": empty circuit file");
+  c.validate();
+  return c;
+}
+
+Circuit read_circuit_file(const std::string& path) {
+  std::ifstream f(path);
+  check(f.good(), "cannot open circuit file '" + path + "'");
+  return read_circuit(f, path);
+}
+
+Circuit read_circuit_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_circuit(ss, "<string>");
+}
+
+void write_circuit(const Circuit& c, std::ostream& out) {
+  out << c.num_qubits << '\n';
+  for (const auto& g : c.gates) write_gate(g, out);
+}
+
+std::string write_circuit_string(const Circuit& c) {
+  std::ostringstream ss;
+  ss.precision(17);
+  write_circuit(c, ss);
+  return ss.str();
+}
+
+void write_circuit_file(const Circuit& c, const std::string& path) {
+  std::ofstream f(path);
+  check(f.good(), "cannot open '" + path + "' for writing");
+  f.precision(17);
+  write_circuit(c, f);
+  check(f.good(), "write to '" + path + "' failed");
+}
+
+}  // namespace qhip

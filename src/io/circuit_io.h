@@ -1,0 +1,44 @@
+// Reader/writer for the qsim text circuit format.
+//
+// The format (used by the files in qsim's circuits/ directory, including the
+// circuit_q30 RQC input the paper benchmarks with) is:
+//
+//   <num_qubits>
+//   <time> <gate> <qubit> [<qubit>] [<param>...]
+//   ...
+//
+// e.g.
+//   30
+//   0 h 0
+//   0 h 1
+//   1 cz 0 1
+//   2 fs 3 4 0.25 0.5
+//   3 m 0 1 2
+//
+// Lines starting with '#' and blank lines are ignored. Gate mnemonics are the
+// ones in src/core/gates.h; 'cx' is accepted as an alias for 'cnot'. A gate
+// may be suffixed with 'c <q>...' controls via the extended form:
+//   <time> c <ctrl>... <gate> <args>...
+// mirroring qsim's controlled-gate syntax.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/circuit.h"
+
+namespace qhip {
+
+// Parses a circuit; throws qhip::Error with a line-numbered message on any
+// malformed input. The returned circuit has been validate()d.
+Circuit read_circuit(std::istream& in, const std::string& source_name = "<stream>");
+Circuit read_circuit_file(const std::string& path);
+Circuit read_circuit_string(const std::string& text);
+
+// Serializes in the same format (round-trips through read_circuit).
+// Matrix gates (mg1/mg2) are written with their matrix entries inline.
+void write_circuit(const Circuit& c, std::ostream& out);
+std::string write_circuit_string(const Circuit& c);
+void write_circuit_file(const Circuit& c, const std::string& path);
+
+}  // namespace qhip

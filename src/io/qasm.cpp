@@ -1,0 +1,407 @@
+#include "src/io/qasm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <ostream>
+#include <sstream>
+
+#include "src/base/error.h"
+#include "src/base/strings.h"
+#include "src/core/gates.h"
+
+namespace qhip {
+
+namespace {
+
+using std::numbers::pi;
+
+struct U3 {
+  double theta, phi, lambda, alpha;  // U = e^{i alpha} * u3(theta, phi, lambda)
+};
+
+// Extracts u3 angles from an arbitrary 2x2 unitary.
+// u3(t,p,l) = [[cos(t/2), -e^{il} sin(t/2)], [e^{ip} sin(t/2), e^{i(p+l)} cos(t/2)]]
+U3 to_u3(const CMatrix& m) {
+  check(m.dim() == 2, "to_u3: not a single-qubit matrix");
+  const cplx64 u00 = m.at(0, 0), u01 = m.at(0, 1);
+  const cplx64 u10 = m.at(1, 0);
+  const cplx64 u11 = m.at(1, 1);
+  U3 r{};
+  r.theta = 2.0 * std::atan2(std::abs(u10), std::abs(u00));
+  if (std::abs(u10) <= 1e-12) {
+    // Diagonal (theta = 0): U = e^{i alpha} diag(1, e^{i lambda}); fix phi = 0.
+    r.alpha = std::arg(u00);
+    r.phi = 0.0;
+    r.lambda = std::abs(u11) > 1e-12 ? std::arg(u11) - r.alpha : 0.0;
+  } else if (std::abs(u00) <= 1e-12) {
+    // Anti-diagonal (theta = pi): U = e^{i alpha} [[0, -e^{il}], [e^{ip}, 0]];
+    // fix lambda = 0.
+    r.lambda = 0.0;
+    r.alpha = std::arg(-u01);
+    r.phi = std::arg(u10) - r.alpha;
+  } else {
+    r.alpha = std::arg(u00);
+    r.phi = std::arg(u10) - r.alpha;
+    r.lambda = std::arg(-u01) - r.alpha;
+  }
+  return r;
+}
+
+std::string num(double v) {
+  // Compact but lossless-enough formatting for angles.
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+class QasmWriter {
+ public:
+  explicit QasmWriter(const Circuit& c, std::ostream& out) : c_(c), out_(out) {}
+
+  void write() {
+    c_.validate();
+    out_ << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+    out_ << "qreg q[" << c_.num_qubits << "];\n";
+    if (c_.num_measurements() > 0) {
+      out_ << "creg c[" << c_.num_qubits << "];\n";
+    }
+    for (const auto& g : c_.gates) emit(g);
+  }
+
+ private:
+  std::string q(qubit_t i) const { return "q[" + std::to_string(i) + "]"; }
+
+  void line(const std::string& s) { out_ << s << ";\n"; }
+
+  void emit_u3(const CMatrix& m, qubit_t t) {
+    const U3 u = to_u3(m);
+    line("u3(" + num(u.theta) + "," + num(u.phi) + "," + num(u.lambda) + ") " +
+         q(t));
+  }
+
+  void emit_controlled(const Gate& g) {
+    check(g.controls.size() == 1 && g.num_targets() == 1,
+          "write_qasm: only single-control single-target controlled gates "
+          "(fold multi-control gates first)");
+    const qubit_t c = g.controls[0], t = g.qubits[0];
+    const U3 u = to_u3(g.matrix);
+    if (std::abs(u.alpha) > 1e-12) {
+      line("u1(" + num(u.alpha) + ") " + q(c));
+    }
+    line("cu3(" + num(u.theta) + "," + num(u.phi) + "," + num(u.lambda) + ") " +
+         q(c) + "," + q(t));
+  }
+
+  void emit_iswap(qubit_t a, qubit_t b) {
+    line("s " + q(a));
+    line("s " + q(b));
+    line("h " + q(a));
+    line("cx " + q(a) + "," + q(b));
+    line("cx " + q(b) + "," + q(a));
+    line("h " + q(b));
+  }
+
+  void emit_rxx(double theta, qubit_t a, qubit_t b) {
+    line("h " + q(a));
+    line("h " + q(b));
+    line("cx " + q(a) + "," + q(b));
+    line("rz(" + num(theta) + ") " + q(b));
+    line("cx " + q(a) + "," + q(b));
+    line("h " + q(a));
+    line("h " + q(b));
+  }
+
+  void emit_ryy(double theta, qubit_t a, qubit_t b) {
+    line("rx(" + num(pi / 2) + ") " + q(a));
+    line("rx(" + num(pi / 2) + ") " + q(b));
+    line("cx " + q(a) + "," + q(b));
+    line("rz(" + num(theta) + ") " + q(b));
+    line("cx " + q(a) + "," + q(b));
+    line("rx(" + num(-pi / 2) + ") " + q(a));
+    line("rx(" + num(-pi / 2) + ") " + q(b));
+  }
+
+  void emit(const Gate& g) {
+    if (g.is_measurement()) {
+      for (qubit_t t : g.qubits) {
+        line("measure " + q(t) + " -> c[" + std::to_string(t) + "]");
+      }
+      return;
+    }
+    if (!g.controls.empty()) {
+      emit_controlled(g);
+      return;
+    }
+    const auto& n = g.name;
+    if (g.num_targets() == 1) {
+      const qubit_t t = g.qubits[0];
+      if (n == "id1") line("id " + q(t));
+      else if (n == "h" || n == "x" || n == "y" || n == "z" || n == "s" ||
+               n == "sdg" || n == "t" || n == "tdg") line(n + " " + q(t));
+      else if (n == "rx" || n == "ry" || n == "rz")
+        line(n + "(" + num(g.params[0]) + ") " + q(t));
+      else if (n == "p")
+        line("u1(" + num(g.params[0]) + ") " + q(t));
+      else
+        emit_u3(g.matrix, t);  // x_1_2, y_1_2, hz_1_2, rxy, mg1, fused-1q
+      return;
+    }
+    if (g.num_targets() == 2) {
+      const qubit_t a = g.qubits[0], b = g.qubits[1];
+      if (n == "id2") return;  // identity: nothing to emit
+      if (n == "cz") { line("cz " + q(a) + "," + q(b)); return; }
+      if (n == "cnot") { line("cx " + q(a) + "," + q(b)); return; }
+      if (n == "sw") { line("swap " + q(a) + "," + q(b)); return; }
+      if (n == "cp") { line("cu1(" + num(g.params[0]) + ") " + q(a) + "," + q(b)); return; }
+      if (n == "is") { emit_iswap(a, b); return; }
+      if (n == "fs") {
+        // fsim(theta, phi) = RXX(theta) . RYY(theta) . cu1(-phi)
+        emit_rxx(g.params[0], a, b);
+        emit_ryy(g.params[0], a, b);
+        if (std::abs(g.params[1]) > 1e-15) {
+          line("cu1(" + num(-g.params[1]) + ") " + q(a) + "," + q(b));
+        }
+        return;
+      }
+      throw Error("write_qasm: no OpenQASM decomposition for 2-qubit gate '" +
+                  n + "' (unfuse the circuit first)");
+    }
+    if (n == "ccx") {
+      line("ccx " + q(g.qubits[0]) + "," + q(g.qubits[1]) + "," + q(g.qubits[2]));
+      return;
+    }
+    if (n == "ccz") {
+      line("h " + q(g.qubits[2]));
+      line("ccx " + q(g.qubits[0]) + "," + q(g.qubits[1]) + "," + q(g.qubits[2]));
+      line("h " + q(g.qubits[2]));
+      return;
+    }
+    throw Error("write_qasm: gate '" + n + "' wider than 2 qubits is not "
+                "representable (export the unfused circuit)");
+  }
+
+  const Circuit& c_;
+  std::ostream& out_;
+};
+
+// --- import -------------------------------------------------------------------
+
+// Evaluates the angle expressions qelib-style files use: [-]term[(*|/)num],
+// term = number | pi.
+double eval_angle(std::string_view s, const std::string& ctx) {
+  s = trim(s);
+  check(!s.empty(), ctx + ": empty angle");
+  double sign = 1;
+  if (s.front() == '-') {
+    sign = -1;
+    s = trim(s.substr(1));
+  } else if (s.front() == '+') {
+    s = trim(s.substr(1));
+  }
+  // Split on * or /.
+  for (char op : {'*', '/'}) {
+    const std::size_t pos = s.find(op);
+    if (pos != std::string_view::npos) {
+      const double lhs = eval_angle(s.substr(0, pos), ctx);
+      const double rhs = eval_angle(s.substr(pos + 1), ctx);
+      check(op != '/' || rhs != 0, ctx + ": division by zero");
+      return sign * (op == '*' ? lhs * rhs : lhs / rhs);
+    }
+  }
+  if (s == "pi") return sign * pi;
+  return sign * parse_double(s, ctx);
+}
+
+struct Stmt {
+  std::string name;
+  std::vector<double> params;
+  std::vector<qubit_t> qubits;
+};
+
+class QasmReader {
+ public:
+  explicit QasmReader(const std::string& text) : text_(text) {}
+
+  Circuit read() {
+    std::istringstream is(text_);
+    std::string raw;
+    std::size_t lineno = 0;
+    bool header_seen = false;
+    while (std::getline(is, raw, ';')) {
+      lineno += static_cast<std::size_t>(std::count(raw.begin(), raw.end(), '\n'));
+      std::string stmt = strip_comments(raw);
+      const std::string_view body = trim(stmt);
+      if (body.empty()) continue;
+      const std::string ctx = "<qasm>:" + std::to_string(lineno + 1);
+      if (starts_with(body, "OPENQASM")) {
+        check(body.find("2.0") != std::string_view::npos,
+              ctx + ": only OPENQASM 2.0 is supported");
+        header_seen = true;
+        continue;
+      }
+      if (starts_with(body, "include") || starts_with(body, "barrier") ||
+          starts_with(body, "creg")) {
+        continue;
+      }
+      if (starts_with(body, "qreg")) {
+        parse_qreg(body, ctx);
+        continue;
+      }
+      if (starts_with(body, "measure")) {
+        parse_measure(body, ctx);
+        continue;
+      }
+      apply_stmt(parse_stmt(body, ctx), ctx);
+    }
+    check(header_seen, "read_qasm: missing OPENQASM 2.0 header");
+    check(c_.num_qubits > 0, "read_qasm: missing qreg declaration");
+    c_.validate();
+    return std::move(c_);
+  }
+
+ private:
+  static std::string strip_comments(const std::string& s) {
+    std::string out;
+    std::istringstream is(s);
+    std::string ln;
+    while (std::getline(is, ln)) {
+      const std::size_t pos = ln.find("//");
+      out += pos == std::string::npos ? ln : ln.substr(0, pos);
+      out += ' ';
+    }
+    return out;
+  }
+
+  void parse_qreg(std::string_view body, const std::string& ctx) {
+    check(c_.num_qubits == 0, ctx + ": only one qreg is supported");
+    const std::size_t lb = body.find('['), rb = body.find(']');
+    check(lb != std::string_view::npos && rb != std::string_view::npos && rb > lb,
+          ctx + ": malformed qreg");
+    const auto name = trim(body.substr(5, lb - 5));
+    check(!name.empty(), ctx + ": qreg needs a name");
+    reg_ = std::string(name);
+    c_.num_qubits = static_cast<unsigned>(
+        parse_uint(body.substr(lb + 1, rb - lb - 1), ctx));
+  }
+
+  qubit_t parse_qubit(std::string_view tok, const std::string& ctx) const {
+    const std::size_t lb = tok.find('['), rb = tok.find(']');
+    check(lb != std::string_view::npos && rb != std::string_view::npos,
+          ctx + ": expected q[i], got '" + std::string(tok) + "'");
+    check(std::string(trim(tok.substr(0, lb))) == reg_,
+          ctx + ": unknown register in '" + std::string(tok) + "'");
+    return static_cast<qubit_t>(parse_uint(tok.substr(lb + 1, rb - lb - 1), ctx));
+  }
+
+  void parse_measure(std::string_view body, const std::string& ctx) {
+    const std::size_t arrow = body.find("->");
+    check(arrow != std::string_view::npos, ctx + ": measure needs '->'");
+    const qubit_t t = parse_qubit(trim(body.substr(7, arrow - 7)), ctx);
+    c_.gates.push_back(gates::measure(next_time_++, {t}));
+  }
+
+  Stmt parse_stmt(std::string_view body, const std::string& ctx) const {
+    Stmt st;
+    std::size_t i = 0;
+    while (i < body.size() && (ident_char(body[i]))) ++i;
+    st.name = to_lower(body.substr(0, i));
+    check(!st.name.empty(), ctx + ": expected a gate name");
+    std::string_view rest = trim(body.substr(i));
+    if (!rest.empty() && rest.front() == '(') {
+      const std::size_t close = rest.find(')');
+      check(close != std::string_view::npos, ctx + ": unbalanced parameters");
+      for (const auto& tok : split(rest.substr(1, close - 1), ",")) {
+        st.params.push_back(eval_angle(tok, ctx));
+      }
+      rest = trim(rest.substr(close + 1));
+    }
+    for (const auto& tok : split(rest, ",")) {
+      st.qubits.push_back(parse_qubit(trim(tok), ctx));
+    }
+    return st;
+  }
+
+  static bool ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  static CMatrix u3_matrix(double t, double p, double l) {
+    const double c = std::cos(t / 2), s = std::sin(t / 2);
+    return CMatrix(2, {cplx64{c}, -std::polar(1.0, l) * s,
+                       std::polar(1.0, p) * s, std::polar(1.0, p + l) * c});
+  }
+
+  void need(const Stmt& st, std::size_t qs, std::size_t ps,
+            const std::string& ctx) const {
+    check(st.qubits.size() == qs && st.params.size() == ps,
+          ctx + ": wrong arity for '" + st.name + "'");
+  }
+
+  void apply_stmt(const Stmt& st, const std::string& ctx) {
+    const unsigned t = next_time_++;
+    const auto& n = st.name;
+    if (n == "id") { need(st, 1, 0, ctx); c_.gates.push_back(gates::id1(t, st.qubits[0])); }
+    else if (n == "h") { need(st, 1, 0, ctx); c_.gates.push_back(gates::h(t, st.qubits[0])); }
+    else if (n == "x") { need(st, 1, 0, ctx); c_.gates.push_back(gates::x(t, st.qubits[0])); }
+    else if (n == "y") { need(st, 1, 0, ctx); c_.gates.push_back(gates::y(t, st.qubits[0])); }
+    else if (n == "z") { need(st, 1, 0, ctx); c_.gates.push_back(gates::z(t, st.qubits[0])); }
+    else if (n == "s") { need(st, 1, 0, ctx); c_.gates.push_back(gates::s(t, st.qubits[0])); }
+    else if (n == "sdg") { need(st, 1, 0, ctx); c_.gates.push_back(gates::sdg(t, st.qubits[0])); }
+    else if (n == "t") { need(st, 1, 0, ctx); c_.gates.push_back(gates::t(t, st.qubits[0])); }
+    else if (n == "tdg") { need(st, 1, 0, ctx); c_.gates.push_back(gates::tdg(t, st.qubits[0])); }
+    else if (n == "rx") { need(st, 1, 1, ctx); c_.gates.push_back(gates::rx(t, st.qubits[0], st.params[0])); }
+    else if (n == "ry") { need(st, 1, 1, ctx); c_.gates.push_back(gates::ry(t, st.qubits[0], st.params[0])); }
+    else if (n == "rz") { need(st, 1, 1, ctx); c_.gates.push_back(gates::rz(t, st.qubits[0], st.params[0])); }
+    else if (n == "u1") { need(st, 1, 1, ctx); c_.gates.push_back(gates::p(t, st.qubits[0], st.params[0])); }
+    else if (n == "u2") {
+      need(st, 1, 2, ctx);
+      c_.gates.push_back(gates::mg1(t, st.qubits[0],
+          u3_matrix(pi / 2, st.params[0], st.params[1]).data()));
+    }
+    else if (n == "u3" || n == "u") {
+      need(st, 1, 3, ctx);
+      c_.gates.push_back(gates::mg1(t, st.qubits[0],
+          u3_matrix(st.params[0], st.params[1], st.params[2]).data()));
+    }
+    else if (n == "cx") { need(st, 2, 0, ctx); c_.gates.push_back(gates::cnot(t, st.qubits[0], st.qubits[1])); }
+    else if (n == "cz") { need(st, 2, 0, ctx); c_.gates.push_back(gates::cz(t, st.qubits[0], st.qubits[1])); }
+    else if (n == "swap") { need(st, 2, 0, ctx); c_.gates.push_back(gates::sw(t, st.qubits[0], st.qubits[1])); }
+    else if (n == "cu1") { need(st, 2, 1, ctx); c_.gates.push_back(gates::cp(t, st.qubits[0], st.qubits[1], st.params[0])); }
+    else if (n == "cu3") {
+      need(st, 2, 3, ctx);
+      Gate g;
+      g.name = "mg1";
+      g.time = t;
+      g.qubits = {st.qubits[1]};
+      g.matrix = u3_matrix(st.params[0], st.params[1], st.params[2]);
+      c_.gates.push_back(gates::controlled(std::move(g), {st.qubits[0]}));
+    }
+    else if (n == "ccx") { need(st, 3, 0, ctx); c_.gates.push_back(gates::ccx(t, st.qubits[0], st.qubits[1], st.qubits[2])); }
+    else {
+      throw Error(ctx + ": unsupported gate '" + n + "'");
+    }
+  }
+
+  const std::string& text_;
+  Circuit c_;
+  std::string reg_;
+  unsigned next_time_ = 0;
+};
+
+}  // namespace
+
+void write_qasm(const Circuit& c, std::ostream& out) {
+  QasmWriter(c, out).write();
+}
+
+std::string write_qasm_string(const Circuit& c) {
+  std::ostringstream os;
+  write_qasm(c, os);
+  return os.str();
+}
+
+Circuit read_qasm(const std::string& text) { return QasmReader(text).read(); }
+
+}  // namespace qhip

@@ -1,0 +1,40 @@
+// OpenQASM 2.0 interoperability.
+//
+// Export covers the full qsim gate set: gates with direct qelib1
+// equivalents map one-to-one; every other single-qubit gate is emitted as
+// a numerically-derived u3 (exact up to global phase); iSWAP and fSim are
+// expanded with standard decompositions:
+//
+//   iswap a,b        = s a; s b; h a; cx a,b; cx b,a; h b
+//   fsim(th,phi) a,b = rxx(th) . ryy(th) . cu1(-phi)
+//
+// where rxx/ryy are the usual H/RX-conjugated CX-RZ-CX blocks. Fused
+// matrix gates (width > 2) cannot be represented and are rejected —
+// export the unfused circuit.
+//
+// Import parses the subset the exporter emits (plus measure), enough for
+// round-tripping and for ingesting simple external circuits. Round-trip
+// equality is up to global phase (u3 fixes a phase convention), which the
+// tests check with a phase-normalized unitary distance.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/circuit.h"
+
+namespace qhip {
+
+// Serializes to OpenQASM 2.0. Throws qhip::Error for gates wider than two
+// qubits or controlled gates with more than one control (fold or unfuse
+// first).
+void write_qasm(const Circuit& c, std::ostream& out);
+std::string write_qasm_string(const Circuit& c);
+
+// Parses the supported OpenQASM 2.0 subset: one qreg, optional cregs,
+// qelib1 one/two-qubit gates, u1/u2/u3, rx/ry/rz, cx/cz/swap, barrier
+// (ignored) and measure. Throws qhip::Error with line context on anything
+// else.
+Circuit read_qasm(const std::string& text);
+
+}  // namespace qhip

@@ -1,0 +1,110 @@
+#include "src/noise/channels.h"
+
+#include <cmath>
+
+#include "src/base/error.h"
+
+namespace qhip::noise {
+
+unsigned KrausChannel::num_qubits() const {
+  check(!ops.empty(), "KrausChannel: no operators");
+  return ops.front().num_qubits();
+}
+
+double KrausChannel::completeness_error() const {
+  check(!ops.empty(), "KrausChannel: no operators");
+  const std::size_t dim = ops.front().dim();
+  CMatrix sum(dim);
+  for (const auto& k : ops) {
+    check(k.dim() == dim, "KrausChannel: operator dimension mismatch");
+    const CMatrix kk = k.adjoint() * k;
+    for (std::size_t i = 0; i < sum.data().size(); ++i) {
+      sum.data()[i] += kk.data()[i];
+    }
+  }
+  return sum.distance(CMatrix::identity(dim));
+}
+
+bool KrausChannel::is_complete(double tol) const {
+  return completeness_error() <= tol;
+}
+
+bool KrausChannel::is_mixed_unitary(double tol) const {
+  for (const auto& k : ops) {
+    // K proportional to unitary <=> K^dagger K proportional to I.
+    const CMatrix kk = k.adjoint() * k;
+    const cplx64 scale = kk.at(0, 0);
+    CMatrix scaled = CMatrix::identity(kk.dim());
+    for (auto& v : scaled.data()) v *= scale;
+    if (kk.distance(scaled) > tol) return false;
+  }
+  return true;
+}
+
+void KrausChannel::validate() const {
+  check(!ops.empty(), "KrausChannel '" + name + "': no operators");
+  const std::size_t dim = ops.front().dim();
+  for (const auto& k : ops) {
+    check(k.dim() == dim, "KrausChannel '" + name + "': dimension mismatch");
+  }
+  check(is_complete(1e-9),
+        "KrausChannel '" + name + "': operators are not trace-preserving");
+}
+
+namespace {
+
+CMatrix scaled(std::vector<cplx64> entries, double s) {
+  for (auto& v : entries) v *= s;
+  return CMatrix(2, std::move(entries));
+}
+
+}  // namespace
+
+KrausChannel depolarizing(double p) {
+  check(p >= 0 && p <= 1, "depolarizing: p out of [0, 1]");
+  KrausChannel c;
+  c.name = "depolarizing(" + std::to_string(p) + ")";
+  c.ops.push_back(scaled({1, 0, 0, 1}, std::sqrt(1 - p)));
+  c.ops.push_back(scaled({0, 1, 1, 0}, std::sqrt(p / 3)));
+  c.ops.push_back(scaled({0, {0, -1}, {0, 1}, 0}, std::sqrt(p / 3)));
+  c.ops.push_back(scaled({1, 0, 0, -1}, std::sqrt(p / 3)));
+  return c;
+}
+
+KrausChannel bit_flip(double p) {
+  check(p >= 0 && p <= 1, "bit_flip: p out of [0, 1]");
+  KrausChannel c;
+  c.name = "bit_flip(" + std::to_string(p) + ")";
+  c.ops.push_back(scaled({1, 0, 0, 1}, std::sqrt(1 - p)));
+  c.ops.push_back(scaled({0, 1, 1, 0}, std::sqrt(p)));
+  return c;
+}
+
+KrausChannel phase_flip(double p) {
+  check(p >= 0 && p <= 1, "phase_flip: p out of [0, 1]");
+  KrausChannel c;
+  c.name = "phase_flip(" + std::to_string(p) + ")";
+  c.ops.push_back(scaled({1, 0, 0, 1}, std::sqrt(1 - p)));
+  c.ops.push_back(scaled({1, 0, 0, -1}, std::sqrt(p)));
+  return c;
+}
+
+KrausChannel amplitude_damping(double gamma) {
+  check(gamma >= 0 && gamma <= 1, "amplitude_damping: gamma out of [0, 1]");
+  KrausChannel c;
+  c.name = "amplitude_damping(" + std::to_string(gamma) + ")";
+  c.ops.push_back(CMatrix(2, {1, 0, 0, std::sqrt(1 - gamma)}));
+  c.ops.push_back(CMatrix(2, {0, std::sqrt(gamma), 0, 0}));
+  return c;
+}
+
+KrausChannel phase_damping(double gamma) {
+  check(gamma >= 0 && gamma <= 1, "phase_damping: gamma out of [0, 1]");
+  KrausChannel c;
+  c.name = "phase_damping(" + std::to_string(gamma) + ")";
+  c.ops.push_back(CMatrix(2, {1, 0, 0, std::sqrt(1 - gamma)}));
+  c.ops.push_back(CMatrix(2, {0, 0, 0, std::sqrt(gamma)}));
+  return c;
+}
+
+}  // namespace qhip::noise

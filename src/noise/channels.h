@@ -1,0 +1,54 @@
+// Kraus channels for noisy simulation.
+//
+// qsim pairs its state-vector simulator with a quantum-trajectory method
+// for noisy circuits (paper §2.1); a noise channel is a set of Kraus
+// operators {K_i} with sum_i K_i^dagger K_i = I. A trajectory applies one
+// K_i per channel invocation, chosen with the Born probability
+// p_i = ||K_i |psi>||^2, then renormalizes — averaging trajectories
+// reproduces the density-matrix evolution without ever storing a density
+// matrix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/matrix.h"
+
+namespace qhip::noise {
+
+struct KrausChannel {
+  std::string name;
+  std::vector<CMatrix> ops;  // all same dimension (2 for 1-qubit channels)
+
+  unsigned num_qubits() const;
+
+  // || sum K_i^dagger K_i - I ||_max; a trace-preserving channel gives ~0.
+  double completeness_error() const;
+  bool is_complete(double tol = 1e-10) const;
+
+  // True when every Kraus operator is proportional to a unitary (selection
+  // probabilities are then state-independent).
+  bool is_mixed_unitary(double tol = 1e-10) const;
+
+  // Throws unless ops are non-empty, uniform in dimension, and complete.
+  void validate() const;
+};
+
+// --- standard 1-qubit channels ----------------------------------------------
+
+// With probability p, a uniformly random Pauli error (X, Y or Z each p/3).
+KrausChannel depolarizing(double p);
+
+// X with probability p.
+KrausChannel bit_flip(double p);
+
+// Z with probability p.
+KrausChannel phase_flip(double p);
+
+// T1 decay: |1> relaxes to |0> with probability gamma.
+KrausChannel amplitude_damping(double gamma);
+
+// Pure dephasing with rate gamma (T2 without T1).
+KrausChannel phase_damping(double gamma);
+
+}  // namespace qhip::noise

@@ -1,0 +1,126 @@
+// Quantum-trajectory simulation of noisy circuits (qsim's qtrajectory
+// equivalent, paper §2.1).
+//
+// One trajectory executes the ideal circuit with a noise channel applied
+// to every qubit each gate touches: the Kraus operator is selected with
+// its Born probability p_i = ||K_i psi||^2 (computed in a single streaming
+// pass over the state, all operators at once), applied in place, and the
+// state renormalized by 1/sqrt(p_i). Selection uses a Philox counter
+// stream keyed on (seed, trajectory), so trajectories are independent and
+// reproducible regardless of scheduling.
+#pragma once
+
+#include <cstdint>
+
+#include "src/base/rng.h"
+#include "src/core/circuit.h"
+#include "src/noise/channels.h"
+#include "src/simulator/apply.h"
+#include "src/statespace/statevector.h"
+
+namespace qhip::noise {
+
+// Applies `channel` (1-qubit) to qubit `q`: selects a Kraus operator by
+// Born probability using `u` in [0, 1), applies it and renormalizes.
+// Returns the selected operator index.
+template <typename FP>
+std::size_t apply_channel(const KrausChannel& channel, qubit_t q,
+                          StateVector<FP>& state, double u,
+                          ThreadPool& pool = ThreadPool::shared()) {
+  check(channel.num_qubits() == 1, "apply_channel: only 1-qubit channels");
+  check(q < state.num_qubits(), "apply_channel: qubit out of range");
+  const std::size_t nops = channel.ops.size();
+
+  // One pass: p_i = sum over amplitude pairs |K_i (a0, a1)|^2.
+  const index_t bit = pow2(q);
+  const unsigned nt = pool.num_threads();
+  std::vector<double> partial(nt * nops, 0.0);
+  pool.parallel_ranges(state.size() >> 1, [&](unsigned rank, index_t b, index_t e) {
+    double* acc = partial.data() + static_cast<std::size_t>(rank) * nops;
+    for (index_t o = b; o < e; ++o) {
+      const index_t lo = ((o >> q) << (q + 1)) | (o & (bit - 1));
+      const cplx64 a0(state[lo].real(), state[lo].imag());
+      const cplx64 a1(state[lo | bit].real(), state[lo | bit].imag());
+      for (std::size_t i = 0; i < nops; ++i) {
+        const auto& k = channel.ops[i];
+        acc[i] += std::norm(k.at(0, 0) * a0 + k.at(0, 1) * a1) +
+                  std::norm(k.at(1, 0) * a0 + k.at(1, 1) * a1);
+      }
+    }
+  });
+  std::vector<double> probs(nops, 0.0);
+  for (unsigned r = 0; r < nt; ++r) {
+    for (std::size_t i = 0; i < nops; ++i) {
+      probs[i] += partial[static_cast<std::size_t>(r) * nops + i];
+    }
+  }
+
+  // Select.
+  std::size_t pick = nops - 1;
+  double csum = 0;
+  for (std::size_t i = 0; i < nops; ++i) {
+    csum += probs[i];
+    if (u < csum) {
+      pick = i;
+      break;
+    }
+  }
+  check(probs[pick] > 1e-300, "apply_channel: selected zero-probability branch");
+
+  // Apply K_pick / sqrt(p_pick) in place.
+  Gate g;
+  g.name = "kraus";
+  g.qubits = {q};
+  g.matrix = channel.ops[pick];
+  const double inv = 1.0 / std::sqrt(probs[pick]);
+  for (auto& v : g.matrix.data()) v *= inv;
+  apply_gate_inplace(g, state, pool);
+  return pick;
+}
+
+struct NoiseModel {
+  KrausChannel channel;  // applied to each touched qubit after every gate
+};
+
+// Runs one trajectory of `circuit` under `model`; trajectory index selects
+// the Philox stream.
+template <typename FP>
+StateVector<FP> run_trajectory(const Circuit& circuit, const NoiseModel& model,
+                               std::uint64_t seed, std::uint64_t trajectory,
+                               ThreadPool& pool = ThreadPool::shared()) {
+  model.channel.validate();
+  StateVector<FP> s(circuit.num_qubits);
+  Philox rng(seed, 0xffff0000ull | trajectory);
+  for (const auto& gate : circuit.gates) {
+    check(!gate.is_measurement(), "run_trajectory: measurement unsupported");
+    const Gate n = normalized(gate.controls.empty() ? gate : expand_controls(gate));
+    apply_gate_inplace(n, s, pool);
+    for (qubit_t q : n.qubits) {
+      apply_channel(model.channel, q, s, rng.uniform(), pool);
+    }
+  }
+  return s;
+}
+
+// Mean probability distribution over `num_trajectories` trajectories —
+// the trajectory estimate of the noisy output distribution.
+template <typename FP>
+std::vector<double> trajectory_distribution(const Circuit& circuit,
+                                            const NoiseModel& model,
+                                            std::size_t num_trajectories,
+                                            std::uint64_t seed,
+                                            ThreadPool& pool = ThreadPool::shared()) {
+  check(num_trajectories > 0, "trajectory_distribution: need trajectories");
+  std::vector<double> dist(pow2(circuit.num_qubits), 0.0);
+  for (std::size_t t = 0; t < num_trajectories; ++t) {
+    const StateVector<FP> s =
+        run_trajectory<FP>(circuit, model, seed, t, pool);
+    for (index_t i = 0; i < s.size(); ++i) {
+      dist[i] += std::norm(cplx64(s[i].real(), s[i].imag()));
+    }
+  }
+  for (auto& v : dist) v /= static_cast<double>(num_trajectories);
+  return dist;
+}
+
+}  // namespace qhip::noise

@@ -1,0 +1,156 @@
+#include "src/obs/observable.h"
+
+#include <cctype>
+#include <set>
+
+#include "src/base/error.h"
+#include "src/base/strings.h"
+
+namespace qhip::obs {
+
+index_t PauliString::flip_mask() const {
+  index_t m = 0;
+  for (const auto& t : terms) {
+    if (t.op != Pauli::kZ) m |= pow2(t.qubit);
+  }
+  return m;
+}
+
+index_t PauliString::phase_mask() const {
+  index_t m = 0;
+  for (const auto& t : terms) {
+    if (t.op != Pauli::kX) m |= pow2(t.qubit);
+  }
+  return m;
+}
+
+unsigned PauliString::num_y() const {
+  unsigned n = 0;
+  for (const auto& t : terms) n += t.op == Pauli::kY ? 1 : 0;
+  return n;
+}
+
+void PauliString::validate(unsigned num_qubits) const {
+  std::set<qubit_t> seen;
+  for (const auto& t : terms) {
+    check(t.qubit < num_qubits,
+          strfmt("PauliString: qubit %u out of range", t.qubit));
+    check(seen.insert(t.qubit).second,
+          strfmt("PauliString: qubit %u repeated", t.qubit));
+  }
+}
+
+void Observable::validate(unsigned num_qubits) const {
+  for (const auto& p : strings) p.validate(num_qubits);
+}
+
+bool Observable::is_hermitian(double tol) const {
+  for (const auto& p : strings) {
+    if (std::abs(p.coefficient.imag()) > tol) return false;
+  }
+  return true;
+}
+
+PauliString pauli_z(qubit_t q, double coeff) {
+  return {cplx64{coeff}, {{q, Pauli::kZ}}};
+}
+
+PauliString pauli_x(qubit_t q, double coeff) {
+  return {cplx64{coeff}, {{q, Pauli::kX}}};
+}
+
+PauliString pauli_zz(qubit_t a, qubit_t b, double coeff) {
+  return {cplx64{coeff}, {{a, Pauli::kZ}, {b, Pauli::kZ}}};
+}
+
+Observable transverse_field_ising(unsigned n, double j, double h) {
+  check(n >= 2, "transverse_field_ising: need at least 2 qubits");
+  Observable o;
+  for (unsigned i = 0; i + 1 < n; ++i) {
+    o.strings.push_back(pauli_zz(i, i + 1, -j));
+  }
+  for (unsigned i = 0; i < n; ++i) {
+    o.strings.push_back(pauli_x(i, -h));
+  }
+  return o;
+}
+
+PauliString parse_pauli_string(const std::string& text) {
+  // Grammar: [coeff [*]] (X|Y|Z)<qubit> ...
+  PauliString p;
+  std::string body(trim(text));
+  check(!body.empty(), "parse_pauli_string: empty input");
+
+  // Optional leading coefficient (anything before the first X/Y/Z token).
+  std::size_t i = 0;
+  const auto is_pauli_start = [&](std::size_t k) {
+    if (k >= body.size()) return false;
+    const char c = static_cast<char>(std::toupper(body[k]));
+    return (c == 'X' || c == 'Y' || c == 'Z') && k + 1 < body.size() &&
+           std::isdigit(static_cast<unsigned char>(body[k + 1]));
+  };
+  std::size_t first_pauli = body.size();
+  for (std::size_t k = 0; k < body.size(); ++k) {
+    if (is_pauli_start(k)) {
+      first_pauli = k;
+      break;
+    }
+  }
+  check(first_pauli < body.size(),
+        "parse_pauli_string: no Pauli operator in '" + text + "'");
+  std::string coeff(trim(body.substr(0, first_pauli)));
+  if (!coeff.empty() && coeff.back() == '*') {
+    coeff = std::string(trim(std::string_view(coeff).substr(0, coeff.size() - 1)));
+  }
+  if (!coeff.empty()) {
+    p.coefficient = parse_double(coeff, "pauli coefficient");
+  }
+
+  i = first_pauli;
+  while (i < body.size()) {
+    while (i < body.size() && std::isspace(static_cast<unsigned char>(body[i]))) {
+      ++i;
+    }
+    if (i >= body.size()) break;
+    const char c = static_cast<char>(std::toupper(body[i]));
+    check(c == 'X' || c == 'Y' || c == 'Z',
+          std::string("parse_pauli_string: expected X/Y/Z, got '") + body[i] + "'");
+    ++i;
+    std::size_t j = i;
+    while (j < body.size() && std::isdigit(static_cast<unsigned char>(body[j]))) {
+      ++j;
+    }
+    check(j > i, "parse_pauli_string: operator without qubit index");
+    const qubit_t q =
+        static_cast<qubit_t>(parse_uint(body.substr(i, j - i), "pauli qubit"));
+    p.terms.push_back(
+        {q, c == 'X' ? Pauli::kX : c == 'Y' ? Pauli::kY : Pauli::kZ});
+    i = j;
+  }
+  return p;
+}
+
+CMatrix to_dense(const Observable& o, unsigned num_qubits) {
+  check(num_qubits <= 10, "to_dense: too many qubits");
+  const std::size_t dim = pow2(num_qubits);
+  CMatrix out(dim);
+
+  static const cplx64 kX[4] = {0, 1, 1, 0};
+  static const cplx64 kY[4] = {0, {0, -1}, {0, 1}, 0};
+  static const cplx64 kZ[4] = {1, 0, 0, -1};
+
+  for (const auto& p : o.strings) {
+    p.validate(num_qubits);
+    CMatrix term = CMatrix::identity(dim);
+    for (const auto& t : p.terms) {
+      const cplx64* m = t.op == Pauli::kX ? kX : t.op == Pauli::kY ? kY : kZ;
+      term.compose_on_qubits(CMatrix(2, {m[0], m[1], m[2], m[3]}), {t.qubit});
+    }
+    for (std::size_t k = 0; k < out.data().size(); ++k) {
+      out.data()[k] += p.coefficient * term.data()[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace qhip::obs

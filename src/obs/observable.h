@@ -1,0 +1,118 @@
+// Pauli-string observables and expectation values (qsim's ExpectationValue
+// feature, which Cirq's simulator interface exposes and VQE-style
+// applications depend on — paper §1 motivates VQE explicitly).
+//
+// An Observable is a real/complex-weighted sum of Pauli strings. For one
+// string P = ⊗_i P_i acting on basis state |y>:
+//
+//   P |y> = phase(y) |y ^ flip>,
+//   flip  = bits with X or Y,
+//   phase(y) = (-1)^popcount(y & (Z|Y bits)) * i^{#Y}
+//
+// so <psi|P|psi> = sum_y conj(a_{y^flip}) * phase(y) * a_y — one streaming
+// pass over the amplitudes per term, no matrix ever materialized. The same
+// expression is evaluated by the host path here and by the device kernel
+// in src/hipsim/state_space_hip.h.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/bits.h"
+#include "src/core/matrix.h"
+#include "src/base/threadpool.h"
+#include "src/statespace/statevector.h"
+
+namespace qhip::obs {
+
+enum class Pauli : std::uint8_t { kX, kY, kZ };
+
+struct PauliTerm {
+  qubit_t qubit;
+  Pauli op;
+};
+
+struct PauliString {
+  cplx64 coefficient{1.0};
+  std::vector<PauliTerm> terms;  // identity on unlisted qubits
+
+  // Bit masks used by the streaming evaluation.
+  index_t flip_mask() const;   // X and Y qubits
+  index_t phase_mask() const;  // Z and Y qubits
+  unsigned num_y() const;
+
+  // Throws on repeated qubits or out-of-range targets.
+  void validate(unsigned num_qubits) const;
+};
+
+// Weighted sum of Pauli strings.
+struct Observable {
+  std::vector<PauliString> strings;
+
+  void validate(unsigned num_qubits) const;
+  std::size_t size() const { return strings.size(); }
+
+  // True when every coefficient is real (a Hermitian observable).
+  bool is_hermitian(double tol = 1e-12) const;
+};
+
+// --- construction helpers ----------------------------------------------------
+
+PauliString pauli_z(qubit_t q, double coeff = 1.0);
+PauliString pauli_x(qubit_t q, double coeff = 1.0);
+PauliString pauli_zz(qubit_t a, qubit_t b, double coeff = 1.0);
+
+// H = -J sum_i Z_i Z_{i+1} - h sum_i X_i on an open chain of n qubits.
+Observable transverse_field_ising(unsigned n, double j, double h);
+
+// Parses strings like "1.5 * Z0 Z1", "-0.7*X3", "Y2" (one string per call).
+PauliString parse_pauli_string(const std::string& text);
+
+// --- evaluation ---------------------------------------------------------------
+
+// <psi| P |psi> for one string (excluding its coefficient scale? No — the
+// coefficient is included).
+template <typename FP>
+cplx64 expectation(const PauliString& p, const StateVector<FP>& s,
+                   ThreadPool& pool = ThreadPool::shared()) {
+  p.validate(s.num_qubits());
+  const index_t flip = p.flip_mask();
+  const index_t pmask = p.phase_mask();
+  // i^{#Y}
+  static constexpr cplx64 kIPow[4] = {
+      {1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+  const cplx64 ipow = kIPow[p.num_y() % 4];
+
+  const unsigned nt = pool.num_threads();
+  std::vector<cplx64> partial(nt);
+  pool.parallel_ranges(s.size(), [&](unsigned rank, index_t b, index_t e) {
+    cplx64 acc{};
+    for (index_t y = b; y < e; ++y) {
+      const int sign = std::popcount(y & pmask) & 1 ? -1 : 1;
+      const cplx64 ay(s[y].real(), s[y].imag());
+      const cplx<FP>& af = s[y ^ flip];
+      acc += std::conj(cplx64(af.real(), af.imag())) *
+             (static_cast<double>(sign) * ay);
+    }
+    partial[rank] += acc;
+  });
+  cplx64 total{};
+  for (const auto& v : partial) total += v;
+  return p.coefficient * ipow * total;
+}
+
+// <psi| O |psi> summed over strings.
+template <typename FP>
+cplx64 expectation(const Observable& o, const StateVector<FP>& s,
+                   ThreadPool& pool = ThreadPool::shared()) {
+  cplx64 total{};
+  for (const auto& p : o.strings) total += expectation(p, s, pool);
+  return total;
+}
+
+// Dense matrix of an observable (for test oracles; n <= 10).
+CMatrix to_dense(const Observable& o, unsigned num_qubits);
+
+}  // namespace qhip::obs

@@ -1,0 +1,167 @@
+#include "src/perfmodel/model.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/base/bits.h"
+#include "src/base/error.h"
+
+namespace qhip::perfmodel {
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kCpuTrento: return "CPU (AMD EPYC 7A53 Trento, 128 threads)";
+    case Backend::kHipMi250x: return "HIP (AMD MI250X, 1 GCD)";
+    case Backend::kCudaA100: return "CUDA (NVIDIA A100)";
+    case Backend::kCuQuantumA100: return "cuQuantum (NVIDIA A100)";
+  }
+  return "?";
+}
+
+namespace {
+
+// Calibrated efficiency tables; index = fused gate width (1..6).
+// See the header comment for the microarchitectural rationale and
+// tests/perfmodel/test_model.cpp for the paper-ratio assertions.
+
+const BackendModel kCpu = {
+    "cpu_trento",
+    /*bw_gibps=*/190.0,  // 8-channel DDR4-3200 peak 204.8 GB/s
+    /*sp_tflops=*/5.6,   // 64 cores x 2.75 GHz x 32 SP FLOP/cycle
+    /*dp_tflops=*/2.8,
+    /*launch_us=*/1.5,   // per-gate OpenMP fork/join + loop setup
+    // Wide gates gather with strides that fall out of L1/L2, collapsing
+    // achieved DRAM bandwidth.
+    /*eff_bw=*/{0, 0.58, 0.64, 0.62, 0.54, 0.29, 0.195},
+    /*eff_fl=*/{0, 0.50, 0.50, 0.50, 0.50, 0.50, 0.50},
+};
+
+const BackendModel kHip = {
+    "hip_mi250x_gcd",
+    /*bw_gibps=*/1638.4,  // Table 1
+    /*sp_tflops=*/23.95,  // Table 1
+    /*dp_tflops=*/23.95,  // CDNA2 vector FP64 runs at the FP32 rate
+    /*launch_us=*/7.0,
+    // The un-tuned HIPIFY port: the L kernel's 32-thread workgroups fill
+    // only half of each 64-lane wavefront, and the wide-gate kernels hit
+    // register/LDS pressure the port does not mitigate — achieved bandwidth
+    // collapses as the fused width grows (paper §5: "HIP backend performance
+    // deteriorates with larger gate fusion numbers").
+    /*eff_bw=*/{0, 0.660, 0.647, 0.464, 0.329, 0.201, 0.114},
+    /*eff_fl=*/{0, 0.90, 0.90, 0.90, 0.90, 0.90, 0.90},
+};
+
+const BackendModel kCuda = {
+    "cuda_a100",
+    /*bw_gibps=*/1448.0,  // Table 1
+    /*sp_tflops=*/19.5,   // A100 SP vector peak (Table 1 lists the FP64 TC
+                          // figure; the kernels use the vector units)
+    /*dp_tflops=*/9.7,
+    /*launch_us=*/3.0,
+    // Mature CUDA backend: near-STREAM efficiency through width 4; the 5-
+    // and 6-qubit kernels are bounded by the 48 KiB default shared-memory
+    // window and register pressure, but the reduced gate count compensates,
+    // so the CUDA curve stays flat instead of deteriorating.
+    /*eff_bw=*/{0, 0.74, 0.78, 0.82, 0.86, 0.40, 0.28},
+    /*eff_fl=*/{0, 0.90, 0.90, 0.90, 0.90, 0.90, 0.90},
+};
+
+const BackendModel kCuQuantum = {
+    "custatevec_a100",
+    1448.0,
+    19.5,
+    9.7,
+    /*launch_us=*/2.5,
+    // cuStateVec's tuned kernels: 7% ahead of the CUDA backend across the
+    // board (paper: < 10%, cuQuantum slightly favoured).
+    /*eff_bw=*/{0, 0.792, 0.835, 0.877, 0.920, 0.428, 0.300},
+    /*eff_fl=*/{0, 0.92, 0.92, 0.92, 0.92, 0.92, 0.92},
+};
+
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+}  // namespace
+
+const BackendModel& backend_model(Backend b) {
+  switch (b) {
+    case Backend::kCpuTrento: return kCpu;
+    case Backend::kHipMi250x: return kHip;
+    case Backend::kCudaA100: return kCuda;
+    case Backend::kCuQuantumA100: return kCuQuantum;
+  }
+  throw Error("backend_model: bad backend");
+}
+
+double gate_seconds(Backend b, unsigned num_qubits, unsigned q, Precision p) {
+  check(q >= 1 && q <= 6, "gate_seconds: width out of range");
+  const BackendModel& m = backend_model(b);
+  const double amps = static_cast<double>(pow2(num_qubits));
+  const double bytes = 2.0 * amps * static_cast<double>(amp_bytes(p));
+  const double flops = 8.0 * amps * static_cast<double>(pow2(q));
+  const double peak_fl =
+      (p == Precision::kSingle ? m.sp_tflops : m.dp_tflops) * 1e12;
+  const double t_bw = bytes / (m.bw_gibps * kGiB * m.eff_bw[q]);
+  const double t_fl = flops / (peak_fl * m.eff_fl[q]);
+  return m.launch_us * 1e-6 + std::max(t_bw, t_fl);
+}
+
+double predict_seconds(const WorkloadStats& w, Backend b, Precision p) {
+  double t = 0;
+  for (unsigned q = 1; q <= 6; ++q) {
+    const std::size_t n = w.counts[q][0] + w.counts[q][1];
+    if (n == 0) continue;
+    t += static_cast<double>(n) * gate_seconds(b, w.num_qubits, q, p);
+  }
+  return t;
+}
+
+std::string format_table1() {
+  std::ostringstream os;
+  os << "Table 1: Hardware and software setup (model parameters)\n"
+     << "-------------------------------------------------------------\n"
+     << "CPU                                  AMD 7A53 Trento\n"
+     << "Cores                                64\n"
+     << "Clock frequency                      2.75 GHz (base)\n"
+     << "Memory                               512 GB DDR4\n"
+     << "AMD GPU (# GCD)                      AMD MI250X (2)\n"
+     << "Memory per GCD                       128 GB HBM2\n"
+     << "Theoretical peak memory BW per GCD   1638.4 GiB/s\n"
+     << "Theoretical peak SP FLOPs per GCD    23.95 TFLOP/s\n"
+     << "Nvidia GPU                           Nvidia A100\n"
+     << "Memory per GPU                       40 GB HBM2\n"
+     << "Theoretical peak memory BW per GPU   1448 GiB/s\n"
+     << "Theoretical peak SP FLOPs per GPU    10.5 TFLOP/s\n"
+     << "qsim (reproduced)                    0.16.3\n"
+     << "Precision (default)                  single\n"
+     << "-------------------------------------------------------------\n";
+  return os.str();
+}
+
+namespace capacity {
+
+unsigned max_qubits(std::size_t mem_bytes, Precision p,
+                    double reserve_fraction) {
+  check(mem_bytes > 0 && reserve_fraction >= 0 && reserve_fraction < 1,
+        "capacity::max_qubits: bad arguments");
+  const double usable = static_cast<double>(mem_bytes) * (1.0 - reserve_fraction);
+  unsigned n = 0;
+  while (n < 48 &&
+         static_cast<double>(pow2(n + 1)) * static_cast<double>(amp_bytes(p)) <=
+             usable) {
+    ++n;
+  }
+  return n;
+}
+
+unsigned max_qubits(Backend b, Precision p) {
+  switch (b) {
+    case Backend::kCpuTrento: return max_qubits(512ull << 30, p);
+    case Backend::kHipMi250x: return max_qubits(128ull << 30, p);
+    case Backend::kCudaA100:
+    case Backend::kCuQuantumA100: return max_qubits(40ull << 30, p);
+  }
+  throw Error("capacity::max_qubits: bad backend");
+}
+
+}  // namespace capacity
+}  // namespace qhip::perfmodel

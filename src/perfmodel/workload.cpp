@@ -1,0 +1,75 @@
+#include "src/perfmodel/workload.h"
+
+#include <algorithm>
+
+#include "src/base/bits.h"
+#include "src/base/error.h"
+
+namespace qhip::perfmodel {
+
+double WorkloadStats::state_amps() const {
+  return static_cast<double>(pow2(num_qubits));
+}
+
+double WorkloadStats::flops(unsigned q) const {
+  // Per group of 2^q amplitudes: a 2^q x 2^q complex matrix-vector product
+  // = 2^2q complex multiply-adds = 8 * 2^2q real FLOPs. Groups: 2^(n-q).
+  // Total: 8 * 2^n * 2^q.
+  return 8.0 * state_amps() * static_cast<double>(pow2(q));
+}
+
+double WorkloadStats::bytes(unsigned q, std::size_t amp_bytes) const {
+  // Each amplitude is read once and written once per gate; the gate matrix
+  // itself is negligible (<= 64 KiB) and served from cache/LDS.
+  (void)q;
+  return 2.0 * state_amps() * static_cast<double>(amp_bytes);
+}
+
+double WorkloadStats::total_flops() const {
+  double t = 0;
+  for (unsigned q = 1; q <= 6; ++q) {
+    t += static_cast<double>(counts[q][0] + counts[q][1]) * flops(q);
+  }
+  return t;
+}
+
+double WorkloadStats::total_bytes(std::size_t amp_bytes) const {
+  double t = 0;
+  for (unsigned q = 1; q <= 6; ++q) {
+    t += static_cast<double>(counts[q][0] + counts[q][1]) * bytes(q, amp_bytes);
+  }
+  return t;
+}
+
+std::size_t WorkloadStats::low_gates() const {
+  std::size_t t = 0;
+  for (unsigned q = 1; q <= 6; ++q) t += counts[q][1];
+  return t;
+}
+
+std::size_t WorkloadStats::high_gates() const {
+  std::size_t t = 0;
+  for (unsigned q = 1; q <= 6; ++q) t += counts[q][0];
+  return t;
+}
+
+WorkloadStats WorkloadStats::from_circuit(const Circuit& fused) {
+  WorkloadStats s;
+  s.num_qubits = fused.num_qubits;
+  for (const auto& g : fused.gates) {
+    if (g.is_measurement()) {
+      ++s.num_measurements;
+      continue;
+    }
+    const unsigned q = g.num_targets();
+    check(q >= 1 && q <= 6, "WorkloadStats: gate width out of range");
+    qubit_t lowest = g.qubits[0];
+    for (qubit_t t : g.qubits) lowest = std::min(lowest, t);
+    const bool low = lowest < 5;  // qsim's H/L split at log2(32)
+    ++s.counts[q][low ? 1 : 0];
+    ++s.num_gates;
+  }
+  return s;
+}
+
+}  // namespace qhip::perfmodel

@@ -1,0 +1,42 @@
+// Exact per-kernel work statistics for a fused circuit.
+//
+// A state-vector simulator's cost structure is fully determined by the gate
+// list: applying a q-qubit fused gate to an n-qubit state streams all 2^n
+// amplitudes through the chip once (read + write) and performs one
+// 2^q x 2^q complex matrix-vector product per group of 2^q amplitudes.
+// These statistics are computed analytically here — they are what the
+// device models consume to predict wall-clock time on the paper's hardware
+// (see DESIGN.md §2 for the substitution argument). The same numbers are
+// cross-checked against instrumented virtual-GPU runs in the test suite.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/core/circuit.h"
+
+namespace qhip::perfmodel {
+
+// Aggregated per gate-width and kernel class (H: all targets >= 5, L: any
+// target < 5 — the qsim GPU backend's split).
+struct WorkloadStats {
+  unsigned num_qubits = 0;
+  std::size_t num_gates = 0;        // unitary gates (measurements excluded)
+  std::size_t num_measurements = 0;
+  // counts[q][0] = H-kernel gates of width q, counts[q][1] = L-kernel.
+  std::array<std::array<std::size_t, 2>, 7> counts{};
+
+  // Totals for one full pass metric per gate.
+  double state_amps() const;          // 2^n
+  double flops(unsigned q) const;     // real FLOPs for one width-q gate pass
+  double bytes(unsigned q, std::size_t amp_bytes) const;  // HBM traffic
+
+  double total_flops() const;
+  double total_bytes(std::size_t amp_bytes) const;
+  std::size_t low_gates() const;
+  std::size_t high_gates() const;
+
+  static WorkloadStats from_circuit(const Circuit& fused);
+};
+
+}  // namespace qhip::perfmodel

@@ -1,0 +1,127 @@
+#include "src/prof/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/base/error.h"
+#include "src/base/timer.h"
+
+namespace qhip {
+
+namespace {
+
+const char* kind_category(TraceKind k) {
+  switch (k) {
+    case TraceKind::kKernel: return "kernel";
+    case TraceKind::kMemcpy: return "memcpy";
+    case TraceKind::kHost: return "host";
+  }
+  return "unknown";
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+}  // namespace
+
+void Tracer::record(std::string name, TraceKind kind, std::uint64_t ts_us,
+                    std::uint64_t dur_us, int lane, std::uint64_t bytes) {
+  std::lock_guard lk(mu_);
+  events_.push_back({std::move(name), kind, ts_us, dur_us, lane, bytes});
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard lk(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard lk(mu_);
+  return events_;
+}
+
+std::vector<TraceSummaryRow> Tracer::summary() const {
+  std::map<std::string, TraceSummaryRow> agg;
+  {
+    std::lock_guard lk(mu_);
+    for (const auto& e : events_) {
+      auto& row = agg[e.name];
+      row.name = e.name;
+      ++row.count;
+      row.total_us += e.dur_us;
+      row.total_bytes += e.bytes;
+    }
+  }
+  std::vector<TraceSummaryRow> rows;
+  rows.reserve(agg.size());
+  for (auto& [_, row] : agg) rows.push_back(std::move(row));
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.total_us > b.total_us; });
+  return rows;
+}
+
+std::string Tracer::to_perfetto_json() const {
+  std::vector<TraceEvent> evs = events();
+  std::string out;
+  out.reserve(evs.size() * 128 + 64);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& e : evs) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"cat\":\"";
+    out += kind_category(e.kind);
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.lane);
+    out += ",\"ts\":";
+    out += std::to_string(e.ts_us);
+    out += ",\"dur\":";
+    out += std::to_string(e.dur_us);
+    out += ",\"args\":{\"bytes\":";
+    out += std::to_string(e.bytes);
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void Tracer::write_perfetto_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  check(f.good(), "Tracer: cannot open '" + path + "' for writing");
+  const std::string json = to_perfetto_json();
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  check(f.good(), "Tracer: write to '" + path + "' failed");
+}
+
+void Tracer::clear() {
+  std::lock_guard lk(mu_);
+  events_.clear();
+}
+
+ScopedTrace::ScopedTrace(Tracer* tracer, std::string name, TraceKind kind, int lane,
+                         std::uint64_t bytes)
+    : tracer_(tracer),
+      name_(std::move(name)),
+      kind_(kind),
+      lane_(lane),
+      bytes_(bytes),
+      start_us_(tracer ? Timer::now_micros() : 0) {}
+
+ScopedTrace::~ScopedTrace() {
+  if (!tracer_) return;
+  const std::uint64_t end = Timer::now_micros();
+  tracer_->record(std::move(name_), kind_, start_us_, end - start_us_, lane_, bytes_);
+}
+
+}  // namespace qhip

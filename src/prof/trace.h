@@ -1,0 +1,88 @@
+// In-process tracer reproducing the paper's rocprof + Perfetto workflow.
+//
+// The paper (Figures 1 and 6) profiles the HIP backend with rocprof, which
+// writes a JSON trace visualized in the Perfetto UI. This module records the
+// same event classes — kernel executions (ApplyGateH_Kernel,
+// ApplyGateL_Kernel, state-space kernels) and asynchronous memory copies —
+// and serializes them in the Chrome trace-event format that Perfetto loads
+// directly (https://ui.perfetto.dev).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qhip {
+
+enum class TraceKind { kKernel, kMemcpy, kHost };
+
+struct TraceEvent {
+  std::string name;      // e.g. "ApplyGateH_Kernel", "hipMemcpyAsync"
+  TraceKind kind;
+  std::uint64_t ts_us;   // start, microseconds
+  std::uint64_t dur_us;  // duration, microseconds
+  int lane;              // virtual "GPU queue" / thread id for the trace row
+  std::uint64_t bytes;   // memcpy payload or kernel memory traffic (optional)
+};
+
+// Aggregate per event name: how Figure 6's "ApplyGateL_Kernel takes more time
+// than ApplyGateH_Kernel" observation is quantified.
+struct TraceSummaryRow {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;
+  std::uint64_t total_bytes = 0;
+};
+
+// Thread-safe event collector. One Tracer per run; pass nullptr to disable
+// tracing (recording is skipped entirely in that case).
+class Tracer {
+ public:
+  // Records a completed event.
+  void record(std::string name, TraceKind kind, std::uint64_t ts_us,
+              std::uint64_t dur_us, int lane = 0, std::uint64_t bytes = 0);
+
+  // Number of recorded events.
+  std::size_t size() const;
+
+  std::vector<TraceEvent> events() const;
+
+  // Per-name aggregation, sorted by descending total time.
+  std::vector<TraceSummaryRow> summary() const;
+
+  // Serializes to the Chrome trace-event JSON array format understood by
+  // Perfetto and chrome://tracing.
+  std::string to_perfetto_json() const;
+
+  // Writes to_perfetto_json() to `path`; throws qhip::Error on I/O failure.
+  void write_perfetto_json(const std::string& path) const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+// RAII helper that records a host-side span on destruction.
+class ScopedTrace {
+ public:
+  ScopedTrace(Tracer* tracer, std::string name, TraceKind kind = TraceKind::kHost,
+              int lane = 0, std::uint64_t bytes = 0);
+  ~ScopedTrace();
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  Tracer* tracer_;
+  std::string name_;
+  TraceKind kind_;
+  int lane_;
+  std::uint64_t bytes_;
+  std::uint64_t start_us_;
+};
+
+}  // namespace qhip

@@ -1,0 +1,132 @@
+#include "src/rqc/rqc.h"
+
+#include <numbers>
+#include <sstream>
+#include <vector>
+
+#include "src/base/error.h"
+#include "src/base/rng.h"
+#include "src/core/gates.h"
+
+namespace qhip::rqc {
+
+namespace {
+
+// The three Sycamore single-qubit gates.
+enum class OneQ : unsigned { kSqrtX = 0, kSqrtY = 1, kSqrtW = 2 };
+
+Gate make_1q(OneQ g, unsigned time, qubit_t q) {
+  switch (g) {
+    case OneQ::kSqrtX: return gates::x_1_2(time, q);
+    case OneQ::kSqrtY: return gates::y_1_2(time, q);
+    case OneQ::kSqrtW: return gates::hz_1_2(time, q);
+  }
+  throw Error("make_1q: bad gate id");
+}
+
+Gate make_2q(Entangler e, unsigned time, qubit_t a, qubit_t b) {
+  switch (e) {
+    case Entangler::kFsim:
+      return gates::fs(time, a, b, std::numbers::pi / 2, std::numbers::pi / 6);
+    case Entangler::kCz: return gates::cz(time, a, b);
+    case Entangler::kIswap: return gates::is(time, a, b);
+  }
+  throw Error("make_2q: bad entangler");
+}
+
+// Edges of pattern p over an rows x cols grid.
+std::vector<std::pair<qubit_t, qubit_t>> pattern_edges(char p, unsigned rows,
+                                                       unsigned cols) {
+  std::vector<std::pair<qubit_t, qubit_t>> edges;
+  const auto idx = [cols](unsigned r, unsigned c) {
+    return static_cast<qubit_t>(r * cols + c);
+  };
+  if (p == 'A' || p == 'B') {
+    // Horizontal couplers; parity of (r + c) selects the pattern.
+    const unsigned want = p == 'A' ? 0 : 1;
+    for (unsigned r = 0; r < rows; ++r) {
+      for (unsigned c = 0; c + 1 < cols; ++c) {
+        if ((r + c) % 2 == want) edges.emplace_back(idx(r, c), idx(r, c + 1));
+      }
+    }
+  } else {
+    // Vertical couplers.
+    const unsigned want = p == 'C' ? 0 : 1;
+    for (unsigned r = 0; r + 1 < rows; ++r) {
+      for (unsigned c = 0; c < cols; ++c) {
+        if ((r + c) % 2 == want) edges.emplace_back(idx(r, c), idx(r + 1, c));
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+Circuit generate_rqc(const RqcOptions& opt) {
+  const unsigned n = opt.rows * opt.cols;
+  check(n >= 2 && n <= 40, "generate_rqc: qubit count out of range [2, 40]");
+  check(opt.depth >= 1, "generate_rqc: depth must be positive");
+
+  Circuit c;
+  c.num_qubits = n;
+
+  // prev[q] = single-qubit gate q received last cycle (none initially).
+  std::vector<int> prev(n, -1);
+  unsigned time = 0;
+
+  const auto one_qubit_layer = [&](unsigned cycle) {
+    for (qubit_t q = 0; q < n; ++q) {
+      // Philox stream per (seed, cycle): random draw per qubit, re-rolled
+      // against the previous cycle's gate.
+      Philox rng(opt.seed, (static_cast<std::uint64_t>(cycle) << 20) | q);
+      int g = static_cast<int>(rng.uniform() * 3.0);
+      if (g > 2) g = 2;
+      if (g == prev[q]) g = (g + 1 + static_cast<int>(rng.uniform() * 2.0)) % 3;
+      prev[q] = g;
+      c.gates.push_back(make_1q(static_cast<OneQ>(g), time, q));
+    }
+    ++time;
+  };
+
+  for (unsigned cycle = 0; cycle < opt.depth; ++cycle) {
+    one_qubit_layer(cycle);
+    const char pattern = kPatternSequence[cycle % 8];
+    const auto edges = pattern_edges(pattern, opt.rows, opt.cols);
+    if (!edges.empty()) {
+      for (const auto& [a, b] : edges) {
+        c.gates.push_back(make_2q(opt.entangler, time, a, b));
+      }
+      ++time;
+    }
+  }
+  if (opt.final_1q_layer) one_qubit_layer(opt.depth);
+  if (opt.final_measurement) {
+    std::vector<qubit_t> all(n);
+    for (qubit_t q = 0; q < n; ++q) all[q] = q;
+    c.gates.push_back(gates::measure(time, std::move(all)));
+  }
+  c.validate();
+  return c;
+}
+
+Circuit circuit_q30(std::uint64_t seed) {
+  RqcOptions opt;
+  opt.rows = 5;
+  opt.cols = 6;
+  opt.depth = 14;
+  opt.seed = seed;
+  return generate_rqc(opt);
+}
+
+std::string describe(const Circuit& c) {
+  std::ostringstream os;
+  os << c.num_qubits << " qubits, depth " << c.depth() << ", " << c.size()
+     << " gates:";
+  for (const auto& [name, count] : c.histogram()) {
+    os << ' ' << name << '=' << count;
+  }
+  return os.str();
+}
+
+}  // namespace qhip::rqc

@@ -1,0 +1,54 @@
+// Random Quantum Circuit (RQC) generator — the paper's benchmark workload.
+//
+// Generates Sycamore-style random circuits over a 2-D qubit grid, following
+// the construction of the quantum-supremacy experiment (Arute et al. 2019)
+// that qsim's bundled circuits/circuit_q30 implements:
+//
+//  * each cycle applies a single-qubit layer — every qubit gets one of
+//    {sqrt(X), sqrt(Y), sqrt(W)} chosen at random, never repeating the
+//    gate the qubit received in the previous cycle — followed by a
+//    two-qubit layer on one of four coupler patterns (A, B, C, D) taken
+//    from the repeating sequence ABCDCDAB;
+//  * the two-qubit entangler is fSim(pi/2, pi/6) by default (Sycamore), or
+//    CZ for the older circuit family.
+//
+// Randomness is Philox counter-based: circuit (seed, cycle, qubit) fully
+// determines each gate, so generated circuits are bit-identical across
+// platforms and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/circuit.h"
+
+namespace qhip::rqc {
+
+enum class Entangler { kFsim, kCz, kIswap };
+
+struct RqcOptions {
+  unsigned rows = 5;
+  unsigned cols = 6;  // rows * cols qubits; 5 x 6 = the paper's 30 qubits
+  unsigned depth = 14;  // cycles (each = 1q layer + 2q layer)
+  std::uint64_t seed = 11;
+  Entangler entangler = Entangler::kFsim;
+  bool final_measurement = false;  // append an 'm' gate over all qubits
+  bool final_1q_layer = true;      // trailing single-qubit layer, as Sycamore
+};
+
+// Coupler patterns: the grid's edges partitioned by orientation and parity.
+// Pattern for cycle k is kPatternSequence[k % 8].
+inline constexpr char kPatternSequence[8] = {'A', 'B', 'C', 'D', 'C', 'D', 'A', 'B'};
+
+// Generates the circuit; result is validate()d. Qubit (r, c) has index
+// r * cols + c.
+Circuit generate_rqc(const RqcOptions& opt);
+
+// The paper's exact benchmark instance: 30 qubits (5 x 6), depth 14,
+// fSim entangler — the stand-in for qsim's circuits/circuit_q30 file.
+Circuit circuit_q30(std::uint64_t seed = 11);
+
+// Human-readable workload summary (qubits, depth, gate histogram).
+std::string describe(const Circuit& c);
+
+}  // namespace qhip::rqc

@@ -1,0 +1,17 @@
+#include "src/rqc/xeb.h"
+
+#include "src/base/bits.h"
+#include "src/base/error.h"
+
+namespace qhip::rqc {
+
+double linear_xeb_from_probs(const std::vector<double>& sampled_probs,
+                             unsigned num_qubits) {
+  check(!sampled_probs.empty(), "linear_xeb_from_probs: no samples");
+  double mean = 0;
+  for (double p : sampled_probs) mean += p;
+  mean /= static_cast<double>(sampled_probs.size());
+  return static_cast<double>(pow2(num_qubits)) * mean - 1.0;
+}
+
+}  // namespace qhip::rqc

@@ -1,0 +1,37 @@
+// Linear cross-entropy benchmarking (XEB) fidelity.
+//
+// The RQC sampling benchmark is scored with the linear XEB estimator
+// (Arute et al. 2019):  F = 2^n * <p(x_i)> - 1,  averaged over the sampled
+// bitstrings x_i, where p is the exact output distribution. An ideal
+// simulator sampling its own exact distribution scores F ~ 1 (the
+// Porter-Thomas heavy-output effect); uniform random bitstrings score ~ 0.
+// This gives the test suite an end-to-end correctness check of the whole
+// pipeline: wrong kernels or a broken sampler destroy the fidelity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/statespace/statevector.h"
+
+namespace qhip::rqc {
+
+// F from exact amplitudes and sampled indices.
+template <typename FP>
+double linear_xeb(const StateVector<FP>& state, const std::vector<index_t>& samples) {
+  check(!samples.empty(), "linear_xeb: no samples");
+  const double dim = static_cast<double>(state.size());
+  double mean_p = 0;
+  for (index_t s : samples) {
+    check(s < state.size(), "linear_xeb: sample out of range");
+    mean_p += std::norm(cplx64(state[s].real(), state[s].imag()));
+  }
+  mean_p /= static_cast<double>(samples.size());
+  return dim * mean_p - 1.0;
+}
+
+// F for externally supplied probabilities (e.g. from a different backend).
+double linear_xeb_from_probs(const std::vector<double>& sampled_probs,
+                             unsigned num_qubits);
+
+}  // namespace qhip::rqc

@@ -1,0 +1,122 @@
+// Shared gate-application core for host backends.
+//
+// Applying a q-qubit unitary to an n-qubit state partitions the 2^n
+// amplitudes into 2^{n-q} independent groups of 2^q (Figure 4 of the
+// paper): group `o` lives at indices expand_bits(o) | scatter_mask(k).
+// Each group update is a dense 2^q x 2^q matrix-vector product — the
+// "small matrix-vector multiplication with low arithmetic intensity" the
+// paper identifies as the computational building block.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/base/bits.h"
+#include "src/base/error.h"
+#include "src/base/threadpool.h"
+#include "src/statespace/statevector.h"
+#include "src/core/gate.h"
+
+namespace qhip {
+namespace detail {
+
+// Converts the double-precision gate matrix to the simulation precision.
+template <typename FP>
+std::vector<cplx<FP>> matrix_as(const CMatrix& m) {
+  std::vector<cplx<FP>> out(m.data().size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = cplx<FP>(static_cast<FP>(m.data()[i].real()),
+                      static_cast<FP>(m.data()[i].imag()));
+  }
+  return out;
+}
+
+// Applies a q-qubit unitary given in `m` (row-major, dim 2^q) to the state,
+// for one outer-group range [begin, end). `sorted` are the ascending target
+// qubits; `member` the scatter masks. Compile-time Q unrolls the hot loop
+// for the common small widths.
+template <typename FP, unsigned Q>
+void apply_groups_fixed(const cplx<FP>* m, const std::array<qubit_t, Q>& sorted,
+                        const std::array<index_t, (std::size_t{1} << Q)>& member,
+                        cplx<FP>* amps, index_t begin, index_t end) {
+  constexpr std::size_t D = std::size_t{1} << Q;
+  std::array<cplx<FP>, D> tmp;
+  for (index_t o = begin; o < end; ++o) {
+    const index_t base = expand_bits(o, sorted);
+    for (std::size_t k = 0; k < D; ++k) tmp[k] = amps[base | member[k]];
+    for (std::size_t r = 0; r < D; ++r) {
+      cplx<FP> acc{};
+      const cplx<FP>* row = m + r * D;
+      for (std::size_t c = 0; c < D; ++c) acc += row[c] * tmp[c];
+      amps[base | member[r]] = acc;
+    }
+  }
+}
+
+template <typename FP>
+void apply_groups_dyn(const cplx<FP>* m, const std::vector<qubit_t>& sorted,
+                      const std::vector<index_t>& member, cplx<FP>* amps,
+                      index_t begin, index_t end) {
+  const std::size_t d = member.size();
+  std::vector<cplx<FP>> tmp(d);
+  for (index_t o = begin; o < end; ++o) {
+    const index_t base = expand_bits(o, sorted);
+    for (std::size_t k = 0; k < d; ++k) tmp[k] = amps[base | member[k]];
+    for (std::size_t r = 0; r < d; ++r) {
+      cplx<FP> acc{};
+      const cplx<FP>* row = m + r * d;
+      for (std::size_t c = 0; c < d; ++c) acc += row[c] * tmp[c];
+      amps[base | member[r]] = acc;
+    }
+  }
+}
+
+}  // namespace detail
+
+// Applies a (normalized, uncontrolled) unitary gate to `state`, splitting the
+// outer groups across `pool`.
+template <typename FP>
+void apply_gate_inplace(const Gate& g, StateVector<FP>& state, ThreadPool& pool) {
+  check(g.kind == GateKind::kUnitary, "apply_gate_inplace: not a unitary gate");
+  check(g.controls.empty(), "apply_gate_inplace: fold controls first");
+  const unsigned q = g.num_targets();
+  check(q <= state.num_qubits(), "apply_gate_inplace: gate wider than state");
+
+  std::vector<qubit_t> sorted = g.qubits;
+  check(std::is_sorted(sorted.begin(), sorted.end()),
+        "apply_gate_inplace: gate must be normalized (sorted qubits)");
+  for (qubit_t t : sorted) {
+    check(t < state.num_qubits(), "apply_gate_inplace: target out of range");
+  }
+
+  const std::vector<cplx<FP>> m = detail::matrix_as<FP>(g.matrix);
+  const std::vector<index_t> member = scatter_masks(sorted);
+  const index_t outer = state.size() >> q;
+  cplx<FP>* amps = state.data();
+
+  auto dispatch = [&](auto qc) {
+    constexpr unsigned Q = decltype(qc)::value;
+    std::array<qubit_t, Q> sq{};
+    std::copy_n(sorted.begin(), Q, sq.begin());
+    std::array<index_t, (std::size_t{1} << Q)> mm{};
+    std::copy_n(member.begin(), mm.size(), mm.begin());
+    pool.parallel_ranges(outer, [&](unsigned, index_t b, index_t e) {
+      detail::apply_groups_fixed<FP, Q>(m.data(), sq, mm, amps, b, e);
+    });
+  };
+
+  switch (q) {
+    case 1: dispatch(std::integral_constant<unsigned, 1>{}); break;
+    case 2: dispatch(std::integral_constant<unsigned, 2>{}); break;
+    case 3: dispatch(std::integral_constant<unsigned, 3>{}); break;
+    case 4: dispatch(std::integral_constant<unsigned, 4>{}); break;
+    case 5: dispatch(std::integral_constant<unsigned, 5>{}); break;
+    case 6: dispatch(std::integral_constant<unsigned, 6>{}); break;
+    default:
+      pool.parallel_ranges(outer, [&](unsigned, index_t b, index_t e) {
+        detail::apply_groups_dyn<FP>(m.data(), sorted, member, amps, b, e);
+      });
+  }
+}
+
+}  // namespace qhip

@@ -1,0 +1,53 @@
+// Slow, independent reference simulator used as the test oracle.
+//
+// Deliberately written differently from the optimized backends: it computes
+// each output amplitude by gathering its matrix row from the input copy,
+// with no in-place update, no bit-expansion loop and no threading. Backends
+// must agree with it to precision-dependent tolerance.
+#pragma once
+
+#include <vector>
+
+#include "src/base/bits.h"
+#include "src/base/error.h"
+#include "src/core/circuit.h"
+#include "src/statespace/statevector.h"
+
+namespace qhip {
+
+template <typename FP>
+void reference_apply_gate(const Gate& gate, StateVector<FP>& state) {
+  const Gate g = normalized(gate.controls.empty() ? gate : expand_controls(gate));
+  check(g.kind == GateKind::kUnitary, "reference_apply_gate: not unitary");
+
+  const unsigned q = g.num_targets();
+  const std::size_t d = std::size_t{1} << q;
+  std::vector<cplx<FP>> in(state.data(), state.data() + state.size());
+
+  for (index_t i = 0; i < state.size(); ++i) {
+    // Row of the expanded matrix this output index uses.
+    const index_t r = gather_bits(i, g.qubits);
+    // Base index with the target bits cleared.
+    index_t base = i;
+    for (qubit_t t : g.qubits) base &= ~pow2(t);
+    cplx<FP> acc{};
+    for (std::size_t c = 0; c < d; ++c) {
+      const index_t src = base | scatter_bits(c, g.qubits);
+      const cplx64 mv = g.matrix.at(r, c);
+      acc += cplx<FP>(static_cast<FP>(mv.real()), static_cast<FP>(mv.imag())) * in[src];
+    }
+    state[i] = acc;
+  }
+}
+
+// Runs a measurement-free circuit on the reference path.
+template <typename FP>
+void reference_run(const Circuit& c, StateVector<FP>& state) {
+  check(state.num_qubits() == c.num_qubits, "reference_run: qubit count mismatch");
+  for (const auto& g : c.gates) {
+    check(!g.is_measurement(), "reference_run: measurements unsupported here");
+    reference_apply_gate(g, state);
+  }
+}
+
+}  // namespace qhip

@@ -1,0 +1,85 @@
+// Reduced density matrices and entanglement measures.
+//
+// The substrate behind qsim's qsim_von_neumann driver: trace out all but a
+// small subsystem, then compute von Neumann entropy / purity from the
+// reduced density matrix's spectrum. rho_A is at most 2^8 x 2^8 here
+// (subsystems up to 8 qubits), built in one streaming pass over the
+// amplitudes: rho_A[r][c] = sum over environment e of a(r,e) conj(a(c,e)).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "src/base/bits.h"
+#include "src/base/error.h"
+#include "src/core/matrix.h"
+#include "src/statespace/statevector.h"
+
+namespace qhip::statespace {
+
+// Density matrix of subsystem `qubits` (matrix bit j <-> qubits[j]).
+template <typename FP>
+CMatrix reduced_density_matrix(const StateVector<FP>& s,
+                               const std::vector<qubit_t>& qubits) {
+  check(!qubits.empty() && qubits.size() <= 8,
+        "reduced_density_matrix: subsystem must have 1..8 qubits");
+  std::vector<qubit_t> sorted = qubits;
+  std::sort(sorted.begin(), sorted.end());
+  check(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+        "reduced_density_matrix: repeated qubit");
+  for (qubit_t q : qubits) {
+    check(q < s.num_qubits(), "reduced_density_matrix: qubit out of range");
+  }
+
+  const std::size_t dim = std::size_t{1} << qubits.size();
+  const std::vector<index_t> member = scatter_masks(qubits);
+  CMatrix rho(dim);
+  const index_t env = s.size() >> qubits.size();
+  for (index_t e = 0; e < env; ++e) {
+    const index_t base = expand_bits(e, sorted);
+    for (std::size_t r = 0; r < dim; ++r) {
+      const cplx<FP>& ar = s[base | member[r]];
+      const cplx64 arc(ar.real(), ar.imag());
+      for (std::size_t c = 0; c < dim; ++c) {
+        const cplx<FP>& ac = s[base | member[c]];
+        rho.at(r, c) += arc * std::conj(cplx64(ac.real(), ac.imag()));
+      }
+    }
+  }
+  return rho;
+}
+
+// Von Neumann entropy S = -sum_i p_i ln p_i of a density matrix, in nats.
+// Pass base2 = true for bits.
+inline double von_neumann_entropy(const CMatrix& rho, bool base2 = false) {
+  const auto eig = hermitian_eigenvalues(rho);
+  double s = 0;
+  for (double p : eig) {
+    check(p > -1e-8, "von_neumann_entropy: negative eigenvalue (not a "
+                     "density matrix?)");
+    if (p > 1e-14) s -= p * std::log(p);
+  }
+  return base2 ? s / std::numbers::ln2 : s;
+}
+
+// Entanglement entropy of subsystem `qubits` against the rest, in nats.
+template <typename FP>
+double entanglement_entropy(const StateVector<FP>& s,
+                            const std::vector<qubit_t>& qubits,
+                            bool base2 = false) {
+  return von_neumann_entropy(reduced_density_matrix(s, qubits), base2);
+}
+
+// Purity tr(rho^2) of the reduced state: 1 for product states, 1/2^k for a
+// maximally mixed k-qubit subsystem.
+inline double purity(const CMatrix& rho) {
+  double p = 0;
+  for (std::size_t r = 0; r < rho.dim(); ++r) {
+    for (std::size_t c = 0; c < rho.dim(); ++c) {
+      p += std::norm(rho.at(r, c));  // tr(rho rho^dagger); rho Hermitian
+    }
+  }
+  return p;
+}
+
+}  // namespace qhip::statespace

@@ -1,0 +1,225 @@
+// State-vector storage and the host-side state-space operations.
+//
+// This mirrors qsim's StateSpace layer: everything that touches the state
+// other than applying gates — initialization, norms, inner products,
+// amplitude access, Born-rule sampling, and measurement collapse. Gate
+// application lives in the simulator backends (src/simulator, src/hipsim).
+//
+// The vector is stored as an interleaved array of std::complex<FP>; for an
+// n-qubit system it holds 2^n amplitudes, amplitude index bit b = qubit b.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/base/aligned.h"
+#include "src/base/bits.h"
+#include "src/base/error.h"
+#include "src/base/rng.h"
+#include "src/base/threadpool.h"
+#include "src/base/types.h"
+
+namespace qhip {
+
+template <typename FP>
+class StateVector {
+ public:
+  StateVector() = default;
+
+  // Allocates 2^num_qubits amplitudes initialized to |0...0>.
+  explicit StateVector(unsigned num_qubits)
+      : num_qubits_(checked_qubits(num_qubits)), amps_(pow2(num_qubits)) {
+    amps_[0] = cplx<FP>{1};
+  }
+
+  unsigned num_qubits() const { return num_qubits_; }
+  index_t size() const { return amps_.size(); }
+
+  cplx<FP>* data() { return amps_.data(); }
+  const cplx<FP>* data() const { return amps_.data(); }
+
+  cplx<FP>& operator[](index_t i) { return amps_[i]; }
+  const cplx<FP>& operator[](index_t i) const { return amps_[i]; }
+
+  // |0...0>.
+  void set_zero_state() {
+    std::fill(amps_.begin(), amps_.end(), cplx<FP>{});
+    amps_[0] = cplx<FP>{1};
+  }
+
+  // Uniform superposition 1/sqrt(2^n) * sum_i |i> (qsim's SetStateUniform).
+  void set_uniform_state() {
+    const FP a = FP(1) / std::sqrt(static_cast<FP>(size()));
+    std::fill(amps_.begin(), amps_.end(), cplx<FP>{a});
+  }
+
+  // Computational-basis state |i>.
+  void set_basis_state(index_t i) {
+    check(i < size(), "set_basis_state: index out of range");
+    std::fill(amps_.begin(), amps_.end(), cplx<FP>{});
+    amps_[i] = cplx<FP>{1};
+  }
+
+ private:
+  static unsigned checked_qubits(unsigned n) {
+    check(n >= 1 && n <= 34, "StateVector: qubits out of range [1, 34]");
+    return n;
+  }
+
+  unsigned num_qubits_ = 0;
+  std::vector<cplx<FP>, AlignedAllocator<cplx<FP>>> amps_;
+};
+
+namespace statespace {
+
+// sum_i |a_i|^2, accumulated in double regardless of FP.
+template <typename FP>
+double norm2(const StateVector<FP>& s, ThreadPool& pool = ThreadPool::shared()) {
+  const unsigned nt = pool.num_threads();
+  std::vector<double> partial(nt, 0.0);
+  pool.parallel_ranges(s.size(), [&](unsigned rank, index_t b, index_t e) {
+    double acc = 0;
+    for (index_t i = b; i < e; ++i) acc += std::norm(s[i]);
+    partial[rank] += acc;
+  });
+  double total = 0;
+  for (double v : partial) total += v;
+  return total;
+}
+
+// <a|b>, accumulated in double.
+template <typename FP>
+cplx64 inner_product(const StateVector<FP>& a, const StateVector<FP>& b,
+                     ThreadPool& pool = ThreadPool::shared()) {
+  check(a.size() == b.size(), "inner_product: size mismatch");
+  const unsigned nt = pool.num_threads();
+  std::vector<cplx64> partial(nt);
+  pool.parallel_ranges(a.size(), [&](unsigned rank, index_t lo, index_t hi) {
+    cplx64 acc{};
+    for (index_t i = lo; i < hi; ++i) {
+      acc += std::conj(cplx64(a[i].real(), a[i].imag())) *
+             cplx64(b[i].real(), b[i].imag());
+    }
+    partial[rank] += acc;
+  });
+  cplx64 total{};
+  for (const auto& v : partial) total += v;
+  return total;
+}
+
+// Scales so that norm2 == 1. Returns the pre-normalization norm.
+template <typename FP>
+double normalize(StateVector<FP>& s, ThreadPool& pool = ThreadPool::shared()) {
+  const double n2 = norm2(s, pool);
+  check(n2 > 0, "normalize: zero state");
+  const FP inv = static_cast<FP>(1.0 / std::sqrt(n2));
+  pool.parallel_for(s.size(), [&](index_t i) { s[i] *= inv; });
+  return std::sqrt(n2);
+}
+
+// Max |a_i - b_i| between two states.
+template <typename FP>
+double max_abs_diff(const StateVector<FP>& a, const StateVector<FP>& b) {
+  check(a.size() == b.size(), "max_abs_diff: size mismatch");
+  double worst = 0;
+  for (index_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(cplx64(a[i].real() - b[i].real(),
+                                            a[i].imag() - b[i].imag())));
+  }
+  return worst;
+}
+
+// Probability that measuring `qubits` yields `outcome` (bit j of outcome is
+// the result for qubits[j]).
+template <typename FP>
+double probability(const StateVector<FP>& s, const std::vector<qubit_t>& qubits,
+                   index_t outcome, ThreadPool& pool = ThreadPool::shared()) {
+  const index_t want = scatter_bits(outcome, qubits);
+  index_t mask = 0;
+  for (qubit_t q : qubits) mask |= pow2(q);
+  const unsigned nt = pool.num_threads();
+  std::vector<double> partial(nt, 0.0);
+  pool.parallel_ranges(s.size(), [&](unsigned rank, index_t b, index_t e) {
+    double acc = 0;
+    for (index_t i = b; i < e; ++i) {
+      if ((i & mask) == want) acc += std::norm(s[i]);
+    }
+    partial[rank] += acc;
+  });
+  double total = 0;
+  for (double v : partial) total += v;
+  return total;
+}
+
+// Draws `num_samples` basis states per the Born rule. Uses sorted uniforms
+// and a single cumulative pass over the amplitudes, so cost is
+// O(2^n + m log m) — the same approach as qsim's Sample().
+template <typename FP>
+std::vector<index_t> sample(const StateVector<FP>& s, std::size_t num_samples,
+                            std::uint64_t seed) {
+  std::vector<double> rs(num_samples);
+  Philox rng(seed, /*stream=*/0x5a17);
+  for (auto& r : rs) r = rng.uniform();
+  std::sort(rs.begin(), rs.end());
+
+  std::vector<index_t> out(num_samples);
+  double csum = 0;
+  std::size_t k = 0;
+  for (index_t i = 0; i < s.size() && k < num_samples; ++i) {
+    csum += std::norm(s[i]);
+    while (k < num_samples && rs[k] < csum) out[k++] = i;
+  }
+  // Numerical tail: assign any leftovers (csum ended below 1 by rounding)
+  // to the last nonzero amplitude.
+  for (; k < num_samples; ++k) out[k] = s.size() - 1;
+
+  // Restore the caller-visible order to match the unsorted draw order: the
+  // samples are i.i.d., so a deterministic shuffle keyed on the seed keeps
+  // reproducibility without correlating consecutive samples.
+  Philox shuf(seed, /*stream=*/0x5a18);
+  for (std::size_t i = out.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(shuf.uniform() * i);
+    std::swap(out[i - 1], out[j]);
+  }
+  return out;
+}
+
+// Measures `qubits`, collapses the state, renormalizes, and returns the
+// outcome (bit j = result for qubits[j]).
+template <typename FP>
+index_t measure(StateVector<FP>& s, const std::vector<qubit_t>& qubits,
+                std::uint64_t seed, ThreadPool& pool = ThreadPool::shared()) {
+  check(!qubits.empty() && qubits.size() <= 30, "measure: bad qubit list");
+
+  // Outcome distribution over the measured subset.
+  const std::size_t no = std::size_t{1} << qubits.size();
+  std::vector<double> probs(no, 0.0);
+  index_t mask = 0;
+  for (qubit_t q : qubits) mask |= pow2(q);
+  for (index_t i = 0; i < s.size(); ++i) {
+    probs[gather_bits(i, qubits)] += std::norm(s[i]);
+  }
+
+  Philox rng(seed, /*stream=*/0x3ea5);
+  const double r = rng.uniform();
+  double csum = 0;
+  index_t outcome = no - 1;
+  for (std::size_t o = 0; o < no; ++o) {
+    csum += probs[o];
+    if (r < csum) {
+      outcome = o;
+      break;
+    }
+  }
+
+  const index_t want = scatter_bits(outcome, qubits);
+  pool.parallel_for(s.size(), [&](index_t i) {
+    if ((i & mask) != want) s[i] = cplx<FP>{};
+  });
+  normalize(s, pool);
+  return outcome;
+}
+
+}  // namespace statespace
+}  // namespace qhip

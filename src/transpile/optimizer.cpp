@@ -1,0 +1,159 @@
+#include "src/transpile/optimizer.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/base/error.h"
+#include "src/base/strings.h"
+
+namespace qhip::transpile {
+
+namespace {
+
+// || M - e^{i phi} I ||, minimized over the global phase phi.
+bool is_identity_up_to_phase(const CMatrix& m, double tol = 1e-10) {
+  // Phase from the largest diagonal entry.
+  cplx64 diag{};
+  for (std::size_t i = 0; i < m.dim(); ++i) {
+    if (std::abs(m.at(i, i)) > std::abs(diag)) diag = m.at(i, i);
+  }
+  if (std::abs(diag) < 1e-12) return false;
+  const cplx64 phase = diag / std::abs(diag);
+  for (std::size_t r = 0; r < m.dim(); ++r) {
+    for (std::size_t c = 0; c < m.dim(); ++c) {
+      const cplx64 want = r == c ? phase : cplx64{};
+      if (std::abs(m.at(r, c) - want) > tol) return false;
+    }
+  }
+  return true;
+}
+
+// Normalizes to sorted targets with controls folded in; measurements pass
+// through.
+std::vector<Gate> canonical_gates(const Circuit& c) {
+  std::vector<Gate> out;
+  out.reserve(c.size());
+  for (const auto& g : c.gates) {
+    if (g.is_measurement()) {
+      out.push_back(normalized(g));
+    } else {
+      out.push_back(normalized(g.controls.empty() ? g : expand_controls(g)));
+    }
+  }
+  return out;
+}
+
+bool touches(const Gate& g, const std::vector<qubit_t>& qubits) {
+  for (qubit_t a : g.qubits) {
+    for (qubit_t b : qubits) {
+      if (a == b) return true;
+    }
+  }
+  return false;
+}
+
+Circuit rebuild(unsigned num_qubits, const std::vector<Gate>& gates,
+                const std::vector<bool>& alive) {
+  Circuit out;
+  out.num_qubits = num_qubits;
+  unsigned time = 0;
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (!alive[i]) continue;
+    Gate g = gates[i];
+    g.time = time++;
+    out.gates.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string OptimizeStats::summary() const {
+  return strfmt("%zu -> %zu gates (%u rounds: %zu inverse pairs, %zu runs "
+                "merged, %zu identities dropped)",
+                input_gates, output_gates, rounds, cancelled_pairs,
+                merged_runs, dropped_identities);
+}
+
+Circuit cancel_adjacent_inverses(const Circuit& c, OptimizeStats* stats) {
+  const std::vector<Gate> gates = canonical_gates(c);
+  std::vector<bool> alive(gates.size(), true);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (!alive[i] || gates[i].is_measurement()) continue;
+    // First live successor touching any of gate i's qubits.
+    for (std::size_t j = i + 1; j < gates.size(); ++j) {
+      if (!alive[j] || !touches(gates[j], gates[i].qubits)) continue;
+      if (!gates[j].is_measurement() && gates[j].qubits == gates[i].qubits &&
+          is_identity_up_to_phase(gates[j].matrix * gates[i].matrix)) {
+        alive[i] = alive[j] = false;
+        if (stats) ++stats->cancelled_pairs;
+      }
+      break;  // only the immediate neighbour on this qubit set
+    }
+  }
+  return rebuild(c.num_qubits, gates, alive);
+}
+
+Circuit merge_single_qubit_runs(const Circuit& c, OptimizeStats* stats) {
+  std::vector<Gate> gates = canonical_gates(c);
+  std::vector<bool> alive(gates.size(), true);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (!alive[i] || gates[i].is_measurement() || gates[i].num_targets() != 1) {
+      continue;
+    }
+    const qubit_t q = gates[i].qubits[0];
+    // Collect the maximal run starting at i.
+    std::vector<std::size_t> run = {i};
+    for (std::size_t j = i + 1; j < gates.size(); ++j) {
+      if (!alive[j] || !touches(gates[j], {q})) continue;
+      if (gates[j].is_measurement() || gates[j].num_targets() != 1) break;
+      run.push_back(j);
+    }
+    if (run.size() < 2) continue;
+    CMatrix acc = gates[i].matrix;
+    for (std::size_t k = 1; k < run.size(); ++k) {
+      acc = gates[run[k]].matrix * acc;
+      alive[run[k]] = false;
+    }
+    gates[i].name = "mg1";  // round-trips through the qsim text format
+    gates[i].params.clear();
+    gates[i].matrix = std::move(acc);
+    if (stats) ++stats->merged_runs;
+    if (is_identity_up_to_phase(gates[i].matrix)) {
+      alive[i] = false;
+      if (stats) ++stats->dropped_identities;
+    }
+  }
+  return rebuild(c.num_qubits, gates, alive);
+}
+
+Circuit drop_identities(const Circuit& c, OptimizeStats* stats) {
+  const std::vector<Gate> gates = canonical_gates(c);
+  std::vector<bool> alive(gates.size(), true);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (gates[i].is_measurement()) continue;
+    if (is_identity_up_to_phase(gates[i].matrix)) {
+      alive[i] = false;
+      if (stats) ++stats->dropped_identities;
+    }
+  }
+  return rebuild(c.num_qubits, gates, alive);
+}
+
+OptimizeResult optimize(const Circuit& c) {
+  OptimizeResult r;
+  r.stats.input_gates = c.size();
+  r.circuit = c;
+  for (unsigned round = 0; round < 16; ++round) {
+    const std::size_t before = r.circuit.size();
+    r.circuit = drop_identities(r.circuit, &r.stats);
+    r.circuit = cancel_adjacent_inverses(r.circuit, &r.stats);
+    r.circuit = merge_single_qubit_runs(r.circuit, &r.stats);
+    ++r.stats.rounds;
+    if (r.circuit.size() == before) break;
+  }
+  r.stats.output_gates = r.circuit.size();
+  return r;
+}
+
+}  // namespace qhip::transpile

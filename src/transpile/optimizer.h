@@ -1,0 +1,49 @@
+// Circuit optimization passes (the transpiler layer of §2.2: "fusion is
+// carried out by a quantum transpiler, which thoroughly analyzes the
+// quantum circuit" — fusion lives in src/fusion; these are the standard
+// cleanup passes that run before it).
+//
+// Passes (all unitary-preserving, property-tested):
+//  * cancel_adjacent_inverses — consecutive gates on identical qubit sets
+//    whose product is the identity are removed (H H, X X, CZ CZ, S Sdg,
+//    and any numeric pair with G2 G1 = I).
+//  * merge_single_qubit_runs — maximal runs of 1-qubit gates on the same
+//    qubit collapse into one matrix gate (and vanish if the product is I).
+//  * drop_identities — removes gates whose matrix is the identity up to
+//    global phase (id1/id2, rz(0), fused no-ops).
+//
+// optimize() runs the passes to a fixed point and reports statistics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/core/circuit.h"
+
+namespace qhip::transpile {
+
+struct OptimizeStats {
+  std::size_t input_gates = 0;
+  std::size_t output_gates = 0;
+  std::size_t cancelled_pairs = 0;
+  std::size_t merged_runs = 0;
+  std::size_t dropped_identities = 0;
+  unsigned rounds = 0;
+
+  std::string summary() const;
+};
+
+struct OptimizeResult {
+  Circuit circuit;
+  OptimizeStats stats;
+};
+
+// Individual passes (single sweep each). Measurements act as barriers.
+Circuit cancel_adjacent_inverses(const Circuit& c, OptimizeStats* stats = nullptr);
+Circuit merge_single_qubit_runs(const Circuit& c, OptimizeStats* stats = nullptr);
+Circuit drop_identities(const Circuit& c, OptimizeStats* stats = nullptr);
+
+// All passes, iterated to a fixed point (bounded rounds).
+OptimizeResult optimize(const Circuit& c);
+
+}  // namespace qhip::transpile

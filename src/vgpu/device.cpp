@@ -1,0 +1,152 @@
+#include "src/vgpu/device.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/base/error.h"
+#include "src/base/strings.h"
+#include "src/base/timer.h"
+
+namespace qhip::vgpu {
+
+Device::Device(DeviceProps props, Tracer* tracer, ThreadPool* pool)
+    : props_(std::move(props)), tracer_(tracer), pool_(pool) {
+  check(props_.warp_size == 32 || props_.warp_size == 64,
+        "Device: warp size must be 32 or 64");
+  execs_.resize(pool_->num_threads());
+}
+
+Device::~Device() {
+  // Free leaked allocations; leaks are a bug but must not leak host memory.
+  for (auto& [base, size] : allocations_) {
+    std::free(const_cast<std::byte*>(base));
+  }
+}
+
+void* Device::malloc(std::size_t bytes) {
+  check(bytes > 0, "vgpu::malloc: zero-byte allocation");
+  check(stats_.bytes_in_use + bytes <= props_.global_mem_bytes,
+        strfmt("vgpu::malloc: out of device memory (%zu B requested, %zu of "
+               "%zu B in use)",
+               bytes, stats_.bytes_in_use, props_.global_mem_bytes));
+  void* p = std::aligned_alloc(256, (bytes + 255) / 256 * 256);
+  check(p != nullptr, "vgpu::malloc: host allocation failed");
+  allocations_.emplace(static_cast<const std::byte*>(p), bytes);
+  stats_.bytes_in_use += bytes;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.bytes_in_use);
+  ++stats_.allocs;
+  return p;
+}
+
+void Device::free(void* p) {
+  if (p == nullptr) return;
+  const auto it = allocations_.find(static_cast<const std::byte*>(p));
+  check(it != allocations_.end(),
+        "vgpu::free: pointer is not a live device allocation");
+  stats_.bytes_in_use -= it->second;
+  allocations_.erase(it);
+  std::free(p);
+  ++stats_.frees;
+}
+
+void Device::validate_device_range(const void* p, std::size_t bytes,
+                                   const char* what) const {
+  const auto* b = static_cast<const std::byte*>(p);
+  // Find the allocation at or before b.
+  auto it = allocations_.upper_bound(b);
+  check(it != allocations_.begin(),
+        std::string(what) + ": pointer is not in device memory");
+  --it;
+  check(b >= it->first && b + bytes <= it->first + it->second,
+        std::string(what) + ": range escapes its device allocation");
+}
+
+void Device::memcpy_h2d(void* dst, const void* src, std::size_t bytes) {
+  memcpy_h2d_async(dst, src, bytes, Stream{0});
+}
+
+void Device::memcpy_d2h(void* dst, const void* src, std::size_t bytes) {
+  memcpy_d2h_async(dst, src, bytes, Stream{0});
+}
+
+void Device::memcpy_d2d(void* dst, const void* src, std::size_t bytes) {
+  validate_device_range(dst, bytes, "memcpy_d2d dst");
+  validate_device_range(src, bytes, "memcpy_d2d src");
+  ScopedTrace span(tracer_, "hipMemcpyDtoD", TraceKind::kMemcpy, 0, bytes);
+  std::memmove(dst, src, bytes);
+}
+
+void Device::memcpy_h2d_async(void* dst, const void* src, std::size_t bytes,
+                              Stream s) {
+  validate_device_range(dst, bytes, "memcpy_h2d dst");
+  ScopedTrace span(tracer_, "hipMemcpyAsync(HtoD)", TraceKind::kMemcpy, s.id, bytes);
+  std::memcpy(dst, src, bytes);
+  ++stats_.h2d_copies;
+  stats_.h2d_bytes += bytes;
+}
+
+void Device::memcpy_d2h_async(void* dst, const void* src, std::size_t bytes,
+                              Stream s) {
+  validate_device_range(src, bytes, "memcpy_d2h src");
+  ScopedTrace span(tracer_, "hipMemcpyAsync(DtoH)", TraceKind::kMemcpy, s.id, bytes);
+  std::memcpy(dst, src, bytes);
+  ++stats_.d2h_copies;
+  stats_.d2h_bytes += bytes;
+}
+
+Stream Device::create_stream() { return Stream{next_stream_++}; }
+
+Event Device::create_event() {
+  event_us_.push_back(0);
+  return Event{static_cast<int>(event_us_.size()) - 1};
+}
+
+void Device::record_event(Event& e, Stream) {
+  check(e.id >= 0 && static_cast<std::size_t>(e.id) < event_us_.size(),
+        "record_event: not an event from create_event");
+  event_us_[static_cast<std::size_t>(e.id)] = Timer::now_micros();
+}
+
+double Device::elapsed_ms(const Event& start, const Event& stop) const {
+  check(start.id >= 0 && static_cast<std::size_t>(start.id) < event_us_.size() &&
+            stop.id >= 0 && static_cast<std::size_t>(stop.id) < event_us_.size(),
+        "elapsed_ms: invalid event");
+  const std::uint64_t a = event_us_[static_cast<std::size_t>(start.id)];
+  const std::uint64_t b = event_us_[static_cast<std::size_t>(stop.id)];
+  check(a != 0 && b != 0, "elapsed_ms: event was never recorded");
+  return (static_cast<double>(b) - static_cast<double>(a)) / 1e3;
+}
+
+void Device::stream_synchronize(Stream) {}
+
+void Device::synchronize() {}
+
+void Device::launch(const char* name, const LaunchConfig& cfg,
+                    const KernelFn& kernel) {
+  check(cfg.grid_dim >= 1, "vgpu::launch: empty grid");
+  check(cfg.block_dim >= 1 && cfg.block_dim <= props_.max_threads_per_block,
+        strfmt("vgpu::launch(%s): block_dim %u exceeds device limit %u", name,
+               cfg.block_dim, props_.max_threads_per_block));
+  check(cfg.shared_bytes <= props_.shared_mem_per_block,
+        strfmt("vgpu::launch(%s): %zu B shared memory exceeds the %zu B "
+               "workgroup limit",
+               name, cfg.shared_bytes, props_.shared_mem_per_block));
+
+  ScopedTrace span(tracer_, name, TraceKind::kKernel, cfg.stream.id);
+  ++stats_.kernel_launches;
+
+  pool_->parallel_ranges(cfg.grid_dim, [&](unsigned rank, index_t b, index_t e) {
+    auto& exec = execs_[rank];
+    if (!exec) {
+      exec = std::make_unique<BlockExec>(props_.max_threads_per_block,
+                                         props_.shared_mem_per_block,
+                                         props_.warp_size);
+    }
+    for (index_t blk = b; blk < e; ++blk) {
+      exec->run_block(kernel, static_cast<unsigned>(blk), cfg.block_dim,
+                      cfg.grid_dim, cfg.shared_bytes, cfg.needs_sync);
+    }
+  });
+}
+
+}  // namespace qhip::vgpu

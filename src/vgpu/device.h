@@ -1,0 +1,126 @@
+// Virtual GPU device: the HIP host-API surface of the emulator.
+//
+// Mirrors the subset of the HIP runtime qsim's GPU backend uses —
+// hipMalloc/hipFree, hipMemcpy/hipMemcpyAsync, streams,
+// hipDeviceSynchronize, and kernel launch — over the SIMT block executor.
+// Streams execute eagerly (a stream is in-order by definition, and a single
+// in-order queue executed immediately is observationally equivalent for a
+// correct program); the tracer still records memcpys and kernels on their
+// stream's lane so traces look like the paper's rocprof timelines.
+//
+// Memory discipline is enforced: copies must lie inside live device
+// allocations, device capacity is respected, and leaks are reported.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/threadpool.h"
+#include "src/prof/trace.h"
+#include "src/vgpu/device_props.h"
+#include "src/vgpu/fiber_exec.h"
+
+namespace qhip::vgpu {
+
+struct Stream {
+  int id = 0;  // 0 is the default stream
+};
+
+// hipEvent_t equivalent: a timestamp marker recorded on a stream.
+struct Event {
+  int id = -1;  // -1 = never recorded
+};
+
+struct LaunchConfig {
+  unsigned grid_dim = 1;      // blocks
+  unsigned block_dim = 1;     // threads per block ("workgroup size" in HIP)
+  std::size_t shared_bytes = 0;  // dynamic shared memory per block
+  bool needs_sync = false;    // kernel uses __syncthreads / collectives
+  Stream stream{};
+};
+
+struct DeviceStats {
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t h2d_copies = 0;
+  std::uint64_t d2h_copies = 0;
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::size_t bytes_in_use = 0;
+  std::size_t peak_bytes = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceProps props, Tracer* tracer = nullptr,
+                  ThreadPool* pool = &ThreadPool::shared());
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceProps& props() const { return props_; }
+  const DeviceStats& stats() const { return stats_; }
+  Tracer* tracer() { return tracer_; }
+
+  // hipMalloc: throws qhip::Error when device capacity would be exceeded.
+  void* malloc(std::size_t bytes);
+  // Typed convenience.
+  template <typename T>
+  T* malloc_n(std::size_t n) {
+    return static_cast<T*>(malloc(n * sizeof(T)));
+  }
+  // hipFree: `p` must be a live allocation from malloc (nullptr is a no-op).
+  void free(void* p);
+
+  // hipMemcpy (synchronous).
+  void memcpy_h2d(void* dst, const void* src, std::size_t bytes);
+  void memcpy_d2h(void* dst, const void* src, std::size_t bytes);
+  void memcpy_d2d(void* dst, const void* src, std::size_t bytes);
+
+  // hipMemcpyAsync on a stream. Eager execution; recorded on the stream lane.
+  void memcpy_h2d_async(void* dst, const void* src, std::size_t bytes, Stream s);
+  void memcpy_d2h_async(void* dst, const void* src, std::size_t bytes, Stream s);
+
+  Stream create_stream();
+  // hipStreamSynchronize / hipDeviceSynchronize (no-ops under eager
+  // execution, kept for API fidelity and trace completeness).
+  void stream_synchronize(Stream s);
+  void synchronize();
+
+  // hipEventCreate / hipEventRecord / hipEventElapsedTime. Events capture
+  // the device timeline position at record time (the wall clock, under
+  // eager execution); elapsed_ms(a, b) is the b - a difference.
+  Event create_event();
+  void record_event(Event& e, Stream s = {});
+  // Throws unless both events have been recorded.
+  double elapsed_ms(const Event& start, const Event& stop) const;
+
+  // Kernel launch: runs cfg.grid_dim blocks of cfg.block_dim threads,
+  // distributing blocks over the host pool. `name` labels trace rows
+  // (e.g. "ApplyGateH_Kernel").
+  void launch(const char* name, const LaunchConfig& cfg, const KernelFn& kernel);
+
+  // Number of live allocations (leak checking in tests).
+  std::size_t live_allocations() const { return allocations_.size(); }
+
+ private:
+  void validate_device_range(const void* p, std::size_t bytes,
+                             const char* what) const;
+
+  DeviceProps props_;
+  Tracer* tracer_;
+  ThreadPool* pool_;
+  DeviceStats stats_;
+  std::map<const std::byte*, std::size_t> allocations_;  // base -> size
+  std::vector<std::unique_ptr<BlockExec>> execs_;        // one per host worker
+  int next_stream_ = 1;
+  std::vector<std::uint64_t> event_us_;                  // id -> timestamp
+};
+
+}  // namespace qhip::vgpu

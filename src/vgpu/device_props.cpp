@@ -1,0 +1,44 @@
+#include "src/vgpu/device_props.h"
+
+namespace qhip::vgpu {
+
+DeviceProps mi250x_gcd() {
+  DeviceProps p;
+  p.name = "AMD Instinct MI250X (1 GCD)";
+  p.warp_size = 64;
+  p.shared_mem_per_block = 64 << 10;
+  p.max_threads_per_block = 1024;
+  p.global_mem_bytes = 128ull << 30;
+  p.mem_bw_gibps = 1638.4;
+  p.peak_sp_tflops = 23.95;
+  p.kernel_launch_us = 7.0;  // ROCm launch latency is higher than CUDA's
+  return p;
+}
+
+DeviceProps a100() {
+  DeviceProps p;
+  p.name = "NVIDIA A100-40GB";
+  p.warp_size = 32;
+  p.shared_mem_per_block = 48 << 10;
+  p.max_threads_per_block = 1024;
+  p.global_mem_bytes = 40ull << 30;
+  p.mem_bw_gibps = 1448.0;
+  p.peak_sp_tflops = 10.5;  // value as reported in the paper's Table 1
+  p.kernel_launch_us = 3.0;
+  return p;
+}
+
+DeviceProps test_device(unsigned warp_size) {
+  DeviceProps p;
+  p.name = "virtual test device";
+  p.warp_size = warp_size;
+  p.shared_mem_per_block = 16 << 10;
+  p.max_threads_per_block = 256;
+  p.global_mem_bytes = 1ull << 30;
+  p.mem_bw_gibps = 100.0;
+  p.peak_sp_tflops = 1.0;
+  p.kernel_launch_us = 5.0;
+  return p;
+}
+
+}  // namespace qhip::vgpu

@@ -1,0 +1,46 @@
+// Virtual GPU device descriptions.
+//
+// The virtual runtime executes the GPU programming model (blocks, threads,
+// wavefronts, shared memory) on the host; DeviceProps carries the
+// architectural parameters that change program *behaviour* (warp width,
+// shared-memory capacity, limits) plus the throughput numbers from the
+// paper's Table 1 that the performance model uses to predict wall-clock
+// times on the real parts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace qhip::vgpu {
+
+struct DeviceProps {
+  std::string name;
+
+  // Execution model parameters (affect kernel behaviour in the emulator).
+  unsigned warp_size = 64;                  // AMD wavefront 64, Nvidia warp 32
+  std::size_t shared_mem_per_block = 64 << 10;
+  unsigned max_threads_per_block = 1024;
+  std::size_t global_mem_bytes = 0;         // device memory capacity
+
+  // Throughput characteristics (Table 1; consumed by src/perfmodel).
+  double mem_bw_gibps = 0;      // theoretical peak HBM bandwidth, GiB/s
+  double peak_sp_tflops = 0;    // single-precision peak, TFLOP/s
+  double kernel_launch_us = 0;  // per-launch fixed overhead, microseconds
+};
+
+// AMD Instinct MI250X, one Graphics Compute Die — the paper's GPU
+// (Table 1: 128 GB HBM2e, 1638.4 GiB/s, 23.95 SP TFLOP/s, wavefront 64,
+// 64 KiB LDS per workgroup).
+DeviceProps mi250x_gcd();
+
+// Nvidia A100-40GB — the comparison GPU (Table 1: 40 GB, 1448 GiB/s,
+// 19.5 SP TFLOP/s vector; the paper lists 10.5 which is the FP64 TC figure,
+// we keep the paper's table value; warp 32, up to 164 KiB shared/SM but
+// 48 KiB default per block).
+DeviceProps a100();
+
+// A deliberately tiny device for unit tests (small shared memory and
+// global memory so capacity errors are testable).
+DeviceProps test_device(unsigned warp_size = 64);
+
+}  // namespace qhip::vgpu

@@ -1,0 +1,260 @@
+#include "src/vgpu/fiber_exec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/error.h"
+#include "src/base/strings.h"
+
+namespace qhip::vgpu {
+
+namespace {
+
+// makecontext() passes only int arguments portably; the scheduler instead
+// parks the target (exec, tid) here immediately before swapping to a fresh
+// fiber. All swaps happen on one host thread, so thread_local is exact.
+thread_local BlockExec* g_exec = nullptr;
+thread_local unsigned g_tid = 0;
+
+constexpr std::size_t kStackBytes = 128 << 10;
+
+}  // namespace
+
+BlockExec::BlockExec(unsigned max_threads, std::size_t max_shared, unsigned warp_size)
+    : max_threads_(max_threads),
+      warp_size_(warp_size),
+      stack_bytes_(kStackBytes),
+      fibers_(max_threads),
+      shared_(max_shared) {
+  check(warp_size == 32 || warp_size == 64,
+        "BlockExec: warp size must be 32 or 64");
+}
+
+BlockExec::~BlockExec() = default;
+
+void BlockExec::run_block(const KernelFn& kernel, unsigned block_idx,
+                          unsigned block_dim, unsigned grid_dim,
+                          std::size_t shared_bytes, bool needs_sync) {
+  check(block_dim >= 1 && block_dim <= max_threads_,
+        strfmt("BlockExec: block_dim %u out of range [1, %u]", block_dim,
+               max_threads_));
+  check(shared_bytes <= shared_.size(),
+        strfmt("BlockExec: %zu B dynamic shared memory exceeds the %zu B limit",
+               shared_bytes, shared_.size()));
+  if (needs_sync) {
+    run_block_fibers(kernel, block_idx, block_dim, grid_dim, shared_bytes);
+  } else {
+    run_block_direct(kernel, block_idx, block_dim, grid_dim, shared_bytes);
+  }
+}
+
+void BlockExec::run_block_direct(const KernelFn& kernel, unsigned block_idx,
+                                 unsigned block_dim, unsigned grid_dim,
+                                 std::size_t shared_bytes) {
+  in_fiber_mode_ = false;
+  for (unsigned tid = 0; tid < block_dim; ++tid) {
+    KernelCtx ctx(this, tid, block_idx, block_dim, grid_dim, warp_size_,
+                  shared_.data(), shared_bytes);
+    kernel(ctx);
+  }
+}
+
+void BlockExec::run_block_fibers(const KernelFn& kernel, unsigned block_idx,
+                                 unsigned block_dim, unsigned grid_dim,
+                                 std::size_t shared_bytes) {
+  in_fiber_mode_ = true;
+  kernel_ = &kernel;
+  block_idx_ = block_idx;
+  block_dim_ = block_dim;
+  grid_dim_ = grid_dim;
+  shared_bytes_ = shared_bytes;
+  error_ = nullptr;
+
+  for (unsigned t = 0; t < block_dim; ++t) {
+    Fiber& f = fibers_[t];
+    f.st = St::kNotStarted;
+    if (!f.stack) f.stack = std::make_unique<std::byte[]>(stack_bytes_);
+  }
+
+  unsigned done = 0;
+  unsigned cursor = 0;
+  while (done < block_dim && !error_) {
+    // Find the next startable or runnable fiber.
+    unsigned chosen = block_dim;
+    for (unsigned k = 0; k < block_dim; ++k) {
+      const unsigned t = (cursor + k) % block_dim;
+      if (fibers_[t].st == St::kNotStarted || fibers_[t].st == St::kRunnable) {
+        chosen = t;
+        break;
+      }
+    }
+    if (chosen == block_dim) {
+      if (release_waiters()) continue;
+      // Nothing runnable, nothing releasable: the kernel deadlocked.
+      unsigned waiting = 0, finished = 0;
+      for (unsigned t = 0; t < block_dim; ++t) {
+        if (fibers_[t].st == St::kDone) ++finished;
+        else ++waiting;
+      }
+      kernel_ = nullptr;
+      throw Error(strfmt(
+          "vgpu: __syncthreads deadlock in block %u: %u thread(s) waiting at a "
+          "barrier that %u already-exited thread(s) can never reach",
+          block_idx, waiting, finished));
+    }
+    cursor = chosen + 1;
+
+    Fiber& f = fibers_[chosen];
+    if (f.st == St::kNotStarted) {
+      getcontext(&f.ctx);
+      f.ctx.uc_stack.ss_sp = f.stack.get();
+      f.ctx.uc_stack.ss_size = stack_bytes_;
+      f.ctx.uc_link = &sched_ctx_;
+      makecontext(&f.ctx, &BlockExec::trampoline, 0);
+    }
+    f.st = St::kRunnable;
+    g_exec = this;
+    g_tid = chosen;
+    swapcontext(&sched_ctx_, &f.ctx);
+    if (fibers_[chosen].st == St::kRunnable) {
+      // Came back via uc_link without an explicit yield: the fiber finished.
+      fibers_[chosen].st = St::kDone;
+    }
+    done = 0;
+    for (unsigned t = 0; t < block_dim; ++t) {
+      if (fibers_[t].st == St::kDone) ++done;
+    }
+    release_waiters();
+  }
+
+  kernel_ = nullptr;
+  if (error_) {
+    auto ep = error_;
+    error_ = nullptr;
+    std::rethrow_exception(ep);
+  }
+}
+
+void BlockExec::trampoline() {
+  BlockExec* self = g_exec;
+  const unsigned tid = g_tid;
+  self->fiber_main(tid);
+  // Falling off the end returns through uc_link to the scheduler, which
+  // marks the fiber done.
+}
+
+void BlockExec::fiber_main(unsigned tid) {
+  try {
+    KernelCtx ctx(this, tid, block_idx_, block_dim_, grid_dim_, warp_size_,
+                  shared_.data(), shared_bytes_);
+    (*kernel_)(ctx);
+  } catch (...) {
+    // Propagate to the scheduler; sibling fibers are abandoned (their stacks
+    // are reused, never unwound — device kernels must not own resources).
+    if (!error_) error_ = std::current_exception();
+  }
+}
+
+void BlockExec::yield_to_scheduler(unsigned tid) {
+  swapcontext(&fibers_[tid].ctx, &sched_ctx_);
+}
+
+std::pair<unsigned, unsigned> BlockExec::warp_range(unsigned tid) const {
+  const unsigned lo = tid / warp_size_ * warp_size_;
+  return {lo, std::min(lo + warp_size_, block_dim_)};
+}
+
+bool BlockExec::release_waiters() {
+  bool released = false;
+
+  // Block barrier: every live fiber waits at it.
+  unsigned live = 0, at_barrier = 0;
+  for (unsigned t = 0; t < block_dim_; ++t) {
+    if (fibers_[t].st != St::kDone) ++live;
+    if (fibers_[t].st == St::kAtBarrier) ++at_barrier;
+  }
+  if (live > 0 && at_barrier == live) {
+    for (unsigned t = 0; t < block_dim_; ++t) {
+      if (fibers_[t].st == St::kAtBarrier) fibers_[t].st = St::kRunnable;
+    }
+    released = true;
+  }
+
+  // Warp rendezvous: every live lane of the warp waits at it.
+  for (unsigned lo = 0; lo < block_dim_; lo += warp_size_) {
+    const unsigned hi = std::min(lo + warp_size_, block_dim_);
+    unsigned wlive = 0, wwait = 0;
+    for (unsigned t = lo; t < hi; ++t) {
+      if (fibers_[t].st != St::kDone) ++wlive;
+      if (fibers_[t].st == St::kAtWarpSync) ++wwait;
+    }
+    if (wlive > 0 && wwait == wlive) {
+      for (unsigned t = lo; t < hi; ++t) {
+        if (fibers_[t].st == St::kAtWarpSync) fibers_[t].st = St::kRunnable;
+      }
+      released = true;
+    }
+  }
+  return released;
+}
+
+void BlockExec::syncthreads(unsigned tid) {
+  check(in_fiber_mode_,
+        "vgpu: __syncthreads used in a launch without needs_sync "
+        "(set LaunchConfig::needs_sync = true)");
+  fibers_[tid].st = St::kAtBarrier;
+  yield_to_scheduler(tid);
+}
+
+void BlockExec::warp_rendezvous(unsigned tid) {
+  check(in_fiber_mode_,
+        "vgpu: wavefront collective used in a launch without needs_sync "
+        "(set LaunchConfig::needs_sync = true)");
+  fibers_[tid].st = St::kAtWarpSync;
+  yield_to_scheduler(tid);
+}
+
+std::uint64_t BlockExec::exchange(unsigned tid, std::uint64_t bits,
+                                  unsigned src_lane) {
+  fibers_[tid].slot = bits;
+  warp_rendezvous(tid);  // publish complete across the warp
+  const auto [lo, hi] = warp_range(tid);
+  const unsigned src_tid = lo + src_lane;
+  std::uint64_t out = bits;  // own value if the source lane is dead/missing
+  if (src_tid < hi && fibers_[src_tid].st != St::kDone) {
+    out = fibers_[src_tid].slot;
+  }
+  warp_rendezvous(tid);  // everyone has read; slots may be reused
+  return out;
+}
+
+std::uint64_t BlockExec::ballot(unsigned tid, bool pred) {
+  fibers_[tid].slot = pred ? 1 : 0;
+  warp_rendezvous(tid);
+  const auto [lo, hi] = warp_range(tid);
+  std::uint64_t mask = 0;
+  for (unsigned t = lo; t < hi; ++t) {
+    if (fibers_[t].st != St::kDone && fibers_[t].slot) {
+      mask |= std::uint64_t{1} << (t - lo);
+    }
+  }
+  warp_rendezvous(tid);
+  return mask;
+}
+
+}  // namespace qhip::vgpu
+
+// Out-of-line KernelCtx members that need the BlockExec definition.
+namespace qhip::vgpu {
+
+void KernelCtx::syncthreads() { exec_->syncthreads(thread_idx_); }
+
+std::uint64_t KernelCtx::ballot(bool pred) {
+  return exec_->ballot(thread_idx_, pred);
+}
+
+std::uint64_t KernelCtx::exchange_raw(std::uint64_t bits, unsigned src_lane) {
+  return exec_->exchange(thread_idx_, bits, src_lane);
+}
+
+}  // namespace qhip::vgpu

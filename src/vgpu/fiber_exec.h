@@ -1,0 +1,99 @@
+// Cooperative SIMT block executor.
+//
+// Executes one GPU thread block at a time on a single host thread. Two
+// modes, chosen per launch:
+//
+//  * direct — threads run sequentially to completion. Zero scheduling
+//    overhead; any use of __syncthreads or wavefront collectives is an
+//    error. Matches kernels like ApplyGateH_Kernel, which need no
+//    intra-block communication.
+//
+//  * fiber — every block thread is a ucontext fiber; the scheduler
+//    round-robins them and implements __syncthreads as a block-wide
+//    rendezvous and warp collectives as publish/read exchanges with
+//    warp-scoped rendezvous. Matches ApplyGateL_Kernel (shared-memory
+//    staging) and the reduction kernels (warp shuffles).
+//
+// A BlockExec instance is reused across blocks and launches; fiber stacks
+// are allocated once. Instances are not thread-safe — the device keeps one
+// per host worker.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/vgpu/kernel_ctx.h"
+
+namespace qhip::vgpu {
+
+using KernelFn = std::function<void(KernelCtx&)>;
+
+class BlockExec {
+ public:
+  // `max_threads` bounds block_dim; `max_shared` bounds dynamic shared size.
+  BlockExec(unsigned max_threads, std::size_t max_shared, unsigned warp_size);
+  ~BlockExec();
+
+  BlockExec(const BlockExec&) = delete;
+  BlockExec& operator=(const BlockExec&) = delete;
+
+  // Runs block `block_idx` of a grid with `grid_dim` blocks.
+  void run_block(const KernelFn& kernel, unsigned block_idx, unsigned block_dim,
+                 unsigned grid_dim, std::size_t shared_bytes, bool needs_sync);
+
+  // --- called by KernelCtx from inside a running fiber ---
+  void syncthreads(unsigned tid);
+  std::uint64_t exchange(unsigned tid, std::uint64_t bits, unsigned src_lane);
+  std::uint64_t ballot(unsigned tid, bool pred);
+
+  unsigned warp_size() const { return warp_size_; }
+
+ private:
+  enum class St : std::uint8_t { kNotStarted, kRunnable, kAtBarrier, kAtWarpSync, kDone };
+
+  struct Fiber {
+    ucontext_t ctx;
+    std::unique_ptr<std::byte[]> stack;
+    St st = St::kNotStarted;
+    std::uint64_t slot = 0;  // collective publish slot
+  };
+
+  static void trampoline();
+  void fiber_main(unsigned tid);
+  void yield_to_scheduler(unsigned tid);
+  void warp_rendezvous(unsigned tid);
+  void run_block_direct(const KernelFn& kernel, unsigned block_idx,
+                        unsigned block_dim, unsigned grid_dim,
+                        std::size_t shared_bytes);
+  void run_block_fibers(const KernelFn& kernel, unsigned block_idx,
+                        unsigned block_dim, unsigned grid_dim,
+                        std::size_t shared_bytes);
+  // Releases barriers/warp syncs whose membership is complete; returns true
+  // if any fiber became runnable.
+  bool release_waiters();
+  std::pair<unsigned, unsigned> warp_range(unsigned tid) const;
+
+  unsigned max_threads_;
+  unsigned warp_size_;
+  std::size_t stack_bytes_;
+  std::vector<Fiber> fibers_;
+  std::vector<std::byte> shared_;
+
+  // Per-run state.
+  const KernelFn* kernel_ = nullptr;
+  unsigned block_idx_ = 0;
+  unsigned block_dim_ = 0;
+  unsigned grid_dim_ = 0;
+  std::size_t shared_bytes_ = 0;
+  bool in_fiber_mode_ = false;
+  ucontext_t sched_ctx_;
+  std::exception_ptr error_;
+};
+
+}  // namespace qhip::vgpu

@@ -1,0 +1,114 @@
+// Per-thread kernel execution context — the emulator's device intrinsics.
+//
+// A kernel is any callable `void(KernelCtx&)`. The context exposes the HIP
+// built-ins the qsim kernels use: thread/block indices, dynamic shared
+// memory, __syncthreads, and wavefront collectives (__shfl_down, __shfl,
+// __ballot). Collectives honour the *device* wavefront width (32 on the
+// virtual A100, 64 on the virtual MI250X GCD), which is exactly the
+// portability hazard the paper's §3 fixes in qsim's warp-level reductions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace qhip::vgpu {
+
+class BlockExec;  // defined in fiber_exec.h
+
+class KernelCtx {
+ public:
+  KernelCtx(BlockExec* exec, unsigned thread_idx, unsigned block_idx,
+            unsigned block_dim, unsigned grid_dim, unsigned warp_size,
+            std::byte* shared, std::size_t shared_bytes)
+      : exec_(exec),
+        thread_idx_(thread_idx),
+        block_idx_(block_idx),
+        block_dim_(block_dim),
+        grid_dim_(grid_dim),
+        warp_size_(warp_size),
+        shared_(shared),
+        shared_bytes_(shared_bytes) {}
+
+  // threadIdx.x / blockIdx.x / blockDim.x / gridDim.x equivalents.
+  unsigned thread_idx() const { return thread_idx_; }
+  unsigned block_idx() const { return block_idx_; }
+  unsigned block_dim() const { return block_dim_; }
+  unsigned grid_dim() const { return grid_dim_; }
+
+  // Global linear thread id (blockIdx.x * blockDim.x + threadIdx.x).
+  std::uint64_t global_idx() const {
+    return std::uint64_t{block_idx_} * block_dim_ + thread_idx_;
+  }
+
+  unsigned warp_size() const { return warp_size_; }
+  unsigned lane() const { return thread_idx_ % warp_size_; }
+  unsigned warp_id() const { return thread_idx_ / warp_size_; }
+
+  // Dynamic shared memory (the extern __shared__ buffer).
+  std::byte* shared() const { return shared_; }
+  std::size_t shared_bytes() const { return shared_bytes_; }
+
+  template <typename T>
+  T* shared_as(std::size_t byte_offset = 0) const {
+    return reinterpret_cast<T*>(shared_ + byte_offset);
+  }
+
+  // __syncthreads(): blocks until every live thread of the block arrives.
+  // Only legal in launches made with LaunchConfig::needs_sync = true.
+  void syncthreads();
+
+  // __shfl_down(var, delta, width): returns the value of `var` held by the
+  // lane `delta` positions higher within the width-sized segment; own value
+  // when the source lane falls outside the segment (CUDA/HIP semantics).
+  // width = 0 means the device wavefront width.
+  template <typename T>
+  T shfl_down(T var, unsigned delta, unsigned width = 0) {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+    const unsigned w = width == 0 ? warp_size_ : width;
+    const unsigned src = lane() + delta;
+    // Source outside the segment keeps the caller's value.
+    const bool in_segment = (lane() / w) == (src / w) && src < warp_size_;
+    return exchange(var, in_segment ? src : lane());
+  }
+
+  // __shfl(var, src_lane, width): broadcast from src_lane of the segment.
+  template <typename T>
+  T shfl(T var, unsigned src_lane, unsigned width = 0) {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+    const unsigned w = width == 0 ? warp_size_ : width;
+    const unsigned seg = lane() / w;
+    const unsigned src = seg * w + (src_lane % w);
+    return exchange(var, src < warp_size_ ? src : lane());
+  }
+
+  // __ballot(pred): bit i of the result is lane i's predicate.
+  std::uint64_t ballot(bool pred);
+
+ private:
+  // Warp-synchronous exchange: all live lanes of this warp publish `var`,
+  // then each reads slot `src_lane`. Implemented in fiber_exec.cpp.
+  std::uint64_t exchange_raw(std::uint64_t bits, unsigned src_lane);
+
+  template <typename T>
+  T exchange(T var, unsigned src_lane) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &var, sizeof(T));
+    bits = exchange_raw(bits, src_lane);
+    T out;
+    std::memcpy(&out, &bits, sizeof(T));
+    return out;
+  }
+
+  BlockExec* exec_;
+  unsigned thread_idx_;
+  unsigned block_idx_;
+  unsigned block_dim_;
+  unsigned grid_dim_;
+  unsigned warp_size_;
+  std::byte* shared_;
+  std::size_t shared_bytes_;
+};
+
+}  // namespace qhip::vgpu

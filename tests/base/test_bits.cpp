@@ -1,0 +1,108 @@
+#include "src/base/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace qhip {
+namespace {
+
+TEST(Bits, Pow2AndMask) {
+  EXPECT_EQ(pow2(0), 1u);
+  EXPECT_EQ(pow2(5), 32u);
+  EXPECT_EQ(pow2(63), index_t{1} << 63);
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(3), 0b111u);
+  EXPECT_EQ(low_mask(64), ~index_t{0});
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(1023));
+}
+
+TEST(Bits, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(32), 5u);
+  EXPECT_EQ(log2_exact(index_t{1} << 40), 40u);
+}
+
+TEST(Bits, ExpandBitsSingle) {
+  // Insert a zero at position 1: b2 b1 b0 -> b2 b1 0 b0.
+  const std::vector<qubit_t> pos = {1};
+  EXPECT_EQ(expand_bits(0b000, pos), 0b0000u);
+  EXPECT_EQ(expand_bits(0b001, pos), 0b0001u);
+  EXPECT_EQ(expand_bits(0b010, pos), 0b0100u);
+  EXPECT_EQ(expand_bits(0b011, pos), 0b0101u);
+  EXPECT_EQ(expand_bits(0b111, pos), 0b1101u);
+}
+
+TEST(Bits, ExpandBitsMultiple) {
+  // Insert zeros at positions 1 and 3 (ascending).
+  const std::vector<qubit_t> pos = {1, 3};
+  EXPECT_EQ(expand_bits(0b00, pos), 0b00000u);
+  EXPECT_EQ(expand_bits(0b01, pos), 0b00001u);
+  EXPECT_EQ(expand_bits(0b10, pos), 0b00100u);
+  EXPECT_EQ(expand_bits(0b11, pos), 0b00101u);
+  EXPECT_EQ(expand_bits(0b100, pos), 0b10000u);
+}
+
+TEST(Bits, ExpandBitsArrayMatchesVector) {
+  const std::array<qubit_t, 3> a = {0, 2, 5};
+  const std::vector<qubit_t> v = {0, 2, 5};
+  for (index_t o = 0; o < 64; ++o) {
+    EXPECT_EQ(expand_bits(o, a), expand_bits(o, v)) << o;
+  }
+}
+
+TEST(Bits, ExpandCoversAllNonTargetIndices) {
+  // expand_bits over all outer values enumerates exactly the indices with
+  // zero bits at the target positions.
+  const std::vector<qubit_t> targets = {0, 3};
+  index_t mask = 0;
+  for (qubit_t t : targets) mask |= pow2(t);
+  std::vector<index_t> seen;
+  for (index_t o = 0; o < 8; ++o) {  // 5-bit space minus 2 targets
+    const index_t e = expand_bits(o, targets);
+    EXPECT_EQ(e & mask, 0u);
+    seen.push_back(e);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(Bits, ScatterMasks) {
+  const auto masks = scatter_masks({1, 4});
+  ASSERT_EQ(masks.size(), 4u);
+  EXPECT_EQ(masks[0], 0u);
+  EXPECT_EQ(masks[1], 0b00010u);
+  EXPECT_EQ(masks[2], 0b10000u);
+  EXPECT_EQ(masks[3], 0b10010u);
+}
+
+TEST(Bits, ScatterGatherRoundTrip) {
+  const std::vector<qubit_t> pos = {2, 5, 7};
+  for (index_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(gather_bits(scatter_bits(v, pos), pos), v);
+  }
+}
+
+TEST(Bits, GatherIgnoresOtherBits) {
+  const std::vector<qubit_t> pos = {1, 3};
+  EXPECT_EQ(gather_bits(0b11111, pos), 0b11u);
+  EXPECT_EQ(gather_bits(0b10101, pos), 0b00u);
+  EXPECT_EQ(gather_bits(0b01010, pos), 0b11u);
+}
+
+TEST(Bits, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(reverse_bits(0b110, 3), 0b011u);
+  EXPECT_EQ(reverse_bits(0b1, 1), 0b1u);
+  for (index_t v = 0; v < 256; ++v) {
+    EXPECT_EQ(reverse_bits(reverse_bits(v, 8), 8), v);
+  }
+}
+
+}  // namespace
+}  // namespace qhip

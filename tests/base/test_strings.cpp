@@ -1,0 +1,79 @@
+#include "src/base/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/error.h"
+
+namespace qhip {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  const auto t = split("a bb  ccc");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "a");
+  EXPECT_EQ(t[1], "bb");
+  EXPECT_EQ(t[2], "ccc");
+}
+
+TEST(Strings, SplitTabsAndEdges) {
+  const auto t = split("\t x\t\ty  ");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], "x");
+  EXPECT_EQ(t[1], "y");
+}
+
+TEST(Strings, SplitEmpty) {
+  EXPECT_TRUE(split("").empty());
+  EXPECT_TRUE(split("   \t ").empty());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("\t\n hi \r"), "hi");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("hipify", "hip"));
+  EXPECT_FALSE(starts_with("hi", "hip"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("CNot"), "cnot");
+  EXPECT_EQ(to_lower("X_1_2"), "x_1_2");
+}
+
+TEST(Strings, ParseUint) {
+  EXPECT_EQ(parse_uint("30", "t"), 30ull);
+  EXPECT_EQ(parse_uint("0", "t"), 0ull);
+  EXPECT_THROW(parse_uint("-3", "t"), Error);
+  EXPECT_THROW(parse_uint("3x", "t"), Error);
+  EXPECT_THROW(parse_uint("", "t"), Error);
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("0.25", "t"), 0.25);
+  EXPECT_DOUBLE_EQ(parse_double("-1e-3", "t"), -1e-3);
+  EXPECT_THROW(parse_double("abc", "t"), Error);
+  EXPECT_THROW(parse_double("1.5z", "t"), Error);
+}
+
+TEST(Strings, ParseErrorsCarryContext) {
+  try {
+    parse_uint("zz", "file.txt:7");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("file.txt:7"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("zz"), std::string::npos);
+  }
+}
+
+TEST(Strings, Strfmt) {
+  EXPECT_EQ(strfmt("q=%u f=%0.2f", 30u, 1.5), "q=30 f=1.50");
+  EXPECT_EQ(strfmt("%s", ""), "");
+}
+
+}  // namespace
+}  // namespace qhip

@@ -1,0 +1,95 @@
+#include "src/base/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "src/base/error.h"
+
+namespace qhip {
+namespace {
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<int> v(100, 0);
+  pool.parallel_for(100, [&](index_t i) { v[i] = static_cast<int>(i); });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(ThreadPool, CoversAllIndicesOnce) {
+  for (unsigned nt : {1u, 2u, 3u, 4u, 7u}) {
+    ThreadPool pool(nt);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(1000, [&](index_t i) { hits[i].fetch_add(1); });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, RangesArePartition) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<index_t, index_t>> ranges;
+  pool.parallel_ranges(103, [&](unsigned, index_t b, index_t e) {
+    std::lock_guard lk(mu);
+    ranges.emplace_back(b, e);
+  });
+  std::sort(ranges.begin(), ranges.end());
+  index_t expect_begin = 0;
+  for (auto [b, e] : ranges) {
+    EXPECT_EQ(b, expect_begin);
+    EXPECT_LE(b, e);
+    expect_begin = e;
+  }
+  EXPECT_EQ(expect_begin, 103u);
+}
+
+TEST(ThreadPool, EmptyTotalIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_ranges(0, [&](unsigned, index_t, index_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SmallTotalFewerThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](index_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](index_t i) {
+                          if (i == 57) throw Error("boom");
+                        }),
+      Error);
+  // Pool must still be usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](index_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(100, [&](index_t i) { sum.fetch_add(static_cast<long>(i)); });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(ThreadPool, SharedPoolExists) {
+  auto& p = ThreadPool::shared();
+  EXPECT_GE(p.num_threads(), 1u);
+  std::atomic<int> c{0};
+  p.parallel_for(17, [&](index_t) { c.fetch_add(1); });
+  EXPECT_EQ(c.load(), 17);
+}
+
+}  // namespace
+}  // namespace qhip

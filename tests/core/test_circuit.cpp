@@ -1,0 +1,157 @@
+#include "src/core/circuit.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "src/base/error.h"
+#include "src/core/gates.h"
+
+namespace qhip {
+namespace {
+
+Circuit bell() {
+  Circuit c;
+  c.num_qubits = 2;
+  c.gates.push_back(gates::h(0, 0));
+  c.gates.push_back(gates::cnot(1, 0, 1));
+  return c;
+}
+
+TEST(Circuit, DepthAndHistogram) {
+  const Circuit c = bell();
+  EXPECT_EQ(c.depth(), 2u);
+  EXPECT_EQ(c.size(), 2u);
+  const auto h = c.histogram();
+  EXPECT_EQ(h.at("h"), 1u);
+  EXPECT_EQ(h.at("cnot"), 1u);
+  EXPECT_EQ(c.num_measurements(), 0u);
+}
+
+TEST(Circuit, ValidateAcceptsGood) {
+  EXPECT_NO_THROW(bell().validate());
+}
+
+TEST(Circuit, ValidateRejectsQubitOutOfRange) {
+  Circuit c = bell();
+  c.num_qubits = 1;
+  EXPECT_THROW(c.validate(), Error);
+}
+
+TEST(Circuit, ValidateRejectsTimeBackwards) {
+  Circuit c;
+  c.num_qubits = 2;
+  c.gates.push_back(gates::h(1, 0));
+  c.gates.push_back(gates::h(0, 1));
+  EXPECT_THROW(c.validate(), Error);
+}
+
+TEST(Circuit, ValidateRejectsMomentOverlap) {
+  Circuit c;
+  c.num_qubits = 2;
+  c.gates.push_back(gates::h(0, 0));
+  c.gates.push_back(gates::x(0, 0));  // same moment, same qubit
+  EXPECT_THROW(c.validate(), Error);
+}
+
+TEST(Circuit, ValidateAcceptsSameQubitDifferentMoments) {
+  Circuit c;
+  c.num_qubits = 1;
+  c.gates.push_back(gates::h(0, 0));
+  c.gates.push_back(gates::x(1, 0));
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Circuit, ValidateCountsControlsForOverlap) {
+  Circuit c;
+  c.num_qubits = 3;
+  c.gates.push_back(gates::controlled(gates::x(0, 1), {0}));
+  c.gates.push_back(gates::h(0, 0));  // control qubit 0 already busy at t=0
+  EXPECT_THROW(c.validate(), Error);
+}
+
+TEST(Circuit, ValidateRejectsZeroQubits) {
+  Circuit c;
+  c.num_qubits = 0;
+  EXPECT_THROW(c.validate(), Error);
+}
+
+TEST(Circuit, MeasurementCounted) {
+  Circuit c = bell();
+  c.gates.push_back(gates::measure(2, {0, 1}));
+  EXPECT_EQ(c.num_measurements(), 1u);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(CircuitUnitary, BellUnitary) {
+  const CMatrix u = circuit_unitary(bell());
+  EXPECT_TRUE(u.is_unitary(1e-12));
+  // (H on qubit 0 then CNOT(0->1)) |00> = (|00> + |11>)/sqrt(2):
+  // column 0 has 1/sqrt2 at rows 0 and 3.
+  EXPECT_NEAR(u.at(0, 0).real(), 1 / std::numbers::sqrt2, 1e-12);
+  EXPECT_NEAR(u.at(3, 0).real(), 1 / std::numbers::sqrt2, 1e-12);
+  EXPECT_NEAR(std::abs(u.at(1, 0)), 0, 1e-12);
+  EXPECT_NEAR(std::abs(u.at(2, 0)), 0, 1e-12);
+}
+
+TEST(CircuitUnitary, InverseCircuitGivesIdentity) {
+  Circuit c;
+  c.num_qubits = 3;
+  c.gates.push_back(gates::h(0, 0));
+  c.gates.push_back(gates::t(1, 1));
+  c.gates.push_back(gates::cz(2, 0, 2));
+  c.gates.push_back(gates::cz(3, 0, 2));   // cz^2 = I
+  c.gates.push_back(gates::tdg(4, 1));
+  c.gates.push_back(gates::h(5, 0));
+  const CMatrix u = circuit_unitary(c);
+  EXPECT_LT(u.distance(CMatrix::identity(8)), 1e-12);
+}
+
+TEST(CircuitUnitary, RejectsMeasurement) {
+  Circuit c = bell();
+  c.gates.push_back(gates::measure(2, {0}));
+  EXPECT_THROW(circuit_unitary(c), Error);
+}
+
+TEST(InverseCircuit, ComposesToIdentity) {
+  Circuit c;
+  c.num_qubits = 3;
+  c.gates.push_back(gates::h(0, 0));
+  c.gates.push_back(gates::fs(1, 0, 1, 0.7, 0.3));
+  c.gates.push_back(gates::controlled(gates::ry(2, 2, 0.9), {0}));
+  const Circuit echo = concatenate(c, inverse_circuit(c));
+  EXPECT_LT(circuit_unitary(echo).distance(CMatrix::identity(8)), 1e-12);
+}
+
+TEST(InverseCircuit, RejectsMeasurement) {
+  Circuit c = bell();
+  c.gates.push_back(gates::measure(2, {0}));
+  EXPECT_THROW(inverse_circuit(c), Error);
+}
+
+TEST(Concatenate, TimesStayMonotone) {
+  const Circuit c = concatenate(bell(), bell());
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_EQ(c.depth(), 4u);
+}
+
+TEST(Concatenate, RejectsMismatchedWidths) {
+  Circuit small;
+  small.num_qubits = 1;
+  small.gates.push_back(gates::h(0, 0));
+  EXPECT_THROW(concatenate(bell(), small), Error);
+}
+
+TEST(CircuitUnitary, HandlesControlledGates) {
+  Circuit a;
+  a.num_qubits = 2;
+  a.gates.push_back(gates::controlled(gates::z(0, 1), {0}));
+  Circuit b;
+  b.num_qubits = 2;
+  b.gates.push_back(gates::cz(0, 0, 1));
+  EXPECT_LT(circuit_unitary(a).distance(circuit_unitary(b)), 1e-13);
+}
+
+}  // namespace
+}  // namespace qhip

@@ -1,0 +1,203 @@
+#include "src/core/gates.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "src/base/error.h"
+
+namespace qhip {
+namespace {
+
+using std::numbers::pi;
+
+TEST(Gates, AllFixedGatesAreUnitary) {
+  const std::vector<Gate> gs = {
+      gates::id1(0, 0), gates::h(0, 0),      gates::x(0, 0),
+      gates::y(0, 0),   gates::z(0, 0),      gates::s(0, 0),
+      gates::sdg(0, 0), gates::t(0, 0),      gates::tdg(0, 0),
+      gates::x_1_2(0, 0), gates::y_1_2(0, 0), gates::hz_1_2(0, 0),
+      gates::id2(0, 0, 1), gates::cz(0, 0, 1), gates::cnot(0, 0, 1),
+      gates::sw(0, 0, 1), gates::is(0, 0, 1),
+      gates::ccz(0, 0, 1, 2), gates::ccx(0, 0, 1, 2)};
+  for (const auto& g : gs) {
+    EXPECT_TRUE(g.matrix.is_unitary(1e-12)) << g.name;
+  }
+}
+
+TEST(Gates, ParameterizedGatesAreUnitary) {
+  for (double a : {0.0, 0.3, 1.7, pi, 5.9}) {
+    EXPECT_TRUE(gates::rx(0, 0, a).matrix.is_unitary(1e-12));
+    EXPECT_TRUE(gates::ry(0, 0, a).matrix.is_unitary(1e-12));
+    EXPECT_TRUE(gates::rz(0, 0, a).matrix.is_unitary(1e-12));
+    EXPECT_TRUE(gates::p(0, 0, a).matrix.is_unitary(1e-12));
+    EXPECT_TRUE(gates::rxy(0, 0, a, a * 0.7).matrix.is_unitary(1e-12));
+    EXPECT_TRUE(gates::fs(0, 0, 1, a, a * 0.5).matrix.is_unitary(1e-12));
+    EXPECT_TRUE(gates::cp(0, 0, 1, a).matrix.is_unitary(1e-12));
+  }
+}
+
+TEST(Gates, SquareRootGatesSquareCorrectly) {
+  const CMatrix sx = gates::x_1_2(0, 0).matrix;
+  EXPECT_LT((sx * sx).distance(gates::x(0, 0).matrix), 1e-13);
+
+  const CMatrix sy = gates::y_1_2(0, 0).matrix;
+  EXPECT_LT((sy * sy).distance(gates::y(0, 0).matrix), 1e-13);
+
+  // hz_1_2 squares to W = (X + Y)/sqrt(2).
+  const CMatrix sw_ = gates::hz_1_2(0, 0).matrix;
+  CMatrix w(2);
+  const CMatrix xm = gates::x(0, 0).matrix, ym = gates::y(0, 0).matrix;
+  for (std::size_t i = 0; i < 4; ++i) {
+    w.data()[i] = (xm.data()[i] + ym.data()[i]) / std::numbers::sqrt2;
+  }
+  EXPECT_LT((sw_ * sw_).distance(w), 1e-13);
+}
+
+TEST(Gates, SAndTRelations) {
+  const CMatrix s = gates::s(0, 0).matrix;
+  const CMatrix t = gates::t(0, 0).matrix;
+  EXPECT_LT((t * t).distance(s), 1e-13);
+  EXPECT_LT((s * s).distance(gates::z(0, 0).matrix), 1e-13);
+  EXPECT_LT((s * gates::sdg(0, 0).matrix).distance(CMatrix::identity(2)), 1e-13);
+  EXPECT_LT((t * gates::tdg(0, 0).matrix).distance(CMatrix::identity(2)), 1e-13);
+}
+
+TEST(Gates, HadamardProperties) {
+  const CMatrix h = gates::h(0, 0).matrix;
+  EXPECT_LT((h * h).distance(CMatrix::identity(2)), 1e-13);
+  // HXH = Z.
+  EXPECT_LT((h * gates::x(0, 0).matrix * h).distance(gates::z(0, 0).matrix), 1e-13);
+}
+
+TEST(Gates, RotationComposition) {
+  EXPECT_LT((gates::rz(0, 0, 0.3).matrix * gates::rz(0, 0, 0.5).matrix)
+                .distance(gates::rz(0, 0, 0.8).matrix),
+            1e-13);
+  // rx(pi) = -iX.
+  CMatrix want = gates::x(0, 0).matrix;
+  for (auto& v : want.data()) v *= cplx64(0, -1);
+  EXPECT_LT(gates::rx(0, 0, pi).matrix.distance(want), 1e-13);
+}
+
+TEST(Gates, RxyGeneralizesRxRy) {
+  EXPECT_LT(gates::rxy(0, 0, 0.0, 0.7).matrix.distance(gates::rx(0, 0, 0.7).matrix),
+            1e-13);
+  EXPECT_LT(
+      gates::rxy(0, 0, pi / 2, 0.7).matrix.distance(gates::ry(0, 0, 0.7).matrix),
+      1e-13);
+}
+
+TEST(Gates, CnotActsOnBasis) {
+  // qubits = {control, target}: index bit 0 = control, bit 1 = target.
+  const CMatrix m = gates::cnot(0, 0, 1).matrix;
+  // |c=1,t=0> (index 1) -> |c=1,t=1> (index 3).
+  EXPECT_EQ(m.at(3, 1), cplx64{1});
+  EXPECT_EQ(m.at(1, 3), cplx64{1});
+  EXPECT_EQ(m.at(0, 0), cplx64{1});
+  EXPECT_EQ(m.at(2, 2), cplx64{1});
+  EXPECT_EQ(m.at(1, 1), cplx64{});
+}
+
+TEST(Gates, IswapActsOnBasis) {
+  const CMatrix m = gates::is(0, 0, 1).matrix;
+  EXPECT_EQ(m.at(2, 1), cplx64(0, 1));
+  EXPECT_EQ(m.at(1, 2), cplx64(0, 1));
+  EXPECT_EQ(m.at(0, 0), cplx64{1});
+  EXPECT_EQ(m.at(3, 3), cplx64{1});
+}
+
+TEST(Gates, FsimSpecialCases) {
+  // fs(0, 0) = identity.
+  EXPECT_LT(gates::fs(0, 0, 1, 0, 0).matrix.distance(CMatrix::identity(4)), 1e-13);
+  // fs(pi/2, 0) = -i iSWAP on the middle block.
+  const CMatrix m = gates::fs(0, 0, 1, pi / 2, 0).matrix;
+  EXPECT_LT(std::abs(m.at(1, 2) - cplx64(0, -1)), 1e-13);
+  EXPECT_LT(std::abs(m.at(2, 1) - cplx64(0, -1)), 1e-13);
+  EXPECT_LT(std::abs(m.at(1, 1)), 1e-13);
+  // fs(0, phi): diag(1,1,1,e^{-i phi}).
+  const CMatrix d = gates::fs(0, 0, 1, 0, 0.7).matrix;
+  EXPECT_LT(std::abs(d.at(3, 3) - std::polar(1.0, -0.7)), 1e-13);
+}
+
+TEST(Gates, CzSymmetric) {
+  EXPECT_LT(gates::cz(0, 0, 1).matrix.distance(gates::cz(0, 1, 0).matrix), 1e-15);
+}
+
+TEST(Gates, CpReducesToCz) {
+  EXPECT_LT(gates::cp(0, 0, 1, pi).matrix.distance(gates::cz(0, 0, 1).matrix), 1e-13);
+}
+
+TEST(Gates, ToffoliFlipsOnlyWhenBothControlsSet) {
+  const CMatrix m = gates::ccx(0, 0, 1, 2).matrix;
+  // index = c0 + 2 c1 + 4 t. c0=c1=1, t=0 (3) <-> t=1 (7).
+  EXPECT_EQ(m.at(7, 3), cplx64{1});
+  EXPECT_EQ(m.at(3, 7), cplx64{1});
+  for (std::size_t i : {0u, 1u, 2u, 4u, 5u, 6u}) {
+    EXPECT_EQ(m.at(i, i), cplx64{1});
+  }
+}
+
+TEST(Gates, DistinctQubitsEnforced) {
+  EXPECT_THROW(gates::cz(0, 3, 3), Error);
+  EXPECT_THROW(gates::ccx(0, 1, 1, 2), Error);
+}
+
+TEST(Gates, MeasurementGate) {
+  const Gate m = gates::measure(4, {2, 0, 5});
+  EXPECT_TRUE(m.is_measurement());
+  EXPECT_EQ(m.time, 4u);
+  EXPECT_EQ(m.qubits.size(), 3u);
+  EXPECT_EQ(m.matrix.dim(), 0u);
+  EXPECT_THROW(gates::measure(0, {}), Error);
+}
+
+TEST(Gates, NormalizedSortsQubitsAndPermutesMatrix) {
+  // cnot(2, 1): qubits {2,1} unsorted. Normalized must act identically.
+  const Gate g = gates::cnot(0, 2, 1);
+  const Gate n = normalized(g);
+  ASSERT_EQ(n.qubits.size(), 2u);
+  EXPECT_EQ(n.qubits[0], 1u);
+  EXPECT_EQ(n.qubits[1], 2u);
+  // After sorting, bit 0 = qubit 1 (target), bit 1 = qubit 2 (control).
+  // |control=1, target=0> is index 2 -> flips to index 3.
+  EXPECT_EQ(n.matrix.at(3, 2), cplx64{1});
+  EXPECT_EQ(n.matrix.at(2, 3), cplx64{1});
+  EXPECT_TRUE(n.matrix.is_unitary(1e-12));
+}
+
+TEST(Gates, NormalizedIdempotentOnSorted) {
+  const Gate g = gates::fs(3, 1, 4, 0.2, 0.4);
+  const Gate n = normalized(g);
+  EXPECT_EQ(n.qubits, g.qubits);
+  EXPECT_LT(n.matrix.distance(g.matrix), 1e-15);
+}
+
+TEST(Gates, ControlledWrapsGate) {
+  Gate g = gates::controlled(gates::x(0, 2), {0, 1});
+  EXPECT_EQ(g.controls.size(), 2u);
+  EXPECT_THROW(gates::controlled(gates::x(0, 2), {2}), Error);
+  EXPECT_THROW(gates::controlled(gates::measure(0, {1}), {0}), Error);
+}
+
+TEST(Gates, ExpandControlsMatchesToffoli) {
+  // controlled-controlled-X via expand_controls == ccx.
+  const Gate cx = gates::controlled(gates::x(0, 2), {0, 1});
+  const Gate e = expand_controls(cx);
+  EXPECT_TRUE(e.controls.empty());
+  ASSERT_EQ(e.qubits.size(), 3u);
+  EXPECT_LT(e.matrix.distance(gates::ccx(0, 0, 1, 2).matrix), 1e-13);
+}
+
+TEST(Gates, ExpandControlsSingleControlZ) {
+  const Gate g = gates::controlled(gates::z(0, 1), {0});
+  const Gate e = expand_controls(g);
+  EXPECT_LT(e.matrix.distance(gates::cz(0, 0, 1).matrix), 1e-13);
+}
+
+TEST(Gates, KnownNamesNonEmpty) {
+  EXPECT_GT(gates::known_names().size(), 20u);
+}
+
+}  // namespace
+}  // namespace qhip

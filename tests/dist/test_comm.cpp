@@ -1,0 +1,133 @@
+#include "src/dist/comm.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "src/base/error.h"
+
+namespace qhip::dist {
+namespace {
+
+TEST(Comm, RankAndSize) {
+  std::atomic<int> seen{0};
+  run_spmd(4, [&](Comm& c) {
+    EXPECT_EQ(c.size(), 4);
+    EXPECT_GE(c.rank(), 0);
+    EXPECT_LT(c.rank(), 4);
+    seen.fetch_add(1 << c.rank());
+  });
+  EXPECT_EQ(seen.load(), 0b1111);
+}
+
+TEST(Comm, PointToPointOrdered) {
+  run_spmd(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 10; ++i) c.send(1, 7, &i, sizeof(i));
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        int v = -1;
+        c.recv(0, 7, &v, sizeof(v));
+        EXPECT_EQ(v, i);  // FIFO per (src, tag)
+      }
+    }
+  });
+}
+
+TEST(Comm, TagsAreIndependentChannels) {
+  run_spmd(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      const int a = 1, b = 2;
+      c.send(1, 100, &a, sizeof(a));
+      c.send(1, 200, &b, sizeof(b));
+    } else {
+      int vb = 0, va = 0;
+      c.recv(0, 200, &vb, sizeof(vb));  // out of send order, by tag
+      c.recv(0, 100, &va, sizeof(va));
+      EXPECT_EQ(va, 1);
+      EXPECT_EQ(vb, 2);
+    }
+  });
+}
+
+TEST(Comm, SizeMismatchDiagnosed) {
+  EXPECT_THROW(run_spmd(2,
+                        [](Comm& c) {
+                          if (c.rank() == 0) {
+                            const double v = 1.0;
+                            c.send(1, 1, &v, sizeof(v));
+                          } else {
+                            float w;
+                            c.recv(0, 1, &w, sizeof(w));  // wrong size
+                          }
+                        }),
+               Error);
+}
+
+TEST(Comm, SendrecvBidirectional) {
+  run_spmd(4, [](Comm& c) {
+    const int partner = c.rank() ^ 1;
+    const int mine = c.rank() * 10;
+    int theirs = -1;
+    c.sendrecv(partner, 3, &mine, &theirs, sizeof(int));
+    EXPECT_EQ(theirs, partner * 10);
+  });
+}
+
+TEST(Comm, AllreduceSum) {
+  run_spmd(8, [](Comm& c) {
+    const double total = c.allreduce_sum(static_cast<double>(c.rank() + 1));
+    EXPECT_DOUBLE_EQ(total, 36.0);  // 1+..+8
+    const cplx64 ct = c.allreduce_sum(cplx64(1.0, static_cast<double>(c.rank())));
+    EXPECT_DOUBLE_EQ(ct.real(), 8.0);
+    EXPECT_DOUBLE_EQ(ct.imag(), 28.0);
+  });
+}
+
+TEST(Comm, BackToBackReductionsDoNotRace) {
+  run_spmd(4, [](Comm& c) {
+    for (int round = 0; round < 50; ++round) {
+      const double total =
+          c.allreduce_sum(static_cast<double>(c.rank() + round));
+      EXPECT_DOUBLE_EQ(total, 6.0 + 4.0 * round) << round;
+    }
+  });
+}
+
+TEST(Comm, AllgatherOrderedByRank) {
+  run_spmd(4, [](Comm& c) {
+    const auto all = c.allgather(static_cast<double>(c.rank() * c.rank()));
+    ASSERT_EQ(all.size(), 4u);
+    for (int r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(all[r], r * r);
+  });
+}
+
+TEST(Comm, BarrierSynchronizes) {
+  std::atomic<int> phase{0};
+  run_spmd(4, [&](Comm& c) {
+    phase.fetch_add(1);
+    c.barrier();
+    // After the barrier every rank's increment is visible.
+    EXPECT_EQ(phase.load(), 4);
+  });
+}
+
+TEST(Comm, ExceptionPropagates) {
+  EXPECT_THROW(run_spmd(2,
+                        [](Comm& c) {
+                          if (c.rank() == 1) throw Error("rank 1 failed");
+                        }),
+               Error);
+}
+
+TEST(Comm, SingleRankWorld) {
+  run_spmd(1, [](Comm& c) {
+    EXPECT_EQ(c.size(), 1);
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(5.0), 5.0);
+    c.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace qhip::dist

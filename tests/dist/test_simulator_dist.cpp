@@ -1,0 +1,174 @@
+// Distributed simulator parity: SPMD slices must reproduce the
+// single-process reference for any circuit, across 2/4/8 ranks, including
+// gates on distributed qubits, norms and distributed expectation values.
+#include "src/dist/simulator_dist.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "src/base/rng.h"
+#include "src/core/gates.h"
+#include "src/fusion/fuser.h"
+#include "src/rqc/rqc.h"
+#include "src/simulator/reference.h"
+#include "src/simulator/simulator_cpu.h"
+
+namespace qhip::dist {
+namespace {
+
+Circuit random_circuit(unsigned n, unsigned depth, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Circuit c;
+  c.num_qubits = n;
+  for (unsigned t = 0; t < depth; ++t) {
+    std::vector<bool> used(n, false);
+    for (unsigned q = 0; q < n; ++q) {
+      if (used[q]) continue;
+      const double r = rng.uniform();
+      if (r < 0.35 && q + 1 < n && !used[q + 1]) {
+        c.gates.push_back(gates::fs(t, q, q + 1, rng.uniform() * 2, rng.uniform()));
+        used[q] = used[q + 1] = true;
+      } else if (r < 0.7) {
+        c.gates.push_back(gates::rxy(t, q, rng.uniform() * 6, rng.uniform() * 3));
+        used[q] = true;
+      }
+    }
+  }
+  return c;
+}
+
+template <typename FP>
+void expect_parity(const Circuit& c, int ranks, double tol) {
+  StateVector<FP> ref(c.num_qubits);
+  reference_run(c, ref);
+  run_spmd(ranks, [&](Comm& comm) {
+    ThreadPool pool(1);
+    SimulatorDist<FP> sim(comm, c.num_qubits, pool);
+    sim.run(c);
+    const StateVector<FP> got = sim.gather();
+    if (comm.rank() == 0) {
+      EXPECT_LT(statespace::max_abs_diff(got, ref), tol) << ranks << " ranks";
+    }
+  });
+}
+
+TEST(SimulatorDist, GhzAcrossRanks) {
+  const unsigned n = 8;
+  run_spmd(4, [&](Comm& comm) {
+    ThreadPool pool(1);
+    SimulatorDist<float> sim(comm, n, pool);
+    sim.apply_gate(gates::h(0, 0));
+    for (unsigned q = 1; q < n; ++q) sim.apply_gate(gates::cnot(q, q - 1, q));
+    EXPECT_NEAR(sim.norm2(), 1.0, 1e-5);
+    const StateVector<float> s = sim.gather();
+    if (comm.rank() == 0) {
+      const double r = 1 / std::numbers::sqrt2;
+      EXPECT_NEAR(s[0].real(), r, 1e-5);
+      EXPECT_NEAR(s[s.size() - 1].real(), r, 1e-5);
+    }
+  });
+}
+
+TEST(SimulatorDist, RandomCircuitsMatchReference) {
+  for (int ranks : {2, 4}) {
+    for (std::uint64_t seed : {1ull, 2ull}) {
+      expect_parity<float>(random_circuit(8, 8, seed), ranks,
+                           4 * state_tol<float>());
+    }
+  }
+  expect_parity<double>(random_circuit(9, 8, 3), 8, 4 * state_tol<double>());
+}
+
+TEST(SimulatorDist, FusedRqcMatchesReference) {
+  rqc::RqcOptions opt;
+  opt.rows = 2;
+  opt.cols = 5;
+  opt.depth = 8;
+  const Circuit fused = fuse_circuit(rqc::generate_rqc(opt), {4}).circuit;
+  expect_parity<float>(fused, 4, 4 * state_tol<float>());
+}
+
+TEST(SimulatorDist, GlobalGateCausesCommunication) {
+  const unsigned n = 8;
+  run_spmd(2, [&](Comm& comm) {
+    ThreadPool pool(1);
+    SimulatorDist<float> sim(comm, n, pool);
+    sim.apply_gate(gates::h(0, 2));  // local: no traffic
+    EXPECT_EQ(sim.stats().slot_swaps, 0u);
+    sim.apply_gate(gates::h(1, n - 1));  // global slot: one swap
+    EXPECT_EQ(sim.stats().slot_swaps, 1u);
+    EXPECT_GT(sim.stats().bytes_sent, 0u);
+    sim.apply_gate(gates::h(2, n - 1));  // now local: no new swap
+    EXPECT_EQ(sim.stats().slot_swaps, 1u);
+  });
+}
+
+TEST(SimulatorDist, DistributedExpectationMatchesHost) {
+  const unsigned n = 8;
+  const Circuit c = random_circuit(n, 6, 9);
+  StateVector<double> ref(n);
+  reference_run(c, ref);
+  const obs::Observable h = obs::transverse_field_ising(n, 1.0, 0.8);
+  const cplx64 want = obs::expectation(h, ref);
+
+  run_spmd(4, [&](Comm& comm) {
+    ThreadPool pool(1);
+    SimulatorDist<double> sim(comm, n, pool);
+    sim.run(c);
+    const cplx64 got = sim.expectation(h);
+    EXPECT_NEAR(got.real(), want.real(), 1e-9);
+    EXPECT_NEAR(got.imag(), want.imag(), 1e-9);
+  });
+}
+
+TEST(SimulatorDist, ExpectationOnGlobalQubits) {
+  // A Pauli string touching the top (distributed) qubit forces swaps inside
+  // expectation() and must still match.
+  const unsigned n = 7;
+  const Circuit c = random_circuit(n, 5, 4);
+  StateVector<double> ref(n);
+  reference_run(c, ref);
+  obs::PauliString p{0.9, {{n - 1, obs::Pauli::kY}, {0, obs::Pauli::kZ}}};
+  const cplx64 want = obs::expectation(p, ref);
+  run_spmd(2, [&](Comm& comm) {
+    ThreadPool pool(1);
+    SimulatorDist<double> sim(comm, n, pool);
+    sim.run(c);
+    const cplx64 got = sim.expectation(p);
+    EXPECT_NEAR(got.real(), want.real(), 1e-9);
+    EXPECT_NEAR(got.imag(), want.imag(), 1e-9);
+  });
+}
+
+TEST(SimulatorDist, NormPreservedThroughManySwaps) {
+  const unsigned n = 8;
+  run_spmd(4, [&](Comm& comm) {
+    ThreadPool pool(1);
+    SimulatorDist<float> sim(comm, n, pool);
+    Xoshiro256 rng(5);
+    for (int i = 0; i < 20; ++i) {
+      const qubit_t q = static_cast<qubit_t>(rng.uniform() * n);
+      sim.apply_gate(gates::rxy(static_cast<unsigned>(i), q,
+                                rng.uniform() * 6, rng.uniform() * 3));
+    }
+    EXPECT_NEAR(sim.norm2(), 1.0, 1e-4);
+    EXPECT_GT(sim.stats().slot_swaps, 0u);
+  });
+}
+
+TEST(SimulatorDist, Validation) {
+  run_spmd(2, [](Comm& comm) {
+    ThreadPool pool(1);
+    EXPECT_THROW(SimulatorDist<float>(comm, 1, pool), Error);
+    SimulatorDist<float> sim(comm, 6, pool);
+    Gate wide;
+    wide.name = "fused";
+    for (qubit_t q = 0; q < 6; ++q) wide.qubits.push_back(q);
+    wide.matrix = CMatrix::identity(64);
+    EXPECT_THROW(sim.apply_gate(wide), Error);
+  });
+}
+
+}  // namespace
+}  // namespace qhip::dist

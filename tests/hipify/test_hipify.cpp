@@ -1,0 +1,207 @@
+#include "src/hipify/hipify.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/base/error.h"
+
+namespace qhip::hipify {
+namespace {
+
+TEST(Hipify, BasicApiMapping) {
+  const auto r = hipify_source(
+      "cudaMalloc(&p, n);\ncudaMemcpy(d, s, n, cudaMemcpyHostToDevice);\n"
+      "cudaFree(p);\ncudaDeviceSynchronize();\n");
+  EXPECT_NE(r.output.find("hipMalloc(&p, n);"), std::string::npos);
+  EXPECT_NE(r.output.find("hipMemcpy(d, s, n, hipMemcpyHostToDevice);"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("hipFree(p);"), std::string::npos);
+  EXPECT_NE(r.output.find("hipDeviceSynchronize();"), std::string::npos);
+  EXPECT_EQ(r.output.find("cuda"), std::string::npos);
+  EXPECT_EQ(r.replacements, 5u);
+}
+
+TEST(Hipify, TypesAndStreams) {
+  const auto r = hipify_source(
+      "cudaStream_t s;\ncudaStreamCreate(&s);\n"
+      "cudaError_t e = cudaGetLastError();\n"
+      "if (e != cudaSuccess) puts(cudaGetErrorString(e));\n"
+      "cudaMemcpyAsync(d, h, n, cudaMemcpyHostToDevice, s);\n");
+  EXPECT_NE(r.output.find("hipStream_t s;"), std::string::npos);
+  EXPECT_NE(r.output.find("hipError_t e = hipGetLastError();"), std::string::npos);
+  EXPECT_NE(r.output.find("hipMemcpyAsync(d, h, n, hipMemcpyHostToDevice, s);"),
+            std::string::npos);
+}
+
+TEST(Hipify, DevicePropSpecialCase) {
+  // cudaDeviceProp maps to hipDeviceProp_t (name changes shape).
+  const auto r = hipify_source("cudaDeviceProp prop;\n"
+                               "cudaGetDeviceProperties(&prop, 0);\n");
+  EXPECT_NE(r.output.find("hipDeviceProp_t prop;"), std::string::npos);
+  EXPECT_NE(r.output.find("hipGetDeviceProperties(&prop, 0);"), std::string::npos);
+}
+
+TEST(Hipify, IncludeRewrites) {
+  const auto r = hipify_source(
+      "#include <cuda_runtime.h>\n#include <cuComplex.h>\n#include <vector>\n");
+  EXPECT_NE(r.output.find("#include <hip/hip_runtime.h>"), std::string::npos);
+  EXPECT_NE(r.output.find("#include <hip/hip_complex.h>"), std::string::npos);
+  EXPECT_NE(r.output.find("#include <vector>"), std::string::npos);
+}
+
+TEST(Hipify, TokenBoundariesRespected) {
+  // Identifiers merely containing 'cudaMalloc' must not be rewritten.
+  const auto r = hipify_source("int my_cudaMalloc_count; mycudaMalloc();\n");
+  EXPECT_NE(r.output.find("my_cudaMalloc_count"), std::string::npos);
+  EXPECT_NE(r.output.find("mycudaMalloc()"), std::string::npos);
+  EXPECT_EQ(r.replacements, 0u);
+}
+
+TEST(Hipify, CommentsAndStringsUntouched) {
+  const auto r = hipify_source(
+      "// cudaMalloc in a comment\n"
+      "/* cudaFree(block) */\n"
+      "const char* s = \"cudaMemcpy\";\n"
+      "cudaMalloc(&p, 1);\n");
+  EXPECT_NE(r.output.find("// cudaMalloc in a comment"), std::string::npos);
+  EXPECT_NE(r.output.find("/* cudaFree(block) */"), std::string::npos);
+  EXPECT_NE(r.output.find("\"cudaMemcpy\""), std::string::npos);
+  EXPECT_NE(r.output.find("hipMalloc(&p, 1);"), std::string::npos);
+  EXPECT_EQ(r.replacements, 1u);
+}
+
+TEST(Hipify, KernelLaunchRewrite) {
+  const auto r = hipify_source("MyKernel<<<blocks, threads>>>(a, b, n);\n");
+  EXPECT_NE(r.output.find(
+                "hipLaunchKernelGGL(MyKernel, dim3(blocks), dim3(threads), 0, "
+                "0, a, b, n)"),
+            std::string::npos);
+  EXPECT_EQ(r.output.find("<<<"), std::string::npos);
+}
+
+TEST(Hipify, KernelLaunchWithSharedAndStream) {
+  const auto r = hipify_source("k<<<g, b, shm, st>>>(x);\n");
+  EXPECT_NE(
+      r.output.find("hipLaunchKernelGGL(k, dim3(g), dim3(b), shm, st, x)"),
+      std::string::npos);
+}
+
+TEST(Hipify, TemplatedKernelLaunchUsesHipKernelName) {
+  const auto r =
+      hipify_source("ApplyGateH_Kernel<float><<<grid, 64>>>(args, amps);\n");
+  EXPECT_NE(r.output.find("hipLaunchKernelGGL(HIP_KERNEL_NAME("
+                          "ApplyGateH_Kernel<float>), dim3(grid), dim3(64), "
+                          "0, 0, args, amps)"),
+            std::string::npos);
+}
+
+TEST(Hipify, LaunchWithNestedCommasInConfig) {
+  const auto r = hipify_source("k<<<dim3(gx, gy), max(a, b)>>>(f(x, y));\n");
+  EXPECT_NE(r.output.find("hipLaunchKernelGGL(k, dim3(dim3(gx, gy)), "
+                          "dim3(max(a, b)), 0, 0, f(x, y))"),
+            std::string::npos);
+}
+
+TEST(Hipify, ShflSyncDropsMask) {
+  const auto r = hipify_source(
+      "v += __shfl_down_sync(0xffffffff, v, offset);\n"
+      "w = __shfl_sync(mask, w, 0);\n"
+      "unsigned b = __ballot_sync(0xffffffff, pred);\n");
+  EXPECT_NE(r.output.find("__shfl_down(v, offset)"), std::string::npos);
+  EXPECT_NE(r.output.find("__shfl(w, 0)"), std::string::npos);
+  EXPECT_NE(r.output.find("__ballot(pred)"), std::string::npos);
+  EXPECT_EQ(r.output.find("_sync"), std::string::npos);
+}
+
+TEST(Hipify, WarpSizeAuditFlagsHardcodedWidths) {
+  const auto r = hipify_source(
+      "for (int o = 16; o > 0; o >>= 1) v += __shfl_down_sync(m, v, o);\n");
+  bool flagged = false;
+  for (const auto& w : r.warnings) {
+    flagged |= w.message.find("warp-size audit") != std::string::npos;
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(Hipify, WarpSizeAuditSilentOnDerivedWidths) {
+  const auto r = hipify_source(
+      "for (int o = warpSize / 2; o > 0; o >>= 1) v += __shfl_down(v, o);\n");
+  for (const auto& w : r.warnings) {
+    EXPECT_EQ(w.message.find("warp-size audit"), std::string::npos) << w.message;
+  }
+}
+
+TEST(Hipify, UnknownCudaIdentifierWarns) {
+  const auto r = hipify_source("cudaFrobnicate(x);\n");
+  ASSERT_FALSE(r.warnings.empty());
+  EXPECT_NE(r.warnings[0].message.find("cudaFrobnicate"), std::string::npos);
+  EXPECT_NE(r.output.find("cudaFrobnicate(x);"), std::string::npos);
+}
+
+TEST(Hipify, WarningsCarryLineNumbers) {
+  const auto r = hipify_source("int a;\nint b;\ncudaFrobnicate();\n");
+  ASSERT_FALSE(r.warnings.empty());
+  EXPECT_EQ(r.warnings[0].line, 3u);
+}
+
+TEST(Hipify, RuleHitsAccounting) {
+  const auto r = hipify_source("cudaMalloc(&a, 1); cudaMalloc(&b, 2);\n");
+  EXPECT_EQ(r.rule_hits.at("cudaMalloc"), 2u);
+  EXPECT_EQ(r.replacements, 2u);
+}
+
+TEST(Hipify, ReportFormat) {
+  const auto r = hipify_source("cudaMalloc(&a, 1);\ncudaFrobnicate();\n");
+  const std::string rep = r.format_report("simulator_cuda.h");
+  EXPECT_NE(rep.find("simulator_cuda.h"), std::string::npos);
+  EXPECT_NE(rep.find("cudaMalloc"), std::string::npos);
+  EXPECT_NE(rep.find("warnings"), std::string::npos);
+}
+
+TEST(Hipify, FileRoundTrip) {
+  const std::string in = testing::TempDir() + "/qhip_hipify_in.cu";
+  const std::string out = testing::TempDir() + "/qhip_hipify_out.cpp";
+  {
+    std::ofstream f(in);
+    f << "#include <cuda_runtime.h>\ncudaMalloc(&p, 8);\n";
+  }
+  const auto r = hipify_file(in, out);
+  EXPECT_EQ(r.replacements, 2u);
+  std::ifstream f(out);
+  std::string all((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(all, r.output);
+  EXPECT_THROW(hipify_file("/nonexistent.cu", out), Error);
+}
+
+TEST(Hipify, IdempotentOnHipSource) {
+  const std::string hip =
+      "#include <hip/hip_runtime.h>\nhipMalloc(&p, 8);\n"
+      "hipLaunchKernelGGL(k, dim3(1), dim3(1), 0, 0, x);\n";
+  const auto r = hipify_source(hip);
+  EXPECT_EQ(r.output, hip);
+  EXPECT_EQ(r.replacements, 0u);
+}
+
+TEST(Hipify, LegacyAndLibraryRules) {
+  const auto r = hipify_source(
+      "cudaMemcpyToSymbol(sym, h, n);\ncudaThreadSynchronize();\n"
+      "cudaEventCreateWithFlags(&e, cudaEventDisableTiming);\n"
+      "cufftHandle plan;\ncufftPlan1d(&plan, n, CUFFT_FORWARD, 1);\n");
+  EXPECT_NE(r.output.find("hipMemcpyToSymbol(sym, h, n);"), std::string::npos);
+  EXPECT_NE(r.output.find("hipDeviceSynchronize();"), std::string::npos);
+  EXPECT_NE(r.output.find("hipEventCreateWithFlags(&e, hipEventDisableTiming);"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("hipfftPlan1d(&plan, n, HIPFFT_FORWARD, 1);"),
+            std::string::npos);
+  EXPECT_EQ(r.output.find("cuda"), std::string::npos);
+}
+
+TEST(Hipify, ApiMapNonTrivial) {
+  EXPECT_GT(api_map().size(), 60u);
+  EXPECT_EQ(api_map().at("cudaMalloc"), "hipMalloc");
+}
+
+}  // namespace
+}  // namespace qhip::hipify

@@ -1,0 +1,110 @@
+// Golden test reproducing the paper's §3 porting workflow: translate the
+// bundled CUDA-dialect miniatures of qsim's seven backend files and compare
+// byte-for-byte against the checked-in HIP outputs. Also verifies the two
+// qualitative findings of the port:
+//  * the conversion is fully automatic (no unconverted cuda* identifiers),
+//  * the warp-size audit flags the hardcoded 32-lane reduction loops that
+//    the paper had to fix by hand for the 64-lane AMD wavefront.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/hipify/hipify.h"
+
+namespace qhip::hipify {
+namespace {
+
+struct FilePair {
+  const char* cuda;
+  const char* hip;
+};
+
+// The paper's seven-file conversion inventory (§3, items 1-7).
+const std::vector<FilePair>& inventory() {
+  static const std::vector<FilePair> v = {
+      {"qsim_base_cuda.cu", "qsim_base_hip.cpp"},
+      {"simulator_cuda.h", "simulator_hip.h"},
+      {"simulator_cuda_kernels.h", "simulator_hip_kernels.h"},
+      {"state_space_cuda.h", "state_space_hip.h"},
+      {"state_space_cuda_kernels.h", "state_space_hip_kernels.h"},
+      {"cuda_util.h", "hip_util.h"},
+      {"vectorspace_cuda.h", "vectorspace_hip.h"},
+  };
+  return v;
+}
+
+std::string testdata_dir() {
+  return std::string(QHIP_TESTDATA_DIR);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST(HipifyGolden, SevenFileInventoryMatchesPaper) {
+  EXPECT_EQ(inventory().size(), 7u);
+}
+
+TEST(HipifyGolden, TranslationsMatchGoldenOutputs) {
+  for (const auto& [cu, hip] : inventory()) {
+    const std::string src = slurp(testdata_dir() + "/cuda/" + cu);
+    const std::string want = slurp(testdata_dir() + "/hip_golden/" + hip);
+    const HipifyResult r = hipify_source(src);
+    EXPECT_EQ(r.output, want) << cu;
+  }
+}
+
+TEST(HipifyGolden, NoCudaIdentifiersSurvive) {
+  for (const auto& [cu, hip] : inventory()) {
+    const std::string src = slurp(testdata_dir() + "/cuda/" + cu);
+    const HipifyResult r = hipify_source(src);
+    // Scan translated identifiers: nothing starting with 'cuda' outside
+    // comments should remain (file-name references in comments are fine).
+    std::istringstream is(r.output);
+    std::string ln;
+    while (std::getline(is, ln)) {
+      const auto comment = ln.find("//");
+      const std::string code = ln.substr(0, comment);
+      EXPECT_EQ(code.find("cudaM"), std::string::npos) << cu << ": " << ln;
+      EXPECT_EQ(code.find("cudaS"), std::string::npos) << cu << ": " << ln;
+      EXPECT_EQ(code.find("cudaError"), std::string::npos) << cu << ": " << ln;
+      EXPECT_EQ(code.find("__shfl_down_sync"), std::string::npos)
+          << cu << ": " << ln;
+    }
+    // And the tool itself reported no unconverted-identifier warnings.
+    for (const auto& w : r.warnings) {
+      EXPECT_EQ(w.message.find("unrecognized CUDA identifier"),
+                std::string::npos)
+          << cu << ": " << w.message;
+    }
+  }
+}
+
+TEST(HipifyGolden, WarpSizeBugFlaggedInUtilAndKernels) {
+  // The files with 32-lane reduction loops must trip the audit — this is
+  // the "minor issue related to warp-level collective functions" of §3.
+  for (const char* f : {"cuda_util.h", "simulator_cuda_kernels.h"}) {
+    const HipifyResult r = hipify_source(slurp(testdata_dir() + "/cuda/" + f));
+    bool flagged = false;
+    for (const auto& w : r.warnings) {
+      flagged |= w.message.find("warp-size audit") != std::string::npos;
+    }
+    EXPECT_TRUE(flagged) << f;
+  }
+}
+
+TEST(HipifyGolden, LaunchSitesAllRewritten) {
+  for (const auto& [cu, hip] : inventory()) {
+    const HipifyResult r = hipify_source(slurp(testdata_dir() + "/cuda/" + cu));
+    EXPECT_EQ(r.output.find("<<<"), std::string::npos) << cu;
+  }
+}
+
+}  // namespace
+}  // namespace qhip::hipify

@@ -1,0 +1,100 @@
+// Device-side expectation values must agree with the host path on both
+// virtual devices and both precisions.
+#include "src/hipsim/expectation_hip.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/core/gates.h"
+#include "src/hipsim/simulator_hip.h"
+#include "src/simulator/simulator_cpu.h"
+
+namespace qhip::hipsim {
+namespace {
+
+using obs::Observable;
+using obs::Pauli;
+using obs::PauliString;
+
+template <typename T>
+class ExpectationHIPTyped : public ::testing::Test {};
+using Precisions = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(ExpectationHIPTyped, Precisions);
+
+template <typename FP>
+void prepare(unsigned n, std::uint64_t seed, SimulatorCPU<FP>& cpu,
+             StateVector<FP>& host, SimulatorHIP<FP>& gpu,
+             DeviceStateVector<FP>& dev_state) {
+  Xoshiro256 rng(seed);
+  gpu.state_space().set_zero_state(dev_state);
+  for (unsigned t = 0; t < 5; ++t) {
+    for (unsigned q = 0; q < n; ++q) {
+      const Gate g = gates::rxy(t, q, rng.uniform() * 6, rng.uniform() * 3);
+      cpu.apply_gate(g, host);
+      gpu.apply_gate(g, dev_state);
+    }
+  }
+}
+
+TYPED_TEST(ExpectationHIPTyped, MatchesHostOnBothDevices) {
+  for (unsigned warp : {32u, 64u}) {
+    vgpu::Device dev{vgpu::test_device(warp)};
+    const unsigned n = 9;
+    SimulatorCPU<TypeParam> cpu;
+    StateVector<TypeParam> host(n);
+    SimulatorHIP<TypeParam> gpu(dev);
+    DeviceStateVector<TypeParam> ds(dev, n);
+    prepare(n, 4, cpu, host, gpu, ds);
+
+    Observable o;
+    o.strings.push_back(PauliString{0.8, {{0, Pauli::kX}, {6, Pauli::kY}}});
+    o.strings.push_back(PauliString{-0.5, {{2, Pauli::kZ}, {3, Pauli::kZ}}});
+    o.strings.push_back(PauliString{1.1, {{8, Pauli::kY}, {1, Pauli::kZ}}});
+
+    const cplx64 want = obs::expectation(o, host);
+    const cplx64 got = expectation(o, ds, dev);
+    const double tol = std::is_same_v<TypeParam, float> ? 1e-4 : 1e-10;
+    EXPECT_NEAR(got.real(), want.real(), tol) << "warp " << warp;
+    EXPECT_NEAR(got.imag(), want.imag(), tol) << "warp " << warp;
+  }
+}
+
+TYPED_TEST(ExpectationHIPTyped, IsingEnergyOnDevice) {
+  vgpu::Device dev{vgpu::mi250x_gcd()};
+  const unsigned n = 8;
+  SimulatorCPU<TypeParam> cpu;
+  StateVector<TypeParam> host(n);
+  SimulatorHIP<TypeParam> gpu(dev);
+  DeviceStateVector<TypeParam> ds(dev, n);
+  prepare(n, 9, cpu, host, gpu, ds);
+
+  const Observable h = obs::transverse_field_ising(n, 1.0, 1.1);
+  const cplx64 want = obs::expectation(h, host);
+  const cplx64 got = expectation(h, ds, dev);
+  const double tol = std::is_same_v<TypeParam, float> ? 2e-4 : 1e-10;
+  EXPECT_NEAR(got.real(), want.real(), tol);
+  EXPECT_NEAR(got.imag(), 0.0, tol);
+}
+
+TYPED_TEST(ExpectationHIPTyped, DeviceAllocationsBalanced) {
+  vgpu::Device dev{vgpu::test_device(64)};
+  {
+    SimulatorHIP<TypeParam> gpu(dev);
+    DeviceStateVector<TypeParam> ds(dev, 7);
+    gpu.state_space().set_uniform_state(ds);
+    expectation(obs::pauli_x(3), ds, dev);
+    expectation(obs::transverse_field_ising(7, 1, 1), ds, dev);
+  }
+  EXPECT_EQ(dev.live_allocations(), 0u);
+}
+
+TEST(ExpectationHIP, ValidatesQubitRange) {
+  vgpu::Device dev{vgpu::test_device(64)};
+  SimulatorHIP<float> gpu(dev);
+  DeviceStateVector<float> ds(dev, 5);
+  gpu.state_space().set_zero_state(ds);
+  EXPECT_THROW(expectation(obs::pauli_x(7), ds, dev), Error);
+}
+
+}  // namespace
+}  // namespace qhip::hipsim

@@ -1,0 +1,104 @@
+// Tests for the wavefront reductions — including a regression test that
+// reproduces the warp-size porting bug the paper fixes in §3: CUDA-style
+// collectives hardcoded to width 32 silently drop half of each 64-wide AMD
+// wavefront.
+#include "src/hipsim/hip_util.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/vgpu/device.h"
+
+namespace qhip::hipsim {
+namespace {
+
+using vgpu::Device;
+using vgpu::KernelCtx;
+using vgpu::test_device;
+
+double run_warp_reduce(unsigned warp_size, bool fixed32) {
+  Device dev{test_device(warp_size)};
+  std::vector<double> out(1, -1);
+  dev.launch("reduce", {1, warp_size, 0, true, {}}, [&](KernelCtx& ctx) {
+    const double v = 1.0;  // sum over the wavefront should be warp_size
+    const double r = fixed32 ? warp_reduce_sum_fixed32(ctx, v)
+                             : warp_reduce_sum(ctx, v);
+    if (ctx.lane() == 0) out[0] = r;
+  });
+  return out[0];
+}
+
+TEST(WarpReduce, CorrectOnWarp32) {
+  EXPECT_DOUBLE_EQ(run_warp_reduce(32, false), 32.0);
+}
+
+TEST(WarpReduce, CorrectOnWarp64) {
+  EXPECT_DOUBLE_EQ(run_warp_reduce(64, false), 64.0);
+}
+
+TEST(WarpReduce, Fixed32MatchesOnNvidiaWidth) {
+  // The pre-port CUDA code is correct where it was written: warp 32.
+  EXPECT_DOUBLE_EQ(run_warp_reduce(32, true), 32.0);
+}
+
+TEST(WarpReduce, Fixed32RegressionDropsHalfTheWavefrontOnAmd) {
+  // The paper's porting bug: on a 64-wide wavefront the fixed-32 loop only
+  // accumulates lanes 0..31 into lane 0 — half the data is lost.
+  EXPECT_DOUBLE_EQ(run_warp_reduce(64, true), 32.0);
+}
+
+TEST(WarpReduce, NonUniformValues) {
+  for (unsigned warp : {32u, 64u}) {
+    Device dev{test_device(warp)};
+    std::vector<long> out(1, -1);
+    dev.launch("reduce", {1, warp, 0, true, {}}, [&](KernelCtx& ctx) {
+      const long r = warp_reduce_sum(ctx, static_cast<long>(ctx.lane()));
+      if (ctx.lane() == 0) out[0] = r;
+    });
+    EXPECT_EQ(out[0], static_cast<long>(warp) * (warp - 1) / 2) << warp;
+  }
+}
+
+TEST(BlockReduce, SingleWarpBlock) {
+  Device dev{test_device(64)};
+  std::vector<double> out(1, -1);
+  dev.launch("br", {1, 64, sizeof(double), true, {}}, [&](KernelCtx& ctx) {
+    double* scratch = ctx.shared_as<double>();
+    const double r = block_reduce_sum(ctx, 2.0, scratch);
+    if (ctx.thread_idx() == 0) out[0] = r;
+  });
+  EXPECT_DOUBLE_EQ(out[0], 128.0);
+}
+
+TEST(BlockReduce, MultiWarpBlock) {
+  for (unsigned warp : {32u, 64u}) {
+    Device dev{test_device(warp)};
+    const unsigned block = 256;
+    std::vector<double> out(1, -1);
+    dev.launch("br", {1, block, (block / 32) * sizeof(double), true, {}},
+               [&](KernelCtx& ctx) {
+                 double* scratch = ctx.shared_as<double>();
+                 const double r = block_reduce_sum(
+                     ctx, static_cast<double>(ctx.thread_idx()), scratch);
+                 if (ctx.thread_idx() == 0) out[0] = r;
+               });
+    EXPECT_DOUBLE_EQ(out[0], 255.0 * 256 / 2) << warp;
+  }
+}
+
+TEST(BlockReduce, ManyBlocks) {
+  Device dev{test_device(64)};
+  const unsigned grid = 17, block = 128;
+  std::vector<double> partial(grid, -1);
+  dev.launch("br", {grid, block, (block / 32) * sizeof(double), true, {}},
+             [&](KernelCtx& ctx) {
+               double* scratch = ctx.shared_as<double>();
+               const double r = block_reduce_sum(ctx, 1.0, scratch);
+               if (ctx.thread_idx() == 0) partial[ctx.block_idx()] = r;
+             });
+  for (unsigned b = 0; b < grid; ++b) EXPECT_DOUBLE_EQ(partial[b], 128.0);
+}
+
+}  // namespace
+}  // namespace qhip::hipsim

@@ -1,0 +1,187 @@
+#include "src/hipsim/state_space_hip.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/gates.h"
+#include "src/hipsim/simulator_hip.h"
+#include "src/statespace/statevector.h"
+
+namespace qhip::hipsim {
+namespace {
+
+using vgpu::Device;
+
+template <typename T>
+class StateSpaceHIPTyped : public ::testing::Test {};
+using Precisions = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(StateSpaceHIPTyped, Precisions);
+
+TYPED_TEST(StateSpaceHIPTyped, ZeroState) {
+  for (unsigned warp : {32u, 64u}) {
+    Device dev{vgpu::test_device(warp)};
+    StateSpaceHIP<TypeParam> space(dev);
+    DeviceStateVector<TypeParam> s(dev, 7);
+    space.set_zero_state(s);
+    const StateVector<TypeParam> h = s.to_host();
+    EXPECT_EQ(h[0], (cplx<TypeParam>{1}));
+    for (index_t i = 1; i < h.size(); ++i) EXPECT_EQ(h[i], (cplx<TypeParam>{}));
+  }
+}
+
+TYPED_TEST(StateSpaceHIPTyped, UniformState) {
+  Device dev{vgpu::test_device(64)};
+  StateSpaceHIP<TypeParam> space(dev);
+  DeviceStateVector<TypeParam> s(dev, 8);
+  space.set_uniform_state(s);
+  EXPECT_NEAR(space.norm2(s), 1.0, 1e-5);
+}
+
+TYPED_TEST(StateSpaceHIPTyped, BasisState) {
+  Device dev{vgpu::test_device(64)};
+  StateSpaceHIP<TypeParam> space(dev);
+  DeviceStateVector<TypeParam> s(dev, 6);
+  space.set_basis_state(s, 37);
+  const StateVector<TypeParam> h = s.to_host();
+  EXPECT_EQ(h[37], (cplx<TypeParam>{1}));
+  EXPECT_NEAR(space.norm2(s), 1.0, 1e-7);
+}
+
+TYPED_TEST(StateSpaceHIPTyped, Norm2MatchesHost) {
+  Device dev{vgpu::test_device(64)};
+  StateSpaceHIP<TypeParam> space(dev);
+  const unsigned n = 10;
+  StateVector<TypeParam> host(n);
+  Xoshiro256 rng(5);
+  for (index_t i = 0; i < host.size(); ++i) {
+    host[i] = cplx<TypeParam>(static_cast<TypeParam>(rng.uniform() - 0.5),
+                              static_cast<TypeParam>(rng.uniform() - 0.5));
+  }
+  DeviceStateVector<TypeParam> s(dev, n);
+  s.upload(host);
+  const double norm_tol = std::is_same_v<TypeParam, float> ? 1e-4 : 1e-10;
+  EXPECT_NEAR(space.norm2(s), statespace::norm2(host), norm_tol);
+}
+
+TYPED_TEST(StateSpaceHIPTyped, InnerProductMatchesHost) {
+  Device dev{vgpu::test_device(32)};
+  StateSpaceHIP<TypeParam> space(dev);
+  const unsigned n = 9;
+  StateVector<TypeParam> ha(n), hb(n);
+  Xoshiro256 rng(6);
+  for (index_t i = 0; i < ha.size(); ++i) {
+    ha[i] = cplx<TypeParam>(static_cast<TypeParam>(rng.uniform() - 0.5),
+                            static_cast<TypeParam>(rng.uniform() - 0.5));
+    hb[i] = cplx<TypeParam>(static_cast<TypeParam>(rng.uniform() - 0.5),
+                            static_cast<TypeParam>(rng.uniform() - 0.5));
+  }
+  DeviceStateVector<TypeParam> a(dev, n), b(dev, n);
+  a.upload(ha);
+  b.upload(hb);
+  const cplx64 dev_ip = space.inner_product(a, b);
+  const cplx64 host_ip = statespace::inner_product(ha, hb);
+  const double tol = std::is_same_v<TypeParam, float> ? 1e-4 : 1e-10;
+  EXPECT_NEAR(dev_ip.real(), host_ip.real(), tol);
+  EXPECT_NEAR(dev_ip.imag(), host_ip.imag(), tol);
+}
+
+TYPED_TEST(StateSpaceHIPTyped, NormalizeScalesToUnit) {
+  Device dev{vgpu::test_device(64)};
+  StateSpaceHIP<TypeParam> space(dev);
+  DeviceStateVector<TypeParam> s(dev, 8);
+  space.fill(s, cplx<TypeParam>{1});
+  const double pre = space.normalize(s);
+  EXPECT_NEAR(pre, 16.0, 1e-4);  // sqrt(256)
+  EXPECT_NEAR(space.norm2(s), 1.0, 1e-5);
+}
+
+TYPED_TEST(StateSpaceHIPTyped, SampleFromBasisState) {
+  Device dev{vgpu::test_device(64)};
+  StateSpaceHIP<TypeParam> space(dev);
+  DeviceStateVector<TypeParam> s(dev, 12);
+  space.set_basis_state(s, 1234);
+  const auto out = space.sample(s, 32, 9);
+  ASSERT_EQ(out.size(), 32u);
+  for (index_t v : out) EXPECT_EQ(v, 1234u);
+}
+
+TYPED_TEST(StateSpaceHIPTyped, SampleMatchesHostSamplerStatistically) {
+  Device dev{vgpu::test_device(64)};
+  StateSpaceHIP<TypeParam> space(dev);
+  const unsigned n = 6;
+  // A skewed state: amplitude on |5> dominates.
+  StateVector<TypeParam> host(n);
+  host[0] = 0;  // constructor puts the unit amplitude here
+  host[5] = static_cast<TypeParam>(std::sqrt(0.9));
+  host[40] = static_cast<TypeParam>(std::sqrt(0.1));
+  DeviceStateVector<TypeParam> s(dev, n);
+  s.upload(host);
+  const std::size_t m = 5000;
+  const auto out = space.sample(s, m, 77);
+  std::map<index_t, std::size_t> h;
+  for (index_t v : out) ++h[v];
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(h[5]) / m, 0.9, 0.03);
+  EXPECT_NEAR(static_cast<double>(h[40]) / m, 0.1, 0.03);
+}
+
+TYPED_TEST(StateSpaceHIPTyped, SampleDeterministicInSeed) {
+  Device dev{vgpu::test_device(64)};
+  StateSpaceHIP<TypeParam> space(dev);
+  DeviceStateVector<TypeParam> s(dev, 8);
+  space.set_uniform_state(s);
+  EXPECT_EQ(space.sample(s, 100, 3), space.sample(s, 100, 3));
+  EXPECT_NE(space.sample(s, 100, 3), space.sample(s, 100, 4));
+}
+
+TYPED_TEST(StateSpaceHIPTyped, GetAmplitudesGathersOnDevice) {
+  Device dev{vgpu::test_device(64)};
+  StateSpaceHIP<TypeParam> space(dev);
+  const unsigned n = 8;
+  StateVector<TypeParam> host(n);
+  Xoshiro256 rng(21);
+  for (index_t i = 0; i < host.size(); ++i) {
+    host[i] = cplx<TypeParam>(static_cast<TypeParam>(rng.uniform()),
+                              static_cast<TypeParam>(rng.uniform()));
+  }
+  DeviceStateVector<TypeParam> s(dev, n);
+  s.upload(host);
+  const std::vector<index_t> want = {0, 255, 17, 128, 17};
+  const auto got = space.get_amplitudes(s, want);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t k = 0; k < want.size(); ++k) {
+    EXPECT_EQ(got[k], host[want[k]]) << k;
+  }
+  EXPECT_TRUE(space.get_amplitudes(s, {}).empty());
+  EXPECT_THROW(space.get_amplitudes(s, {1u << n}), Error);
+}
+
+TYPED_TEST(StateSpaceHIPTyped, MeasureCollapsesAndNormalizes) {
+  Device dev{vgpu::test_device(64)};
+  StateSpaceHIP<TypeParam> space(dev);
+  DeviceStateVector<TypeParam> s(dev, 6);
+  space.set_uniform_state(s);
+  const index_t outcome = space.measure(s, {2}, 21);
+  ASSERT_LE(outcome, 1u);
+  const StateVector<TypeParam> h = s.to_host();
+  EXPECT_NEAR(statespace::norm2(h), 1.0, 1e-5);
+  EXPECT_NEAR(statespace::probability(h, {2}, outcome), 1.0, 1e-5);
+}
+
+TYPED_TEST(StateSpaceHIPTyped, DeviceAllocationsBalanced) {
+  Device dev{vgpu::test_device(64)};
+  {
+    StateSpaceHIP<TypeParam> space(dev);
+    DeviceStateVector<TypeParam> s(dev, 8);
+    space.set_uniform_state(s);
+    space.norm2(s);
+    space.sample(s, 16, 1);
+    space.measure(s, {0, 3}, 2);
+  }
+  // Everything transient must have been freed; only nothing remains.
+  EXPECT_EQ(dev.live_allocations(), 0u);
+}
+
+}  // namespace
+}  // namespace qhip::hipsim

@@ -1,0 +1,103 @@
+// Parameterized fusion-invariant property suite: for any (max_fused,
+// window, seed) the fused circuit preserves the input unitary, respects
+// the width limit, emits only unitary matrices, and never reorders gates
+// on a qubit line.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/base/rng.h"
+#include "src/core/gates.h"
+#include "src/fusion/fuser.h"
+
+namespace qhip {
+namespace {
+
+Circuit mixed_circuit(unsigned n, unsigned depth, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Circuit c;
+  c.num_qubits = n;
+  for (unsigned t = 0; t < depth; ++t) {
+    std::vector<bool> used(n, false);
+    for (unsigned q = 0; q < n; ++q) {
+      if (used[q]) continue;
+      const double r = rng.uniform();
+      if (r < 0.2 && q + 2 < n && !used[q + 1] && !used[q + 2]) {
+        c.gates.push_back(gates::ccz(t, q, q + 1, q + 2));
+        used[q] = used[q + 1] = used[q + 2] = true;
+      } else if (r < 0.5 && q + 1 < n && !used[q + 1]) {
+        c.gates.push_back(gates::is(t, q, q + 1));
+        used[q] = used[q + 1] = true;
+      } else if (r < 0.6) {
+        c.gates.push_back(gates::controlled(
+            gates::ry(t, q, rng.uniform() * 3), {(q + 1) % n}));
+        used[q] = used[(q + 1) % n] = true;
+      } else if (r < 0.9) {
+        c.gates.push_back(gates::rz(t, q, rng.uniform() * 6));
+        used[q] = true;
+      }
+    }
+  }
+  return c;
+}
+
+// (max_fused, window, seed)
+using FuseParam = std::tuple<unsigned, unsigned, std::uint64_t>;
+
+class FusionProperties : public ::testing::TestWithParam<FuseParam> {};
+
+TEST_P(FusionProperties, PreservesUnitary) {
+  const auto [f, w, seed] = GetParam();
+  const Circuit c = mixed_circuit(5, 10, seed);
+  const CMatrix want = circuit_unitary(c);
+  const FusionResult r = fuse_circuit(c, {f, w});
+  EXPECT_LT(circuit_unitary(r.circuit).distance(want), 1e-9);
+}
+
+TEST_P(FusionProperties, RespectsWidthAndUnitarity) {
+  const auto [f, w, seed] = GetParam();
+  const Circuit c = mixed_circuit(6, 10, seed);
+  const FusionResult r = fuse_circuit(c, {f, w});
+  for (const auto& g : r.circuit.gates) {
+    if (g.is_measurement()) continue;
+    EXPECT_LE(g.num_targets(), std::max(f, 3u));  // ccz passes through at f<3
+    EXPECT_TRUE(g.matrix.is_unitary(1e-8)) << g.name;
+    EXPECT_TRUE(std::is_sorted(g.qubits.begin(), g.qubits.end()));
+    EXPECT_TRUE(g.controls.empty());
+  }
+}
+
+TEST_P(FusionProperties, GateCountNeverIncreases) {
+  const auto [f, w, seed] = GetParam();
+  const Circuit c = mixed_circuit(6, 10, seed);
+  const FusionResult r = fuse_circuit(c, {f, w});
+  EXPECT_LE(r.circuit.size(), c.size());
+  EXPECT_EQ(r.stats.input_gates, c.size());
+}
+
+TEST_P(FusionProperties, IdempotentUnderRefusion) {
+  // Fusing an already-fused circuit at the same limit must not change the
+  // total unitary (and cannot widen gates).
+  const auto [f, w, seed] = GetParam();
+  const Circuit c = mixed_circuit(5, 8, seed);
+  const Circuit once = fuse_circuit(c, {f, w}).circuit;
+  const Circuit twice = fuse_circuit(once, {f, w}).circuit;
+  EXPECT_LT(circuit_unitary(twice).distance(circuit_unitary(c)), 1e-9);
+  for (const auto& g : twice.gates) {
+    EXPECT_LE(g.num_targets(), std::max(f, 3u));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FusionProperties,
+    ::testing::Combine(::testing::Values(2u, 3u, 4u, 6u),   // max_fused
+                       ::testing::Values(0u, 2u, 4u),       // window
+                       ::testing::Values(11ull, 12ull, 13ull)),
+    [](const ::testing::TestParamInfo<FuseParam>& info) {
+      return "f" + std::to_string(std::get<0>(info.param)) + "_w" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace qhip

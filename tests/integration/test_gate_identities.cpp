@@ -1,0 +1,110 @@
+// Parameterized gate-identity property suite: algebraic identities that
+// must hold for every gate and every backend-visible form — inverse
+// composition, commutation of disjoint gates, and basis-independence of
+// the normalized form.
+#include <gtest/gtest.h>
+
+#include "src/core/gates.h"
+#include "src/simulator/reference.h"
+#include "src/simulator/simulator_cpu.h"
+
+namespace qhip {
+namespace {
+
+struct NamedGate {
+  const char* label;
+  Gate gate;
+};
+
+std::vector<NamedGate> parameterized_gates() {
+  return {
+      {"h", gates::h(0, 1)},
+      {"x", gates::x(0, 1)},
+      {"y", gates::y(0, 1)},
+      {"z", gates::z(0, 1)},
+      {"s", gates::s(0, 1)},
+      {"t", gates::t(0, 1)},
+      {"x_1_2", gates::x_1_2(0, 1)},
+      {"y_1_2", gates::y_1_2(0, 1)},
+      {"hz_1_2", gates::hz_1_2(0, 1)},
+      {"rx", gates::rx(0, 1, 0.71)},
+      {"ry", gates::ry(0, 1, 1.21)},
+      {"rz", gates::rz(0, 1, 2.1)},
+      {"rxy", gates::rxy(0, 1, 0.5, 1.9)},
+      {"p", gates::p(0, 1, 0.9)},
+      {"cz", gates::cz(0, 1, 3)},
+      {"cnot", gates::cnot(0, 1, 3)},
+      {"sw", gates::sw(0, 1, 3)},
+      {"is", gates::is(0, 1, 3)},
+      {"fs", gates::fs(0, 1, 3, 0.8, 0.4)},
+      {"cp", gates::cp(0, 1, 3, 1.3)},
+      {"ccz", gates::ccz(0, 1, 3, 4)},
+      {"ccx", gates::ccx(0, 1, 3, 4)},
+  };
+}
+
+class GateIdentity : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  const NamedGate& g() const {
+    static const std::vector<NamedGate> all = parameterized_gates();
+    return all[GetParam()];
+  }
+};
+
+TEST_P(GateIdentity, InverseRestoresAnyState) {
+  // Apply G then G^dagger to a non-trivial state: must be the identity.
+  const unsigned n = 6;
+  SimulatorCPU<double> sim;
+  StateVector<double> s(n), orig(n);
+  for (unsigned q = 0; q < n; ++q) {
+    sim.apply_gate(gates::rxy(0, q, 0.3 * q, 0.7 + q), s);
+    sim.apply_gate(gates::rxy(0, q, 0.3 * q, 0.7 + q), orig);
+  }
+  Gate inverse = g().gate;
+  inverse.matrix = inverse.matrix.adjoint();
+
+  sim.apply_gate(g().gate, s);
+  sim.apply_gate(inverse, s);
+  EXPECT_LT(statespace::max_abs_diff(s, orig), 1e-12) << g().label;
+}
+
+TEST_P(GateIdentity, CommutesWithDisjointGate) {
+  // G (on qubits <= 4) and an rxy on qubit 5 act on disjoint qubits:
+  // order must not matter.
+  const unsigned n = 6;
+  const Gate other = gates::rxy(0, 5, 1.0, 0.8);
+  SimulatorCPU<double> sim;
+  StateVector<double> ab(n), ba(n);
+  ab.set_uniform_state();
+  ba.set_uniform_state();
+  sim.apply_gate(g().gate, ab);
+  sim.apply_gate(other, ab);
+  sim.apply_gate(other, ba);
+  sim.apply_gate(g().gate, ba);
+  EXPECT_LT(statespace::max_abs_diff(ab, ba), 1e-12) << g().label;
+}
+
+TEST_P(GateIdentity, NormalizedFormActsIdentically) {
+  const unsigned n = 6;
+  SimulatorCPU<double> sim;
+  StateVector<double> a(n), b(n);
+  a.set_uniform_state();
+  b.set_uniform_state();
+  sim.apply_gate(g().gate, a);
+  reference_apply_gate(g().gate, b);  // reference normalizes internally
+  EXPECT_LT(statespace::max_abs_diff(a, b), 1e-12) << g().label;
+}
+
+TEST_P(GateIdentity, UnitaryToMachinePrecision) {
+  EXPECT_LT(g().gate.matrix.unitarity_error(), 1e-13) << g().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, GateIdentity,
+    ::testing::Range<std::size_t>(0, parameterized_gates().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      return parameterized_gates()[info.param].label;
+    });
+
+}  // namespace
+}  // namespace qhip

@@ -1,0 +1,134 @@
+#include "src/io/circuit_io.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/error.h"
+#include "src/core/gates.h"
+
+namespace qhip {
+namespace {
+
+TEST(CircuitIO, ParsesMinimal) {
+  const Circuit c = read_circuit_string("2\n0 h 0\n1 cz 0 1\n");
+  EXPECT_EQ(c.num_qubits, 2u);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.gates[0].name, "h");
+  EXPECT_EQ(c.gates[1].name, "cz");
+  EXPECT_EQ(c.gates[1].qubits, (std::vector<qubit_t>{0, 1}));
+}
+
+TEST(CircuitIO, SkipsCommentsAndBlanks) {
+  const Circuit c = read_circuit_string(
+      "# RQC test\n\n3\n# layer 0\n0 h 0\n0 h 1\n\n0 h 2\n");
+  EXPECT_EQ(c.num_qubits, 3u);
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(CircuitIO, ParsesParameterizedGates) {
+  const Circuit c = read_circuit_string(
+      "4\n0 rx 0 0.25\n0 fs 1 2 0.5 0.75\n1 cp 0 3 1.5\n1 rxy 1 0.1 0.2\n");
+  EXPECT_EQ(c.gates[0].params, (std::vector<double>{0.25}));
+  EXPECT_EQ(c.gates[1].params, (std::vector<double>{0.5, 0.75}));
+  EXPECT_EQ(c.gates[2].params, (std::vector<double>{1.5}));
+  EXPECT_EQ(c.gates[3].params, (std::vector<double>{0.1, 0.2}));
+}
+
+TEST(CircuitIO, ParsesSqrtGates) {
+  const Circuit c =
+      read_circuit_string("3\n0 x_1_2 0\n0 y_1_2 1\n0 hz_1_2 2\n");
+  EXPECT_EQ(c.gates[0].name, "x_1_2");
+  EXPECT_EQ(c.gates[1].name, "y_1_2");
+  EXPECT_EQ(c.gates[2].name, "hz_1_2");
+}
+
+TEST(CircuitIO, CxAliasForCnot) {
+  const Circuit c = read_circuit_string("2\n0 cx 0 1\n");
+  EXPECT_EQ(c.gates[0].name, "cnot");
+}
+
+TEST(CircuitIO, ParsesMeasurement) {
+  const Circuit c = read_circuit_string("3\n0 h 0\n1 m 0 1 2\n");
+  EXPECT_TRUE(c.gates[1].is_measurement());
+  EXPECT_EQ(c.gates[1].qubits, (std::vector<qubit_t>{0, 1, 2}));
+}
+
+TEST(CircuitIO, ParsesControlledGates) {
+  const Circuit c = read_circuit_string("3\n0 c 0 1 x 2\n");
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.gates[0].controls, (std::vector<qubit_t>{0, 1}));
+  EXPECT_EQ(c.gates[0].qubits, (std::vector<qubit_t>{2}));
+}
+
+TEST(CircuitIO, ErrorsCarryLineNumbers) {
+  try {
+    read_circuit_string("2\n0 h 0\n1 zz 1\n");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(":3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("zz"), std::string::npos) << msg;
+  }
+}
+
+TEST(CircuitIO, RejectsMalformed) {
+  EXPECT_THROW(read_circuit_string(""), Error);               // empty
+  EXPECT_THROW(read_circuit_string("2\n0 h\n"), Error);       // missing qubit
+  EXPECT_THROW(read_circuit_string("2\n0 rx 0\n"), Error);    // missing param
+  EXPECT_THROW(read_circuit_string("2\n0 h 5\n"), Error);     // out of range
+  EXPECT_THROW(read_circuit_string("2\n0 h 0 7\n"), Error);   // trailing token
+  EXPECT_THROW(read_circuit_string("2\n0 cz 1 1\n"), Error);  // repeated qubit
+  EXPECT_THROW(read_circuit_string("x\n"), Error);            // bad header
+  EXPECT_THROW(read_circuit_string("2\n1 h 0\n0 h 1\n"), Error);  // time order
+  EXPECT_THROW(read_circuit_string("2\n0 c x 1\n"), Error);   // c without ctrl
+}
+
+TEST(CircuitIO, RoundTripPreservesStructure) {
+  const std::string text =
+      "4\n"
+      "0 h 0\n0 x_1_2 1\n0 hz_1_2 2\n0 t 3\n"
+      "1 fs 0 1 0.25 0.5\n1 is 2 3\n"
+      "2 rz 0 1.5707963267948966\n"
+      "3 c 0 z 1\n"
+      "4 m 0 1\n";
+  const Circuit c1 = read_circuit_string(text);
+  const Circuit c2 = read_circuit_string(write_circuit_string(c1));
+  ASSERT_EQ(c1.size(), c2.size());
+  EXPECT_EQ(c1.num_qubits, c2.num_qubits);
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_EQ(c1.gates[i].name, c2.gates[i].name) << i;
+    EXPECT_EQ(c1.gates[i].time, c2.gates[i].time) << i;
+    EXPECT_EQ(c1.gates[i].qubits, c2.gates[i].qubits) << i;
+    EXPECT_EQ(c1.gates[i].controls, c2.gates[i].controls) << i;
+    EXPECT_EQ(c1.gates[i].params, c2.gates[i].params) << i;
+    if (!c1.gates[i].is_measurement()) {
+      EXPECT_LT(c1.gates[i].matrix.distance(c2.gates[i].matrix), 1e-15) << i;
+    }
+  }
+}
+
+TEST(CircuitIO, RoundTripMatrixGates) {
+  Circuit c;
+  c.num_qubits = 2;
+  c.gates.push_back(gates::mg1(0, 0, {cplx64(0, 1), 0, 0, cplx64(0, -1)}));
+  const Circuit c2 = read_circuit_string(write_circuit_string(c));
+  EXPECT_LT(c.gates[0].matrix.distance(c2.gates[0].matrix), 1e-15);
+}
+
+TEST(CircuitIO, FileRoundTrip) {
+  Circuit c;
+  c.num_qubits = 3;
+  c.gates.push_back(gates::h(0, 0));
+  c.gates.push_back(gates::fs(1, 0, 2, 0.1, 0.2));
+  const std::string path = testing::TempDir() + "/qhip_io_test_circuit.txt";
+  write_circuit_file(c, path);
+  const Circuit c2 = read_circuit_file(path);
+  EXPECT_EQ(c2.size(), 2u);
+  EXPECT_EQ(c2.gates[1].params, (std::vector<double>{0.1, 0.2}));
+}
+
+TEST(CircuitIO, MissingFileThrows) {
+  EXPECT_THROW(read_circuit_file("/nonexistent/q30"), Error);
+}
+
+}  // namespace
+}  // namespace qhip

@@ -1,0 +1,185 @@
+#include "src/io/qasm.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "src/base/error.h"
+#include "src/base/rng.h"
+#include "src/core/gates.h"
+#include "src/rqc/rqc.h"
+
+namespace qhip {
+namespace {
+
+// Unitary distance up to global phase: normalize both by the phase of the
+// largest-magnitude entry of `a`.
+double phase_free_distance(const CMatrix& a, const CMatrix& b) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < a.data().size(); ++i) {
+    if (std::abs(a.data()[i]) > std::abs(a.data()[best])) best = i;
+  }
+  if (std::abs(a.data()[best]) < 1e-12 || std::abs(b.data()[best]) < 1e-12) {
+    return a.distance(b);
+  }
+  const cplx64 pa = a.data()[best] / std::abs(a.data()[best]);
+  const cplx64 pb = b.data()[best] / std::abs(b.data()[best]);
+  CMatrix an = a, bn = b;
+  for (auto& v : an.data()) v /= pa;
+  for (auto& v : bn.data()) v /= pb;
+  return an.distance(bn);
+}
+
+void expect_roundtrip(const Circuit& c, double tol = 1e-10) {
+  const std::string qasm = write_qasm_string(c);
+  const Circuit back = read_qasm(qasm);
+  ASSERT_EQ(back.num_qubits, c.num_qubits);
+  EXPECT_LT(phase_free_distance(circuit_unitary(back), circuit_unitary(c)), tol)
+      << qasm;
+}
+
+TEST(Qasm, HeaderAndRegisters) {
+  Circuit c;
+  c.num_qubits = 3;
+  c.gates.push_back(gates::h(0, 0));
+  c.gates.push_back(gates::measure(1, {0, 2}));
+  const std::string s = write_qasm_string(c);
+  EXPECT_NE(s.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(s.find("include \"qelib1.inc\";"), std::string::npos);
+  EXPECT_NE(s.find("qreg q[3];"), std::string::npos);
+  EXPECT_NE(s.find("creg c[3];"), std::string::npos);
+  EXPECT_NE(s.find("measure q[0] -> c[0];"), std::string::npos);
+  EXPECT_NE(s.find("measure q[2] -> c[2];"), std::string::npos);
+}
+
+TEST(Qasm, DirectGatesRoundTrip) {
+  Circuit c;
+  c.num_qubits = 3;
+  unsigned t = 0;
+  c.gates.push_back(gates::h(t++, 0));
+  c.gates.push_back(gates::x(t++, 1));
+  c.gates.push_back(gates::y(t++, 2));
+  c.gates.push_back(gates::z(t++, 0));
+  c.gates.push_back(gates::s(t++, 1));
+  c.gates.push_back(gates::sdg(t++, 2));
+  c.gates.push_back(gates::t(t++, 0));
+  c.gates.push_back(gates::tdg(t++, 1));
+  c.gates.push_back(gates::rx(t++, 2, 0.3));
+  c.gates.push_back(gates::ry(t++, 0, 1.1));
+  c.gates.push_back(gates::rz(t++, 1, 2.2));
+  c.gates.push_back(gates::p(t++, 2, 0.7));
+  c.gates.push_back(gates::cz(t++, 0, 1));
+  c.gates.push_back(gates::cnot(t++, 1, 2));
+  c.gates.push_back(gates::sw(t++, 0, 2));
+  c.gates.push_back(gates::cp(t++, 0, 1, 1.3));
+  expect_roundtrip(c);
+}
+
+TEST(Qasm, SqrtGatesExportAsU3) {
+  Circuit c;
+  c.num_qubits = 2;
+  c.gates.push_back(gates::x_1_2(0, 0));
+  c.gates.push_back(gates::y_1_2(0, 1));
+  c.gates.push_back(gates::hz_1_2(1, 0));
+  c.gates.push_back(gates::rxy(1, 1, 0.4, 1.7));
+  const std::string s = write_qasm_string(c);
+  EXPECT_NE(s.find("u3("), std::string::npos);
+  expect_roundtrip(c);
+}
+
+TEST(Qasm, IswapDecomposition) {
+  Circuit c;
+  c.num_qubits = 2;
+  c.gates.push_back(gates::is(0, 0, 1));
+  expect_roundtrip(c);
+}
+
+TEST(Qasm, FsimDecomposition) {
+  for (const auto& [theta, phi] :
+       std::vector<std::pair<double, double>>{{0.3, 0.0},
+                                              {std::numbers::pi / 2,
+                                               std::numbers::pi / 6},
+                                              {1.1, -0.8}}) {
+    Circuit c;
+    c.num_qubits = 2;
+    c.gates.push_back(gates::fs(0, 0, 1, theta, phi));
+    expect_roundtrip(c);
+  }
+}
+
+TEST(Qasm, ControlledGatesViaCu3) {
+  Circuit c;
+  c.num_qubits = 3;
+  c.gates.push_back(gates::controlled(gates::ry(0, 2, 0.9), {0}));
+  c.gates.push_back(gates::controlled(gates::t(1, 1), {2}));
+  expect_roundtrip(c);
+}
+
+TEST(Qasm, ToffoliAndCcz) {
+  Circuit c;
+  c.num_qubits = 3;
+  c.gates.push_back(gates::ccx(0, 0, 1, 2));
+  c.gates.push_back(gates::ccz(1, 0, 1, 2));
+  expect_roundtrip(c);
+}
+
+TEST(Qasm, RqcRoundTrip) {
+  rqc::RqcOptions opt;
+  opt.rows = 2;
+  opt.cols = 3;
+  opt.depth = 4;
+  const Circuit c = rqc::generate_rqc(opt);
+  expect_roundtrip(c, 1e-9);
+}
+
+TEST(Qasm, RejectsWideFusedGates) {
+  Circuit c;
+  c.num_qubits = 3;
+  Gate g;
+  g.name = "fused";
+  g.qubits = {0, 1, 2};
+  g.matrix = CMatrix::identity(8);
+  c.gates.push_back(std::move(g));
+  EXPECT_THROW(write_qasm_string(c), Error);
+}
+
+TEST(Qasm, ImportParsesPiExpressions) {
+  const Circuit c = read_qasm(
+      "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\n"
+      "rz(pi/2) q[0];\nrx(-pi/4) q[0];\nry(2*pi) q[0];\nu1(pi) q[0];\n");
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_NEAR(c.gates[0].params[0], std::numbers::pi / 2, 1e-15);
+  EXPECT_NEAR(c.gates[1].params[0], -std::numbers::pi / 4, 1e-15);
+  EXPECT_NEAR(c.gates[2].params[0], 2 * std::numbers::pi, 1e-15);
+}
+
+TEST(Qasm, ImportHandlesCommentsAndBarriers) {
+  const Circuit c = read_qasm(
+      "// header comment\nOPENQASM 2.0;\ninclude \"qelib1.inc\";\n"
+      "qreg q[2];\ncreg c[2];\nh q[0]; // superpose\nbarrier q;\n"
+      "cx q[0],q[1];\nmeasure q[0] -> c[0];\n");
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_TRUE(c.gates.back().is_measurement());
+}
+
+TEST(Qasm, ImportRejectsMalformed) {
+  EXPECT_THROW(read_qasm("qreg q[2];\nh q[0];\n"), Error);  // no header
+  EXPECT_THROW(read_qasm("OPENQASM 2.0;\nh q[0];\n"), Error);  // no qreg
+  EXPECT_THROW(read_qasm("OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];\n"),
+               Error);
+  EXPECT_THROW(read_qasm("OPENQASM 2.0;\nqreg q[2];\nh q[5];\n"), Error);
+  EXPECT_THROW(read_qasm("OPENQASM 2.0;\nqreg q[2];\nrx() q[0];\n"), Error);
+  EXPECT_THROW(read_qasm("OPENQASM 3.0;\nqreg q[1];\n"), Error);
+}
+
+TEST(Qasm, U2AndU3Import) {
+  const Circuit c = read_qasm(
+      "OPENQASM 2.0;\nqreg q[1];\n"
+      "u3(1.0,0.5,0.25) q[0];\nu2(0.5,0.25) q[0];\n");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_TRUE(c.gates[0].matrix.is_unitary(1e-12));
+  EXPECT_TRUE(c.gates[1].matrix.is_unitary(1e-12));
+}
+
+}  // namespace
+}  // namespace qhip

@@ -1,0 +1,73 @@
+#include "src/noise/channels.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/error.h"
+
+namespace qhip::noise {
+namespace {
+
+TEST(Channels, AllStandardChannelsAreComplete) {
+  for (double p : {0.0, 0.1, 0.5, 1.0}) {
+    EXPECT_TRUE(depolarizing(p).is_complete()) << p;
+    EXPECT_TRUE(bit_flip(p).is_complete()) << p;
+    EXPECT_TRUE(phase_flip(p).is_complete()) << p;
+    EXPECT_TRUE(amplitude_damping(p).is_complete()) << p;
+    EXPECT_TRUE(phase_damping(p).is_complete()) << p;
+  }
+}
+
+TEST(Channels, ValidateAcceptsStandardChannels) {
+  EXPECT_NO_THROW(depolarizing(0.2).validate());
+  EXPECT_NO_THROW(amplitude_damping(0.3).validate());
+}
+
+TEST(Channels, ValidateRejectsNonTracePreserving) {
+  KrausChannel bad;
+  bad.name = "bad";
+  bad.ops.push_back(CMatrix(2, {0.5, 0, 0, 0.5}));
+  EXPECT_FALSE(bad.is_complete());
+  EXPECT_THROW(bad.validate(), Error);
+  KrausChannel empty;
+  EXPECT_THROW(empty.validate(), Error);
+}
+
+TEST(Channels, MixedUnitaryClassification) {
+  // Pauli channels are mixed-unitary; damping channels are not.
+  EXPECT_TRUE(depolarizing(0.3).is_mixed_unitary());
+  EXPECT_TRUE(bit_flip(0.3).is_mixed_unitary());
+  EXPECT_TRUE(phase_flip(0.3).is_mixed_unitary());
+  EXPECT_FALSE(amplitude_damping(0.3).is_mixed_unitary());
+  EXPECT_FALSE(phase_damping(0.3).is_mixed_unitary());
+}
+
+TEST(Channels, DepolarizingOperatorWeights) {
+  const KrausChannel c = depolarizing(0.3);
+  ASSERT_EQ(c.ops.size(), 4u);
+  // Identity branch weight 1-p; each Pauli branch p/3.
+  EXPECT_NEAR(std::norm(c.ops[0].at(0, 0)), 0.7, 1e-12);
+  EXPECT_NEAR(std::norm(c.ops[1].at(0, 1)), 0.1, 1e-12);
+}
+
+TEST(Channels, AmplitudeDampingStructure) {
+  const KrausChannel c = amplitude_damping(0.25);
+  ASSERT_EQ(c.ops.size(), 2u);
+  // K1 maps |1> -> sqrt(gamma) |0>.
+  EXPECT_NEAR(c.ops[1].at(0, 1).real(), 0.5, 1e-12);
+  EXPECT_NEAR(std::abs(c.ops[1].at(1, 1)), 0.0, 1e-12);
+}
+
+TEST(Channels, ParameterValidation) {
+  EXPECT_THROW(depolarizing(-0.1), Error);
+  EXPECT_THROW(depolarizing(1.1), Error);
+  EXPECT_THROW(amplitude_damping(2.0), Error);
+}
+
+TEST(Channels, ZeroNoiseIsIdentityOnly) {
+  const KrausChannel c = bit_flip(0.0);
+  EXPECT_NEAR(std::abs(c.ops[0].at(0, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(c.ops[1].at(0, 1)), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qhip::noise

@@ -1,0 +1,148 @@
+#include "src/noise/trajectory.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/gates.h"
+#include "src/simulator/simulator_cpu.h"
+
+namespace qhip::noise {
+namespace {
+
+TEST(ApplyChannel, ZeroNoiseLeavesStateUntouched) {
+  StateVector<double> s(3);
+  SimulatorCPU<double> sim;
+  sim.apply_gate(gates::h(0, 0), s);
+  StateVector<double> before = s;
+  apply_channel(depolarizing(0.0), 0, s, 0.5);
+  EXPECT_LT(statespace::max_abs_diff(s, before), 1e-14);
+}
+
+TEST(ApplyChannel, FullBitFlipFlipsDeterministically) {
+  StateVector<double> s(2);  // |00>
+  const std::size_t pick = apply_channel(bit_flip(1.0), 0, s, 0.3);
+  EXPECT_EQ(pick, 1u);  // the X branch
+  EXPECT_NEAR(std::abs(s[1]), 1.0, 1e-14);  // now |01> (qubit 0 flipped)
+}
+
+TEST(ApplyChannel, StateStaysNormalized) {
+  StateVector<double> s(4);
+  SimulatorCPU<double> sim;
+  for (unsigned q = 0; q < 4; ++q) sim.apply_gate(gates::h(0, q), s);
+  Philox rng(3);
+  for (int i = 0; i < 20; ++i) {
+    apply_channel(amplitude_damping(0.3), i % 4, s, rng.uniform());
+    EXPECT_NEAR(statespace::norm2(s), 1.0, 1e-10) << i;
+  }
+}
+
+TEST(ApplyChannel, BranchProbabilitiesAreBorn) {
+  // |+> under full-strength phase flip: branches equally likely? No —
+  // phase_flip(p) on |+>: identity branch prob (1-p), Z branch p, both
+  // state-independent (mixed unitary). Check selection follows u.
+  StateVector<double> plus(1);
+  SimulatorCPU<double> sim;
+  sim.apply_gate(gates::h(0, 0), plus);
+  StateVector<double> s = plus;
+  EXPECT_EQ(apply_channel(phase_flip(0.25), 0, s, 0.5), 0u);   // u<0.75 -> I
+  s = plus;
+  EXPECT_EQ(apply_channel(phase_flip(0.25), 0, s, 0.8), 1u);   // u>0.75 -> Z
+}
+
+TEST(ApplyChannel, AmplitudeDampingBornSelection) {
+  // |1>: damping branch probability is gamma exactly.
+  StateVector<double> one(1);
+  one.set_basis_state(1);
+  StateVector<double> s = one;
+  EXPECT_EQ(apply_channel(amplitude_damping(0.4), 0, s, 0.59), 0u);
+  s = one;
+  EXPECT_EQ(apply_channel(amplitude_damping(0.4), 0, s, 0.61), 1u);
+  // After the damping branch the state is exactly |0>.
+  EXPECT_NEAR(std::abs(s[0]), 1.0, 1e-14);
+}
+
+TEST(Trajectory, NoNoiseMatchesIdealSimulation) {
+  Circuit c;
+  c.num_qubits = 3;
+  c.gates.push_back(gates::h(0, 0));
+  c.gates.push_back(gates::cnot(1, 0, 1));
+  c.gates.push_back(gates::fs(2, 1, 2, 0.4, 0.2));
+
+  SimulatorCPU<double> sim;
+  StateVector<double> ideal(3);
+  sim.run(c, ideal);
+
+  const NoiseModel none{depolarizing(0.0)};
+  const StateVector<double> traj = run_trajectory<double>(c, none, 7, 0);
+  EXPECT_LT(statespace::max_abs_diff(ideal, traj), 1e-13);
+}
+
+TEST(Trajectory, ReproducibleInSeedAndTrajectory) {
+  Circuit c;
+  c.num_qubits = 2;
+  c.gates.push_back(gates::h(0, 0));
+  c.gates.push_back(gates::cnot(1, 0, 1));
+  const NoiseModel m{depolarizing(0.3)};
+  const auto a = run_trajectory<double>(c, m, 5, 3);
+  const auto b = run_trajectory<double>(c, m, 5, 3);
+  EXPECT_LT(statespace::max_abs_diff(a, b), 0.0 + 1e-15);
+  // Different trajectory index explores a different branch eventually.
+  bool differs = false;
+  for (std::uint64_t t = 0; t < 8 && !differs; ++t) {
+    differs = statespace::max_abs_diff(a, run_trajectory<double>(c, m, 5, 1 + t)) > 1e-6;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Trajectory, AmplitudeDampingDrivesTowardGround) {
+  // Repeated strong damping on |1>: the averaged population of |1| decays.
+  Circuit c;
+  c.num_qubits = 1;
+  for (unsigned t = 0; t < 6; ++t) c.gates.push_back(gates::id1(t, 0));
+  Circuit prep = c;
+  prep.gates.insert(prep.gates.begin(), gates::x(0, 0));
+  for (auto& g : prep.gates) g.time = 0;  // times unused by the runner
+  const NoiseModel m{amplitude_damping(0.5)};
+  const auto dist = trajectory_distribution<double>(prep, m, 200, 11);
+  // Seven damping applications at gamma=0.5: P(1) ~ 0.5^7 << 1.
+  EXPECT_LT(dist[1], 0.05);
+  EXPECT_NEAR(dist[0] + dist[1], 1.0, 1e-9);
+}
+
+TEST(Trajectory, DepolarizingConvergesToUniformDiagonal) {
+  // Strong depolarizing after every gate drives the averaged distribution
+  // toward uniform.
+  Circuit c;
+  c.num_qubits = 2;
+  for (unsigned t = 0; t < 4; ++t) {
+    c.gates.push_back(gates::h(t, 0));
+    c.gates.push_back(gates::h(t, 1));
+  }
+  const NoiseModel m{depolarizing(0.75)};
+  const auto dist = trajectory_distribution<double>(c, m, 400, 3);
+  for (index_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(dist[i], 0.25, 0.08) << i;
+  }
+}
+
+TEST(Trajectory, DistributionIsNormalized) {
+  Circuit c;
+  c.num_qubits = 3;
+  c.gates.push_back(gates::h(0, 0));
+  c.gates.push_back(gates::cnot(1, 0, 2));
+  const NoiseModel m{phase_damping(0.2)};
+  const auto dist = trajectory_distribution<double>(c, m, 50, 2);
+  double total = 0;
+  for (double v : dist) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Trajectory, RejectsMeasurement) {
+  Circuit c;
+  c.num_qubits = 1;
+  c.gates.push_back(gates::measure(0, {0}));
+  const NoiseModel m{depolarizing(0.1)};
+  EXPECT_THROW(run_trajectory<double>(c, m, 1, 0), Error);
+}
+
+}  // namespace
+}  // namespace qhip::noise

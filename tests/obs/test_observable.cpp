@@ -1,0 +1,163 @@
+#include "src/obs/observable.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/error.h"
+#include "src/base/rng.h"
+#include "src/core/gates.h"
+#include "src/simulator/simulator_cpu.h"
+
+namespace qhip::obs {
+namespace {
+
+TEST(PauliString, Masks) {
+  PauliString p{1.0, {{0, Pauli::kX}, {2, Pauli::kY}, {5, Pauli::kZ}}};
+  EXPECT_EQ(p.flip_mask(), 0b000101u);   // X and Y qubits
+  EXPECT_EQ(p.phase_mask(), 0b100100u);  // Z and Y qubits
+  EXPECT_EQ(p.num_y(), 1u);
+}
+
+TEST(PauliString, Validation) {
+  PauliString dup{1.0, {{1, Pauli::kX}, {1, Pauli::kZ}}};
+  EXPECT_THROW(dup.validate(4), Error);
+  PauliString oob{1.0, {{9, Pauli::kX}}};
+  EXPECT_THROW(oob.validate(4), Error);
+}
+
+TEST(Expectation, ZOnBasisStates) {
+  StateVector<double> s(3);
+  s.set_basis_state(0b000);
+  EXPECT_NEAR(expectation(pauli_z(0), s).real(), 1.0, 1e-14);
+  s.set_basis_state(0b001);
+  EXPECT_NEAR(expectation(pauli_z(0), s).real(), -1.0, 1e-14);
+  EXPECT_NEAR(expectation(pauli_z(1), s).real(), 1.0, 1e-14);
+}
+
+TEST(Expectation, XOnPlusMinus) {
+  SimulatorCPU<double> sim;
+  StateVector<double> s(2);
+  sim.apply_gate(gates::h(0, 0), s);  // |+> on qubit 0
+  EXPECT_NEAR(expectation(pauli_x(0), s).real(), 1.0, 1e-13);
+  EXPECT_NEAR(expectation(pauli_z(0), s).real(), 0.0, 1e-13);
+  sim.apply_gate(gates::z(1, 0), s);  // |->
+  EXPECT_NEAR(expectation(pauli_x(0), s).real(), -1.0, 1e-13);
+}
+
+TEST(Expectation, YEigenstate) {
+  // S H |0> = (|0> + i|1>)/sqrt(2), the +1 eigenstate of Y.
+  SimulatorCPU<double> sim;
+  StateVector<double> s(1);
+  sim.apply_gate(gates::h(0, 0), s);
+  sim.apply_gate(gates::s(1, 0), s);
+  PauliString y{1.0, {{0, Pauli::kY}}};
+  EXPECT_NEAR(expectation(y, s).real(), 1.0, 1e-13);
+  EXPECT_NEAR(expectation(y, s).imag(), 0.0, 1e-13);
+}
+
+TEST(Expectation, ZZCorrelationsOnBell) {
+  SimulatorCPU<double> sim;
+  StateVector<double> s(2);
+  sim.apply_gate(gates::h(0, 0), s);
+  sim.apply_gate(gates::cnot(1, 0, 1), s);
+  EXPECT_NEAR(expectation(pauli_zz(0, 1), s).real(), 1.0, 1e-13);
+  EXPECT_NEAR(expectation(pauli_z(0), s).real(), 0.0, 1e-13);
+  // XX also +1 for the Bell state.
+  PauliString xx{1.0, {{0, Pauli::kX}, {1, Pauli::kX}}};
+  EXPECT_NEAR(expectation(xx, s).real(), 1.0, 1e-13);
+}
+
+TEST(Expectation, MatchesDenseOracleOnRandomStates) {
+  const unsigned n = 6;
+  Xoshiro256 rng(3);
+  SimulatorCPU<double> sim;
+  StateVector<double> s(n);
+  for (unsigned t = 0; t < 6; ++t) {
+    for (unsigned q = 0; q < n; ++q) {
+      sim.apply_gate(gates::rxy(t, q, rng.uniform() * 6, rng.uniform() * 3), s);
+    }
+    sim.apply_gate(gates::cz(t, 0, 3), s);
+  }
+
+  Observable o;
+  o.strings.push_back(PauliString{0.7, {{0, Pauli::kX}, {3, Pauli::kY}}});
+  o.strings.push_back(PauliString{-1.2, {{1, Pauli::kZ}, {2, Pauli::kZ}, {5, Pauli::kX}}});
+  o.strings.push_back(PauliString{0.35, {{4, Pauli::kY}}});
+
+  // Dense oracle: <psi| M |psi>.
+  const CMatrix m = to_dense(o, n);
+  cplx64 want{};
+  for (index_t r = 0; r < s.size(); ++r) {
+    cplx64 mv{};
+    for (index_t c = 0; c < s.size(); ++c) mv += m.at(r, c) * s[c];
+    want += std::conj(s[r]) * mv;
+  }
+  const cplx64 got = expectation(o, s);
+  EXPECT_NEAR(got.real(), want.real(), 1e-10);
+  EXPECT_NEAR(got.imag(), want.imag(), 1e-10);
+}
+
+TEST(Expectation, HermitianGivesRealValue) {
+  SimulatorCPU<double> sim;
+  StateVector<double> s(4);
+  Xoshiro256 rng(8);
+  for (unsigned q = 0; q < 4; ++q) {
+    sim.apply_gate(gates::rxy(0, q, rng.uniform() * 6, rng.uniform() * 3), s);
+  }
+  const Observable h = transverse_field_ising(4, 1.0, 0.7);
+  EXPECT_TRUE(h.is_hermitian());
+  EXPECT_NEAR(expectation(h, s).imag(), 0.0, 1e-12);
+}
+
+TEST(Ising, GroundStateEnergyAtZeroField) {
+  // h = 0: ground state is ferromagnetic |00..0>, E = -J (n-1).
+  const unsigned n = 5;
+  const Observable h = transverse_field_ising(n, 2.0, 0.0);
+  StateVector<double> s(n);
+  EXPECT_NEAR(expectation(h, s).real(), -2.0 * (n - 1), 1e-12);
+}
+
+TEST(Parse, BasicForms) {
+  const PauliString a = parse_pauli_string("1.5 * Z0 Z1");
+  EXPECT_NEAR(a.coefficient.real(), 1.5, 1e-15);
+  ASSERT_EQ(a.terms.size(), 2u);
+  EXPECT_EQ(a.terms[0].op, Pauli::kZ);
+  EXPECT_EQ(a.terms[1].qubit, 1u);
+
+  const PauliString b = parse_pauli_string("-0.7*X3");
+  EXPECT_NEAR(b.coefficient.real(), -0.7, 1e-15);
+  EXPECT_EQ(b.terms[0].op, Pauli::kX);
+  EXPECT_EQ(b.terms[0].qubit, 3u);
+
+  const PauliString c = parse_pauli_string("Y12");
+  EXPECT_NEAR(c.coefficient.real(), 1.0, 1e-15);
+  EXPECT_EQ(c.terms[0].qubit, 12u);
+
+  EXPECT_THROW(parse_pauli_string(""), Error);
+  EXPECT_THROW(parse_pauli_string("1.5"), Error);
+  EXPECT_THROW(parse_pauli_string("Q3"), Error);
+}
+
+TEST(Parse, RoundTripThroughExpectation) {
+  SimulatorCPU<double> sim;
+  StateVector<double> s(3);
+  sim.apply_gate(gates::h(0, 0), s);
+  const PauliString p = parse_pauli_string("2.0 * X0");
+  EXPECT_NEAR(expectation(p, s).real(), 2.0, 1e-13);
+}
+
+TEST(ToDense, SinglePaulis) {
+  Observable ox;
+  ox.strings.push_back(pauli_x(0));
+  const CMatrix mx = to_dense(ox, 1);
+  EXPECT_EQ(mx.at(0, 1), cplx64{1});
+  EXPECT_EQ(mx.at(1, 0), cplx64{1});
+
+  Observable oy;
+  oy.strings.push_back(PauliString{1.0, {{0, Pauli::kY}}});
+  const CMatrix my = to_dense(oy, 1);
+  EXPECT_EQ(my.at(0, 1), cplx64(0, -1));
+  EXPECT_EQ(my.at(1, 0), cplx64(0, 1));
+}
+
+}  // namespace
+}  // namespace qhip::obs

@@ -1,0 +1,100 @@
+#include "src/prof/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <thread>
+
+#include "src/base/error.h"
+#include "src/base/timer.h"
+
+namespace qhip {
+namespace {
+
+TEST(Tracer, RecordAndSummary) {
+  Tracer t;
+  t.record("ApplyGateH_Kernel", TraceKind::kKernel, 100, 10, 0, 4096);
+  t.record("ApplyGateL_Kernel", TraceKind::kKernel, 110, 30, 0, 4096);
+  t.record("ApplyGateH_Kernel", TraceKind::kKernel, 150, 12, 0, 4096);
+  t.record("hipMemcpyAsync", TraceKind::kMemcpy, 95, 5, 1, 512);
+  EXPECT_EQ(t.size(), 4u);
+
+  const auto sum = t.summary();
+  ASSERT_EQ(sum.size(), 3u);
+  // Sorted by descending total time: L (30) first, then H (22), then memcpy.
+  EXPECT_EQ(sum[0].name, "ApplyGateL_Kernel");
+  EXPECT_EQ(sum[1].name, "ApplyGateH_Kernel");
+  EXPECT_EQ(sum[1].count, 2u);
+  EXPECT_EQ(sum[1].total_us, 22u);
+  EXPECT_EQ(sum[2].total_bytes, 512u);
+}
+
+TEST(Tracer, PerfettoJsonShape) {
+  Tracer t;
+  t.record("K\"quoted\"", TraceKind::kKernel, 1, 2, 3, 4);
+  const std::string j = t.to_perfetto_json();
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(j.find("\"cat\":\"kernel\""), std::string::npos);
+  EXPECT_NE(j.find("K\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(j.find("\"ts\":1"), std::string::npos);
+  EXPECT_NE(j.find("\"dur\":2"), std::string::npos);
+  EXPECT_NE(j.find("\"tid\":3"), std::string::npos);
+}
+
+TEST(Tracer, WriteFile) {
+  Tracer t;
+  t.record("k", TraceKind::kKernel, 0, 1);
+  const std::string path = testing::TempDir() + "/qhip_trace_test.json";
+  t.write_perfetto_json(path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string all((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(all, t.to_perfetto_json());
+  EXPECT_THROW(t.write_perfetto_json("/nonexistent-dir/x.json"), Error);
+}
+
+TEST(Tracer, ScopedTraceRecordsDuration) {
+  Tracer t;
+  {
+    ScopedTrace span(&t, "work", TraceKind::kHost, 2, 99);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto evs = t.events();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].name, "work");
+  EXPECT_GE(evs[0].dur_us, 3000u);
+  EXPECT_EQ(evs[0].lane, 2);
+  EXPECT_EQ(evs[0].bytes, 99u);
+}
+
+TEST(Tracer, NullTracerIsNoop) {
+  // Disabled tracing must be safe and free.
+  ScopedTrace span(nullptr, "ignored");
+}
+
+TEST(Tracer, ThreadSafety) {
+  Tracer t;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&t, i] {
+      for (int j = 0; j < 250; ++j) {
+        t.record("evt" + std::to_string(i), TraceKind::kHost, j, 1, i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.size(), 1000u);
+}
+
+TEST(Tracer, Clear) {
+  Tracer t;
+  t.record("k", TraceKind::kKernel, 0, 1);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.summary().empty());
+}
+
+}  // namespace
+}  // namespace qhip

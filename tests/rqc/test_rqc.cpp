@@ -1,0 +1,146 @@
+#include "src/rqc/rqc.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/base/error.h"
+#include "src/io/circuit_io.h"
+
+namespace qhip::rqc {
+namespace {
+
+TEST(Rqc, CircuitQ30Shape) {
+  const Circuit c = circuit_q30();
+  EXPECT_EQ(c.num_qubits, 30u);
+  EXPECT_NO_THROW(c.validate());
+  // 15 single-qubit layers x 30 qubits + two-qubit layers.
+  const auto h = c.histogram();
+  const std::size_t oneq = h.at("x_1_2") + h.at("y_1_2") + h.at("hz_1_2");
+  EXPECT_EQ(oneq, 30u * 15u);
+  EXPECT_GT(h.at("fs"), 100u);
+  EXPECT_EQ(c.num_measurements(), 0u);
+}
+
+TEST(Rqc, DeterministicInSeed) {
+  const Circuit a = circuit_q30(7), b = circuit_q30(7), c = circuit_q30(8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.gates[i].name, b.gates[i].name) << i;
+    EXPECT_EQ(a.gates[i].qubits, b.gates[i].qubits) << i;
+  }
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a.gates[i].name != c.gates[i].name;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rqc, NoRepeatedSingleQubitGateOnSameQubit) {
+  RqcOptions opt;
+  opt.rows = 3;
+  opt.cols = 3;
+  opt.depth = 12;
+  const Circuit c = generate_rqc(opt);
+  // Track per-qubit sequence of 1q gate names; consecutive must differ.
+  std::vector<std::string> last(9);
+  for (const auto& g : c.gates) {
+    if (g.num_targets() != 1) continue;
+    EXPECT_NE(g.name, last[g.qubits[0]]) << "qubit " << g.qubits[0];
+    last[g.qubits[0]] = g.name;
+  }
+}
+
+TEST(Rqc, TwoQubitLayersFollowPatterns) {
+  RqcOptions opt;
+  opt.rows = 4;
+  opt.cols = 4;
+  opt.depth = 8;
+  opt.seed = 3;
+  const Circuit c = generate_rqc(opt);
+  // Every fs gate connects grid neighbours.
+  for (const auto& g : c.gates) {
+    if (g.num_targets() != 2) continue;
+    const unsigned a = g.qubits[0], b = g.qubits[1];
+    const unsigned ra = a / 4, ca = a % 4, rb = b / 4, cb = b % 4;
+    const unsigned dr = ra > rb ? ra - rb : rb - ra;
+    const unsigned dc = ca > cb ? ca - cb : cb - ca;
+    EXPECT_TRUE((dr == 1 && dc == 0) || (dr == 0 && dc == 1))
+        << a << "-" << b;
+  }
+}
+
+TEST(Rqc, AllFourPatternsAppear) {
+  RqcOptions opt;
+  opt.rows = 4;
+  opt.cols = 4;
+  opt.depth = 8;
+  const Circuit c = generate_rqc(opt);
+  // Across a full ABCDCDAB cycle both orientations and parities occur:
+  // collect the distinct edge sets per two-qubit moment.
+  std::set<std::pair<qubit_t, qubit_t>> edges;
+  for (const auto& g : c.gates) {
+    if (g.num_targets() == 2) edges.insert({g.qubits[0], g.qubits[1]});
+  }
+  // A 4x4 grid has 24 edges; ABCD covers all of them.
+  EXPECT_EQ(edges.size(), 24u);
+}
+
+TEST(Rqc, EntanglerSelection) {
+  RqcOptions opt;
+  opt.rows = 2;
+  opt.cols = 2;
+  opt.depth = 4;
+  opt.entangler = Entangler::kCz;
+  EXPECT_GT(generate_rqc(opt).histogram().at("cz"), 0u);
+  opt.entangler = Entangler::kIswap;
+  EXPECT_GT(generate_rqc(opt).histogram().at("is"), 0u);
+}
+
+TEST(Rqc, FinalMeasurementOption) {
+  RqcOptions opt;
+  opt.rows = 2;
+  opt.cols = 3;
+  opt.depth = 2;
+  opt.final_measurement = true;
+  const Circuit c = generate_rqc(opt);
+  EXPECT_EQ(c.num_measurements(), 1u);
+  EXPECT_EQ(c.gates.back().qubits.size(), 6u);
+}
+
+TEST(Rqc, RoundTripsThroughCircuitFormat) {
+  RqcOptions opt;
+  opt.rows = 3;
+  opt.cols = 3;
+  opt.depth = 6;
+  const Circuit c = generate_rqc(opt);
+  const Circuit c2 = read_circuit_string(write_circuit_string(c));
+  ASSERT_EQ(c.size(), c2.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(c.gates[i].name, c2.gates[i].name);
+    EXPECT_EQ(c.gates[i].qubits, c2.gates[i].qubits);
+  }
+}
+
+TEST(Rqc, RejectsBadOptions) {
+  RqcOptions opt;
+  opt.rows = 1;
+  opt.cols = 1;
+  EXPECT_THROW(generate_rqc(opt), Error);
+  opt.rows = 7;
+  opt.cols = 7;  // 49 > 40
+  EXPECT_THROW(generate_rqc(opt), Error);
+  opt.rows = 2;
+  opt.cols = 2;
+  opt.depth = 0;
+  EXPECT_THROW(generate_rqc(opt), Error);
+}
+
+TEST(Rqc, DescribeMentionsKeyFacts) {
+  const std::string d = describe(circuit_q30());
+  EXPECT_NE(d.find("30 qubits"), std::string::npos);
+  EXPECT_NE(d.find("fs="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qhip::rqc

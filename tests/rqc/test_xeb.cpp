@@ -1,0 +1,87 @@
+// End-to-end XEB fidelity checks: the full pipeline (RQC generation ->
+// fusion -> simulation -> Born sampling) must produce samples whose linear
+// cross-entropy fidelity against the exact distribution is ~1; broken
+// kernels or a broken sampler push it toward 0.
+#include "src/rqc/xeb.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/fusion/fuser.h"
+#include "src/hipsim/simulator_hip.h"
+#include "src/rqc/rqc.h"
+#include "src/simulator/simulator_cpu.h"
+
+namespace qhip::rqc {
+namespace {
+
+TEST(Xeb, ExactSamplingScoresNearOne) {
+  RqcOptions opt;
+  opt.rows = 4;
+  opt.cols = 4;  // 16 qubits
+  opt.depth = 10;
+  const Circuit c = generate_rqc(opt);
+  SimulatorCPU<float> sim;
+  StateVector<float> s(16);
+  sim.run(fuse_circuit(c, {4}).circuit, s);
+
+  const auto samples = statespace::sample(s, 20000, 5);
+  const double f = linear_xeb(s, samples);
+  // Porter-Thomas: estimator std ~ 1/sqrt(m); generous band.
+  EXPECT_NEAR(f, 1.0, 0.12);
+}
+
+TEST(Xeb, UniformSamplesScoreNearZero) {
+  RqcOptions opt;
+  opt.rows = 4;
+  opt.cols = 4;
+  opt.depth = 10;
+  const Circuit c = generate_rqc(opt);
+  SimulatorCPU<float> sim;
+  StateVector<float> s(16);
+  sim.run(fuse_circuit(c, {4}).circuit, s);
+
+  Xoshiro256 rng(9);
+  std::vector<index_t> uniform(20000);
+  for (auto& v : uniform) v = static_cast<index_t>(rng.uniform() * s.size());
+  EXPECT_NEAR(linear_xeb(s, uniform), 0.0, 0.12);
+}
+
+TEST(Xeb, HipBackendPipelineScoresNearOne) {
+  RqcOptions opt;
+  opt.rows = 3;
+  opt.cols = 4;  // 12 qubits
+  opt.depth = 10;
+  const Circuit c = generate_rqc(opt);
+
+  vgpu::Device dev{vgpu::mi250x_gcd()};
+  hipsim::SimulatorHIP<float> sim(dev);
+  hipsim::DeviceStateVector<float> ds(dev, 12);
+  sim.state_space().set_zero_state(ds);
+  sim.run(fuse_circuit(c, {4}).circuit, ds);
+  const auto samples = sim.state_space().sample(ds, 10000, 31);
+
+  const StateVector<float> host = ds.to_host();
+  EXPECT_NEAR(linear_xeb(host, samples), 1.0, 0.15);
+}
+
+TEST(Xeb, FromProbsAgreesWithFromState) {
+  StateVector<double> s(4);
+  s.set_uniform_state();
+  const std::vector<index_t> samples = {0, 3, 7, 15};
+  std::vector<double> probs;
+  for (index_t i : samples) probs.push_back(std::norm(s[i]));
+  EXPECT_NEAR(linear_xeb(s, samples), linear_xeb_from_probs(probs, 4), 1e-12);
+  // Uniform state: every probability is 2^-n, F = 0 exactly.
+  EXPECT_NEAR(linear_xeb(s, samples), 0.0, 1e-9);
+}
+
+TEST(Xeb, Validation) {
+  StateVector<double> s(3);
+  EXPECT_THROW(linear_xeb(s, {}), Error);
+  EXPECT_THROW(linear_xeb(s, {200}), Error);
+  EXPECT_THROW(linear_xeb_from_probs({}, 3), Error);
+}
+
+}  // namespace
+}  // namespace qhip::rqc

@@ -1,0 +1,134 @@
+// AVX2 backend parity: the vectorized kernels must agree with the scalar
+// reference on every gate width and target position, both precisions.
+#include "src/simulator/simulator_avx.h"
+
+#include <gtest/gtest.h>
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include "src/base/rng.h"
+#include "src/core/gates.h"
+#include "src/fusion/fuser.h"
+#include "src/rqc/rqc.h"
+#include "src/simulator/reference.h"
+#include "src/simulator/simulator_cpu.h"
+
+namespace qhip {
+namespace {
+
+Circuit random_circuit(unsigned n, unsigned depth, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Circuit c;
+  c.num_qubits = n;
+  for (unsigned t = 0; t < depth; ++t) {
+    std::vector<bool> used(n, false);
+    for (unsigned q = 0; q < n; ++q) {
+      if (used[q]) continue;
+      const double r = rng.uniform();
+      if (r < 0.35 && q + 1 < n && !used[q + 1]) {
+        c.gates.push_back(gates::fs(t, q, q + 1, rng.uniform() * 2, rng.uniform()));
+        used[q] = used[q + 1] = true;
+      } else if (r < 0.7) {
+        c.gates.push_back(gates::rxy(t, q, rng.uniform() * 6, rng.uniform() * 3));
+        used[q] = true;
+      }
+    }
+  }
+  return c;
+}
+
+template <typename T>
+class SimulatorAVXTyped : public ::testing::Test {};
+using Precisions = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(SimulatorAVXTyped, Precisions);
+
+TYPED_TEST(SimulatorAVXTyped, SingleQubitGateEveryTarget) {
+  const unsigned n = 10;
+  ThreadPool pool(1);
+  SimulatorAVX<TypeParam> avx(pool);
+  for (qubit_t t = 0; t < n; ++t) {
+    StateVector<TypeParam> a(n), b(n);
+    a.set_uniform_state();
+    b.set_uniform_state();
+    const Gate g = gates::rxy(0, t, 0.4, 1.3);
+    avx.apply_gate(g, a);
+    reference_apply_gate(g, b);
+    EXPECT_LT(statespace::max_abs_diff(a, b), state_tol<TypeParam>()) << t;
+  }
+}
+
+TYPED_TEST(SimulatorAVXTyped, WideGatesEveryWidth) {
+  Xoshiro256 rng(5);
+  ThreadPool pool(2);
+  SimulatorAVX<TypeParam> avx(pool);
+  for (unsigned q = 2; q <= 6; ++q) {
+    const unsigned n = q + 4;
+    // Random unitary over qubits starting at slot 3 (vector path) and at
+    // slot 0 (scalar fallback).
+    for (qubit_t start : {qubit_t{3}, qubit_t{0}}) {
+      if (start + q > n) continue;
+      Circuit small = random_circuit(q, 6, 40 + q);
+      Gate g;
+      g.name = "fused";
+      for (unsigned j = 0; j < q; ++j) g.qubits.push_back(start + j);
+      g.matrix = circuit_unitary(small);
+
+      StateVector<TypeParam> a(n), b(n);
+      a.set_uniform_state();
+      b.set_uniform_state();
+      avx.apply_gate(g, a);
+      reference_apply_gate(g, b);
+      EXPECT_LT(statespace::max_abs_diff(a, b), 2 * state_tol<TypeParam>())
+          << "q=" << q << " start=" << start;
+    }
+  }
+}
+
+TYPED_TEST(SimulatorAVXTyped, FusedRandomCircuits) {
+  ThreadPool pool(2);
+  SimulatorAVX<TypeParam> avx(pool);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const unsigned n = 10;
+    const Circuit fused =
+        fuse_circuit(random_circuit(n, 10, seed), {4}).circuit;
+    StateVector<TypeParam> a(n), b(n);
+    avx.run(fused, a);
+    reference_run(fused, b);
+    EXPECT_LT(statespace::max_abs_diff(a, b), 4 * state_tol<TypeParam>()) << seed;
+  }
+}
+
+TYPED_TEST(SimulatorAVXTyped, TinyStatesFallBack) {
+  // States too small for a full register chunk must still be exact.
+  ThreadPool pool(1);
+  SimulatorAVX<TypeParam> avx(pool);
+  for (unsigned n = 1; n <= 4; ++n) {
+    StateVector<TypeParam> a(n), b(n);
+    const Gate g = gates::h(0, n - 1);
+    avx.apply_gate(g, a);
+    reference_apply_gate(g, b);
+    EXPECT_LT(statespace::max_abs_diff(a, b), state_tol<TypeParam>()) << n;
+  }
+}
+
+TYPED_TEST(SimulatorAVXTyped, RqcEndToEndMatchesScalarBackend) {
+  rqc::RqcOptions opt;
+  opt.rows = 3;
+  opt.cols = 4;
+  opt.depth = 10;
+  const Circuit fused = fuse_circuit(rqc::generate_rqc(opt), {4}).circuit;
+  ThreadPool pool(2);
+  SimulatorAVX<TypeParam> avx(pool);
+  SimulatorCPU<TypeParam> scalar(pool);
+  StateVector<TypeParam> a(12), b(12);
+  avx.run(fused, a);
+  scalar.run(fused, b);
+  EXPECT_LT(statespace::max_abs_diff(a, b), 4 * state_tol<TypeParam>());
+}
+
+}  // namespace
+}  // namespace qhip
+
+#else
+TEST(SimulatorAVX, SkippedWithoutAvx2) { GTEST_SKIP() << "no AVX2/FMA"; }
+#endif

@@ -1,0 +1,146 @@
+#include "src/statespace/density.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "src/base/error.h"
+#include "src/base/rng.h"
+#include "src/core/gates.h"
+#include "src/rqc/rqc.h"
+#include "src/simulator/simulator_cpu.h"
+
+namespace qhip::statespace {
+namespace {
+
+TEST(Eigensolver, DiagonalMatrix) {
+  const CMatrix m(4, {cplx64{3}, 0, 0, 0, 0, cplx64{1}, 0, 0, 0, 0, cplx64{4},
+                      0, 0, 0, 0, cplx64{2}});
+  const auto eig = hermitian_eigenvalues(m);
+  ASSERT_EQ(eig.size(), 4u);
+  EXPECT_NEAR(eig[0], 1, 1e-12);
+  EXPECT_NEAR(eig[1], 2, 1e-12);
+  EXPECT_NEAR(eig[2], 3, 1e-12);
+  EXPECT_NEAR(eig[3], 4, 1e-12);
+}
+
+TEST(Eigensolver, PauliMatrices) {
+  for (const CMatrix& p : {gates::x(0, 0).matrix, gates::y(0, 0).matrix,
+                           gates::z(0, 0).matrix}) {
+    const auto eig = hermitian_eigenvalues(p);
+    EXPECT_NEAR(eig[0], -1, 1e-12);
+    EXPECT_NEAR(eig[1], 1, 1e-12);
+  }
+}
+
+TEST(Eigensolver, RandomHermitianTraceAndNormPreserved) {
+  Xoshiro256 rng(4);
+  const std::size_t dim = 8;
+  CMatrix h(dim);
+  for (std::size_t r = 0; r < dim; ++r) {
+    h.at(r, r) = rng.uniform();
+    for (std::size_t c = r + 1; c < dim; ++c) {
+      const cplx64 v(rng.uniform() - 0.5, rng.uniform() - 0.5);
+      h.at(r, c) = v;
+      h.at(c, r) = std::conj(v);
+    }
+  }
+  const auto eig = hermitian_eigenvalues(h);
+  double trace = 0, frob2 = 0, eig_sum = 0, eig2_sum = 0;
+  for (std::size_t r = 0; r < dim; ++r) trace += h.at(r, r).real();
+  for (const auto& v : h.data()) frob2 += std::norm(v);
+  for (double e : eig) {
+    eig_sum += e;
+    eig2_sum += e * e;
+  }
+  EXPECT_NEAR(eig_sum, trace, 1e-9);    // tr H = sum eig
+  EXPECT_NEAR(eig2_sum, frob2, 1e-9);   // tr H^2 = sum eig^2
+}
+
+TEST(Eigensolver, RejectsNonHermitian) {
+  CMatrix m(2, {0, 1, 0, 0});
+  EXPECT_THROW(hermitian_eigenvalues(m), Error);
+}
+
+TEST(Density, ProductStateIsPure) {
+  SimulatorCPU<double> sim;
+  StateVector<double> s(4);
+  for (unsigned q = 0; q < 4; ++q) sim.apply_gate(gates::rxy(0, q, 0.3, 0.9), s);
+  const CMatrix rho = reduced_density_matrix(s, {1, 2});
+  EXPECT_NEAR(purity(rho), 1.0, 1e-10);
+  EXPECT_NEAR(von_neumann_entropy(rho), 0.0, 1e-7);
+}
+
+TEST(Density, BellPairSubsystemIsMaximallyMixed) {
+  SimulatorCPU<double> sim;
+  StateVector<double> s(2);
+  sim.apply_gate(gates::h(0, 0), s);
+  sim.apply_gate(gates::cnot(1, 0, 1), s);
+  const CMatrix rho = reduced_density_matrix(s, {0});
+  EXPECT_NEAR(rho.at(0, 0).real(), 0.5, 1e-12);
+  EXPECT_NEAR(rho.at(1, 1).real(), 0.5, 1e-12);
+  EXPECT_NEAR(std::abs(rho.at(0, 1)), 0.0, 1e-12);
+  EXPECT_NEAR(purity(rho), 0.5, 1e-12);
+  EXPECT_NEAR(von_neumann_entropy(rho, /*base2=*/true), 1.0, 1e-9);
+}
+
+TEST(Density, GhzAnyCutGivesOneBit) {
+  const unsigned n = 6;
+  SimulatorCPU<double> sim;
+  StateVector<double> s(n);
+  sim.apply_gate(gates::h(0, 0), s);
+  for (unsigned q = 1; q < n; ++q) sim.apply_gate(gates::cnot(q, q - 1, q), s);
+  for (const std::vector<qubit_t>& cut :
+       {std::vector<qubit_t>{0}, {0, 1}, {2, 3, 4}}) {
+    EXPECT_NEAR(entanglement_entropy(s, cut, /*base2=*/true), 1.0, 1e-8)
+        << cut.size();
+  }
+}
+
+TEST(Density, TraceIsOne) {
+  SimulatorCPU<double> sim;
+  StateVector<double> s(5);
+  sim.apply_gate(gates::h(0, 0), s);
+  sim.apply_gate(gates::fs(1, 0, 3, 0.7, 0.2), s);
+  const CMatrix rho = reduced_density_matrix(s, {0, 3});
+  double tr = 0;
+  for (std::size_t i = 0; i < rho.dim(); ++i) tr += rho.at(i, i).real();
+  EXPECT_NEAR(tr, 1.0, 1e-12);
+}
+
+TEST(Density, InvariantUnderLocalUnitariesOutsideSubsystem) {
+  SimulatorCPU<double> sim;
+  StateVector<double> s(4);
+  sim.apply_gate(gates::h(0, 0), s);
+  sim.apply_gate(gates::cnot(1, 0, 2), s);
+  const double before = entanglement_entropy(s, {0});
+  // Unitaries on the environment (qubits 1, 2, 3) cannot change S({0}).
+  sim.apply_gate(gates::rxy(2, 1, 0.4, 1.0), s);
+  sim.apply_gate(gates::fs(3, 2, 3, 0.9, 0.5), s);
+  EXPECT_NEAR(entanglement_entropy(s, {0}), before, 1e-9);
+}
+
+TEST(Density, RqcVolumeLawGrowth) {
+  // Deep RQC states approach maximal (Page) entanglement: for a 3-qubit
+  // subsystem of a 12-qubit random state, S ~ 3 ln 2 - O(1).
+  rqc::RqcOptions opt;
+  opt.rows = 3;
+  opt.cols = 4;
+  opt.depth = 12;
+  SimulatorCPU<double> sim;
+  StateVector<double> s(12);
+  sim.run(rqc::generate_rqc(opt), s);
+  const double bits = entanglement_entropy(s, {0, 1, 2}, /*base2=*/true);
+  EXPECT_GT(bits, 2.5);
+  EXPECT_LE(bits, 3.0 + 1e-9);
+}
+
+TEST(Density, Validation) {
+  StateVector<double> s(4);
+  EXPECT_THROW(reduced_density_matrix(s, {}), Error);
+  EXPECT_THROW(reduced_density_matrix(s, {0, 0}), Error);
+  EXPECT_THROW(reduced_density_matrix(s, {9}), Error);
+}
+
+}  // namespace
+}  // namespace qhip::statespace

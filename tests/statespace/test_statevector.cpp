@@ -1,0 +1,151 @@
+#include "src/statespace/statevector.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/base/error.h"
+
+namespace qhip {
+namespace {
+
+template <typename T>
+class StateVectorTyped : public ::testing::Test {};
+using Precisions = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(StateVectorTyped, Precisions);
+
+TYPED_TEST(StateVectorTyped, ZeroStateInitialization) {
+  StateVector<TypeParam> s(4);
+  EXPECT_EQ(s.size(), 16u);
+  EXPECT_EQ(s[0], (cplx<TypeParam>{1}));
+  for (index_t i = 1; i < s.size(); ++i) EXPECT_EQ(s[i], (cplx<TypeParam>{}));
+  EXPECT_NEAR(statespace::norm2(s), 1.0, 1e-12);
+}
+
+TYPED_TEST(StateVectorTyped, UniformState) {
+  StateVector<TypeParam> s(6);
+  s.set_uniform_state();
+  EXPECT_NEAR(statespace::norm2(s), 1.0, 1e-5);
+  EXPECT_NEAR(s[17].real(), 1.0 / 8.0, 1e-6);
+}
+
+TYPED_TEST(StateVectorTyped, BasisState) {
+  StateVector<TypeParam> s(3);
+  s.set_basis_state(5);
+  EXPECT_EQ(s[5], (cplx<TypeParam>{1}));
+  EXPECT_EQ(s[0], (cplx<TypeParam>{}));
+  EXPECT_THROW(s.set_basis_state(8), Error);
+}
+
+TYPED_TEST(StateVectorTyped, InnerProductOrthogonalBasis) {
+  StateVector<TypeParam> a(3), b(3);
+  a.set_basis_state(1);
+  b.set_basis_state(2);
+  EXPECT_NEAR(std::abs(statespace::inner_product(a, b)), 0.0, 1e-12);
+  EXPECT_NEAR(statespace::inner_product(a, a).real(), 1.0, 1e-12);
+}
+
+TYPED_TEST(StateVectorTyped, InnerProductConjugateLinearity) {
+  StateVector<TypeParam> a(2), b(2);
+  a.set_basis_state(1);
+  b.set_basis_state(1);
+  b[1] = cplx<TypeParam>(0, 1);  // i|1>
+  const cplx64 ip = statespace::inner_product(a, b);
+  EXPECT_NEAR(ip.real(), 0.0, 1e-12);
+  EXPECT_NEAR(ip.imag(), 1.0, 1e-12);
+}
+
+TYPED_TEST(StateVectorTyped, Normalize) {
+  StateVector<TypeParam> s(4);
+  for (index_t i = 0; i < s.size(); ++i) s[i] = cplx<TypeParam>(2, 0);
+  const double pre = statespace::normalize(s);
+  EXPECT_NEAR(pre, 8.0, 1e-5);  // sqrt(16 * 4)
+  EXPECT_NEAR(statespace::norm2(s), 1.0, 1e-6);
+}
+
+TYPED_TEST(StateVectorTyped, ProbabilitySubset) {
+  StateVector<TypeParam> s(2);
+  // (|00> + |01> + |10> + |11>)/2; P(q0 = 1) = 0.5.
+  s.set_uniform_state();
+  EXPECT_NEAR(statespace::probability(s, {0}, 1), 0.5, 1e-6);
+  EXPECT_NEAR(statespace::probability(s, {0, 1}, 0b11), 0.25, 1e-6);
+}
+
+TYPED_TEST(StateVectorTyped, SampleFromBasisState) {
+  StateVector<TypeParam> s(5);
+  s.set_basis_state(19);
+  const auto out = statespace::sample(s, 64, 7);
+  ASSERT_EQ(out.size(), 64u);
+  for (index_t v : out) EXPECT_EQ(v, 19u);
+}
+
+TYPED_TEST(StateVectorTyped, SampleDistribution) {
+  // |psi> = sqrt(0.25)|0> + sqrt(0.75)|3> over 2 qubits.
+  StateVector<TypeParam> s(2);
+  s[0] = cplx<TypeParam>(static_cast<TypeParam>(0.5), 0);
+  s[3] = cplx<TypeParam>(static_cast<TypeParam>(std::sqrt(0.75)), 0);
+  const std::size_t n = 20000;
+  const auto out = statespace::sample(s, n, 99);
+  std::map<index_t, std::size_t> hist;
+  for (index_t v : out) ++hist[v];
+  EXPECT_EQ(hist.count(1), 0u);
+  EXPECT_EQ(hist.count(2), 0u);
+  EXPECT_NEAR(static_cast<double>(hist[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(hist[3]) / n, 0.75, 0.02);
+}
+
+TYPED_TEST(StateVectorTyped, SampleDeterministicInSeed) {
+  StateVector<TypeParam> s(4);
+  s.set_uniform_state();
+  const auto a = statespace::sample(s, 100, 5);
+  const auto b = statespace::sample(s, 100, 5);
+  const auto c = statespace::sample(s, 100, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TYPED_TEST(StateVectorTyped, MeasureCollapses) {
+  StateVector<TypeParam> s(2);
+  s.set_uniform_state();
+  const index_t outcome = statespace::measure(s, {0}, 3);
+  ASSERT_LE(outcome, 1u);
+  EXPECT_NEAR(statespace::norm2(s), 1.0, 1e-6);
+  // All remaining amplitude must sit on states with q0 == outcome.
+  EXPECT_NEAR(statespace::probability(s, {0}, outcome), 1.0, 1e-6);
+}
+
+TYPED_TEST(StateVectorTyped, MeasureDeterministicOutcome) {
+  StateVector<TypeParam> s(3);
+  s.set_basis_state(0b101);
+  EXPECT_EQ(statespace::measure(s, {0}, 11), 1u);
+  EXPECT_EQ(statespace::measure(s, {1}, 12), 0u);
+  EXPECT_EQ(statespace::measure(s, {2}, 13), 1u);
+  EXPECT_EQ(statespace::measure(s, {0, 1, 2}, 14), 0b101u);
+}
+
+TYPED_TEST(StateVectorTyped, MeasureStatistics) {
+  // P(q0 = 0) = P(q0 = 1) = 0.5; over many seeds the split is ~even.
+  int ones = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    StateVector<TypeParam> s(2);
+    s.set_uniform_state();
+    ones += static_cast<int>(statespace::measure(s, {0}, 1000 + t));
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / trials, 0.5, 0.08);
+}
+
+TYPED_TEST(StateVectorTyped, MaxAbsDiff) {
+  StateVector<TypeParam> a(2), b(2);
+  b[2] = cplx<TypeParam>(0, static_cast<TypeParam>(0.5));
+  EXPECT_NEAR(statespace::max_abs_diff(a, b), 0.5, 1e-6);
+  EXPECT_NEAR(statespace::max_abs_diff(a, a), 0.0, 1e-12);
+}
+
+TEST(StateVector, RejectsBadQubitCounts) {
+  EXPECT_THROW(StateVector<float>(0), Error);
+  EXPECT_THROW(StateVector<float>(35), Error);
+}
+
+}  // namespace
+}  // namespace qhip

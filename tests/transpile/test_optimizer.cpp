@@ -1,0 +1,171 @@
+#include "src/transpile/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/core/gates.h"
+#include "src/rqc/rqc.h"
+
+namespace qhip::transpile {
+namespace {
+
+// Unitary distance up to global phase (merging introduces phases).
+double phase_free_distance(const CMatrix& a, const CMatrix& b) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < a.data().size(); ++i) {
+    if (std::abs(a.data()[i]) > std::abs(a.data()[best])) best = i;
+  }
+  if (std::abs(a.data()[best]) < 1e-12) return a.distance(b);
+  const cplx64 pa = a.data()[best] / std::abs(a.data()[best]);
+  const cplx64 pb = b.data()[best] / std::abs(b.data()[best]);
+  CMatrix an = a, bn = b;
+  for (auto& v : an.data()) v /= pa;
+  for (auto& v : bn.data()) v /= pb;
+  return an.distance(bn);
+}
+
+TEST(Optimizer, CancelsAdjacentInversePairs) {
+  Circuit c;
+  c.num_qubits = 2;
+  c.gates.push_back(gates::h(0, 0));
+  c.gates.push_back(gates::h(1, 0));   // H H = I
+  c.gates.push_back(gates::cz(2, 0, 1));
+  c.gates.push_back(gates::cz(3, 0, 1));  // CZ CZ = I
+  c.gates.push_back(gates::s(4, 1));
+  c.gates.push_back(gates::sdg(5, 1));    // S Sdg = I
+  OptimizeStats st;
+  const Circuit out = cancel_adjacent_inverses(c, &st);
+  EXPECT_EQ(out.size(), 0u);
+  EXPECT_EQ(st.cancelled_pairs, 3u);
+}
+
+TEST(Optimizer, InterveningGateBlocksCancellation) {
+  Circuit c;
+  c.num_qubits = 2;
+  c.gates.push_back(gates::h(0, 0));
+  c.gates.push_back(gates::cz(1, 0, 1));  // touches qubit 0 between the Hs
+  c.gates.push_back(gates::h(2, 0));
+  const Circuit out = cancel_adjacent_inverses(c);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Optimizer, DisjointGateDoesNotBlock) {
+  Circuit c;
+  c.num_qubits = 2;
+  c.gates.push_back(gates::x(0, 0));
+  c.gates.push_back(gates::h(1, 1));  // disjoint qubit
+  c.gates.push_back(gates::x(2, 0));
+  const Circuit out = cancel_adjacent_inverses(c);
+  EXPECT_EQ(out.size(), 1u);  // only the lone H survives
+  EXPECT_EQ(out.gates[0].qubits[0], 1u);
+}
+
+TEST(Optimizer, MergesSingleQubitRuns) {
+  Circuit c;
+  c.num_qubits = 1;
+  for (unsigned t = 0; t < 5; ++t) c.gates.push_back(gates::t(t, 0));
+  OptimizeStats st;
+  const Circuit out = merge_single_qubit_runs(c, &st);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(st.merged_runs, 1u);
+  // T^5 = Z T (phases 5*pi/4 on |1>).
+  const CMatrix want = gates::z(0, 0).matrix * gates::t(0, 0).matrix;
+  EXPECT_LT(phase_free_distance(out.gates[0].matrix, want), 1e-12);
+}
+
+TEST(Optimizer, MergedIdentityRunVanishes) {
+  Circuit c;
+  c.num_qubits = 1;
+  for (unsigned t = 0; t < 8; ++t) c.gates.push_back(gates::t(t, 0));  // T^8 = I
+  const Circuit out = merge_single_qubit_runs(c);
+  EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(Optimizer, DropsIdentities) {
+  Circuit c;
+  c.num_qubits = 2;
+  c.gates.push_back(gates::id1(0, 0));
+  c.gates.push_back(gates::id2(0, 1, 0));
+  c.gates.push_back(gates::rz(1, 0, 0.0));
+  c.gates.push_back(gates::h(2, 1));
+  OptimizeStats st;
+  const Circuit out = drop_identities(c, &st);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(st.dropped_identities, 3u);
+}
+
+TEST(Optimizer, MeasurementIsABarrier) {
+  Circuit c;
+  c.num_qubits = 1;
+  c.gates.push_back(gates::h(0, 0));
+  c.gates.push_back(gates::measure(1, {0}));
+  c.gates.push_back(gates::h(2, 0));
+  const OptimizeResult r = optimize(c);
+  EXPECT_EQ(r.circuit.size(), 3u);  // nothing crosses the measurement
+  EXPECT_TRUE(r.circuit.gates[1].is_measurement());
+}
+
+TEST(Optimizer, PreservesUnitaryOnRandomCircuits) {
+  Xoshiro256 rng(12);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Circuit c;
+    c.num_qubits = 4;
+    Xoshiro256 g(seed);
+    for (unsigned t = 0; t < 14; ++t) {
+      const qubit_t q = static_cast<qubit_t>(g.uniform() * 4);
+      const double r = g.uniform();
+      if (r < 0.3) {
+        c.gates.push_back(gates::h(t, q));
+      } else if (r < 0.5) {
+        c.gates.push_back(gates::cz(t, q, (q + 1) % 4));
+      } else if (r < 0.7) {
+        c.gates.push_back(gates::t(t, q));
+      } else {
+        c.gates.push_back(gates::rz(t, q, g.uniform() < 0.3 ? 0.0 : 1.1));
+      }
+    }
+    const CMatrix want = circuit_unitary(c);
+    const OptimizeResult r = optimize(c);
+    EXPECT_LT(phase_free_distance(circuit_unitary(r.circuit), want), 1e-9)
+        << seed;
+    EXPECT_LE(r.circuit.size(), c.size());
+    EXPECT_NO_THROW(r.circuit.validate());
+  }
+}
+
+TEST(Optimizer, EchoCircuitCollapsesSubstantially) {
+  // forward + inverse: the optimizer should eat a large fraction through
+  // cancellation at the seam and merging.
+  rqc::RqcOptions opt;
+  opt.rows = 2;
+  opt.cols = 3;
+  opt.depth = 4;
+  const Circuit fwd = rqc::generate_rqc(opt);
+  const Circuit echo = concatenate(fwd, inverse_circuit(fwd));
+  const OptimizeResult r = optimize(echo);
+  EXPECT_LT(r.circuit.size(), echo.size() / 2);
+  const CMatrix u = circuit_unitary(r.circuit);
+  EXPECT_LT(phase_free_distance(u, CMatrix::identity(u.dim())), 1e-9);
+}
+
+TEST(Optimizer, StatsSummaryReadable) {
+  Circuit c;
+  c.num_qubits = 1;
+  c.gates.push_back(gates::h(0, 0));
+  c.gates.push_back(gates::h(1, 0));
+  const OptimizeResult r = optimize(c);
+  const std::string s = r.stats.summary();
+  EXPECT_NE(s.find("2 -> 0 gates"), std::string::npos) << s;
+}
+
+TEST(Optimizer, RqcReductionIsModest) {
+  // Random circuits have little to cancel: the optimizer must not distort
+  // them (sanity against over-aggressive passes).
+  const Circuit c = rqc::circuit_q30();
+  const OptimizeResult r = optimize(c);
+  EXPECT_GT(r.circuit.size(), c.size() / 2);
+  EXPECT_LE(r.circuit.size(), c.size());
+}
+
+}  // namespace
+}  // namespace qhip::transpile

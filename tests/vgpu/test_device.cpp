@@ -1,0 +1,185 @@
+#include "src/vgpu/device.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "src/base/error.h"
+
+namespace qhip::vgpu {
+namespace {
+
+TEST(DeviceProps, Presets) {
+  const DeviceProps mi = mi250x_gcd();
+  EXPECT_EQ(mi.warp_size, 64u);
+  EXPECT_EQ(mi.global_mem_bytes, 128ull << 30);
+  EXPECT_NEAR(mi.mem_bw_gibps, 1638.4, 1e-9);
+
+  const DeviceProps a = a100();
+  EXPECT_EQ(a.warp_size, 32u);
+  EXPECT_EQ(a.global_mem_bytes, 40ull << 30);
+  EXPECT_NEAR(a.mem_bw_gibps, 1448.0, 1e-9);
+}
+
+TEST(Device, MallocFreeAndStats) {
+  Device dev(test_device());
+  void* p = dev.malloc(1024);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(dev.stats().bytes_in_use, 1024u);
+  EXPECT_EQ(dev.live_allocations(), 1u);
+  dev.free(p);
+  EXPECT_EQ(dev.stats().bytes_in_use, 0u);
+  EXPECT_EQ(dev.live_allocations(), 0u);
+  EXPECT_EQ(dev.stats().allocs, 1u);
+  EXPECT_EQ(dev.stats().frees, 1u);
+  EXPECT_EQ(dev.stats().peak_bytes, 1024u);
+}
+
+TEST(Device, OutOfMemory) {
+  Device dev(test_device());  // 1 GiB
+  void* p = dev.malloc(900ull << 20);
+  EXPECT_THROW(dev.malloc(200ull << 20), Error);
+  dev.free(p);
+  EXPECT_NO_THROW(dev.free(dev.malloc(200ull << 20)));
+}
+
+TEST(Device, FreeForeignPointerThrows) {
+  Device dev(test_device());
+  int x;
+  EXPECT_THROW(dev.free(&x), Error);
+  EXPECT_NO_THROW(dev.free(nullptr));
+}
+
+TEST(Device, ZeroByteMallocThrows) {
+  Device dev(test_device());
+  EXPECT_THROW(dev.malloc(0), Error);
+}
+
+TEST(Device, MemcpyRoundTrip) {
+  Device dev(test_device());
+  std::vector<int> host(256);
+  std::iota(host.begin(), host.end(), 0);
+  int* d = dev.malloc_n<int>(256);
+  dev.memcpy_h2d(d, host.data(), 256 * sizeof(int));
+  std::vector<int> back(256, -1);
+  dev.memcpy_d2h(back.data(), d, 256 * sizeof(int));
+  EXPECT_EQ(host, back);
+  EXPECT_EQ(dev.stats().h2d_bytes, 1024u);
+  EXPECT_EQ(dev.stats().d2h_bytes, 1024u);
+  dev.free(d);
+}
+
+TEST(Device, MemcpyBoundsChecked) {
+  Device dev(test_device());
+  std::vector<int> host(16);
+  int* d = dev.malloc_n<int>(8);
+  EXPECT_THROW(dev.memcpy_h2d(d, host.data(), 16 * sizeof(int)), Error);
+  EXPECT_THROW(dev.memcpy_d2h(host.data(), d + 4, 8 * sizeof(int)), Error);
+  EXPECT_THROW(dev.memcpy_h2d(host.data(), host.data(), 4), Error);  // dst not device
+  dev.free(d);
+}
+
+TEST(Device, MemcpyInteriorRangeAllowed) {
+  Device dev(test_device());
+  int* d = dev.malloc_n<int>(8);
+  int v = 42;
+  EXPECT_NO_THROW(dev.memcpy_h2d(d + 4, &v, sizeof(int)));
+  int back = 0;
+  EXPECT_NO_THROW(dev.memcpy_d2h(&back, d + 4, sizeof(int)));
+  EXPECT_EQ(back, 42);
+  dev.free(d);
+}
+
+TEST(Device, MemcpyD2D) {
+  Device dev(test_device());
+  int* a = dev.malloc_n<int>(4);
+  int* b = dev.malloc_n<int>(4);
+  const int vals[4] = {1, 2, 3, 4};
+  dev.memcpy_h2d(a, vals, sizeof(vals));
+  dev.memcpy_d2d(b, a, sizeof(vals));
+  int back[4] = {};
+  dev.memcpy_d2h(back, b, sizeof(vals));
+  EXPECT_EQ(back[3], 4);
+  dev.free(a);
+  dev.free(b);
+}
+
+TEST(Device, StreamsHaveUniqueIds) {
+  Device dev(test_device());
+  const Stream s1 = dev.create_stream();
+  const Stream s2 = dev.create_stream();
+  EXPECT_NE(s1.id, s2.id);
+  EXPECT_NE(s1.id, 0);  // 0 is the default stream
+  dev.synchronize();
+  dev.stream_synchronize(s1);
+}
+
+TEST(Device, LaunchValidatesConfig) {
+  Device dev(test_device());
+  const auto noop = [](KernelCtx&) {};
+  EXPECT_THROW(dev.launch("k", {0, 1, 0, false, {}}, noop), Error);
+  EXPECT_THROW(dev.launch("k", {1, 100000, 0, false, {}}, noop), Error);
+  EXPECT_THROW(dev.launch("k", {1, 1, 1u << 30, false, {}}, noop), Error);
+  EXPECT_NO_THROW(dev.launch("k", {1, 1, 0, false, {}}, noop));
+  EXPECT_EQ(dev.stats().kernel_launches, 1u);
+}
+
+TEST(Device, TracerRecordsKernelAndMemcpy) {
+  Tracer tracer;
+  Device dev(test_device(), &tracer);
+  int* d = dev.malloc_n<int>(4);
+  const int v[4] = {};
+  dev.memcpy_h2d_async(d, v, sizeof(v), dev.create_stream());
+  dev.launch("MyKernel", {2, 4, 0, false, {}}, [](KernelCtx&) {});
+  dev.free(d);
+
+  const auto sum = tracer.summary();
+  bool saw_kernel = false, saw_memcpy = false;
+  for (const auto& row : sum) {
+    if (row.name == "MyKernel") saw_kernel = true;
+    if (row.name == "hipMemcpyAsync(HtoD)") saw_memcpy = true;
+  }
+  EXPECT_TRUE(saw_kernel);
+  EXPECT_TRUE(saw_memcpy);
+}
+
+TEST(Device, EventsMeasureElapsedTime) {
+  Device dev(test_device());
+  Event start = dev.create_event();
+  Event stop = dev.create_event();
+  dev.record_event(start);
+  // A kernel long enough to register on the microsecond clock.
+  dev.launch("spin", {64, 64, 0, false, {}}, [](KernelCtx& ctx) {
+    volatile int x = 0;
+    for (int i = 0; i < 100; ++i) x = x + i;
+    (void)ctx;
+  });
+  dev.record_event(stop);
+  const double ms = dev.elapsed_ms(start, stop);
+  EXPECT_GE(ms, 0.0);
+  EXPECT_LT(ms, 10000.0);
+}
+
+TEST(Device, EventMisuseDiagnosed) {
+  Device dev(test_device());
+  Event never = dev.create_event();
+  Event recorded = dev.create_event();
+  dev.record_event(recorded);
+  EXPECT_THROW(dev.elapsed_ms(never, recorded), Error);
+  Event bogus;  // never created
+  EXPECT_THROW(dev.record_event(bogus), Error);
+  EXPECT_THROW(dev.elapsed_ms(bogus, recorded), Error);
+}
+
+TEST(Device, LeakedAllocationsFreedOnDestruction) {
+  // Must not crash or leak host memory (checked by ASAN-style runs; here we
+  // just exercise the path).
+  Device dev(test_device());
+  dev.malloc(4096);
+  EXPECT_EQ(dev.live_allocations(), 1u);
+}
+
+}  // namespace
+}  // namespace qhip::vgpu

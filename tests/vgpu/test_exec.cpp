@@ -1,0 +1,279 @@
+// Tests for the SIMT executor: thread indexing, shared memory, barriers,
+// wavefront collectives at widths 32 and 64, and misuse diagnostics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "src/base/error.h"
+#include "src/vgpu/device.h"
+
+namespace qhip::vgpu {
+namespace {
+
+Device make_device(unsigned warp) {
+  DeviceProps p = test_device(warp);
+  return Device(p);
+}
+
+TEST(Exec, GlobalIndexingCoversGrid) {
+  Device dev = make_device(64);
+  const unsigned grid = 7, block = 33;
+  std::vector<std::atomic<int>> hits(grid * block);
+  dev.launch("idx", {grid, block, 0, false, {}}, [&](KernelCtx& ctx) {
+    hits[ctx.global_idx()].fetch_add(1);
+    EXPECT_EQ(ctx.block_dim(), block);
+    EXPECT_EQ(ctx.grid_dim(), grid);
+    EXPECT_LT(ctx.thread_idx(), block);
+    EXPECT_LT(ctx.block_idx(), grid);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Exec, LaneAndWarpId) {
+  for (unsigned warp : {32u, 64u}) {
+    Device dev = make_device(warp);
+    dev.launch("lanes", {1, 128, 0, false, {}}, [&](KernelCtx& ctx) {
+      EXPECT_EQ(ctx.lane(), ctx.thread_idx() % warp);
+      EXPECT_EQ(ctx.warp_id(), ctx.thread_idx() / warp);
+      EXPECT_EQ(ctx.warp_size(), warp);
+    });
+  }
+}
+
+TEST(Exec, SyncthreadsOrdersSharedWrites) {
+  Device dev = make_device(64);
+  const unsigned block = 64;
+  std::vector<int> out(block, -1);
+  // Classic reversal: each thread writes shared[tid], syncs, reads the
+  // mirror slot. Without a working barrier this reads stale data.
+  dev.launch("rev", {1, block, block * sizeof(int), true, {}},
+             [&](KernelCtx& ctx) {
+               int* sh = ctx.shared_as<int>();
+               sh[ctx.thread_idx()] = static_cast<int>(ctx.thread_idx()) * 10;
+               ctx.syncthreads();
+               out[ctx.thread_idx()] = sh[block - 1 - ctx.thread_idx()];
+             });
+  for (unsigned t = 0; t < block; ++t) {
+    EXPECT_EQ(out[t], static_cast<int>(block - 1 - t) * 10);
+  }
+}
+
+TEST(Exec, MultipleBarriersInLoop) {
+  Device dev = make_device(32);
+  const unsigned block = 32;
+  std::vector<int> result(block);
+  // Parallel prefix-doubling sum in shared memory: needs a barrier per step.
+  dev.launch("scan", {1, block, 2 * block * sizeof(int), true, {}},
+             [&](KernelCtx& ctx) {
+               int* a = ctx.shared_as<int>();
+               int* b = a + block;
+               const unsigned t = ctx.thread_idx();
+               a[t] = 1;
+               ctx.syncthreads();
+               for (unsigned step = 1; step < block; step <<= 1) {
+                 b[t] = a[t] + (t >= step ? a[t - step] : 0);
+                 ctx.syncthreads();
+                 a[t] = b[t];
+                 ctx.syncthreads();
+               }
+               result[t] = a[t];
+             });
+  for (unsigned t = 0; t < block; ++t) {
+    EXPECT_EQ(result[t], static_cast<int>(t + 1));
+  }
+}
+
+TEST(Exec, SyncthreadsInDirectModeThrows) {
+  Device dev = make_device(64);
+  EXPECT_THROW(
+      dev.launch("bad", {1, 2, 0, false, {}},
+                 [](KernelCtx& ctx) { ctx.syncthreads(); }),
+      Error);
+}
+
+TEST(Exec, ExitedThreadsCountAsArrivedAtBarrier) {
+  // PTX bar.sync semantics (and this executor): threads that already exited
+  // are treated as having arrived, so early-exit + barrier completes.
+  Device dev = make_device(64);
+  std::vector<int> out(4, 0);
+  EXPECT_NO_THROW(dev.launch("early", {1, 4, 0, true, {}},
+                             [&](KernelCtx& ctx) {
+                               if (ctx.thread_idx() == 0) return;
+                               ctx.syncthreads();
+                               out[ctx.thread_idx()] = 1;
+                             }));
+  EXPECT_EQ(out[0], 0);
+  for (unsigned t = 1; t < 4; ++t) EXPECT_EQ(out[t], 1);
+}
+
+TEST(Exec, MixedBarrierKindsDeadlockDetected) {
+  // Half the warp waits at a block barrier, the other half at a wavefront
+  // collective: neither rendezvous can ever complete.
+  Device dev = make_device(64);
+  EXPECT_THROW(dev.launch("dead", {1, 64, 0, true, {}},
+                          [](KernelCtx& ctx) {
+                            if (ctx.lane() < 32) {
+                              ctx.syncthreads();
+                            } else {
+                              ctx.shfl_down(1, 1);
+                            }
+                          }),
+               Error);
+}
+
+TEST(Exec, ShflDownBasic) {
+  for (unsigned warp : {32u, 64u}) {
+    Device dev = make_device(warp);
+    std::vector<int> out(warp);
+    dev.launch("shfl", {1, warp, 0, true, {}}, [&](KernelCtx& ctx) {
+      const int v = static_cast<int>(ctx.lane());
+      out[ctx.lane()] = ctx.shfl_down(v, 1);
+    });
+    for (unsigned l = 0; l + 1 < warp; ++l) {
+      EXPECT_EQ(out[l], static_cast<int>(l + 1));
+    }
+    // Last lane keeps its own value (out-of-segment source).
+    EXPECT_EQ(out[warp - 1], static_cast<int>(warp - 1));
+  }
+}
+
+TEST(Exec, ShflDownDoubleValues) {
+  Device dev = make_device(64);
+  std::vector<double> out(64);
+  dev.launch("shfld", {1, 64, 0, true, {}}, [&](KernelCtx& ctx) {
+    const double v = 0.5 * ctx.lane();
+    out[ctx.lane()] = ctx.shfl_down(v, 8);
+  });
+  for (unsigned l = 0; l < 56; ++l) EXPECT_DOUBLE_EQ(out[l], 0.5 * (l + 8));
+}
+
+TEST(Exec, ShflDownWidthSegments) {
+  // width=16 partitions the warp into segments; values never cross them.
+  Device dev = make_device(64);
+  std::vector<int> out(64);
+  dev.launch("shflw", {1, 64, 0, true, {}}, [&](KernelCtx& ctx) {
+    out[ctx.lane()] = ctx.shfl_down(static_cast<int>(ctx.lane()), 8, 16);
+  });
+  for (unsigned l = 0; l < 64; ++l) {
+    const unsigned seg_end = (l / 16 + 1) * 16;
+    const int want = l + 8 < seg_end ? static_cast<int>(l + 8)
+                                     : static_cast<int>(l);
+    EXPECT_EQ(out[l], want) << l;
+  }
+}
+
+TEST(Exec, ShflBroadcast) {
+  Device dev = make_device(64);
+  std::vector<int> out(64);
+  dev.launch("bc", {1, 64, 0, true, {}}, [&](KernelCtx& ctx) {
+    const int v = static_cast<int>(ctx.lane()) * 3;
+    out[ctx.lane()] = ctx.shfl(v, 5);
+  });
+  for (unsigned l = 0; l < 64; ++l) EXPECT_EQ(out[l], 15);
+}
+
+TEST(Exec, WarpSumViaShflDownWidth64) {
+  Device dev = make_device(64);
+  std::vector<long> out(1, -1);
+  dev.launch("wsum", {1, 64, 0, true, {}}, [&](KernelCtx& ctx) {
+    long v = static_cast<long>(ctx.lane()) + 1;  // 1..64
+    for (unsigned off = ctx.warp_size() / 2; off > 0; off >>= 1) {
+      v += ctx.shfl_down(v, off);
+    }
+    if (ctx.lane() == 0) out[0] = v;
+  });
+  EXPECT_EQ(out[0], 64L * 65 / 2);
+}
+
+TEST(Exec, Ballot) {
+  for (unsigned warp : {32u, 64u}) {
+    Device dev = make_device(warp);
+    std::vector<std::uint64_t> out(warp);
+    dev.launch("ballot", {1, warp, 0, true, {}}, [&](KernelCtx& ctx) {
+      out[ctx.lane()] = ctx.ballot(ctx.lane() % 3 == 0);
+    });
+    std::uint64_t want = 0;
+    for (unsigned l = 0; l < warp; ++l) {
+      if (l % 3 == 0) want |= std::uint64_t{1} << l;
+    }
+    for (unsigned l = 0; l < warp; ++l) EXPECT_EQ(out[l], want);
+  }
+}
+
+TEST(Exec, CollectiveInDirectModeThrows) {
+  Device dev = make_device(64);
+  EXPECT_THROW(dev.launch("bad", {1, 64, 0, false, {}},
+                          [](KernelCtx& ctx) { ctx.shfl_down(1, 1); }),
+               Error);
+}
+
+TEST(Exec, MultiWarpBlockCollectivesStayInWarp) {
+  // 2 warps of 32: shuffles must not leak across the warp boundary.
+  Device dev = make_device(32);
+  std::vector<int> out(64);
+  dev.launch("2warp", {1, 64, 0, true, {}}, [&](KernelCtx& ctx) {
+    const int v = static_cast<int>(ctx.thread_idx());
+    out[ctx.thread_idx()] = ctx.shfl(v, 0);  // broadcast lane 0 of own warp
+  });
+  for (unsigned t = 0; t < 32; ++t) EXPECT_EQ(out[t], 0);
+  for (unsigned t = 32; t < 64; ++t) EXPECT_EQ(out[t], 32);
+}
+
+TEST(Exec, ManyBlocksWithBarriers) {
+  Device dev = make_device(64);
+  const unsigned grid = 50, block = 64;
+  std::vector<int> out(grid, 0);
+  dev.launch("many", {grid, block, block * sizeof(int), true, {}},
+             [&](KernelCtx& ctx) {
+               int* sh = ctx.shared_as<int>();
+               sh[ctx.thread_idx()] = 1;
+               ctx.syncthreads();
+               if (ctx.thread_idx() == 0) {
+                 int s = 0;
+                 for (unsigned t = 0; t < block; ++t) s += sh[t];
+                 out[ctx.block_idx()] = s;
+               }
+             });
+  for (unsigned b = 0; b < grid; ++b) EXPECT_EQ(out[b], static_cast<int>(block));
+}
+
+TEST(Exec, BlocksDistributeAcrossHostWorkers) {
+  // A device backed by a multi-worker pool must produce identical results:
+  // every block lands exactly once regardless of the host-thread split.
+  ThreadPool pool(3);
+  DeviceProps props = test_device(64);
+  Device dev(props, nullptr, &pool);
+  const unsigned grid = 37, block = 64;
+  std::vector<std::atomic<int>> hits(grid);
+  dev.launch("mt", {grid, block, block * sizeof(int), true, {}},
+             [&](KernelCtx& ctx) {
+               int* sh = ctx.shared_as<int>();
+               sh[ctx.thread_idx()] = 1;
+               ctx.syncthreads();
+               if (ctx.thread_idx() == 0) {
+                 int s = 0;
+                 for (unsigned t = 0; t < block; ++t) s += sh[t];
+                 if (s == static_cast<int>(block)) hits[ctx.block_idx()].fetch_add(1);
+               }
+             });
+  for (unsigned b = 0; b < grid; ++b) EXPECT_EQ(hits[b].load(), 1) << b;
+}
+
+TEST(Exec, KernelExceptionPropagates) {
+  Device dev = make_device(64);
+  EXPECT_THROW(dev.launch("throws", {1, 8, 0, true, {}},
+                          [](KernelCtx& ctx) {
+                            ctx.syncthreads();
+                            if (ctx.thread_idx() == 3) throw Error("kernel bug");
+                            ctx.syncthreads();
+                          }),
+               Error);
+  // Device still usable.
+  EXPECT_NO_THROW(dev.launch("ok", {1, 8, 0, true, {}},
+                             [](KernelCtx& ctx) { ctx.syncthreads(); }));
+}
+
+}  // namespace
+}  // namespace qhip::vgpu

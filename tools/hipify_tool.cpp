@@ -1,0 +1,84 @@
+// hipify_tool — command-line CUDA -> HIP translator (hipify-perl
+// equivalent), the tool the paper used to produce the qsim HIP backend.
+//
+// Usage:
+//   hipify_tool <input.cu> [-o <output>] [--no-launch-rewrite] [--no-audit]
+//               [--report]
+//
+// With no -o the translation goes to stdout. --report prints the rule-hit
+// and warning summary to stderr. Exit status is 0 on success, 1 on usage or
+// I/O errors (warnings do not affect the exit status, as with hipify-perl).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/base/error.h"
+#include "src/hipify/hipify.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hipify_tool <input.cu> [-o <output>] "
+               "[--no-launch-rewrite] [--no-audit] [--report]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input, output;
+  qhip::hipify::HipifyOptions opt;
+  bool report = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o") {
+      if (++i >= argc) return usage();
+      output = argv[i];
+    } else if (arg == "--no-launch-rewrite") {
+      opt.rewrite_launches = false;
+    } else if (arg == "--no-audit") {
+      opt.warp_size_audit = false;
+    } else if (arg == "--report") {
+      report = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (input.empty()) return usage();
+
+  try {
+    std::ifstream in(input, std::ios::binary);
+    if (!in.good()) {
+      std::fprintf(stderr, "hipify_tool: cannot open '%s'\n", input.c_str());
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const qhip::hipify::HipifyResult r =
+        qhip::hipify::hipify_source(ss.str(), opt);
+
+    if (output.empty()) {
+      std::cout << r.output;
+    } else {
+      std::ofstream out(output, std::ios::binary);
+      if (!out.good()) {
+        std::fprintf(stderr, "hipify_tool: cannot write '%s'\n", output.c_str());
+        return 1;
+      }
+      out << r.output;
+    }
+    if (report) std::cerr << r.format_report(input);
+    return 0;
+  } catch (const qhip::Error& e) {
+    std::fprintf(stderr, "hipify_tool: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,89 @@
+// qasm_tool — converts between the qsim text circuit format and
+// OpenQASM 2.0 (both directions, auto-detected from the input's first
+// non-comment token).
+//
+// Usage:
+//   qasm_tool <input> [-o <output>]
+//
+// qsim format in  -> OpenQASM out
+// OpenQASM in     -> qsim format out
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/base/error.h"
+#include "src/base/strings.h"
+#include "src/io/circuit_io.h"
+#include "src/io/qasm.h"
+
+int main(int argc, char** argv) {
+  std::string input, output;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "usage: qasm_tool <input> [-o <output>]\n");
+        return 1;
+      }
+      output = argv[i];
+    } else if (input.empty() && !arg.empty() && arg[0] != '-') {
+      input = arg;
+    } else {
+      std::fprintf(stderr, "usage: qasm_tool <input> [-o <output>]\n");
+      return 1;
+    }
+  }
+  if (input.empty()) {
+    std::fprintf(stderr, "usage: qasm_tool <input> [-o <output>]\n");
+    return 1;
+  }
+
+  try {
+    std::ifstream in(input);
+    qhip::check(in.good(), "cannot open '" + input + "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    // Detect: OpenQASM files start (after comments/blank lines) with
+    // "OPENQASM"; qsim files start with the qubit count.
+    bool is_qasm = false;
+    {
+      std::istringstream scan(text);
+      std::string line;
+      while (std::getline(scan, line)) {
+        const auto body = qhip::trim(line);
+        if (body.empty() || qhip::starts_with(body, "//") || body[0] == '#') {
+          continue;
+        }
+        is_qasm = qhip::starts_with(body, "OPENQASM");
+        break;
+      }
+    }
+
+    std::string converted;
+    if (is_qasm) {
+      const qhip::Circuit c = qhip::read_qasm(text);
+      converted = qhip::write_circuit_string(c);
+    } else {
+      const qhip::Circuit c = qhip::read_circuit_string(text);
+      converted = qhip::write_qasm_string(c);
+    }
+
+    if (output.empty()) {
+      std::cout << converted;
+    } else {
+      std::ofstream out(output);
+      qhip::check(out.good(), "cannot open '" + output + "' for writing");
+      out << converted;
+    }
+    std::fprintf(stderr, "qasm_tool: converted %s (%s -> %s)\n", input.c_str(),
+                 is_qasm ? "OpenQASM" : "qsim", is_qasm ? "qsim" : "OpenQASM");
+    return 0;
+  } catch (const qhip::Error& e) {
+    std::fprintf(stderr, "qasm_tool: %s\n", e.what());
+    return 1;
+  }
+}
