@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsim_amplitudes_hip.dir/qsim_amplitudes_hip.cpp.o"
+  "CMakeFiles/qsim_amplitudes_hip.dir/qsim_amplitudes_hip.cpp.o.d"
+  "qsim_amplitudes_hip"
+  "qsim_amplitudes_hip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsim_amplitudes_hip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

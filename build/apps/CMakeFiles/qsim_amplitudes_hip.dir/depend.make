@@ -1,0 +1,2 @@
+# Empty dependencies file for qsim_amplitudes_hip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsim_base_hip.dir/qsim_base_hip.cpp.o"
+  "CMakeFiles/qsim_base_hip.dir/qsim_base_hip.cpp.o.d"
+  "qsim_base_hip"
+  "qsim_base_hip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsim_base_hip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsim_qtrajectory_hip.dir/qsim_qtrajectory_hip.cpp.o"
+  "CMakeFiles/qsim_qtrajectory_hip.dir/qsim_qtrajectory_hip.cpp.o.d"
+  "qsim_qtrajectory_hip"
+  "qsim_qtrajectory_hip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsim_qtrajectory_hip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsim_von_neumann_hip.dir/qsim_von_neumann_hip.cpp.o"
+  "CMakeFiles/qsim_von_neumann_hip.dir/qsim_von_neumann_hip.cpp.o.d"
+  "qsim_von_neumann_hip"
+  "qsim_von_neumann_hip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsim_von_neumann_hip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qsim_von_neumann_hip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_dist"
+  "../bench/bench_ext_dist.pdb"
+  "CMakeFiles/bench_ext_dist.dir/bench_ext_dist.cpp.o"
+  "CMakeFiles/bench_ext_dist.dir/bench_ext_dist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

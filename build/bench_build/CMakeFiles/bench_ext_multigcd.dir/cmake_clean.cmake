@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_multigcd"
+  "../bench/bench_ext_multigcd.pdb"
+  "CMakeFiles/bench_ext_multigcd.dir/bench_ext_multigcd.cpp.o"
+  "CMakeFiles/bench_ext_multigcd.dir/bench_ext_multigcd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multigcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

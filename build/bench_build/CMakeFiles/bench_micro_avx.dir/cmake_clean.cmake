@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_avx"
+  "../bench/bench_micro_avx.pdb"
+  "CMakeFiles/bench_micro_avx.dir/bench_micro_avx.cpp.o"
+  "CMakeFiles/bench_micro_avx.dir/bench_micro_avx.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_avx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

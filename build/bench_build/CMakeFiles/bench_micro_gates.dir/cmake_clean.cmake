@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_gates"
+  "../bench/bench_micro_gates.pdb"
+  "CMakeFiles/bench_micro_gates.dir/bench_micro_gates.cpp.o"
+  "CMakeFiles/bench_micro_gates.dir/bench_micro_gates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

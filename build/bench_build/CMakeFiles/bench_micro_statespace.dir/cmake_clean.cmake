@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_statespace"
+  "../bench/bench_micro_statespace.pdb"
+  "CMakeFiles/bench_micro_statespace.dir/bench_micro_statespace.cpp.o"
+  "CMakeFiles/bench_micro_statespace.dir/bench_micro_statespace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_statespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

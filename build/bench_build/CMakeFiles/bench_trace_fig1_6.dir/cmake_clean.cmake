@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_trace_fig1_6"
+  "../bench/bench_trace_fig1_6.pdb"
+  "CMakeFiles/bench_trace_fig1_6.dir/bench_trace_fig1_6.cpp.o"
+  "CMakeFiles/bench_trace_fig1_6.dir/bench_trace_fig1_6.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_fig1_6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loschmidt_echo.dir/loschmidt_echo.cpp.o"
+  "CMakeFiles/loschmidt_echo.dir/loschmidt_echo.cpp.o.d"
+  "loschmidt_echo"
+  "loschmidt_echo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loschmidt_echo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for loschmidt_echo.
+# This may be replaced when dependencies are built.

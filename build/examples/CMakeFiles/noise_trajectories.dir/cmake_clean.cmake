@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_trajectories.dir/noise_trajectories.cpp.o"
+  "CMakeFiles/noise_trajectories.dir/noise_trajectories.cpp.o.d"
+  "noise_trajectories"
+  "noise_trajectories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_trajectories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qft_period.dir/qft_period.cpp.o"
+  "CMakeFiles/qft_period.dir/qft_period.cpp.o.d"
+  "qft_period"
+  "qft_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qft_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rqc_sampling.dir/rqc_sampling.cpp.o"
+  "CMakeFiles/rqc_sampling.dir/rqc_sampling.cpp.o.d"
+  "rqc_sampling"
+  "rqc_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rqc_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqe_ising.dir/vqe_ising.cpp.o"
+  "CMakeFiles/vqe_ising.dir/vqe_ising.cpp.o.d"
+  "vqe_ising"
+  "vqe_ising.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqe_ising.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("prof")
+subdirs("io")
+subdirs("core")
+subdirs("statespace")
+subdirs("obs")
+subdirs("noise")
+subdirs("dist")
+subdirs("fusion")
+subdirs("transpile")
+subdirs("simulator")
+subdirs("vgpu")
+subdirs("hipsim")
+subdirs("hipify")
+subdirs("rqc")
+subdirs("perfmodel")

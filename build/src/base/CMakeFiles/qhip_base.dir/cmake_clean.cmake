@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qhip_base.dir/strings.cpp.o"
+  "CMakeFiles/qhip_base.dir/strings.cpp.o.d"
+  "CMakeFiles/qhip_base.dir/threadpool.cpp.o"
+  "CMakeFiles/qhip_base.dir/threadpool.cpp.o.d"
+  "libqhip_base.a"
+  "libqhip_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qhip_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

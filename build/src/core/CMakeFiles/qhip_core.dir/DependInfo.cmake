@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/circuit.cpp" "src/core/CMakeFiles/qhip_core.dir/circuit.cpp.o" "gcc" "src/core/CMakeFiles/qhip_core.dir/circuit.cpp.o.d"
+  "/root/repo/src/core/gate.cpp" "src/core/CMakeFiles/qhip_core.dir/gate.cpp.o" "gcc" "src/core/CMakeFiles/qhip_core.dir/gate.cpp.o.d"
+  "/root/repo/src/core/gates.cpp" "src/core/CMakeFiles/qhip_core.dir/gates.cpp.o" "gcc" "src/core/CMakeFiles/qhip_core.dir/gates.cpp.o.d"
+  "/root/repo/src/core/matrix.cpp" "src/core/CMakeFiles/qhip_core.dir/matrix.cpp.o" "gcc" "src/core/CMakeFiles/qhip_core.dir/matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/qhip_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qhip_core.dir/circuit.cpp.o"
+  "CMakeFiles/qhip_core.dir/circuit.cpp.o.d"
+  "CMakeFiles/qhip_core.dir/gate.cpp.o"
+  "CMakeFiles/qhip_core.dir/gate.cpp.o.d"
+  "CMakeFiles/qhip_core.dir/gates.cpp.o"
+  "CMakeFiles/qhip_core.dir/gates.cpp.o.d"
+  "CMakeFiles/qhip_core.dir/matrix.cpp.o"
+  "CMakeFiles/qhip_core.dir/matrix.cpp.o.d"
+  "libqhip_core.a"
+  "libqhip_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qhip_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

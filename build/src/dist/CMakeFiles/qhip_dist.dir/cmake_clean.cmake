@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qhip_dist.dir/comm.cpp.o"
+  "CMakeFiles/qhip_dist.dir/comm.cpp.o.d"
+  "libqhip_dist.a"
+  "libqhip_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qhip_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

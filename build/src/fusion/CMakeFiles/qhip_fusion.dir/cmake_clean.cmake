@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qhip_fusion.dir/fuser.cpp.o"
+  "CMakeFiles/qhip_fusion.dir/fuser.cpp.o.d"
+  "libqhip_fusion.a"
+  "libqhip_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qhip_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

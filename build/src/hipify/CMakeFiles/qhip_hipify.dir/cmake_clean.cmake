@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qhip_hipify.dir/hipify.cpp.o"
+  "CMakeFiles/qhip_hipify.dir/hipify.cpp.o.d"
+  "libqhip_hipify.a"
+  "libqhip_hipify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qhip_hipify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/circuit_io.cpp" "src/io/CMakeFiles/qhip_io.dir/circuit_io.cpp.o" "gcc" "src/io/CMakeFiles/qhip_io.dir/circuit_io.cpp.o.d"
+  "/root/repo/src/io/qasm.cpp" "src/io/CMakeFiles/qhip_io.dir/qasm.cpp.o" "gcc" "src/io/CMakeFiles/qhip_io.dir/qasm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qhip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/qhip_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

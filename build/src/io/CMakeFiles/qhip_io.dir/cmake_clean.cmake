@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qhip_io.dir/circuit_io.cpp.o"
+  "CMakeFiles/qhip_io.dir/circuit_io.cpp.o.d"
+  "CMakeFiles/qhip_io.dir/qasm.cpp.o"
+  "CMakeFiles/qhip_io.dir/qasm.cpp.o.d"
+  "libqhip_io.a"
+  "libqhip_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qhip_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

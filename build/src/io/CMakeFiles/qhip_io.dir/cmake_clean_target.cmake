@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqhip_io.a"
+)

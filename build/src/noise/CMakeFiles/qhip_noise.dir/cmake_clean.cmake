@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qhip_noise.dir/channels.cpp.o"
+  "CMakeFiles/qhip_noise.dir/channels.cpp.o.d"
+  "libqhip_noise.a"
+  "libqhip_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qhip_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qhip_obs.dir/observable.cpp.o"
+  "CMakeFiles/qhip_obs.dir/observable.cpp.o.d"
+  "libqhip_obs.a"
+  "libqhip_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qhip_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qhip_perfmodel.dir/model.cpp.o"
+  "CMakeFiles/qhip_perfmodel.dir/model.cpp.o.d"
+  "CMakeFiles/qhip_perfmodel.dir/workload.cpp.o"
+  "CMakeFiles/qhip_perfmodel.dir/workload.cpp.o.d"
+  "libqhip_perfmodel.a"
+  "libqhip_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qhip_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

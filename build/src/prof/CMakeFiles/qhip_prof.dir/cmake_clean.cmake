@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qhip_prof.dir/trace.cpp.o"
+  "CMakeFiles/qhip_prof.dir/trace.cpp.o.d"
+  "libqhip_prof.a"
+  "libqhip_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qhip_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

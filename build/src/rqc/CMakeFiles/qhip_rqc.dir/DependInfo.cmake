@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rqc/rqc.cpp" "src/rqc/CMakeFiles/qhip_rqc.dir/rqc.cpp.o" "gcc" "src/rqc/CMakeFiles/qhip_rqc.dir/rqc.cpp.o.d"
+  "/root/repo/src/rqc/xeb.cpp" "src/rqc/CMakeFiles/qhip_rqc.dir/xeb.cpp.o" "gcc" "src/rqc/CMakeFiles/qhip_rqc.dir/xeb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qhip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/qhip_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

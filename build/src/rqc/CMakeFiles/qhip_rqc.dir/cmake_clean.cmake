@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qhip_rqc.dir/rqc.cpp.o"
+  "CMakeFiles/qhip_rqc.dir/rqc.cpp.o.d"
+  "CMakeFiles/qhip_rqc.dir/xeb.cpp.o"
+  "CMakeFiles/qhip_rqc.dir/xeb.cpp.o.d"
+  "libqhip_rqc.a"
+  "libqhip_rqc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qhip_rqc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

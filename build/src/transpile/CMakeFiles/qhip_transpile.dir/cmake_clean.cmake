@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qhip_transpile.dir/optimizer.cpp.o"
+  "CMakeFiles/qhip_transpile.dir/optimizer.cpp.o.d"
+  "libqhip_transpile.a"
+  "libqhip_transpile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qhip_transpile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

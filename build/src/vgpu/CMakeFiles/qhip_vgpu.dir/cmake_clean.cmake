@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qhip_vgpu.dir/device.cpp.o"
+  "CMakeFiles/qhip_vgpu.dir/device.cpp.o.d"
+  "CMakeFiles/qhip_vgpu.dir/device_props.cpp.o"
+  "CMakeFiles/qhip_vgpu.dir/device_props.cpp.o.d"
+  "CMakeFiles/qhip_vgpu.dir/fiber_exec.cpp.o"
+  "CMakeFiles/qhip_vgpu.dir/fiber_exec.cpp.o.d"
+  "libqhip_vgpu.a"
+  "libqhip_vgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qhip_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qhip_vgpu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backend_parity.dir/integration/test_backend_parity.cpp.o"
+  "CMakeFiles/test_backend_parity.dir/integration/test_backend_parity.cpp.o.d"
+  "test_backend_parity"
+  "test_backend_parity.pdb"
+  "test_backend_parity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backend_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

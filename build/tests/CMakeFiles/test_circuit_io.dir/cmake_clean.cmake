@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit_io.dir/io/test_circuit_io.cpp.o"
+  "CMakeFiles/test_circuit_io.dir/io/test_circuit_io.cpp.o.d"
+  "test_circuit_io"
+  "test_circuit_io.pdb"
+  "test_circuit_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expectation_hip.dir/hipsim/test_expectation_hip.cpp.o"
+  "CMakeFiles/test_expectation_hip.dir/hipsim/test_expectation_hip.cpp.o.d"
+  "test_expectation_hip"
+  "test_expectation_hip.pdb"
+  "test_expectation_hip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expectation_hip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuser.dir/fusion/test_fuser.cpp.o"
+  "CMakeFiles/test_fuser.dir/fusion/test_fuser.cpp.o.d"
+  "test_fuser"
+  "test_fuser.pdb"
+  "test_fuser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fusion_properties.dir/integration/test_fusion_properties.cpp.o"
+  "CMakeFiles/test_fusion_properties.dir/integration/test_fusion_properties.cpp.o.d"
+  "test_fusion_properties"
+  "test_fusion_properties.pdb"
+  "test_fusion_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fusion_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

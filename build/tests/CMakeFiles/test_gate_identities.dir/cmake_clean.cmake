@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gate_identities.dir/integration/test_gate_identities.cpp.o"
+  "CMakeFiles/test_gate_identities.dir/integration/test_gate_identities.cpp.o.d"
+  "test_gate_identities"
+  "test_gate_identities.pdb"
+  "test_gate_identities[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gate_identities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

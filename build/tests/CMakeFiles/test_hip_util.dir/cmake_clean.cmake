@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hip_util.dir/hipsim/test_hip_util.cpp.o"
+  "CMakeFiles/test_hip_util.dir/hipsim/test_hip_util.cpp.o.d"
+  "test_hip_util"
+  "test_hip_util.pdb"
+  "test_hip_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hip_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hipify.dir/hipify/test_hipify.cpp.o"
+  "CMakeFiles/test_hipify.dir/hipify/test_hipify.cpp.o.d"
+  "test_hipify"
+  "test_hipify.pdb"
+  "test_hipify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hipify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hipify_golden.dir/hipify/test_hipify_golden.cpp.o"
+  "CMakeFiles/test_hipify_golden.dir/hipify/test_hipify_golden.cpp.o.d"
+  "test_hipify_golden"
+  "test_hipify_golden.pdb"
+  "test_hipify_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hipify_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

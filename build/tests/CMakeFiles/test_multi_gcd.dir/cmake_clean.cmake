@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_gcd.dir/hipsim/test_multi_gcd.cpp.o"
+  "CMakeFiles/test_multi_gcd.dir/hipsim/test_multi_gcd.cpp.o.d"
+  "test_multi_gcd"
+  "test_multi_gcd.pdb"
+  "test_multi_gcd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_gcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noise_channels.dir/noise/test_channels.cpp.o"
+  "CMakeFiles/test_noise_channels.dir/noise/test_channels.cpp.o.d"
+  "test_noise_channels"
+  "test_noise_channels.pdb"
+  "test_noise_channels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noise_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noise_trajectory.dir/noise/test_trajectory.cpp.o"
+  "CMakeFiles/test_noise_trajectory.dir/noise/test_trajectory.cpp.o.d"
+  "test_noise_trajectory"
+  "test_noise_trajectory.pdb"
+  "test_noise_trajectory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noise_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

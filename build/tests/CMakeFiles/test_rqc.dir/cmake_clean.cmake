@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rqc.dir/rqc/test_rqc.cpp.o"
+  "CMakeFiles/test_rqc.dir/rqc/test_rqc.cpp.o.d"
+  "test_rqc"
+  "test_rqc.pdb"
+  "test_rqc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rqc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulator_avx.dir/simulator/test_simulator_avx.cpp.o"
+  "CMakeFiles/test_simulator_avx.dir/simulator/test_simulator_avx.cpp.o.d"
+  "test_simulator_avx"
+  "test_simulator_avx.pdb"
+  "test_simulator_avx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulator_avx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulator_cpu.dir/simulator/test_simulator_cpu.cpp.o"
+  "CMakeFiles/test_simulator_cpu.dir/simulator/test_simulator_cpu.cpp.o.d"
+  "test_simulator_cpu"
+  "test_simulator_cpu.pdb"
+  "test_simulator_cpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulator_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

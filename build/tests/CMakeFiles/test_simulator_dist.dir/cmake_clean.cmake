@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulator_dist.dir/dist/test_simulator_dist.cpp.o"
+  "CMakeFiles/test_simulator_dist.dir/dist/test_simulator_dist.cpp.o.d"
+  "test_simulator_dist"
+  "test_simulator_dist.pdb"
+  "test_simulator_dist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulator_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulator_hip.dir/hipsim/test_simulator_hip.cpp.o"
+  "CMakeFiles/test_simulator_hip.dir/hipsim/test_simulator_hip.cpp.o.d"
+  "test_simulator_hip"
+  "test_simulator_hip.pdb"
+  "test_simulator_hip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulator_hip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_statespace_hip.dir/hipsim/test_statespace_hip.cpp.o"
+  "CMakeFiles/test_statespace_hip.dir/hipsim/test_statespace_hip.cpp.o.d"
+  "test_statespace_hip"
+  "test_statespace_hip.pdb"
+  "test_statespace_hip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_statespace_hip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vgpu_device.dir/vgpu/test_device.cpp.o"
+  "CMakeFiles/test_vgpu_device.dir/vgpu/test_device.cpp.o.d"
+  "test_vgpu_device"
+  "test_vgpu_device.pdb"
+  "test_vgpu_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vgpu_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vgpu_exec.dir/vgpu/test_exec.cpp.o"
+  "CMakeFiles/test_vgpu_exec.dir/vgpu/test_exec.cpp.o.d"
+  "test_vgpu_exec"
+  "test_vgpu_exec.pdb"
+  "test_vgpu_exec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vgpu_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

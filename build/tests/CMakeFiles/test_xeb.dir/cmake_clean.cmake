@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xeb.dir/rqc/test_xeb.cpp.o"
+  "CMakeFiles/test_xeb.dir/rqc/test_xeb.cpp.o.d"
+  "test_xeb"
+  "test_xeb.pdb"
+  "test_xeb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xeb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

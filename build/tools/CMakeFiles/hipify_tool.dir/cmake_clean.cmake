@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipify_tool.dir/hipify_tool.cpp.o"
+  "CMakeFiles/hipify_tool.dir/hipify_tool.cpp.o.d"
+  "hipify_tool"
+  "hipify_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipify_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
