@@ -148,6 +148,7 @@ int run_gpu(const Args& a, const Circuit& circuit, Tracer* tracer) {
   const FusionResult fused = fuse_circuit(circuit, {a.max_fused, a.window});
   const double fuse_s = timer.seconds();
   sim.run(fused.circuit, state, a.seed);
+  dev.synchronize();  // run() enqueues; the timer must cover the real work
   const double total_s = timer.seconds();
   std::printf("fused %zu gates -> %zu (mean width %.2f) in %.3f ms\n",
               fused.stats.input_gates, fused.stats.output_gates,
@@ -179,6 +180,7 @@ int run_multi_gcd(const Args& a, const Circuit& circuit, unsigned gcds,
   const FusionResult fused = fuse_circuit(circuit, {a.max_fused, a.window});
   const double fuse_s = timer.seconds();
   sim.run(fused.circuit, a.seed);
+  sim.synchronize();  // run() enqueues; the timer must cover the real work
   const double total_s = timer.seconds();
   std::printf("fused %zu gates -> %zu in %.3f ms; sim %.3f s; "
               "%llu slot swaps, %.2f MiB peer traffic\n",

@@ -269,6 +269,8 @@ apps/CMakeFiles/qsim_base_hip.dir/qsim_base_hip.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
  /usr/include/x86_64-linux-gnu/sys/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
+ /root/repo/src/vgpu/stream_queue.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/simulator/apply.h /root/repo/src/io/circuit_io.h \
  /root/repo/src/rqc/rqc.h /root/repo/src/simulator/runner.h \
  /root/repo/src/base/timer.h /usr/include/c++/12/chrono \

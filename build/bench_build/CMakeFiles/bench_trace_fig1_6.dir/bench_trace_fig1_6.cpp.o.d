@@ -268,4 +268,6 @@ bench_build/CMakeFiles/bench_trace_fig1_6.dir/bench_trace_fig1_6.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
  /usr/include/x86_64-linux-gnu/sys/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
+ /root/repo/src/vgpu/stream_queue.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/simulator/apply.h /root/repo/src/rqc/rqc.h

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/vgpu/device.cpp" "src/vgpu/CMakeFiles/qhip_vgpu.dir/device.cpp.o" "gcc" "src/vgpu/CMakeFiles/qhip_vgpu.dir/device.cpp.o.d"
   "/root/repo/src/vgpu/device_props.cpp" "src/vgpu/CMakeFiles/qhip_vgpu.dir/device_props.cpp.o" "gcc" "src/vgpu/CMakeFiles/qhip_vgpu.dir/device_props.cpp.o.d"
   "/root/repo/src/vgpu/fiber_exec.cpp" "src/vgpu/CMakeFiles/qhip_vgpu.dir/fiber_exec.cpp.o" "gcc" "src/vgpu/CMakeFiles/qhip_vgpu.dir/fiber_exec.cpp.o.d"
+  "/root/repo/src/vgpu/stream_queue.cpp" "src/vgpu/CMakeFiles/qhip_vgpu.dir/stream_queue.cpp.o" "gcc" "src/vgpu/CMakeFiles/qhip_vgpu.dir/stream_queue.cpp.o.d"
   )
 
 # Targets to which this target links.

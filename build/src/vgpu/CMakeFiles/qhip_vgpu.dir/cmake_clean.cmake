@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/qhip_vgpu.dir/device_props.cpp.o.d"
   "CMakeFiles/qhip_vgpu.dir/fiber_exec.cpp.o"
   "CMakeFiles/qhip_vgpu.dir/fiber_exec.cpp.o.d"
+  "CMakeFiles/qhip_vgpu.dir/stream_queue.cpp.o"
+  "CMakeFiles/qhip_vgpu.dir/stream_queue.cpp.o.d"
   "libqhip_vgpu.a"
   "libqhip_vgpu.pdb"
 )

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_stream_modes.cpp" "tests/CMakeFiles/test_stream_modes.dir/integration/test_stream_modes.cpp.o" "gcc" "tests/CMakeFiles/test_stream_modes.dir/integration/test_stream_modes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/qhip_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/qhip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/qhip_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/qhip_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/qhip_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/qhip_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/rqc/CMakeFiles/qhip_rqc.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/qhip_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hipify/CMakeFiles/qhip_hipify.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/qhip_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/qhip_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/qhip_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/transpile/CMakeFiles/qhip_transpile.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_modes.dir/integration/test_stream_modes.cpp.o"
+  "CMakeFiles/test_stream_modes.dir/integration/test_stream_modes.cpp.o.d"
+  "test_stream_modes"
+  "test_stream_modes.pdb"
+  "test_stream_modes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

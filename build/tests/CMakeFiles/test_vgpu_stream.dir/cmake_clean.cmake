@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vgpu_stream.dir/vgpu/test_stream.cpp.o"
+  "CMakeFiles/test_vgpu_stream.dir/vgpu/test_stream.cpp.o.d"
+  "test_vgpu_stream"
+  "test_vgpu_stream.pdb"
+  "test_vgpu_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vgpu_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

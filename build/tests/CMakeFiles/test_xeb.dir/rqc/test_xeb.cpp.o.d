@@ -342,5 +342,7 @@ tests/CMakeFiles/test_xeb.dir/rqc/test_xeb.cpp.o: \
  /root/repo/src/vgpu/device_props.h /root/repo/src/vgpu/fiber_exec.h \
  /usr/include/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
+ /root/repo/src/vgpu/stream_queue.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/simulator/apply.h /root/repo/src/rqc/rqc.h \
  /root/repo/src/simulator/simulator_cpu.h

@@ -74,6 +74,8 @@ void ThreadPool::parallel_ranges(
     fn(0, 0, total);
     return;
   }
+  // One task in flight at a time; concurrent callers queue up here.
+  std::lock_guard submit(submit_mu_);
   {
     std::lock_guard lk(mu_);
     fn_ = &fn;

@@ -32,7 +32,10 @@ class ThreadPool {
   // Runs fn(thread_rank, begin, end) on every worker plus the calling thread,
   // with [0, total) statically split into num_threads() contiguous chunks.
   // Blocks until all chunks complete. Exceptions from fn are rethrown on the
-  // caller (first one wins).
+  // caller (first one wins). Safe to call from multiple threads: concurrent
+  // submissions serialize on an internal mutex (the pool runs one task at a
+  // time), which is how several virtual-GPU stream submitter threads share
+  // one pool.
   void parallel_ranges(index_t total,
                        const std::function<void(unsigned, index_t, index_t)>& fn);
 
@@ -52,6 +55,7 @@ class ThreadPool {
   void worker_loop(unsigned rank);
 
   std::vector<std::thread> workers_;
+  std::mutex submit_mu_;  // serializes whole parallel_ranges invocations
   std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;

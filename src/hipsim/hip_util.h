@@ -20,7 +20,12 @@ namespace qhip::hipsim {
 template <typename T>
 T warp_reduce_sum(vgpu::KernelCtx& ctx, T val) {
   for (unsigned offset = ctx.warp_size() / 2; offset > 0; offset >>= 1) {
-    val += ctx.shfl_down(val, offset);
+    const T other = ctx.shfl_down(val, offset);
+    // Guard the accumulation for ragged final warps (block_dim not a
+    // multiple of the wavefront width): a source lane at or past the live
+    // count holds no data. Without the guard the shuffle's own-value
+    // fallback doubles those lanes and corrupts lane 0's total.
+    if (ctx.lane() + offset < ctx.live_lanes()) val += other;
   }
   return val;
 }

@@ -109,12 +109,30 @@ class MultiGcdSimulator {
       sims_.push_back(std::make_unique<SimulatorHIP<FP>>(*devices_.back()));
       states_.push_back(
           std::make_unique<DeviceStateVector<FP>>(*devices_.back(), local_));
+      // Per-GCD exchange machinery: a stream for the pack -> peer copy ->
+      // unpack pipeline, a persistent staging buffer (half the local state),
+      // and events ordering the exchange against the gate kernels.
+      xstreams_.push_back(devices_.back()->create_stream());
+      ev_gates_.push_back(devices_.back()->create_event());
+      ev_exchanged_.push_back(devices_.back()->create_event());
+      xbufs_.push_back(devices_.back()->template malloc_n<cplx<FP>>(
+          states_.back()->size() >> 1));
     }
     set_zero_state();
   }
 
+  ~MultiGcdSimulator() {
+    // free() joins each device's streams, so no exchange op can be pending.
+    for (unsigned k = 0; k < num_gcds(); ++k) devices_[k]->free(xbufs_[k]);
+  }
+
   unsigned num_qubits() const { return n_; }
   unsigned num_gcds() const { return 1u << d_; }
+  // hipDeviceSynchronize on every GCD: joins all pending gate and exchange
+  // work (needed before reading wall-clock timers).
+  void synchronize() {
+    for (auto& d : devices_) d->synchronize();
+  }
   const MultiGcdStats& stats() const { return stats_; }
   vgpu::Device& device(unsigned k) { return *devices_[k]; }
 
@@ -329,37 +347,69 @@ class MultiGcdSimulator {
     swap_slots(gslot, lslot);
   }
 
-  // Exchanges a global slot with a local slot across all GCD pairs.
+  // Exchanges a global slot with a local slot across all GCD pairs. Three
+  // asynchronous phases on the per-GCD exchange streams: (1) behind the
+  // pending gate kernels, pack and stage down to the host on every GCD
+  // concurrently; (2) join the exchange streams — the host-staged peer
+  // barrier; (3) upload the crossed halves and unpack, handing ordering back
+  // to the compute streams via stream_wait_event. Devices of a pair (and
+  // all pairs) overlap their pack/copy work.
   void swap_slots(unsigned gslot, unsigned lslot) {
     const unsigned gbit = gslot - local_;  // bit within the GCD index
     const index_t half = states_[0]->size() >> 1;
     const std::size_t bytes = half * sizeof(cplx<FP>);
-    std::vector<cplx<FP>> host_a(half), host_b(half);
 
+    struct PairStage {
+      unsigned a, b;  // low / high side of the pair
+      std::vector<cplx<FP>> host_a, host_b;
+    };
+    std::vector<PairStage> pairs;
     for (unsigned k = 0; k < num_gcds(); ++k) {
       if ((k >> gbit) & 1) continue;  // k is the low side of the pair
-      const unsigned mate = k | (1u << gbit);
+      pairs.push_back({k, k | (1u << gbit), std::vector<cplx<FP>>(half),
+                       std::vector<cplx<FP>>(half)});
+    }
 
-      // Pack: A's half with local bit = 1; B's half with local bit = 0.
-      cplx<FP>* buf_a = devices_[k]->template malloc_n<cplx<FP>>(half);
-      cplx<FP>* buf_b = devices_[mate]->template malloc_n<cplx<FP>>(half);
-      launch_pack(k, buf_a, lslot, 1);
-      launch_pack(mate, buf_b, lslot, 0);
-
-      // Peer exchange (staged through the host in the emulator).
-      devices_[k]->memcpy_d2h(host_a.data(), buf_a, bytes);
-      devices_[mate]->memcpy_d2h(host_b.data(), buf_b, bytes);
-      devices_[k]->memcpy_h2d(buf_a, host_b.data(), bytes);
-      devices_[mate]->memcpy_h2d(buf_b, host_a.data(), bytes);
+    // Phase 1: pack A's half with local bit = 1 and B's half with local
+    // bit = 0, then stage both down to the host, all asynchronously.
+    for (auto& p : pairs) {
+      pack_to_host(p.a, lslot, 1, p.host_a.data(), bytes);
+      pack_to_host(p.b, lslot, 0, p.host_b.data(), bytes);
+    }
+    // Phase 2: the staged halves must be on the host before crossing over.
+    for (auto& p : pairs) {
+      devices_[p.a]->stream_synchronize(xstreams_[p.a]);
+      devices_[p.b]->stream_synchronize(xstreams_[p.b]);
+    }
+    // Phase 3: crossed upload + unpack (recorded as hipMemcpyPeer traffic).
+    for (auto& p : pairs) {
+      unpack_from_host(p.a, lslot, 1, p.host_b.data(), bytes);
+      unpack_from_host(p.b, lslot, 0, p.host_a.data(), bytes);
       stats_.peer_bytes += 2 * bytes;
-
-      launch_unpack(k, buf_a, lslot, 1);
-      launch_unpack(mate, buf_b, lslot, 0);
-      devices_[k]->free(buf_a);
-      devices_[mate]->free(buf_b);
     }
     std::swap(layout_[gslot], layout_[lslot]);
     ++stats_.slot_swaps;
+  }
+
+  // Pack half of GCD k's state into its exchange buffer and stage it to
+  // `host`, on the exchange stream, ordered after pending gate kernels.
+  void pack_to_host(unsigned k, unsigned bit_pos, unsigned bit_value,
+                    cplx<FP>* host, std::size_t bytes) {
+    devices_[k]->record_event(ev_gates_[k], sims_[k]->compute_stream());
+    devices_[k]->stream_wait_event(xstreams_[k], ev_gates_[k]);
+    launch_pack(k, xbufs_[k], bit_pos, bit_value);
+    devices_[k]->memcpy_d2h_async(host, xbufs_[k], bytes, xstreams_[k]);
+  }
+
+  // Upload the peer's half into GCD k's exchange buffer and scatter it into
+  // the state; subsequent gate kernels wait for the unpack.
+  void unpack_from_host(unsigned k, unsigned bit_pos, unsigned bit_value,
+                        const cplx<FP>* host, std::size_t bytes) {
+    devices_[k]->memcpy_h2d_async(xbufs_[k], host, bytes, xstreams_[k]);
+    launch_unpack(k, xbufs_[k], bit_pos, bit_value);
+    devices_[k]->record_event(ev_exchanged_[k], xstreams_[k]);
+    devices_[k]->stream_wait_event(sims_[k]->compute_stream(),
+                                   ev_exchanged_[k]);
   }
 
   void launch_pack(unsigned k, cplx<FP>* buf, unsigned bit_pos,
@@ -367,7 +417,7 @@ class MultiGcdSimulator {
     const index_t half = states_[k]->size() >> 1;
     PackHalfKernel<FP> pk{states_[k]->device_data(), buf, half, bit_pos,
                           bit_value};
-    devices_[k]->launch("PackHalf_Kernel", grid_for(half), pk);
+    devices_[k]->launch("PackHalf_Kernel", grid_for(half, xstreams_[k]), pk);
   }
 
   void launch_unpack(unsigned k, const cplx<FP>* buf, unsigned bit_pos,
@@ -375,13 +425,13 @@ class MultiGcdSimulator {
     const index_t half = states_[k]->size() >> 1;
     UnpackHalfKernel<FP> uk{states_[k]->device_data(), buf, half, bit_pos,
                             bit_value};
-    devices_[k]->launch("UnpackHalf_Kernel", grid_for(half), uk);
+    devices_[k]->launch("UnpackHalf_Kernel", grid_for(half, xstreams_[k]), uk);
   }
 
-  static vgpu::LaunchConfig grid_for(index_t size) {
+  static vgpu::LaunchConfig grid_for(index_t size, vgpu::Stream s = {}) {
     const index_t blocks = (size + kReduceBlockDim - 1) / kReduceBlockDim;
     return {static_cast<unsigned>(std::min<index_t>(std::max<index_t>(blocks, 1), 4096)),
-            kReduceBlockDim, 0, false, {}};
+            kReduceBlockDim, 0, false, s};
   }
 
   unsigned n_;
@@ -391,6 +441,10 @@ class MultiGcdSimulator {
   std::vector<std::unique_ptr<vgpu::Device>> devices_;
   std::vector<std::unique_ptr<SimulatorHIP<FP>>> sims_;
   std::vector<std::unique_ptr<DeviceStateVector<FP>>> states_;
+  std::vector<vgpu::Stream> xstreams_;   // per-GCD exchange stream
+  std::vector<vgpu::Event> ev_gates_;    // gate kernels drained, per GCD
+  std::vector<vgpu::Event> ev_exchanged_;  // exchange landed, per GCD
+  std::vector<cplx<FP>*> xbufs_;         // persistent pack/unpack staging
   std::vector<qubit_t> layout_;  // physical slot -> logical qubit
   MultiGcdStats stats_;
 };

@@ -3,9 +3,12 @@
 // to the H or L kernel, plus whole-circuit execution.
 //
 // Per-gate flow, matching the paper's trace (Figures 1 and 6): the gate
-// matrix is staged to the device with hipMemcpyAsync on the backend's
+// matrix is staged to the device with hipMemcpyAsync on a dedicated copy
 // stream, then ApplyGateH_Kernel or ApplyGateL_Kernel is launched on the
-// same stream. A gate is "low" when any target qubit index is below
+// compute stream. Matrix staging is double-buffered and ordered with events
+// (hipStreamWaitEvent), so the upload for gate g+1 overlaps the kernel for
+// gate g — the copy/compute overlap visible in the paper's rocprof
+// timelines. A gate is "low" when any target qubit index is below
 // log2(32) = 5 (paper §2.3).
 #pragma once
 
@@ -28,12 +31,26 @@ class SimulatorHIP {
   using fp_type = FP;
 
   explicit SimulatorHIP(vgpu::Device& dev)
-      : dev_(&dev), space_(dev), stream_(dev.create_stream()) {
-    // Persistent device staging buffer for gate matrices (<= 64x64).
-    d_matrix_ = dev_->malloc_n<cplx<FP>>(64 * 64);
+      : dev_(&dev),
+        space_(dev),
+        stream_(dev.create_stream()),
+        copy_stream_(dev.create_stream()) {
+    // Double-buffered device staging for gate matrices (<= 64x64): while the
+    // kernel for gate g reads one buffer, the upload for gate g+1 fills the
+    // other on the copy stream.
+    for (unsigned b = 0; b < 2; ++b) {
+      d_matrix_[b] = dev_->malloc_n<cplx<FP>>(64 * 64);
+      ev_upload_[b] = dev_->create_event();
+      ev_kernel_[b] = dev_->create_event();
+    }
   }
 
-  ~SimulatorHIP() { dev_->free(d_matrix_); }
+  ~SimulatorHIP() {
+    // free() joins all streams first, so no pending kernel or upload can
+    // still reference the staging buffers.
+    dev_->free(d_matrix_[0]);
+    dev_->free(d_matrix_[1]);
+  }
 
   SimulatorHIP(const SimulatorHIP&) = delete;
   SimulatorHIP& operator=(const SimulatorHIP&) = delete;
@@ -42,6 +59,10 @@ class SimulatorHIP {
 
   vgpu::Device& device() { return *dev_; }
   StateSpaceHIP<FP>& state_space() { return space_; }
+  // The stream gate kernels run on; external work that must order against
+  // pending gates (e.g. multi-GCD slot exchanges) synchronizes with it via
+  // events.
+  vgpu::Stream compute_stream() const { return stream_; }
 
   // Applies one gate. Controlled gates with all-high targets use the native
   // control-mask path; controlled gates with low targets are folded into
@@ -69,6 +90,10 @@ class SimulatorHIP {
     } else {
       launch_high(g, s);
     }
+    // The staging buffer of this slot is free for reuse once this kernel
+    // completes; the upload two gates from now waits on it.
+    dev_->record_event(ev_kernel_[slot_], stream_);
+    slot_ ^= 1;
   }
 
   // Runs a circuit; measurement gate k uses Philox stream (seed, k).
@@ -90,8 +115,14 @@ class SimulatorHIP {
  private:
   void upload_matrix(const CMatrix& m) {
     const std::vector<cplx<FP>> host = detail::matrix_as<FP>(m);
-    dev_->memcpy_h2d_async(d_matrix_, host.data(), host.size() * sizeof(cplx<FP>),
-                           stream_);
+    // Don't overwrite the buffer until the kernel that last read it is done
+    // (no-op for the first two gates: the event was never recorded).
+    dev_->stream_wait_event(copy_stream_, ev_kernel_[slot_]);
+    dev_->memcpy_h2d_async(d_matrix_[slot_], host.data(),
+                           host.size() * sizeof(cplx<FP>), copy_stream_);
+    dev_->record_event(ev_upload_[slot_], copy_stream_);
+    // The kernel launched next on the compute stream sees the upload.
+    dev_->stream_wait_event(stream_, ev_upload_[slot_]);
   }
 
   void launch_high(const Gate& g, DeviceStateVector<FP>& s) {
@@ -145,7 +176,7 @@ class SimulatorHIP {
   }
 
   void fill_args(GateArgs<FP>& a, const Gate& g, DeviceStateVector<FP>& s) {
-    a.matrix = d_matrix_;
+    a.matrix = d_matrix_[slot_];
     a.amps = s.device_data();
     a.num_qubits = s.num_qubits();
     a.q = g.num_targets();
@@ -160,8 +191,12 @@ class SimulatorHIP {
 
   vgpu::Device* dev_;
   StateSpaceHIP<FP> space_;
-  vgpu::Stream stream_;
-  cplx<FP>* d_matrix_ = nullptr;
+  vgpu::Stream stream_;       // compute stream: gate kernels, in order
+  vgpu::Stream copy_stream_;  // matrix uploads, overlapping the kernels
+  cplx<FP>* d_matrix_[2] = {nullptr, nullptr};
+  vgpu::Event ev_upload_[2];  // upload of slot b landed
+  vgpu::Event ev_kernel_[2];  // kernel reading slot b finished
+  unsigned slot_ = 0;         // staging buffer for the current gate
 };
 
 }  // namespace qhip::hipsim

@@ -1,5 +1,6 @@
 #include "src/vgpu/device.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 
@@ -9,32 +10,55 @@
 
 namespace qhip::vgpu {
 
-Device::Device(DeviceProps props, Tracer* tracer, ThreadPool* pool)
-    : props_(std::move(props)), tracer_(tracer), pool_(pool) {
+Device::Device(DeviceProps props, Tracer* tracer, ThreadPool* pool,
+               StreamMode mode)
+    : props_(std::move(props)), tracer_(tracer), pool_(pool), mode_(mode) {
   check(props_.warp_size == 32 || props_.warp_size == 64,
         "Device: warp size must be 32 or 64");
   execs_.resize(pool_->num_threads());
 }
 
 Device::~Device() {
+  // Join every stream before touching memory: pending ops may still read or
+  // write device allocations. Queue destruction drains, then stops.
+  drain_all();
+  {
+    std::lock_guard lk(streams_mu_);
+    queues_.clear();
+  }
   // Free leaked allocations; leaks are a bug but must not leak host memory.
   for (auto& [base, size] : allocations_) {
     std::free(const_cast<std::byte*>(base));
   }
 }
 
+StreamMode Device::default_stream_mode() {
+  const char* env = std::getenv("QHIP_STREAM_MODE");
+  if (env != nullptr && std::string(env) == "eager") return StreamMode::kEager;
+  return StreamMode::kAsync;
+}
+
+DeviceStats Device::stats() const {
+  std::lock_guard lk(stats_mu_);
+  return stats_;
+}
+
 void* Device::malloc(std::size_t bytes) {
   check(bytes > 0, "vgpu::malloc: zero-byte allocation");
-  check(stats_.bytes_in_use + bytes <= props_.global_mem_bytes,
-        strfmt("vgpu::malloc: out of device memory (%zu B requested, %zu of "
-               "%zu B in use)",
-               bytes, stats_.bytes_in_use, props_.global_mem_bytes));
-  void* p = std::aligned_alloc(256, (bytes + 255) / 256 * 256);
+  const std::size_t charged = charged_size(bytes);
+  {
+    std::lock_guard lk(stats_mu_);
+    check(stats_.bytes_in_use + charged <= props_.global_mem_bytes,
+          strfmt("vgpu::malloc: out of device memory (%zu B requested, %zu of "
+                 "%zu B in use)",
+                 bytes, stats_.bytes_in_use, props_.global_mem_bytes));
+    stats_.bytes_in_use += charged;
+    stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.bytes_in_use);
+    ++stats_.allocs;
+  }
+  void* p = std::aligned_alloc(256, charged);
   check(p != nullptr, "vgpu::malloc: host allocation failed");
   allocations_.emplace(static_cast<const std::byte*>(p), bytes);
-  stats_.bytes_in_use += bytes;
-  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.bytes_in_use);
-  ++stats_.allocs;
   return p;
 }
 
@@ -43,10 +67,16 @@ void Device::free(void* p) {
   const auto it = allocations_.find(static_cast<const std::byte*>(p));
   check(it != allocations_.end(),
         "vgpu::free: pointer is not a live device allocation");
-  stats_.bytes_in_use -= it->second;
+  // hipFree semantics: no pending stream op may still touch this memory.
+  // Deferred stream errors stay stored (free must not throw them).
+  drain_all();
+  {
+    std::lock_guard lk(stats_mu_);
+    stats_.bytes_in_use -= charged_size(it->second);
+    ++stats_.frees;
+  }
   allocations_.erase(it);
   std::free(p);
-  ++stats_.frees;
 }
 
 void Device::validate_device_range(const void* p, std::size_t bytes,
@@ -61,80 +91,76 @@ void Device::validate_device_range(const void* p, std::size_t bytes,
         std::string(what) + ": range escapes its device allocation");
 }
 
-void Device::memcpy_h2d(void* dst, const void* src, std::size_t bytes) {
-  memcpy_h2d_async(dst, src, bytes, Stream{0});
+// ---------------------------------------------------------------------------
+// Stream machinery
+// ---------------------------------------------------------------------------
+
+StreamQueue& Device::queue(int id) {
+  std::lock_guard lk(streams_mu_);
+  auto& q = queues_[id];
+  if (!q) {
+    q = std::make_unique<StreamQueue>(id,
+                                      [this](StreamOp& op) { execute_op(op); });
+  }
+  return *q;
 }
 
-void Device::memcpy_d2h(void* dst, const void* src, std::size_t bytes) {
-  memcpy_d2h_async(dst, src, bytes, Stream{0});
+void Device::submit(Stream s, StreamOp op) {
+  if (is_async(s)) {
+    queue(s.id).enqueue(std::move(op));
+    return;
+  }
+  // Legacy null stream (async mode, id 0): join every other stream, then run
+  // inline. Eager mode: run inline immediately.
+  if (mode_ == StreamMode::kAsync) synchronize();
+  execute_op(op);
 }
 
-void Device::memcpy_d2d(void* dst, const void* src, std::size_t bytes) {
-  validate_device_range(dst, bytes, "memcpy_d2d dst");
-  validate_device_range(src, bytes, "memcpy_d2d src");
-  ScopedTrace span(tracer_, "hipMemcpyDtoD", TraceKind::kMemcpy, 0, bytes);
-  std::memmove(dst, src, bytes);
+void Device::execute_op(StreamOp& op) {
+  switch (op.kind) {
+    case StreamOp::Kind::kKernel:
+      run_kernel(op);
+      break;
+    case StreamOp::Kind::kMemcpyH2D: {
+      ScopedTrace span(tracer_, op.name, TraceKind::kMemcpy, op.cfg.stream.id,
+                       op.bytes);
+      std::memcpy(op.dst, op.staged.empty() ? op.src : op.staged.data(),
+                  op.bytes);
+    } break;
+    case StreamOp::Kind::kMemcpyD2H: {
+      ScopedTrace span(tracer_, op.name, TraceKind::kMemcpy, op.cfg.stream.id,
+                       op.bytes);
+      std::memcpy(op.dst, op.src, op.bytes);
+    } break;
+    case StreamOp::Kind::kMemcpyD2D: {
+      ScopedTrace span(tracer_, op.name, TraceKind::kMemcpy, op.cfg.stream.id,
+                       op.bytes);
+      std::memmove(op.dst, op.src, op.bytes);
+    } break;
+    case StreamOp::Kind::kRecordEvent: {
+      std::lock_guard lk(op.event->mu);
+      op.event->ts_us = Timer::now_micros();
+      op.event->completed = std::max(op.event->completed, op.ticket);
+      op.event->cv.notify_all();
+    } break;
+    case StreamOp::Kind::kWaitEvent: {
+      if (op.ticket != 0) {
+        std::unique_lock lk(op.event->mu);
+        op.event->cv.wait(lk, [&] { return op.event->completed >= op.ticket; });
+      }
+    } break;
+  }
 }
 
-void Device::memcpy_h2d_async(void* dst, const void* src, std::size_t bytes,
-                              Stream s) {
-  validate_device_range(dst, bytes, "memcpy_h2d dst");
-  ScopedTrace span(tracer_, "hipMemcpyAsync(HtoD)", TraceKind::kMemcpy, s.id, bytes);
-  std::memcpy(dst, src, bytes);
-  ++stats_.h2d_copies;
-  stats_.h2d_bytes += bytes;
-}
-
-void Device::memcpy_d2h_async(void* dst, const void* src, std::size_t bytes,
-                              Stream s) {
-  validate_device_range(src, bytes, "memcpy_d2h src");
-  ScopedTrace span(tracer_, "hipMemcpyAsync(DtoH)", TraceKind::kMemcpy, s.id, bytes);
-  std::memcpy(dst, src, bytes);
-  ++stats_.d2h_copies;
-  stats_.d2h_bytes += bytes;
-}
-
-Stream Device::create_stream() { return Stream{next_stream_++}; }
-
-Event Device::create_event() {
-  event_us_.push_back(0);
-  return Event{static_cast<int>(event_us_.size()) - 1};
-}
-
-void Device::record_event(Event& e, Stream) {
-  check(e.id >= 0 && static_cast<std::size_t>(e.id) < event_us_.size(),
-        "record_event: not an event from create_event");
-  event_us_[static_cast<std::size_t>(e.id)] = Timer::now_micros();
-}
-
-double Device::elapsed_ms(const Event& start, const Event& stop) const {
-  check(start.id >= 0 && static_cast<std::size_t>(start.id) < event_us_.size() &&
-            stop.id >= 0 && static_cast<std::size_t>(stop.id) < event_us_.size(),
-        "elapsed_ms: invalid event");
-  const std::uint64_t a = event_us_[static_cast<std::size_t>(start.id)];
-  const std::uint64_t b = event_us_[static_cast<std::size_t>(stop.id)];
-  check(a != 0 && b != 0, "elapsed_ms: event was never recorded");
-  return (static_cast<double>(b) - static_cast<double>(a)) / 1e3;
-}
-
-void Device::stream_synchronize(Stream) {}
-
-void Device::synchronize() {}
-
-void Device::launch(const char* name, const LaunchConfig& cfg,
-                    const KernelFn& kernel) {
-  check(cfg.grid_dim >= 1, "vgpu::launch: empty grid");
-  check(cfg.block_dim >= 1 && cfg.block_dim <= props_.max_threads_per_block,
-        strfmt("vgpu::launch(%s): block_dim %u exceeds device limit %u", name,
-               cfg.block_dim, props_.max_threads_per_block));
-  check(cfg.shared_bytes <= props_.shared_mem_per_block,
-        strfmt("vgpu::launch(%s): %zu B shared memory exceeds the %zu B "
-               "workgroup limit",
-               name, cfg.shared_bytes, props_.shared_mem_per_block));
-
-  ScopedTrace span(tracer_, name, TraceKind::kKernel, cfg.stream.id);
-  ++stats_.kernel_launches;
-
+void Device::run_kernel(const StreamOp& op) {
+  // One compute engine: kernels from all streams serialize here (and the
+  // per-worker block executors plus the shared pool are used exclusively),
+  // while memcpys proceed on their own stream threads — the copy/compute
+  // overlap a real GPU gets from its DMA engines.
+  std::lock_guard eng(engine_mu_);
+  ScopedTrace span(tracer_, op.name, TraceKind::kKernel, op.cfg.stream.id);
+  const LaunchConfig& cfg = op.cfg;
+  const KernelFn& kernel = op.kernel;
   pool_->parallel_ranges(cfg.grid_dim, [&](unsigned rank, index_t b, index_t e) {
     auto& exec = execs_[rank];
     if (!exec) {
@@ -147,6 +173,244 @@ void Device::launch(const char* name, const LaunchConfig& cfg,
                       cfg.grid_dim, cfg.shared_bytes, cfg.needs_sync);
     }
   });
+}
+
+void Device::drain_all() noexcept {
+  std::vector<StreamQueue*> qs;
+  {
+    std::lock_guard lk(streams_mu_);
+    qs.reserve(queues_.size());
+    for (auto& [id, q] : queues_) qs.push_back(q.get());
+  }
+  for (auto* q : qs) q->wait_idle(/*rethrow=*/false);
+}
+
+void Device::synchronize() {
+  // Two passes: join everything first (a stream may be blocked in
+  // stream_wait_event on another stream's record), then surface the first
+  // deferred execution error.
+  drain_all();
+  std::vector<StreamQueue*> qs;
+  {
+    std::lock_guard lk(streams_mu_);
+    for (auto& [id, q] : queues_) qs.push_back(q.get());
+  }
+  for (auto* q : qs) q->wait_idle(/*rethrow=*/true);
+}
+
+void Device::stream_synchronize(Stream s) {
+  if (!is_async(s)) {
+    // Null-stream sync joins the device; eager streams are always idle but
+    // still surface deferred errors (there are none in eager mode).
+    if (mode_ == StreamMode::kAsync) synchronize();
+    return;
+  }
+  std::lock_guard lk(streams_mu_);
+  const auto it = queues_.find(s.id);
+  if (it == queues_.end()) return;  // nothing ever enqueued
+  it->second->wait_idle(/*rethrow=*/true);
+}
+
+Stream Device::create_stream() { return Stream{next_stream_++}; }
+
+// ---------------------------------------------------------------------------
+// Memory copies
+// ---------------------------------------------------------------------------
+
+void Device::memcpy_h2d(void* dst, const void* src, std::size_t bytes) {
+  validate_device_range(dst, bytes, "memcpy_h2d dst");
+  {
+    std::lock_guard lk(stats_mu_);
+    ++stats_.h2d_copies;
+    stats_.h2d_bytes += bytes;
+  }
+  // Synchronous hipMemcpy: joins the device, then copies inline.
+  if (mode_ == StreamMode::kAsync) synchronize();
+  StreamOp op;
+  op.kind = StreamOp::Kind::kMemcpyH2D;
+  op.name = "hipMemcpy(HtoD)";
+  op.dst = dst;
+  op.src = src;
+  op.bytes = bytes;
+  execute_op(op);
+}
+
+void Device::memcpy_d2h(void* dst, const void* src, std::size_t bytes) {
+  validate_device_range(src, bytes, "memcpy_d2h src");
+  {
+    std::lock_guard lk(stats_mu_);
+    ++stats_.d2h_copies;
+    stats_.d2h_bytes += bytes;
+  }
+  if (mode_ == StreamMode::kAsync) synchronize();
+  StreamOp op;
+  op.kind = StreamOp::Kind::kMemcpyD2H;
+  op.name = "hipMemcpy(DtoH)";
+  op.dst = dst;
+  op.src = src;
+  op.bytes = bytes;
+  execute_op(op);
+}
+
+void Device::memcpy_d2d(void* dst, const void* src, std::size_t bytes) {
+  validate_device_range(dst, bytes, "memcpy_d2d dst");
+  validate_device_range(src, bytes, "memcpy_d2d src");
+  {
+    std::lock_guard lk(stats_mu_);
+    ++stats_.d2d_copies;
+    stats_.d2d_bytes += bytes;
+  }
+  if (mode_ == StreamMode::kAsync) synchronize();
+  StreamOp op;
+  op.kind = StreamOp::Kind::kMemcpyD2D;
+  op.name = "hipMemcpyDtoD";
+  op.dst = dst;
+  op.src = src;
+  op.bytes = bytes;
+  execute_op(op);
+}
+
+void Device::memcpy_h2d_async(void* dst, const void* src, std::size_t bytes,
+                              Stream s) {
+  validate_device_range(dst, bytes, "memcpy_h2d dst");
+  {
+    std::lock_guard lk(stats_mu_);
+    ++stats_.h2d_copies;
+    stats_.h2d_bytes += bytes;
+  }
+  StreamOp op;
+  op.kind = StreamOp::Kind::kMemcpyH2D;
+  op.name = "hipMemcpyAsync(HtoD)";
+  op.cfg.stream = s;
+  op.dst = dst;
+  op.bytes = bytes;
+  if (is_async(s)) {
+    // Snapshot the pageable host source so the caller may reuse it
+    // immediately — the copy itself happens when the stream gets there.
+    op.staged.assign(static_cast<const std::byte*>(src),
+                     static_cast<const std::byte*>(src) + bytes);
+  } else {
+    op.src = src;
+  }
+  submit(s, std::move(op));
+}
+
+void Device::memcpy_d2h_async(void* dst, const void* src, std::size_t bytes,
+                              Stream s) {
+  validate_device_range(src, bytes, "memcpy_d2h src");
+  {
+    std::lock_guard lk(stats_mu_);
+    ++stats_.d2h_copies;
+    stats_.d2h_bytes += bytes;
+  }
+  StreamOp op;
+  op.kind = StreamOp::Kind::kMemcpyD2H;
+  op.name = "hipMemcpyAsync(DtoH)";
+  op.cfg.stream = s;
+  op.dst = dst;
+  op.src = src;
+  op.bytes = bytes;
+  submit(s, std::move(op));
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+Event Device::create_event() {
+  events_.push_back(std::make_shared<EventState>());
+  return Event{static_cast<int>(events_.size()) - 1};
+}
+
+std::shared_ptr<EventState> Device::event_state(const Event& e,
+                                                const char* what) const {
+  check(e.id >= 0 && static_cast<std::size_t>(e.id) < events_.size(),
+        std::string(what) + ": not an event from create_event");
+  return events_[static_cast<std::size_t>(e.id)];
+}
+
+void Device::record_event(Event& e, Stream s) {
+  auto st = event_state(e, "record_event");
+  StreamOp op;
+  op.kind = StreamOp::Kind::kRecordEvent;
+  op.event = st;
+  {
+    std::lock_guard lk(st->mu);
+    op.ticket = ++st->issued;
+  }
+  submit(s, std::move(op));
+}
+
+double Device::elapsed_ms(const Event& start, const Event& stop) const {
+  const auto a = event_state(start, "elapsed_ms");
+  const auto b = event_state(stop, "elapsed_ms");
+  std::uint64_t ta = 0, tb = 0;
+  for (const auto& [st, out] : {std::pair{a, &ta}, std::pair{b, &tb}}) {
+    std::lock_guard lk(st->mu);
+    check(st->issued > 0, "elapsed_ms: event was never recorded");
+    check(st->completed == st->issued,
+          "elapsed_ms: event not complete yet — synchronize the stream first");
+    *out = st->ts_us;
+  }
+  return (static_cast<double>(tb) - static_cast<double>(ta)) / 1e3;
+}
+
+bool Device::event_query(const Event& e) const {
+  const auto st = event_state(e, "event_query");
+  std::lock_guard lk(st->mu);
+  return st->completed == st->issued;
+}
+
+void Device::stream_wait_event(Stream s, const Event& e) {
+  auto st = event_state(e, "stream_wait_event");
+  std::uint64_t snapshot;
+  {
+    std::lock_guard lk(st->mu);
+    snapshot = st->issued;
+  }
+  if (snapshot == 0) return;  // HIP: waiting on an unrecorded event is a no-op
+  if (is_async(s)) {
+    StreamOp op;
+    op.kind = StreamOp::Kind::kWaitEvent;
+    op.event = std::move(st);
+    op.ticket = snapshot;
+    queue(s.id).enqueue(std::move(op));
+    return;
+  }
+  // Legacy/eager: all future work on `s` runs inline after this returns, so
+  // blocking the host until the records complete gives the same ordering.
+  std::unique_lock lk(st->mu);
+  st->cv.wait(lk, [&] { return st->completed >= snapshot; });
+}
+
+// ---------------------------------------------------------------------------
+// Kernel launch
+// ---------------------------------------------------------------------------
+
+void Device::validate_launch(const char* name, const LaunchConfig& cfg) const {
+  check(cfg.grid_dim >= 1, "vgpu::launch: empty grid");
+  check(cfg.block_dim >= 1 && cfg.block_dim <= props_.max_threads_per_block,
+        strfmt("vgpu::launch(%s): block_dim %u exceeds device limit %u", name,
+               cfg.block_dim, props_.max_threads_per_block));
+  check(cfg.shared_bytes <= props_.shared_mem_per_block,
+        strfmt("vgpu::launch(%s): %zu B shared memory exceeds the %zu B "
+               "workgroup limit",
+               name, cfg.shared_bytes, props_.shared_mem_per_block));
+}
+
+void Device::launch(const char* name, const LaunchConfig& cfg,
+                    const KernelFn& kernel) {
+  validate_launch(name, cfg);
+  {
+    std::lock_guard lk(stats_mu_);
+    ++stats_.kernel_launches;
+  }
+  StreamOp op;
+  op.kind = StreamOp::Kind::kKernel;
+  op.name = name;
+  op.cfg = cfg;
+  op.kernel = kernel;
+  submit(cfg.stream, std::move(op));
 }
 
 }  // namespace qhip::vgpu

@@ -1,21 +1,36 @@
 // Virtual GPU device: the HIP host-API surface of the emulator.
 //
 // Mirrors the subset of the HIP runtime qsim's GPU backend uses —
-// hipMalloc/hipFree, hipMemcpy/hipMemcpyAsync, streams,
+// hipMalloc/hipFree, hipMemcpy/hipMemcpyAsync, streams, events,
 // hipDeviceSynchronize, and kernel launch — over the SIMT block executor.
-// Streams execute eagerly (a stream is in-order by definition, and a single
-// in-order queue executed immediately is observationally equivalent for a
-// correct program); the tracer still records memcpys and kernels on their
-// stream's lane so traces look like the paper's rocprof timelines.
+//
+// Stream execution model (see DESIGN.md §8):
+//  * Explicitly created streams are genuine asynchronous in-order queues,
+//    each drained by a dedicated host submitter thread. Kernel launches and
+//    async memcpys return immediately; stream_synchronize/synchronize are
+//    true blocking joins; record_event captures the device-timeline position
+//    when the *stream* reaches the marker; stream_wait_event orders one
+//    stream after another's event. Kernels from different streams serialize
+//    on a single compute engine (the block executor), while memcpys run on
+//    their stream's thread — so copies overlap kernels in wall-clock time,
+//    reproducing the copy/compute overlap in the paper's Figures 1 and 6.
+//  * Stream 0 is the legacy default stream: each op on it first joins every
+//    other stream, then runs inline on the host (HIP null-stream semantics).
+//  * QHIP_STREAM_MODE=eager restores the historical fully-eager execution
+//    (every op inline, events complete at record time) as a fallback;
+//    results are bit-identical between modes.
 //
 // Memory discipline is enforced: copies must lie inside live device
-// allocations, device capacity is respected, and leaks are reported.
+// allocations, device capacity is respected (charged at the allocator's
+// 256-byte granularity), and leaks are reported. free() implicitly joins all
+// streams first, like hipFree, so no pending op can touch freed memory.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,33 +38,24 @@
 #include "src/prof/trace.h"
 #include "src/vgpu/device_props.h"
 #include "src/vgpu/fiber_exec.h"
+#include "src/vgpu/stream_queue.h"
 
 namespace qhip::vgpu {
 
-struct Stream {
-  int id = 0;  // 0 is the default stream
-};
-
-// hipEvent_t equivalent: a timestamp marker recorded on a stream.
-struct Event {
-  int id = -1;  // -1 = never recorded
-};
-
-struct LaunchConfig {
-  unsigned grid_dim = 1;      // blocks
-  unsigned block_dim = 1;     // threads per block ("workgroup size" in HIP)
-  std::size_t shared_bytes = 0;  // dynamic shared memory per block
-  bool needs_sync = false;    // kernel uses __syncthreads / collectives
-  Stream stream{};
+enum class StreamMode {
+  kAsync,  // created streams are real asynchronous queues (default)
+  kEager,  // every op executes inline on the host (legacy fallback)
 };
 
 struct DeviceStats {
   std::uint64_t kernel_launches = 0;
   std::uint64_t h2d_copies = 0;
   std::uint64_t d2h_copies = 0;
+  std::uint64_t d2d_copies = 0;
   std::uint64_t h2d_bytes = 0;
   std::uint64_t d2h_bytes = 0;
-  std::size_t bytes_in_use = 0;
+  std::uint64_t d2d_bytes = 0;
+  std::size_t bytes_in_use = 0;  // charged (256-byte rounded) bytes
   std::size_t peak_bytes = 0;
   std::uint64_t allocs = 0;
   std::uint64_t frees = 0;
@@ -58,17 +64,26 @@ struct DeviceStats {
 class Device {
  public:
   explicit Device(DeviceProps props, Tracer* tracer = nullptr,
-                  ThreadPool* pool = &ThreadPool::shared());
+                  ThreadPool* pool = &ThreadPool::shared(),
+                  StreamMode mode = default_stream_mode());
+  // Joins all streams, then reclaims leaked allocations.
   ~Device();
 
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
 
+  // Process-wide default: QHIP_STREAM_MODE=eager|async, else async.
+  static StreamMode default_stream_mode();
+  StreamMode stream_mode() const { return mode_; }
+
   const DeviceProps& props() const { return props_; }
-  const DeviceStats& stats() const { return stats_; }
+  // Snapshot of the counters (copied under the stats lock; counters are
+  // updated at API-call time on the host thread, so they are deterministic).
+  DeviceStats stats() const;
   Tracer* tracer() { return tracer_; }
 
   // hipMalloc: throws qhip::Error when device capacity would be exceeded.
+  // Capacity is charged at the 256-byte allocation granularity.
   void* malloc(std::size_t bytes);
   // Typed convenience.
   template <typename T>
@@ -76,34 +91,45 @@ class Device {
     return static_cast<T*>(malloc(n * sizeof(T)));
   }
   // hipFree: `p` must be a live allocation from malloc (nullptr is a no-op).
+  // Implicitly joins all streams first (deferred stream errors stay stored
+  // for the next synchronize, since free must not throw them).
   void free(void* p);
 
-  // hipMemcpy (synchronous).
+  // hipMemcpy (synchronous): joins all streams, then copies inline.
   void memcpy_h2d(void* dst, const void* src, std::size_t bytes);
   void memcpy_d2h(void* dst, const void* src, std::size_t bytes);
   void memcpy_d2d(void* dst, const void* src, std::size_t bytes);
 
-  // hipMemcpyAsync on a stream. Eager execution; recorded on the stream lane.
+  // hipMemcpyAsync on a stream. The H2D source is snapshotted at call time
+  // (pageable-memory semantics); the D2H destination must stay valid until
+  // the stream is synchronized.
   void memcpy_h2d_async(void* dst, const void* src, std::size_t bytes, Stream s);
   void memcpy_d2h_async(void* dst, const void* src, std::size_t bytes, Stream s);
 
   Stream create_stream();
-  // hipStreamSynchronize / hipDeviceSynchronize (no-ops under eager
-  // execution, kept for API fidelity and trace completeness).
+  // hipStreamSynchronize: blocks until every op enqueued on `s` completed.
+  // Rethrows a deferred execution error from that stream, if any.
   void stream_synchronize(Stream s);
+  // hipDeviceSynchronize: joins every stream.
   void synchronize();
 
-  // hipEventCreate / hipEventRecord / hipEventElapsedTime. Events capture
-  // the device timeline position at record time (the wall clock, under
-  // eager execution); elapsed_ms(a, b) is the b - a difference.
+  // hipEventCreate / hipEventRecord / hipEventElapsedTime. An event
+  // completes when its stream reaches the marker; recording again is
+  // well-defined (the last completed record wins). elapsed_ms throws unless
+  // both events have fully completed — synchronize first.
   Event create_event();
   void record_event(Event& e, Stream s = {});
-  // Throws unless both events have been recorded.
   double elapsed_ms(const Event& start, const Event& stop) const;
+  // hipEventQuery: true when every issued record of `e` has completed.
+  bool event_query(const Event& e) const;
+  // hipStreamWaitEvent: all ops enqueued on `s` after this call wait until
+  // the records of `e` issued so far complete. Unrecorded event: no-op.
+  void stream_wait_event(Stream s, const Event& e);
 
   // Kernel launch: runs cfg.grid_dim blocks of cfg.block_dim threads,
   // distributing blocks over the host pool. `name` labels trace rows
-  // (e.g. "ApplyGateH_Kernel").
+  // (e.g. "ApplyGateH_Kernel"). Launch-config errors throw here; runtime
+  // kernel errors on an async stream surface at the next synchronize.
   void launch(const char* name, const LaunchConfig& cfg, const KernelFn& kernel);
 
   // Number of live allocations (leak checking in tests).
@@ -112,15 +138,46 @@ class Device {
  private:
   void validate_device_range(const void* p, std::size_t bytes,
                              const char* what) const;
+  void validate_launch(const char* name, const LaunchConfig& cfg) const;
+  static std::size_t charged_size(std::size_t bytes) {
+    return (bytes + 255) / 256 * 256;
+  }
+
+  // True when ops on `s` go through an async queue (async mode, non-null
+  // stream); false means legacy inline execution after a device join.
+  bool is_async(Stream s) const {
+    return mode_ == StreamMode::kAsync && s.id != 0;
+  }
+  StreamQueue& queue(int id);
+  void submit(Stream s, StreamOp op);
+  // Executes one op; runs on a stream's submitter thread (async) or the
+  // host thread (legacy/eager).
+  void execute_op(StreamOp& op);
+  void run_kernel(const StreamOp& op);
+  std::shared_ptr<EventState> event_state(const Event& e, const char* what) const;
+  // Joins all queues without rethrowing deferred errors (dtor/free path).
+  void drain_all() noexcept;
 
   DeviceProps props_;
   Tracer* tracer_;
   ThreadPool* pool_;
+  StreamMode mode_;
+
+  mutable std::mutex stats_mu_;
   DeviceStats stats_;
-  std::map<const std::byte*, std::size_t> allocations_;  // base -> size
-  std::vector<std::unique_ptr<BlockExec>> execs_;        // one per host worker
+
+  // Host-control-thread state (like HIP, one thread drives the device API).
+  std::map<const std::byte*, std::size_t> allocations_;  // base -> requested
   int next_stream_ = 1;
-  std::vector<std::uint64_t> event_us_;                  // id -> timestamp
+  std::vector<std::shared_ptr<EventState>> events_;
+
+  // The single compute engine: serializes kernel execution across streams
+  // and guards the per-worker block executors and the thread pool.
+  std::mutex engine_mu_;
+  std::vector<std::unique_ptr<BlockExec>> execs_;  // one per host worker
+
+  std::mutex streams_mu_;
+  std::map<int, std::unique_ptr<StreamQueue>> queues_;
 };
 
 }  // namespace qhip::vgpu

@@ -1,10 +1,26 @@
 #include "src/vgpu/fiber_exec.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "src/base/error.h"
 #include "src/base/strings.h"
+
+// ThreadSanitizer cannot follow swapcontext(): the shadow stack
+// desynchronizes and fiber code crashes or reports phantom races. The TSan
+// runtime nominally ships a fiber API for this, but GCC 12's libtsan (the v3
+// runtime) SEGVs inside __tsan_create_fiber itself, so it is unusable here.
+// TSan builds instead run needs_sync blocks on real host threads (see
+// run_block_threads below), which TSan models natively.
+#if defined(__SANITIZE_THREAD__)
+#define QHIP_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define QHIP_TSAN_BUILD 1
+#endif
+#endif
 
 namespace qhip::vgpu {
 
@@ -17,6 +33,19 @@ thread_local BlockExec* g_exec = nullptr;
 thread_local unsigned g_tid = 0;
 
 constexpr std::size_t kStackBytes = 128 << 10;
+
+// Thrown inside a lane thread to unwind it deliberately after a sibling lane
+// failed or a deadlock was declared; never escapes this translation unit.
+struct AbortLane {};
+
+bool threaded_sync_mode() {
+#ifdef QHIP_TSAN_BUILD
+  return true;
+#else
+  const char* e = std::getenv("QHIP_BLOCK_EXEC");
+  return e != nullptr && std::strcmp(e, "threads") == 0;
+#endif
+}
 
 }  // namespace
 
@@ -42,7 +71,12 @@ void BlockExec::run_block(const KernelFn& kernel, unsigned block_idx,
         strfmt("BlockExec: %zu B dynamic shared memory exceeds the %zu B limit",
                shared_bytes, shared_.size()));
   if (needs_sync) {
-    run_block_fibers(kernel, block_idx, block_dim, grid_dim, shared_bytes);
+    static const bool use_threads = threaded_sync_mode();
+    if (use_threads) {
+      run_block_threads(kernel, block_idx, block_dim, grid_dim, shared_bytes);
+    } else {
+      run_block_fibers(kernel, block_idx, block_dim, grid_dim, shared_bytes);
+    }
   } else {
     run_block_direct(kernel, block_idx, block_dim, grid_dim, shared_bytes);
   }
@@ -51,7 +85,7 @@ void BlockExec::run_block(const KernelFn& kernel, unsigned block_idx,
 void BlockExec::run_block_direct(const KernelFn& kernel, unsigned block_idx,
                                  unsigned block_dim, unsigned grid_dim,
                                  std::size_t shared_bytes) {
-  in_fiber_mode_ = false;
+  sync_enabled_ = false;
   for (unsigned tid = 0; tid < block_dim; ++tid) {
     KernelCtx ctx(this, tid, block_idx, block_dim, grid_dim, warp_size_,
                   shared_.data(), shared_bytes);
@@ -62,7 +96,8 @@ void BlockExec::run_block_direct(const KernelFn& kernel, unsigned block_idx,
 void BlockExec::run_block_fibers(const KernelFn& kernel, unsigned block_idx,
                                  unsigned block_dim, unsigned grid_dim,
                                  std::size_t shared_bytes) {
-  in_fiber_mode_ = true;
+  sync_enabled_ = true;
+  threaded_ = false;
   kernel_ = &kernel;
   block_idx_ = block_idx;
   block_dim_ = block_dim;
@@ -159,6 +194,154 @@ void BlockExec::yield_to_scheduler(unsigned tid) {
   swapcontext(&fibers_[tid].ctx, &sched_ctx_);
 }
 
+// --- threaded sync mode (TSan builds, or QHIP_BLOCK_EXEC=threads) ---
+
+void BlockExec::run_block_threads(const KernelFn& kernel, unsigned block_idx,
+                                  unsigned block_dim, unsigned grid_dim,
+                                  std::size_t shared_bytes) {
+  sync_enabled_ = true;
+  threaded_ = true;
+  kernel_ = &kernel;
+  block_idx_ = block_idx;
+  block_dim_ = block_dim;
+  grid_dim_ = grid_dim;
+  shared_bytes_ = shared_bytes;
+  error_ = nullptr;
+  abort_ = false;
+  block_gen_ = 0;
+  warp_gen_.assign((block_dim + warp_size_ - 1) / warp_size_, 0);
+  for (unsigned t = 0; t < block_dim; ++t) {
+    fibers_[t].st = St::kRunnable;
+    fibers_[t].slot = 0;
+  }
+
+  std::vector<std::thread> lanes;
+  lanes.reserve(block_dim);
+  for (unsigned t = 0; t < block_dim; ++t) {
+    lanes.emplace_back([this, t] { lane_thread_main(t); });
+  }
+  for (auto& th : lanes) th.join();
+
+  threaded_ = false;
+  kernel_ = nullptr;
+  if (error_) {
+    auto ep = error_;
+    error_ = nullptr;
+    std::rethrow_exception(ep);
+  }
+}
+
+void BlockExec::lane_thread_main(unsigned tid) {
+  try {
+    KernelCtx ctx(this, tid, block_idx_, block_dim_, grid_dim_, warp_size_,
+                  shared_.data(), shared_bytes_);
+    (*kernel_)(ctx);
+  } catch (const AbortLane&) {
+    // Deliberate unwind after a sibling failure or deadlock; the run already
+    // holds the error to rethrow.
+  } catch (...) {
+    std::lock_guard lk(tmu_);
+    if (!error_) error_ = std::current_exception();
+    abort_ = true;
+  }
+  std::lock_guard lk(tmu_);
+  fibers_[tid].st = St::kDone;
+  // This exit may complete a barrier's membership (live counts shrink), or
+  // strand the remaining waiters in a deadlock.
+  release_or_deadlock_locked();
+  tcv_.notify_all();
+}
+
+void BlockExec::syncthreads_threaded(unsigned tid) {
+  std::unique_lock lk(tmu_);
+  fibers_[tid].st = St::kAtBarrier;
+  const std::uint64_t gen = block_gen_;
+  release_or_deadlock_locked();
+  tcv_.wait(lk, [&] { return abort_ || block_gen_ != gen; });
+  if (abort_) throw AbortLane{};
+}
+
+void BlockExec::warp_rendezvous_threaded(unsigned tid) {
+  std::unique_lock lk(tmu_);
+  fibers_[tid].st = St::kAtWarpSync;
+  const unsigned w = tid / warp_size_;
+  const std::uint64_t gen = warp_gen_[w];
+  release_or_deadlock_locked();
+  tcv_.wait(lk, [&] { return abort_ || warp_gen_[w] != gen; });
+  if (abort_) throw AbortLane{};
+}
+
+bool BlockExec::release_locked() {
+  bool released = false;
+
+  // Block barrier: every live lane waits at it.
+  unsigned live = 0, at_barrier = 0;
+  for (unsigned t = 0; t < block_dim_; ++t) {
+    if (fibers_[t].st != St::kDone) ++live;
+    if (fibers_[t].st == St::kAtBarrier) ++at_barrier;
+  }
+  if (live > 0 && at_barrier == live) {
+    for (unsigned t = 0; t < block_dim_; ++t) {
+      if (fibers_[t].st == St::kAtBarrier) fibers_[t].st = St::kRunnable;
+    }
+    ++block_gen_;
+    released = true;
+  }
+
+  // Warp rendezvous: every live lane of the warp waits at it.
+  for (unsigned lo = 0, w = 0; lo < block_dim_; lo += warp_size_, ++w) {
+    const unsigned hi = std::min(lo + warp_size_, block_dim_);
+    unsigned wlive = 0, wwait = 0;
+    for (unsigned t = lo; t < hi; ++t) {
+      if (fibers_[t].st != St::kDone) ++wlive;
+      if (fibers_[t].st == St::kAtWarpSync) ++wwait;
+    }
+    if (wlive > 0 && wwait == wlive) {
+      for (unsigned t = lo; t < hi; ++t) {
+        if (fibers_[t].st == St::kAtWarpSync) fibers_[t].st = St::kRunnable;
+      }
+      ++warp_gen_[w];
+      released = true;
+    }
+  }
+
+  if (released) tcv_.notify_all();
+  return released;
+}
+
+void BlockExec::release_or_deadlock_locked() {
+  if (release_locked()) return;
+  unsigned live = 0, waiting = 0, finished = 0;
+  for (unsigned t = 0; t < block_dim_; ++t) {
+    switch (fibers_[t].st) {
+      case St::kDone:
+        ++finished;
+        break;
+      case St::kAtBarrier:
+      case St::kAtWarpSync:
+        ++live;
+        ++waiting;
+        break;
+      default:
+        ++live;
+        break;
+    }
+  }
+  // If every live lane is parked at a rendezvous nothing released, nothing
+  // can ever change: declare the deadlock and unwind everyone.
+  if (live == 0 || waiting < live || abort_) return;
+  abort_ = true;
+  if (!error_) {
+    error_ = std::make_exception_ptr(Error(strfmt(
+        "vgpu: __syncthreads deadlock in block %u: %u thread(s) waiting at a "
+        "barrier that %u already-exited thread(s) can never reach",
+        block_idx_, waiting, finished)));
+  }
+  tcv_.notify_all();
+}
+
+// --- collectives (mode-dispatched) ---
+
 std::pair<unsigned, unsigned> BlockExec::warp_range(unsigned tid) const {
   const unsigned lo = tid / warp_size_ * warp_size_;
   return {lo, std::min(lo + warp_size_, block_dim_)};
@@ -199,23 +382,50 @@ bool BlockExec::release_waiters() {
 }
 
 void BlockExec::syncthreads(unsigned tid) {
-  check(in_fiber_mode_,
+  check(sync_enabled_,
         "vgpu: __syncthreads used in a launch without needs_sync "
         "(set LaunchConfig::needs_sync = true)");
+  if (threaded_) {
+    syncthreads_threaded(tid);
+    return;
+  }
   fibers_[tid].st = St::kAtBarrier;
   yield_to_scheduler(tid);
 }
 
 void BlockExec::warp_rendezvous(unsigned tid) {
-  check(in_fiber_mode_,
+  check(sync_enabled_,
         "vgpu: wavefront collective used in a launch without needs_sync "
         "(set LaunchConfig::needs_sync = true)");
+  if (threaded_) {
+    warp_rendezvous_threaded(tid);
+    return;
+  }
   fibers_[tid].st = St::kAtWarpSync;
   yield_to_scheduler(tid);
 }
 
 std::uint64_t BlockExec::exchange(unsigned tid, std::uint64_t bits,
                                   unsigned src_lane) {
+  if (threaded_) {
+    {
+      std::lock_guard lk(tmu_);
+      fibers_[tid].slot = bits;
+    }
+    warp_rendezvous(tid);  // publish complete across the warp
+    std::uint64_t out = bits;  // own value if the source lane is dead/missing
+    {
+      std::lock_guard lk(tmu_);
+      const auto [lo, hi] = warp_range(tid);
+      const unsigned src_tid = lo + src_lane;
+      if (src_tid < hi && fibers_[src_tid].st != St::kDone) {
+        out = fibers_[src_tid].slot;
+      }
+    }
+    warp_rendezvous(tid);  // everyone has read; slots may be reused
+    return out;
+  }
+
   fibers_[tid].slot = bits;
   warp_rendezvous(tid);  // publish complete across the warp
   const auto [lo, hi] = warp_range(tid);
@@ -229,6 +439,26 @@ std::uint64_t BlockExec::exchange(unsigned tid, std::uint64_t bits,
 }
 
 std::uint64_t BlockExec::ballot(unsigned tid, bool pred) {
+  if (threaded_) {
+    {
+      std::lock_guard lk(tmu_);
+      fibers_[tid].slot = pred ? 1 : 0;
+    }
+    warp_rendezvous(tid);
+    std::uint64_t mask = 0;
+    {
+      std::lock_guard lk(tmu_);
+      const auto [lo, hi] = warp_range(tid);
+      for (unsigned t = lo; t < hi; ++t) {
+        if (fibers_[t].st != St::kDone && fibers_[t].slot) {
+          mask |= std::uint64_t{1} << (t - lo);
+        }
+      }
+    }
+    warp_rendezvous(tid);
+    return mask;
+  }
+
   fibers_[tid].slot = pred ? 1 : 0;
   warp_rendezvous(tid);
   const auto [lo, hi] = warp_range(tid);

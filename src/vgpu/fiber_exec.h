@@ -1,18 +1,26 @@
 // Cooperative SIMT block executor.
 //
-// Executes one GPU thread block at a time on a single host thread. Two
-// modes, chosen per launch:
+// Executes one GPU thread block at a time. Three modes, chosen per launch:
 //
-//  * direct — threads run sequentially to completion. Zero scheduling
-//    overhead; any use of __syncthreads or wavefront collectives is an
-//    error. Matches kernels like ApplyGateH_Kernel, which need no
-//    intra-block communication.
+//  * direct — threads run sequentially to completion on the calling host
+//    thread. Zero scheduling overhead; any use of __syncthreads or wavefront
+//    collectives is an error. Matches kernels like ApplyGateH_Kernel, which
+//    need no intra-block communication.
 //
 //  * fiber — every block thread is a ucontext fiber; the scheduler
 //    round-robins them and implements __syncthreads as a block-wide
 //    rendezvous and warp collectives as publish/read exchanges with
 //    warp-scoped rendezvous. Matches ApplyGateL_Kernel (shared-memory
-//    staging) and the reduction kernels (warp shuffles).
+//    staging) and the reduction kernels (warp shuffles). This is the default
+//    for needs_sync launches.
+//
+//  * threaded — every block thread is a real host thread and the rendezvous
+//    are mutex/condvar barriers. ThreadSanitizer builds use this instead of
+//    fibers: libtsan's fiber API is broken in GCC 12 (SEGV inside
+//    __tsan_create_fiber), and TSan cannot follow ucontext switches without
+//    it. Real threads are primitives TSan models natively, so kernel
+//    shared-memory use gets genuine race checking. Opt in elsewhere with
+//    QHIP_BLOCK_EXEC=threads.
 //
 // A BlockExec instance is reused across blocks and launches; fiber stacks
 // are allocated once. Instances are not thread-safe — the device keeps one
@@ -21,11 +29,13 @@
 
 #include <ucontext.h>
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/vgpu/kernel_ctx.h"
@@ -47,7 +57,7 @@ class BlockExec {
   void run_block(const KernelFn& kernel, unsigned block_idx, unsigned block_dim,
                  unsigned grid_dim, std::size_t shared_bytes, bool needs_sync);
 
-  // --- called by KernelCtx from inside a running fiber ---
+  // --- called by KernelCtx from inside a running block thread ---
   void syncthreads(unsigned tid);
   std::uint64_t exchange(unsigned tid, std::uint64_t bits, unsigned src_lane);
   std::uint64_t ballot(unsigned tid, bool pred);
@@ -74,9 +84,18 @@ class BlockExec {
   void run_block_fibers(const KernelFn& kernel, unsigned block_idx,
                         unsigned block_dim, unsigned grid_dim,
                         std::size_t shared_bytes);
+  void run_block_threads(const KernelFn& kernel, unsigned block_idx,
+                         unsigned block_dim, unsigned grid_dim,
+                         std::size_t shared_bytes);
+  void lane_thread_main(unsigned tid);
+  void syncthreads_threaded(unsigned tid);
+  void warp_rendezvous_threaded(unsigned tid);
   // Releases barriers/warp syncs whose membership is complete; returns true
-  // if any fiber became runnable.
+  // if any fiber became runnable. (Fiber mode.)
   bool release_waiters();
+  // Threaded-mode counterparts; both require tmu_ held.
+  bool release_locked();
+  void release_or_deadlock_locked();
   std::pair<unsigned, unsigned> warp_range(unsigned tid) const;
 
   unsigned max_threads_;
@@ -91,9 +110,19 @@ class BlockExec {
   unsigned block_dim_ = 0;
   unsigned grid_dim_ = 0;
   std::size_t shared_bytes_ = 0;
-  bool in_fiber_mode_ = false;
+  bool sync_enabled_ = false;  // collectives legal (fiber or threaded run)
+  bool threaded_ = false;      // current sync run uses real threads
   ucontext_t sched_ctx_;
   std::exception_ptr error_;
+
+  // Threaded-mode rendezvous state (all guarded by tmu_). Generation
+  // counters implement the barriers: a waiter captures the counter, then
+  // sleeps until it moves.
+  std::mutex tmu_;
+  std::condition_variable tcv_;
+  bool abort_ = false;  // a lane failed or deadlocked; everyone unwinds
+  std::uint64_t block_gen_ = 0;
+  std::vector<std::uint64_t> warp_gen_;
 };
 
 }  // namespace qhip::vgpu

@@ -8,6 +8,7 @@
 // portability hazard the paper's §3 fixes in qsim's warp-level reductions.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -59,17 +60,29 @@ class KernelCtx {
   // Only legal in launches made with LaunchConfig::needs_sync = true.
   void syncthreads();
 
+  // Number of live lanes in this thread's warp: the final warp of a block
+  // whose block_dim is not a multiple of the wavefront width is ragged, and
+  // lanes at or beyond this count do not exist.
+  unsigned live_lanes() const {
+    const unsigned warp_base = thread_idx_ / warp_size_ * warp_size_;
+    return std::min(warp_size_, block_dim_ - warp_base);
+  }
+
   // __shfl_down(var, delta, width): returns the value of `var` held by the
   // lane `delta` positions higher within the width-sized segment; own value
-  // when the source lane falls outside the segment (CUDA/HIP semantics).
+  // when the source lane falls outside the segment (CUDA/HIP semantics) or
+  // beyond the live lanes of a ragged final warp (reading a non-existent
+  // thread is undefined on hardware; the emulator pins it to the defined
+  // own-value case instead of rendezvousing with a dead lane).
   // width = 0 means the device wavefront width.
   template <typename T>
   T shfl_down(T var, unsigned delta, unsigned width = 0) {
     static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
     const unsigned w = width == 0 ? warp_size_ : width;
     const unsigned src = lane() + delta;
-    // Source outside the segment keeps the caller's value.
-    const bool in_segment = (lane() / w) == (src / w) && src < warp_size_;
+    // Source outside the segment or past the live lanes keeps the caller's
+    // value.
+    const bool in_segment = (lane() / w) == (src / w) && src < live_lanes();
     return exchange(var, in_segment ? src : lane());
   }
 
@@ -80,7 +93,7 @@ class KernelCtx {
     const unsigned w = width == 0 ? warp_size_ : width;
     const unsigned seg = lane() / w;
     const unsigned src = seg * w + (src_lane % w);
-    return exchange(var, src < warp_size_ ? src : lane());
+    return exchange(var, src < live_lanes() ? src : lane());
   }
 
   // __ballot(pred): bit i of the result is lane i's predicate.

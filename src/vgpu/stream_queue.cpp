@@ -1,0 +1,74 @@
+#include "src/vgpu/stream_queue.h"
+
+#include <utility>
+
+namespace qhip::vgpu {
+
+StreamQueue::StreamQueue(int id, std::function<void(StreamOp&)> execute)
+    : id_(id), execute_(std::move(execute)), thread_([this] { run(); }) {}
+
+StreamQueue::~StreamQueue() {
+  // Drain first: pending ops carry side effects (memcpys, event records)
+  // that other streams may be waiting on.
+  wait_idle(/*rethrow=*/false);
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  thread_.join();
+}
+
+void StreamQueue::enqueue(StreamOp op) {
+  {
+    std::lock_guard lk(mu_);
+    q_.push_back(std::move(op));
+  }
+  cv_work_.notify_one();
+}
+
+void StreamQueue::wait_idle(bool rethrow) {
+  std::unique_lock lk(mu_);
+  cv_idle_.wait(lk, [&] { return q_.empty() && !active_; });
+  if (rethrow && error_) {
+    auto ep = error_;
+    error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(ep);
+  }
+}
+
+bool StreamQueue::idle() const {
+  std::lock_guard lk(mu_);
+  return q_.empty() && !active_;
+}
+
+void StreamQueue::run() {
+  for (;;) {
+    StreamOp op;
+    {
+      std::unique_lock lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || !q_.empty(); });
+      if (q_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      op = std::move(q_.front());
+      q_.pop_front();
+      active_ = true;
+    }
+    try {
+      execute_(op);
+    } catch (...) {
+      std::lock_guard lk(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lk(mu_);
+      active_ = false;
+      if (q_.empty()) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace qhip::vgpu

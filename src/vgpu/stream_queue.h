@@ -1,0 +1,141 @@
+// Asynchronous stream work queues for the virtual GPU.
+//
+// A HIP stream is an in-order queue of device operations (kernel launches,
+// async memcpys, event records, cross-stream waits). Real GPUs drain these
+// queues on hardware engines concurrently with the host; the paper's rocprof
+// timelines (Figures 1 and 6) show exactly that — hipMemcpyAsync spans
+// overlapping ApplyGate kernels on separate queues. This module provides the
+// host-side equivalent: each explicitly created stream owns a dedicated
+// submitter thread that pops ops in FIFO order and executes them through the
+// device, so copies genuinely overlap kernel execution in wall-clock time
+// and in the emitted traces.
+//
+// Two op sources never touch a queue: the legacy default stream (id 0),
+// whose ops synchronize the device and run inline on the host (HIP null
+// stream semantics), and eager mode (QHIP_STREAM_MODE=eager), where every
+// stream executes inline — kept as a fallback so tests can assert
+// bit-identical results between modes.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/vgpu/fiber_exec.h"  // KernelFn
+
+namespace qhip::vgpu {
+
+struct Stream {
+  int id = 0;  // 0 is the default (legacy, synchronizing) stream
+};
+
+// hipEvent_t equivalent: a marker recorded on a stream; completes when the
+// stream's queue reaches it.
+struct Event {
+  int id = -1;  // -1 = never created
+};
+
+struct LaunchConfig {
+  unsigned grid_dim = 1;      // blocks
+  unsigned block_dim = 1;     // threads per block ("workgroup size" in HIP)
+  std::size_t shared_bytes = 0;  // dynamic shared memory per block
+  bool needs_sync = false;    // kernel uses __syncthreads / collectives
+  Stream stream{};
+};
+
+// Shared completion state behind an Event. record_event issues a ticket at
+// enqueue time; the stream completes it (stamping the device-timeline
+// position) when the queue reaches the marker. Recording the same event
+// again issues a fresh ticket: the last completed record wins, and the event
+// is "ready" only when every issued ticket has completed.
+struct EventState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::uint64_t issued = 0;     // tickets issued by record_event
+  std::uint64_t completed = 0;  // highest ticket completed by a stream
+  std::uint64_t ts_us = 0;      // timestamp of the latest completed record
+};
+
+// One unit of stream work. Exactly one of the payload groups is used,
+// selected by `kind`.
+struct StreamOp {
+  enum class Kind {
+    kKernel,
+    kMemcpyH2D,
+    kMemcpyD2H,
+    kMemcpyD2D,
+    kRecordEvent,
+    kWaitEvent,
+  };
+
+  Kind kind;
+
+  // kKernel
+  std::string name;
+  LaunchConfig cfg{};
+  KernelFn kernel;
+
+  // kMemcpy*. H2D ops own a snapshot of the host source taken at enqueue
+  // time (`staged`), so callers may free their buffer immediately — the
+  // guarantee hipMemcpyAsync gives for pageable host memory.
+  void* dst = nullptr;
+  const void* src = nullptr;
+  std::size_t bytes = 0;
+  std::vector<std::byte> staged;
+
+  // kRecordEvent (ticket = the ticket to complete) and kWaitEvent (ticket =
+  // the ticket snapshot to wait for; 0 = event unrecorded at enqueue, no-op).
+  std::shared_ptr<EventState> event;
+  std::uint64_t ticket = 0;
+};
+
+// An in-order work queue drained by a dedicated submitter thread. The
+// executor callback (supplied by the Device) performs the actual op.
+class StreamQueue {
+ public:
+  StreamQueue(int id, std::function<void(StreamOp&)> execute);
+  // Drains every pending op, then stops the submitter thread.
+  ~StreamQueue();
+
+  StreamQueue(const StreamQueue&) = delete;
+  StreamQueue& operator=(const StreamQueue&) = delete;
+
+  int id() const { return id_; }
+
+  void enqueue(StreamOp op);
+
+  // Blocks until the queue is empty and no op is executing
+  // (hipStreamSynchronize). With `rethrow`, a deferred execution error is
+  // raised here (and cleared); without, it stays stored for a later join —
+  // used by destructors and hipFree-style implicit syncs that must not
+  // throw.
+  void wait_idle(bool rethrow = true);
+
+  // True when the queue is empty and idle (hipStreamQuery == hipSuccess).
+  bool idle() const;
+
+ private:
+  void run();
+
+  const int id_;
+  const std::function<void(StreamOp&)> execute_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<StreamOp> q_;
+  bool active_ = false;  // an op is executing right now
+  bool stop_ = false;
+  std::exception_ptr error_;  // first execution error, rethrown at a join
+
+  std::thread thread_;  // last: starts after all state above is ready
+};
+
+}  // namespace qhip::vgpu

@@ -60,6 +60,40 @@ TEST(WarpReduce, NonUniformValues) {
   }
 }
 
+TEST(WarpReduce, RaggedFinalWarp) {
+  // block_dim = warp_size + 3: the final warp has 3 live lanes. The
+  // reduction must sum exactly the live lanes of each warp — dead lanes
+  // contribute nothing and the collective must not hang on them.
+  for (unsigned warp : {32u, 64u}) {
+    Device dev{test_device(warp)};
+    const unsigned block = warp + 3;
+    std::vector<long> out(2, -1);
+    dev.launch("ragged", {1, block, 0, true, {}}, [&](KernelCtx& ctx) {
+      const long v = static_cast<long>(ctx.thread_idx()) + 1;  // 1..block
+      const long r = warp_reduce_sum(ctx, v);
+      if (ctx.lane() == 0) out[ctx.warp_id()] = r;
+    });
+    EXPECT_EQ(out[0], static_cast<long>(warp) * (warp + 1) / 2) << warp;
+    // The ragged warp holds warp+1, warp+2, warp+3.
+    EXPECT_EQ(out[1], 3L * warp + 6) << warp;
+  }
+}
+
+TEST(BlockReduce, RaggedBlock) {
+  for (unsigned warp : {32u, 64u}) {
+    Device dev{test_device(warp)};
+    const unsigned block = warp + 7;
+    std::vector<double> out(1, -1);
+    dev.launch("br", {1, block, 2 * sizeof(double), true, {}},
+               [&](KernelCtx& ctx) {
+                 double* scratch = ctx.shared_as<double>();
+                 const double r = block_reduce_sum(ctx, 1.0, scratch);
+                 if (ctx.thread_idx() == 0) out[0] = r;
+               });
+    EXPECT_DOUBLE_EQ(out[0], static_cast<double>(block)) << warp;
+  }
+}
+
 TEST(BlockReduce, SingleWarpBlock) {
   Device dev{test_device(64)};
   std::vector<double> out(1, -1);

@@ -240,6 +240,7 @@ TEST(SimulatorHIP, GateMatrixUploadsAreTraced) {
   sim.state_space().set_zero_state(ds);
   sim.apply_gate(gates::h(0, 5), ds);  // high qubit -> ApplyGateH
   sim.apply_gate(gates::h(0, 0), ds);  // low qubit  -> ApplyGateL
+  dev.synchronize();  // spans are recorded when the streams execute the ops
 
   bool saw_h = false, saw_l = false, saw_copy = false;
   for (const auto& row : tracer.summary()) {

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "src/base/error.h"
@@ -43,6 +45,30 @@ TEST(Device, OutOfMemory) {
   EXPECT_THROW(dev.malloc(200ull << 20), Error);
   dev.free(p);
   EXPECT_NO_THROW(dev.free(dev.malloc(200ull << 20)));
+}
+
+TEST(Device, MallocChargesAllocationGranularity) {
+  Device dev(test_device());
+  void* p = dev.malloc(100);
+  // Capacity accounting uses the 256-byte allocation granule, not the
+  // requested size.
+  EXPECT_EQ(dev.stats().bytes_in_use, 256u);
+  EXPECT_EQ(dev.stats().peak_bytes, 256u);
+  dev.free(p);
+  EXPECT_EQ(dev.stats().bytes_in_use, 0u);
+}
+
+TEST(Device, OutOfMemoryAtRoundedBoundary) {
+  Device dev(test_device());  // 1 GiB, a multiple of the 256 B granule
+  const std::size_t cap = dev.props().global_mem_bytes;
+  // 100 B short of capacity by request, but the rounded charge fills the
+  // device exactly — the next byte must not fit. (Regression: requested-size
+  // accounting left phantom headroom here.)
+  void* p = dev.malloc(cap - 100);
+  EXPECT_EQ(dev.stats().bytes_in_use, cap);
+  EXPECT_THROW(dev.malloc(1), Error);
+  dev.free(p);
+  EXPECT_NO_THROW(dev.free(dev.malloc(1)));
 }
 
 TEST(Device, FreeForeignPointerThrows) {
@@ -102,6 +128,8 @@ TEST(Device, MemcpyD2D) {
   int back[4] = {};
   dev.memcpy_d2h(back, b, sizeof(vals));
   EXPECT_EQ(back[3], 4);
+  EXPECT_EQ(dev.stats().d2d_copies, 1u);
+  EXPECT_EQ(dev.stats().d2d_bytes, sizeof(vals));
   dev.free(a);
   dev.free(b);
 }
@@ -160,6 +188,20 @@ TEST(Device, EventsMeasureElapsedTime) {
   const double ms = dev.elapsed_ms(start, stop);
   EXPECT_GE(ms, 0.0);
   EXPECT_LT(ms, 10000.0);
+}
+
+TEST(Device, EventDoubleRecordLastWins) {
+  Device dev(test_device());
+  Event a = dev.create_event();
+  Event b = dev.create_event();
+  dev.record_event(a);
+  dev.record_event(b);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  // Re-recording an event is well-defined: the LAST record supplies the
+  // timestamp, so `a` now sits after `b` and the interval is negative.
+  dev.record_event(a);
+  EXPECT_LT(dev.elapsed_ms(a, b), 0.0);
+  EXPECT_GT(dev.elapsed_ms(b, a), 0.0);
 }
 
 TEST(Device, EventMisuseDiagnosed) {

@@ -187,6 +187,54 @@ TEST(Exec, WarpSumViaShflDownWidth64) {
   EXPECT_EQ(out[0], 64L * 65 / 2);
 }
 
+TEST(Exec, RaggedWarpShflDownClampsToLiveLanes) {
+  // block_dim = warp_size + 5: the second warp has only 5 live lanes. A
+  // shuffle whose source lane does not exist must return the caller's own
+  // value, not rendezvous with a dead lane.
+  for (unsigned warp : {32u, 64u}) {
+    Device dev = make_device(warp);
+    const unsigned block = warp + 5;
+    std::vector<int> out(block, -1);
+    dev.launch("ragged", {1, block, 0, true, {}}, [&](KernelCtx& ctx) {
+      const int v = static_cast<int>(ctx.thread_idx());
+      out[ctx.thread_idx()] = ctx.shfl_down(v, 2);
+    });
+    for (unsigned t = 0; t < warp; ++t) {
+      const int want = t + 2 < warp ? static_cast<int>(t + 2)
+                                    : static_cast<int>(t);
+      EXPECT_EQ(out[t], want) << "warp " << warp << " thread " << t;
+    }
+    for (unsigned t = warp; t < block; ++t) {
+      const unsigned lane = t - warp;
+      const int want = lane + 2 < 5 ? static_cast<int>(t + 2)
+                                    : static_cast<int>(t);
+      EXPECT_EQ(out[t], want) << "warp " << warp << " thread " << t;
+    }
+  }
+}
+
+TEST(Exec, RaggedWarpReductionSumsLiveLanes) {
+  // Tree reduction over a ragged final warp: dead-lane reads are defined
+  // (own value) so the collective completes, and guarding the accumulation
+  // with live_lanes() yields exactly the sum of the live lanes.
+  for (unsigned warp : {32u, 64u}) {
+    Device dev = make_device(warp);
+    const unsigned block = warp + 3;
+    std::vector<long> out(2, -1);
+    dev.launch("rsum", {1, block, 0, true, {}}, [&](KernelCtx& ctx) {
+      long v = static_cast<long>(ctx.thread_idx()) + 1;  // 1..block
+      for (unsigned off = ctx.warp_size() / 2; off > 0; off >>= 1) {
+        const long other = ctx.shfl_down(v, off);
+        if (ctx.lane() + off < ctx.live_lanes()) v += other;
+      }
+      if (ctx.lane() == 0) out[ctx.warp_id()] = v;
+    });
+    EXPECT_EQ(out[0], static_cast<long>(warp) * (warp + 1) / 2);
+    // Partial warp holds warp+1, warp+2, warp+3.
+    EXPECT_EQ(out[1], 3L * warp + 6);
+  }
+}
+
 TEST(Exec, Ballot) {
   for (unsigned warp : {32u, 64u}) {
     Device dev = make_device(warp);

@@ -1,0 +1,263 @@
+// Tests for the asynchronous stream engine: FIFO order within a stream,
+// blocking joins, event completion semantics, cross-stream independence and
+// ordering via stream_wait_event, plus the eager fallback mode.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/base/error.h"
+#include "src/vgpu/device.h"
+
+namespace qhip::vgpu {
+namespace {
+
+// Host-side spin used inside gate kernels. Bails out after a minute so a
+// broken engine fails the test instead of hanging the suite.
+void spin_until(const std::atomic<bool>& flag) {
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!flag.load()) {
+    std::this_thread::yield();
+    if (std::chrono::steady_clock::now() - t0 > std::chrono::seconds(60)) {
+      return;
+    }
+  }
+}
+
+TEST(Stream, LaunchReturnsBeforeKernelRuns) {
+  Device dev(test_device());
+  ASSERT_EQ(dev.stream_mode(), StreamMode::kAsync);
+  const Stream s = dev.create_stream();
+  std::atomic<bool> gate{false};
+  std::atomic<bool> done{false};
+  dev.launch("gate", {1, 1, 0, false, s}, [&](KernelCtx&) {
+    spin_until(gate);
+    done = true;
+  });
+  // The launch is asynchronous: the kernel cannot have finished, because it
+  // is still blocked on the gate we hold.
+  EXPECT_FALSE(done.load());
+  gate = true;
+  dev.stream_synchronize(s);
+  EXPECT_TRUE(done.load());
+}
+
+TEST(Stream, FifoOrderWithinStream) {
+  Device dev(test_device());
+  const Stream s = dev.create_stream();
+  std::atomic<bool> gate{false};
+  std::atomic<int> count{0};
+  int order[3] = {-1, -1, -1};
+  dev.launch("gate", {1, 1, 0, false, s},
+             [&](KernelCtx&) { spin_until(gate); });
+  for (int k = 0; k < 3; ++k) {
+    dev.launch("step", {1, 1, 0, false, s},
+               [&, k](KernelCtx&) { order[count.fetch_add(1)] = k; });
+  }
+  // All three are queued behind the gate: none may have run yet.
+  EXPECT_EQ(count.load(), 0);
+  gate = true;
+  dev.stream_synchronize(s);
+  ASSERT_EQ(count.load(), 3);
+  for (int k = 0; k < 3; ++k) EXPECT_EQ(order[k], k);
+}
+
+TEST(Stream, SynchronizeJoinsAllStreams) {
+  Device dev(test_device());
+  const Stream s1 = dev.create_stream();
+  const Stream s2 = dev.create_stream();
+  std::atomic<bool> gate{false};
+  std::atomic<bool> done1{false}, done2{false};
+  dev.launch("work1", {1, 1, 0, false, s1}, [&](KernelCtx&) {
+    spin_until(gate);
+    done1 = true;
+  });
+  dev.launch("work2", {1, 1, 0, false, s2}, [&](KernelCtx&) {
+    spin_until(gate);
+    done2 = true;
+  });
+  // Both kernels are gated: their side effects must not be visible yet.
+  EXPECT_FALSE(done1.load());
+  EXPECT_FALSE(done2.load());
+  gate = true;
+  dev.synchronize();
+  // hipDeviceSynchronize joins every stream: both effects are now visible.
+  EXPECT_TRUE(done1.load());
+  EXPECT_TRUE(done2.load());
+}
+
+TEST(Stream, RecordThenElapsedBeforeSyncThrows) {
+  Device dev(test_device());
+  const Stream s = dev.create_stream();
+  std::atomic<bool> gate{false};
+  dev.launch("gate", {1, 1, 0, false, s},
+             [&](KernelCtx&) { spin_until(gate); });
+  Event ev = dev.create_event();
+  dev.record_event(ev, s);
+  // The record is queued behind the gated kernel: the event is issued but
+  // not complete, so reading the timestamp must be diagnosed.
+  EXPECT_FALSE(dev.event_query(ev));
+  EXPECT_THROW(dev.elapsed_ms(ev, ev), Error);
+  gate = true;
+  dev.stream_synchronize(s);
+  EXPECT_TRUE(dev.event_query(ev));
+  EXPECT_DOUBLE_EQ(dev.elapsed_ms(ev, ev), 0.0);
+}
+
+TEST(Stream, CrossStreamIndependence) {
+  Device dev(test_device());
+  const Stream s1 = dev.create_stream();
+  const Stream s2 = dev.create_stream();
+  std::atomic<bool> gate{false};
+  std::atomic<bool> done1{false};
+  dev.launch("blocked", {1, 1, 0, false, s1}, [&](KernelCtx&) {
+    spin_until(gate);
+    done1 = true;
+  });
+  // s2 makes progress while s1 is stuck: its copy completes and its event
+  // fires without any device-wide join.
+  int* d = dev.malloc_n<int>(4);
+  const int vals[4] = {7, 8, 9, 10};
+  dev.memcpy_h2d_async(d, vals, sizeof(vals), s2);
+  Event ev2 = dev.create_event();
+  dev.record_event(ev2, s2);
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!dev.event_query(ev2) &&
+         std::chrono::steady_clock::now() - t0 < std::chrono::seconds(60)) {
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(dev.event_query(ev2));
+  EXPECT_FALSE(done1.load());
+  gate = true;
+  dev.synchronize();
+  EXPECT_TRUE(done1.load());
+  dev.free(d);
+}
+
+TEST(Stream, StreamWaitEventOrdering) {
+  Device dev(test_device());
+  const Stream s1 = dev.create_stream();
+  const Stream s2 = dev.create_stream();
+  int* d = dev.malloc_n<int>(4);
+  const int vals[4] = {1, 2, 3, 4};
+  dev.memcpy_h2d(d, vals, sizeof(vals));
+
+  std::atomic<bool> gate{false};
+  dev.launch("gate", {1, 1, 0, false, s1},
+             [&](KernelCtx&) { spin_until(gate); });
+  Event ev1 = dev.create_event();
+  dev.record_event(ev1, s1);
+
+  // s2 must not start its copy until s1 reaches ev1 (which is stuck behind
+  // the gated kernel).
+  dev.stream_wait_event(s2, ev1);
+  int back[4] = {};
+  dev.memcpy_d2h_async(back, d, sizeof(back), s2);
+  Event ev2 = dev.create_event();
+  dev.record_event(ev2, s2);
+  EXPECT_FALSE(dev.event_query(ev2));
+
+  gate = true;
+  dev.synchronize();
+  EXPECT_TRUE(dev.event_query(ev1));
+  EXPECT_TRUE(dev.event_query(ev2));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(back[i], vals[i]);
+  dev.free(d);
+}
+
+TEST(Stream, WaitOnUnrecordedEventIsNoOp) {
+  Device dev(test_device());
+  const Stream s = dev.create_stream();
+  Event never = dev.create_event();
+  EXPECT_NO_THROW(dev.stream_wait_event(s, never));
+  EXPECT_NO_THROW(dev.synchronize());
+}
+
+TEST(Stream, AsyncH2DSnapshotsPageableSource) {
+  Device dev(test_device());
+  const Stream s = dev.create_stream();
+  int* d = dev.malloc_n<int>(1);
+  std::atomic<bool> gate{false};
+  dev.launch("gate", {1, 1, 0, false, s},
+             [&](KernelCtx&) { spin_until(gate); });
+  int host = 42;
+  dev.memcpy_h2d_async(d, &host, sizeof(int), s);
+  // hipMemcpyAsync from pageable memory captures the source at call time:
+  // overwriting it before the copy actually runs must not change the result.
+  host = -1;
+  gate = true;
+  dev.stream_synchronize(s);
+  int back = 0;
+  dev.memcpy_d2h(&back, d, sizeof(int));
+  EXPECT_EQ(back, 42);
+  dev.free(d);
+}
+
+TEST(Stream, DeferredKernelErrorSurfacesAtSynchronize) {
+  Device dev(test_device());
+  const Stream s = dev.create_stream();
+  dev.launch("boom", {1, 1, 0, false, s},
+             [](KernelCtx&) { throw Error("deferred kernel bug"); });
+  EXPECT_THROW(dev.stream_synchronize(s), Error);
+  // The error was consumed; the stream remains usable.
+  std::atomic<bool> ran{false};
+  dev.launch("ok", {1, 1, 0, false, s}, [&](KernelCtx&) { ran = true; });
+  EXPECT_NO_THROW(dev.stream_synchronize(s));
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(Stream, DefaultStreamSynchronizesWithAsyncStreams) {
+  // HIP null-stream semantics: an op on stream 0 joins pending work first.
+  Device dev(test_device());
+  const Stream s = dev.create_stream();
+  std::atomic<int> last{0};
+  dev.launch("async", {1, 1, 0, false, s}, [&](KernelCtx&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    last = 1;
+  });
+  dev.launch("legacy", {1, 1, 0, false, {}}, [&](KernelCtx&) { last = 2; });
+  // The legacy-stream kernel ran after the async one completed.
+  EXPECT_EQ(last.load(), 2);
+}
+
+TEST(Stream, EagerModeRunsInline) {
+  Device dev(test_device(), nullptr, &ThreadPool::shared(), StreamMode::kEager);
+  ASSERT_EQ(dev.stream_mode(), StreamMode::kEager);
+  const Stream s = dev.create_stream();
+  std::atomic<bool> done{false};
+  dev.launch("k", {1, 1, 0, false, s}, [&](KernelCtx&) { done = true; });
+  // Eager fallback: the launch itself ran the kernel.
+  EXPECT_TRUE(done.load());
+  Event a = dev.create_event();
+  Event b = dev.create_event();
+  dev.record_event(a, s);
+  dev.record_event(b, s);
+  // Events complete at record time; no synchronize needed.
+  EXPECT_GE(dev.elapsed_ms(a, b), 0.0);
+}
+
+TEST(Stream, EagerAndAsyncProduceIdenticalResults) {
+  // The same launch/copy sequence, both modes: bit-identical output.
+  auto run = [](StreamMode mode) {
+    Device dev(test_device(), nullptr, &ThreadPool::shared(), mode);
+    const Stream s = dev.create_stream();
+    std::vector<float> host(256);
+    for (int i = 0; i < 256; ++i) host[i] = 0.5f * i;
+    float* d = dev.malloc_n<float>(256);
+    dev.memcpy_h2d_async(d, host.data(), host.size() * sizeof(float), s);
+    dev.launch("scale", {2, 128, 0, false, s}, [&](KernelCtx& ctx) {
+      d[ctx.global_idx()] *= 3.0f;
+    });
+    std::vector<float> out(256);
+    dev.memcpy_d2h_async(out.data(), d, out.size() * sizeof(float), s);
+    dev.stream_synchronize(s);
+    dev.free(d);
+    return out;
+  };
+  EXPECT_EQ(run(StreamMode::kAsync), run(StreamMode::kEager));
+}
+
+}  // namespace
+}  // namespace qhip::vgpu
