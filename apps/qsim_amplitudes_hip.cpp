@@ -4,24 +4,26 @@
 // ideal amplitudes are needed).
 //
 // Usage:
-//   qsim_amplitudes_hip -c <circuit> -i <bitstrings-file> [-f <max-fused>]
-//                       [-b cpu|hip|a100] [-p single|double]
+//   qsim_amplitudes_hip -c <circuit> -i <bitstrings-file>
+//                       [common flags; see apps/cli_common.h]
 //
 // The bitstrings file holds one bitstring per line, most significant qubit
 // first (ket notation: the leftmost character is qubit n-1). '#' comments
 // and blank lines are ignored. Output: one line per bitstring with its
 // complex amplitude and probability.
+//
+// Runs on any runtime backend, including hip:N; the GPU paths gather only
+// the requested amplitudes off the device.
 #include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "apps/cli_common.h"
 #include "src/base/error.h"
 #include "src/base/strings.h"
-#include "src/hipsim/simulator_hip.h"
+#include "src/engine/backend.h"
 #include "src/io/circuit_io.h"
-#include "src/simulator/runner.h"
-#include "src/simulator/simulator_cpu.h"
 
 namespace {
 
@@ -29,8 +31,8 @@ using namespace qhip;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: qsim_amplitudes_hip -c <circuit> -i <bitstrings> "
-               "[-f <max-fused>] [-b cpu|hip|a100] [-p single|double]\n");
+               "usage: qsim_amplitudes_hip -c <circuit> -i <bitstrings> %s\n",
+               cli::common_usage());
   return 1;
 }
 
@@ -66,78 +68,43 @@ std::string to_bits(index_t v, unsigned n) {
   return s;
 }
 
-template <typename FP>
-int run(const std::string& backend, const Circuit& circuit,
-        const std::vector<index_t>& bits, unsigned max_fused) {
-  const unsigned n = circuit.num_qubits;
-  std::vector<cplx<FP>> amps;
-  if (backend == "cpu") {
-    StateVector<FP> host(n);
-    SimulatorCPU<FP> sim;
-    RunOptions opt;
-    opt.max_fused_qubits = max_fused;
-    run_circuit(circuit, sim, host, opt);
-    for (index_t v : bits) amps.push_back(host[v]);
-  } else {
-    vgpu::Device dev(backend == "a100" ? vgpu::a100() : vgpu::mi250x_gcd());
-    hipsim::SimulatorHIP<FP> sim(dev);
-    hipsim::DeviceStateVector<FP> ds(dev, n);
-    sim.state_space().set_zero_state(ds);
-    sim.run(fuse_circuit(circuit, {max_fused}).circuit, ds);
-    // Device-side gather: only the requested amplitudes leave the device.
-    amps = sim.state_space().get_amplitudes(ds, bits);
-  }
-  for (std::size_t k = 0; k < bits.size(); ++k) {
-    const cplx64 a(amps[k].real(), amps[k].imag());
-    std::printf("%s  % .8e % .8e  p=%.8e\n", to_bits(bits[k], n).c_str(),
-                a.real(), a.imag(), std::norm(a));
-  }
-  return 0;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string circuit_file, bits_file, backend = "hip", precision = "single";
-  unsigned max_fused = 4;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* { return ++i < argc ? argv[i] : nullptr; };
-    if (arg == "-c") {
-      const char* v = next();
-      if (!v) return usage();
-      circuit_file = v;
-    } else if (arg == "-i") {
-      const char* v = next();
-      if (!v) return usage();
-      bits_file = v;
-    } else if (arg == "-f") {
-      const char* v = next();
-      if (!v) return usage();
-      max_fused = static_cast<unsigned>(qhip::parse_uint(v, "-f"));
-    } else if (arg == "-b") {
-      const char* v = next();
-      if (!v) return usage();
-      backend = v;
-    } else if (arg == "-p") {
-      const char* v = next();
-      if (!v) return usage();
-      precision = v;
-    } else {
-      return usage();
-    }
-  }
-  if (circuit_file.empty() || bits_file.empty()) return usage();
-  if (backend != "cpu" && backend != "hip" && backend != "a100") return usage();
+  cli::CommonArgs a;
+  a.max_fused = 4;  // this driver's historical default
+  std::string bits_file;
+  const bool parsed = cli::parse_common_args(
+      argc, argv, &a, [&](const std::string& arg, const cli::NextFn& next) {
+        if (arg == "-i") {
+          const char* v = next();
+          if (!v) return false;
+          bits_file = v;
+          return true;
+        }
+        return false;
+      });
+  if (!parsed || a.circuit_file.empty() || bits_file.empty()) return usage();
+  if (!is_backend_spec(a.backend)) return usage();
 
   try {
-    const qhip::Circuit circuit = qhip::read_circuit_file(circuit_file);
-    qhip::check(circuit.num_qubits <= 26,
-                "this host build caps circuits at 26 qubits (memory)");
-    const auto bits = read_bitstrings(bits_file, circuit.num_qubits);
-    return precision == "double"
-               ? run<double>(backend, circuit, bits, max_fused)
-               : run<float>(backend, circuit, bits, max_fused);
+    const Circuit circuit = cli::load_circuit(a);
+    const unsigned n = circuit.num_qubits;
+    const auto bits = read_bitstrings(bits_file, n);
+
+    const auto backend = create_backend(a.backend, a.precision);
+    BackendRunSpec rs;
+    rs.seed = a.seed;
+    rs.amplitude_indices = bits;
+    const BackendRunOutput out =
+        backend->run(fuse_circuit(circuit, {a.max_fused, a.window}).circuit, rs);
+
+    for (std::size_t k = 0; k < bits.size(); ++k) {
+      const cplx64 amp = out.amplitudes[k];
+      std::printf("%s  % .8e % .8e  p=%.8e\n", to_bits(bits[k], n).c_str(),
+                  amp.real(), amp.imag(), std::norm(amp));
+    }
+    return 0;
   } catch (const qhip::Error& e) {
     std::fprintf(stderr, "qsim_amplitudes_hip: %s\n", e.what());
     return 1;

@@ -4,48 +4,46 @@
 // backend, and prints amplitudes / samples / timing.
 //
 // Usage:
-//   qsim_base_hip -c <circuit-file> [-f <max-fused>]
-//                 [-b cpu|hip|a100|hip:2|hip:4]
-//                 [-p single|double] [-s <seed>] [-m <samples>]
-//                 [-t <trace.json>] [-a <amplitudes-to-print>] [-w <window>]
-//
+//   qsim_base_hip -c <circuit-file> [common flags; see apps/cli_common.h]
+//                 [-a <amplitudes-to-print>]
+//   qsim_base_hip -c <circuit-file> --batch <N> [--no-result-cache] [...]
 //   qsim_base_hip --generate-rqc <rows> <cols> <depth> -o <file> [-s seed]
 //
-// The 'hip' backend runs the ported qsim GPU kernels on the virtual MI250X
-// GCD (wavefront 64); 'a100' runs the same kernels on the virtual A100
-// (warp 32); 'cpu' is the multithreaded host backend; 'hip:N' distributes
-// the state across N virtual GCDs (the paper's SS7 future work).
+// The backend is selected at runtime through create_backend(): 'hip' runs
+// the ported qsim GPU kernels on the virtual MI250X GCD (wavefront 64),
+// 'a100' on the virtual A100 (warp 32), 'cpu' on the multithreaded host
+// backend, and 'hip:N' distributes the state across N virtual GCDs (the
+// paper's SS7 future work).
+//
+// --batch N serves the circuit N times through the SimulationEngine (the
+// batched, cache-aware serving layer): fused circuits are cached, state
+// buffers pooled, and repeated identical requests answered from the result
+// cache. Engine metrics land in the -t trace as "engine/..." counters.
+#include <algorithm>
 #include <cstdio>
-#include <cstring>
 #include <string>
+#include <vector>
 
+#include "apps/cli_common.h"
+#include "src/base/bits.h"
 #include "src/base/error.h"
 #include "src/base/strings.h"
-#include "src/hipsim/multi_gcd.h"
-#include "src/hipsim/simulator_hip.h"
+#include "src/engine/backend.h"
+#include "src/engine/engine.h"
 #include "src/io/circuit_io.h"
 #include "src/prof/trace.h"
 #include "src/rqc/rqc.h"
-#include "src/simulator/runner.h"
-#include "src/simulator/simulator_cpu.h"
-#include "src/transpile/optimizer.h"
 
 namespace {
 
 using namespace qhip;
 
 struct Args {
-  std::string circuit_file;
-  std::string backend = "hip";
-  std::string precision = "single";
-  std::string trace_file;
+  cli::CommonArgs common;
   std::string out_file;
-  unsigned max_fused = 2;
-  unsigned window = 4;
-  std::uint64_t seed = 1;
-  std::size_t samples = 0;
   unsigned print_amps = 8;
-  bool optimize = false;
+  std::size_t batch = 0;            // 0 = single-shot mode
+  bool no_result_cache = false;     // --batch: force every request to run
   bool generate_rqc = false;
   unsigned rows = 0, cols = 0, depth = 0;
 };
@@ -53,176 +51,142 @@ struct Args {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: qsim_base_hip -c <circuit> [-f <max-fused>] [-b cpu|hip|a100]\n"
-      "                     [-p single|double] [-s <seed>] [-m <samples>]\n"
-      "                     [-t <trace.json>] [-a <amps>] [-w <window>]\n"
-      "       qsim_base_hip --generate-rqc <rows> <cols> <depth> -o <file>\n");
+      "usage: qsim_base_hip -c <circuit> [-a <amps>] %s\n"
+      "       qsim_base_hip -c <circuit> --batch <N> [--no-result-cache] [...]\n"
+      "       qsim_base_hip --generate-rqc <rows> <cols> <depth> -o <file>\n",
+      qhip::cli::common_usage());
   return 1;
 }
 
 bool parse_args(int argc, char** argv, Args* a) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      return ++i < argc ? argv[i] : nullptr;
-    };
-    if (arg == "-c") {
-      const char* v = next();
-      if (!v) return false;
-      a->circuit_file = v;
-    } else if (arg == "-f") {
-      const char* v = next();
-      if (!v) return false;
-      a->max_fused = static_cast<unsigned>(parse_uint(v, "-f"));
-    } else if (arg == "-w") {
-      const char* v = next();
-      if (!v) return false;
-      a->window = static_cast<unsigned>(parse_uint(v, "-w"));
-    } else if (arg == "-b") {
-      const char* v = next();
-      if (!v) return false;
-      a->backend = v;
-    } else if (arg == "-p") {
-      const char* v = next();
-      if (!v) return false;
-      a->precision = v;
-    } else if (arg == "-s") {
-      const char* v = next();
-      if (!v) return false;
-      a->seed = parse_uint(v, "-s");
-    } else if (arg == "-m") {
-      const char* v = next();
-      if (!v) return false;
-      a->samples = parse_uint(v, "-m");
-    } else if (arg == "-a") {
-      const char* v = next();
-      if (!v) return false;
-      a->print_amps = static_cast<unsigned>(parse_uint(v, "-a"));
-    } else if (arg == "-t") {
-      const char* v = next();
-      if (!v) return false;
-      a->trace_file = v;
-    } else if (arg == "-o") {
-      const char* v = next();
-      if (!v) return false;
-      a->out_file = v;
-    } else if (arg == "-O") {
-      a->optimize = true;
-    } else if (arg == "--generate-rqc") {
-      a->generate_rqc = true;
-      const char *r = next(), *c = next(), *d = next();
-      if (!r || !c || !d) return false;
-      a->rows = static_cast<unsigned>(parse_uint(r, "rows"));
-      a->cols = static_cast<unsigned>(parse_uint(c, "cols"));
-      a->depth = static_cast<unsigned>(parse_uint(d, "depth"));
-    } else {
-      return false;
-    }
-  }
-  return true;
+  return cli::parse_common_args(
+      argc, argv, &a->common,
+      [a](const std::string& arg, const cli::NextFn& next) {
+        if (arg == "-a") {
+          const char* v = next();
+          if (!v) return false;
+          a->print_amps = static_cast<unsigned>(parse_uint(v, "-a"));
+          return true;
+        }
+        if (arg == "-o") {
+          const char* v = next();
+          if (!v) return false;
+          a->out_file = v;
+          return true;
+        }
+        if (arg == "--batch") {
+          const char* v = next();
+          if (!v) return false;
+          a->batch = parse_uint(v, "--batch");
+          return true;
+        }
+        if (arg == "--no-result-cache") {
+          a->no_result_cache = true;
+          return true;
+        }
+        if (arg == "--generate-rqc") {
+          a->generate_rqc = true;
+          const char *r = next(), *c = next(), *d = next();
+          if (!r || !c || !d) return false;
+          a->rows = static_cast<unsigned>(parse_uint(r, "rows"));
+          a->cols = static_cast<unsigned>(parse_uint(c, "cols"));
+          a->depth = static_cast<unsigned>(parse_uint(d, "depth"));
+          return true;
+        }
+        return false;
+      });
 }
 
-template <typename FP, typename Simulator, typename State>
-void print_state(const State& host, unsigned count) {
-  for (index_t i = 0; i < std::min<index_t>(count, host.size()); ++i) {
-    std::printf("  |%llu> = (% .6f, % .6f)  p=%.6f\n",
-                static_cast<unsigned long long>(i),
-                static_cast<double>(host[i].real()),
-                static_cast<double>(host[i].imag()),
-                std::norm(cplx64(host[i].real(), host[i].imag())));
-  }
-}
-
-template <typename FP>
-int run_gpu(const Args& a, const Circuit& circuit, Tracer* tracer) {
-  vgpu::DeviceProps props =
-      a.backend == "a100" ? vgpu::a100() : vgpu::mi250x_gcd();
-  vgpu::Device dev(props, tracer);
-  std::printf("backend: %s (warp %u)\n", props.name.c_str(), props.warp_size);
-
-  hipsim::SimulatorHIP<FP> sim(dev);
-  hipsim::DeviceStateVector<FP> state(dev, circuit.num_qubits);
-  sim.state_space().set_zero_state(state);
+int run_single(const Args& a, const Circuit& circuit, Tracer* tracer) {
+  const auto backend =
+      create_backend(a.common.backend, a.common.precision, tracer);
+  std::printf("backend: %s\n", backend->description().c_str());
 
   Timer timer;
-  const FusionResult fused = fuse_circuit(circuit, {a.max_fused, a.window});
+  const FusionResult fused =
+      fuse_circuit(circuit, {a.common.max_fused, a.common.window});
   const double fuse_s = timer.seconds();
-  sim.run(fused.circuit, state, a.seed);
-  dev.synchronize();  // run() enqueues; the timer must cover the real work
+
+  BackendRunSpec rs;
+  rs.seed = a.common.seed;
+  rs.num_samples = a.common.samples;
+  const index_t limit =
+      std::min<index_t>(a.print_amps, pow2(circuit.num_qubits));
+  for (index_t i = 0; i < limit; ++i) rs.amplitude_indices.push_back(i);
+
+  const BackendRunOutput out = backend->run(fused.circuit, rs);
   const double total_s = timer.seconds();
+
   std::printf("fused %zu gates -> %zu (mean width %.2f) in %.3f ms\n",
               fused.stats.input_gates, fused.stats.output_gates,
               fused.stats.mean_width(), fuse_s * 1e3);
   std::printf("simulation: %.3f s (emulated device; not hardware time)\n",
               total_s - fuse_s);
-
-  const StateVector<FP> host = state.to_host();
-  print_state<FP, hipsim::SimulatorHIP<FP>>(host, a.print_amps);
-  if (a.samples > 0) {
-    const auto s = sim.state_space().sample(state, a.samples, a.seed);
-    std::printf("samples:");
-    for (std::size_t k = 0; k < std::min<std::size_t>(s.size(), 16); ++k) {
-      std::printf(" %llu", static_cast<unsigned long long>(s[k]));
-    }
-    if (s.size() > 16) std::printf(" ... (%zu total)", s.size());
-    std::printf("\n");
+  for (const auto& [name, value] : out.counters) {
+    std::printf("  %s = %.0f\n", name.c_str(), value);
   }
+  cli::print_amplitudes(out.amplitudes);
+  cli::print_samples(out.samples);
   return 0;
 }
 
-template <typename FP>
-int run_multi_gcd(const Args& a, const Circuit& circuit, unsigned gcds,
-                  Tracer* tracer) {
-  std::printf("backend: %u x MI250X GCD (multi-GCD HIP)\n", gcds);
-  hipsim::MultiGcdSimulator<FP> sim(circuit.num_qubits, gcds,
-                                    vgpu::mi250x_gcd(), tracer);
+int run_batch(const Args& a, const Circuit& circuit, Tracer* tracer) {
+  engine::EngineOptions opt;
+  opt.tracer = tracer;
+  if (a.no_result_cache) opt.result_cache_capacity = 0;
+  engine::SimulationEngine eng(opt);
+  std::printf("engine: serving %zu requests on backend %s (%s)%s\n", a.batch,
+              a.common.backend.c_str(), a.common.precision.c_str(),
+              a.no_result_cache ? " [result cache off]" : "");
+
+  engine::SimRequest req;
+  req.circuit = circuit;
+  req.backend = a.common.backend;
+  req.precision =
+      a.common.precision == "double" ? Precision::kDouble : Precision::kSingle;
+  req.max_fused = a.common.max_fused;
+  req.window = a.common.window;
+  req.seed = a.common.seed;
+  req.num_samples = a.common.samples;
+
   Timer timer;
-  const FusionResult fused = fuse_circuit(circuit, {a.max_fused, a.window});
-  const double fuse_s = timer.seconds();
-  sim.run(fused.circuit, a.seed);
-  sim.synchronize();  // run() enqueues; the timer must cover the real work
-  const double total_s = timer.seconds();
-  std::printf("fused %zu gates -> %zu in %.3f ms; sim %.3f s; "
-              "%llu slot swaps, %.2f MiB peer traffic\n",
-              fused.stats.input_gates, fused.stats.output_gates, fuse_s * 1e3,
-              total_s - fuse_s,
-              static_cast<unsigned long long>(sim.stats().slot_swaps),
-              static_cast<double>(sim.stats().peer_bytes) / (1 << 20));
-  const StateVector<FP> host = sim.to_host();
-  print_state<FP, hipsim::MultiGcdSimulator<FP>>(host, a.print_amps);
-  if (a.samples > 0) {
-    const auto smp = sim.sample(a.samples, a.seed);
-    std::printf("samples:");
-    for (std::size_t k = 0; k < std::min<std::size_t>(smp.size(), 16); ++k) {
-      std::printf(" %llu", static_cast<unsigned long long>(smp[k]));
-    }
-    std::printf("\n");
-  }
-  return 0;
-}
+  std::vector<std::future<engine::SimResult>> futs;
+  futs.reserve(a.batch);
+  for (std::size_t k = 0; k < a.batch; ++k) futs.push_back(eng.submit(req));
 
-template <typename FP>
-int run_cpu(const Args& a, const Circuit& circuit, Tracer* tracer) {
-  std::printf("backend: CPU (%u threads)\n", ThreadPool::shared().num_threads());
-  SimulatorCPU<FP> sim(ThreadPool::shared(), tracer);
-  StateVector<FP> state(circuit.num_qubits);
-  RunOptions opt;
-  opt.max_fused_qubits = a.max_fused;
-  opt.seed = a.seed;
-  opt.num_samples = a.samples;
-  const RunResult r = run_circuit(circuit, sim, state, opt);
-  std::printf("fused %zu gates -> %zu in %.3f ms; sim %.3f s\n",
-              r.fusion.input_gates, r.fusion.output_gates,
-              r.fuse_seconds * 1e3, r.sim_seconds);
-  print_state<FP, SimulatorCPU<FP>>(state, a.print_amps);
-  if (!r.samples.empty()) {
-    std::printf("samples:");
-    for (std::size_t k = 0; k < std::min<std::size_t>(r.samples.size(), 16); ++k) {
-      std::printf(" %llu", static_cast<unsigned long long>(r.samples[k]));
+  std::size_t ok = 0;
+  std::string first_error;
+  engine::SimResult last;
+  for (auto& f : futs) {
+    engine::SimResult r = f.get();
+    if (r.ok) {
+      ++ok;
+      last = std::move(r);
+    } else if (first_error.empty()) {
+      first_error = r.error;
     }
-    std::printf("\n");
   }
-  return 0;
+  const double wall_s = timer.seconds();
+
+  const engine::EngineMetrics m = eng.metrics();
+  std::printf("served %zu/%zu requests in %.3f s (%.1f req/s)\n", ok, a.batch,
+              wall_s, wall_s > 0 ? static_cast<double>(ok) / wall_s : 0.0);
+  if (!first_error.empty()) {
+    std::printf("first rejection: %s\n", first_error.c_str());
+  }
+  std::printf("engine: fused-cache hit rate %.2f, result-cache hits %llu, "
+              "pool hits %llu, %.2f MiB pooled\n",
+              m.fused_cache.hit_rate(),
+              static_cast<unsigned long long>(m.result_cache_hits),
+              static_cast<unsigned long long>(m.pool_hits),
+              static_cast<double>(m.bytes_pooled) / (1 << 20));
+  std::printf("latency: p50 %.3f ms, p95 %.3f ms, mean %.3f ms\n", m.p50_ms,
+              m.p95_ms, m.mean_ms);
+  if (ok > 0) {
+    cli::print_samples(last.samples);
+  }
+  eng.export_metrics();  // engine/... counters into the trace JSON
+  return ok == a.batch ? 0 : 1;
 }
 
 }  // namespace
@@ -238,7 +202,7 @@ int main(int argc, char** argv) {
       opt.rows = a.rows;
       opt.cols = a.cols;
       opt.depth = a.depth;
-      opt.seed = a.seed;
+      opt.seed = a.common.seed;
       const qhip::Circuit c = qhip::rqc::generate_rqc(opt);
       qhip::write_circuit_file(c, a.out_file);
       std::printf("wrote %s: %s\n", a.out_file.c_str(),
@@ -246,39 +210,21 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    if (a.circuit_file.empty()) return usage();
-    qhip::Circuit circuit = qhip::read_circuit_file(a.circuit_file);
-    if (a.optimize) {
-      const auto r = qhip::transpile::optimize(circuit);
-      std::printf("optimizer: %s\n", r.stats.summary().c_str());
-      circuit = r.circuit;
-    }
+    if (a.common.circuit_file.empty()) return usage();
+    if (!qhip::is_backend_spec(a.common.backend)) return usage();
+    const qhip::Circuit circuit = qhip::cli::load_circuit(a.common);
     std::printf("circuit: %s\n", qhip::rqc::describe(circuit).c_str());
-    qhip::check(circuit.num_qubits <= 26,
-                "this host build caps circuits at 26 qubits (memory)");
 
     qhip::Tracer tracer;
-    qhip::Tracer* tp = a.trace_file.empty() ? nullptr : &tracer;
+    qhip::Tracer* tp = a.common.trace_file.empty() ? nullptr : &tracer;
 
-    int rc;
-    const bool dp = a.precision == "double";
-    if (a.backend == "cpu") {
-      rc = dp ? run_cpu<double>(a, circuit, tp) : run_cpu<float>(a, circuit, tp);
-    } else if (a.backend == "hip" || a.backend == "a100") {
-      rc = dp ? run_gpu<double>(a, circuit, tp) : run_gpu<float>(a, circuit, tp);
-    } else if (a.backend.rfind("hip:", 0) == 0) {
-      const unsigned gcds = static_cast<unsigned>(
-          qhip::parse_uint(a.backend.substr(4), "-b hip:N"));
-      rc = dp ? run_multi_gcd<double>(a, circuit, gcds, tp)
-              : run_multi_gcd<float>(a, circuit, gcds, tp);
-    } else {
-      return usage();
-    }
+    const int rc = a.batch > 0 ? run_batch(a, circuit, tp)
+                               : run_single(a, circuit, tp);
 
     if (tp) {
-      tracer.write_perfetto_json(a.trace_file);
+      tracer.write_perfetto_json(a.common.trace_file);
       std::printf("trace: %zu events -> %s (load in https://ui.perfetto.dev)\n",
-                  tracer.size(), a.trace_file.c_str());
+                  tracer.size(), a.common.trace_file.c_str());
     }
     return rc;
   } catch (const qhip::Error& e) {

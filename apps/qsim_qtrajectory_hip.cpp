@@ -5,14 +5,18 @@
 //
 // Usage:
 //   qsim_qtrajectory_hip -c <circuit> -n <channel> -r <rate>
-//                        [-t <trajectories>] [-s <seed>] [-k <top-k>]
+//                        [-j <trajectories>] [-s <seed>] [-k <top-k>]
 //
 // Channels: depolarizing | bitflip | phaseflip | ampdamp | phasedamp.
+//
+// Note: trajectories moved from -t to -j when the drivers adopted the shared
+// flag table (apps/cli_common.h), where -t uniformly means a trace file.
 #include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "apps/cli_common.h"
 #include "src/base/error.h"
 #include "src/base/strings.h"
 #include "src/io/circuit_io.h"
@@ -27,7 +31,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: qsim_qtrajectory_hip -c <circuit> -n depolarizing|bitflip|"
-      "phaseflip|ampdamp|phasedamp -r <rate> [-t <trajectories>] [-s <seed>] "
+      "phaseflip|ampdamp|phasedamp -r <rate> [-j <trajectories>] [-s <seed>] "
       "[-k <top-k>]\n");
   return 1;
 }
@@ -44,45 +48,42 @@ noise::KrausChannel make_channel(const std::string& name, double rate) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string circuit_file, channel_name = "depolarizing";
+  cli::CommonArgs a;
+  std::string channel_name = "depolarizing";
   double rate = 0.01;
   unsigned trajectories = 100, top_k = 8;
-  std::uint64_t seed = 1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* { return ++i < argc ? argv[i] : nullptr; };
-    if (arg == "-c") {
-      const char* v = next();
-      if (!v) return usage();
-      circuit_file = v;
-    } else if (arg == "-n") {
-      const char* v = next();
-      if (!v) return usage();
-      channel_name = v;
-    } else if (arg == "-r") {
-      const char* v = next();
-      if (!v) return usage();
-      rate = qhip::parse_double(v, "-r");
-    } else if (arg == "-t") {
-      const char* v = next();
-      if (!v) return usage();
-      trajectories = static_cast<unsigned>(qhip::parse_uint(v, "-t"));
-    } else if (arg == "-s") {
-      const char* v = next();
-      if (!v) return usage();
-      seed = qhip::parse_uint(v, "-s");
-    } else if (arg == "-k") {
-      const char* v = next();
-      if (!v) return usage();
-      top_k = static_cast<unsigned>(qhip::parse_uint(v, "-k"));
-    } else {
-      return usage();
-    }
-  }
-  if (circuit_file.empty()) return usage();
+  const bool parsed = cli::parse_common_args(
+      argc, argv, &a, [&](const std::string& arg, const cli::NextFn& next) {
+        if (arg == "-n") {
+          const char* v = next();
+          if (!v) return false;
+          channel_name = v;
+          return true;
+        }
+        if (arg == "-r") {
+          const char* v = next();
+          if (!v) return false;
+          rate = parse_double(v, "-r");
+          return true;
+        }
+        if (arg == "-j") {
+          const char* v = next();
+          if (!v) return false;
+          trajectories = static_cast<unsigned>(parse_uint(v, "-j"));
+          return true;
+        }
+        if (arg == "-k") {
+          const char* v = next();
+          if (!v) return false;
+          top_k = static_cast<unsigned>(parse_uint(v, "-k"));
+          return true;
+        }
+        return false;
+      });
+  if (!parsed || a.circuit_file.empty()) return usage();
 
   try {
-    const Circuit circuit = read_circuit_file(circuit_file);
+    const Circuit circuit = read_circuit_file(a.circuit_file);
     check(circuit.num_qubits <= 20,
           "qtrajectory driver caps circuits at 20 qubits");
     check(circuit.num_measurements() == 0,
@@ -101,7 +102,7 @@ int main(int argc, char** argv) {
     std::vector<double> dist(ideal.size(), 0.0);
     for (unsigned t = 0; t < trajectories; ++t) {
       const StateVector<double> traj =
-          noise::run_trajectory<double>(circuit, model, seed, t);
+          noise::run_trajectory<double>(circuit, model, a.seed, t);
       fid_sum += std::norm(statespace::inner_product(ideal, traj));
       for (index_t i = 0; i < traj.size(); ++i) dist[i] += std::norm(traj[i]);
     }

@@ -3,18 +3,17 @@
 // subsystem of the final state (plus purity and the reduced spectrum).
 //
 // Usage:
-//   qsim_von_neumann_hip -c <circuit> -q <q0,q1,...> [-f <max-fused>]
-//                        [-b cpu|hip|a100] [-p single|double]
+//   qsim_von_neumann_hip -c <circuit> -q <q0,q1,...>
+//                        [common flags; see apps/cli_common.h]
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "apps/cli_common.h"
 #include "src/base/error.h"
 #include "src/base/strings.h"
-#include "src/hipsim/simulator_hip.h"
+#include "src/engine/backend.h"
 #include "src/io/circuit_io.h"
-#include "src/simulator/runner.h"
-#include "src/simulator/simulator_cpu.h"
 #include "src/statespace/density.h"
 
 namespace {
@@ -23,92 +22,67 @@ using namespace qhip;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: qsim_von_neumann_hip -c <circuit> -q <q0,q1,...> "
-               "[-f <max-fused>] [-b cpu|hip|a100] [-p single|double]\n");
+               "usage: qsim_von_neumann_hip -c <circuit> -q <q0,q1,...> %s\n",
+               cli::common_usage());
   return 1;
-}
-
-template <typename FP>
-int run(const std::string& backend, const Circuit& circuit,
-        const std::vector<qubit_t>& subsystem, unsigned max_fused) {
-  StateVector<FP> host(circuit.num_qubits);
-  if (backend == "cpu") {
-    SimulatorCPU<FP> sim;
-    RunOptions opt;
-    opt.max_fused_qubits = max_fused;
-    run_circuit(circuit, sim, host, opt);
-  } else {
-    vgpu::Device dev(backend == "a100" ? vgpu::a100() : vgpu::mi250x_gcd());
-    hipsim::SimulatorHIP<FP> sim(dev);
-    hipsim::DeviceStateVector<FP> ds(dev, circuit.num_qubits);
-    sim.state_space().set_zero_state(ds);
-    sim.run(fuse_circuit(circuit, {max_fused}).circuit, ds);
-    ds.download(host);
-  }
-
-  const CMatrix rho = statespace::reduced_density_matrix(host, subsystem);
-  const auto eig = hermitian_eigenvalues(rho);
-  std::printf("subsystem:");
-  for (qubit_t q : subsystem) std::printf(" %u", q);
-  std::printf(" (%zu qubits)\n", subsystem.size());
-  std::printf("reduced spectrum:");
-  for (double p : eig) std::printf(" %.6f", p);
-  std::printf("\n");
-  std::printf("purity tr(rho^2)          = %.6f\n", statespace::purity(rho));
-  std::printf("von Neumann entropy       = %.6f nats = %.6f bits\n",
-              statespace::von_neumann_entropy(rho),
-              statespace::von_neumann_entropy(rho, /*base2=*/true));
-  std::printf("max possible for the cut  = %.6f bits\n",
-              static_cast<double>(subsystem.size()));
-  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string circuit_file, backend = "cpu", precision = "single", qubits_arg;
-  unsigned max_fused = 4;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* { return ++i < argc ? argv[i] : nullptr; };
-    if (arg == "-c") {
-      const char* v = next();
-      if (!v) return usage();
-      circuit_file = v;
-    } else if (arg == "-q") {
-      const char* v = next();
-      if (!v) return usage();
-      qubits_arg = v;
-    } else if (arg == "-f") {
-      const char* v = next();
-      if (!v) return usage();
-      max_fused = static_cast<unsigned>(qhip::parse_uint(v, "-f"));
-    } else if (arg == "-b") {
-      const char* v = next();
-      if (!v) return usage();
-      backend = v;
-    } else if (arg == "-p") {
-      const char* v = next();
-      if (!v) return usage();
-      precision = v;
-    } else {
-      return usage();
-    }
-  }
-  if (circuit_file.empty() || qubits_arg.empty()) return usage();
+  cli::CommonArgs a;
+  a.backend = "cpu";  // this driver's historical default
+  a.max_fused = 4;
+  std::string qubits_arg;
+  const bool parsed = cli::parse_common_args(
+      argc, argv, &a, [&](const std::string& arg, const cli::NextFn& next) {
+        if (arg == "-q") {
+          const char* v = next();
+          if (!v) return false;
+          qubits_arg = v;
+          return true;
+        }
+        return false;
+      });
+  if (!parsed || a.circuit_file.empty() || qubits_arg.empty()) return usage();
+  if (!is_backend_spec(a.backend)) return usage();
 
   try {
-    const qhip::Circuit circuit = qhip::read_circuit_file(circuit_file);
-    qhip::check(circuit.num_qubits <= 26,
-                "this host build caps circuits at 26 qubits (memory)");
-    std::vector<qhip::qubit_t> subsystem;
-    for (const auto& tok : qhip::split(qubits_arg, ",")) {
-      subsystem.push_back(
-          static_cast<qhip::qubit_t>(qhip::parse_uint(tok, "-q")));
+    const Circuit circuit = cli::load_circuit(a);
+    std::vector<qubit_t> subsystem;
+    for (const auto& tok : split(qubits_arg, ",")) {
+      subsystem.push_back(static_cast<qubit_t>(parse_uint(tok, "-q")));
     }
-    return precision == "double"
-               ? run<double>(backend, circuit, subsystem, max_fused)
-               : run<float>(backend, circuit, subsystem, max_fused);
+
+    const auto backend = create_backend(a.backend, a.precision);
+    BackendRunSpec rs;
+    rs.seed = a.seed;
+    rs.want_state = true;
+    const BackendRunOutput out =
+        backend->run(fuse_circuit(circuit, {a.max_fused, a.window}).circuit, rs);
+
+    // The density-matrix reduction runs in double regardless of the
+    // simulation precision.
+    StateVector<double> host(circuit.num_qubits);
+    for (index_t i = 0; i < host.size(); ++i) {
+      host[i] = out.state[static_cast<std::size_t>(i)];
+    }
+
+    const CMatrix rho = statespace::reduced_density_matrix(host, subsystem);
+    const auto eig = hermitian_eigenvalues(rho);
+    std::printf("subsystem:");
+    for (qubit_t q : subsystem) std::printf(" %u", q);
+    std::printf(" (%zu qubits)\n", subsystem.size());
+    std::printf("reduced spectrum:");
+    for (double p : eig) std::printf(" %.6f", p);
+    std::printf("\n");
+    std::printf("purity tr(rho^2)          = %.6f\n", statespace::purity(rho));
+    std::printf("von Neumann entropy       = %.6f nats = %.6f bits\n",
+                statespace::von_neumann_entropy(rho),
+                statespace::von_neumann_entropy(rho, /*base2=*/true));
+    std::printf("max possible for the cut  = %.6f bits\n",
+                static_cast<double>(subsystem.size()));
+    return 0;
   } catch (const qhip::Error& e) {
     std::fprintf(stderr, "qsim_von_neumann_hip: %s\n", e.what());
     return 1;

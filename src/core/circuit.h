@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -34,6 +35,13 @@ struct Circuit {
   // a qubit, has times out of order, or overlaps another gate in its moment.
   void validate() const;
 };
+
+// Structural 64-bit hash of a circuit: folds in the qubit count and, per
+// gate, the kind, mnemonic, moment, targets, controls, parameters, and the
+// exact bit patterns of the matrix entries. Two circuits hash equal iff they
+// are structurally identical (up to 64-bit collisions); used as the
+// fused-circuit cache key in src/engine.
+std::uint64_t hash_circuit(const Circuit& c);
 
 // Total unitary of a (measurement-free) circuit as a dense 2^n x 2^n matrix.
 // Exponential in n — intended for tests with n <= 10.

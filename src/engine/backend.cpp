@@ -1,0 +1,297 @@
+#include "src/engine/backend.h"
+
+#include <optional>
+#include <utility>
+
+#include "src/base/error.h"
+#include "src/base/strings.h"
+#include "src/hipsim/multi_gcd.h"
+#include "src/hipsim/simulator_hip.h"
+#include "src/simulator/simulator_cpu.h"
+#include "src/vgpu/device.h"
+#include "src/vgpu/device_props.h"
+
+namespace qhip {
+
+namespace {
+
+template <typename FP>
+std::vector<cplx64> state_as_cplx64(const StateVector<FP>& s) {
+  std::vector<cplx64> out(s.size());
+  for (index_t i = 0; i < s.size(); ++i) {
+    out[i] = cplx64(s[i].real(), s[i].imag());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CPU backend: SimulatorCPU over pooled host StateVectors.
+
+template <typename FP>
+class CpuBackend final : public Backend {
+ public:
+  explicit CpuBackend(Tracer* tracer)
+      : sim_(ThreadPool::shared(), tracer),
+        description_(strfmt("CPU (%u threads)", ThreadPool::shared().num_threads())) {}
+
+  const std::string& spec() const override { return spec_; }
+  const std::string& description() const override { return description_; }
+  Precision precision() const override { return precision_of<FP>(); }
+
+  // Bounded by host memory rather than a device; 2^30 single-precision
+  // amplitudes are 8 GiB, which is where a shared host stops being sane.
+  unsigned max_qubits() const override { return 30; }
+
+  BackendRunOutput run(const Circuit& fused, const BackendRunSpec& rs) override {
+    const unsigned n = fused.num_qubits;
+    std::optional<StateVector<FP>> pooled = pool_.acquire(n);
+    StateVector<FP> state = pooled ? std::move(*pooled) : StateVector<FP>(n);
+    state.set_zero_state();
+
+    BackendRunOutput out;
+    sim_.run(fused, state, rs.seed, &out.measurements);
+    if (rs.num_samples > 0) {
+      out.samples = statespace::sample(state, rs.num_samples, rs.seed);
+    }
+    out.amplitudes.reserve(rs.amplitude_indices.size());
+    for (index_t i : rs.amplitude_indices) {
+      check(i < state.size(), "Backend::run: amplitude index out of range");
+      out.amplitudes.push_back(cplx64(state[i].real(), state[i].imag()));
+    }
+    if (rs.want_state) out.state = state_as_cplx64(state);
+
+    pool_.release(n, std::move(state), pow2(n) * sizeof(cplx<FP>));
+    return out;
+  }
+
+  engine::PoolStats pool_stats() const override { return pool_.stats(); }
+  void trim_pool() override { pool_.clear(); }
+
+ private:
+  SimulatorCPU<FP> sim_;
+  std::string spec_ = "cpu";
+  std::string description_;
+  engine::BufferPool<StateVector<FP>> pool_;
+};
+
+// ---------------------------------------------------------------------------
+// Single virtual GPU backend ("hip" = MI250X GCD, "a100" = A100).
+
+template <typename FP>
+class GpuBackend final : public Backend {
+ public:
+  GpuBackend(std::string spec, const vgpu::DeviceProps& props, Tracer* tracer)
+      : spec_(std::move(spec)),
+        dev_(props, tracer),
+        sim_(dev_),
+        description_(strfmt("%s (warp %u)", props.name.c_str(), props.warp_size)) {}
+
+  const std::string& spec() const override { return spec_; }
+  const std::string& description() const override { return description_; }
+  Precision precision() const override { return precision_of<FP>(); }
+
+  unsigned max_qubits() const override {
+    // DeviceStateVector itself caps at 34 (the emulator's host-memory sanity
+    // bound); below that, the virtual device's HBM capacity decides.
+    return std::min(34u, vgpu::max_state_qubits(dev_.props(), sizeof(cplx<FP>)));
+  }
+
+  BackendRunOutput run(const Circuit& fused, const BackendRunSpec& rs) override {
+    const unsigned n = fused.num_qubits;
+    std::optional<hipsim::DeviceStateVector<FP>> pooled = pool_.acquire(n);
+    hipsim::DeviceStateVector<FP> state =
+        pooled ? std::move(*pooled) : hipsim::DeviceStateVector<FP>(dev_, n);
+    sim_.state_space().set_zero_state(state);
+
+    BackendRunOutput out;
+    sim_.run(fused, state, rs.seed, &out.measurements);
+    // run() only enqueues; join so execution errors surface here and the
+    // caller's wall-clock covers the real work.
+    dev_.synchronize();
+    if (rs.num_samples > 0) {
+      out.samples = sim_.state_space().sample(state, rs.num_samples, rs.seed);
+    }
+    if (!rs.amplitude_indices.empty()) {
+      const auto amps = sim_.state_space().get_amplitudes(state, rs.amplitude_indices);
+      out.amplitudes.reserve(amps.size());
+      for (const auto& a : amps) out.amplitudes.push_back(cplx64(a.real(), a.imag()));
+    }
+    if (rs.want_state) out.state = state_as_cplx64(state.to_host());
+
+    pool_.release(n, std::move(state), pow2(n) * sizeof(cplx<FP>));
+    return out;
+  }
+
+  engine::PoolStats pool_stats() const override { return pool_.stats(); }
+  void trim_pool() override { pool_.clear(); }
+
+ private:
+  std::string spec_;
+  vgpu::Device dev_;
+  hipsim::SimulatorHIP<FP> sim_;
+  std::string description_;
+  engine::BufferPool<hipsim::DeviceStateVector<FP>> pool_;
+};
+
+// ---------------------------------------------------------------------------
+// Multi-GCD backend ("hip:N"). A MultiGcdSimulator owns its devices and
+// state slabs, so the "pool" here keeps whole simulators keyed by qubit
+// count and zero-resets them between requests.
+
+template <typename FP>
+class MultiGcdBackend final : public Backend {
+ public:
+  MultiGcdBackend(std::string spec, unsigned num_gcds, Tracer* tracer)
+      : spec_(std::move(spec)),
+        num_gcds_(num_gcds),
+        tracer_(tracer),
+        props_(vgpu::mi250x_gcd()),
+        description_(strfmt("%u x MI250X GCD (multi-GCD HIP)", num_gcds)) {}
+
+  const std::string& spec() const override { return spec_; }
+  const std::string& description() const override { return description_; }
+  Precision precision() const override { return precision_of<FP>(); }
+
+  unsigned max_qubits() const override {
+    const unsigned d = log2_exact(num_gcds_);
+    // Each GCD holds 2^(n-d) local amplitudes plus a half-size exchange
+    // staging buffer, hence the -1 headroom below the per-GCD capacity.
+    const unsigned local_cap = vgpu::max_state_qubits(props_, sizeof(cplx<FP>));
+    return std::min(34u, local_cap > 0 ? local_cap - 1 + d : 0);
+  }
+
+  BackendRunOutput run(const Circuit& fused, const BackendRunSpec& rs) override {
+    const unsigned n = fused.num_qubits;
+    auto it = sims_.find(n);
+    if (it == sims_.end()) {
+      ++pool_misses_;
+      it = sims_
+               .emplace(n, std::make_unique<hipsim::MultiGcdSimulator<FP>>(
+                               n, num_gcds_, props_, tracer_))
+               .first;
+    } else {
+      ++pool_hits_;
+      it->second->set_zero_state();
+    }
+    hipsim::MultiGcdSimulator<FP>& sim = *it->second;
+
+    const hipsim::MultiGcdStats before = sim.stats();
+    BackendRunOutput out;
+    sim.run(fused, rs.seed, &out.measurements);
+    sim.synchronize();
+    if (rs.num_samples > 0) out.samples = sim.sample(rs.num_samples, rs.seed);
+    if (!rs.amplitude_indices.empty() || rs.want_state) {
+      const StateVector<FP> host = sim.to_host();
+      out.amplitudes.reserve(rs.amplitude_indices.size());
+      for (index_t i : rs.amplitude_indices) {
+        check(i < host.size(), "Backend::run: amplitude index out of range");
+        out.amplitudes.push_back(cplx64(host[i].real(), host[i].imag()));
+      }
+      if (rs.want_state) out.state = state_as_cplx64(host);
+    }
+    const hipsim::MultiGcdStats after = sim.stats();
+    out.counters["slot_swaps"] = static_cast<double>(after.slot_swaps - before.slot_swaps);
+    out.counters["peer_bytes"] = static_cast<double>(after.peer_bytes - before.peer_bytes);
+    out.counters["local_gate_launches"] =
+        static_cast<double>(after.local_gate_launches - before.local_gate_launches);
+    return out;
+  }
+
+  engine::PoolStats pool_stats() const override {
+    engine::PoolStats s;
+    s.hits = pool_hits_;
+    s.misses = pool_misses_;
+    for (const auto& [n, sim] : sims_) {
+      // Local slab + half-size exchange buffer per GCD.
+      const std::size_t local = pow2(n - log2_exact(num_gcds_)) * sizeof(cplx<FP>);
+      s.bytes_pooled += num_gcds_ * (local + local / 2);
+      ++s.buffers_pooled;
+    }
+    return s;
+  }
+  void trim_pool() override { sims_.clear(); }
+
+ private:
+  std::string spec_;
+  unsigned num_gcds_;
+  Tracer* tracer_;
+  vgpu::DeviceProps props_;
+  std::string description_;
+  std::map<unsigned, std::unique_ptr<hipsim::MultiGcdSimulator<FP>>> sims_;
+  std::uint64_t pool_hits_ = 0, pool_misses_ = 0;
+};
+
+// Parses "hip:N"; returns 0 if `spec` is not of that form.
+unsigned parse_gcd_count(const std::string& spec) {
+  if (spec.rfind("hip:", 0) != 0) return 0;
+  const std::string tail = spec.substr(4);
+  for (char c : tail) {
+    if (c < '0' || c > '9') return 0;
+  }
+  if (tail.empty() || tail.size() > 3) return 0;
+  return static_cast<unsigned>(parse_uint(tail, "-b hip:N"));
+}
+
+template <typename FP>
+std::unique_ptr<Backend> make_backend(const std::string& spec, Tracer* tracer) {
+  if (spec == "cpu") return std::make_unique<CpuBackend<FP>>(tracer);
+  if (spec == "hip") {
+    return std::make_unique<GpuBackend<FP>>(spec, vgpu::mi250x_gcd(), tracer);
+  }
+  if (spec == "a100") {
+    return std::make_unique<GpuBackend<FP>>(spec, vgpu::a100(), tracer);
+  }
+  const unsigned gcds = parse_gcd_count(spec);
+  if (gcds != 0) {
+    check(is_pow2(gcds) && gcds >= 2 && gcds <= 64,
+          "backend '" + spec + "': GCD count must be a power of two in [2, 64]");
+    return std::make_unique<MultiGcdBackend<FP>>(spec, gcds, tracer);
+  }
+  throw Error("unknown backend '" + spec + "' (expected cpu|hip|a100|hip:N)");
+}
+
+}  // namespace
+
+bool is_backend_spec(const std::string& spec) {
+  if (spec == "cpu" || spec == "hip" || spec == "a100") return true;
+  const unsigned gcds = parse_gcd_count(spec);
+  return gcds != 0 && is_pow2(gcds) && gcds >= 2 && gcds <= 64;
+}
+
+std::unique_ptr<Backend> create_backend(const std::string& spec, Precision precision,
+                                        Tracer* tracer) {
+  return precision == Precision::kSingle ? make_backend<float>(spec, tracer)
+                                         : make_backend<double>(spec, tracer);
+}
+
+std::unique_ptr<Backend> create_backend(const std::string& spec,
+                                        const std::string& precision, Tracer* tracer) {
+  check(precision == "single" || precision == "double",
+        "unknown precision '" + precision + "' (expected single|double)");
+  return create_backend(
+      spec, precision == "single" ? Precision::kSingle : Precision::kDouble, tracer);
+}
+
+RunResult run_circuit(Backend& backend, const Circuit& circuit, const RunOptions& opt) {
+  RunResult r;
+  Timer total;
+
+  Timer t0;
+  const FusionResult fused =
+      fuse_circuit(circuit, {opt.max_fused_qubits, opt.window_moments});
+  r.fusion = fused.stats;
+  r.fuse_seconds = t0.seconds();
+
+  BackendRunSpec rs;
+  rs.seed = opt.seed;
+  rs.num_samples = opt.num_samples;
+  Timer t1;
+  BackendRunOutput out = backend.run(fused.circuit, rs);
+  r.sim_seconds = t1.seconds();
+  r.measurements = std::move(out.measurements);
+  r.samples = std::move(out.samples);
+  r.total_seconds = total.seconds();
+  return r;
+}
+
+}  // namespace qhip

@@ -1,0 +1,104 @@
+// Runtime backend API: the polymorphic seam between circuits and simulators.
+//
+// The template simulators (SimulatorCPU<FP>, SimulatorHIP<FP>,
+// MultiGcdSimulator<FP>) bind backend and precision at compile time, which
+// forced every driver to clone a cpu/hip/multi-gcd dispatch ladder. Backend
+// wraps each of them behind one virtual interface selected at runtime from a
+// spec string — the same strings the CLIs already use:
+//
+//   "cpu"    multithreaded host backend
+//   "hip"    virtual MI250X GCD (wavefront 64)
+//   "a100"   virtual A100 (warp 32)
+//   "hip:N"  state distributed over N virtual GCDs (N a power of two >= 2)
+//
+// A Backend instance is long-lived: it owns its (virtual) device and a
+// BufferPool of state vectors keyed by qubit count, so serving many requests
+// reuses both the device and the allocations. run() executes an
+// already-fused circuit from |0...0> — transpiling is the caller's business
+// (the engine caches it; the run_circuit shim does it inline).
+//
+// Calls to run() on one instance must be serialized by the caller (the
+// engine holds a per-instance lock); distinct instances are independent.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/core/circuit.h"
+#include "src/engine/buffer_pool.h"
+#include "src/prof/trace.h"
+#include "src/simulator/runner.h"
+
+namespace qhip {
+
+// What a single run should produce beyond executing the circuit.
+struct BackendRunSpec {
+  std::uint64_t seed = 1;            // measurement + sampling seed
+  std::size_t num_samples = 0;       // Born-rule samples of the final state
+  std::vector<index_t> amplitude_indices;  // amplitudes to gather (host order)
+  bool want_state = false;           // download the full final state
+};
+
+struct BackendRunOutput {
+  std::vector<index_t> measurements;  // in-circuit 'm' gate outcomes
+  std::vector<index_t> samples;
+  std::vector<cplx64> amplitudes;     // one per requested index
+  std::vector<cplx64> state;          // full state iff want_state
+  // Backend-specific counters ("slot_swaps", "peer_bytes", ... for hip:N).
+  std::map<std::string, double> counters;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  // The spec string this backend was created from ("cpu", "hip", "hip:4").
+  virtual const std::string& spec() const = 0;
+  // Human-readable device description for reports.
+  virtual const std::string& description() const = 0;
+  virtual Precision precision() const = 0;
+
+  // Largest qubit count a request may use before it must be rejected
+  // (bounded by the virtual device's global memory for GPU backends).
+  virtual unsigned max_qubits() const = 0;
+
+  // Runs `fused` from |0...0> and gathers the requested outputs. The circuit
+  // must already be transpiled (or be intentionally unfused). Throws
+  // qhip::Error on malformed input; callers serialize calls per instance.
+  virtual BackendRunOutput run(const Circuit& fused, const BackendRunSpec& spec) = 0;
+
+  // State-buffer pool counters (hits/misses/bytes parked).
+  virtual engine::PoolStats pool_stats() const = 0;
+  // Frees pooled state buffers (e.g. under memory pressure).
+  virtual void trim_pool() = 0;
+};
+
+// True if `spec` names a known backend ("cpu" | "hip" | "a100" | "hip:N").
+bool is_backend_spec(const std::string& spec);
+
+// Builds a backend from its spec string. Throws qhip::Error on an unknown
+// spec or invalid GCD count. The tracer, when non-null, must outlive the
+// backend; kernel and memcpy events land on it exactly as before.
+std::unique_ptr<Backend> create_backend(const std::string& spec, Precision precision,
+                                        Tracer* tracer = nullptr);
+
+// Convenience for CLIs: accepts "single" | "double". Throws on anything else.
+std::unique_ptr<Backend> create_backend(const std::string& spec,
+                                        const std::string& precision,
+                                        Tracer* tracer = nullptr);
+
+// Fuses `circuit` under `opt` and runs it on `backend` — the Backend-level
+// equivalent of the legacy template run_circuit (which is now a compat shim
+// kept for callers that hold a concrete simulator; see src/simulator/
+// runner.h). Sampling and measurement seeds behave identically, so results
+// are bit-identical with the template path on the same backend kind. Callers
+// needing amplitude gathers or the full state fuse explicitly and call
+// Backend::run with a BackendRunSpec.
+RunResult run_circuit(Backend& backend, const Circuit& circuit,
+                      const RunOptions& opt = {});
+
+}  // namespace qhip

@@ -1,0 +1,94 @@
+// State-vector buffer pool for the serving engine.
+//
+// A long-lived backend serves a stream of requests with wildly varying qubit
+// counts; allocating and faulting in a fresh 2^n-amplitude buffer per request
+// is pure overhead once the same shape has been seen before. BufferPool keeps
+// released buffers keyed by qubit count and hands them back to the next
+// request of the same shape. Buffers carry whatever type the backend uses
+// (host StateVector, DeviceStateVector, ...); the pool never constructs one
+// itself — on a miss the caller builds the buffer and later releases it here.
+//
+// Thread-safe; per-key depth is capped so a burst of concurrent same-shape
+// requests cannot park an unbounded amount of memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace qhip::engine {
+
+struct PoolStats {
+  std::uint64_t hits = 0;      // acquire() served from the pool
+  std::uint64_t misses = 0;    // acquire() had nothing pooled for the key
+  std::uint64_t discarded = 0; // release() dropped a buffer (key at capacity)
+  std::size_t bytes_pooled = 0;  // bytes currently parked in the pool
+  std::size_t buffers_pooled = 0;
+};
+
+template <typename Buf>
+class BufferPool {
+ public:
+  // `max_per_key`: buffers kept per qubit count (excess releases are freed).
+  explicit BufferPool(std::size_t max_per_key = 2) : max_per_key_(max_per_key) {}
+
+  // Pops a pooled buffer for `key`, or nullopt if none is parked (the caller
+  // then constructs one and eventually release()s it back).
+  std::optional<Buf> acquire(unsigned key) {
+    std::lock_guard lk(mu_);
+    auto it = pool_.find(key);
+    if (it == pool_.end() || it->second.empty()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    Entry e = std::move(it->second.back());
+    it->second.pop_back();
+    ++stats_.hits;
+    stats_.bytes_pooled -= e.bytes;
+    --stats_.buffers_pooled;
+    return std::optional<Buf>(std::move(e.buf));
+  }
+
+  // Parks `buf` for reuse by the next acquire(key). `bytes` is the buffer's
+  // allocation size, for the bytes_pooled gauge.
+  void release(unsigned key, Buf&& buf, std::size_t bytes) {
+    std::lock_guard lk(mu_);
+    auto& slot = pool_[key];
+    if (slot.size() >= max_per_key_) {
+      ++stats_.discarded;  // `buf` destructs here, freeing the allocation
+      return;
+    }
+    slot.push_back(Entry{std::move(buf), bytes});
+    stats_.bytes_pooled += bytes;
+    ++stats_.buffers_pooled;
+  }
+
+  // Frees every pooled buffer (hit/miss counters are preserved).
+  void clear() {
+    std::lock_guard lk(mu_);
+    pool_.clear();
+    stats_.bytes_pooled = 0;
+    stats_.buffers_pooled = 0;
+  }
+
+  PoolStats stats() const {
+    std::lock_guard lk(mu_);
+    return stats_;
+  }
+
+ private:
+  struct Entry {
+    Buf buf;
+    std::size_t bytes;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t max_per_key_;
+  std::map<unsigned, std::vector<Entry>> pool_;
+  PoolStats stats_;
+};
+
+}  // namespace qhip::engine

@@ -1,0 +1,72 @@
+#include "src/engine/circuit_cache.h"
+
+namespace qhip::engine {
+
+std::size_t FusedCircuitCache::approx_bytes(const FusionResult& r) {
+  std::size_t bytes = 0;
+  for (const Gate& g : r.circuit.gates) {
+    bytes += g.matrix.dim() * g.matrix.dim() * sizeof(cplx64);
+    bytes += sizeof(Gate);
+  }
+  return bytes;
+}
+
+std::shared_ptr<const FusionResult> FusedCircuitCache::get_or_fuse(
+    const Circuit& circuit, const FusionOptions& opt, bool* hit) {
+  const Key key{hash_circuit(circuit), opt.max_fused_qubits, opt.window_moments};
+  {
+    std::lock_guard lk(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      // Refresh LRU position.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.hits;
+      if (hit) *hit = true;
+      return it->second->fused;
+    }
+    ++stats_.misses;
+  }
+  if (hit) *hit = false;
+
+  // Fuse outside the lock: a slow transpile of one circuit must not stall
+  // hits on others. Two threads missing on the same key both fuse; the
+  // results are identical and the second insert just refreshes the entry.
+  auto fused = std::make_shared<const FusionResult>(fuse_circuit(circuit, opt));
+  if (capacity_ == 0) return fused;
+
+  std::lock_guard lk(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->fused;
+  }
+  lru_.push_front(Entry{key, fused, approx_bytes(*fused)});
+  index_[key] = lru_.begin();
+  stats_.approx_bytes += lru_.front().approx_bytes;
+  while (lru_.size() > capacity_) {
+    const Entry& victim = lru_.back();
+    stats_.approx_bytes -= victim.approx_bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = lru_.size();
+  return fused;
+}
+
+FusedCacheStats FusedCircuitCache::stats() const {
+  std::lock_guard lk(mu_);
+  FusedCacheStats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+void FusedCircuitCache::clear() {
+  std::lock_guard lk(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_.entries = 0;
+  stats_.approx_bytes = 0;
+}
+
+}  // namespace qhip::engine

@@ -1,0 +1,79 @@
+// Fused-circuit LRU cache.
+//
+// Transpiling (gate fusion) is re-done from scratch on every run_circuit
+// call; the paper bounds it below 2% of a single run, but a serving layer
+// that sees the same circuit thousands of times should pay it once. The
+// cache keys on (structural circuit hash, fusion options) and stores the
+// complete FusionResult behind a shared_ptr, so concurrent requests can hold
+// a hit while the cache evicts and refills around them.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/core/circuit.h"
+#include "src/fusion/fuser.h"
+
+namespace qhip::engine {
+
+struct FusedCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t approx_bytes = 0;  // matrix payload of the cached fused circuits
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class FusedCircuitCache {
+ public:
+  // `capacity`: max cached entries; 0 disables caching (every call fuses).
+  explicit FusedCircuitCache(std::size_t capacity) : capacity_(capacity) {}
+
+  // Returns the fused form of `circuit` under `opt`, fusing on a miss.
+  // `hit`, when non-null, reports whether the transpile was skipped.
+  std::shared_ptr<const FusionResult> get_or_fuse(const Circuit& circuit,
+                                                  const FusionOptions& opt,
+                                                  bool* hit = nullptr);
+
+  FusedCacheStats stats() const;
+  void clear();
+
+ private:
+  struct Key {
+    std::uint64_t circuit_hash;
+    unsigned max_fused;
+    unsigned window;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // circuit_hash is already well mixed; fold the small params in.
+      return static_cast<std::size_t>(k.circuit_hash ^
+                                      (std::uint64_t{k.max_fused} << 32) ^
+                                      k.window);
+    }
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const FusionResult> fused;
+    std::size_t approx_bytes;
+  };
+
+  static std::size_t approx_bytes(const FusionResult& r);
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  FusedCacheStats stats_;
+};
+
+}  // namespace qhip::engine

@@ -1,0 +1,355 @@
+#include "src/engine/engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "src/base/error.h"
+#include "src/base/strings.h"
+#include "src/base/timer.h"
+
+namespace qhip::engine {
+
+namespace {
+
+// Results above this size are served but not memoized: a single 26-qubit
+// want_state result is 1 GiB, which would make the LRU a memory bomb.
+constexpr std::size_t kMaxCachedResultBytes = std::size_t{32} << 20;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  // FNV-1a over the value's bytes, same scheme as hash_circuit.
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kPrime;
+  }
+}
+
+std::size_t approx_result_bytes(const SimResult& r) {
+  return r.samples.size() * sizeof(index_t) +
+         r.measurements.size() * sizeof(index_t) +
+         r.amplitudes.size() * sizeof(cplx64) + r.state.size() * sizeof(cplx64);
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+struct SimulationEngine::Job {
+  SimRequest req;
+  std::promise<SimResult> promise;
+  Timer queued;  // started at submit
+};
+
+struct SimulationEngine::BackendSlot {
+  std::unique_ptr<Backend> backend;
+  std::mutex run_mu;  // Backend::run is not reentrant per instance
+};
+
+SimulationEngine::SimulationEngine(EngineOptions opt)
+    : opt_(opt), fused_cache_(opt.fused_cache_capacity) {
+  const unsigned workers = std::max(1u, opt_.num_workers);
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SimulationEngine::~SimulationEngine() {
+  std::list<Job> orphans;
+  {
+    std::lock_guard lk(queue_mu_);
+    stop_ = true;
+    orphans.swap(queue_);
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  for (Job& job : orphans) {
+    job.promise.set_value(rejected("engine stopped"));
+  }
+}
+
+SimResult SimulationEngine::rejected(std::string why) {
+  SimResult r;
+  r.ok = false;
+  r.error = std::move(why);
+  return r;
+}
+
+std::future<SimResult> SimulationEngine::submit(SimRequest req) {
+  Job job;
+  job.req = std::move(req);
+  std::future<SimResult> fut = job.promise.get_future();
+  {
+    std::lock_guard lk(metrics_mu_);
+    ++submitted_;
+  }
+  bool reject_now = false;
+  std::string why;
+  {
+    std::lock_guard lk(queue_mu_);
+    if (stop_) {
+      reject_now = true;
+      why = "engine stopped";
+    } else if (queue_.size() >= opt_.max_pending) {
+      reject_now = true;
+      why = strfmt("engine queue full (%zu pending)", queue_.size());
+    } else {
+      queue_.push_back(std::move(job));
+    }
+  }
+  if (reject_now) {
+    SimResult r = rejected(std::move(why));
+    record_done(r);
+    job.promise.set_value(std::move(r));
+  } else {
+    queue_cv_.notify_one();
+  }
+  return fut;
+}
+
+SimResult SimulationEngine::run(SimRequest req) {
+  return submit(std::move(req)).get();
+}
+
+void SimulationEngine::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lk(queue_mu_);
+      queue_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    process(job);
+  }
+}
+
+SimulationEngine::BackendSlot& SimulationEngine::resolve_backend(
+    const std::string& spec, Precision precision) {
+  const std::string key =
+      spec + (precision == Precision::kSingle ? "/single" : "/double");
+  std::lock_guard lk(backends_mu_);
+  auto it = backends_.find(key);
+  if (it == backends_.end()) {
+    auto slot = std::make_unique<BackendSlot>();
+    slot->backend = create_backend(spec, precision, opt_.tracer);
+    it = backends_.emplace(key, std::move(slot)).first;
+  }
+  return *it->second;
+}
+
+std::uint64_t SimulationEngine::result_key(const SimRequest& req) {
+  std::uint64_t h = hash_circuit(req.circuit);
+  for (char c : req.backend) mix(h, static_cast<unsigned char>(c));
+  mix(h, req.precision == Precision::kSingle ? 1 : 2);
+  mix(h, req.max_fused);
+  mix(h, req.window);
+  mix(h, req.seed);
+  mix(h, req.num_samples);
+  mix(h, req.amplitude_indices.size());
+  for (index_t i : req.amplitude_indices) mix(h, static_cast<std::uint64_t>(i));
+  mix(h, req.want_state ? 1 : 0);
+  return h;
+}
+
+void SimulationEngine::process(Job& job) {
+  const SimRequest& q = job.req;
+  SimResult res;
+  res.queue_seconds = job.queued.seconds();
+  std::uint64_t key = 0;
+  bool own_flight = false;
+
+  try {
+    if (q.timeout_seconds > 0 && res.queue_seconds > q.timeout_seconds) {
+      res = rejected(strfmt("deadline exceeded: %.1f ms in queue > %.1f ms timeout",
+                            res.queue_seconds * 1e3, q.timeout_seconds * 1e3));
+      res.queue_seconds = job.queued.seconds();
+    } else if (q.circuit.num_qubits < 1) {
+      res = rejected("request has no qubits");
+    } else if (q.circuit.num_qubits > opt_.max_qubits) {
+      res = rejected(strfmt("request uses %u qubits; engine cap is %u",
+                            q.circuit.num_qubits, opt_.max_qubits));
+    } else if (!is_backend_spec(q.backend)) {
+      res = rejected("unknown backend '" + q.backend +
+                     "' (expected cpu|hip|a100|hip:N)");
+    } else {
+      key = result_key(q);
+      const bool cacheable =
+          !q.bypass_result_cache && opt_.result_cache_capacity > 0;
+      bool served_from_cache = false;
+      if (cacheable) {
+        std::unique_lock lk(results_mu_);
+        for (;;) {
+          auto it = result_index_.find(key);
+          if (it != result_index_.end()) {
+            result_lru_.splice(result_lru_.begin(), result_lru_, it->second);
+            const double queued = res.queue_seconds;
+            res = it->second->second;  // copy the cached payload
+            res.result_cache_hit = true;
+            res.queue_seconds = queued;
+            res.run_seconds = 0;
+            res.fuse_seconds = 0;
+            served_from_cache = true;
+            break;
+          }
+          if (in_flight_.count(key) == 0) {
+            // We simulate this key; identical requests dequeued meanwhile
+            // wait below instead of duplicating the run (anti-stampede).
+            in_flight_.insert(key);
+            own_flight = true;
+            break;
+          }
+          results_cv_.wait(lk);
+        }
+      }
+
+      if (!served_from_cache) {
+        bool fused_hit = false;
+        Timer tf;
+        std::shared_ptr<const FusionResult> fused = fused_cache_.get_or_fuse(
+            q.circuit, FusionOptions{q.max_fused, q.window}, &fused_hit);
+        res.fuse_seconds = tf.seconds();
+        res.fused_cache_hit = fused_hit;
+        res.fusion = fused->stats;
+
+        BackendSlot& slot = resolve_backend(q.backend, q.precision);
+        if (q.circuit.num_qubits > slot.backend->max_qubits()) {
+          res = rejected(strfmt(
+              "request uses %u qubits but backend '%s' fits at most %u in "
+              "device memory",
+              q.circuit.num_qubits, q.backend.c_str(), slot.backend->max_qubits()));
+        } else {
+          BackendRunSpec rs;
+          rs.seed = q.seed;
+          rs.num_samples = q.num_samples;
+          rs.amplitude_indices = q.amplitude_indices;
+          rs.want_state = q.want_state;
+
+          Timer tr;
+          BackendRunOutput out;
+          {
+            std::lock_guard run_lk(slot.run_mu);
+            out = slot.backend->run(fused->circuit, rs);
+          }
+          res.run_seconds = tr.seconds();
+          res.measurements = std::move(out.measurements);
+          res.samples = std::move(out.samples);
+          res.amplitudes = std::move(out.amplitudes);
+          res.state = std::move(out.state);
+          res.counters = std::move(out.counters);
+          res.ok = true;
+
+          if (opt_.result_cache_capacity > 0 &&
+              approx_result_bytes(res) <= kMaxCachedResultBytes) {
+            std::lock_guard lk(results_mu_);
+            auto it = result_index_.find(key);
+            if (it != result_index_.end()) {
+              result_lru_.erase(it->second);
+              result_index_.erase(it);
+            }
+            result_lru_.emplace_front(key, res);
+            result_index_[key] = result_lru_.begin();
+            while (result_lru_.size() > opt_.result_cache_capacity) {
+              result_index_.erase(result_lru_.back().first);
+              result_lru_.pop_back();
+            }
+          }
+        }
+      }
+    }
+  } catch (const Error& e) {
+    res = rejected(e.what());
+  } catch (const std::exception& e) {
+    res = rejected(std::string("internal error: ") + e.what());
+  }
+
+  if (own_flight) {
+    // Release waiters even when the run failed — the next one becomes the
+    // new owner and retries.
+    std::lock_guard lk(results_mu_);
+    in_flight_.erase(key);
+    results_cv_.notify_all();
+  }
+
+  res.total_seconds = job.queued.seconds();
+  record_done(res);
+  job.promise.set_value(std::move(res));
+}
+
+void SimulationEngine::record_done(const SimResult& res) {
+  std::lock_guard lk(metrics_mu_);
+  if (res.ok) {
+    ++completed_;
+    latencies_ms_.push_back(res.total_seconds * 1e3);
+  } else {
+    ++rejected_;
+  }
+  if (res.result_cache_hit) ++result_cache_hits_;
+}
+
+EngineMetrics SimulationEngine::metrics() const {
+  EngineMetrics m;
+  {
+    std::lock_guard lk(metrics_mu_);
+    m.submitted = submitted_;
+    m.completed = completed_;
+    m.rejected = rejected_;
+    m.result_cache_hits = result_cache_hits_;
+    std::vector<double> lat = latencies_ms_;
+    std::sort(lat.begin(), lat.end());
+    m.p50_ms = percentile(lat, 0.50);
+    m.p95_ms = percentile(lat, 0.95);
+    if (!lat.empty()) {
+      double sum = 0;
+      for (double v : lat) sum += v;
+      m.mean_ms = sum / static_cast<double>(lat.size());
+    }
+  }
+  m.fused_cache = fused_cache_.stats();
+  {
+    std::lock_guard lk(backends_mu_);
+    m.backends_created = backends_.size();
+    for (const auto& [key, slot] : backends_) {
+      const PoolStats ps = slot->backend->pool_stats();
+      m.pool_hits += ps.hits;
+      m.pool_misses += ps.misses;
+      m.bytes_pooled += ps.bytes_pooled;
+    }
+  }
+  return m;
+}
+
+void SimulationEngine::export_metrics() const {
+  if (opt_.tracer == nullptr) return;
+  const EngineMetrics m = metrics();
+  Tracer& t = *opt_.tracer;
+  t.set_counter("engine/requests_submitted", static_cast<double>(m.submitted));
+  t.set_counter("engine/requests_completed", static_cast<double>(m.completed));
+  t.set_counter("engine/requests_rejected", static_cast<double>(m.rejected));
+  t.set_counter("engine/result_cache_hits",
+                static_cast<double>(m.result_cache_hits));
+  t.set_counter("engine/fused_cache_hit_rate", m.fused_cache.hit_rate());
+  t.set_counter("engine/fused_cache_entries",
+                static_cast<double>(m.fused_cache.entries));
+  t.set_counter("engine/fused_cache_bytes",
+                static_cast<double>(m.fused_cache.approx_bytes));
+  t.set_counter("engine/pool_hits", static_cast<double>(m.pool_hits));
+  t.set_counter("engine/pool_misses", static_cast<double>(m.pool_misses));
+  t.set_counter("engine/bytes_pooled", static_cast<double>(m.bytes_pooled));
+  t.set_counter("engine/backends_created",
+                static_cast<double>(m.backends_created));
+  t.set_counter("engine/latency_p50_ms", m.p50_ms);
+  t.set_counter("engine/latency_p95_ms", m.p95_ms);
+  t.set_counter("engine/latency_mean_ms", m.mean_ms);
+}
+
+}  // namespace qhip::engine

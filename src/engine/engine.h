@@ -1,0 +1,166 @@
+// SimulationEngine: a batched, cache-aware serving layer over the runtime
+// Backend API.
+//
+// The one-shot drivers pay transpile + allocation + device construction on
+// every circuit execution. The engine amortizes all three for a long-lived
+// service: requests are queued and executed by a small worker pool; fused
+// circuits come from an LRU FusedCircuitCache; state vectors come from each
+// backend's BufferPool; identical requests (same circuit, backend, fusion,
+// seed, outputs) can be served straight from a result cache, which is sound
+// because a simulation with a fixed seed is a pure function of the request.
+//
+// Requests on *different* backend instances run concurrently; calls into one
+// backend are serialized with a per-instance lock (the simulators are not
+// reentrant). Oversized requests — beyond the engine cap or the backend's
+// device memory — are rejected gracefully with ok=false, as are requests
+// whose admission deadline lapsed while queued (kernels are not preemptible,
+// so timeouts are enforced at dispatch, not mid-run).
+//
+// Engine metrics (request counts, cache hit rates, latency percentiles,
+// pooled bytes) export as counters into the same prof/trace JSON as the
+// kernel timeline via export_metrics().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/circuit.h"
+#include "src/engine/backend.h"
+#include "src/engine/circuit_cache.h"
+#include "src/prof/trace.h"
+
+namespace qhip::engine {
+
+struct SimRequest {
+  Circuit circuit;
+  std::string backend = "cpu";  // "cpu" | "hip" | "a100" | "hip:N"
+  Precision precision = Precision::kSingle;
+  unsigned max_fused = 2;       // fusion limit (paper sweeps 2..6)
+  unsigned window = 4;          // fusion temporal window
+  std::uint64_t seed = 1;
+  std::size_t num_samples = 0;
+  std::vector<index_t> amplitude_indices;
+  bool want_state = false;
+  // Admission deadline in seconds since submit; 0 = none. A request still
+  // queued when its deadline lapses is rejected without running.
+  double timeout_seconds = 0;
+  // Forces a fresh simulation even when an identical request is cached.
+  bool bypass_result_cache = false;
+};
+
+struct SimResult {
+  bool ok = false;
+  std::string error;  // set when !ok (rejection or execution failure)
+
+  std::vector<index_t> measurements;
+  std::vector<index_t> samples;
+  std::vector<cplx64> amplitudes;
+  std::vector<cplx64> state;
+  std::map<std::string, double> counters;  // backend extras (slot_swaps, ...)
+
+  FusionStats fusion;
+  bool fused_cache_hit = false;
+  bool result_cache_hit = false;
+  double fuse_seconds = 0;
+  double queue_seconds = 0;  // submit -> dispatch
+  double run_seconds = 0;    // backend execution (0 on a result-cache hit)
+  double total_seconds = 0;  // submit -> completion
+};
+
+struct EngineOptions {
+  unsigned num_workers = 2;                // scheduler threads (min 1)
+  std::size_t fused_cache_capacity = 128;  // circuits; 0 disables the cache
+  std::size_t result_cache_capacity = 64;  // requests; 0 disables memoization
+  unsigned max_qubits = 26;     // engine-wide cap (the drivers' host cap)
+  std::size_t max_pending = 1024;  // queue bound; beyond it submissions reject
+  Tracer* tracer = nullptr;     // sink for backend events + engine counters
+};
+
+struct EngineMetrics {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  // ok results
+  std::uint64_t rejected = 0;   // !ok results (cap, memory, deadline, queue)
+  std::uint64_t result_cache_hits = 0;
+  FusedCacheStats fused_cache;
+  std::uint64_t pool_hits = 0;   // summed over live backends
+  std::uint64_t pool_misses = 0;
+  std::size_t bytes_pooled = 0;
+  std::size_t backends_created = 0;
+  double p50_ms = 0;   // completion latency percentiles (submit -> done)
+  double p95_ms = 0;
+  double mean_ms = 0;
+};
+
+class SimulationEngine {
+ public:
+  explicit SimulationEngine(EngineOptions opt = {});
+  // Stops accepting work, fails queued requests with "engine stopped", joins
+  // the workers, and tears down the backends.
+  ~SimulationEngine();
+
+  SimulationEngine(const SimulationEngine&) = delete;
+  SimulationEngine& operator=(const SimulationEngine&) = delete;
+
+  // Enqueues a request. Never throws on bad requests: rejections come back
+  // through the future as ok=false results.
+  std::future<SimResult> submit(SimRequest req);
+
+  // Synchronous convenience: submit + wait.
+  SimResult run(SimRequest req);
+
+  EngineMetrics metrics() const;
+
+  // Writes the current metrics as "engine/..." counters into the tracer
+  // passed at construction (no-op without one), so they serialize into the
+  // Perfetto trace JSON next to the kernel events.
+  void export_metrics() const;
+
+ private:
+  struct Job;
+  struct BackendSlot;
+
+  void worker_loop();
+  void process(Job& job);
+  BackendSlot& resolve_backend(const std::string& spec, Precision precision);
+  static std::uint64_t result_key(const SimRequest& req);
+  void record_done(const SimResult& res);
+  static SimResult rejected(std::string why);
+
+  EngineOptions opt_;
+  FusedCircuitCache fused_cache_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::list<Job> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex backends_mu_;
+  std::map<std::string, std::unique_ptr<BackendSlot>> backends_;
+
+  mutable std::mutex results_mu_;
+  std::condition_variable results_cv_;  // signals in-flight completions
+  std::list<std::pair<std::uint64_t, SimResult>> result_lru_;
+  std::map<std::uint64_t, std::list<std::pair<std::uint64_t, SimResult>>::iterator>
+      result_index_;
+  // Keys being simulated right now. A second worker dequeuing an identical
+  // cacheable request waits for the first instead of simulating it again
+  // (anti-stampede coalescing), then serves the cached result.
+  std::set<std::uint64_t> in_flight_;
+
+  mutable std::mutex metrics_mu_;
+  std::uint64_t submitted_ = 0, completed_ = 0, rejected_ = 0;
+  std::uint64_t result_cache_hits_ = 0;
+  std::vector<double> latencies_ms_;
+};
+
+}  // namespace qhip::engine

@@ -34,6 +34,11 @@ struct FusionOptions {
   // clusterer would collapse a deep circuit into a handful of maximal-width
   // gates, which real fusers do not do). 0 = unlimited.
   unsigned window_moments = 4;
+
+  // The options are part of the fused-circuit cache key in src/engine: two
+  // fuse_circuit calls with equal inputs and equal options are
+  // interchangeable.
+  friend bool operator==(const FusionOptions&, const FusionOptions&) = default;
 };
 
 struct FusionStats {

@@ -1,6 +1,7 @@
 #include "src/prof/trace.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -49,6 +50,16 @@ std::vector<TraceEvent> Tracer::events() const {
   return events_;
 }
 
+void Tracer::set_counter(const std::string& name, double value) {
+  std::lock_guard lk(mu_);
+  counters_[name] = value;
+}
+
+std::map<std::string, double> Tracer::counters() const {
+  std::lock_guard lk(mu_);
+  return counters_;
+}
+
 std::vector<TraceSummaryRow> Tracer::summary() const {
   std::map<std::string, TraceSummaryRow> agg;
   {
@@ -71,8 +82,9 @@ std::vector<TraceSummaryRow> Tracer::summary() const {
 
 std::string Tracer::to_perfetto_json() const {
   std::vector<TraceEvent> evs = events();
+  const std::map<std::string, double> cnts = counters();
   std::string out;
-  out.reserve(evs.size() * 128 + 64);
+  out.reserve(evs.size() * 128 + cnts.size() * 96 + 64);
   out += "{\"traceEvents\":[\n";
   bool first = true;
   for (const auto& e : evs) {
@@ -92,6 +104,20 @@ std::string Tracer::to_perfetto_json() const {
     out += std::to_string(e.bytes);
     out += "}}";
   }
+  const std::uint64_t now = Timer::now_micros();
+  for (const auto& [name, value] : cnts) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, name);
+    out += "\",\"cat\":\"metric\",\"ph\":\"C\",\"pid\":1,\"ts\":";
+    out += std::to_string(now);
+    out += ",\"args\":{\"value\":";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out += buf;
+    out += "}}";
+  }
   out += "\n]}\n";
   return out;
 }
@@ -107,6 +133,7 @@ void Tracer::write_perfetto_json(const std::string& path) const {
 void Tracer::clear() {
   std::lock_guard lk(mu_);
   events_.clear();
+  counters_.clear();
 }
 
 ScopedTrace::ScopedTrace(Tracer* tracer, std::string name, TraceKind kind, int lane,

@@ -52,8 +52,16 @@ class Tracer {
   // Per-name aggregation, sorted by descending total time.
   std::vector<TraceSummaryRow> summary() const;
 
+  // Scalar counters (Chrome "ph":"C" events): last-write-wins per name.
+  // The engine exports its serving metrics (cache hit rate, p50/p95 latency,
+  // pooled bytes) through these so they land in the same trace JSON as the
+  // kernel timeline.
+  void set_counter(const std::string& name, double value);
+  std::map<std::string, double> counters() const;
+
   // Serializes to the Chrome trace-event JSON array format understood by
-  // Perfetto and chrome://tracing.
+  // Perfetto and chrome://tracing. Counter values are appended as "ph":"C"
+  // events stamped at serialization time.
   std::string to_perfetto_json() const;
 
   // Writes to_perfetto_json() to `path`; throws qhip::Error on I/O failure.
@@ -64,6 +72,7 @@ class Tracer {
  private:
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
+  std::map<std::string, double> counters_;
 };
 
 // RAII helper that records a host-side span on destruction.

@@ -17,6 +17,7 @@ namespace qhip {
 
 struct RunOptions {
   unsigned max_fused_qubits = 2;  // fusion limit (paper sweeps 2..6)
+  unsigned window_moments = 4;    // fusion temporal window (FusionOptions)
   std::uint64_t seed = 1;         // measurement + sampling seed
   std::size_t num_samples = 0;    // basis-state samples to draw at the end
 };
@@ -31,21 +32,17 @@ struct RunResult {
   std::vector<index_t> samples;       // final-state samples
 };
 
-// Runs `circuit` on `sim` starting from `state` as-is (callers usually call
-// state.set_zero_state() first).
+namespace detail {
+
+// The post-transpile half of a run: execute + sample + fill timings. Shared
+// by the legacy template path below and the Backend implementations in
+// src/engine/backend.cpp, so both produce bit-identical results for the same
+// simulator kind, fused circuit, and seed.
 template <typename Simulator, typename FP>
-RunResult run_circuit(const Circuit& circuit, Simulator& sim, StateVector<FP>& state,
-                      const RunOptions& opt = {}) {
-  RunResult r;
-  Timer total;
-
-  Timer t0;
-  FusionResult fused = fuse_circuit(circuit, {opt.max_fused_qubits});
-  r.fusion = fused.stats;
-  r.fuse_seconds = t0.seconds();
-
+void run_fused(const Circuit& fused, Simulator& sim, StateVector<FP>& state,
+               const RunOptions& opt, RunResult& r) {
   Timer t1;
-  sim.run(fused.circuit, state, opt.seed, &r.measurements);
+  sim.run(fused, state, opt.seed, &r.measurements);
   r.sim_seconds = t1.seconds();
 
   if (opt.num_samples > 0) {
@@ -53,6 +50,31 @@ RunResult run_circuit(const Circuit& circuit, Simulator& sim, StateVector<FP>& s
     r.samples = statespace::sample(state, opt.num_samples, opt.seed);
     r.sample_seconds = t2.seconds();
   }
+}
+
+}  // namespace detail
+
+// Runs `circuit` on `sim` starting from `state` as-is (callers usually call
+// state.set_zero_state() first).
+//
+// Legacy compat shim: this template re-transpiles and uses the caller's
+// simulator and state on every call. New code should go through the runtime
+// Backend API (src/engine/backend.h) — or SimulationEngine for serving —
+// which add fused-circuit caching and state-buffer pooling on top of the
+// same detail::run_fused core.
+template <typename Simulator, typename FP>
+RunResult run_circuit(const Circuit& circuit, Simulator& sim, StateVector<FP>& state,
+                      const RunOptions& opt = {}) {
+  RunResult r;
+  Timer total;
+
+  Timer t0;
+  FusionResult fused =
+      fuse_circuit(circuit, {opt.max_fused_qubits, opt.window_moments});
+  r.fusion = fused.stats;
+  r.fuse_seconds = t0.seconds();
+
+  detail::run_fused(fused.circuit, sim, state, opt, r);
   r.total_seconds = total.seconds();
   return r;
 }

@@ -41,4 +41,13 @@ DeviceProps test_device(unsigned warp_size) {
   return p;
 }
 
+unsigned max_state_qubits(const DeviceProps& props, std::size_t amp_bytes,
+                          std::size_t reserve_bytes) {
+  if (props.global_mem_bytes <= reserve_bytes || amp_bytes == 0) return 0;
+  const std::size_t amps = (props.global_mem_bytes - reserve_bytes) / amp_bytes;
+  unsigned n = 0;
+  while (n < 63 && (std::size_t{2} << n) <= amps) ++n;
+  return n;
+}
+
 }  // namespace qhip::vgpu

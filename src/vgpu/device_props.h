@@ -43,4 +43,10 @@ DeviceProps a100();
 // global memory so capacity errors are testable).
 DeviceProps test_device(unsigned warp_size = 64);
 
+// Largest state-vector qubit count whose 2^n amplitudes of `amp_bytes` each
+// fit in the device's global memory, leaving `reserve_bytes` headroom for
+// staging buffers (gate matrices, sampling scratch). 0 if nothing fits.
+unsigned max_state_qubits(const DeviceProps& props, std::size_t amp_bytes,
+                          std::size_t reserve_bytes = 1 << 20);
+
 }  // namespace qhip::vgpu

@@ -1,0 +1,252 @@
+// SimulationEngine: result-cache bit-identity, buffer-pool reuse across
+// requests, concurrent==serial on two backends, graceful rejection
+// (engine cap, device memory, deadlines, queue bound), and metrics export.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "src/engine/backend.h"
+#include "src/engine/engine.h"
+#include "src/prof/trace.h"
+#include "src/rqc/rqc.h"
+
+namespace qhip::engine {
+namespace {
+
+Circuit make_rqc(unsigned rows, unsigned cols, unsigned depth,
+                 std::uint64_t seed) {
+  rqc::RqcOptions opt;
+  opt.rows = rows;
+  opt.cols = cols;
+  opt.depth = depth;
+  opt.seed = seed;
+  return rqc::generate_rqc(opt);
+}
+
+SimRequest request(const Circuit& c, const char* backend,
+                   std::uint64_t seed = 42) {
+  SimRequest req;
+  req.circuit = c;
+  req.backend = backend;
+  req.max_fused = 3;
+  req.seed = seed;
+  req.num_samples = 32;
+  return req;
+}
+
+TEST(SimulationEngine, CacheHitIsBitIdenticalWithColdRun) {
+  const Circuit c = make_rqc(2, 3, 10, 9);
+
+  // Cold reference: a fresh backend with no engine in the loop.
+  const auto cold_backend = create_backend("hip", Precision::kSingle);
+  RunOptions opt;
+  opt.max_fused_qubits = 3;
+  opt.seed = 42;
+  opt.num_samples = 32;
+  const RunResult cold = run_circuit(*cold_backend, c, opt);
+
+  SimulationEngine eng;
+  const SimResult first = eng.run(request(c, "hip"));
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_FALSE(first.result_cache_hit);
+
+  const SimResult second = eng.run(request(c, "hip"));
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_TRUE(second.result_cache_hit);
+
+  EXPECT_EQ(cold.samples, first.samples);
+  EXPECT_EQ(first.samples, second.samples);
+  EXPECT_EQ(first.measurements, second.measurements);
+
+  const EngineMetrics m = eng.metrics();
+  EXPECT_EQ(m.completed, 2u);
+  EXPECT_EQ(m.result_cache_hits, 1u);
+}
+
+TEST(SimulationEngine, FusedCacheHitsWhenResultCacheBypassed) {
+  const Circuit c = make_rqc(2, 3, 8, 3);
+  SimulationEngine eng;
+  SimRequest req = request(c, "cpu");
+  req.bypass_result_cache = true;
+  const SimResult a = eng.run(req);
+  const SimResult b = eng.run(req);
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_FALSE(a.fused_cache_hit);
+  EXPECT_TRUE(b.fused_cache_hit);     // transpiled once, reused
+  EXPECT_FALSE(b.result_cache_hit);   // but simulated both times
+  EXPECT_EQ(a.samples, b.samples);    // deterministic seed -> same samples
+  EXPECT_GT(b.run_seconds, 0.0);
+  const EngineMetrics m = eng.metrics();
+  EXPECT_EQ(m.fused_cache.hits, 1u);
+  EXPECT_EQ(m.fused_cache.misses, 1u);
+}
+
+TEST(SimulationEngine, PoolReusesBuffersAcrossQubitCounts) {
+  SimulationEngine eng;
+  const Circuit six = make_rqc(2, 3, 6, 1);
+  const Circuit eight = make_rqc(2, 4, 6, 1);
+  for (const Circuit* c : {&six, &eight, &six, &eight}) {
+    SimRequest req = request(*c, "hip");
+    req.bypass_result_cache = true;  // force real runs so buffers cycle
+    ASSERT_TRUE(eng.run(req).ok);
+  }
+  const EngineMetrics m = eng.metrics();
+  EXPECT_EQ(m.pool_misses, 2u);  // one allocation per qubit count
+  EXPECT_EQ(m.pool_hits, 2u);    // the repeats reuse parked buffers
+  EXPECT_GT(m.bytes_pooled, 0u);
+}
+
+TEST(SimulationEngine, ConcurrentEqualsSerialOnTwoBackends) {
+  const Circuit c1 = make_rqc(2, 3, 10, 21);
+  const Circuit c2 = make_rqc(2, 3, 10, 22);
+
+  // Serial reference, each on a dedicated engine.
+  std::vector<SimResult> serial;
+  for (int k = 0; k < 4; ++k) {
+    SimulationEngine eng;
+    SimRequest req = request(k % 2 == 0 ? c1 : c2, k < 2 ? "cpu" : "hip",
+                             100 + static_cast<std::uint64_t>(k));
+    serial.push_back(eng.run(std::move(req)));
+    ASSERT_TRUE(serial.back().ok) << serial.back().error;
+  }
+
+  // The same four requests in flight together on one engine: two workers,
+  // interleaving cpu and hip backends.
+  EngineOptions opt;
+  opt.num_workers = 2;
+  SimulationEngine eng(opt);
+  std::vector<std::future<SimResult>> futs;
+  for (int k = 0; k < 4; ++k) {
+    futs.push_back(eng.submit(request(k % 2 == 0 ? c1 : c2,
+                                      k < 2 ? "cpu" : "hip",
+                                      100 + static_cast<std::uint64_t>(k))));
+  }
+  for (int k = 0; k < 4; ++k) {
+    const SimResult concurrent = futs[static_cast<std::size_t>(k)].get();
+    ASSERT_TRUE(concurrent.ok) << concurrent.error;
+    EXPECT_EQ(concurrent.samples, serial[static_cast<std::size_t>(k)].samples)
+        << "request " << k;
+  }
+  EXPECT_EQ(eng.metrics().backends_created, 2u);
+}
+
+// Identical requests in flight at once must not each pay a simulation: the
+// first becomes the owner, the rest wait and serve from the result cache.
+TEST(SimulationEngine, ConcurrentIdenticalRequestsCoalesce) {
+  const Circuit c = make_rqc(2, 3, 10, 33);
+  EngineOptions opt;
+  opt.num_workers = 2;
+  SimulationEngine eng(opt);
+  std::vector<std::future<SimResult>> futs;
+  for (int k = 0; k < 4; ++k) futs.push_back(eng.submit(request(c, "cpu")));
+  std::vector<SimResult> results;
+  for (auto& f : futs) results.push_back(f.get());
+  for (const SimResult& r : results) {
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.samples, results.front().samples);
+  }
+  const EngineMetrics m = eng.metrics();
+  EXPECT_EQ(m.completed, 4u);
+  EXPECT_EQ(m.result_cache_hits, 3u);  // exactly one simulation happened
+}
+
+TEST(SimulationEngine, RejectsOversizedRequests) {
+  Circuit big;
+  big.num_qubits = 30;  // never allocated: rejected before any buffer exists
+  SimulationEngine eng;
+  const SimResult r = eng.run(request(big, "hip"));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("engine cap"), std::string::npos) << r.error;
+  EXPECT_EQ(eng.metrics().rejected, 1u);
+}
+
+TEST(SimulationEngine, RejectsBeyondDeviceMemory) {
+  Circuit big;
+  big.num_qubits = 32;  // a100/double fits 31 qubits in 40 GiB
+  EngineOptions opt;
+  opt.max_qubits = 34;  // lift the engine cap so the device limit decides
+  SimulationEngine eng(opt);
+  SimRequest req = request(big, "a100");
+  req.precision = Precision::kDouble;
+  const SimResult r = eng.run(std::move(req));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("device memory"), std::string::npos) << r.error;
+}
+
+TEST(SimulationEngine, RejectsUnknownBackend) {
+  const Circuit c = make_rqc(2, 2, 4, 1);
+  SimulationEngine eng;
+  const SimResult r = eng.run(request(c, "cuda"));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown backend"), std::string::npos) << r.error;
+}
+
+TEST(SimulationEngine, EnforcesAdmissionDeadline) {
+  EngineOptions opt;
+  opt.num_workers = 1;  // one lane, so the blocker delays the hurried request
+  SimulationEngine eng(opt);
+  const Circuit blocker = make_rqc(3, 4, 12, 5);
+  const Circuit quick = make_rqc(2, 2, 4, 6);
+
+  SimRequest hurried = request(quick, "cpu");
+  hurried.timeout_seconds = 1e-9;  // lapses while the blocker runs
+
+  auto f1 = eng.submit(request(blocker, "cpu"));
+  auto f2 = eng.submit(std::move(hurried));
+  ASSERT_TRUE(f1.get().ok);
+  const SimResult r = f2.get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("deadline exceeded"), std::string::npos) << r.error;
+}
+
+TEST(SimulationEngine, RejectsWhenQueueFull) {
+  EngineOptions opt;
+  opt.num_workers = 1;
+  opt.max_pending = 1;
+  SimulationEngine eng(opt);
+  const Circuit c = make_rqc(3, 4, 10, 7);  // slow enough to back up the queue
+  std::vector<std::future<SimResult>> futs;
+  for (int k = 0; k < 6; ++k) {
+    futs.push_back(eng.submit(request(c, "cpu", static_cast<std::uint64_t>(k))));
+  }
+  std::size_t rejected = 0;
+  for (auto& f : futs) {
+    const SimResult r = f.get();
+    if (!r.ok) {
+      ++rejected;
+      EXPECT_NE(r.error.find("queue full"), std::string::npos) << r.error;
+    }
+  }
+  EXPECT_GE(rejected, 1u);
+  EXPECT_EQ(eng.metrics().rejected, rejected);
+}
+
+TEST(SimulationEngine, ExportsMetricsIntoTrace) {
+  Tracer tracer;
+  EngineOptions opt;
+  opt.tracer = &tracer;
+  SimulationEngine eng(opt);
+  const Circuit c = make_rqc(2, 3, 8, 2);
+  ASSERT_TRUE(eng.run(request(c, "hip")).ok);
+  ASSERT_TRUE(eng.run(request(c, "hip")).ok);  // result-cache hit
+  eng.export_metrics();
+
+  const auto counters = tracer.counters();
+  ASSERT_FALSE(counters.empty());
+  EXPECT_EQ(counters.at("engine/requests_completed"), 2.0);
+  EXPECT_EQ(counters.at("engine/result_cache_hits"), 1.0);
+  EXPECT_GT(counters.at("engine/latency_p50_ms"), 0.0);
+  EXPECT_GT(counters.at("engine/pool_misses"), 0.0);
+
+  const std::string json = tracer.to_perfetto_json();
+  EXPECT_NE(json.find("engine/requests_completed"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+
+  const EngineMetrics m = eng.metrics();
+  EXPECT_EQ(m.submitted, 2u);
+  EXPECT_GE(m.p95_ms, m.p50_ms);
+}
+
+}  // namespace
+}  // namespace qhip::engine
