@@ -44,6 +44,12 @@ bool parse_common_args(int argc, char** argv, CommonArgs* out,
       out->trace_file = v;
     } else if (arg == "-O") {
       out->optimize = true;
+    } else if (arg == "--faults") {
+      if (!(v = next())) return false;
+      out->fault_spec = v;
+    } else if (arg == "--fallback-backend") {
+      if (!(v = next())) return false;
+      out->fallback_backend = v;
     } else if (extra && extra(arg, next)) {
       // consumed by the app-specific table
     } else {
@@ -55,7 +61,8 @@ bool parse_common_args(int argc, char** argv, CommonArgs* out,
 
 const char* common_usage() {
   return "[-b cpu|hip|a100|hip:N] [-p single|double] [-f <max-fused>]\n"
-         "    [-w <window>] [-s <seed>] [-m <samples>] [-t <trace.json>] [-O]";
+         "    [-w <window>] [-s <seed>] [-m <samples>] [-t <trace.json>] [-O]\n"
+         "    [--faults <spec>] [--fallback-backend <backend>]";
 }
 
 Circuit load_circuit(const CommonArgs& a) {

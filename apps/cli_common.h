@@ -13,6 +13,9 @@
 //   -m <samples>          final-state samples to draw     (default 0)
 //   -t <trace.json>       write a Perfetto trace
 //   -O                    run the transpile optimizer first
+//   --faults <spec>       vgpu fault-injection plan (QHIP_FAULT_SPEC grammar)
+//   --fallback-backend <b>  degrade to backend b when the primary keeps
+//                           failing (batch mode)
 //
 // App-specific flags plug in through the `extra` hook so each driver only
 // states what is unique to it.
@@ -38,6 +41,12 @@ struct CommonArgs {
   std::uint64_t seed = 1;
   std::size_t samples = 0;
   bool optimize = false;
+  // Fault-injection plan installed into every virtual-GPU backend the driver
+  // creates (see src/vgpu/fault.h for the grammar); empty = no faults.
+  std::string fault_spec;
+  // Backend to degrade onto when the primary keeps failing (engine/batch
+  // mode only); empty = fail the request instead.
+  std::string fallback_backend;
 };
 
 // Pulls the next argv token for a flag value; nullptr when argv is exhausted.

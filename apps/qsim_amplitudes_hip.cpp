@@ -92,7 +92,8 @@ int main(int argc, char** argv) {
     const unsigned n = circuit.num_qubits;
     const auto bits = read_bitstrings(bits_file, n);
 
-    const auto backend = create_backend(a.backend, a.precision);
+    const auto backend =
+        create_backend(a.backend, a.precision, nullptr, a.fault_spec);
     BackendRunSpec rs;
     rs.seed = a.seed;
     rs.amplitude_indices = bits;

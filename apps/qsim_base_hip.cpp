@@ -98,8 +98,8 @@ bool parse_args(int argc, char** argv, Args* a) {
 }
 
 int run_single(const Args& a, const Circuit& circuit, Tracer* tracer) {
-  const auto backend =
-      create_backend(a.common.backend, a.common.precision, tracer);
+  const auto backend = create_backend(a.common.backend, a.common.precision,
+                                      tracer, a.common.fault_spec);
   std::printf("backend: %s\n", backend->description().c_str());
 
   Timer timer;
@@ -134,6 +134,8 @@ int run_batch(const Args& a, const Circuit& circuit, Tracer* tracer) {
   engine::EngineOptions opt;
   opt.tracer = tracer;
   if (a.no_result_cache) opt.result_cache_capacity = 0;
+  opt.fault_spec = a.common.fault_spec;
+  opt.fallback_backend = a.common.fallback_backend;
   engine::SimulationEngine eng(opt);
   std::printf("engine: serving %zu requests on backend %s (%s)%s\n", a.batch,
               a.common.backend.c_str(), a.common.precision.c_str(),
@@ -182,6 +184,17 @@ int run_batch(const Args& a, const Circuit& circuit, Tracer* tracer) {
               static_cast<double>(m.bytes_pooled) / (1 << 20));
   std::printf("latency: p50 %.3f ms, p95 %.3f ms, mean %.3f ms\n", m.p50_ms,
               m.p95_ms, m.mean_ms);
+  if (m.retries + m.fallbacks + m.faults_oom + m.faults_backend +
+          m.faults_deadline >
+      0) {
+    std::printf("recovery: %llu retries, %llu fallbacks; faults: %llu oom, "
+                "%llu backend, %llu deadline\n",
+                static_cast<unsigned long long>(m.retries),
+                static_cast<unsigned long long>(m.fallbacks),
+                static_cast<unsigned long long>(m.faults_oom),
+                static_cast<unsigned long long>(m.faults_backend),
+                static_cast<unsigned long long>(m.faults_deadline));
+  }
   if (ok > 0) {
     cli::print_samples(last.samples);
   }

@@ -54,7 +54,8 @@ int main(int argc, char** argv) {
       subsystem.push_back(static_cast<qubit_t>(parse_uint(tok, "-q")));
     }
 
-    const auto backend = create_backend(a.backend, a.precision);
+    const auto backend =
+        create_backend(a.backend, a.precision, nullptr, a.fault_spec);
     BackendRunSpec rs;
     rs.seed = a.seed;
     rs.want_state = true;

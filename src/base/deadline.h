@@ -1,0 +1,61 @@
+// Cooperative deadlines for long-running simulations.
+//
+// Kernels on the virtual GPU (like real GPU kernels) are not preemptible,
+// so a request that has started running can only be cancelled at points
+// where the backend voluntarily checks — between fused-gate applications.
+// A Deadline is a cheap wall-clock budget passed down through
+// BackendRunSpec; simulators call check() between gates and abort with
+// CodedError(kDeadlineExceeded) once the budget lapses. A
+// default-constructed Deadline is inactive and never fires.
+#pragma once
+
+#include <chrono>
+#include <limits>
+
+#include "src/base/error.h"
+#include "src/base/strings.h"
+
+namespace qhip {
+
+class Deadline {
+ public:
+  Deadline() = default;  // inactive: expired() is always false
+
+  // A deadline `seconds` from now. Non-positive budgets are already expired
+  // (the caller burned the whole timeout in the queue).
+  static Deadline after(double seconds) {
+    Deadline d;
+    d.active_ = true;
+    d.at_ = clock::now() + std::chrono::duration_cast<clock::duration>(
+                               std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  bool active() const { return active_; }
+
+  bool expired() const { return active_ && clock::now() >= at_; }
+
+  // Seconds left before expiry; +inf when inactive, <= 0 once expired.
+  double remaining_seconds() const {
+    if (!active_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(at_ - clock::now()).count();
+  }
+
+  // The cooperative checkpoint: throws CodedError(kDeadlineExceeded) once
+  // the budget has lapsed. `where` names the checkpoint for the message.
+  void check(const char* where) const {
+    if (expired()) {
+      throw CodedError(ErrorCode::kDeadlineExceeded,
+                       strfmt("deadline exceeded in %s (budget lapsed %.1f ms "
+                              "ago)",
+                              where, -remaining_seconds() * 1e3));
+    }
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  bool active_ = false;
+  clock::time_point at_{};
+};
+
+}  // namespace qhip

@@ -3,6 +3,12 @@
 // Library code throws qhip::Error for unrecoverable misuse (bad circuit
 // files, out-of-range qubits, precondition violations discoverable only at
 // run time). Hot loops use assert() for internal invariants instead.
+//
+// Device and serving failures additionally carry a machine-readable
+// ErrorCode (CodedError) so callers can distinguish "out of device memory"
+// from "the backend faulted mid-run" from "the deadline lapsed" without
+// string-matching what() — the serving layer's retry/fallback policy keys
+// off the code (see src/engine/engine.h and DESIGN.md §10).
 #pragma once
 
 #include <stdexcept>
@@ -19,5 +25,38 @@ class Error : public std::runtime_error {
 inline void check(bool cond, const std::string& msg) {
   if (!cond) throw Error(msg);
 }
+
+// Machine-readable failure classes, mirroring the HIP runtime's coarse
+// taxonomy (hipErrorOutOfMemory vs. everything-else) plus the serving
+// layer's deadline semantics.
+enum class ErrorCode {
+  kGeneric,           // unclassified Error
+  kOutOfMemory,       // hipMalloc-style allocation failure (real or injected)
+  kBackendFault,      // device runtime error: failed stream op, kernel fault
+  kDeadlineExceeded,  // cooperative deadline checkpoint fired mid-run
+};
+
+inline const char* to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOutOfMemory: return "out-of-memory";
+    case ErrorCode::kBackendFault: return "backend-fault";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::kGeneric: break;
+  }
+  return "error";
+}
+
+// An Error with an attached ErrorCode. The virtual GPU throws these for
+// allocation failures and (injected) stream faults; the engine maps them to
+// structured SimResult codes and decides retry/fallback eligibility.
+class CodedError : public Error {
+ public:
+  CodedError(ErrorCode code, std::string what)
+      : Error(std::move(what)), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
 
 }  // namespace qhip

@@ -6,6 +6,7 @@
 #include "src/base/error.h"
 #include "src/base/strings.h"
 #include "src/hipsim/multi_gcd.h"
+#include "src/vgpu/fault.h"
 #include "src/hipsim/simulator_hip.h"
 #include "src/simulator/simulator_cpu.h"
 #include "src/vgpu/device.h"
@@ -26,6 +27,13 @@ std::vector<cplx64> state_as_cplx64(const StateVector<FP>& s) {
 
 // ---------------------------------------------------------------------------
 // CPU backend: SimulatorCPU over pooled host StateVectors.
+
+// Parses a non-empty fault spec into a shared plan (empty spec -> nullptr).
+std::shared_ptr<vgpu::FaultPlan> make_fault_plan(const std::string& fault_spec) {
+  if (fault_spec.empty()) return nullptr;
+  return std::make_shared<vgpu::FaultPlan>(
+      vgpu::FaultPlan::parse(fault_spec).rules());
+}
 
 template <typename FP>
 class CpuBackend final : public Backend {
@@ -49,7 +57,7 @@ class CpuBackend final : public Backend {
     state.set_zero_state();
 
     BackendRunOutput out;
-    sim_.run(fused, state, rs.seed, &out.measurements);
+    sim_.run(fused, state, rs.seed, &out.measurements, rs.deadline);
     if (rs.num_samples > 0) {
       out.samples = statespace::sample(state, rs.num_samples, rs.seed);
     }
@@ -80,11 +88,16 @@ class CpuBackend final : public Backend {
 template <typename FP>
 class GpuBackend final : public Backend {
  public:
-  GpuBackend(std::string spec, const vgpu::DeviceProps& props, Tracer* tracer)
+  GpuBackend(std::string spec, const vgpu::DeviceProps& props, Tracer* tracer,
+             const std::string& fault_spec)
       : spec_(std::move(spec)),
         dev_(props, tracer),
         sim_(dev_),
-        description_(strfmt("%s (warp %u)", props.name.c_str(), props.warp_size)) {}
+        description_(strfmt("%s (warp %u)", props.name.c_str(), props.warp_size)) {
+    // Installed after the simulator's own staging allocations, so fault
+    // occurrence counters ("the Nth allocation") start at the first request.
+    if (!fault_spec.empty()) dev_.set_fault_plan(make_fault_plan(fault_spec));
+  }
 
   const std::string& spec() const override { return spec_; }
   const std::string& description() const override { return description_; }
@@ -97,29 +110,41 @@ class GpuBackend final : public Backend {
   }
 
   BackendRunOutput run(const Circuit& fused, const BackendRunSpec& rs) override {
-    const unsigned n = fused.num_qubits;
-    std::optional<hipsim::DeviceStateVector<FP>> pooled = pool_.acquire(n);
-    hipsim::DeviceStateVector<FP> state =
-        pooled ? std::move(*pooled) : hipsim::DeviceStateVector<FP>(dev_, n);
-    sim_.state_space().set_zero_state(state);
+    try {
+      const unsigned n = fused.num_qubits;
+      std::optional<hipsim::DeviceStateVector<FP>> pooled = pool_.acquire(n);
+      hipsim::DeviceStateVector<FP> state =
+          pooled ? std::move(*pooled) : hipsim::DeviceStateVector<FP>(dev_, n);
+      sim_.state_space().set_zero_state(state);
 
-    BackendRunOutput out;
-    sim_.run(fused, state, rs.seed, &out.measurements);
-    // run() only enqueues; join so execution errors surface here and the
-    // caller's wall-clock covers the real work.
-    dev_.synchronize();
-    if (rs.num_samples > 0) {
-      out.samples = sim_.state_space().sample(state, rs.num_samples, rs.seed);
-    }
-    if (!rs.amplitude_indices.empty()) {
-      const auto amps = sim_.state_space().get_amplitudes(state, rs.amplitude_indices);
-      out.amplitudes.reserve(amps.size());
-      for (const auto& a : amps) out.amplitudes.push_back(cplx64(a.real(), a.imag()));
-    }
-    if (rs.want_state) out.state = state_as_cplx64(state.to_host());
+      BackendRunOutput out;
+      sim_.run(fused, state, rs.seed, &out.measurements, rs.deadline);
+      // run() only enqueues; join so execution errors surface here and the
+      // caller's wall-clock covers the real work.
+      dev_.synchronize();
+      if (rs.num_samples > 0) {
+        out.samples = sim_.state_space().sample(state, rs.num_samples, rs.seed);
+      }
+      if (!rs.amplitude_indices.empty()) {
+        const auto amps = sim_.state_space().get_amplitudes(state, rs.amplitude_indices);
+        out.amplitudes.reserve(amps.size());
+        for (const auto& a : amps) out.amplitudes.push_back(cplx64(a.real(), a.imag()));
+      }
+      if (rs.want_state) out.state = state_as_cplx64(state.to_host());
 
-    pool_.release(n, std::move(state), pow2(n) * sizeof(cplx<FP>));
-    return out;
+      pool_.release(n, std::move(state), pow2(n) * sizeof(cplx<FP>));
+      return out;
+    } catch (...) {
+      // Leave the device clean for a retry: join every stream and swallow
+      // any further deferred errors so they cannot surface in a later run.
+      // The aborted request's state buffer was freed by its destructor; the
+      // pool is not polluted with garbage.
+      try {
+        dev_.synchronize();
+      } catch (...) {
+      }
+      throw;
+    }
   }
 
   engine::PoolStats pool_stats() const override { return pool_.stats(); }
@@ -141,11 +166,13 @@ class GpuBackend final : public Backend {
 template <typename FP>
 class MultiGcdBackend final : public Backend {
  public:
-  MultiGcdBackend(std::string spec, unsigned num_gcds, Tracer* tracer)
+  MultiGcdBackend(std::string spec, unsigned num_gcds, Tracer* tracer,
+                  const std::string& fault_spec)
       : spec_(std::move(spec)),
         num_gcds_(num_gcds),
         tracer_(tracer),
         props_(vgpu::mi250x_gcd()),
+        faults_(make_fault_plan(fault_spec)),
         description_(strfmt("%u x MI250X GCD (multi-GCD HIP)", num_gcds)) {}
 
   const std::string& spec() const override { return spec_; }
@@ -167,7 +194,7 @@ class MultiGcdBackend final : public Backend {
       ++pool_misses_;
       it = sims_
                .emplace(n, std::make_unique<hipsim::MultiGcdSimulator<FP>>(
-                               n, num_gcds_, props_, tracer_))
+                               n, num_gcds_, props_, tracer_, faults_))
                .first;
     } else {
       ++pool_hits_;
@@ -175,9 +202,28 @@ class MultiGcdBackend final : public Backend {
     }
     hipsim::MultiGcdSimulator<FP>& sim = *it->second;
 
+    try {
+      return run_on(sim, fused, rs);
+    } catch (...) {
+      // Drain every GCD's streams and swallow further deferred errors so a
+      // retry starts from a clean device (set_zero_state above resets both
+      // the amplitudes and the qubit layout).
+      for (unsigned k = 0; k < sim.num_gcds(); ++k) {
+        try {
+          sim.device(k).synchronize();
+        } catch (...) {
+        }
+      }
+      throw;
+    }
+  }
+
+ private:
+  BackendRunOutput run_on(hipsim::MultiGcdSimulator<FP>& sim,
+                          const Circuit& fused, const BackendRunSpec& rs) {
     const hipsim::MultiGcdStats before = sim.stats();
     BackendRunOutput out;
-    sim.run(fused, rs.seed, &out.measurements);
+    sim.run(fused, rs.seed, &out.measurements, rs.deadline);
     sim.synchronize();
     if (rs.num_samples > 0) out.samples = sim.sample(rs.num_samples, rs.seed);
     if (!rs.amplitude_indices.empty() || rs.want_state) {
@@ -216,6 +262,7 @@ class MultiGcdBackend final : public Backend {
   unsigned num_gcds_;
   Tracer* tracer_;
   vgpu::DeviceProps props_;
+  std::shared_ptr<vgpu::FaultPlan> faults_;  // shared across all GCDs
   std::string description_;
   std::map<unsigned, std::unique_ptr<hipsim::MultiGcdSimulator<FP>>> sims_;
   std::uint64_t pool_hits_ = 0, pool_misses_ = 0;
@@ -233,19 +280,22 @@ unsigned parse_gcd_count(const std::string& spec) {
 }
 
 template <typename FP>
-std::unique_ptr<Backend> make_backend(const std::string& spec, Tracer* tracer) {
+std::unique_ptr<Backend> make_backend(const std::string& spec, Tracer* tracer,
+                                      const std::string& fault_spec) {
   if (spec == "cpu") return std::make_unique<CpuBackend<FP>>(tracer);
   if (spec == "hip") {
-    return std::make_unique<GpuBackend<FP>>(spec, vgpu::mi250x_gcd(), tracer);
+    return std::make_unique<GpuBackend<FP>>(spec, vgpu::mi250x_gcd(), tracer,
+                                            fault_spec);
   }
   if (spec == "a100") {
-    return std::make_unique<GpuBackend<FP>>(spec, vgpu::a100(), tracer);
+    return std::make_unique<GpuBackend<FP>>(spec, vgpu::a100(), tracer,
+                                            fault_spec);
   }
   const unsigned gcds = parse_gcd_count(spec);
   if (gcds != 0) {
     check(is_pow2(gcds) && gcds >= 2 && gcds <= 64,
           "backend '" + spec + "': GCD count must be a power of two in [2, 64]");
-    return std::make_unique<MultiGcdBackend<FP>>(spec, gcds, tracer);
+    return std::make_unique<MultiGcdBackend<FP>>(spec, gcds, tracer, fault_spec);
   }
   throw Error("unknown backend '" + spec + "' (expected cpu|hip|a100|hip:N)");
 }
@@ -259,17 +309,21 @@ bool is_backend_spec(const std::string& spec) {
 }
 
 std::unique_ptr<Backend> create_backend(const std::string& spec, Precision precision,
-                                        Tracer* tracer) {
-  return precision == Precision::kSingle ? make_backend<float>(spec, tracer)
-                                         : make_backend<double>(spec, tracer);
+                                        Tracer* tracer,
+                                        const std::string& fault_spec) {
+  return precision == Precision::kSingle
+             ? make_backend<float>(spec, tracer, fault_spec)
+             : make_backend<double>(spec, tracer, fault_spec);
 }
 
 std::unique_ptr<Backend> create_backend(const std::string& spec,
-                                        const std::string& precision, Tracer* tracer) {
+                                        const std::string& precision, Tracer* tracer,
+                                        const std::string& fault_spec) {
   check(precision == "single" || precision == "double",
         "unknown precision '" + precision + "' (expected single|double)");
   return create_backend(
-      spec, precision == "single" ? Precision::kSingle : Precision::kDouble, tracer);
+      spec, precision == "single" ? Precision::kSingle : Precision::kDouble, tracer,
+      fault_spec);
 }
 
 RunResult run_circuit(Backend& backend, const Circuit& circuit, const RunOptions& opt) {

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/deadline.h"
 #include "src/base/types.h"
 #include "src/core/circuit.h"
 #include "src/engine/buffer_pool.h"
@@ -41,6 +42,10 @@ struct BackendRunSpec {
   std::size_t num_samples = 0;       // Born-rule samples of the final state
   std::vector<index_t> amplitude_indices;  // amplitudes to gather (host order)
   bool want_state = false;           // download the full final state
+  // Cooperative cancellation: checked between fused-gate applications; on
+  // expiry run() aborts with CodedError(kDeadlineExceeded). Default:
+  // inactive (never fires).
+  Deadline deadline;
 };
 
 struct BackendRunOutput {
@@ -68,7 +73,11 @@ class Backend {
 
   // Runs `fused` from |0...0> and gathers the requested outputs. The circuit
   // must already be transpiled (or be intentionally unfused). Throws
-  // qhip::Error on malformed input; callers serialize calls per instance.
+  // qhip::Error on malformed input and qhip::CodedError for device failures
+  // (kOutOfMemory, kBackendFault, kDeadlineExceeded) — GPU backends drain
+  // and clear their deferred stream errors before rethrowing, so a failed
+  // run leaves the device reusable for a retry. Callers serialize calls per
+  // instance.
   virtual BackendRunOutput run(const Circuit& fused, const BackendRunSpec& spec) = 0;
 
   // State-buffer pool counters (hits/misses/bytes parked).
@@ -83,13 +92,18 @@ bool is_backend_spec(const std::string& spec);
 // Builds a backend from its spec string. Throws qhip::Error on an unknown
 // spec or invalid GCD count. The tracer, when non-null, must outlive the
 // backend; kernel and memcpy events land on it exactly as before.
+// `fault_spec`, when non-empty, installs a vgpu::FaultPlan (QHIP_FAULT_SPEC
+// grammar; see src/vgpu/fault.h) into the backend's virtual device(s) —
+// ignored by the cpu backend, which has no device to break.
 std::unique_ptr<Backend> create_backend(const std::string& spec, Precision precision,
-                                        Tracer* tracer = nullptr);
+                                        Tracer* tracer = nullptr,
+                                        const std::string& fault_spec = {});
 
 // Convenience for CLIs: accepts "single" | "double". Throws on anything else.
 std::unique_ptr<Backend> create_backend(const std::string& spec,
                                         const std::string& precision,
-                                        Tracer* tracer = nullptr);
+                                        Tracer* tracer = nullptr,
+                                        const std::string& fault_spec = {});
 
 // Fuses `circuit` under `opt` and runs it on `backend` — the Backend-level
 // equivalent of the legacy template run_circuit (which is now a compat shim

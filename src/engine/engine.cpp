@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "src/base/error.h"
@@ -25,6 +27,19 @@ void mix(std::uint64_t& h, std::uint64_t v) {
   }
 }
 
+void app_u64(std::string& s, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) s.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void app_f64(std::string& s, double v) {
+  app_u64(s, std::bit_cast<std::uint64_t>(v));
+}
+
+void app_str(std::string& s, const std::string& v) {
+  app_u64(s, v.size());
+  s += v;
+}
+
 std::size_t approx_result_bytes(const SimResult& r) {
   return r.samples.size() * sizeof(index_t) +
          r.measurements.size() * sizeof(index_t) +
@@ -40,7 +55,68 @@ double percentile(std::vector<double> sorted, double p) {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
+SimErrorCode classify(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOutOfMemory: return SimErrorCode::kOutOfMemory;
+    case ErrorCode::kBackendFault: return SimErrorCode::kBackendFault;
+    case ErrorCode::kDeadlineExceeded: return SimErrorCode::kDeadlineExceeded;
+    case ErrorCode::kGeneric: break;
+  }
+  return SimErrorCode::kInternal;
+}
+
+// Worth re-running on the same backend / degrading to the fallback?
+bool transient(SimErrorCode code) {
+  return code == SimErrorCode::kOutOfMemory ||
+         code == SimErrorCode::kBackendFault;
+}
+
 }  // namespace
+
+const char* to_string(SimErrorCode code) {
+  switch (code) {
+    case SimErrorCode::kOk: return "ok";
+    case SimErrorCode::kRejected: return "rejected";
+    case SimErrorCode::kOutOfMemory: return "out-of-memory";
+    case SimErrorCode::kBackendFault: return "backend-fault";
+    case SimErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case SimErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string canonical_request_summary(const SimRequest& req) {
+  std::string s;
+  s.reserve(64 + req.circuit.gates.size() * 96);
+  app_str(s, req.backend);
+  app_u64(s, req.precision == Precision::kSingle ? 1 : 2);
+  app_u64(s, req.max_fused);
+  app_u64(s, req.window);
+  app_u64(s, req.seed);
+  app_u64(s, req.num_samples);
+  app_u64(s, req.amplitude_indices.size());
+  for (index_t i : req.amplitude_indices) app_u64(s, static_cast<std::uint64_t>(i));
+  app_u64(s, req.want_state ? 1 : 0);
+  app_u64(s, req.circuit.num_qubits);
+  app_u64(s, req.circuit.gates.size());
+  for (const Gate& g : req.circuit.gates) {
+    app_u64(s, static_cast<std::uint64_t>(g.kind));
+    app_str(s, g.name);
+    app_u64(s, g.time);
+    app_u64(s, g.qubits.size());
+    for (qubit_t q : g.qubits) app_u64(s, q);
+    app_u64(s, g.controls.size());
+    for (qubit_t c : g.controls) app_u64(s, c);
+    app_u64(s, g.params.size());
+    for (double p : g.params) app_f64(s, p);
+    app_u64(s, g.matrix.dim());
+    for (const cplx64& v : g.matrix.data()) {
+      app_f64(s, v.real());
+      app_f64(s, v.imag());
+    }
+  }
+  return s;
+}
 
 struct SimulationEngine::Job {
   SimRequest req;
@@ -76,9 +152,10 @@ SimulationEngine::~SimulationEngine() {
   }
 }
 
-SimResult SimulationEngine::rejected(std::string why) {
+SimResult SimulationEngine::rejected(std::string why, SimErrorCode code) {
   SimResult r;
   r.ok = false;
+  r.code = code;
   r.error = std::move(why);
   return r;
 }
@@ -141,7 +218,7 @@ SimulationEngine::BackendSlot& SimulationEngine::resolve_backend(
   auto it = backends_.find(key);
   if (it == backends_.end()) {
     auto slot = std::make_unique<BackendSlot>();
-    slot->backend = create_backend(spec, precision, opt_.tracer);
+    slot->backend = create_backend(spec, precision, opt_.tracer, opt_.fault_spec);
     it = backends_.emplace(key, std::move(slot)).first;
   }
   return *it->second;
@@ -161,18 +238,114 @@ std::uint64_t SimulationEngine::result_key(const SimRequest& req) {
   return h;
 }
 
+void SimulationEngine::count_fault(SimErrorCode code) {
+  std::lock_guard lk(metrics_mu_);
+  switch (code) {
+    case SimErrorCode::kOutOfMemory: ++faults_oom_; break;
+    case SimErrorCode::kBackendFault: ++faults_backend_; break;
+    case SimErrorCode::kDeadlineExceeded: ++faults_deadline_; break;
+    default: break;
+  }
+}
+
+SimResult SimulationEngine::execute_with_retries(const SimRequest& q,
+                                                 const std::string& spec,
+                                                 const Deadline& deadline,
+                                                 unsigned* attempts) {
+  SimResult res;
+  try {
+    bool fused_hit = false;
+    Timer tf;
+    std::shared_ptr<const FusionResult> fused = fused_cache_.get_or_fuse(
+        q.circuit, FusionOptions{q.max_fused, q.window}, &fused_hit);
+    res.fuse_seconds = tf.seconds();
+    res.fused_cache_hit = fused_hit;
+    res.fusion = fused->stats;
+
+    BackendSlot& slot = resolve_backend(spec, q.precision);
+    if (q.circuit.num_qubits > slot.backend->max_qubits()) {
+      // OOM-class by construction: the state cannot fit, so the fallback
+      // ladder (if any) is the right next step, but retrying here is not.
+      SimResult r = rejected(
+          strfmt("request uses %u qubits but backend '%s' fits at most %u in "
+                 "device memory",
+                 q.circuit.num_qubits, spec.c_str(), slot.backend->max_qubits()),
+          SimErrorCode::kOutOfMemory);
+      r.backend_used = spec;
+      return r;
+    }
+
+    BackendRunSpec rs;
+    rs.seed = q.seed;
+    rs.num_samples = q.num_samples;
+    rs.amplitude_indices = q.amplitude_indices;
+    rs.want_state = q.want_state;
+    rs.deadline = deadline;
+
+    const unsigned max_attempts = std::max(1u, opt_.max_attempts);
+    double backoff = std::max(0.0, opt_.retry_backoff_seconds);
+    for (unsigned attempt = 1;; ++attempt) {
+      ++*attempts;
+      try {
+        Timer tr;
+        BackendRunOutput out;
+        {
+          std::lock_guard run_lk(slot.run_mu);
+          out = slot.backend->run(fused->circuit, rs);
+        }
+        res.run_seconds = tr.seconds();
+        res.measurements = std::move(out.measurements);
+        res.samples = std::move(out.samples);
+        res.amplitudes = std::move(out.amplitudes);
+        res.state = std::move(out.state);
+        res.counters = std::move(out.counters);
+        res.ok = true;
+        res.code = SimErrorCode::kOk;
+        res.backend_used = spec;
+        return res;
+      } catch (const CodedError& e) {
+        const SimErrorCode code = classify(e.code());
+        count_fault(code);
+        if (!transient(code) || attempt >= max_attempts || deadline.expired()) {
+          SimResult r = rejected(e.what(), code);
+          r.backend_used = spec;
+          return r;
+        }
+        {
+          std::lock_guard lk(metrics_mu_);
+          ++retries_;
+        }
+        if (backoff > 0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+          backoff *= 2;
+        }
+      }
+    }
+  } catch (const Error& e) {
+    // Malformed input, fusion failure, bad fault spec: not retryable.
+    return rejected(e.what());
+  } catch (const std::exception& e) {
+    return rejected(std::string("internal error: ") + e.what(),
+                    SimErrorCode::kInternal);
+  }
+}
+
 void SimulationEngine::process(Job& job) {
   const SimRequest& q = job.req;
   SimResult res;
   res.queue_seconds = job.queued.seconds();
   std::uint64_t key = 0;
-  bool own_flight = false;
+  std::string summary;
+  std::shared_ptr<Flight> flight;  // non-null iff this worker owns the run
 
   try {
     if (q.timeout_seconds > 0 && res.queue_seconds > q.timeout_seconds) {
+      count_fault(SimErrorCode::kDeadlineExceeded);
+      const double queued = res.queue_seconds;
       res = rejected(strfmt("deadline exceeded: %.1f ms in queue > %.1f ms timeout",
-                            res.queue_seconds * 1e3, q.timeout_seconds * 1e3));
-      res.queue_seconds = job.queued.seconds();
+                            queued * 1e3, q.timeout_seconds * 1e3),
+                     SimErrorCode::kDeadlineExceeded);
+      res.queue_seconds = queued;
     } else if (q.circuit.num_qubits < 1) {
       res = rejected("request has no qubits");
     } else if (q.circuit.num_qubits > opt_.max_qubits) {
@@ -185,83 +358,102 @@ void SimulationEngine::process(Job& job) {
       key = result_key(q);
       const bool cacheable =
           !q.bypass_result_cache && opt_.result_cache_capacity > 0;
-      bool served_from_cache = false;
+      bool served = false;
       if (cacheable) {
+        summary = canonical_request_summary(q);
         std::unique_lock lk(results_mu_);
         for (;;) {
           auto it = result_index_.find(key);
-          if (it != result_index_.end()) {
+          if (it != result_index_.end() &&
+              it->second->second.summary == summary) {
             result_lru_.splice(result_lru_.begin(), result_lru_, it->second);
             const double queued = res.queue_seconds;
-            res = it->second->second;  // copy the cached payload
+            res = it->second->second.result;  // copy the cached payload
             res.result_cache_hit = true;
             res.queue_seconds = queued;
             res.run_seconds = 0;
             res.fuse_seconds = 0;
-            served_from_cache = true;
+            res.attempts = 0;
+            served = true;
             break;
           }
-          if (in_flight_.count(key) == 0) {
+          auto fit = in_flight_.find(key);
+          if (fit == in_flight_.end()) {
             // We simulate this key; identical requests dequeued meanwhile
             // wait below instead of duplicating the run (anti-stampede).
-            in_flight_.insert(key);
-            own_flight = true;
+            flight = std::make_shared<Flight>();
+            flight->summary = summary;
+            in_flight_.emplace(key, flight);
             break;
           }
-          results_cv_.wait(lk);
+          std::shared_ptr<Flight> f = fit->second;
+          if (f->summary != summary) {
+            // 64-bit key collision with a different request mid-flight: wait
+            // it out, then re-examine (we never share its result).
+            results_cv_.wait(lk, [&] { return f->done; });
+            continue;
+          }
+          results_cv_.wait(lk, [&] { return f->done; });
+          if (!f->result.ok &&
+              f->result.code == SimErrorCode::kDeadlineExceeded) {
+            // The owner ran out of *its* budget; ours may differ (timeouts
+            // are not part of the key). Loop — likely becoming the owner.
+            continue;
+          }
+          const double queued = res.queue_seconds;
+          res = f->result;  // owner's outcome, success or failure
+          res.queue_seconds = queued;
+          if (res.ok) {
+            res.result_cache_hit = true;
+            res.run_seconds = 0;
+            res.fuse_seconds = 0;
+            res.attempts = 0;
+          } else {
+            std::lock_guard mk(metrics_mu_);
+            ++coalesced_failures_;
+          }
+          served = true;
+          break;
         }
       }
 
-      if (!served_from_cache) {
-        bool fused_hit = false;
-        Timer tf;
-        std::shared_ptr<const FusionResult> fused = fused_cache_.get_or_fuse(
-            q.circuit, FusionOptions{q.max_fused, q.window}, &fused_hit);
-        res.fuse_seconds = tf.seconds();
-        res.fused_cache_hit = fused_hit;
-        res.fusion = fused->stats;
+      if (!served) {
+        Deadline deadline;
+        if (q.timeout_seconds > 0) {
+          deadline = Deadline::after(q.timeout_seconds - res.queue_seconds);
+        }
+        unsigned attempts = 0;
+        SimResult ex = execute_with_retries(q, q.backend, deadline, &attempts);
+        bool fell_back = false;
+        if (!ex.ok && transient(ex.code) && !opt_.fallback_backend.empty() &&
+            opt_.fallback_backend != q.backend &&
+            is_backend_spec(opt_.fallback_backend)) {
+          ex = execute_with_retries(q, opt_.fallback_backend, deadline,
+                                    &attempts);
+          fell_back = true;
+          std::lock_guard lk(metrics_mu_);
+          ++fallbacks_;
+        }
+        const double queued = res.queue_seconds;
+        res = std::move(ex);
+        res.queue_seconds = queued;
+        res.attempts = attempts;
+        res.fallback_used = fell_back;
 
-        BackendSlot& slot = resolve_backend(q.backend, q.precision);
-        if (q.circuit.num_qubits > slot.backend->max_qubits()) {
-          res = rejected(strfmt(
-              "request uses %u qubits but backend '%s' fits at most %u in "
-              "device memory",
-              q.circuit.num_qubits, q.backend.c_str(), slot.backend->max_qubits()));
-        } else {
-          BackendRunSpec rs;
-          rs.seed = q.seed;
-          rs.num_samples = q.num_samples;
-          rs.amplitude_indices = q.amplitude_indices;
-          rs.want_state = q.want_state;
-
-          Timer tr;
-          BackendRunOutput out;
-          {
-            std::lock_guard run_lk(slot.run_mu);
-            out = slot.backend->run(fused->circuit, rs);
+        if (res.ok && opt_.result_cache_capacity > 0 &&
+            approx_result_bytes(res) <= kMaxCachedResultBytes) {
+          if (summary.empty()) summary = canonical_request_summary(q);
+          std::lock_guard lk(results_mu_);
+          auto it = result_index_.find(key);
+          if (it != result_index_.end()) {
+            result_lru_.erase(it->second);
+            result_index_.erase(it);
           }
-          res.run_seconds = tr.seconds();
-          res.measurements = std::move(out.measurements);
-          res.samples = std::move(out.samples);
-          res.amplitudes = std::move(out.amplitudes);
-          res.state = std::move(out.state);
-          res.counters = std::move(out.counters);
-          res.ok = true;
-
-          if (opt_.result_cache_capacity > 0 &&
-              approx_result_bytes(res) <= kMaxCachedResultBytes) {
-            std::lock_guard lk(results_mu_);
-            auto it = result_index_.find(key);
-            if (it != result_index_.end()) {
-              result_lru_.erase(it->second);
-              result_index_.erase(it);
-            }
-            result_lru_.emplace_front(key, res);
-            result_index_[key] = result_lru_.begin();
-            while (result_lru_.size() > opt_.result_cache_capacity) {
-              result_index_.erase(result_lru_.back().first);
-              result_lru_.pop_back();
-            }
+          result_lru_.emplace_front(key, CacheEntry{summary, res});
+          result_index_[key] = result_lru_.begin();
+          while (result_lru_.size() > opt_.result_cache_capacity) {
+            result_index_.erase(result_lru_.back().first);
+            result_lru_.pop_back();
           }
         }
       }
@@ -269,13 +461,16 @@ void SimulationEngine::process(Job& job) {
   } catch (const Error& e) {
     res = rejected(e.what());
   } catch (const std::exception& e) {
-    res = rejected(std::string("internal error: ") + e.what());
+    res = rejected(std::string("internal error: ") + e.what(),
+                   SimErrorCode::kInternal);
   }
 
-  if (own_flight) {
-    // Release waiters even when the run failed — the next one becomes the
-    // new owner and retries.
+  if (flight) {
+    // Publish the outcome — success or failure — to every coalesced waiter,
+    // then release the key so later requests can start fresh.
     std::lock_guard lk(results_mu_);
+    flight->result = res;
+    flight->done = true;
     in_flight_.erase(key);
     results_cv_.notify_all();
   }
@@ -289,7 +484,15 @@ void SimulationEngine::record_done(const SimResult& res) {
   std::lock_guard lk(metrics_mu_);
   if (res.ok) {
     ++completed_;
-    latencies_ms_.push_back(res.total_seconds * 1e3);
+    if (opt_.latency_window > 0) {
+      const double ms = res.total_seconds * 1e3;
+      if (latencies_ms_.size() < opt_.latency_window) {
+        latencies_ms_.push_back(ms);
+      } else {
+        latencies_ms_[latency_next_] = ms;
+        latency_next_ = (latency_next_ + 1) % opt_.latency_window;
+      }
+    }
   } else {
     ++rejected_;
   }
@@ -304,6 +507,12 @@ EngineMetrics SimulationEngine::metrics() const {
     m.completed = completed_;
     m.rejected = rejected_;
     m.result_cache_hits = result_cache_hits_;
+    m.retries = retries_;
+    m.fallbacks = fallbacks_;
+    m.coalesced_failures = coalesced_failures_;
+    m.faults_oom = faults_oom_;
+    m.faults_backend = faults_backend_;
+    m.faults_deadline = faults_deadline_;
     std::vector<double> lat = latencies_ms_;
     std::sort(lat.begin(), lat.end());
     m.p50_ms = percentile(lat, 0.50);
@@ -337,6 +546,14 @@ void SimulationEngine::export_metrics() const {
   t.set_counter("engine/requests_rejected", static_cast<double>(m.rejected));
   t.set_counter("engine/result_cache_hits",
                 static_cast<double>(m.result_cache_hits));
+  t.set_counter("engine/retries", static_cast<double>(m.retries));
+  t.set_counter("engine/fallbacks", static_cast<double>(m.fallbacks));
+  t.set_counter("engine/coalesced_failures",
+                static_cast<double>(m.coalesced_failures));
+  t.set_counter("engine/faults_oom", static_cast<double>(m.faults_oom));
+  t.set_counter("engine/faults_backend", static_cast<double>(m.faults_backend));
+  t.set_counter("engine/faults_deadline",
+                static_cast<double>(m.faults_deadline));
   t.set_counter("engine/fused_cache_hit_rate", m.fused_cache.hit_rate());
   t.set_counter("engine/fused_cache_entries",
                 static_cast<double>(m.fused_cache.entries));

@@ -13,12 +13,23 @@
 // backend are serialized with a per-instance lock (the simulators are not
 // reentrant). Oversized requests — beyond the engine cap or the backend's
 // device memory — are rejected gracefully with ok=false, as are requests
-// whose admission deadline lapsed while queued (kernels are not preemptible,
-// so timeouts are enforced at dispatch, not mid-run).
+// whose deadline lapses while queued or mid-run (backends check the
+// deadline cooperatively between fused-gate applications).
 //
-// Engine metrics (request counts, cache hit rates, latency percentiles,
-// pooled bytes) export as counters into the same prof/trace JSON as the
-// kernel timeline via export_metrics().
+// Error recovery (DESIGN.md §10): device failures surface as structured
+// SimErrorCodes, never strings alone. Transient device faults (OOM,
+// backend faults — real or injected via EngineOptions::fault_spec) are
+// retried with exponential backoff up to max_attempts per backend; when the
+// primary backend keeps failing and fallback_backend is configured, the
+// request degrades gracefully onto it (e.g. hip -> cpu), flagged in the
+// result and the metrics. Identical in-flight requests coalesce onto one
+// run; the owner's outcome — success or failure — propagates to every
+// waiter, so a persistent fault costs one retry ladder, not one per waiter.
+//
+// Engine metrics (request counts, cache hit rates, latency percentiles over
+// a bounded reservoir, pooled bytes, retry/fallback/fault counters) export
+// as counters into the same prof/trace JSON as the kernel timeline via
+// export_metrics().
 #pragma once
 
 #include <condition_variable>
@@ -28,7 +39,6 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,6 +50,19 @@
 
 namespace qhip::engine {
 
+// Structured outcome classes for SimResult. Everything except kOk implies
+// ok=false; `error` carries the human-readable detail.
+enum class SimErrorCode {
+  kOk = 0,
+  kRejected,          // admission: bad request, engine cap, queue full
+  kOutOfMemory,       // device allocation failed (real or injected)
+  kBackendFault,      // device runtime error (failed stream op / kernel)
+  kDeadlineExceeded,  // timed out in queue or at a mid-run checkpoint
+  kInternal,          // unclassified execution failure
+};
+
+const char* to_string(SimErrorCode code);
+
 struct SimRequest {
   Circuit circuit;
   std::string backend = "cpu";  // "cpu" | "hip" | "a100" | "hip:N"
@@ -50,8 +73,8 @@ struct SimRequest {
   std::size_t num_samples = 0;
   std::vector<index_t> amplitude_indices;
   bool want_state = false;
-  // Admission deadline in seconds since submit; 0 = none. A request still
-  // queued when its deadline lapses is rejected without running.
+  // Deadline in seconds since submit; 0 = none. Enforced at dequeue AND
+  // cooperatively between fused-gate applications mid-run.
   double timeout_seconds = 0;
   // Forces a fresh simulation even when an identical request is cached.
   bool bypass_result_cache = false;
@@ -59,6 +82,7 @@ struct SimRequest {
 
 struct SimResult {
   bool ok = false;
+  SimErrorCode code = SimErrorCode::kOk;  // != kOk exactly when !ok
   std::string error;  // set when !ok (rejection or execution failure)
 
   std::vector<index_t> measurements;
@@ -70,6 +94,9 @@ struct SimResult {
   FusionStats fusion;
   bool fused_cache_hit = false;
   bool result_cache_hit = false;
+  std::string backend_used;   // spec that produced the result ("" if none ran)
+  unsigned attempts = 0;      // backend run attempts (0 on cache hit/rejection)
+  bool fallback_used = false; // served by EngineOptions::fallback_backend
   double fuse_seconds = 0;
   double queue_seconds = 0;  // submit -> dispatch
   double run_seconds = 0;    // backend execution (0 on a result-cache hit)
@@ -83,6 +110,24 @@ struct EngineOptions {
   unsigned max_qubits = 26;     // engine-wide cap (the drivers' host cap)
   std::size_t max_pending = 1024;  // queue bound; beyond it submissions reject
   Tracer* tracer = nullptr;     // sink for backend events + engine counters
+
+  // Error recovery. A request failing with a transient device code (OOM,
+  // backend fault) is re-run up to max_attempts times on its backend, with
+  // retry_backoff_seconds doubling per retry; if the backend keeps failing
+  // and fallback_backend names a different valid spec, one final attempt
+  // ladder runs there (graceful degradation, e.g. "hip" -> "cpu").
+  // Deadline expiry is never retried.
+  unsigned max_attempts = 3;
+  double retry_backoff_seconds = 0.001;
+  std::string fallback_backend;  // "" = no fallback
+
+  // Installed as a vgpu::FaultPlan into every virtual-GPU backend the
+  // engine creates (QHIP_FAULT_SPEC grammar; see src/vgpu/fault.h).
+  std::string fault_spec;
+
+  // Completion-latency reservoir: metrics() keeps the most recent this-many
+  // samples, so a long-lived engine stays O(window) in memory and sort cost.
+  std::size_t latency_window = 4096;
 };
 
 struct EngineMetrics {
@@ -90,15 +135,30 @@ struct EngineMetrics {
   std::uint64_t completed = 0;  // ok results
   std::uint64_t rejected = 0;   // !ok results (cap, memory, deadline, queue)
   std::uint64_t result_cache_hits = 0;
+  // Error-recovery counters.
+  std::uint64_t retries = 0;            // extra attempts beyond each first
+  std::uint64_t fallbacks = 0;          // requests that ran on the fallback
+  std::uint64_t coalesced_failures = 0; // waiters served a propagated failure
+  std::uint64_t faults_oom = 0;         // failed attempts by code
+  std::uint64_t faults_backend = 0;
+  std::uint64_t faults_deadline = 0;    // queue + mid-run deadline expiries
   FusedCacheStats fused_cache;
   std::uint64_t pool_hits = 0;   // summed over live backends
   std::uint64_t pool_misses = 0;
   std::size_t bytes_pooled = 0;
   std::size_t backends_created = 0;
   double p50_ms = 0;   // completion latency percentiles (submit -> done)
-  double p95_ms = 0;
+  double p95_ms = 0;   // (over the bounded latency reservoir)
   double mean_ms = 0;
 };
+
+// Exact identity of a request's result: every field that affects the
+// simulation output, including the full per-gate circuit content (matrices
+// as bit-exact doubles). Two requests are interchangeable iff their
+// summaries are equal — the result cache stores this alongside the 64-bit
+// hash key and verifies it on every hit, so a hash collision can never
+// serve another request's payload.
+std::string canonical_request_summary(const SimRequest& req);
 
 class SimulationEngine {
  public:
@@ -128,12 +188,33 @@ class SimulationEngine {
   struct Job;
   struct BackendSlot;
 
+  // One in-flight simulation of a cacheable key. Waiters block on the
+  // engine-wide results_cv_ until done, then read the owner's result —
+  // success or failure — directly (anti-stampede with failure propagation).
+  struct Flight {
+    std::string summary;  // exact request identity (collision guard)
+    bool done = false;
+    SimResult result;     // valid once done
+  };
+
+  struct CacheEntry {
+    std::string summary;  // verified on every hit (collision guard)
+    SimResult result;
+  };
+
   void worker_loop();
   void process(Job& job);
+  // One attempt ladder on `spec`: fuse (cached), admission-check against
+  // the backend's device memory, run with retries/backoff. Returns the
+  // structured outcome; never throws.
+  SimResult execute_with_retries(const SimRequest& q, const std::string& spec,
+                                 const Deadline& deadline, unsigned* attempts);
   BackendSlot& resolve_backend(const std::string& spec, Precision precision);
   static std::uint64_t result_key(const SimRequest& req);
   void record_done(const SimResult& res);
-  static SimResult rejected(std::string why);
+  void count_fault(SimErrorCode code);
+  static SimResult rejected(std::string why,
+                            SimErrorCode code = SimErrorCode::kRejected);
 
   EngineOptions opt_;
   FusedCircuitCache fused_cache_;
@@ -149,18 +230,20 @@ class SimulationEngine {
 
   mutable std::mutex results_mu_;
   std::condition_variable results_cv_;  // signals in-flight completions
-  std::list<std::pair<std::uint64_t, SimResult>> result_lru_;
-  std::map<std::uint64_t, std::list<std::pair<std::uint64_t, SimResult>>::iterator>
+  std::list<std::pair<std::uint64_t, CacheEntry>> result_lru_;
+  std::map<std::uint64_t,
+           std::list<std::pair<std::uint64_t, CacheEntry>>::iterator>
       result_index_;
-  // Keys being simulated right now. A second worker dequeuing an identical
-  // cacheable request waits for the first instead of simulating it again
-  // (anti-stampede coalescing), then serves the cached result.
-  std::set<std::uint64_t> in_flight_;
+  std::map<std::uint64_t, std::shared_ptr<Flight>> in_flight_;
 
   mutable std::mutex metrics_mu_;
   std::uint64_t submitted_ = 0, completed_ = 0, rejected_ = 0;
   std::uint64_t result_cache_hits_ = 0;
+  std::uint64_t retries_ = 0, fallbacks_ = 0, coalesced_failures_ = 0;
+  std::uint64_t faults_oom_ = 0, faults_backend_ = 0, faults_deadline_ = 0;
+  // Completion latencies, fixed-capacity ring (opt_.latency_window).
   std::vector<double> latencies_ms_;
+  std::size_t latency_next_ = 0;
 };
 
 }  // namespace qhip::engine

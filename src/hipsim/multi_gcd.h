@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/base/bits.h"
+#include "src/base/deadline.h"
 #include "src/base/error.h"
 #include "src/core/circuit.h"
 #include "src/hipsim/simulator_hip.h"
@@ -91,10 +92,13 @@ template <typename FP>
 class MultiGcdSimulator {
  public:
   // `num_gcds` must be a power of two >= 2; each GCD gets its own virtual
-  // device with `props` (MI250X GCD by default).
+  // device with `props` (MI250X GCD by default). A non-null `faults` plan is
+  // shared by all GCDs, so occurrence counters ("the Nth allocation") are
+  // global across the job rather than per device.
   MultiGcdSimulator(unsigned num_qubits, unsigned num_gcds,
                     vgpu::DeviceProps props = vgpu::mi250x_gcd(),
-                    Tracer* tracer = nullptr)
+                    Tracer* tracer = nullptr,
+                    std::shared_ptr<vgpu::FaultPlan> faults = nullptr)
       : n_(num_qubits),
         d_(log2_exact(num_gcds)),
         local_(num_qubits - d_),
@@ -106,6 +110,7 @@ class MultiGcdSimulator {
     std::iota(layout_.begin(), layout_.end(), 0u);  // phys slot -> logical q
     for (unsigned k = 0; k < num_gcds; ++k) {
       devices_.push_back(std::make_unique<vgpu::Device>(props, tracer));
+      if (faults) devices_.back()->set_fault_plan(faults);
       sims_.push_back(std::make_unique<SimulatorHIP<FP>>(*devices_.back()));
       states_.push_back(
           std::make_unique<DeviceStateVector<FP>>(*devices_.back(), local_));
@@ -165,11 +170,15 @@ class MultiGcdSimulator {
     }
   }
 
+  // `deadline` is checked between gates (cooperative cancellation; a gate's
+  // local launches and slot exchanges are never interrupted mid-flight).
   void run(const Circuit& c, std::uint64_t seed = 0,
-           std::vector<index_t>* measurements = nullptr) {
+           std::vector<index_t>* measurements = nullptr,
+           const Deadline& deadline = {}) {
     check(c.num_qubits == n_, "MultiGcdSimulator::run: qubit mismatch");
     std::uint64_t meas_idx = 0;
     for (const auto& g : c.gates) {
+      deadline.check("MultiGcdSimulator::run");
       if (g.is_measurement()) {
         const index_t outcome =
             measure(g.qubits, seed ^ (0x9E3779B97F4A7C15 * ++meas_idx));

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/base/deadline.h"
 #include "src/base/error.h"
 #include "src/core/circuit.h"
 #include "src/hipsim/simulator_hip_kernels.h"
@@ -97,11 +98,23 @@ class SimulatorHIP {
   }
 
   // Runs a circuit; measurement gate k uses Philox stream (seed, k).
+  // `deadline` adds cooperative cancellation between gates: with an active
+  // deadline the compute stream is joined every kDeadlineSyncGates gates
+  // (bounding how much work is enqueued-but-unseen) and the budget checked;
+  // expiry aborts with CodedError(kDeadlineExceeded). Gate kernels
+  // themselves are not preemptible, exactly like real HIP kernels.
   void run(const Circuit& c, DeviceStateVector<FP>& s, std::uint64_t seed = 0,
-           std::vector<index_t>* measurements = nullptr) {
+           std::vector<index_t>* measurements = nullptr,
+           const Deadline& deadline = {}) {
     check(s.num_qubits() == c.num_qubits, "SimulatorHIP::run: qubit mismatch");
     std::uint64_t meas_idx = 0;
+    unsigned since_checkpoint = 0;
     for (const auto& g : c.gates) {
+      if (deadline.active() && ++since_checkpoint >= kDeadlineSyncGates) {
+        since_checkpoint = 0;
+        dev_->synchronize();
+      }
+      deadline.check("SimulatorHIP::run");
       if (g.is_measurement()) {
         const index_t outcome =
             space_.measure(s, g.qubits, seed ^ (0x9E3779B97F4A7C15 * ++meas_idx));
@@ -113,6 +126,10 @@ class SimulatorHIP {
   }
 
  private:
+  // With an active deadline, join the device every this many gates so the
+  // wall clock reflects executed (not merely enqueued) work.
+  static constexpr unsigned kDeadlineSyncGates = 16;
+
   void upload_matrix(const CMatrix& m) {
     const std::vector<cplx<FP>> host = detail::matrix_as<FP>(m);
     // Don't overwrite the buffer until the kernel that last read it is done

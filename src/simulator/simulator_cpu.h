@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "src/base/deadline.h"
 #include "src/base/threadpool.h"
 #include "src/core/circuit.h"
 #include "src/prof/trace.h"
@@ -39,11 +40,16 @@ class SimulatorCPU {
 
   // Runs the whole circuit; measurement gate k uses Philox stream
   // (seed, k) and returns its outcome in `measurements` if non-null.
+  // `deadline` is checked between gate applications (the cooperative
+  // cancellation points — a single gate is never interrupted), aborting
+  // with CodedError(kDeadlineExceeded) once it lapses.
   void run(const Circuit& c, StateVector<FP>& state, std::uint64_t seed = 0,
-           std::vector<index_t>* measurements = nullptr) {
+           std::vector<index_t>* measurements = nullptr,
+           const Deadline& deadline = {}) {
     check(state.num_qubits() == c.num_qubits, "SimulatorCPU::run: qubit mismatch");
     std::uint64_t meas_idx = 0;
     for (const auto& g : c.gates) {
+      deadline.check("SimulatorCPU::run");
       if (g.is_measurement()) {
         const index_t outcome =
             statespace::measure(state, g.qubits, seed ^ (0x9E3779B97F4A7C15 * ++meas_idx),

@@ -1,8 +1,10 @@
 #include "src/vgpu/device.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "src/base/error.h"
 #include "src/base/strings.h"
@@ -16,6 +18,7 @@ Device::Device(DeviceProps props, Tracer* tracer, ThreadPool* pool,
   check(props_.warp_size == 32 || props_.warp_size == 64,
         "Device: warp size must be 32 or 64");
   execs_.resize(pool_->num_threads());
+  faults_ = FaultPlan::from_env();
 }
 
 Device::~Device() {
@@ -43,15 +46,43 @@ DeviceStats Device::stats() const {
   return stats_;
 }
 
+void Device::set_fault_plan(std::shared_ptr<FaultPlan> plan) {
+  std::lock_guard lk(faults_mu_);
+  faults_ = std::move(plan);
+}
+
+std::shared_ptr<FaultPlan> Device::fault_plan() const {
+  std::lock_guard lk(faults_mu_);
+  return faults_;
+}
+
+void Device::record_fault(const char* name, int lane) {
+  if (tracer_ != nullptr) {
+    tracer_->record(name, TraceKind::kHost, Timer::now_micros(), 0, lane);
+  }
+  std::lock_guard lk(stats_mu_);
+  ++stats_.faults_injected;
+}
+
 void* Device::malloc(std::size_t bytes) {
   check(bytes > 0, "vgpu::malloc: zero-byte allocation");
+  if (auto plan = fault_plan(); plan && plan->should_fail_malloc(bytes)) {
+    record_fault("fault/malloc_oom", 0);
+    throw CodedError(ErrorCode::kOutOfMemory,
+                     strfmt("vgpu::malloc: injected out-of-memory fault "
+                            "(%zu B requested)",
+                            bytes));
+  }
   const std::size_t charged = charged_size(bytes);
   {
     std::lock_guard lk(stats_mu_);
-    check(stats_.bytes_in_use + charged <= props_.global_mem_bytes,
+    if (stats_.bytes_in_use + charged > props_.global_mem_bytes) {
+      throw CodedError(
+          ErrorCode::kOutOfMemory,
           strfmt("vgpu::malloc: out of device memory (%zu B requested, %zu of "
                  "%zu B in use)",
                  bytes, stats_.bytes_in_use, props_.global_mem_bytes));
+    }
     stats_.bytes_in_use += charged;
     stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.bytes_in_use);
     ++stats_.allocs;
@@ -116,7 +147,46 @@ void Device::submit(Stream s, StreamOp op) {
   execute_op(op);
 }
 
+void Device::inject_stream_faults(const StreamOp& op) {
+  auto plan = fault_plan();
+  if (!plan) return;
+  const int lane = op.cfg.stream.id;
+  const double delay_ms = plan->latency_ms();
+  if (delay_ms > 0) {
+    ScopedTrace span(tracer_, "fault/latency", TraceKind::kHost, lane);
+    {
+      std::lock_guard lk(stats_mu_);
+      ++stats_.faults_injected;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+  }
+  switch (op.kind) {
+    case StreamOp::Kind::kMemcpyH2D:
+    case StreamOp::Kind::kMemcpyD2H:
+    case StreamOp::Kind::kMemcpyD2D:
+      if (plan->should_fail_memcpy()) {
+        record_fault("fault/memcpy", lane);
+        throw CodedError(ErrorCode::kBackendFault,
+                         strfmt("vgpu: injected memcpy fault (%s, stream %d)",
+                                op.name.c_str(), lane));
+      }
+      break;
+    case StreamOp::Kind::kKernel:
+      if (plan->should_fail_kernel()) {
+        record_fault("fault/kernel", lane);
+        throw CodedError(ErrorCode::kBackendFault,
+                         strfmt("vgpu: injected kernel fault (%s, stream %d)",
+                                op.name.c_str(), lane));
+      }
+      break;
+    case StreamOp::Kind::kRecordEvent:
+    case StreamOp::Kind::kWaitEvent:
+      break;  // synchronization markers never fault
+  }
+}
+
 void Device::execute_op(StreamOp& op) {
+  inject_stream_faults(op);
   switch (op.kind) {
     case StreamOp::Kind::kKernel:
       run_kernel(op);

@@ -37,6 +37,7 @@
 #include "src/base/threadpool.h"
 #include "src/prof/trace.h"
 #include "src/vgpu/device_props.h"
+#include "src/vgpu/fault.h"
 #include "src/vgpu/fiber_exec.h"
 #include "src/vgpu/stream_queue.h"
 
@@ -59,6 +60,7 @@ struct DeviceStats {
   std::size_t peak_bytes = 0;
   std::uint64_t allocs = 0;
   std::uint64_t frees = 0;
+  std::uint64_t faults_injected = 0;  // FaultPlan injections (all kinds)
 };
 
 class Device {
@@ -82,7 +84,17 @@ class Device {
   DeviceStats stats() const;
   Tracer* tracer() { return tracer_; }
 
-  // hipMalloc: throws qhip::Error when device capacity would be exceeded.
+  // Fault injection (see src/vgpu/fault.h). The constructor installs the
+  // QHIP_FAULT_SPEC plan when the variable is set; set_fault_plan overrides
+  // it (nullptr removes injection). The plan is consulted on the host thread
+  // for mallocs and on stream submitter threads for stream ops; every
+  // injected fault is recorded as a "fault/..." trace event and counted in
+  // stats().faults_injected.
+  void set_fault_plan(std::shared_ptr<FaultPlan> plan);
+  std::shared_ptr<FaultPlan> fault_plan() const;
+
+  // hipMalloc: throws qhip::CodedError(kOutOfMemory) when device capacity
+  // would be exceeded (or a FaultPlan injects an OOM).
   // Capacity is charged at the 256-byte allocation granularity.
   void* malloc(std::size_t bytes);
   // Typed convenience.
@@ -153,6 +165,11 @@ class Device {
   // Executes one op; runs on a stream's submitter thread (async) or the
   // host thread (legacy/eager).
   void execute_op(StreamOp& op);
+  // Applies the fault plan to one stream op: injects latency jitter, then
+  // throws CodedError(kBackendFault) when the op is scheduled to fail.
+  void inject_stream_faults(const StreamOp& op);
+  // Records an injected fault: trace event on `lane` + stats counter.
+  void record_fault(const char* name, int lane);
   void run_kernel(const StreamOp& op);
   std::shared_ptr<EventState> event_state(const Event& e, const char* what) const;
   // Joins all queues without rethrowing deferred errors (dtor/free path).
@@ -165,6 +182,11 @@ class Device {
 
   mutable std::mutex stats_mu_;
   DeviceStats stats_;
+
+  // Fault plan: read by submitter threads at op time, so swaps go through
+  // faults_mu_ (the plan object itself is internally synchronized).
+  mutable std::mutex faults_mu_;
+  std::shared_ptr<FaultPlan> faults_;
 
   // Host-control-thread state (like HIP, one thread drives the device API).
   std::map<const std::byte*, std::size_t> allocations_;  // base -> requested

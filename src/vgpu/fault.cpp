@@ -1,0 +1,206 @@
+#include "src/vgpu/fault.h"
+
+#include <cstdlib>
+
+#include "src/base/error.h"
+#include "src/base/strings.h"
+
+namespace qhip::vgpu {
+
+namespace {
+
+// Splits `s` on `sep`, dropping empty pieces (trailing ';' is harmless).
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    const std::string piece =
+        s.substr(start, end == std::string::npos ? std::string::npos : end - start);
+    if (!piece.empty()) out.push_back(piece);
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+FaultOp parse_op(const std::string& tok) {
+  if (tok == "malloc") return FaultOp::kMalloc;
+  if (tok == "memcpy") return FaultOp::kMemcpy;
+  if (tok == "kernel") return FaultOp::kKernel;
+  if (tok == "latency") return FaultOp::kLatency;
+  throw Error("fault spec: unknown op '" + tok +
+              "' (expected malloc|memcpy|kernel|latency)");
+}
+
+void validate(const FaultRule& r) {
+  const bool has_trigger = r.nth != 0 || r.every != 0 || r.over != 0;
+  if (r.op == FaultOp::kLatency) {
+    check(r.ms > 0, "fault spec: latency rule requires ms=<positive>");
+    check(r.over == 0, "fault spec: over= only applies to malloc");
+  } else {
+    check(r.ms == 0, "fault spec: ms= only applies to latency");
+    check(has_trigger,
+          strfmt("fault spec: %s rule needs a trigger (nth=, every= or over=)",
+                 to_string(r.op)));
+  }
+  if (r.over != 0) {
+    check(r.op == FaultOp::kMalloc, "fault spec: over= only applies to malloc");
+  }
+  check(!(r.nth != 0 && r.every != 0),
+        "fault spec: nth= and every= are mutually exclusive in one rule");
+}
+
+}  // namespace
+
+const char* to_string(FaultOp op) {
+  switch (op) {
+    case FaultOp::kMalloc: return "malloc";
+    case FaultOp::kMemcpy: return "memcpy";
+    case FaultOp::kKernel: return "kernel";
+    case FaultOp::kLatency: return "latency";
+  }
+  return "?";
+}
+
+FaultPlan::FaultPlan(std::vector<FaultRule> rules) : rules_(std::move(rules)) {
+  for (const FaultRule& r : rules_) validate(r);
+  fired_.assign(rules_.size(), 0);
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  std::vector<FaultRule> rules;
+  for (const std::string& rule_str : split(spec, ';')) {
+    const std::size_t colon = rule_str.find(':');
+    FaultRule r;
+    r.op = parse_op(rule_str.substr(0, colon));
+    if (colon != std::string::npos) {
+      for (const std::string& param : split(rule_str.substr(colon + 1), ',')) {
+        const std::size_t eq = param.find('=');
+        check(eq != std::string::npos,
+              "fault spec: parameter '" + param + "' is not key=value");
+        const std::string key = param.substr(0, eq);
+        const std::string value = param.substr(eq + 1);
+        if (key == "nth") {
+          r.nth = parse_uint(value, "fault spec nth");
+          check(r.nth > 0, "fault spec: nth= must be >= 1");
+        } else if (key == "every") {
+          r.every = parse_uint(value, "fault spec every");
+          check(r.every > 0, "fault spec: every= must be >= 1");
+        } else if (key == "over") {
+          r.over = static_cast<std::size_t>(parse_uint(value, "fault spec over"));
+          check(r.over > 0, "fault spec: over= must be >= 1");
+        } else if (key == "count") {
+          r.count = parse_uint(value, "fault spec count");
+        } else if (key == "ms") {
+          r.ms = parse_double(value, "fault spec ms");
+        } else {
+          throw Error("fault spec: unknown parameter '" + key +
+                      "' (expected nth|every|over|count|ms)");
+        }
+      }
+    }
+    rules.push_back(r);
+  }
+  return FaultPlan(std::move(rules));
+}
+
+std::shared_ptr<FaultPlan> FaultPlan::from_env() {
+  const char* env = std::getenv("QHIP_FAULT_SPEC");
+  if (env == nullptr || *env == '\0') return nullptr;
+  return std::make_shared<FaultPlan>(parse(env).rules());
+}
+
+std::string FaultPlan::to_spec() const {
+  std::string out;
+  for (const FaultRule& r : rules_) {
+    if (!out.empty()) out += ';';
+    out += to_string(r.op);
+    char prefix = ':';
+    const auto add = [&](const char* key, const std::string& value) {
+      out += prefix;
+      prefix = ',';
+      out += key;
+      out += '=';
+      out += value;
+    };
+    if (r.nth != 0) add("nth", std::to_string(r.nth));
+    if (r.every != 0) add("every", std::to_string(r.every));
+    if (r.over != 0) add("over", std::to_string(r.over));
+    if (r.count != 0) add("count", std::to_string(r.count));
+    if (r.ms != 0) add("ms", strfmt("%g", r.ms));
+  }
+  return out;
+}
+
+bool FaultPlan::fire(FaultOp op, std::uint64_t occurrence, std::size_t bytes) {
+  bool fired = false;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& r = rules_[i];
+    if (r.op != op) continue;
+    if (r.count != 0 && fired_[i] >= r.count) continue;
+    bool match = false;
+    if (r.nth != 0) {
+      match = occurrence == r.nth;
+    } else if (r.every != 0) {
+      match = occurrence % r.every == 0;
+    }
+    if (r.over != 0 && bytes > r.over) match = true;
+    if (match) {
+      ++fired_[i];
+      fired = true;
+    }
+  }
+  return fired;
+}
+
+bool FaultPlan::should_fail_malloc(std::size_t bytes) {
+  std::lock_guard lk(mu_);
+  if (fire(FaultOp::kMalloc, ++seen_malloc_, bytes)) {
+    ++stats_.malloc_oom;
+    return true;
+  }
+  return false;
+}
+
+bool FaultPlan::should_fail_memcpy() {
+  std::lock_guard lk(mu_);
+  if (fire(FaultOp::kMemcpy, ++seen_memcpy_, 0)) {
+    ++stats_.memcpy_faults;
+    return true;
+  }
+  return false;
+}
+
+bool FaultPlan::should_fail_kernel() {
+  std::lock_guard lk(mu_);
+  if (fire(FaultOp::kKernel, ++seen_kernel_, 0)) {
+    ++stats_.kernel_faults;
+    return true;
+  }
+  return false;
+}
+
+double FaultPlan::latency_ms() {
+  std::lock_guard lk(mu_);
+  const std::uint64_t occurrence = ++seen_latency_;
+  double total = 0;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& r = rules_[i];
+    if (r.op != FaultOp::kLatency) continue;
+    if (r.count != 0 && fired_[i] >= r.count) continue;
+    if (r.nth != 0 && occurrence != r.nth) continue;
+    if (r.every != 0 && occurrence % r.every != 0) continue;
+    ++fired_[i];
+    total += r.ms;
+  }
+  if (total > 0) ++stats_.latency_injections;
+  return total;
+}
+
+FaultStats FaultPlan::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+}  // namespace qhip::vgpu

@@ -1,0 +1,116 @@
+// Fault injection for the virtual GPU.
+//
+// The paper's port story is a robustness story: hipify gets a CUDA backend
+// 95% of the way onto AMD hardware, and the remaining 5% — allocation
+// failures, stream/runtime errors, timing skew — is what decides whether
+// the backend survives production traffic. The emulator only fails
+// deterministically on capacity arithmetic, so none of those paths can be
+// exercised. A FaultPlan makes the virtual device misbehave on demand:
+//
+//   * hipMalloc can fail on the Nth allocation, every Nth allocation, or
+//     for any request above a byte threshold (hipErrorOutOfMemory);
+//   * stream ops (kernel launches, hipMemcpyAsync and their synchronous
+//     forms) can return injected runtime errors — deferred to the next
+//     synchronize on async streams, exactly like real deferred HIP errors;
+//   * latency jitter can be added to stream ops, stretching the device
+//     timeline without changing any result.
+//
+// Plans are built programmatically (FaultPlan::parse) or from the
+// QHIP_FAULT_SPEC environment variable, which every Device reads at
+// construction. Spec grammar (round-trips through to_spec()):
+//
+//   spec  := rule (';' rule)*
+//   rule  := op ':' param (',' param)*
+//   op    := 'malloc' | 'memcpy' | 'kernel' | 'latency'
+//   param := 'nth=N'    fire exactly on the Nth occurrence (1-based), once
+//          | 'every=N'  fire on occurrences N, 2N, 3N, ...
+//          | 'over=B'   malloc only: fire when the request exceeds B bytes
+//          | 'count=C'  cap the total injections of this rule (0 = no cap)
+//          | 'ms=F'     latency only: delay injected per matching op
+//
+//   QHIP_FAULT_SPEC="malloc:nth=3;memcpy:every=10;latency:ms=2,every=4"
+//
+// Occurrence counters are device-wide and thread-safe (stream submitter
+// threads consult the plan at op-execution time). Every injected fault is
+// recorded in the Perfetto trace as a zero-duration "fault/..." event on
+// the op's stream lane, so injected failures are visible in the same
+// timeline as the kernels they break.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qhip::vgpu {
+
+enum class FaultOp { kMalloc, kMemcpy, kKernel, kLatency };
+
+const char* to_string(FaultOp op);
+
+struct FaultRule {
+  FaultOp op = FaultOp::kMalloc;
+  std::uint64_t nth = 0;    // fire exactly on this occurrence (0 = unused)
+  std::uint64_t every = 0;  // fire on every Nth occurrence (0 = unused)
+  std::size_t over = 0;     // malloc: fire when bytes > over (0 = unused)
+  std::uint64_t count = 0;  // cap on injections (0 = unlimited)
+  double ms = 0;            // latency: injected delay per matching op
+};
+
+struct FaultStats {
+  std::uint64_t malloc_oom = 0;
+  std::uint64_t memcpy_faults = 0;
+  std::uint64_t kernel_faults = 0;
+  std::uint64_t latency_injections = 0;
+
+  std::uint64_t total() const {
+    return malloc_oom + memcpy_faults + kernel_faults + latency_injections;
+  }
+};
+
+// A thread-safe fault schedule shared by one device (or, for multi-GCD
+// backends, across all GCDs — occurrence counters are then global, which
+// matches "the Nth allocation of the job" semantics).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::vector<FaultRule> rules);
+
+  // Parses the grammar above; throws qhip::Error with the offending token
+  // on malformed specs. An empty spec yields an empty (never-firing) plan.
+  static FaultPlan parse(const std::string& spec);
+
+  // Plan from QHIP_FAULT_SPEC, or nullptr when the variable is unset/empty.
+  static std::shared_ptr<FaultPlan> from_env();
+
+  // Canonical spec string: parse(to_spec()) == *this (round-trip).
+  std::string to_spec() const;
+
+  bool empty() const { return rules_.empty(); }
+  const std::vector<FaultRule>& rules() const { return rules_; }
+
+  // Decision hooks, called by the device at op time. Each consumes one
+  // occurrence of its kind and reports whether a fault fires for it.
+  bool should_fail_malloc(std::size_t bytes);
+  bool should_fail_memcpy();
+  bool should_fail_kernel();
+  // Milliseconds of injected delay for the next stream op (0 = none).
+  double latency_ms();
+
+  FaultStats stats() const;
+
+ private:
+  bool fire(FaultOp op, std::uint64_t occurrence, std::size_t bytes);
+
+  std::vector<FaultRule> rules_;
+
+  mutable std::mutex mu_;
+  std::uint64_t seen_malloc_ = 0, seen_memcpy_ = 0, seen_kernel_ = 0,
+                seen_latency_ = 0;
+  std::vector<std::uint64_t> fired_;  // injections per rule
+  FaultStats stats_;
+};
+
+}  // namespace qhip::vgpu

@@ -1,0 +1,203 @@
+// FaultPlan: spec grammar round-trips and parse errors, injected malloc OOM
+// (Nth occurrence and byte threshold), deferred stream faults on async
+// streams, kernel faults, latency jitter, and the trace/stats bookkeeping
+// every injection must leave behind.
+#include "src/vgpu/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/base/error.h"
+#include "src/base/timer.h"
+#include "src/prof/trace.h"
+#include "src/vgpu/device.h"
+
+namespace qhip::vgpu {
+namespace {
+
+std::size_t count_events(const Tracer& t, const std::string& name) {
+  std::size_t n = 0;
+  for (const TraceEvent& e : t.events()) {
+    if (e.name == name) ++n;
+  }
+  return n;
+}
+
+TEST(FaultPlan, SpecRoundTrips) {
+  const char* specs[] = {
+      "malloc:nth=3",
+      "malloc:over=1024",
+      "malloc:every=2,count=5",
+      "memcpy:every=10",
+      "kernel:nth=1",
+      "latency:ms=2.5",
+      "latency:every=4,ms=2",
+      "malloc:nth=3;memcpy:every=10;latency:every=4,ms=2",
+  };
+  for (const char* spec : specs) {
+    const FaultPlan plan = FaultPlan::parse(spec);
+    // Canonical form re-parses to itself (fixed key order, %g for ms).
+    const std::string canon = plan.to_spec();
+    EXPECT_EQ(FaultPlan::parse(canon).to_spec(), canon) << spec;
+  }
+  // Canonical key order is nth,every,over,count,ms regardless of input order.
+  EXPECT_EQ(FaultPlan::parse("latency:ms=2,every=4").to_spec(),
+            "latency:every=4,ms=2");
+  EXPECT_EQ(FaultPlan::parse("malloc:count=5,every=2").to_spec(),
+            "malloc:every=2,count=5");
+}
+
+TEST(FaultPlan, EmptySpec) {
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_EQ(FaultPlan::parse("").to_spec(), "");
+  FaultPlan none;
+  EXPECT_FALSE(none.should_fail_malloc(1 << 20));
+  EXPECT_FALSE(none.should_fail_memcpy());
+  EXPECT_FALSE(none.should_fail_kernel());
+  EXPECT_EQ(none.latency_ms(), 0.0);
+}
+
+TEST(FaultPlan, ParseErrors) {
+  EXPECT_THROW(FaultPlan::parse("frobnicate:nth=1"), Error);  // unknown op
+  EXPECT_THROW(FaultPlan::parse("malloc:bogus=1"), Error);    // unknown param
+  EXPECT_THROW(FaultPlan::parse("malloc:nth"), Error);        // not key=value
+  EXPECT_THROW(FaultPlan::parse("malloc"), Error);            // no trigger
+  EXPECT_THROW(FaultPlan::parse("malloc:nth=0"), Error);
+  EXPECT_THROW(FaultPlan::parse("malloc:nth=2,every=3"), Error);  // exclusive
+  EXPECT_THROW(FaultPlan::parse("memcpy:over=100"), Error);  // malloc-only
+  EXPECT_THROW(FaultPlan::parse("latency:every=2"), Error);  // needs ms
+  EXPECT_THROW(FaultPlan::parse("malloc:nth=1,ms=2"), Error);  // latency-only
+}
+
+TEST(FaultPlan, FromEnvReadsQhipFaultSpec) {
+  ::setenv("QHIP_FAULT_SPEC", "malloc:nth=2;latency:ms=1,every=3", 1);
+  const auto plan = FaultPlan::from_env();
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->to_spec(), "malloc:nth=2;latency:every=3,ms=1");
+  ::unsetenv("QHIP_FAULT_SPEC");
+  EXPECT_EQ(FaultPlan::from_env(), nullptr);
+}
+
+TEST(FaultPlan, NthFiresOnceEveryFiresRepeatedly) {
+  FaultPlan plan = FaultPlan::parse("malloc:nth=2;memcpy:every=3");
+  EXPECT_FALSE(plan.should_fail_malloc(1));
+  EXPECT_TRUE(plan.should_fail_malloc(1));   // 2nd occurrence
+  EXPECT_FALSE(plan.should_fail_malloc(1));  // nth fires exactly once
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_FALSE(plan.should_fail_memcpy());
+    EXPECT_FALSE(plan.should_fail_memcpy());
+    EXPECT_TRUE(plan.should_fail_memcpy());  // occurrences 3, 6, 9
+  }
+  EXPECT_EQ(plan.stats().malloc_oom, 1u);
+  EXPECT_EQ(plan.stats().memcpy_faults, 3u);
+  EXPECT_EQ(plan.stats().total(), 4u);
+}
+
+TEST(FaultPlan, CountCapsInjections) {
+  FaultPlan plan = FaultPlan::parse("kernel:every=1,count=2");
+  EXPECT_TRUE(plan.should_fail_kernel());
+  EXPECT_TRUE(plan.should_fail_kernel());
+  EXPECT_FALSE(plan.should_fail_kernel());  // cap reached
+  EXPECT_EQ(plan.stats().kernel_faults, 2u);
+}
+
+TEST(DeviceFaults, MallocFailsOnNthAllocationWithOomCode) {
+  Tracer tracer;
+  Device dev(test_device(), &tracer);
+  dev.set_fault_plan(
+      std::make_shared<FaultPlan>(FaultPlan::parse("malloc:nth=2").rules()));
+  void* a = dev.malloc(1024);
+  try {
+    dev.malloc(1024);
+    FAIL() << "expected injected OOM";
+  } catch (const CodedError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kOutOfMemory);
+  }
+  // The device stays usable, and the injection is visible in stats + trace.
+  void* b = dev.malloc(1024);
+  EXPECT_EQ(dev.stats().faults_injected, 1u);
+  EXPECT_EQ(count_events(tracer, "fault/malloc_oom"), 1u);
+  dev.free(a);
+  dev.free(b);
+}
+
+TEST(DeviceFaults, MallocFailsAboveByteThreshold) {
+  Device dev(test_device());
+  dev.set_fault_plan(
+      std::make_shared<FaultPlan>(FaultPlan::parse("malloc:over=4096").rules()));
+  void* small = dev.malloc(4096);  // not over the threshold
+  EXPECT_THROW(dev.malloc(4097), CodedError);
+  EXPECT_THROW(dev.malloc(1 << 20), CodedError);
+  dev.free(small);
+  EXPECT_EQ(dev.live_allocations(), 0u);
+}
+
+TEST(DeviceFaults, AsyncMemcpyFaultIsDeferredToSynchronize) {
+  Tracer tracer;
+  Device dev(test_device(), &tracer);
+  dev.set_fault_plan(
+      std::make_shared<FaultPlan>(FaultPlan::parse("memcpy:nth=1").rules()));
+  void* d = dev.malloc(64);
+  const Stream s = dev.create_stream();
+  char host[64] = {};
+  // Enqueue returns immediately; the injected error surfaces at the join,
+  // exactly like a real deferred HIP error.
+  dev.memcpy_h2d_async(d, host, sizeof(host), s);
+  try {
+    dev.stream_synchronize(s);
+    FAIL() << "expected deferred memcpy fault";
+  } catch (const CodedError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBackendFault);
+  }
+  // Error consumed: the stream is clean again and later ops succeed.
+  dev.memcpy_h2d_async(d, host, sizeof(host), s);
+  EXPECT_NO_THROW(dev.stream_synchronize(s));
+  EXPECT_EQ(count_events(tracer, "fault/memcpy"), 1u);
+  dev.free(d);
+}
+
+TEST(DeviceFaults, KernelFaultOnAsyncStream) {
+  Tracer tracer;
+  Device dev(test_device(), &tracer);
+  dev.set_fault_plan(
+      std::make_shared<FaultPlan>(FaultPlan::parse("kernel:nth=2").rules()));
+  const Stream s = dev.create_stream();
+  dev.launch("ok_kernel", {1, 1, 0, false, s}, [](KernelCtx&) {});
+  EXPECT_NO_THROW(dev.stream_synchronize(s));
+  dev.launch("doomed_kernel", {1, 1, 0, false, s}, [](KernelCtx&) {});
+  EXPECT_THROW(dev.stream_synchronize(s), CodedError);
+  EXPECT_EQ(count_events(tracer, "fault/kernel"), 1u);
+  EXPECT_EQ(dev.stats().kernel_launches, 2u);
+}
+
+TEST(DeviceFaults, LatencyInjectionStretchesOpsAndIsTraced) {
+  Tracer tracer;
+  Device dev(test_device(), &tracer);
+  dev.set_fault_plan(std::make_shared<FaultPlan>(
+      FaultPlan::parse("latency:ms=5,every=1").rules()));
+  void* d = dev.malloc(64);
+  char host[64] = {};
+  Timer t;
+  dev.memcpy_h2d(d, host, sizeof(host));  // sync: delay lands inline
+  EXPECT_GE(t.seconds(), 0.004);
+  EXPECT_GE(count_events(tracer, "fault/latency"), 1u);
+  EXPECT_GE(dev.stats().faults_injected, 1u);
+  const auto plan = dev.fault_plan();
+  EXPECT_GE(plan->stats().latency_injections, 1u);
+  dev.free(d);
+}
+
+TEST(DeviceFaults, ConstructorInstallsEnvPlan) {
+  ::setenv("QHIP_FAULT_SPEC", "malloc:nth=1", 1);
+  Device dev(test_device());
+  ::unsetenv("QHIP_FAULT_SPEC");
+  ASSERT_NE(dev.fault_plan(), nullptr);
+  EXPECT_THROW(dev.malloc(64), CodedError);
+  // Removing the plan restores normal behaviour.
+  dev.set_fault_plan(nullptr);
+  EXPECT_NO_THROW(dev.free(dev.malloc(64)));
+}
+
+}  // namespace
+}  // namespace qhip::vgpu
