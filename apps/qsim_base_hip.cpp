@@ -44,6 +44,7 @@ struct Args {
   unsigned print_amps = 8;
   std::size_t batch = 0;            // 0 = single-shot mode
   bool no_result_cache = false;     // --batch: force every request to run
+  std::string prom_file;            // --batch: Prometheus text dump ("-" = stdout)
   bool generate_rqc = false;
   unsigned rows = 0, cols = 0, depth = 0;
 };
@@ -52,7 +53,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: qsim_base_hip -c <circuit> [-a <amps>] %s\n"
-      "       qsim_base_hip -c <circuit> --batch <N> [--no-result-cache] [...]\n"
+      "       qsim_base_hip -c <circuit> --batch <N> [--no-result-cache]\n"
+      "                     [--prom <file|->] [...]\n"
       "       qsim_base_hip --generate-rqc <rows> <cols> <depth> -o <file>\n",
       qhip::cli::common_usage());
   return 1;
@@ -82,6 +84,12 @@ bool parse_args(int argc, char** argv, Args* a) {
         }
         if (arg == "--no-result-cache") {
           a->no_result_cache = true;
+          return true;
+        }
+        if (arg == "--prom") {
+          const char* v = next();
+          if (!v) return false;
+          a->prom_file = v;
           return true;
         }
         if (arg == "--generate-rqc") {
@@ -199,6 +207,19 @@ int run_batch(const Args& a, const Circuit& circuit, Tracer* tracer) {
     cli::print_samples(last.samples);
   }
   eng.export_metrics();  // engine/... counters into the trace JSON
+  if (!a.prom_file.empty()) {
+    const std::string text = m.to_prom_text();
+    if (a.prom_file == "-") {
+      std::fputs(text.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(a.prom_file.c_str(), "w");
+      check(f != nullptr, "cannot open '" + a.prom_file + "' for writing");
+      std::fputs(text.c_str(), f);
+      std::fclose(f);
+      std::printf("prometheus: %zu bytes -> %s\n", text.size(),
+                  a.prom_file.c_str());
+    }
+  }
   return ok == a.batch ? 0 : 1;
 }
 

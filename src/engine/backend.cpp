@@ -5,6 +5,7 @@
 
 #include "src/base/error.h"
 #include "src/base/strings.h"
+#include "src/base/timer.h"
 #include "src/hipsim/multi_gcd.h"
 #include "src/vgpu/fault.h"
 #include "src/hipsim/simulator_hip.h"
@@ -25,6 +26,36 @@ std::vector<cplx64> state_as_cplx64(const StateVector<FP>& s) {
   return out;
 }
 
+// Runs `fn` at scope exit: clears correlation ids on every path (a run that
+// throws must not leave the device tagged with a dead request's id).
+template <typename Fn>
+class ScopeExit {
+ public:
+  explicit ScopeExit(Fn fn) : fn_(std::move(fn)) {}
+  ~ScopeExit() { fn_(); }
+  ScopeExit(const ScopeExit&) = delete;
+  ScopeExit& operator=(const ScopeExit&) = delete;
+
+ private:
+  Fn fn_;
+};
+
+// Times `fn` and, when the run is request-bound, records a "sample" span on
+// the request's trace row (DESIGN.md §11). Returns elapsed seconds.
+template <typename Fn>
+double timed_sample(Tracer* tracer, std::uint64_t corr, Fn&& fn) {
+  Timer t;
+  const std::uint64_t t0 = Timer::now_micros();
+  fn();
+  const double seconds = t.seconds();
+  if (tracer != nullptr && corr != 0) {
+    tracer->record("sample", TraceKind::kSpan, t0,
+                   static_cast<std::uint64_t>(seconds * 1e6), span_lane(corr),
+                   0, corr);
+  }
+  return seconds;
+}
+
 // ---------------------------------------------------------------------------
 // CPU backend: SimulatorCPU over pooled host StateVectors.
 
@@ -40,6 +71,7 @@ class CpuBackend final : public Backend {
  public:
   explicit CpuBackend(Tracer* tracer)
       : sim_(ThreadPool::shared(), tracer),
+        tracer_(tracer),
         description_(strfmt("CPU (%u threads)", ThreadPool::shared().num_threads())) {}
 
   const std::string& spec() const override { return spec_; }
@@ -51,6 +83,8 @@ class CpuBackend final : public Backend {
   unsigned max_qubits() const override { return 30; }
 
   BackendRunOutput run(const Circuit& fused, const BackendRunSpec& rs) override {
+    sim_.set_correlation(rs.corr);
+    ScopeExit clear_corr([this] { sim_.set_correlation(0); });
     const unsigned n = fused.num_qubits;
     std::optional<StateVector<FP>> pooled = pool_.acquire(n);
     StateVector<FP> state = pooled ? std::move(*pooled) : StateVector<FP>(n);
@@ -59,7 +93,9 @@ class CpuBackend final : public Backend {
     BackendRunOutput out;
     sim_.run(fused, state, rs.seed, &out.measurements, rs.deadline);
     if (rs.num_samples > 0) {
-      out.samples = statespace::sample(state, rs.num_samples, rs.seed);
+      out.sample_seconds = timed_sample(tracer_, rs.corr, [&] {
+        out.samples = statespace::sample(state, rs.num_samples, rs.seed);
+      });
     }
     out.amplitudes.reserve(rs.amplitude_indices.size());
     for (index_t i : rs.amplitude_indices) {
@@ -77,6 +113,7 @@ class CpuBackend final : public Backend {
 
  private:
   SimulatorCPU<FP> sim_;
+  Tracer* tracer_;
   std::string spec_ = "cpu";
   std::string description_;
   engine::BufferPool<StateVector<FP>> pool_;
@@ -110,6 +147,8 @@ class GpuBackend final : public Backend {
   }
 
   BackendRunOutput run(const Circuit& fused, const BackendRunSpec& rs) override {
+    dev_.set_correlation(rs.corr);
+    ScopeExit clear_corr([this] { dev_.set_correlation(0); });
     try {
       const unsigned n = fused.num_qubits;
       std::optional<hipsim::DeviceStateVector<FP>> pooled = pool_.acquire(n);
@@ -123,7 +162,9 @@ class GpuBackend final : public Backend {
       // caller's wall-clock covers the real work.
       dev_.synchronize();
       if (rs.num_samples > 0) {
-        out.samples = sim_.state_space().sample(state, rs.num_samples, rs.seed);
+        out.sample_seconds = timed_sample(dev_.tracer(), rs.corr, [&] {
+          out.samples = sim_.state_space().sample(state, rs.num_samples, rs.seed);
+        });
       }
       if (!rs.amplitude_indices.empty()) {
         const auto amps = sim_.state_space().get_amplitudes(state, rs.amplitude_indices);
@@ -202,6 +243,14 @@ class MultiGcdBackend final : public Backend {
     }
     hipsim::MultiGcdSimulator<FP>& sim = *it->second;
 
+    for (unsigned k = 0; k < sim.num_gcds(); ++k) {
+      sim.device(k).set_correlation(rs.corr);
+    }
+    ScopeExit clear_corr([&sim] {
+      for (unsigned k = 0; k < sim.num_gcds(); ++k) {
+        sim.device(k).set_correlation(0);
+      }
+    });
     try {
       return run_on(sim, fused, rs);
     } catch (...) {
@@ -225,7 +274,11 @@ class MultiGcdBackend final : public Backend {
     BackendRunOutput out;
     sim.run(fused, rs.seed, &out.measurements, rs.deadline);
     sim.synchronize();
-    if (rs.num_samples > 0) out.samples = sim.sample(rs.num_samples, rs.seed);
+    if (rs.num_samples > 0) {
+      out.sample_seconds = timed_sample(tracer_, rs.corr, [&] {
+        out.samples = sim.sample(rs.num_samples, rs.seed);
+      });
+    }
     if (!rs.amplitude_indices.empty() || rs.want_state) {
       const StateVector<FP> host = sim.to_host();
       out.amplitudes.reserve(rs.amplitude_indices.size());
@@ -248,10 +301,12 @@ class MultiGcdBackend final : public Backend {
     s.hits = pool_hits_;
     s.misses = pool_misses_;
     for (const auto& [n, sim] : sims_) {
-      // Local slab + half-size exchange buffer per GCD.
+      // Local slab + half-size exchange buffer per GCD. buffers_pooled
+      // counts one buffer per GCD slab, matching the byte accounting (it
+      // used to count one per qubit size while the bytes summed every GCD).
       const std::size_t local = pow2(n - log2_exact(num_gcds_)) * sizeof(cplx<FP>);
       s.bytes_pooled += num_gcds_ * (local + local / 2);
-      ++s.buffers_pooled;
+      s.buffers_pooled += num_gcds_;
     }
     return s;
   }

@@ -46,6 +46,10 @@ struct BackendRunSpec {
   // expiry run() aborts with CodedError(kDeadlineExceeded). Default:
   // inactive (never fires).
   Deadline deadline;
+  // Request correlation id (DESIGN.md §11): when non-zero, every kernel and
+  // memcpy trace event produced by this run carries the id, and backends
+  // record a "sample" span on the request's trace row. 0 = untraced.
+  std::uint64_t corr = 0;
 };
 
 struct BackendRunOutput {
@@ -53,6 +57,9 @@ struct BackendRunOutput {
   std::vector<index_t> samples;
   std::vector<cplx64> amplitudes;     // one per requested index
   std::vector<cplx64> state;          // full state iff want_state
+  // Wall-clock spent drawing Born-rule samples (0 when none requested);
+  // feeds the engine's per-stage sample-latency histogram.
+  double sample_seconds = 0;
   // Backend-specific counters ("slot_swaps", "peer_bytes", ... for hip:N).
   std::map<std::string, double> counters;
 };

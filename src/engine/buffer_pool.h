@@ -66,9 +66,11 @@ class BufferPool {
     ++stats_.buffers_pooled;
   }
 
-  // Frees every pooled buffer (hit/miss counters are preserved).
+  // Frees every pooled buffer (hit/miss counters are preserved; the freed
+  // buffers count as discarded, same as capacity drops in release()).
   void clear() {
     std::lock_guard lk(mu_);
+    stats_.discarded += stats_.buffers_pooled;
     pool_.clear();
     stats_.bytes_pooled = 0;
     stats_.buffers_pooled = 0;

@@ -46,7 +46,9 @@ std::size_t approx_result_bytes(const SimResult& r) {
          r.amplitudes.size() * sizeof(cplx64) + r.state.size() * sizeof(cplx64);
 }
 
-double percentile(std::vector<double> sorted, double p) {
+// `sorted` must already be in ascending order (sorted once at the call
+// site); taking it by reference avoids a full copy per percentile query.
+double percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0;
   const double pos = p * static_cast<double>(sorted.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(pos);
@@ -122,6 +124,8 @@ struct SimulationEngine::Job {
   SimRequest req;
   std::promise<SimResult> promise;
   Timer queued;  // started at submit
+  std::uint64_t corr = 0;       // request id = trace correlation id
+  std::uint64_t submit_us = 0;  // trace timestamp of submit (Timer clock)
 };
 
 struct SimulationEngine::BackendSlot {
@@ -160,9 +164,21 @@ SimResult SimulationEngine::rejected(std::string why, SimErrorCode code) {
   return r;
 }
 
+void SimulationEngine::span(const char* name, std::uint64_t corr,
+                            std::uint64_t ts_us, std::uint64_t dur_us,
+                            std::string detail) const {
+  if (opt_.tracer == nullptr || corr == 0) return;
+  opt_.tracer->record(name, TraceKind::kSpan, ts_us, dur_us, span_lane(corr),
+                      0, corr, std::move(detail));
+}
+
 std::future<SimResult> SimulationEngine::submit(SimRequest req) {
   Job job;
   job.req = std::move(req);
+  job.corr = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  job.submit_us = Timer::now_micros();
+  const std::uint64_t corr = job.corr;
+  const std::uint64_t submit_us = job.submit_us;
   std::future<SimResult> fut = job.promise.get_future();
   {
     std::lock_guard lk(metrics_mu_);
@@ -182,8 +198,11 @@ std::future<SimResult> SimulationEngine::submit(SimRequest req) {
       queue_.push_back(std::move(job));
     }
   }
+  span("admit", corr, submit_us, Timer::now_micros() - submit_us,
+       reject_now ? why : std::string());
   if (reject_now) {
     SimResult r = rejected(std::move(why));
+    r.request_id = corr;
     record_done(r);
     job.promise.set_value(std::move(r));
   } else {
@@ -251,16 +270,21 @@ void SimulationEngine::count_fault(SimErrorCode code) {
 SimResult SimulationEngine::execute_with_retries(const SimRequest& q,
                                                  const std::string& spec,
                                                  const Deadline& deadline,
+                                                 std::uint64_t corr,
                                                  unsigned* attempts) {
   SimResult res;
   try {
     bool fused_hit = false;
     Timer tf;
+    const std::uint64_t fuse_start_us = Timer::now_micros();
     std::shared_ptr<const FusionResult> fused = fused_cache_.get_or_fuse(
         q.circuit, FusionOptions{q.max_fused, q.window}, &fused_hit);
     res.fuse_seconds = tf.seconds();
     res.fused_cache_hit = fused_hit;
     res.fusion = fused->stats;
+    span("fuse", corr, fuse_start_us,
+         static_cast<std::uint64_t>(res.fuse_seconds * 1e6),
+         fused_hit ? "cache-hit" : "cache-miss");
 
     BackendSlot& slot = resolve_backend(spec, q.precision);
     if (q.circuit.num_qubits > slot.backend->max_qubits()) {
@@ -281,11 +305,13 @@ SimResult SimulationEngine::execute_with_retries(const SimRequest& q,
     rs.amplitude_indices = q.amplitude_indices;
     rs.want_state = q.want_state;
     rs.deadline = deadline;
+    rs.corr = corr;
 
     const unsigned max_attempts = std::max(1u, opt_.max_attempts);
     double backoff = std::max(0.0, opt_.retry_backoff_seconds);
     for (unsigned attempt = 1;; ++attempt) {
       ++*attempts;
+      const std::uint64_t run_start_us = Timer::now_micros();
       try {
         Timer tr;
         BackendRunOutput out;
@@ -294,11 +320,15 @@ SimResult SimulationEngine::execute_with_retries(const SimRequest& q,
           out = slot.backend->run(fused->circuit, rs);
         }
         res.run_seconds = tr.seconds();
+        span("execute", corr, run_start_us,
+             static_cast<std::uint64_t>(res.run_seconds * 1e6),
+             strfmt("attempt %u on %s: ok", attempt, spec.c_str()));
         res.measurements = std::move(out.measurements);
         res.samples = std::move(out.samples);
         res.amplitudes = std::move(out.amplitudes);
         res.state = std::move(out.state);
         res.counters = std::move(out.counters);
+        res.sample_seconds = out.sample_seconds;
         res.ok = true;
         res.code = SimErrorCode::kOk;
         res.backend_used = spec;
@@ -306,6 +336,10 @@ SimResult SimulationEngine::execute_with_retries(const SimRequest& q,
       } catch (const CodedError& e) {
         const SimErrorCode code = classify(e.code());
         count_fault(code);
+        span("execute", corr, run_start_us,
+             Timer::now_micros() - run_start_us,
+             strfmt("attempt %u on %s: %s", attempt, spec.c_str(),
+                    to_string(code)));
         if (!transient(code) || attempt >= max_attempts || deadline.expired()) {
           SimResult r = rejected(e.what(), code);
           r.backend_used = spec;
@@ -334,6 +368,8 @@ void SimulationEngine::process(Job& job) {
   const SimRequest& q = job.req;
   SimResult res;
   res.queue_seconds = job.queued.seconds();
+  span("queue", job.corr, job.submit_us,
+       static_cast<std::uint64_t>(res.queue_seconds * 1e6));
   std::uint64_t key = 0;
   std::string summary;
   std::shared_ptr<Flight> flight;  // non-null iff this worker owns the run
@@ -423,13 +459,14 @@ void SimulationEngine::process(Job& job) {
           deadline = Deadline::after(q.timeout_seconds - res.queue_seconds);
         }
         unsigned attempts = 0;
-        SimResult ex = execute_with_retries(q, q.backend, deadline, &attempts);
+        SimResult ex =
+            execute_with_retries(q, q.backend, deadline, job.corr, &attempts);
         bool fell_back = false;
         if (!ex.ok && transient(ex.code) && !opt_.fallback_backend.empty() &&
             opt_.fallback_backend != q.backend &&
             is_backend_spec(opt_.fallback_backend)) {
           ex = execute_with_retries(q, opt_.fallback_backend, deadline,
-                                    &attempts);
+                                    job.corr, &attempts);
           fell_back = true;
           std::lock_guard lk(metrics_mu_);
           ++fallbacks_;
@@ -475,7 +512,21 @@ void SimulationEngine::process(Job& job) {
     results_cv_.notify_all();
   }
 
+  res.request_id = job.corr;
   res.total_seconds = job.queued.seconds();
+  // Enclosing span: the flow-event anchor linking this request's trace row
+  // to the kernels and memcpys its backend run produced.
+  std::string outcome;
+  if (!res.ok) {
+    outcome = to_string(res.code);
+  } else if (res.result_cache_hit) {
+    outcome = "ok: cache-hit";
+  } else {
+    outcome = "ok on " + res.backend_used;
+    if (res.fallback_used) outcome += " (fallback)";
+  }
+  span("request", job.corr, job.submit_us,
+       static_cast<std::uint64_t>(res.total_seconds * 1e6), outcome);
   record_done(res);
   job.promise.set_value(std::move(res));
 }
@@ -492,6 +543,19 @@ void SimulationEngine::record_done(const SimResult& res) {
         latencies_ms_[latency_next_] = ms;
         latency_next_ = (latency_next_ + 1) % opt_.latency_window;
       }
+    }
+    hist_queue_ms_.record(res.queue_seconds * 1e3);
+    hist_total_ms_.record(res.total_seconds * 1e3);
+    hist_result_bytes_.record(static_cast<double>(approx_result_bytes(res)));
+    if (!res.result_cache_hit) {
+      // Stage latencies and fusion width only exist for actual runs; a
+      // cache hit would record misleading zeros.
+      hist_fuse_ms_.record(res.fuse_seconds * 1e3);
+      hist_execute_ms_.record(res.run_seconds * 1e3);
+      if (res.sample_seconds > 0) {
+        hist_sample_ms_.record(res.sample_seconds * 1e3);
+      }
+      hist_fused_gates_.record(static_cast<double>(res.fusion.output_gates));
     }
   } else {
     ++rejected_;
@@ -522,6 +586,13 @@ EngineMetrics SimulationEngine::metrics() const {
       for (double v : lat) sum += v;
       m.mean_ms = sum / static_cast<double>(lat.size());
     }
+    m.queue_ms = hist_queue_ms_;
+    m.fuse_ms = hist_fuse_ms_;
+    m.execute_ms = hist_execute_ms_;
+    m.sample_ms = hist_sample_ms_;
+    m.total_ms = hist_total_ms_;
+    m.fused_gates = hist_fused_gates_;
+    m.result_bytes = hist_result_bytes_;
   }
   m.fused_cache = fused_cache_.stats();
   {
@@ -531,10 +602,113 @@ EngineMetrics SimulationEngine::metrics() const {
       const PoolStats ps = slot->backend->pool_stats();
       m.pool_hits += ps.hits;
       m.pool_misses += ps.misses;
+      m.pool_discarded += ps.discarded;
       m.bytes_pooled += ps.bytes_pooled;
+      m.buffers_pooled += ps.buffers_pooled;
     }
   }
   return m;
+}
+
+namespace {
+
+// Trims the trailing zeros strfmt("%g") would not produce; bucket bounds
+// like 0.08 and 81.92 stay short and stable across platforms.
+std::string bound_label(double b) { return strfmt("%g", b); }
+
+// One histogram as Prometheus exposition text: cumulative le buckets
+// (including +Inf), then _sum and _count. `labels` is the inner label set
+// without braces (e.g. "stage=\"queue\""), may be empty.
+void prom_histogram(std::string& out, const std::string& family,
+                    const std::string& labels, const prof::Histogram& h) {
+  std::uint64_t cum = 0;
+  const std::string sep = labels.empty() ? "" : ",";
+  for (std::size_t i = 0; i < h.num_buckets(); ++i) {
+    cum += h.bucket_count(i);
+    out += strfmt("%s_bucket{%s%sle=\"%s\"} %llu\n", family.c_str(),
+                  labels.c_str(), sep.c_str(),
+                  bound_label(h.upper_bound(i)).c_str(),
+                  static_cast<unsigned long long>(cum));
+  }
+  cum += h.bucket_count(h.num_buckets());
+  out += strfmt("%s_bucket{%s%sle=\"+Inf\"} %llu\n", family.c_str(),
+                labels.c_str(), sep.c_str(),
+                static_cast<unsigned long long>(cum));
+  const std::string brace = labels.empty() ? "" : "{" + labels + "}";
+  out += strfmt("%s_sum%s %.9g\n", family.c_str(), brace.c_str(), h.sum());
+  out += strfmt("%s_count%s %llu\n", family.c_str(), brace.c_str(),
+                static_cast<unsigned long long>(h.count()));
+}
+
+void prom_counter(std::string& out, const char* name, const char* help,
+                  const char* type, double v) {
+  out += strfmt("# HELP %s %s\n# TYPE %s %s\n%s %.9g\n", name, help, name,
+                type, name, v);
+}
+
+}  // namespace
+
+std::string EngineMetrics::to_prom_text() const {
+  std::string out;
+  out.reserve(4096);
+  prom_counter(out, "qhip_engine_requests_submitted", "Requests submitted",
+               "counter", static_cast<double>(submitted));
+  prom_counter(out, "qhip_engine_requests_completed", "Requests served ok",
+               "counter", static_cast<double>(completed));
+  prom_counter(out, "qhip_engine_requests_rejected",
+               "Requests failed or rejected", "counter",
+               static_cast<double>(rejected));
+  prom_counter(out, "qhip_engine_result_cache_hits",
+               "Requests served from the result cache or a coalesced flight",
+               "counter", static_cast<double>(result_cache_hits));
+  prom_counter(out, "qhip_engine_retries", "Backend run retries", "counter",
+               static_cast<double>(retries));
+  prom_counter(out, "qhip_engine_fallbacks",
+               "Requests degraded to the fallback backend", "counter",
+               static_cast<double>(fallbacks));
+  prom_counter(out, "qhip_engine_coalesced_failures",
+               "Waiters served a propagated failure", "counter",
+               static_cast<double>(coalesced_failures));
+  prom_counter(out, "qhip_engine_faults_oom", "Out-of-memory attempt failures",
+               "counter", static_cast<double>(faults_oom));
+  prom_counter(out, "qhip_engine_faults_backend",
+               "Device-fault attempt failures", "counter",
+               static_cast<double>(faults_backend));
+  prom_counter(out, "qhip_engine_faults_deadline", "Deadline expiries",
+               "counter", static_cast<double>(faults_deadline));
+  prom_counter(out, "qhip_engine_fused_cache_hit_rate",
+               "Fused-circuit cache hit rate", "gauge",
+               fused_cache.hit_rate());
+  prom_counter(out, "qhip_engine_pool_hits", "State-buffer pool hits",
+               "counter", static_cast<double>(pool_hits));
+  prom_counter(out, "qhip_engine_pool_misses", "State-buffer pool misses",
+               "counter", static_cast<double>(pool_misses));
+  prom_counter(out, "qhip_engine_pool_discarded",
+               "State buffers dropped by the pools", "counter",
+               static_cast<double>(pool_discarded));
+  prom_counter(out, "qhip_engine_bytes_pooled", "Bytes parked in pools",
+               "gauge", static_cast<double>(bytes_pooled));
+  prom_counter(out, "qhip_engine_buffers_pooled", "Buffers parked in pools",
+               "gauge", static_cast<double>(buffers_pooled));
+  prom_counter(out, "qhip_engine_backends_created", "Live backend instances",
+               "gauge", static_cast<double>(backends_created));
+
+  out += "# HELP qhip_engine_stage_latency_ms Per-stage request latency\n";
+  out += "# TYPE qhip_engine_stage_latency_ms histogram\n";
+  const std::pair<const char*, const prof::Histogram*> stages[] = {
+      {"queue", &queue_ms},   {"fuse", &fuse_ms}, {"execute", &execute_ms},
+      {"sample", &sample_ms}, {"total", &total_ms}};
+  for (const auto& [stage, h] : stages) {
+    prom_histogram(out, "qhip_engine_stage_latency_ms",
+                   strfmt("stage=\"%s\"", stage), *h);
+  }
+  out += "# HELP qhip_engine_fused_gates Fused gates per executed request\n";
+  out += "# TYPE qhip_engine_fused_gates histogram\n";
+  prom_histogram(out, "qhip_engine_fused_gates", "", fused_gates);
+  out += "# HELP qhip_engine_result_bytes Result payload bytes per request\n";
+  out += "# TYPE qhip_engine_result_bytes histogram\n";
+  prom_histogram(out, "qhip_engine_result_bytes", "", result_bytes);
+  return out;
 }
 
 void SimulationEngine::export_metrics() const {
@@ -561,12 +735,31 @@ void SimulationEngine::export_metrics() const {
                 static_cast<double>(m.fused_cache.approx_bytes));
   t.set_counter("engine/pool_hits", static_cast<double>(m.pool_hits));
   t.set_counter("engine/pool_misses", static_cast<double>(m.pool_misses));
+  t.set_counter("engine/pool_discarded", static_cast<double>(m.pool_discarded));
   t.set_counter("engine/bytes_pooled", static_cast<double>(m.bytes_pooled));
+  t.set_counter("engine/buffers_pooled", static_cast<double>(m.buffers_pooled));
   t.set_counter("engine/backends_created",
                 static_cast<double>(m.backends_created));
   t.set_counter("engine/latency_p50_ms", m.p50_ms);
   t.set_counter("engine/latency_p95_ms", m.p95_ms);
   t.set_counter("engine/latency_mean_ms", m.mean_ms);
+  // Histogram buckets, one counter per non-empty bucket so the trace JSON
+  // carries the full distributions next to the kernel timeline.
+  const std::pair<const char*, const prof::Histogram*> hists[] = {
+      {"queue_ms", &m.queue_ms},       {"fuse_ms", &m.fuse_ms},
+      {"execute_ms", &m.execute_ms},   {"sample_ms", &m.sample_ms},
+      {"total_ms", &m.total_ms},       {"fused_gates", &m.fused_gates},
+      {"result_bytes", &m.result_bytes}};
+  for (const auto& [name, h] : hists) {
+    for (std::size_t i = 0; i <= h->num_buckets(); ++i) {
+      if (h->bucket_count(i) == 0) continue;
+      const std::string le = i < h->num_buckets()
+                                 ? strfmt("%g", h->upper_bound(i))
+                                 : std::string("inf");
+      t.set_counter(strfmt("engine/hist/%s/le_%s", name, le.c_str()),
+                    static_cast<double>(h->bucket_count(i)));
+    }
+  }
 }
 
 }  // namespace qhip::engine

@@ -32,6 +32,7 @@
 // export_metrics().
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -46,6 +47,7 @@
 #include "src/core/circuit.h"
 #include "src/engine/backend.h"
 #include "src/engine/circuit_cache.h"
+#include "src/prof/histogram.h"
 #include "src/prof/trace.h"
 
 namespace qhip::engine {
@@ -85,6 +87,11 @@ struct SimResult {
   SimErrorCode code = SimErrorCode::kOk;  // != kOk exactly when !ok
   std::string error;  // set when !ok (rejection or execution failure)
 
+  // Stable per-request id, assigned at submit (1, 2, ...). Doubles as the
+  // trace correlation id: the request's spans and the kernel/memcpy events
+  // its backend run produced all carry it (DESIGN.md §11).
+  std::uint64_t request_id = 0;
+
   std::vector<index_t> measurements;
   std::vector<index_t> samples;
   std::vector<cplx64> amplitudes;
@@ -100,6 +107,7 @@ struct SimResult {
   double fuse_seconds = 0;
   double queue_seconds = 0;  // submit -> dispatch
   double run_seconds = 0;    // backend execution (0 on a result-cache hit)
+  double sample_seconds = 0; // Born-rule sampling within the backend run
   double total_seconds = 0;  // submit -> completion
 };
 
@@ -145,11 +153,29 @@ struct EngineMetrics {
   FusedCacheStats fused_cache;
   std::uint64_t pool_hits = 0;   // summed over live backends
   std::uint64_t pool_misses = 0;
+  std::uint64_t pool_discarded = 0;  // buffers dropped (capacity or trim)
   std::size_t bytes_pooled = 0;
+  std::size_t buffers_pooled = 0;
   std::size_t backends_created = 0;
   double p50_ms = 0;   // completion latency percentiles (submit -> done)
   double p95_ms = 0;   // (over the bounded latency reservoir)
   double mean_ms = 0;
+
+  // Fixed-bucket log-scale distributions over *all* completed (ok) requests
+  // since engine start — unlike the bounded reservoir above, these never
+  // forget and aggregate across engines (docs/OBSERVABILITY.md).
+  prof::Histogram queue_ms = prof::latency_ms_histogram();
+  prof::Histogram fuse_ms = prof::latency_ms_histogram();
+  prof::Histogram execute_ms = prof::latency_ms_histogram();
+  prof::Histogram sample_ms = prof::latency_ms_histogram();
+  prof::Histogram total_ms = prof::latency_ms_histogram();
+  prof::Histogram fused_gates = prof::count_histogram();
+  prof::Histogram result_bytes = prof::bytes_histogram();
+
+  // Prometheus text exposition (version 0.0.4): counters, gauges and the
+  // histograms above as qhip_engine_* families, ready for a /metrics scrape
+  // or `qsim_base_hip --prom` (field reference in docs/OBSERVABILITY.md).
+  std::string to_prom_text() const;
 };
 
 // Exact identity of a request's result: every field that affects the
@@ -208,7 +234,12 @@ class SimulationEngine {
   // the backend's device memory, run with retries/backoff. Returns the
   // structured outcome; never throws.
   SimResult execute_with_retries(const SimRequest& q, const std::string& spec,
-                                 const Deadline& deadline, unsigned* attempts);
+                                 const Deadline& deadline, std::uint64_t corr,
+                                 unsigned* attempts);
+  // Records a request-lifecycle span ([ts_us, ts_us+dur_us]) on the trace
+  // row of request `corr` (no-op without a tracer).
+  void span(const char* name, std::uint64_t corr, std::uint64_t ts_us,
+            std::uint64_t dur_us, std::string detail = {}) const;
   BackendSlot& resolve_backend(const std::string& spec, Precision precision);
   static std::uint64_t result_key(const SimRequest& req);
   void record_done(const SimResult& res);
@@ -218,6 +249,7 @@ class SimulationEngine {
 
   EngineOptions opt_;
   FusedCircuitCache fused_cache_;
+  std::atomic<std::uint64_t> next_request_id_{1};
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
@@ -244,6 +276,14 @@ class SimulationEngine {
   // Completion latencies, fixed-capacity ring (opt_.latency_window).
   std::vector<double> latencies_ms_;
   std::size_t latency_next_ = 0;
+  // Per-stage distributions over all ok results (guarded by metrics_mu_).
+  prof::Histogram hist_queue_ms_ = prof::latency_ms_histogram();
+  prof::Histogram hist_fuse_ms_ = prof::latency_ms_histogram();
+  prof::Histogram hist_execute_ms_ = prof::latency_ms_histogram();
+  prof::Histogram hist_sample_ms_ = prof::latency_ms_histogram();
+  prof::Histogram hist_total_ms_ = prof::latency_ms_histogram();
+  prof::Histogram hist_fused_gates_ = prof::count_histogram();
+  prof::Histogram hist_result_bytes_ = prof::bytes_histogram();
 };
 
 }  // namespace qhip::engine

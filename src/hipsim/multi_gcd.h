@@ -212,29 +212,30 @@ class MultiGcdSimulator {
     return out;
   }
 
-  // Born sampling across GCDs; returned indices are logical.
-  std::vector<index_t> sample(std::size_t num_samples, std::uint64_t seed) {
-    if (num_samples == 0) return {};
-    // Per-GCD mass.
+  // Maps ascending unit positions — fractions of the total squared mass —
+  // to logical sample indices; the sampling core behind sample(). Public as
+  // a testable seam: positions at or beyond 1.0 fall past every cumulative
+  // boundary and exercise the rounding tail below, which uniform draws in
+  // [0, 1) almost never reach through sample() itself.
+  std::vector<index_t> resolve_sorted_positions(std::vector<double> rs,
+                                                std::uint64_t seed) {
+    // Per-GCD mass. The split loop accumulates csum in the same order, so
+    // the final boundary is bit-identical to `total`.
     std::vector<double> mass(num_gcds());
     double total = 0;
     for (unsigned k = 0; k < num_gcds(); ++k) {
       mass[k] = sims_[k]->state_space().norm2(*states_[k]);
       total += mass[k];
     }
-    // Sorted uniforms over the total mass, split by GCD.
-    std::vector<double> rs(num_samples);
-    Philox rng(seed, /*stream=*/0x6a17);
-    for (auto& r : rs) r = rng.uniform() * total;
-    std::sort(rs.begin(), rs.end());
+    for (auto& r : rs) r *= total;
 
     std::vector<index_t> out;
-    out.reserve(num_samples);
+    out.reserve(rs.size());
     double csum = 0;
     std::size_t k0 = 0;
     for (unsigned k = 0; k < num_gcds(); ++k) {
       std::size_t k1 = k0;
-      while (k1 < num_samples && rs[k1] < csum + mass[k]) ++k1;
+      while (k1 < rs.size() && rs[k1] < csum + mass[k]) ++k1;
       if (k1 > k0) {
         // Draw (k1 - k0) samples from GCD k's local distribution.
         const auto local = sims_[k]->state_space().sample(
@@ -247,14 +248,37 @@ class MultiGcdSimulator {
       csum += mass[k];
       k0 = k1;
     }
-    // Tail from rounding: draw from the last GCD.
-    while (out.size() < num_samples) {
-      const auto extra = sims_[num_gcds() - 1]->state_space().sample(
-          *states_[num_gcds() - 1], 1, seed ^ 0x777);
-      out.push_back(
-          physical_to_logical((static_cast<index_t>(num_gcds() - 1) << local_) |
-                              extra[0]));
+    if (out.size() < rs.size()) {
+      // Tail from rounding: positions past every boundary. This used to
+      // draw from the *last* GCD unconditionally — zero-mass after a
+      // measurement collapse pins its distribution to |0...0>, yielding
+      // impossible outcomes — and reused seed ^ 0x777 for every draw, so
+      // all tail samples were copies of one value. Draw from the
+      // maximum-mass GCD and advance the seed per draw instead.
+      unsigned kmax = 0;
+      for (unsigned k = 1; k < num_gcds(); ++k) {
+        if (mass[k] > mass[kmax]) kmax = k;
+      }
+      const index_t base = static_cast<index_t>(kmax) << local_;
+      std::uint64_t tail_seed = seed ^ 0x777;
+      while (out.size() < rs.size()) {
+        const auto extra =
+            sims_[kmax]->state_space().sample(*states_[kmax], 1, tail_seed++);
+        out.push_back(physical_to_logical(base | extra[0]));
+      }
     }
+    return out;
+  }
+
+  // Born sampling across GCDs; returned indices are logical.
+  std::vector<index_t> sample(std::size_t num_samples, std::uint64_t seed) {
+    if (num_samples == 0) return {};
+    // Sorted uniforms in [0, 1), resolved against the per-GCD masses.
+    std::vector<double> rs(num_samples);
+    Philox rng(seed, /*stream=*/0x6a17);
+    for (auto& r : rs) r = rng.uniform();
+    std::sort(rs.begin(), rs.end());
+    std::vector<index_t> out = resolve_sorted_positions(std::move(rs), seed);
     // Deterministic de-sort.
     Philox shuf(seed, /*stream=*/0x6a18);
     for (std::size_t i = out.size(); i > 1; --i) {

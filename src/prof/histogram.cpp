@@ -1,0 +1,53 @@
+#include "src/prof/histogram.h"
+
+#include <algorithm>
+
+#include "src/base/error.h"
+
+namespace qhip::prof {
+
+Histogram::Histogram(double first_upper, double growth, std::size_t num_buckets) {
+  check(first_upper > 0 && growth > 1.0 && num_buckets >= 1,
+        "Histogram: need first_upper > 0, growth > 1, num_buckets >= 1");
+  bounds_.reserve(num_buckets);
+  double b = first_upper;
+  for (std::size_t i = 0; i < num_buckets; ++i) {
+    bounds_.push_back(b);
+    b *= growth;
+  }
+  counts_.assign(num_buckets + 1, 0);
+}
+
+void Histogram::record(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::quantile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double lo_cum = static_cast<double>(cum);
+    cum += counts_[i];
+    if (static_cast<double>(cum) < target) continue;
+    if (i == bounds_.size()) return bounds_.back();  // overflow bucket
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    const double frac =
+        (target - lo_cum) / static_cast<double>(counts_[i]);
+    return lo + std::clamp(frac, 0.0, 1.0) * (bounds_[i] - lo);
+  }
+  return bounds_.back();
+}
+
+void Histogram::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+}
+
+}  // namespace qhip::prof

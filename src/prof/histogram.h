@@ -1,0 +1,62 @@
+// Fixed-bucket log-scale histogram for the serving-layer metrics.
+//
+// Two point percentiles (p50/p95 over a reservoir) cannot answer "how many
+// requests were slower than X" or survive aggregation across engines; a
+// histogram with fixed exponential bucket bounds can, which is why both
+// Prometheus and rocprof-style profilers use them. Buckets are defined by a
+// first upper bound and a growth factor: bucket i covers
+// (bound(i-1), bound(i)] with bound(i) = first * growth^i, plus one
+// overflow bucket for everything beyond the last bound. Values <= 0 land in
+// the first bucket (latencies and counts are never negative).
+//
+// Not internally synchronized: the engine updates its histograms under its
+// metrics lock and hands out copies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qhip::prof {
+
+class Histogram {
+ public:
+  // `num_buckets` finite buckets with bounds first_upper * growth^i, plus an
+  // implicit overflow (+Inf) bucket.
+  Histogram(double first_upper, double growth, std::size_t num_buckets);
+
+  void record(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0; }
+
+  // Finite buckets; index num_buckets() is the overflow bucket.
+  std::size_t num_buckets() const { return bounds_.size(); }
+  // Upper bound of finite bucket i (i < num_buckets()).
+  double upper_bound(std::size_t i) const { return bounds_[i]; }
+  // Observation count of bucket i (i <= num_buckets(); last = overflow).
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+
+  // Quantile estimate (p in [0, 1]): linear interpolation inside the bucket
+  // holding the p-th observation. The overflow bucket reports the last
+  // finite bound (the histogram cannot see beyond it).
+  double quantile(double p) const;
+
+  void clear();
+
+ private:
+  std::vector<double> bounds_;        // ascending finite upper bounds
+  std::vector<std::uint64_t> counts_; // bounds_.size() + 1 (overflow last)
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+// The engine's standard shapes (documented in docs/OBSERVABILITY.md):
+// latencies in milliseconds from 10 µs to ~84 s, fused-gate counts from 1 to
+// 32768, and result payload bytes from 64 B to ~64 GiB.
+inline Histogram latency_ms_histogram() { return Histogram(0.01, 2.0, 24); }
+inline Histogram count_histogram() { return Histogram(1.0, 2.0, 16); }
+inline Histogram bytes_histogram() { return Histogram(64.0, 4.0, 16); }
+
+}  // namespace qhip::prof

@@ -6,6 +6,16 @@
 // ApplyGateL_Kernel, state-space kernels) and asynchronous memory copies —
 // and serializes them in the Chrome trace-event format that Perfetto loads
 // directly (https://ui.perfetto.dev).
+//
+// Request-lifecycle spans (DESIGN.md §11): the serving layer additionally
+// records kSpan events — admit/queue/fuse/execute/sample phases plus one
+// enclosing "request" span per served request — tagged with a stable
+// per-request correlation id. Kernel and memcpy events produced by that
+// request's backend run carry the same id (threaded through Backend::run
+// into vgpu::Device::launch), and to_perfetto_json() derives Chrome flow
+// events ("ph":"s"/"t"/"f") linking each request span to its device events,
+// so clicking a slow request in Perfetto highlights exactly the kernels it
+// launched.
 #pragma once
 
 #include <cstdint>
@@ -16,7 +26,7 @@
 
 namespace qhip {
 
-enum class TraceKind { kKernel, kMemcpy, kHost };
+enum class TraceKind { kKernel, kMemcpy, kHost, kSpan };
 
 struct TraceEvent {
   std::string name;      // e.g. "ApplyGateH_Kernel", "hipMemcpyAsync"
@@ -25,6 +35,8 @@ struct TraceEvent {
   std::uint64_t dur_us;  // duration, microseconds
   int lane;              // virtual "GPU queue" / thread id for the trace row
   std::uint64_t bytes;   // memcpy payload or kernel memory traffic (optional)
+  std::uint64_t corr = 0;    // request correlation id; 0 = not request-bound
+  std::string detail;        // free-form annotation ("cache-hit", "attempt 2")
 };
 
 // Aggregate per event name: how Figure 6's "ApplyGateL_Kernel takes more time
@@ -36,13 +48,23 @@ struct TraceSummaryRow {
   std::uint64_t total_bytes = 0;
 };
 
+// Trace row (Chrome "tid") hosting the spans of request `corr`. Device lanes
+// are small stream ids, so request rows start at 100; spreading over a few
+// rows keeps concurrently-served requests from overlapping on one track.
+constexpr int span_lane(std::uint64_t corr) {
+  return 100 + static_cast<int>(corr % 24);
+}
+
 // Thread-safe event collector. One Tracer per run; pass nullptr to disable
 // tracing (recording is skipped entirely in that case).
 class Tracer {
  public:
-  // Records a completed event.
+  // Records a completed event. `corr` tags the event with a request
+  // correlation id (0 = none); `detail` is a free-form annotation surfaced
+  // in the trace args and by qhip_prof.
   void record(std::string name, TraceKind kind, std::uint64_t ts_us,
-              std::uint64_t dur_us, int lane = 0, std::uint64_t bytes = 0);
+              std::uint64_t dur_us, int lane = 0, std::uint64_t bytes = 0,
+              std::uint64_t corr = 0, std::string detail = {});
 
   // Number of recorded events.
   std::size_t size() const;
@@ -53,15 +75,18 @@ class Tracer {
   std::vector<TraceSummaryRow> summary() const;
 
   // Scalar counters (Chrome "ph":"C" events): last-write-wins per name.
-  // The engine exports its serving metrics (cache hit rate, p50/p95 latency,
-  // pooled bytes) through these so they land in the same trace JSON as the
-  // kernel timeline.
+  // The engine exports its serving metrics (cache hit rate, latency
+  // histogram buckets, pooled bytes) through these so they land in the same
+  // trace JSON as the kernel timeline.
   void set_counter(const std::string& name, double value);
   std::map<std::string, double> counters() const;
 
   // Serializes to the Chrome trace-event JSON array format understood by
   // Perfetto and chrome://tracing. Counter values are appended as "ph":"C"
-  // events stamped at serialization time.
+  // events stamped at serialization time. For every correlation id with at
+  // least one span and one device (kernel/memcpy) event, a flow chain is
+  // emitted: "ph":"s" anchored on the request span, "ph":"t" steps through
+  // the request's device events, and a terminating "ph":"f".
   std::string to_perfetto_json() const;
 
   // Writes to_perfetto_json() to `path`; throws qhip::Error on I/O failure.
@@ -79,7 +104,8 @@ class Tracer {
 class ScopedTrace {
  public:
   ScopedTrace(Tracer* tracer, std::string name, TraceKind kind = TraceKind::kHost,
-              int lane = 0, std::uint64_t bytes = 0);
+              int lane = 0, std::uint64_t bytes = 0, std::uint64_t corr = 0,
+              std::string detail = {});
   ~ScopedTrace();
 
   ScopedTrace(const ScopedTrace&) = delete;
@@ -91,6 +117,8 @@ class ScopedTrace {
   TraceKind kind_;
   int lane_;
   std::uint64_t bytes_;
+  std::uint64_t corr_;
+  std::string detail_;
   std::uint64_t start_us_;
 };
 

@@ -1,0 +1,251 @@
+#include "src/prof/trace_reader.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <variant>
+
+#include "src/base/error.h"
+
+namespace qhip::prof {
+
+namespace {
+
+// Minimal recursive-descent JSON parser: just enough of RFC 8259 for trace
+// files (objects, arrays, strings with escapes, numbers, literals).
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v = nullptr;
+
+  bool is_object() const { return std::holds_alternative<std::shared_ptr<JsonObject>>(v); }
+  bool is_array() const { return std::holds_alternative<std::shared_ptr<JsonArray>>(v); }
+  const JsonObject& object() const { return *std::get<std::shared_ptr<JsonObject>>(v); }
+  const JsonArray& array() const { return *std::get<std::shared_ptr<JsonArray>>(v); }
+
+  const JsonValue* find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    const auto it = object().find(key);
+    return it == object().end() ? nullptr : &it->second;
+  }
+  std::string str_or(const std::string& key, std::string dflt) const {
+    const JsonValue* f = find(key);
+    if (f == nullptr || !std::holds_alternative<std::string>(f->v)) return dflt;
+    return std::get<std::string>(f->v);
+  }
+  double num_or(const std::string& key, double dflt) const {
+    const JsonValue* f = find(key);
+    if (f == nullptr || !std::holds_alternative<double>(f->v)) return dflt;
+    return std::get<double>(f->v);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    check(pos_ == s_.size(), "trace JSON: trailing garbage after document");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    check(pos_ < s_.size(), "trace JSON: unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    check(peek() == c, std::string("trace JSON: expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return JsonValue{string()};
+      case 't': literal("true"); return JsonValue{true};
+      case 'f': literal("false"); return JsonValue{false};
+      case 'n': literal("null"); return JsonValue{nullptr};
+      default: return JsonValue{number()};
+    }
+  }
+
+  void literal(const char* lit) {
+    skip_ws();
+    for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
+      check(pos_ < s_.size() && s_[pos_] == *p,
+            std::string("trace JSON: bad literal (expected ") + lit + ")");
+    }
+  }
+
+  double number() {
+    skip_ws();
+    const char* begin = s_.data() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    check(end != begin, "trace JSON: malformed number");
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      check(pos_ < s_.size(), "trace JSON: unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      check(pos_ < s_.size(), "trace JSON: unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          check(pos_ + 4 <= s_.size(), "trace JSON: truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else throw Error("trace JSON: bad \\u escape");
+          }
+          // Trace names are ASCII in practice; encode BMP code points UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+        } break;
+        default: throw Error("trace JSON: unknown escape");
+      }
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    auto arr = std::make_shared<JsonArray>();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{std::move(arr)};
+    }
+    while (true) {
+      arr->push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return JsonValue{std::move(arr)};
+      check(c == ',', "trace JSON: expected ',' or ']' in array");
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    auto obj = std::make_shared<JsonObject>();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{std::move(obj)};
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      expect(':');
+      (*obj)[std::move(key)] = value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return JsonValue{std::move(obj)};
+      check(c == ',', "trace JSON: expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t u64_arg(const JsonValue& args, const std::string& key) {
+  const double v = args.num_or(key, 0);
+  return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+}
+
+}  // namespace
+
+ParsedTrace parse_trace_json(const std::string& json) {
+  const JsonValue root = JsonParser(json).parse();
+  const JsonValue* events = nullptr;
+  if (root.is_array()) {
+    events = &root;
+  } else if (root.is_object()) {
+    events = root.find("traceEvents");
+  }
+  check(events != nullptr && events->is_array(),
+        "trace JSON: no traceEvents array");
+
+  ParsedTrace out;
+  for (const JsonValue& ev : events->array()) {
+    if (!ev.is_object()) continue;
+    const std::string ph = ev.str_or("ph", "");
+    ParsedEvent pe;
+    pe.name = ev.str_or("name", "");
+    pe.cat = ev.str_or("cat", "");
+    pe.ph = ph;
+    pe.tid = static_cast<int>(ev.num_or("tid", 0));
+    pe.ts_us = static_cast<std::uint64_t>(ev.num_or("ts", 0));
+    if (ph == "X") {
+      pe.dur_us = static_cast<std::uint64_t>(ev.num_or("dur", 0));
+      if (const JsonValue* args = ev.find("args"); args != nullptr) {
+        pe.bytes = u64_arg(*args, "bytes");
+        pe.corr = u64_arg(*args, "corr");
+        pe.detail = args->str_or("detail", "");
+      }
+      out.events.push_back(std::move(pe));
+    } else if (ph == "s" || ph == "t" || ph == "f") {
+      pe.corr = static_cast<std::uint64_t>(ev.num_or("id", 0));
+      out.flows.push_back(std::move(pe));
+    } else if (ph == "C") {
+      if (const JsonValue* args = ev.find("args"); args != nullptr) {
+        out.counters[pe.name] = args->num_or("value", 0);
+      }
+    }
+  }
+  return out;
+}
+
+ParsedTrace read_trace_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  check(f.good(), "trace reader: cannot open '" + path + "'");
+  std::string all((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+  check(!f.bad(), "trace reader: read from '" + path + "' failed");
+  return parse_trace_json(all);
+}
+
+}  // namespace qhip::prof

@@ -30,11 +30,18 @@ class SimulatorCPU {
 
   static constexpr const char* backend_name() { return "cpu"; }
 
+  // Request correlation (DESIGN.md §11): gate events recorded while a
+  // correlation id is set carry it, linking them to the request span. The
+  // CPU backend has no device to stamp ops on, so the simulator holds the id
+  // itself. 0 clears it.
+  void set_correlation(std::uint64_t corr) { corr_ = corr; }
+  std::uint64_t correlation() const { return corr_; }
+
   // Applies one unitary gate (controls folded in here if present).
   void apply_gate(const Gate& g, StateVector<FP>& state) {
     const Gate n = normalized(g.controls.empty() ? g : expand_controls(g));
     ScopedTrace span(tracer_, "ApplyGate_CPU", TraceKind::kKernel, 0,
-                     state.size() * sizeof(cplx<FP>) * 2);
+                     state.size() * sizeof(cplx<FP>) * 2, corr_);
     apply_gate_inplace(n, state, *pool_);
   }
 
@@ -66,6 +73,7 @@ class SimulatorCPU {
  private:
   ThreadPool* pool_;
   Tracer* tracer_;
+  std::uint64_t corr_ = 0;  // current request correlation id
 };
 
 }  // namespace qhip

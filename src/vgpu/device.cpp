@@ -137,6 +137,9 @@ StreamQueue& Device::queue(int id) {
 }
 
 void Device::submit(Stream s, StreamOp op) {
+  // Stamp the current request correlation at enqueue time: the op may
+  // execute later on a submitter thread, after the host moved on.
+  op.corr = correlation();
   if (is_async(s)) {
     queue(s.id).enqueue(std::move(op));
     return;
@@ -193,18 +196,18 @@ void Device::execute_op(StreamOp& op) {
       break;
     case StreamOp::Kind::kMemcpyH2D: {
       ScopedTrace span(tracer_, op.name, TraceKind::kMemcpy, op.cfg.stream.id,
-                       op.bytes);
+                       op.bytes, op.corr);
       std::memcpy(op.dst, op.staged.empty() ? op.src : op.staged.data(),
                   op.bytes);
     } break;
     case StreamOp::Kind::kMemcpyD2H: {
       ScopedTrace span(tracer_, op.name, TraceKind::kMemcpy, op.cfg.stream.id,
-                       op.bytes);
+                       op.bytes, op.corr);
       std::memcpy(op.dst, op.src, op.bytes);
     } break;
     case StreamOp::Kind::kMemcpyD2D: {
       ScopedTrace span(tracer_, op.name, TraceKind::kMemcpy, op.cfg.stream.id,
-                       op.bytes);
+                       op.bytes, op.corr);
       std::memmove(op.dst, op.src, op.bytes);
     } break;
     case StreamOp::Kind::kRecordEvent: {
@@ -228,7 +231,8 @@ void Device::run_kernel(const StreamOp& op) {
   // while memcpys proceed on their own stream threads — the copy/compute
   // overlap a real GPU gets from its DMA engines.
   std::lock_guard eng(engine_mu_);
-  ScopedTrace span(tracer_, op.name, TraceKind::kKernel, op.cfg.stream.id);
+  ScopedTrace span(tracer_, op.name, TraceKind::kKernel, op.cfg.stream.id, 0,
+                   op.corr);
   const LaunchConfig& cfg = op.cfg;
   const KernelFn& kernel = op.kernel;
   pool_->parallel_ranges(cfg.grid_dim, [&](unsigned rank, index_t b, index_t e) {
@@ -298,6 +302,7 @@ void Device::memcpy_h2d(void* dst, const void* src, std::size_t bytes) {
   if (mode_ == StreamMode::kAsync) synchronize();
   StreamOp op;
   op.kind = StreamOp::Kind::kMemcpyH2D;
+  op.corr = correlation();
   op.name = "hipMemcpy(HtoD)";
   op.dst = dst;
   op.src = src;
@@ -315,6 +320,7 @@ void Device::memcpy_d2h(void* dst, const void* src, std::size_t bytes) {
   if (mode_ == StreamMode::kAsync) synchronize();
   StreamOp op;
   op.kind = StreamOp::Kind::kMemcpyD2H;
+  op.corr = correlation();
   op.name = "hipMemcpy(DtoH)";
   op.dst = dst;
   op.src = src;
@@ -333,6 +339,7 @@ void Device::memcpy_d2d(void* dst, const void* src, std::size_t bytes) {
   if (mode_ == StreamMode::kAsync) synchronize();
   StreamOp op;
   op.kind = StreamOp::Kind::kMemcpyD2D;
+  op.corr = correlation();
   op.name = "hipMemcpyDtoD";
   op.dst = dst;
   op.src = src;

@@ -26,6 +26,7 @@
 // streams first, like hipFree, so no pending op can touch freed memory.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -77,6 +78,19 @@ class Device {
   // Process-wide default: QHIP_STREAM_MODE=eager|async, else async.
   static StreamMode default_stream_mode();
   StreamMode stream_mode() const { return mode_; }
+
+  // Request correlation (DESIGN.md §11): ops submitted while a correlation
+  // id is set carry it into their trace events, linking kernels and memcpys
+  // back to the serving-layer request that caused them. The id is captured
+  // at submit time on the host thread, so ops executing later on stream
+  // submitter threads keep the id of the request that enqueued them. 0
+  // clears the correlation (events revert to unbound).
+  void set_correlation(std::uint64_t corr) {
+    corr_.store(corr, std::memory_order_relaxed);
+  }
+  std::uint64_t correlation() const {
+    return corr_.load(std::memory_order_relaxed);
+  }
 
   const DeviceProps& props() const { return props_; }
   // Snapshot of the counters (copied under the stats lock; counters are
@@ -179,6 +193,7 @@ class Device {
   Tracer* tracer_;
   ThreadPool* pool_;
   StreamMode mode_;
+  std::atomic<std::uint64_t> corr_{0};  // current request correlation id
 
   mutable std::mutex stats_mu_;
   DeviceStats stats_;

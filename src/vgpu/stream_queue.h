@@ -77,6 +77,11 @@ struct StreamOp {
 
   Kind kind;
 
+  // Request correlation id stamped at enqueue time from the device's current
+  // correlation (see Device::set_correlation); tags the op's trace event so
+  // flow events can link it back to the serving-layer request span.
+  std::uint64_t corr = 0;
+
   // kKernel
   std::string name;
   LaunchConfig cfg{};

@@ -4,11 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <future>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "src/engine/backend.h"
 #include "src/engine/engine.h"
 #include "src/prof/trace.h"
+#include "src/prof/trace_reader.h"
 #include "src/rqc/rqc.h"
 
 namespace qhip::engine {
@@ -246,6 +249,57 @@ TEST(SimulationEngine, ExportsMetricsIntoTrace) {
   const EngineMetrics m = eng.metrics();
   EXPECT_EQ(m.submitted, 2u);
   EXPECT_GE(m.p95_ms, m.p50_ms);
+}
+
+TEST(SimulationEngine, EmitsFlowLinkedRequestSpans) {
+  Tracer tracer;
+  EngineOptions opt;
+  opt.tracer = &tracer;
+  SimulationEngine eng(opt);
+  const Circuit c = make_rqc(2, 3, 8, 4);
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    // Distinct seeds dodge the result cache so every request executes.
+    const SimResult r = eng.run(request(c, "hip", 100 + s));
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_NE(r.request_id, 0u);
+    ids.push_back(r.request_id);
+  }
+
+  const prof::ParsedTrace pt =
+      prof::parse_trace_json(tracer.to_perfetto_json());
+  std::set<std::uint64_t> flow_ids;
+  for (const auto& f : pt.flows) flow_ids.insert(f.corr);
+
+  // Every completed request has its full span tree, at least one kernel
+  // carrying its correlation id, and an s/t/f flow chain binding the two.
+  for (const std::uint64_t id : ids) {
+    std::set<std::string> spans;
+    std::size_t kernels = 0;
+    for (const auto& e : pt.events) {
+      if (e.corr != id) continue;
+      if (e.cat == "request") spans.insert(e.name);
+      if (e.cat == "kernel") ++kernels;
+    }
+    for (const char* name :
+         {"request", "admit", "queue", "fuse", "execute", "sample"}) {
+      EXPECT_EQ(spans.count(name), 1u) << "request " << id << ": " << name;
+    }
+    EXPECT_GE(kernels, 1u) << "request " << id << " has no tagged kernels";
+    EXPECT_TRUE(flow_ids.count(id)) << "request " << id << " not flow-linked";
+  }
+
+  // Histograms follow the completed requests.
+  const EngineMetrics m = eng.metrics();
+  EXPECT_EQ(m.total_ms.count(), ids.size());
+  EXPECT_EQ(m.execute_ms.count(), ids.size());
+  EXPECT_EQ(m.sample_ms.count(), ids.size());
+  EXPECT_GT(m.fused_gates.sum(), 0.0);
+  const std::string prom = m.to_prom_text();
+  EXPECT_NE(prom.find("qhip_engine_stage_latency_ms_bucket"),
+            std::string::npos);
+  EXPECT_NE(prom.find("stage=\"execute\""), std::string::npos);
+  EXPECT_NE(prom.find("qhip_engine_fused_gates_count 3"), std::string::npos);
 }
 
 }  // namespace

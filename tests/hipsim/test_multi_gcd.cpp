@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <numbers>
+#include <set>
 
 #include "src/base/rng.h"
 #include "src/core/gates.h"
@@ -165,6 +166,45 @@ TYPED_TEST(MultiGcdTyped, LayoutRestoredSemanticsToHost) {
     const index_t want = low_mask(q + 1);
     EXPECT_NEAR(std::abs(h[want]), 1.0, 1e-5) << q;
   }
+}
+
+TYPED_TEST(MultiGcdTyped, SampleAfterCollapseStaysConsistent) {
+  // Regression: measure() collapses the state, leaving the unchosen GCD
+  // with zero mass. sample()'s rounding tail used to draw from the *last*
+  // GCD unconditionally, so post-collapse samples could report outcomes
+  // with zero probability.
+  const unsigned n = 7;
+  MultiGcdSimulator<TypeParam> sim(n, 2);
+  sim.apply_gate(gates::h(0, 0));
+  sim.apply_gate(gates::cnot(1, 0, n - 1));
+  const index_t outcome = sim.measure({n - 1}, 5);
+  const index_t want = outcome | (outcome << (n - 1));
+  const auto samples = sim.sample(64, 11);
+  ASSERT_EQ(samples.size(), 64u);
+  for (const index_t s : samples) EXPECT_EQ(s, want);
+}
+
+TYPED_TEST(MultiGcdTyped, SampleTailAvoidsZeroMassGcdAndAdvancesSeed) {
+  // Drive the rounding tail directly through resolve_sorted_positions:
+  // positions >= 1.0 fall past every cumulative boundary. With qubit n-1
+  // left in |0>, GCD 1 holds zero mass, so tail draws must come from GCD 0
+  // — and must not all be copies of one draw (the old code reused a frozen
+  // seed ^ 0x777 for every tail sample).
+  const unsigned n = 7;
+  MultiGcdSimulator<TypeParam> sim(n, 2);
+  for (qubit_t q = 0; q + 1 < n; ++q) sim.apply_gate(gates::h(q, q));
+  std::vector<double> rs = {0.25, 0.5};
+  for (int i = 0; i < 16; ++i) rs.push_back(1.0 + i);
+  const auto samples = sim.resolve_sorted_positions(rs, 13);
+  ASSERT_EQ(samples.size(), rs.size());
+  std::set<index_t> tail;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i] >> (n - 1), 0u) << "sample " << i << " in empty GCD";
+    if (i >= 2) tail.insert(samples[i]);
+  }
+  // 16 draws from a uniform 64-state distribution: a frozen seed yields one
+  // repeated value; distinct seeds collide all 16 ways with p ~ 1e-28.
+  EXPECT_GT(tail.size(), 4u);
 }
 
 TEST(MultiGcd, Validation) {

@@ -7,6 +7,8 @@
 
 #include "src/base/error.h"
 #include "src/base/timer.h"
+#include "src/prof/histogram.h"
+#include "src/prof/trace_reader.h"
 
 namespace qhip {
 namespace {
@@ -94,6 +96,138 @@ TEST(Tracer, Clear) {
   t.clear();
   EXPECT_EQ(t.size(), 0u);
   EXPECT_TRUE(t.summary().empty());
+}
+
+// --- spans, flow events, and the round-trip through the trace reader --------
+
+TEST(Tracer, SpanFlowRoundTrip) {
+  Tracer t;
+  const std::uint64_t corr = 7;
+  // Request 7: enclosing span + two stages + two device events. A second
+  // request (8) has a span but no device events -> no flow chain.
+  t.record("request", TraceKind::kSpan, 100, 900, span_lane(corr), 0, corr,
+           "ok on hip");
+  t.record("queue", TraceKind::kSpan, 100, 50, span_lane(corr), 0, corr);
+  t.record("execute", TraceKind::kSpan, 150, 800, span_lane(corr), 0, corr,
+           "attempt 1 on hip: ok");
+  t.record("ApplyGateH_Kernel", TraceKind::kKernel, 200, 300, 1, 0, corr);
+  t.record("hipMemcpyAsync(DtoH)", TraceKind::kMemcpy, 520, 40, 2, 512, corr);
+  t.record("request", TraceKind::kSpan, 100, 10, span_lane(8), 0, 8);
+  t.record("untagged", TraceKind::kKernel, 0, 5, 1);
+
+  const prof::ParsedTrace pt = prof::parse_trace_json(t.to_perfetto_json());
+  ASSERT_EQ(pt.events.size(), 7u);
+
+  // Spans parse back with category "request", corr, and detail intact.
+  int spans = 0;
+  for (const auto& e : pt.events) {
+    if (e.cat != "request") continue;
+    ++spans;
+    EXPECT_NE(e.corr, 0u);
+    if (e.name == "execute") EXPECT_EQ(e.detail, "attempt 1 on hip: ok");
+  }
+  EXPECT_EQ(spans, 4);
+
+  // Exactly one flow chain (request 7): s anchored on the enclosing span's
+  // row, then a t step, then f with the enclosing binding.
+  ASSERT_EQ(pt.flows.size(), 3u);
+  EXPECT_EQ(pt.flows[0].ph, "s");
+  EXPECT_EQ(pt.flows[0].corr, corr);
+  EXPECT_EQ(pt.flows[0].tid, span_lane(corr));
+  EXPECT_EQ(pt.flows[0].ts_us, 100u);
+  EXPECT_EQ(pt.flows[1].ph, "t");
+  EXPECT_EQ(pt.flows[1].tid, 1);  // first device event's lane, by ts
+  EXPECT_EQ(pt.flows[2].ph, "f");
+  EXPECT_EQ(pt.flows[2].tid, 2);
+  EXPECT_EQ(pt.flows[2].ts_us, 520u);
+
+  // Flow vertices resolve to actual device events of the same request.
+  for (const auto& f : pt.flows) {
+    if (f.ph == "s") continue;
+    bool found = false;
+    for (const auto& e : pt.events) {
+      found |= e.corr == f.corr && e.tid == f.tid && e.ts_us == f.ts_us &&
+               (e.cat == "kernel" || e.cat == "memcpy");
+    }
+    EXPECT_TRUE(found) << f.ph << " vertex has no matching device event";
+  }
+}
+
+TEST(Tracer, CountersRoundTrip) {
+  Tracer t;
+  t.record("k", TraceKind::kKernel, 0, 1);
+  t.set_counter("engine/requests_completed", 42);
+  t.set_counter("engine/latency_p50_ms", 1.5);
+  const prof::ParsedTrace pt = prof::parse_trace_json(t.to_perfetto_json());
+  EXPECT_EQ(pt.counters.at("engine/requests_completed"), 42.0);
+  EXPECT_EQ(pt.counters.at("engine/latency_p50_ms"), 1.5);
+}
+
+TEST(TraceReader, AcceptsBareArrayAndIgnoresUnknownPhases) {
+  const std::string json = R"([
+    {"name":"k","cat":"kernel","ph":"X","pid":1,"tid":0,"ts":5,"dur":2,
+     "args":{"bytes":16,"corr":3,"detail":"d \"q\""}},
+    {"name":"meta","ph":"M","args":{}},
+    {"name":"c","ph":"C","args":{"value":2.5}}
+  ])";
+  const prof::ParsedTrace pt = prof::parse_trace_json(json);
+  ASSERT_EQ(pt.events.size(), 1u);
+  EXPECT_EQ(pt.events[0].bytes, 16u);
+  EXPECT_EQ(pt.events[0].corr, 3u);
+  EXPECT_EQ(pt.events[0].detail, "d \"q\"");
+  EXPECT_EQ(pt.counters.at("c"), 2.5);
+  EXPECT_THROW(prof::parse_trace_json("{\"nope\":[]}"), Error);
+  EXPECT_THROW(prof::parse_trace_json("[{\"a\":}]"), Error);
+}
+
+// --- histograms --------------------------------------------------------------
+
+TEST(Histogram, BucketBoundsAndCounts) {
+  prof::Histogram h(1.0, 2.0, 4);  // bounds 1, 2, 4, 8 + overflow
+  ASSERT_EQ(h.num_buckets(), 4u);
+  EXPECT_DOUBLE_EQ(h.upper_bound(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.upper_bound(3), 8.0);
+
+  h.record(0.5);   // bucket 0
+  h.record(1.0);   // bucket 0 (le bound is inclusive)
+  h.record(1.5);   // bucket 1
+  h.record(8.0);   // bucket 3
+  h.record(100.0); // overflow
+  h.record(-3.0);  // negative clamps into bucket 0
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.bucket_count(0), 3u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.bucket_count(4), 1u);  // overflow
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 8.0 + 100.0 - 3.0);
+
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_count(0), 0u);
+}
+
+TEST(Histogram, QuantileInterpolatesAndOverflowSaturates) {
+  prof::Histogram h(1.0, 2.0, 4);
+  for (int i = 0; i < 100; ++i) h.record(1.5);  // all in bucket 1 (1, 2]
+  const double q = h.quantile(0.5);
+  EXPECT_GE(q, 1.0);
+  EXPECT_LE(q, 2.0);
+  prof::Histogram o(1.0, 2.0, 2);
+  o.record(1000);
+  EXPECT_DOUBLE_EQ(o.quantile(0.99), o.upper_bound(1));
+  EXPECT_DOUBLE_EQ(prof::Histogram(1, 2, 2).quantile(0.5), 0.0);  // empty
+}
+
+TEST(Histogram, StandardShapes) {
+  // The engine's standard shapes stay within sane dynamic ranges.
+  prof::Histogram lat = prof::latency_ms_histogram();
+  EXPECT_DOUBLE_EQ(lat.upper_bound(0), 0.01);
+  EXPECT_GT(lat.upper_bound(lat.num_buckets() - 1), 8e4);  // > 80 s
+  prof::Histogram cnt = prof::count_histogram();
+  EXPECT_DOUBLE_EQ(cnt.upper_bound(0), 1.0);
+  prof::Histogram byt = prof::bytes_histogram();
+  EXPECT_DOUBLE_EQ(byt.upper_bound(0), 64.0);
 }
 
 }  // namespace

@@ -1,0 +1,210 @@
+// qhip_prof — rocprof-style offline analysis of qhip trace JSON.
+//
+// The paper profiles the HIP backend with rocprof and reads the results as
+// a top-kernel table (Figure 6: ApplyGateL_Kernel dominating ApplyGateH_
+// Kernel) plus Perfetto timelines. This tool reproduces that workflow
+// offline over the trace JSON our own Tracer writes (`qsim_base_hip -t
+// trace.json`, engine batch mode, tests):
+//
+//   qhip_prof trace.json                top-kernel + memcpy table
+//   qhip_prof --requests trace.json     + per-request critical-path breakdown
+//   qhip_prof --top N trace.json        limit tables to N rows
+//
+// The top table matches Tracer::summary(): per name, count / total us /
+// mean us / share of the covered wall time. With --requests, every request
+// span tree (admit/queue/fuse/execute/sample under one "request" row) is
+// unfolded, with the kernels and memcpys its flow links resolve to.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/error.h"
+#include "src/prof/trace_reader.h"
+
+namespace {
+
+using qhip::prof::ParsedEvent;
+using qhip::prof::ParsedTrace;
+
+struct Row {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;
+  std::uint64_t bytes = 0;
+};
+
+// Aggregates X events of category `cat` by name, descending total time.
+std::vector<Row> aggregate(const ParsedTrace& t, const std::string& cat) {
+  std::map<std::string, Row> by_name;
+  for (const ParsedEvent& e : t.events) {
+    if (e.cat != cat) continue;
+    Row& r = by_name[e.name];
+    r.name = e.name;
+    ++r.count;
+    r.total_us += e.dur_us;
+    r.bytes += e.bytes;
+  }
+  std::vector<Row> rows;
+  rows.reserve(by_name.size());
+  for (auto& [name, r] : by_name) rows.push_back(std::move(r));
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.total_us != b.total_us ? a.total_us > b.total_us
+                                    : a.name < b.name;
+  });
+  return rows;
+}
+
+void print_table(const char* title, const std::vector<Row>& rows,
+                 std::size_t top) {
+  if (rows.empty()) return;
+  std::uint64_t grand = 0;
+  for (const Row& r : rows) grand += r.total_us;
+  std::printf("%s\n", title);
+  std::printf("  %-32s %8s %12s %10s %7s\n", "name", "count", "total_us",
+              "mean_us", "%");
+  std::size_t shown = 0;
+  for (const Row& r : rows) {
+    if (shown++ >= top) break;
+    const double mean =
+        r.count > 0 ? static_cast<double>(r.total_us) / r.count : 0;
+    const double share =
+        grand > 0 ? 100.0 * static_cast<double>(r.total_us) / grand : 0;
+    std::printf("  %-32s %8llu %12llu %10.1f %6.1f%%\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.count),
+                static_cast<unsigned long long>(r.total_us), mean, share);
+  }
+  if (rows.size() > top) {
+    std::printf("  ... %zu more rows (raise --top)\n", rows.size() - top);
+  }
+  std::printf("\n");
+}
+
+// Request spans grouped by correlation id, each with its flow-linked device
+// events.
+struct RequestTree {
+  std::vector<const ParsedEvent*> spans;    // kSpan X events, by start time
+  std::vector<const ParsedEvent*> devices;  // flow-linked kernels/memcpys
+};
+
+void print_requests(const ParsedTrace& t, std::size_t top) {
+  std::map<std::uint64_t, RequestTree> reqs;
+  for (const ParsedEvent& e : t.events) {
+    if (e.corr == 0) continue;
+    if (e.cat == "request") {
+      reqs[e.corr].spans.push_back(&e);
+    } else if (e.cat == "kernel" || e.cat == "memcpy") {
+      reqs[e.corr].devices.push_back(&e);
+    }
+  }
+  // A request is flow-linked when any s/t/f vertex carries its id.
+  std::set<std::uint64_t> flow_ids;
+  for (const ParsedEvent& f : t.flows) flow_ids.insert(f.corr);
+
+  std::printf("requests (%zu)\n", reqs.size());
+  std::size_t shown = 0;
+  for (auto& [corr, tree] : reqs) {
+    if (shown++ >= top) {
+      std::printf("  ... %zu more requests (raise --top)\n",
+                  reqs.size() - top);
+      break;
+    }
+    auto by_start = [](const ParsedEvent* a, const ParsedEvent* b) {
+      return a->ts_us != b->ts_us ? a->ts_us < b->ts_us : a->dur_us > b->dur_us;
+    };
+    std::sort(tree.spans.begin(), tree.spans.end(), by_start);
+    std::sort(tree.devices.begin(), tree.devices.end(), by_start);
+
+    // The enclosing "request" span is the longest one.
+    const ParsedEvent* anchor = nullptr;
+    for (const ParsedEvent* s : tree.spans) {
+      if (anchor == nullptr || s->dur_us > anchor->dur_us) anchor = s;
+    }
+    std::printf("  request %llu: %llu us%s%s%s\n",
+                static_cast<unsigned long long>(corr),
+                static_cast<unsigned long long>(anchor ? anchor->dur_us : 0),
+                anchor && !anchor->detail.empty() ? " [" : "",
+                anchor ? anchor->detail.c_str() : "",
+                anchor && !anchor->detail.empty() ? "]" : "");
+    for (const ParsedEvent* s : tree.spans) {
+      if (s == anchor) continue;
+      std::printf("    %-12s %10llu us  +%llu us%s%s%s\n", s->name.c_str(),
+                  static_cast<unsigned long long>(s->dur_us),
+                  static_cast<unsigned long long>(
+                      anchor ? s->ts_us - anchor->ts_us : 0),
+                  s->detail.empty() ? "" : "  [",
+                  s->detail.c_str(), s->detail.empty() ? "" : "]");
+    }
+    std::uint64_t dev_us = 0;
+    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> dev;
+    for (const ParsedEvent* d : tree.devices) {
+      dev_us += d->dur_us;
+      auto& [cnt, us] = dev[d->name];
+      ++cnt;
+      us += d->dur_us;
+    }
+    std::printf("    device: %zu events, %llu us total%s\n",
+                tree.devices.size(),
+                static_cast<unsigned long long>(dev_us),
+                flow_ids.count(corr) ? ", flow-linked" : "");
+    for (const auto& [name, cu] : dev) {
+      std::printf("      %-30s %6llu x %10llu us\n", name.c_str(),
+                  static_cast<unsigned long long>(cu.first),
+                  static_cast<unsigned long long>(cu.second));
+    }
+  }
+  std::printf("\n");
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: qhip_prof [--requests] [--top N] <trace.json>\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool requests = false;
+  std::size_t top = 20;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--requests") {
+      requests = true;
+    } else if (arg == "--top") {
+      if (++i >= argc) return usage();
+      top = static_cast<std::size_t>(std::strtoul(argv[i], nullptr, 10));
+      if (top == 0) return usage();
+    } else if (path.empty() && !arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  try {
+    const ParsedTrace t = qhip::prof::read_trace_file(path);
+    std::printf("%s: %zu events, %zu flow vertices, %zu counters\n\n",
+                path.c_str(), t.events.size(), t.flows.size(),
+                t.counters.size());
+    print_table("top kernels", aggregate(t, "kernel"), top);
+    print_table("memcpys", aggregate(t, "memcpy"), top);
+    print_table("host", aggregate(t, "host"), top);
+    if (requests) print_requests(t, top);
+    if (!t.counters.empty()) {
+      std::printf("counters\n");
+      for (const auto& [name, v] : t.counters) {
+        std::printf("  %-44s %.6g\n", name.c_str(), v);
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qhip_prof: %s\n", e.what());
+    return 1;
+  }
+}
