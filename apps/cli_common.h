@@ -5,7 +5,7 @@
 // count in another). This header is the single flag table they all share:
 //
 //   -c <circuit>          circuit file (qsim text format)
-//   -b <backend>          cpu | hip | a100 | hip:N        (default hip)
+//   -b <backend>          cpu | hip | a100 | hip:N | dist:N  (default hip)
 //   -p single|double      precision                       (default single)
 //   -f <max-fused>        fusion limit                    (default 2)
 //   -w <window>           fusion temporal window          (default 4)

@@ -12,6 +12,7 @@ class World {
  public:
   explicit World(int num_ranks) : size_(num_ranks), reduce_(num_ranks * 2) {
     check(num_ranks >= 1 && num_ranks <= 64, "World: ranks out of [1, 64]");
+    vec_slots_.resize(static_cast<std::size_t>(num_ranks) * 2);
   }
 
   int size() const { return size_; }
@@ -20,21 +21,55 @@ class World {
     check(dst >= 0 && dst < size_, "send: bad destination rank");
     const auto* b = static_cast<const std::byte*>(data);
     std::lock_guard lk(mu_);
-    mail_[key(src, dst, tag)].emplace(b, b + bytes);
+    chan_[key(src, dst, tag)].msgs.emplace(b, b + bytes);
     cv_.notify_all();
   }
 
+  // Blocking receive: takes the next ticket on the channel, so it is served
+  // after every receive (blocking or non-blocking) posted before it.
   void recv(int src, int dst, int tag, void* data, std::size_t bytes) {
     check(src >= 0 && src < size_, "recv: bad source rank");
     std::unique_lock lk(mu_);
-    auto& q = mail_[key(src, dst, tag)];
-    cv_.wait(lk, [&] { return !q.empty(); });
-    const std::vector<std::byte> msg = std::move(q.front());
-    q.pop();
-    check(msg.size() == bytes,
-          strfmt("recv: size mismatch (sent %zu B, requested %zu B)",
-                 msg.size(), bytes));
-    std::memcpy(data, msg.data(), bytes);
+    Channel& ch = chan_[key(src, dst, tag)];
+    const std::uint64_t ticket = ch.next_ticket++;
+    cv_.wait(lk, [&] { return !ch.msgs.empty() && ch.next_serve == ticket; });
+    pop_into(ch, data, bytes);
+  }
+
+  // Starts a non-blocking receive. Completes immediately (returns true) only
+  // when a message is queued AND no older receive on the channel is still
+  // pending — otherwise the returned ticket preserves post order and the
+  // receive completes in recv_wait(). Without the ticketing, a later irecv
+  // could steal the queue front from an earlier still-pending one,
+  // reordering chunked exchanges.
+  bool irecv_start(int src, int dst, int tag, void* data, std::size_t bytes,
+                   std::uint64_t* ticket) {
+    check(src >= 0 && src < size_, "recv: bad source rank");
+    std::unique_lock lk(mu_);
+    Channel& ch = chan_[key(src, dst, tag)];
+    if (ch.next_ticket == ch.next_serve && !ch.msgs.empty()) {
+      ++ch.next_ticket;
+      pop_into(ch, data, bytes);
+      return true;
+    }
+    *ticket = ch.next_ticket++;
+    return false;
+  }
+
+  void recv_wait(int src, int dst, int tag, std::uint64_t ticket, void* data,
+                 std::size_t bytes) {
+    std::unique_lock lk(mu_);
+    Channel& ch = chan_[key(src, dst, tag)];
+    cv_.wait(lk, [&] { return !ch.msgs.empty() && ch.next_serve == ticket; });
+    pop_into(ch, data, bytes);
+  }
+
+  std::size_t probe(int src, int dst, int tag) {
+    check(src >= 0 && src < size_, "probe: bad source rank");
+    std::unique_lock lk(mu_);
+    Channel& ch = chan_[key(src, dst, tag)];
+    cv_.wait(lk, [&] { return !ch.msgs.empty(); });
+    return ch.msgs.front().size();
   }
 
   void barrier() {
@@ -73,8 +108,63 @@ class World {
     return out;
   }
 
+  // Vector flavour of allgather, same phase-alternating scheme. Returns the
+  // rank-indexed contributions so callers can reduce in rank order.
+  std::vector<std::vector<double>> allgather_vec(int rank,
+                                                 const std::vector<double>& v) {
+    std::size_t base;
+    {
+      std::lock_guard lk(mu_);
+      base = static_cast<std::size_t>(vec_parity_) * size_;
+      vec_slots_[base + rank] = v;
+    }
+    barrier();
+    std::vector<std::vector<double>> out(size_);
+    {
+      std::lock_guard lk(mu_);
+      for (int r = 0; r < size_; ++r) {
+        check(vec_slots_[base + r].size() == v.size(),
+              "allreduce: vector length differs across ranks");
+        out[r] = vec_slots_[base + r];
+      }
+    }
+    barrier();
+    {
+      std::lock_guard lk(mu_);
+      if (rank == 0) vec_parity_ ^= 1;
+    }
+    barrier();
+    return out;
+  }
+
  private:
+  // Per-(src, dst, tag) mailbox: FIFO messages plus receive tickets so
+  // receives are served strictly in the order they were posted.
+  struct Channel {
+    std::queue<std::vector<std::byte>> msgs;
+    std::uint64_t next_ticket = 0;  // next receive ticket to hand out
+    std::uint64_t next_serve = 0;   // ticket entitled to the queue front
+  };
+
+  // Pops the channel front into `data` (caller holds mu_ via the wait).
+  // Serving is recorded and waiters woken before the size check so a
+  // diagnosed mismatch cannot strand other ranks on a stale ticket.
+  void pop_into(Channel& ch, void* data, std::size_t bytes) {
+    const std::vector<std::byte> msg = std::move(ch.msgs.front());
+    ch.msgs.pop();
+    ++ch.next_serve;
+    cv_.notify_all();
+    check(msg.size() == bytes,
+          strfmt("recv: size mismatch (sent %zu B, requested %zu B)",
+                 msg.size(), bytes));
+    std::memcpy(data, msg.data(), bytes);
+  }
+
   static std::uint64_t key(int src, int dst, int tag) {
+    // 20 bits per field; an out-of-range tag would alias another channel's
+    // key (tag bit 20 == dst bit 0), so reject it loudly instead.
+    check(tag >= 0 && tag <= kMaxTag,
+          strfmt("comm: tag %d out of range [0, %d]", tag, kMaxTag));
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 40) |
            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 20) |
            static_cast<std::uint32_t>(tag);
@@ -83,11 +173,13 @@ class World {
   int size_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::map<std::uint64_t, std::queue<std::vector<std::byte>>> mail_;
+  std::map<std::uint64_t, Channel> chan_;
   unsigned barrier_count_ = 0;
   std::uint64_t barrier_gen_ = 0;
   std::vector<double> reduce_;
   int reduce_parity_ = 0;
+  std::vector<std::vector<double>> vec_slots_;
+  int vec_parity_ = 0;
 };
 
 int Comm::size() const { return world_->size(); }
@@ -98,6 +190,39 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
 
 void Comm::recv(int src, int tag, void* data, std::size_t bytes) {
   world_->recv(src, rank_, tag, data, bytes);
+}
+
+std::size_t Comm::probe(int src, int tag) {
+  return world_->probe(src, rank_, tag);
+}
+
+Comm::Request Comm::isend(int dst, int tag, const void* data,
+                          std::size_t bytes) {
+  // Eager-buffered: the mailbox owns a copy, so the send is complete.
+  world_->send(rank_, dst, tag, data, bytes);
+  return Request{};
+}
+
+Comm::Request Comm::irecv(int src, int tag, void* data, std::size_t bytes) {
+  std::uint64_t ticket = 0;
+  if (world_->irecv_start(src, rank_, tag, data, bytes, &ticket)) {
+    return Request{};
+  }
+  Request r;
+  r.kind_ = Request::Kind::kRecv;
+  r.peer_ = src;
+  r.tag_ = tag;
+  r.ticket_ = ticket;
+  r.data_ = data;
+  r.bytes_ = bytes;
+  return r;
+}
+
+void Comm::wait(Request& r) {
+  if (r.kind_ == Request::Kind::kRecv) {
+    world_->recv_wait(r.peer_, rank_, r.tag_, r.ticket_, r.data_, r.bytes_);
+  }
+  r.kind_ = Request::Kind::kNone;
 }
 
 void Comm::sendrecv(int peer, int tag, const void* send_buf, void* recv_buf,
@@ -117,6 +242,15 @@ double Comm::allreduce_sum(double v) {
 
 cplx64 Comm::allreduce_sum(cplx64 v) {
   return {allreduce_sum(v.real()), allreduce_sum(v.imag())};
+}
+
+std::vector<double> Comm::allreduce_sum(const std::vector<double>& v) {
+  const auto all = world_->allgather_vec(rank_, v);
+  std::vector<double> out(v.size(), 0.0);
+  for (int r = 0; r < size(); ++r) {
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += all[r][i];
+  }
+  return out;
 }
 
 std::vector<double> Comm::allgather(double v) {

@@ -6,18 +6,37 @@
 // Rank r of 2^d holds the 2^(n-d) amplitudes whose top d physical index
 // bits equal r. Gates on local slots apply independently per rank with the
 // CPU kernels; a gate touching a global slot first swaps that slot with a
-// free local one — each rank exchanges the half of its slice with the
-// opposite local-bit value against its partner rank (one sendrecv), the
-// textbook qubit-remapping / cache-blocking step. The logical->physical
-// layout permutation is tracked identically on every rank.
+// free local one — the textbook qubit-remapping / cache-blocking step
+// (qHiPSTER). The logical->physical layout permutation is tracked
+// identically on every rank, together with its inverse so slot lookups are
+// O(1).
+//
+// Slot swaps are chunked and double-buffered: while chunk k is in flight,
+// chunk k+1 is packed and chunk k-1 unpacked, over persistent staging
+// buffers (no per-swap allocation). Eviction slots are chosen by farthest
+// next use (Belady) when a gate list is available for lookahead, which
+// minimizes total swaps over a fused circuit; one-off apply_gate calls fall
+// back to the highest free slot.
+//
+// The full serving contract is supported: in-circuit measurements (collapse
+// via a rank-replicated outcome draw over allreduced probabilities),
+// Born-rule sampling and amplitude gather on the logical-order state, and
+// cooperative deadline checkpoints voted collectively so every rank aborts
+// together instead of deadlocking its partner mid-exchange.
 #pragma once
 
 #include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <functional>
 #include <numeric>
 #include <vector>
 
 #include "src/base/bits.h"
+#include "src/base/deadline.h"
 #include "src/base/error.h"
+#include "src/base/rng.h"
 #include "src/core/circuit.h"
 #include "src/dist/comm.h"
 #include "src/obs/observable.h"
@@ -27,31 +46,54 @@
 namespace qhip::dist {
 
 struct DistStats {
-  std::uint64_t slot_swaps = 0;
-  std::uint64_t bytes_sent = 0;
+  std::uint64_t slot_swaps = 0;    // pairwise slot exchanges performed
+  std::uint64_t swap_rounds = 0;   // gates whose localization communicated
+  std::uint64_t swap_chunks = 0;   // pipeline chunks across all swaps
+  std::uint64_t bytes_sent = 0;    // payload bytes shipped to partners
+  std::uint64_t pack_ns = 0;       // staging-buffer pack time
+  std::uint64_t exchange_ns = 0;   // isend/irecv/wait time
+  std::uint64_t unpack_ns = 0;     // staging-buffer unpack time
+};
+
+struct DistOptions {
+  // Chunked double-buffered swaps (pack k+1 / unpack k-1 while k is in
+  // flight). Off = the blocking pack/sendrecv/unpack baseline, kept for
+  // A/B benchmarking.
+  bool pipelined = true;
+  // Amplitudes per pipeline chunk; the swap half-slice is split into
+  // ceil(half / chunk_amps) chunks.
+  index_t chunk_amps = index_t{1} << 14;
 };
 
 template <typename FP>
 class SimulatorDist {
  public:
+  // Gate-index lookahead for eviction: maps a logical qubit to the index of
+  // the next gate that touches it (kNeverUsed when it is not used again).
+  using NextUseFn = std::function<std::uint64_t(qubit_t)>;
+  static constexpr std::uint64_t kNeverUsed = ~std::uint64_t{0};
+
   // Every rank constructs its own instance with the same num_qubits.
   SimulatorDist(Comm& comm, unsigned num_qubits,
-                ThreadPool& pool = ThreadPool::shared())
+                ThreadPool& pool = ThreadPool::shared(), DistOptions opt = {})
       : comm_(&comm),
         n_(num_qubits),
         d_(log2_exact(static_cast<index_t>(comm.size()))),
-        local_(num_qubits - d_),
+        local_(num_qubits > d_ ? num_qubits - d_ : 1),
+        opt_(opt),
         pool_(&pool),
         slice_(local_) {
     check(is_pow2(static_cast<index_t>(comm.size())),
           "SimulatorDist: rank count must be a power of two");
     check(num_qubits > d_, "SimulatorDist: too few qubits to distribute");
+    check(opt_.chunk_amps > 0, "SimulatorDist: chunk_amps must be positive");
     layout_.resize(n_);
-    std::iota(layout_.begin(), layout_.end(), 0u);
+    slots_.resize(n_);
     set_zero_state();
   }
 
   unsigned num_qubits() const { return n_; }
+  unsigned local_qubits() const { return local_; }
   const DistStats& stats() const { return stats_; }
   const StateVector<FP>& local_slice() const { return slice_; }
 
@@ -59,26 +101,185 @@ class SimulatorDist {
     std::fill(slice_.data(), slice_.data() + slice_.size(), cplx<FP>{});
     if (comm_->rank() == 0) slice_[0] = cplx<FP>{1};
     std::iota(layout_.begin(), layout_.end(), 0u);
+    std::iota(slots_.begin(), slots_.end(), 0u);
   }
 
-  void apply_gate(const Gate& gate) {
+  // Reclaims a previously released slice's allocation (buffer pooling).
+  // Returns false (and keeps the current slice) on a size mismatch.
+  bool adopt_slice(StateVector<FP>&& s) {
+    if (s.num_qubits() != local_) return false;
+    slice_ = std::move(s);
+    set_zero_state();
+    return true;
+  }
+  StateVector<FP> release_slice() { return std::move(slice_); }
+
+  void apply_gate(const Gate& gate) { apply_gate_with(gate, nullptr); }
+
+  // Like apply_gate, but eviction slots for any needed swaps are chosen by
+  // farthest next use per `next_use` (run() supplies the circuit lookahead).
+  void apply_gate_with(const Gate& gate, const NextUseFn& next_use) {
     Gate g = normalized(gate.controls.empty() ? gate : expand_controls(gate));
-    check(!g.is_measurement(), "SimulatorDist: no measurement support");
+    check(!g.is_measurement(),
+          "SimulatorDist: measurement gates go through run()/measure()");
     check(g.num_targets() <= local_,
           "SimulatorDist: gate wider than the local qubit count");
-    for (qubit_t q : g.qubits) localize(q, g.qubits);
-    Gate phys = g;
-    for (auto& q : phys.qubits) q = slot_of(q);
-    phys = normalized(phys);
-    apply_gate_inplace(phys, slice_, *pool_);
+    bool moved = false;
+    for (qubit_t q : g.qubits) moved |= localize(q, g.qubits, next_use);
+    if (moved) ++stats_.swap_rounds;
+    // Route each logical target to its physical slot WITHOUT re-normalizing
+    // the gate onto slot order: the matrix stays in the logical basis, so
+    // the accumulation order (and the result, bit for bit) matches the
+    // single-node backends no matter how the layout is permuted.
+    std::vector<qubit_t> slots(g.qubits.size());
+    for (std::size_t j = 0; j < slots.size(); ++j) slots[j] = slot_of(g.qubits[j]);
+    apply_gate_routed_inplace(g, slots, slice_, *pool_);
   }
 
-  void run(const Circuit& c) {
+  // Runs the whole circuit. Measurement gate k draws with Philox stream
+  // (seed ^ GOLDEN * k, 0x3ea5) — the same formula as SimulatorCPU, so
+  // outcomes agree with the cpu backend for the same seed. The deadline is
+  // voted on collectively every few gates: if any rank has expired, every
+  // rank throws CodedError(kDeadlineExceeded) at the same checkpoint (a
+  // lone local throw would leave its swap partner blocked in recv forever).
+  void run(const Circuit& c, std::uint64_t seed = 0,
+           std::vector<index_t>* measurements = nullptr,
+           const Deadline& deadline = {}) {
     check(c.num_qubits == n_, "SimulatorDist::run: qubit mismatch");
-    for (const auto& g : c.gates) apply_gate(g);
+
+    // Per-qubit use lists (ascending gate index) for Belady eviction.
+    // Measurement gates read any layout, so they are not "uses".
+    std::vector<std::vector<std::uint32_t>> uses(n_);
+    for (std::uint32_t i = 0; i < c.gates.size(); ++i) {
+      const Gate& g = c.gates[i];
+      if (g.is_measurement()) continue;
+      for (qubit_t q : g.qubits) uses[q].push_back(i);
+      for (qubit_t q : g.controls) uses[q].push_back(i);
+    }
+    std::vector<std::size_t> cursor(n_, 0);
+    std::uint32_t now = 0;
+    const NextUseFn next_use = [&](qubit_t q) -> std::uint64_t {
+      auto& cu = cursor[q];
+      const auto& u = uses[q];
+      while (cu < u.size() && u[cu] < now) ++cu;
+      return cu < u.size() ? u[cu] : kNeverUsed;
+    };
+
+    std::uint64_t meas_idx = 0;
+    unsigned since_vote = 0;
+    for (std::uint32_t i = 0; i < c.gates.size(); ++i) {
+      now = i;
+      if (deadline.active() && ++since_vote >= kDeadlineStride) {
+        since_vote = 0;
+        vote_deadline(deadline);
+      }
+      const Gate& g = c.gates[i];
+      if (g.is_measurement()) {
+        const index_t outcome =
+            measure(g.qubits, seed ^ (0x9E3779B97F4A7C15 * ++meas_idx));
+        if (measurements) measurements->push_back(outcome);
+      } else {
+        apply_gate_with(g, next_use);
+      }
+    }
+    if (deadline.active()) vote_deadline(deadline);
   }
 
-  double norm2() { return comm_->allreduce_sum(statespace::norm2(slice_, *pool_)); }
+  double norm2() {
+    return comm_->allreduce_sum(statespace::norm2(slice_, *pool_));
+  }
+
+  // Measures `qubits` (bit j of the outcome = qubits[j]), collapses and
+  // renormalizes the distributed state. Collective: every rank draws the
+  // same outcome from the same allreduced distribution and the same Philox
+  // stream, mirroring statespace::measure's draw exactly.
+  index_t measure(const std::vector<qubit_t>& qubits, std::uint64_t seed) {
+    check(!qubits.empty() && qubits.size() <= 30, "measure: bad qubit list");
+
+    // Outcome bits whose physical slot is global are fixed by the rank id;
+    // local slots contribute per amplitude.
+    index_t fixed = 0;
+    index_t lmask = 0;
+    std::vector<std::pair<unsigned, unsigned>> lbits;  // (outcome bit, slot)
+    const int rank = comm_->rank();
+    for (unsigned j = 0; j < qubits.size(); ++j) {
+      const unsigned s = slot_of(qubits[j]);
+      if (s >= local_) {
+        if ((rank >> (s - local_)) & 1) fixed |= index_t{1} << j;
+      } else {
+        lbits.emplace_back(j, s);
+        lmask |= index_t{1} << s;
+      }
+    }
+
+    const std::size_t no = std::size_t{1} << qubits.size();
+    std::vector<double> probs(no, 0.0);
+    for (index_t i = 0; i < slice_.size(); ++i) {
+      index_t o = fixed;
+      for (const auto& [j, s] : lbits) o |= ((i >> s) & 1) << j;
+      probs[o] += std::norm(slice_[i]);
+    }
+    probs = comm_->allreduce_sum(probs);
+
+    Philox rng(seed, /*stream=*/0x3ea5);
+    const double r = rng.uniform();
+    double csum = 0;
+    index_t outcome = no - 1;
+    for (std::size_t o = 0; o < no; ++o) {
+      csum += probs[o];
+      if (r < csum) {
+        outcome = o;
+        break;
+      }
+    }
+
+    // Collapse. A fixed (global-slot) bit mismatch zeroes the whole slice;
+    // otherwise only amplitudes whose local bits disagree are zeroed.
+    index_t gmask = 0;
+    for (unsigned j = 0; j < qubits.size(); ++j) {
+      if (slot_of(qubits[j]) >= local_) gmask |= index_t{1} << j;
+    }
+    if ((outcome & gmask) != fixed) {
+      std::fill(slice_.data(), slice_.data() + slice_.size(), cplx<FP>{});
+    } else {
+      index_t lwant = 0;
+      for (const auto& [j, s] : lbits) {
+        if ((outcome >> j) & 1) lwant |= index_t{1} << s;
+      }
+      pool_->parallel_for(slice_.size(), [&](index_t i) {
+        if ((i & lmask) != lwant) slice_[i] = cplx<FP>{};
+      });
+    }
+
+    const double n2 = norm2();
+    check(n2 > 0, "measure: zero state");
+    const FP inv = static_cast<FP>(1.0 / std::sqrt(n2));
+    pool_->parallel_for(slice_.size(), [&](index_t i) { slice_[i] *= inv; });
+    return outcome;
+  }
+
+  // Amplitudes at logical basis-state indices. Collective; every rank
+  // returns the same values (owners contribute, zeros elsewhere, rank-
+  // ordered sum — exact, since x + 0.0 == x).
+  std::vector<cplx64> amplitudes(const std::vector<index_t>& indices) {
+    std::vector<double> flat(indices.size() * 2, 0.0);
+    const index_t local_mask = low_mask(local_);
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      check(indices[k] < pow2(n_), "amplitudes: index out of range");
+      const index_t phys = logical_to_physical(indices[k]);
+      if (static_cast<int>(phys >> local_) == comm_->rank()) {
+        const cplx<FP> a = slice_[phys & local_mask];
+        flat[2 * k] = a.real();
+        flat[2 * k + 1] = a.imag();
+      }
+    }
+    flat = comm_->allreduce_sum(flat);
+    std::vector<cplx64> out(indices.size());
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      out[k] = {flat[2 * k], flat[2 * k + 1]};
+    }
+    return out;
+  }
 
   // <psi| P |psi> with the distributed state: the string's qubits are
   // localized first (swaps), then each rank reduces its slice.
@@ -88,7 +289,7 @@ class SimulatorDist {
     // never displaces another back to a global slot.
     std::vector<qubit_t> pinned;
     for (const auto& t : p.terms) pinned.push_back(t.qubit);
-    for (const auto& t : p.terms) localize(t.qubit, pinned);
+    for (const auto& t : p.terms) localize(t.qubit, pinned, nullptr);
     obs::PauliString phys = p;
     for (auto& t : phys.terms) t.qubit = slot_of(t.qubit);
     // Local reduction WITHOUT the coefficient/i^Y factors, which must be
@@ -115,7 +316,8 @@ class SimulatorDist {
   // receive an empty state. All ranks must call.
   StateVector<FP> gather(qubit_t /*unused*/ = 0) {
     if (comm_->rank() != 0) {
-      comm_->send(0, kGatherTag, slice_.data(), slice_.size() * sizeof(cplx<FP>));
+      comm_->send(0, kGatherTag, slice_.data(),
+                  slice_.size() * sizeof(cplx<FP>));
       comm_->barrier();
       StateVector<FP> empty(1);
       return empty;
@@ -139,14 +341,21 @@ class SimulatorDist {
   }
 
  private:
-  static constexpr int kGatherTag = 9001;
-  static constexpr int kSwapTagBase = 1000;
+  // Fixed message tags. Swaps reuse one tag: per-(src, dst, tag) FIFO
+  // matching already keeps concurrent and successive swaps ordered, and a
+  // per-swap incrementing tag overflows the 20-bit tag field after enough
+  // swaps (and collided with the gather tag after 8001).
+  static constexpr int kSwapTag = 1;
+  static constexpr int kGatherTag = 2;
+  static constexpr unsigned kDeadlineStride = 16;
 
   unsigned slot_of(qubit_t logical) const {
-    for (unsigned s = 0; s < n_; ++s) {
-      if (layout_[s] == logical) return s;
-    }
-    throw Error("SimulatorDist: logical qubit not in layout");
+    check(logical < n_, "SimulatorDist: logical qubit out of range");
+    const unsigned s = slots_[logical];
+#ifndef NDEBUG
+    assert(layout_[s] == logical && "layout/slots maps diverged");
+#endif
+    return s;
   }
 
   index_t physical_to_logical(index_t phys) const {
@@ -157,58 +366,172 @@ class SimulatorDist {
     return logical;
   }
 
-  void localize(qubit_t q, const std::vector<qubit_t>& targets) {
-    const unsigned gslot = slot_of(q);
-    if (gslot < local_) return;
-    unsigned lslot = local_;
-    for (unsigned s = local_; s-- > 0;) {
-      const qubit_t holder = layout_[s];
-      if (std::find(targets.begin(), targets.end(), holder) == targets.end()) {
-        lslot = s;
-        break;
-      }
+  index_t logical_to_physical(index_t logical) const {
+    index_t phys = 0;
+    for (unsigned q = 0; q < n_; ++q) {
+      if (logical & (index_t{1} << q)) phys |= index_t{1} << slots_[q];
     }
-    check(lslot < local_, "SimulatorDist: no free local slot");
-    swap_slots(gslot, lslot);
+    return phys;
   }
 
-  // Exchange amp(g=0, l=1) <-> amp(g=1, l=0) with the partner rank.
+  void vote_deadline(const Deadline& deadline) {
+    const double expired = deadline.expired() ? 1.0 : 0.0;
+    if (comm_->allreduce_sum(expired) > 0) {
+      throw CodedError(ErrorCode::kDeadlineExceeded,
+                       "deadline exceeded in SimulatorDist::run (collective "
+                       "checkpoint)");
+    }
+  }
+
+  // Brings `q` into a local slot if needed. The eviction victim is the free
+  // local slot whose holder's next use is farthest away (Belady); without
+  // lookahead every holder ties at kNeverUsed and the highest free slot
+  // wins, matching the old heuristic. Returns true if a swap happened.
+  bool localize(qubit_t q, const std::vector<qubit_t>& pinned,
+                const NextUseFn& next_use) {
+    const unsigned gslot = slot_of(q);
+    if (gslot < local_) return false;
+    unsigned best = local_;
+    std::uint64_t best_next = 0;
+    for (unsigned s = local_; s-- > 0;) {
+      const qubit_t holder = layout_[s];
+      if (std::find(pinned.begin(), pinned.end(), holder) != pinned.end()) {
+        continue;
+      }
+      const std::uint64_t nu = next_use ? next_use(holder) : kNeverUsed;
+      if (best == local_ || nu > best_next) {
+        best = s;
+        best_next = nu;
+        if (nu == kNeverUsed) break;  // cannot do better; highest slot wins
+      }
+    }
+    check(best < local_, "SimulatorDist: no free local slot");
+    swap_slots(gslot, best);
+    return true;
+  }
+
+  // Exchange amp(g=0, l=1) <-> amp(g=1, l=0) with the partner rank. The
+  // half-slice is shipped in chunks over persistent double staging buffers:
+  // chunk k's receive is posted, k is packed and sent, then chunk k-1
+  // (whose buffers are now free) is waited on and unpacked — pack, wire,
+  // and unpack overlap across chunks.
   void swap_slots(unsigned gslot, unsigned lslot) {
+    using clock = std::chrono::steady_clock;
+    const auto ns = [](clock::time_point a, clock::time_point b) {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+    };
+
     const unsigned gbit = gslot - local_;
     const int rank = comm_->rank();
     const int partner = rank ^ (1 << gbit);
     const bool low_side = ((rank >> gbit) & 1) == 0;
-    const unsigned keep_value = low_side ? 1u : 0u;  // local-bit half to ship
-
-    const index_t half = slice_.size() >> 1;
     const index_t bit = index_t{1} << lslot;
-    std::vector<cplx<FP>> out(half), in(half);
-    for (index_t t = 0; t < half; ++t) {
-      const index_t lo = t & (bit - 1);
-      const index_t idx = ((t >> lslot) << (lslot + 1)) | lo |
-                          (keep_value ? bit : 0);
-      out[t] = slice_[idx];
+    // Which local-bit half to ship: the low rank of the pair owns l=0 for
+    // both slots after the swap, so it ships its l=1 half and vice versa.
+    const index_t keep = low_side ? bit : 0;
+    const index_t half = slice_.size() >> 1;
+
+    const auto idx_of = [&](index_t t) {
+      return ((t >> lslot) << (lslot + 1)) | (t & (bit - 1)) | keep;
+    };
+
+    if (!opt_.pipelined) {
+      // Blocking baseline: one monolithic pack / sendrecv / unpack with
+      // per-swap staging allocations.
+      const auto t0 = clock::now();
+      std::vector<cplx<FP>> out(half), in(half);
+      for (index_t t = 0; t < half; ++t) out[t] = slice_[idx_of(t)];
+      const auto t1 = clock::now();
+      comm_->sendrecv(partner, kSwapTag, out.data(), in.data(),
+                      half * sizeof(cplx<FP>));
+      const auto t2 = clock::now();
+      for (index_t t = 0; t < half; ++t) slice_[idx_of(t)] = in[t];
+      const auto t3 = clock::now();
+      stats_.pack_ns += ns(t0, t1);
+      stats_.exchange_ns += ns(t1, t2);
+      stats_.unpack_ns += ns(t2, t3);
+      ++stats_.swap_chunks;
+    } else {
+      const index_t chunk = std::min(opt_.chunk_amps, half);
+      const index_t nchunks = (half + chunk - 1) / chunk;
+      for (auto& b : sbuf_) {
+        if (b.size() < static_cast<std::size_t>(chunk)) b.resize(chunk);
+      }
+      for (auto& b : rbuf_) {
+        if (b.size() < static_cast<std::size_t>(chunk)) b.resize(chunk);
+      }
+
+      const auto count_of = [&](index_t k) {
+        return std::min(chunk, half - k * chunk);
+      };
+      const auto pack = [&](index_t k, std::vector<cplx<FP>>& buf) {
+        const index_t base = k * chunk, cnt = count_of(k);
+        for (index_t t = 0; t < cnt; ++t) buf[t] = slice_[idx_of(base + t)];
+      };
+      const auto unpack = [&](index_t k, const std::vector<cplx<FP>>& buf) {
+        const index_t base = k * chunk, cnt = count_of(k);
+        for (index_t t = 0; t < cnt; ++t) slice_[idx_of(base + t)] = buf[t];
+      };
+
+      Comm::Request rreq[2];
+      for (index_t k = 0; k < nchunks; ++k) {
+        const std::size_t bytes = count_of(k) * sizeof(cplx<FP>);
+        auto t0 = clock::now();
+        // rbuf_[k % 2] was last used by chunk k-2, unpacked at iteration
+        // k-1, so it is free to receive into; sbuf_[k % 2] likewise (isend
+        // is eager-buffered, complete at return).
+        rreq[k & 1] = comm_->irecv(partner, kSwapTag, rbuf_[k & 1].data(),
+                                   bytes);
+        auto t1 = clock::now();
+        pack(k, sbuf_[k & 1]);
+        auto t2 = clock::now();
+        comm_->isend(partner, kSwapTag, sbuf_[k & 1].data(), bytes);
+        auto t3 = clock::now();
+        stats_.exchange_ns += ns(t0, t1) + ns(t2, t3);
+        stats_.pack_ns += ns(t1, t2);
+        if (k > 0) {
+          t0 = clock::now();
+          comm_->wait(rreq[(k - 1) & 1]);
+          t1 = clock::now();
+          unpack(k - 1, rbuf_[(k - 1) & 1]);
+          t2 = clock::now();
+          stats_.exchange_ns += ns(t0, t1);
+          stats_.unpack_ns += ns(t1, t2);
+        }
+      }
+      const auto t0 = clock::now();
+      comm_->wait(rreq[(nchunks - 1) & 1]);
+      const auto t1 = clock::now();
+      unpack(nchunks - 1, rbuf_[(nchunks - 1) & 1]);
+      const auto t2 = clock::now();
+      stats_.exchange_ns += ns(t0, t1);
+      stats_.unpack_ns += ns(t1, t2);
+      stats_.swap_chunks += static_cast<std::uint64_t>(nchunks);
     }
-    comm_->sendrecv(partner, kSwapTagBase + static_cast<int>(stats_.slot_swaps),
-                    out.data(), in.data(), half * sizeof(cplx<FP>));
-    for (index_t t = 0; t < half; ++t) {
-      const index_t lo = t & (bit - 1);
-      const index_t idx = ((t >> lslot) << (lslot + 1)) | lo |
-                          (keep_value ? bit : 0);
-      slice_[idx] = in[t];
-    }
+
     stats_.bytes_sent += half * sizeof(cplx<FP>);
-    std::swap(layout_[gslot], layout_[lslot]);
     ++stats_.slot_swaps;
+    std::swap(layout_[gslot], layout_[lslot]);
+    slots_[layout_[gslot]] = gslot;
+    slots_[layout_[lslot]] = lslot;
+#ifndef NDEBUG
+    for (unsigned s = 0; s < n_; ++s) {
+      assert(slots_[layout_[s]] == s && "layout/slots maps diverged");
+    }
+#endif
   }
 
   Comm* comm_;
   unsigned n_;
   unsigned d_;
   unsigned local_;
+  DistOptions opt_;
   ThreadPool* pool_;
   StateVector<FP> slice_;
-  std::vector<qubit_t> layout_;
+  std::vector<qubit_t> layout_;   // physical slot -> logical qubit
+  std::vector<unsigned> slots_;   // logical qubit -> physical slot (inverse)
+  std::vector<cplx<FP>> sbuf_[2], rbuf_[2];  // persistent swap staging
   DistStats stats_;
 };
 

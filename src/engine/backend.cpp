@@ -1,11 +1,13 @@
 #include "src/engine/backend.h"
 
+#include <array>
 #include <optional>
 #include <utility>
 
 #include "src/base/error.h"
 #include "src/base/strings.h"
 #include "src/base/timer.h"
+#include "src/dist/simulator_dist.h"
 #include "src/hipsim/multi_gcd.h"
 #include "src/vgpu/fault.h"
 #include "src/hipsim/simulator_hip.h"
@@ -323,6 +325,119 @@ class MultiGcdBackend final : public Backend {
   std::uint64_t pool_hits_ = 0, pool_misses_ = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Distributed backend ("dist:N"): SimulatorDist over N thread-ranks on the
+// in-process message-passing communicator — the MPI-flavoured path, serving
+// the same BackendRunSpec contract as cpu|hip|hip:N. Each request runs one
+// SPMD region; rank 0 assembles the output. Ranks are threads over host
+// memory, so like the cpu backend there is no device to install a fault
+// plan on (fault_spec is accepted and ignored).
+
+template <typename FP>
+class DistBackend final : public Backend {
+ public:
+  DistBackend(std::string spec, unsigned ranks, Tracer* tracer)
+      : spec_(std::move(spec)),
+        ranks_(ranks),
+        tracer_(tracer),
+        description_(
+            strfmt("%u thread-ranks (message-passing dist)", ranks)),
+        pool_(/*max_per_key=*/ranks) {}
+
+  const std::string& spec() const override { return spec_; }
+  const std::string& description() const override { return description_; }
+  Precision precision() const override { return precision_of<FP>(); }
+
+  // Host-memory bound, same budget as the cpu backend (the ranks partition
+  // one host allocation, they do not multiply it).
+  unsigned max_qubits() const override { return 30; }
+
+  BackendRunOutput run(const Circuit& fused, const BackendRunSpec& rs) override {
+    const unsigned n = fused.num_qubits;
+    const unsigned d = log2_exact(ranks_);
+    check(n > d, strfmt("dist backend: %u qubits cannot be split over %u "
+                        "ranks (need more than %u)",
+                        n, ranks_, d));
+
+    BackendRunOutput out;
+    dist::DistStats round;  // rank-0 copy of the per-run stats
+    std::array<double, 4> summed{};  // bytes + phase ns summed over ranks
+    const bool gather_state = rs.want_state || rs.num_samples > 0;
+
+    dist::run_spmd(ranks_, [&](dist::Comm& comm) {
+      ThreadPool pool(1);
+      dist::SimulatorDist<FP> sim(comm, n, pool);
+      if (std::optional<StateVector<FP>> pooled = pool_.acquire(n)) {
+        sim.adopt_slice(std::move(*pooled));
+      }
+
+      std::vector<index_t> meas;
+      sim.run(fused, rs.seed, &meas, rs.deadline);
+
+      std::vector<cplx64> amps;
+      if (!rs.amplitude_indices.empty()) {
+        amps = sim.amplitudes(rs.amplitude_indices);
+      }
+
+      StateVector<FP> full(1);
+      if (gather_state) full = sim.gather();
+
+      const dist::DistStats& st = sim.stats();
+      const std::vector<double> agg = comm.allreduce_sum(std::vector<double>{
+          static_cast<double>(st.bytes_sent), static_cast<double>(st.pack_ns),
+          static_cast<double>(st.exchange_ns),
+          static_cast<double>(st.unpack_ns)});
+
+      if (comm.rank() == 0) {
+        out.measurements = std::move(meas);
+        out.amplitudes = std::move(amps);
+        if (rs.num_samples > 0) {
+          out.sample_seconds = timed_sample(tracer_, rs.corr, [&] {
+            out.samples = statespace::sample(full, rs.num_samples, rs.seed);
+          });
+        }
+        if (rs.want_state) out.state = state_as_cplx64(full);
+        round = st;
+        std::copy(agg.begin(), agg.end(), summed.begin());
+      }
+
+      pool_.release(n, sim.release_slice(),
+                    pow2(sim.local_qubits()) * sizeof(cplx<FP>));
+    });
+
+    out.counters["slot_swaps"] = static_cast<double>(round.slot_swaps);
+    out.counters["swap_rounds"] = static_cast<double>(round.swap_rounds);
+    out.counters["swap_chunks"] = static_cast<double>(round.swap_chunks);
+    out.counters["peer_bytes"] = summed[0];
+    out.counters["pack_ns"] = summed[1];
+    out.counters["exchange_ns"] = summed[2];
+    out.counters["unpack_ns"] = summed[3];
+    export_counters(out.counters);
+    return out;
+  }
+
+  engine::PoolStats pool_stats() const override { return pool_.stats(); }
+  void trim_pool() override { pool_.clear(); }
+
+ private:
+  // Cumulative dist counters on the trace (Chrome "C" events), alongside
+  // the engine's serving metrics (docs/OBSERVABILITY.md).
+  void export_counters(const std::map<std::string, double>& delta) {
+    if (tracer_ == nullptr) return;
+    for (const auto& [name, v] : delta) {
+      cumulative_[name] += v;
+      tracer_->set_counter("dist/" + name, cumulative_[name]);
+    }
+  }
+
+  std::string spec_;
+  unsigned ranks_;
+  Tracer* tracer_;
+  std::string description_;
+  engine::BufferPool<StateVector<FP>> pool_;
+  std::map<std::string, double> cumulative_;
+};
+
 // Parses "hip:N"; returns 0 if `spec` is not of that form.
 unsigned parse_gcd_count(const std::string& spec) {
   if (spec.rfind("hip:", 0) != 0) return 0;
@@ -332,6 +447,17 @@ unsigned parse_gcd_count(const std::string& spec) {
   }
   if (tail.empty() || tail.size() > 3) return 0;
   return static_cast<unsigned>(parse_uint(tail, "-b hip:N"));
+}
+
+// Parses "dist:N"; returns 0 if `spec` is not of that form.
+unsigned parse_dist_ranks(const std::string& spec) {
+  if (spec.rfind("dist:", 0) != 0) return 0;
+  const std::string tail = spec.substr(5);
+  for (char c : tail) {
+    if (c < '0' || c > '9') return 0;
+  }
+  if (tail.empty() || tail.size() > 3) return 0;
+  return static_cast<unsigned>(parse_uint(tail, "-b dist:N"));
 }
 
 template <typename FP>
@@ -352,7 +478,14 @@ std::unique_ptr<Backend> make_backend(const std::string& spec, Tracer* tracer,
           "backend '" + spec + "': GCD count must be a power of two in [2, 64]");
     return std::make_unique<MultiGcdBackend<FP>>(spec, gcds, tracer, fault_spec);
   }
-  throw Error("unknown backend '" + spec + "' (expected cpu|hip|a100|hip:N)");
+  const unsigned ranks = parse_dist_ranks(spec);
+  if (ranks != 0) {
+    check(is_pow2(ranks) && ranks >= 2 && ranks <= 64,
+          "backend '" + spec + "': rank count must be a power of two in [2, 64]");
+    return std::make_unique<DistBackend<FP>>(spec, ranks, tracer);
+  }
+  throw Error("unknown backend '" + spec +
+              "' (expected cpu|hip|a100|hip:N|dist:N)");
 }
 
 }  // namespace
@@ -360,7 +493,9 @@ std::unique_ptr<Backend> make_backend(const std::string& spec, Tracer* tracer,
 bool is_backend_spec(const std::string& spec) {
   if (spec == "cpu" || spec == "hip" || spec == "a100") return true;
   const unsigned gcds = parse_gcd_count(spec);
-  return gcds != 0 && is_pow2(gcds) && gcds >= 2 && gcds <= 64;
+  if (gcds != 0) return is_pow2(gcds) && gcds >= 2 && gcds <= 64;
+  const unsigned ranks = parse_dist_ranks(spec);
+  return ranks != 0 && is_pow2(ranks) && ranks >= 2 && ranks <= 64;
 }
 
 std::unique_ptr<Backend> create_backend(const std::string& spec, Precision precision,

@@ -6,10 +6,12 @@
 // wraps each of them behind one virtual interface selected at runtime from a
 // spec string — the same strings the CLIs already use:
 //
-//   "cpu"    multithreaded host backend
-//   "hip"    virtual MI250X GCD (wavefront 64)
-//   "a100"   virtual A100 (warp 32)
-//   "hip:N"  state distributed over N virtual GCDs (N a power of two >= 2)
+//   "cpu"     multithreaded host backend
+//   "hip"     virtual MI250X GCD (wavefront 64)
+//   "a100"    virtual A100 (warp 32)
+//   "hip:N"   state distributed over N virtual GCDs (N a power of two >= 2)
+//   "dist:N"  state distributed over N thread-ranks on the in-process
+//             message-passing communicator (N a power of two >= 2)
 //
 // A Backend instance is long-lived: it owns its (virtual) device and a
 // BufferPool of state vectors keyed by qubit count, so serving many requests
@@ -93,7 +95,8 @@ class Backend {
   virtual void trim_pool() = 0;
 };
 
-// True if `spec` names a known backend ("cpu" | "hip" | "a100" | "hip:N").
+// True if `spec` names a known backend
+// ("cpu" | "hip" | "a100" | "hip:N" | "dist:N").
 bool is_backend_spec(const std::string& spec);
 
 // Builds a backend from its spec string. Throws qhip::Error on an unknown

@@ -389,7 +389,7 @@ void SimulationEngine::process(Job& job) {
                             q.circuit.num_qubits, opt_.max_qubits));
     } else if (!is_backend_spec(q.backend)) {
       res = rejected("unknown backend '" + q.backend +
-                     "' (expected cpu|hip|a100|hip:N)");
+                     "' (expected cpu|hip|a100|hip:N|dist:N)");
     } else {
       key = result_key(q);
       const bool cacheable =

@@ -67,7 +67,7 @@ const char* to_string(SimErrorCode code);
 
 struct SimRequest {
   Circuit circuit;
-  std::string backend = "cpu";  // "cpu" | "hip" | "a100" | "hip:N"
+  std::string backend = "cpu";  // "cpu" | "hip" | "a100" | "hip:N" | "dist:N"
   Precision precision = Precision::kSingle;
   unsigned max_fused = 2;       // fusion limit (paper sweeps 2..6)
   unsigned window = 4;          // fusion temporal window

@@ -73,24 +73,34 @@ void apply_groups_dyn(const cplx<FP>* m, const std::vector<qubit_t>& sorted,
 
 }  // namespace detail
 
-// Applies a (normalized, uncontrolled) unitary gate to `state`, splitting the
-// outer groups across `pool`.
+// Applies a (normalized, uncontrolled) unitary gate with its j-th target
+// routed to bit position `slots[j]` of the state index. The slots may be in
+// any relative order: the matrix stays in the gate's own target basis and
+// only the amplitude addressing is permuted, so the floating-point
+// accumulation order — and therefore the result, bit for bit — is identical
+// for every routing. The distributed simulator relies on this to apply
+// logically-normalized gates onto its permuted physical slot layout and
+// still match the single-node backends exactly.
 template <typename FP>
-void apply_gate_inplace(const Gate& g, StateVector<FP>& state, ThreadPool& pool) {
+void apply_gate_routed_inplace(const Gate& g,
+                               const std::vector<qubit_t>& slots,
+                               StateVector<FP>& state, ThreadPool& pool) {
   check(g.kind == GateKind::kUnitary, "apply_gate_inplace: not a unitary gate");
   check(g.controls.empty(), "apply_gate_inplace: fold controls first");
   const unsigned q = g.num_targets();
   check(q <= state.num_qubits(), "apply_gate_inplace: gate wider than state");
+  check(slots.size() == q, "apply_gate_inplace: one slot per target");
 
-  std::vector<qubit_t> sorted = g.qubits;
-  check(std::is_sorted(sorted.begin(), sorted.end()),
-        "apply_gate_inplace: gate must be normalized (sorted qubits)");
+  std::vector<qubit_t> sorted = slots;
+  std::sort(sorted.begin(), sorted.end());
+  check(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+        "apply_gate_inplace: duplicate target slots");
   for (qubit_t t : sorted) {
     check(t < state.num_qubits(), "apply_gate_inplace: target out of range");
   }
 
   const std::vector<cplx<FP>> m = detail::matrix_as<FP>(g.matrix);
-  const std::vector<index_t> member = scatter_masks(sorted);
+  const std::vector<index_t> member = scatter_masks(slots);
   const index_t outer = state.size() >> q;
   cplx<FP>* amps = state.data();
 
@@ -117,6 +127,15 @@ void apply_gate_inplace(const Gate& g, StateVector<FP>& state, ThreadPool& pool)
         detail::apply_groups_dyn<FP>(m.data(), sorted, member, amps, b, e);
       });
   }
+}
+
+// Applies a (normalized, uncontrolled) unitary gate to `state`, splitting the
+// outer groups across `pool`.
+template <typename FP>
+void apply_gate_inplace(const Gate& g, StateVector<FP>& state, ThreadPool& pool) {
+  check(std::is_sorted(g.qubits.begin(), g.qubits.end()),
+        "apply_gate_inplace: gate must be normalized (sorted qubits)");
+  apply_gate_routed_inplace(g, g.qubits, state, pool);
 }
 
 }  // namespace qhip
