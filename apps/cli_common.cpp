@@ -60,7 +60,7 @@ bool parse_common_args(int argc, char** argv, CommonArgs* out,
 }
 
 const char* common_usage() {
-  return "[-b cpu|hip|a100|hip:N|dist:N] [-p single|double] [-f <max-fused>]\n"
+  return "[-b cpu|hip|a100|hip:N|dist:N|auto] [-p single|double] [-f <max-fused>]\n"
          "    [-w <window>] [-s <seed>] [-m <samples>] [-t <trace.json>] [-O]\n"
          "    [--faults <spec>] [--fallback-backend <backend>]";
 }

@@ -5,7 +5,8 @@
 // count in another). This header is the single flag table they all share:
 //
 //   -c <circuit>          circuit file (qsim text format)
-//   -b <backend>          cpu | hip | a100 | hip:N | dist:N  (default hip)
+//   -b <backend>          cpu | hip | a100 | hip:N | dist:N | auto
+//                         (default hip; auto = engine cost-model placement)
 //   -p single|double      precision                       (default single)
 //   -f <max-fused>        fusion limit                    (default 2)
 //   -w <window>           fusion temporal window          (default 4)
@@ -28,6 +29,7 @@
 
 #include "src/base/types.h"
 #include "src/core/circuit.h"
+#include "src/fusion/fuser.h"
 
 namespace qhip::cli {
 
@@ -36,8 +38,9 @@ struct CommonArgs {
   std::string backend = "hip";
   std::string precision = "single";
   std::string trace_file;
-  unsigned max_fused = 2;
-  unsigned window = 4;
+  // -f / -w land here — the same FusionOptions SimRequest and RunOptions
+  // carry, so the flag table and the request structs cannot drift.
+  FusionOptions fusion;
   std::uint64_t seed = 1;
   std::size_t samples = 0;
   bool optimize = false;
@@ -47,6 +50,31 @@ struct CommonArgs {
   // Backend to degrade onto when the primary keeps failing (engine/batch
   // mode only); empty = fail the request instead.
   std::string fallback_backend;
+
+  // Deprecated aliases of fusion.* (DESIGN.md §13 migration note); they are
+  // references into `fusion`, hence the hand-written copy operations.
+  unsigned& max_fused = fusion.max_fused_qubits;
+  unsigned& window = fusion.window_moments;
+
+  CommonArgs() = default;
+  CommonArgs(const CommonArgs& o)
+      : circuit_file(o.circuit_file), backend(o.backend),
+        precision(o.precision), trace_file(o.trace_file), fusion(o.fusion),
+        seed(o.seed), samples(o.samples), optimize(o.optimize),
+        fault_spec(o.fault_spec), fallback_backend(o.fallback_backend) {}
+  CommonArgs& operator=(const CommonArgs& o) {
+    circuit_file = o.circuit_file;
+    backend = o.backend;
+    precision = o.precision;
+    trace_file = o.trace_file;
+    fusion = o.fusion;
+    seed = o.seed;
+    samples = o.samples;
+    optimize = o.optimize;
+    fault_spec = o.fault_spec;
+    fallback_backend = o.fallback_backend;
+    return *this;
+  }
 };
 
 // Pulls the next argv token for a flag value; nullptr when argv is exhausted.

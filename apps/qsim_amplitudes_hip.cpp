@@ -72,7 +72,7 @@ std::string to_bits(index_t v, unsigned n) {
 
 int main(int argc, char** argv) {
   cli::CommonArgs a;
-  a.max_fused = 4;  // this driver's historical default
+  a.fusion.max_fused_qubits = 4;  // this driver's historical default
   std::string bits_file;
   const bool parsed = cli::parse_common_args(
       argc, argv, &a, [&](const std::string& arg, const cli::NextFn& next) {
@@ -98,7 +98,7 @@ int main(int argc, char** argv) {
     rs.seed = a.seed;
     rs.amplitude_indices = bits;
     const BackendRunOutput out =
-        backend->run(fuse_circuit(circuit, {a.max_fused, a.window}).circuit, rs);
+        backend->run(fuse_circuit(circuit, a.fusion).circuit, rs);
 
     for (std::size_t k = 0; k < bits.size(); ++k) {
       const cplx64 amp = out.amplitudes[k];

@@ -112,7 +112,7 @@ int run_single(const Args& a, const Circuit& circuit, Tracer* tracer) {
 
   Timer timer;
   const FusionResult fused =
-      fuse_circuit(circuit, {a.common.max_fused, a.common.window});
+      fuse_circuit(circuit, a.common.fusion);
   const double fuse_s = timer.seconds();
 
   BackendRunSpec rs;
@@ -154,8 +154,7 @@ int run_batch(const Args& a, const Circuit& circuit, Tracer* tracer) {
   req.backend = a.common.backend;
   req.precision =
       a.common.precision == "double" ? Precision::kDouble : Precision::kSingle;
-  req.max_fused = a.common.max_fused;
-  req.window = a.common.window;
+  req.fusion = a.common.fusion;
   req.seed = a.common.seed;
   req.num_samples = a.common.samples;
 
@@ -192,6 +191,19 @@ int run_batch(const Args& a, const Circuit& circuit, Tracer* tracer) {
               static_cast<double>(m.bytes_pooled) / (1 << 20));
   std::printf("latency: p50 %.3f ms, p95 %.3f ms, mean %.3f ms\n", m.p50_ms,
               m.p95_ms, m.mean_ms);
+  if (m.planner_decisions > 0) {
+    std::string chosen;
+    for (const auto& [spec, n] : m.planner_chosen) {
+      chosen += strfmt("%s%s x%llu", chosen.empty() ? "" : ", ", spec.c_str(),
+                       static_cast<unsigned long long>(n));
+    }
+    std::printf("planner: %llu decisions (%llu calibrated, "
+                "%llu observations): %s\n",
+                static_cast<unsigned long long>(m.planner_decisions),
+                static_cast<unsigned long long>(m.planner_calibrated_decisions),
+                static_cast<unsigned long long>(m.planner_observations),
+                chosen.c_str());
+  }
   if (m.retries + m.fallbacks + m.faults_oom + m.faults_backend +
           m.faults_deadline >
       0) {
@@ -246,6 +258,14 @@ int main(int argc, char** argv) {
 
     if (a.common.circuit_file.empty()) return usage();
     if (!qhip::is_backend_spec(a.common.backend)) return usage();
+    // "auto" is a placement policy, not a device: it only exists behind the
+    // engine's planner, so route it through batch mode (DESIGN.md §13).
+    if (qhip::BackendSpec::parse(a.common.backend).kind ==
+            qhip::BackendSpec::Kind::kAuto &&
+        a.batch == 0) {
+      std::printf("backend auto: serving through the engine (--batch 1)\n");
+      a.batch = 1;
+    }
     const qhip::Circuit circuit = qhip::cli::load_circuit(a.common);
     std::printf("circuit: %s\n", qhip::rqc::describe(circuit).c_str());
 

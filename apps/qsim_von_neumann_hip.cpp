@@ -32,7 +32,7 @@ int usage() {
 int main(int argc, char** argv) {
   cli::CommonArgs a;
   a.backend = "cpu";  // this driver's historical default
-  a.max_fused = 4;
+  a.fusion.max_fused_qubits = 4;
   std::string qubits_arg;
   const bool parsed = cli::parse_common_args(
       argc, argv, &a, [&](const std::string& arg, const cli::NextFn& next) {
@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
     rs.seed = a.seed;
     rs.want_state = true;
     const BackendRunOutput out =
-        backend->run(fuse_circuit(circuit, {a.max_fused, a.window}).circuit, rs);
+        backend->run(fuse_circuit(circuit, a.fusion).circuit, rs);
 
     // The density-matrix reduction runs in double regardless of the
     // simulation precision.

@@ -120,7 +120,7 @@ int main() {
   engine::SimRequest req;
   req.circuit = circuit;
   req.backend = "dist:4";
-  req.max_fused = 4;
+  req.fusion.max_fused_qubits = 4;
   req.seed = 11;
   req.num_samples = 64;
   const engine::SimResult r = eng.run(req);

@@ -1,0 +1,85 @@
+#include "src/core/backend_spec.h"
+
+#include "src/base/bits.h"
+#include "src/base/error.h"
+#include "src/base/strings.h"
+
+namespace qhip {
+
+namespace {
+
+// Parses the ":N" tail of "hip:N" / "dist:N". Returns nullopt (and fills
+// `why`) instead of throwing so try_parse stays allocation-cheap on the
+// reject path.
+std::optional<unsigned> parse_rank_tail(const std::string& tail,
+                                        const char* what, std::string* why) {
+  if (tail.empty() || tail.size() > 3) {
+    if (why) *why = strfmt("%s count '%s' must be 1-3 digits", what, tail.c_str());
+    return std::nullopt;
+  }
+  for (char c : tail) {
+    if (c < '0' || c > '9') {
+      if (why) *why = strfmt("%s count '%s' is not a number", what, tail.c_str());
+      return std::nullopt;
+    }
+  }
+  const unsigned n = static_cast<unsigned>(parse_uint(tail, what));
+  if (!is_pow2(n) || n < 2 || n > 64) {
+    if (why) {
+      *why = strfmt("%s count %u must be a power of two in [2, 64]", what, n);
+    }
+    return std::nullopt;
+  }
+  return n;
+}
+
+std::optional<BackendSpec> parse_impl(const std::string& spec, std::string* why) {
+  if (spec == "cpu") return BackendSpec{BackendSpec::Kind::kCpu, 1};
+  if (spec == "hip") return BackendSpec{BackendSpec::Kind::kHip, 1};
+  if (spec == "a100") return BackendSpec{BackendSpec::Kind::kA100, 1};
+  if (spec == "auto") return BackendSpec{BackendSpec::Kind::kAuto, 1};
+  if (spec.rfind("hip:", 0) == 0) {
+    const auto n = parse_rank_tail(spec.substr(4), "GCD", why);
+    if (!n) return std::nullopt;
+    return BackendSpec{BackendSpec::Kind::kMultiGcd, *n};
+  }
+  if (spec.rfind("dist:", 0) == 0) {
+    const auto n = parse_rank_tail(spec.substr(5), "rank", why);
+    if (!n) return std::nullopt;
+    return BackendSpec{BackendSpec::Kind::kDist, *n};
+  }
+  if (why) {
+    *why = strfmt("unknown backend '%s' (expected %s)", spec.c_str(),
+                  backend_spec_grammar());
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* backend_spec_grammar() { return "cpu|hip|a100|hip:N|dist:N|auto"; }
+
+BackendSpec BackendSpec::parse(const std::string& spec) {
+  std::string why;
+  const auto parsed = parse_impl(spec, &why);
+  check(parsed.has_value(), "backend spec '" + spec + "': " + why);
+  return *parsed;
+}
+
+std::optional<BackendSpec> BackendSpec::try_parse(const std::string& spec) {
+  return parse_impl(spec, nullptr);
+}
+
+std::string BackendSpec::to_string() const {
+  switch (kind) {
+    case Kind::kCpu: return "cpu";
+    case Kind::kHip: return "hip";
+    case Kind::kA100: return "a100";
+    case Kind::kMultiGcd: return strfmt("hip:%u", ranks);
+    case Kind::kDist: return strfmt("dist:%u", ranks);
+    case Kind::kAuto: return "auto";
+  }
+  return "?";
+}
+
+}  // namespace qhip

@@ -1,0 +1,55 @@
+// Typed runtime backend specification.
+//
+// Backend identity used to travel through the codebase as a raw string
+// ("cpu", "hip:4", ...) that was re-parsed ad hoc in create_backend, the
+// engine's fallback path, and every CLI. BackendSpec is the one parser and
+// printer for that grammar; everything else consumes the typed form:
+//
+//   "cpu"     multithreaded host backend
+//   "hip"     virtual MI250X GCD (wavefront 64)
+//   "a100"    virtual A100 (warp 32)
+//   "hip:N"   state distributed over N virtual GCDs (N a power of two 2..64)
+//   "dist:N"  N thread-ranks on the in-process communicator (pow2 2..64)
+//   "auto"    placement delegated to the engine's cost-model planner
+//             (DESIGN.md §13); not directly creatable via create_backend
+//
+// This header lives in qhip_core (below both perfmodel and engine) so the
+// roofline bridge (src/perfmodel/model.h) and the runtime backends can share
+// it without a dependency cycle.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace qhip {
+
+struct BackendSpec {
+  enum class Kind { kCpu, kHip, kA100, kMultiGcd, kDist, kAuto };
+
+  Kind kind = Kind::kCpu;
+  // Device count: GCDs for kMultiGcd, thread-ranks for kDist, 1 otherwise.
+  unsigned ranks = 1;
+
+  // Parses a spec string. Throws qhip::Error naming the offending token on
+  // anything outside the grammar above (unknown word, non-numeric count,
+  // count not a power of two in [2, 64]).
+  static BackendSpec parse(const std::string& spec);
+
+  // Non-throwing variant: nullopt on any parse or validation failure.
+  static std::optional<BackendSpec> try_parse(const std::string& spec);
+
+  // Canonical spec string ("cpu", "hip:4", ...). parse(to_string()) == *this.
+  std::string to_string() const;
+
+  // False only for kAuto: "auto" is a valid request spec but names a policy,
+  // not a device — the engine's planner must resolve it to a runnable spec
+  // before create_backend sees it.
+  bool runnable() const { return kind != Kind::kAuto; }
+
+  friend bool operator==(const BackendSpec&, const BackendSpec&) = default;
+};
+
+// The grammar summary for usage lines and error messages.
+const char* backend_spec_grammar();  // "cpu|hip|a100|hip:N|dist:N|auto"
+
+}  // namespace qhip

@@ -438,72 +438,87 @@ class DistBackend final : public Backend {
   std::map<std::string, double> cumulative_;
 };
 
-// Parses "hip:N"; returns 0 if `spec` is not of that form.
-unsigned parse_gcd_count(const std::string& spec) {
-  if (spec.rfind("hip:", 0) != 0) return 0;
-  const std::string tail = spec.substr(4);
-  for (char c : tail) {
-    if (c < '0' || c > '9') return 0;
-  }
-  if (tail.empty() || tail.size() > 3) return 0;
-  return static_cast<unsigned>(parse_uint(tail, "-b hip:N"));
-}
-
-// Parses "dist:N"; returns 0 if `spec` is not of that form.
-unsigned parse_dist_ranks(const std::string& spec) {
-  if (spec.rfind("dist:", 0) != 0) return 0;
-  const std::string tail = spec.substr(5);
-  for (char c : tail) {
-    if (c < '0' || c > '9') return 0;
-  }
-  if (tail.empty() || tail.size() > 3) return 0;
-  return static_cast<unsigned>(parse_uint(tail, "-b dist:N"));
-}
-
 template <typename FP>
-std::unique_ptr<Backend> make_backend(const std::string& spec, Tracer* tracer,
+std::unique_ptr<Backend> make_backend(const BackendSpec& spec, Tracer* tracer,
                                       const std::string& fault_spec) {
-  if (spec == "cpu") return std::make_unique<CpuBackend<FP>>(tracer);
-  if (spec == "hip") {
-    return std::make_unique<GpuBackend<FP>>(spec, vgpu::mi250x_gcd(), tracer,
-                                            fault_spec);
+  switch (spec.kind) {
+    case BackendSpec::Kind::kCpu:
+      return std::make_unique<CpuBackend<FP>>(tracer);
+    case BackendSpec::Kind::kHip:
+      return std::make_unique<GpuBackend<FP>>(spec.to_string(),
+                                              vgpu::mi250x_gcd(), tracer,
+                                              fault_spec);
+    case BackendSpec::Kind::kA100:
+      return std::make_unique<GpuBackend<FP>>(spec.to_string(), vgpu::a100(),
+                                              tracer, fault_spec);
+    case BackendSpec::Kind::kMultiGcd:
+      return std::make_unique<MultiGcdBackend<FP>>(spec.to_string(), spec.ranks,
+                                                   tracer, fault_spec);
+    case BackendSpec::Kind::kDist:
+      return std::make_unique<DistBackend<FP>>(spec.to_string(), spec.ranks,
+                                               tracer);
+    case BackendSpec::Kind::kAuto:
+      break;
   }
-  if (spec == "a100") {
-    return std::make_unique<GpuBackend<FP>>(spec, vgpu::a100(), tracer,
-                                            fault_spec);
-  }
-  const unsigned gcds = parse_gcd_count(spec);
-  if (gcds != 0) {
-    check(is_pow2(gcds) && gcds >= 2 && gcds <= 64,
-          "backend '" + spec + "': GCD count must be a power of two in [2, 64]");
-    return std::make_unique<MultiGcdBackend<FP>>(spec, gcds, tracer, fault_spec);
-  }
-  const unsigned ranks = parse_dist_ranks(spec);
-  if (ranks != 0) {
-    check(is_pow2(ranks) && ranks >= 2 && ranks <= 64,
-          "backend '" + spec + "': rank count must be a power of two in [2, 64]");
-    return std::make_unique<DistBackend<FP>>(spec, ranks, tracer);
-  }
-  throw Error("unknown backend '" + spec +
-              "' (expected cpu|hip|a100|hip:N|dist:N)");
+  throw Error(
+      "backend 'auto' names a placement policy, not a device: submit through "
+      "SimulationEngine with EngineOptions::enable_planner (DESIGN.md §13)");
 }
 
 }  // namespace
 
+BackendSpec Backend::spec_info() const { return BackendSpec::parse(spec()); }
+
 bool is_backend_spec(const std::string& spec) {
-  if (spec == "cpu" || spec == "hip" || spec == "a100") return true;
-  const unsigned gcds = parse_gcd_count(spec);
-  if (gcds != 0) return is_pow2(gcds) && gcds >= 2 && gcds <= 64;
-  const unsigned ranks = parse_dist_ranks(spec);
-  return ranks != 0 && is_pow2(ranks) && ranks >= 2 && ranks <= 64;
+  return BackendSpec::try_parse(spec).has_value();
+}
+
+unsigned backend_max_qubits(const BackendSpec& spec, Precision p) {
+  const std::size_t amp = amp_bytes(p);
+  switch (spec.kind) {
+    case BackendSpec::Kind::kCpu:
+      return 30;  // CpuBackend's host-memory sanity bound
+    case BackendSpec::Kind::kHip:
+      return std::min(34u, vgpu::max_state_qubits(vgpu::mi250x_gcd(), amp));
+    case BackendSpec::Kind::kA100:
+      return std::min(34u, vgpu::max_state_qubits(vgpu::a100(), amp));
+    case BackendSpec::Kind::kMultiGcd: {
+      // MultiGcdBackend: per-GCD slab + half-size exchange staging.
+      const unsigned d = log2_exact(spec.ranks);
+      const unsigned local_cap = vgpu::max_state_qubits(vgpu::mi250x_gcd(), amp);
+      return std::min(34u, local_cap > 0 ? local_cap - 1 + d : 0);
+    }
+    case BackendSpec::Kind::kDist:
+      return 30;  // ranks partition one host allocation
+    case BackendSpec::Kind::kAuto:
+      return 0;
+  }
+  return 0;
+}
+
+bool backend_fits(const BackendSpec& spec, unsigned num_qubits, Precision p) {
+  if (spec.kind == BackendSpec::Kind::kAuto) return false;
+  if (num_qubits < 1 || num_qubits > backend_max_qubits(spec, p)) return false;
+  // Distributed slices: every rank must hold at least one amplitude pair.
+  if (spec.kind == BackendSpec::Kind::kDist &&
+      num_qubits <= log2_exact(spec.ranks)) {
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<Backend> create_backend(const BackendSpec& spec,
+                                        Precision precision, Tracer* tracer,
+                                        const std::string& fault_spec) {
+  return precision == Precision::kSingle
+             ? make_backend<float>(spec, tracer, fault_spec)
+             : make_backend<double>(spec, tracer, fault_spec);
 }
 
 std::unique_ptr<Backend> create_backend(const std::string& spec, Precision precision,
                                         Tracer* tracer,
                                         const std::string& fault_spec) {
-  return precision == Precision::kSingle
-             ? make_backend<float>(spec, tracer, fault_spec)
-             : make_backend<double>(spec, tracer, fault_spec);
+  return create_backend(BackendSpec::parse(spec), precision, tracer, fault_spec);
 }
 
 std::unique_ptr<Backend> create_backend(const std::string& spec,
@@ -521,8 +536,7 @@ RunResult run_circuit(Backend& backend, const Circuit& circuit, const RunOptions
   Timer total;
 
   Timer t0;
-  const FusionResult fused =
-      fuse_circuit(circuit, {opt.max_fused_qubits, opt.window_moments});
+  const FusionResult fused = fuse_circuit(circuit, opt.fusion);
   r.fusion = fused.stats;
   r.fuse_seconds = t0.seconds();
 

@@ -13,6 +13,10 @@
 //   "dist:N"  state distributed over N thread-ranks on the in-process
 //             message-passing communicator (N a power of two >= 2)
 //
+// The grammar is owned by qhip::BackendSpec (src/core/backend_spec.h); this
+// layer only consumes the typed form. "auto" parses as a valid spec but is
+// resolved by the engine's cost-model planner, not by create_backend.
+//
 // A Backend instance is long-lived: it owns its (virtual) device and a
 // BufferPool of state vectors keyed by qubit count, so serving many requests
 // reuses both the device and the allocations. run() executes an
@@ -31,6 +35,7 @@
 
 #include "src/base/deadline.h"
 #include "src/base/types.h"
+#include "src/core/backend_spec.h"
 #include "src/core/circuit.h"
 #include "src/engine/buffer_pool.h"
 #include "src/prof/trace.h"
@@ -72,6 +77,9 @@ class Backend {
 
   // The spec string this backend was created from ("cpu", "hip", "hip:4").
   virtual const std::string& spec() const = 0;
+  // Typed form of spec() — the planner's capability/score hook (always a
+  // runnable kind; create_backend refuses "auto").
+  virtual BackendSpec spec_info() const;
   // Human-readable device description for reports.
   virtual const std::string& description() const = 0;
   virtual Precision precision() const = 0;
@@ -95,16 +103,34 @@ class Backend {
   virtual void trim_pool() = 0;
 };
 
-// True if `spec` names a known backend
-// ("cpu" | "hip" | "a100" | "hip:N" | "dist:N").
+// True if `spec` parses as a known backend spec, including "auto"
+// (convenience wrapper over BackendSpec::try_parse).
 bool is_backend_spec(const std::string& spec);
 
-// Builds a backend from its spec string. Throws qhip::Error on an unknown
-// spec or invalid GCD count. The tracer, when non-null, must outlive the
+// --- Planner capability hooks (no backend instance required) ----------------
+
+// Largest qubit count a backend created from `spec` would accept — the same
+// formula each Backend subclass's max_qubits() uses, evaluated from the spec
+// alone so the planner can score candidates it has not created yet.
+// Returns 0 for Kind::kAuto.
+unsigned backend_max_qubits(const BackendSpec& spec, Precision p);
+
+// True if an n-qubit request fits `spec`: n <= backend_max_qubits plus the
+// distributed floor (dist:N needs n > log2(N) so every rank holds a slice).
+bool backend_fits(const BackendSpec& spec, unsigned num_qubits, Precision p);
+
+// Builds a backend from its typed spec. Throws qhip::Error for
+// Kind::kAuto — "auto" is resolved by the engine's planner (DESIGN.md §13),
+// never instantiated directly. The tracer, when non-null, must outlive the
 // backend; kernel and memcpy events land on it exactly as before.
 // `fault_spec`, when non-empty, installs a vgpu::FaultPlan (QHIP_FAULT_SPEC
 // grammar; see src/vgpu/fault.h) into the backend's virtual device(s) —
 // ignored by the cpu backend, which has no device to break.
+std::unique_ptr<Backend> create_backend(const BackendSpec& spec, Precision precision,
+                                        Tracer* tracer = nullptr,
+                                        const std::string& fault_spec = {});
+
+// String-spec convenience: BackendSpec::parse + the overload above.
 std::unique_ptr<Backend> create_backend(const std::string& spec, Precision precision,
                                         Tracer* tracer = nullptr,
                                         const std::string& fault_spec = {});

@@ -13,7 +13,7 @@ std::size_t FusedCircuitCache::approx_bytes(const FusionResult& r) {
 
 std::shared_ptr<const FusionResult> FusedCircuitCache::get_or_fuse(
     const Circuit& circuit, const FusionOptions& opt, bool* hit) {
-  const Key key{hash_circuit(circuit), opt.max_fused_qubits, opt.window_moments};
+  const Key key{hash_circuit(circuit), opt};
   {
     std::lock_guard lk(mu_);
     auto it = index_.find(key);

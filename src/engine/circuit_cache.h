@@ -49,16 +49,15 @@ class FusedCircuitCache {
  private:
   struct Key {
     std::uint64_t circuit_hash;
-    unsigned max_fused;
-    unsigned window;
+    FusionOptions fusion;  // the shared fusion-knob struct IS the key part
     friend bool operator==(const Key&, const Key&) = default;
   };
   struct KeyHash {
     std::size_t operator()(const Key& k) const {
       // circuit_hash is already well mixed; fold the small params in.
-      return static_cast<std::size_t>(k.circuit_hash ^
-                                      (std::uint64_t{k.max_fused} << 32) ^
-                                      k.window);
+      return static_cast<std::size_t>(
+          k.circuit_hash ^ (std::uint64_t{k.fusion.max_fused_qubits} << 32) ^
+          k.fusion.window_moments);
     }
   };
   struct Entry {

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "src/base/error.h"
 #include "src/base/strings.h"
 #include "src/base/timer.h"
+#include "src/perfmodel/workload.h"
 
 namespace qhip::engine {
 
@@ -134,10 +136,22 @@ struct SimulationEngine::BackendSlot {
 };
 
 SimulationEngine::SimulationEngine(EngineOptions opt)
-    : opt_(opt), fused_cache_(opt.fused_cache_capacity) {
-  const unsigned workers = std::max(1u, opt_.num_workers);
-  workers_.reserve(workers);
-  for (unsigned i = 0; i < workers; ++i) {
+    : opt_(std::move(opt)), fused_cache_(opt_.fused_cache_capacity) {
+  // The header promises "min 1"; clamp the stored options so options()
+  // reports what actually runs and num_workers = 0 cannot deadlock submit.
+  opt_.num_workers = std::max(1u, opt_.num_workers);
+  if (opt_.enable_planner) {
+    PlannerOptions po;
+    std::vector<std::string> cands = opt_.planner_candidates;
+    if (cands.empty()) cands = {"cpu", "hip", "a100"};
+    po.candidates.reserve(cands.size());
+    for (const std::string& c : cands) {
+      po.candidates.push_back(BackendSpec::parse(c));
+    }
+    planner_ = std::make_unique<Planner>(std::move(po));
+  }
+  workers_.reserve(opt_.num_workers);
+  for (unsigned i = 0; i < opt_.num_workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
@@ -243,8 +257,22 @@ SimulationEngine::BackendSlot& SimulationEngine::resolve_backend(
   return *it->second;
 }
 
-std::uint64_t SimulationEngine::result_key(const SimRequest& req) {
-  std::uint64_t h = hash_circuit(req.circuit);
+double SimulationEngine::queued_load(const std::string& spec) const {
+  std::lock_guard lk(load_mu_);
+  auto it = backend_load_s_.find(spec);
+  return it == backend_load_s_.end() ? 0.0 : it->second;
+}
+
+void SimulationEngine::adjust_load(const std::string& spec, double delta) {
+  if (delta == 0) return;
+  std::lock_guard lk(load_mu_);
+  double& v = backend_load_s_[spec];
+  v = std::max(0.0, v + delta);
+}
+
+std::uint64_t SimulationEngine::result_key(const SimRequest& req,
+                                           std::uint64_t circuit_hash) {
+  std::uint64_t h = circuit_hash;
   for (char c : req.backend) mix(h, static_cast<unsigned char>(c));
   mix(h, req.precision == Precision::kSingle ? 1 : 2);
   mix(h, req.max_fused);
@@ -269,6 +297,7 @@ void SimulationEngine::count_fault(SimErrorCode code) {
 
 SimResult SimulationEngine::execute_with_retries(const SimRequest& q,
                                                  const std::string& spec,
+                                                 const FusionOptions& fusion,
                                                  const Deadline& deadline,
                                                  std::uint64_t corr,
                                                  unsigned* attempts) {
@@ -277,8 +306,8 @@ SimResult SimulationEngine::execute_with_retries(const SimRequest& q,
     bool fused_hit = false;
     Timer tf;
     const std::uint64_t fuse_start_us = Timer::now_micros();
-    std::shared_ptr<const FusionResult> fused = fused_cache_.get_or_fuse(
-        q.circuit, FusionOptions{q.max_fused, q.window}, &fused_hit);
+    std::shared_ptr<const FusionResult> fused =
+        fused_cache_.get_or_fuse(q.circuit, fusion, &fused_hit);
     res.fuse_seconds = tf.seconds();
     res.fused_cache_hit = fused_hit;
     res.fusion = fused->stats;
@@ -298,6 +327,31 @@ SimResult SimulationEngine::execute_with_retries(const SimRequest& q,
       r.backend_used = spec;
       return r;
     }
+
+    // Price this run on the load map (and later feed its observed time back
+    // to calibration) — for every backend, not just planner placements, so
+    // the planner sees *all* in-flight work. Reuses the fused result above:
+    // no extra fused-cache traffic.
+    double raw_pred = 0;
+    if (planner_) {
+      try {
+        raw_pred = Planner::raw_predict(
+            BackendSpec::parse(spec),
+            perfmodel::WorkloadStats::from_circuit(fused->circuit),
+            q.precision);
+      } catch (const Error&) {
+        raw_pred = 0;  // un-modellable: run unpriced
+      }
+      adjust_load(spec, raw_pred);
+    }
+    struct LoadGuard {
+      SimulationEngine* eng;
+      const std::string& spec;
+      double v;
+      ~LoadGuard() {
+        if (v > 0) eng->adjust_load(spec, -v);
+      }
+    } load_guard{this, spec, raw_pred};
 
     BackendRunSpec rs;
     rs.seed = q.seed;
@@ -332,6 +386,12 @@ SimResult SimulationEngine::execute_with_retries(const SimRequest& q,
         res.ok = true;
         res.code = SimErrorCode::kOk;
         res.backend_used = spec;
+        if (planner_ && raw_pred > 0) {
+          // Sampling time is excluded: the roofline models gate application.
+          planner_->observe(slot.backend->spec_info(), q.circuit.num_qubits,
+                            fusion.max_fused_qubits, raw_pred,
+                            res.run_seconds - res.sample_seconds);
+        }
         return res;
       } catch (const CodedError& e) {
         const SimErrorCode code = classify(e.code());
@@ -388,10 +448,19 @@ void SimulationEngine::process(Job& job) {
       res = rejected(strfmt("request uses %u qubits; engine cap is %u",
                             q.circuit.num_qubits, opt_.max_qubits));
     } else if (!is_backend_spec(q.backend)) {
-      res = rejected("unknown backend '" + q.backend +
-                     "' (expected cpu|hip|a100|hip:N|dist:N)");
+      res = rejected("unknown backend '" + q.backend + "' (expected " +
+                     backend_spec_grammar() + ")");
+    } else if (!planner_ && BackendSpec::parse(q.backend).kind ==
+                                BackendSpec::Kind::kAuto) {
+      res = rejected(
+          "backend 'auto' requires the placement planner "
+          "(EngineOptions::enable_planner)");
     } else {
-      key = result_key(q);
+      // One circuit hash per request, shared by the result key and (for
+      // "auto") the plan-cache key — hashing the gate matrices is the most
+      // expensive per-request constant on small circuits.
+      const std::uint64_t chash = hash_circuit(q.circuit);
+      key = result_key(q, chash);
       const bool cacheable =
           !q.bypass_result_cache && opt_.result_cache_capacity > 0;
       bool served = false;
@@ -458,15 +527,71 @@ void SimulationEngine::process(Job& job) {
         if (q.timeout_seconds > 0) {
           deadline = Deadline::after(q.timeout_seconds - res.queue_seconds);
         }
+
+        // Resolve "auto" through the planner: score every candidate backend
+        // over the request's fused workload and pick backend AND fusion
+        // (DESIGN.md §13). The result is cached under the *auto* key, so
+        // identical auto requests coalesce and memoize like any other.
+        std::string run_spec = q.backend;
+        FusionOptions run_fusion = q.fusion;
+        PlanChoice plan;
+        bool planned = false;
+        if (planner_ &&
+            BackendSpec::parse(q.backend).kind == BackendSpec::Kind::kAuto) {
+          const std::uint64_t plan_start_us = Timer::now_micros();
+          const auto load_of = [this](const BackendSpec& s) {
+            return queued_load(s.to_string());
+          };
+          std::uint64_t plan_key = chash;
+          mix(plan_key, q.precision == Precision::kSingle ? 1 : 2);
+          mix(plan_key, q.fusion.window_moments);
+          std::shared_ptr<const PlanChoice> hit;
+          {
+            std::lock_guard lk(plan_mu_);
+            auto it = plan_cache_.find(plan_key);
+            if (it != plan_cache_.end()) hit = it->second;
+          }
+          const bool plan_cached = static_cast<bool>(hit);
+          if (hit) {
+            plan = planner_->rescore(*hit, q.circuit.num_qubits, load_of);
+          } else {
+            plan = planner_->plan(
+                q.circuit.num_qubits, q.precision,
+                {q.fusion.window_moments, 2 * q.fusion.window_moments},
+                [this, &q](const FusionOptions& fo) {
+                  bool hit = false;
+                  return perfmodel::WorkloadStats::from_circuit(
+                      fused_cache_.get_or_fuse(q.circuit, fo, &hit)->circuit);
+                },
+                load_of, opt_.max_qubits);
+            std::lock_guard lk(plan_mu_);
+            if (plan_cache_.size() >= 512) plan_cache_.clear();
+            plan_cache_[plan_key] = std::make_shared<const PlanChoice>(plan);
+          }
+          run_spec = plan.backend.to_string();
+          run_fusion = plan.fusion;
+          planned = true;
+          span("plan", job.corr, plan_start_us,
+               Timer::now_micros() - plan_start_us,
+               strfmt("-> %s f=%u w=%u pred=%.3fms wait=%.3fms cal=%.2f "
+                      "(%zu scored%s)",
+                      run_spec.c_str(),
+                      plan.fusion.max_fused_qubits, plan.fusion.window_moments,
+                      plan.predicted_seconds * 1e3, plan.wait_seconds * 1e3,
+                      plan.calibration, plan.candidates_scored,
+                      plan_cached ? ", cached" : ""));
+        }
+
         unsigned attempts = 0;
-        SimResult ex =
-            execute_with_retries(q, q.backend, deadline, job.corr, &attempts);
+        SimResult ex = execute_with_retries(q, run_spec, run_fusion, deadline,
+                                            job.corr, &attempts);
         bool fell_back = false;
-        if (!ex.ok && transient(ex.code) && !opt_.fallback_backend.empty() &&
-            opt_.fallback_backend != q.backend &&
-            is_backend_spec(opt_.fallback_backend)) {
-          ex = execute_with_retries(q, opt_.fallback_backend, deadline,
-                                    job.corr, &attempts);
+        const std::optional<BackendSpec> fb =
+            BackendSpec::try_parse(opt_.fallback_backend);
+        if (!ex.ok && transient(ex.code) && fb && fb->runnable() &&
+            opt_.fallback_backend != run_spec) {
+          ex = execute_with_retries(q, opt_.fallback_backend, run_fusion,
+                                    deadline, job.corr, &attempts);
           fell_back = true;
           std::lock_guard lk(metrics_mu_);
           ++fallbacks_;
@@ -476,6 +601,18 @@ void SimulationEngine::process(Job& job) {
         res.queue_seconds = queued;
         res.attempts = attempts;
         res.fallback_used = fell_back;
+        if (planned) {
+          res.counters["planner/raw_seconds"] = plan.raw_seconds;
+          res.counters["planner/predicted_seconds"] = plan.predicted_seconds;
+          res.counters["planner/wait_seconds"] = plan.wait_seconds;
+          res.counters["planner/calibration"] = plan.calibration;
+          res.counters["planner/candidates_scored"] =
+              static_cast<double>(plan.candidates_scored);
+          res.counters["planner/max_fused"] =
+              static_cast<double>(plan.fusion.max_fused_qubits);
+          res.counters["planner/window"] =
+              static_cast<double>(plan.fusion.window_moments);
+        }
 
         if (res.ok && opt_.result_cache_capacity > 0 &&
             approx_result_bytes(res) <= kMaxCachedResultBytes) {
@@ -595,6 +732,16 @@ EngineMetrics SimulationEngine::metrics() const {
     m.result_bytes = hist_result_bytes_;
   }
   m.fused_cache = fused_cache_.stats();
+  if (planner_) {
+    const PlannerStats ps = planner_->stats();
+    m.planner_decisions = ps.decisions;
+    m.planner_calibrated_decisions = ps.calibrated_decisions;
+    m.planner_observations = ps.observations;
+    m.planner_predicted_seconds = ps.predicted_seconds_total;
+    m.planner_observed_seconds = ps.observed_seconds_total;
+    m.planner_chosen = ps.chosen;
+    m.planner_calibration = ps.calibration;
+  }
   {
     std::lock_guard lk(backends_mu_);
     m.backends_created = backends_.size();
@@ -693,6 +840,46 @@ std::string EngineMetrics::to_prom_text() const {
   prom_counter(out, "qhip_engine_backends_created", "Live backend instances",
                "gauge", static_cast<double>(backends_created));
 
+  prom_counter(out, "qhip_engine_planner_decisions",
+               "Auto-placement decisions made", "counter",
+               static_cast<double>(planner_decisions));
+  prom_counter(out, "qhip_engine_planner_calibrated_decisions",
+               "Decisions that used a learned calibration factor", "counter",
+               static_cast<double>(planner_calibrated_decisions));
+  prom_counter(out, "qhip_engine_planner_observations",
+               "Calibration observations recorded", "counter",
+               static_cast<double>(planner_observations));
+  prom_counter(out, "qhip_engine_planner_predicted_seconds_total",
+               "Calibrated predicted seconds over planner decisions",
+               "counter", planner_predicted_seconds);
+  prom_counter(out, "qhip_engine_planner_observed_seconds_total",
+               "Observed execute seconds fed to calibration", "counter",
+               planner_observed_seconds);
+  if (!planner_chosen.empty()) {
+    out += "# HELP qhip_engine_planner_chosen Auto placements by backend\n";
+    out += "# TYPE qhip_engine_planner_chosen counter\n";
+    for (const auto& [spec, n] : planner_chosen) {
+      out += strfmt("qhip_engine_planner_chosen{backend=\"%s\"} %llu\n",
+                    spec.c_str(), static_cast<unsigned long long>(n));
+    }
+  }
+  if (!planner_calibration.empty()) {
+    out += "# HELP qhip_engine_planner_calibration "
+           "EWMA observed/predicted ratio per backend and qubit bucket\n";
+    out += "# TYPE qhip_engine_planner_calibration gauge\n";
+    for (const auto& [key, f] : planner_calibration) {
+      // Keys are "spec/q<bucket>" (Planner::stats()).
+      const std::size_t slash = key.rfind('/');
+      const std::string spec = key.substr(0, slash);
+      const std::string bucket =
+          slash == std::string::npos ? "" : key.substr(slash + 1);
+      out += strfmt(
+          "qhip_engine_planner_calibration{backend=\"%s\",bucket=\"%s\"} "
+          "%.9g\n",
+          spec.c_str(), bucket.c_str(), f);
+    }
+  }
+
   out += "# HELP qhip_engine_stage_latency_ms Per-stage request latency\n";
   out += "# TYPE qhip_engine_stage_latency_ms histogram\n";
   const std::pair<const char*, const prof::Histogram*> stages[] = {
@@ -743,6 +930,21 @@ void SimulationEngine::export_metrics() const {
   t.set_counter("engine/latency_p50_ms", m.p50_ms);
   t.set_counter("engine/latency_p95_ms", m.p95_ms);
   t.set_counter("engine/latency_mean_ms", m.mean_ms);
+  t.set_counter("engine/planner/decisions",
+                static_cast<double>(m.planner_decisions));
+  t.set_counter("engine/planner/calibrated_decisions",
+                static_cast<double>(m.planner_calibrated_decisions));
+  t.set_counter("engine/planner/observations",
+                static_cast<double>(m.planner_observations));
+  t.set_counter("engine/planner/predicted_seconds",
+                m.planner_predicted_seconds);
+  t.set_counter("engine/planner/observed_seconds", m.planner_observed_seconds);
+  for (const auto& [spec, n] : m.planner_chosen) {
+    t.set_counter("engine/planner/chosen/" + spec, static_cast<double>(n));
+  }
+  for (const auto& [key, f] : m.planner_calibration) {
+    t.set_counter("engine/planner/calibration/" + key, f);
+  }
   // Histogram buckets, one counter per non-empty bucket so the trace JSON
   // carries the full distributions next to the kernel timeline.
   const std::pair<const char*, const prof::Histogram*> hists[] = {

@@ -26,10 +26,17 @@
 // run; the owner's outcome — success or failure — propagates to every
 // waiter, so a persistent fault costs one retry ladder, not one per waiter.
 //
+// Placement (DESIGN.md §13): a request may name backend = "auto" instead of
+// a device. The engine's Planner then scores every candidate backend and
+// fusion option with the calibrated roofline perfmodel plus the predicted
+// seconds already queued per backend, runs the request on the winner, and
+// feeds the observed execute time back into the calibration table — so
+// placement converges on the machine actually serving, not the paper's.
+//
 // Engine metrics (request counts, cache hit rates, latency percentiles over
-// a bounded reservoir, pooled bytes, retry/fallback/fault counters) export
-// as counters into the same prof/trace JSON as the kernel timeline via
-// export_metrics().
+// a bounded reservoir, pooled bytes, retry/fallback/fault counters, planner
+// decisions and calibration factors) export as counters into the same
+// prof/trace JSON as the kernel timeline via export_metrics().
 #pragma once
 
 #include <atomic>
@@ -47,6 +54,7 @@
 #include "src/core/circuit.h"
 #include "src/engine/backend.h"
 #include "src/engine/circuit_cache.h"
+#include "src/engine/planner.h"
 #include "src/prof/histogram.h"
 #include "src/prof/trace.h"
 
@@ -67,10 +75,14 @@ const char* to_string(SimErrorCode code);
 
 struct SimRequest {
   Circuit circuit;
-  std::string backend = "cpu";  // "cpu" | "hip" | "a100" | "hip:N" | "dist:N"
+  // Any BackendSpec string: "cpu" | "hip" | "a100" | "hip:N" | "dist:N",
+  // or "auto" to let the engine's cost-model planner pick both the backend
+  // AND the fusion options (DESIGN.md §13; requires enable_planner).
+  std::string backend = "cpu";
   Precision precision = Precision::kSingle;
-  unsigned max_fused = 2;       // fusion limit (paper sweeps 2..6)
-  unsigned window = 4;          // fusion temporal window
+  // How to fuse — the same FusionOptions the FusedCircuitCache keys on and
+  // RunOptions carries. Ignored (planner-chosen) when backend is "auto".
+  FusionOptions fusion;
   std::uint64_t seed = 1;
   std::size_t num_samples = 0;
   std::vector<index_t> amplitude_indices;
@@ -80,6 +92,55 @@ struct SimRequest {
   double timeout_seconds = 0;
   // Forces a fresh simulation even when an identical request is cached.
   bool bypass_result_cache = false;
+
+  // Deprecated aliases of fusion.max_fused_qubits / fusion.window_moments,
+  // kept for one release so `req.max_fused = 3` keeps compiling (migration
+  // note in DESIGN.md §13). They alias `fusion`, which is why the copy/move
+  // operations below are hand-written: the defaults would rebind-copy the
+  // *source's* references and dangle.
+  unsigned& max_fused = fusion.max_fused_qubits;
+  unsigned& window = fusion.window_moments;
+
+  SimRequest() = default;
+  SimRequest(const SimRequest& o)
+      : circuit(o.circuit), backend(o.backend), precision(o.precision),
+        fusion(o.fusion), seed(o.seed), num_samples(o.num_samples),
+        amplitude_indices(o.amplitude_indices), want_state(o.want_state),
+        timeout_seconds(o.timeout_seconds),
+        bypass_result_cache(o.bypass_result_cache) {}
+  SimRequest(SimRequest&& o) noexcept
+      : circuit(std::move(o.circuit)), backend(std::move(o.backend)),
+        precision(o.precision), fusion(o.fusion), seed(o.seed),
+        num_samples(o.num_samples),
+        amplitude_indices(std::move(o.amplitude_indices)),
+        want_state(o.want_state), timeout_seconds(o.timeout_seconds),
+        bypass_result_cache(o.bypass_result_cache) {}
+  SimRequest& operator=(const SimRequest& o) {
+    circuit = o.circuit;
+    backend = o.backend;
+    precision = o.precision;
+    fusion = o.fusion;
+    seed = o.seed;
+    num_samples = o.num_samples;
+    amplitude_indices = o.amplitude_indices;
+    want_state = o.want_state;
+    timeout_seconds = o.timeout_seconds;
+    bypass_result_cache = o.bypass_result_cache;
+    return *this;
+  }
+  SimRequest& operator=(SimRequest&& o) noexcept {
+    circuit = std::move(o.circuit);
+    backend = std::move(o.backend);
+    precision = o.precision;
+    fusion = o.fusion;
+    seed = o.seed;
+    num_samples = o.num_samples;
+    amplitude_indices = std::move(o.amplitude_indices);
+    want_state = o.want_state;
+    timeout_seconds = o.timeout_seconds;
+    bypass_result_cache = o.bypass_result_cache;
+    return *this;
+  }
 };
 
 struct SimResult {
@@ -136,6 +197,17 @@ struct EngineOptions {
   // Completion-latency reservoir: metrics() keeps the most recent this-many
   // samples, so a long-lived engine stays O(window) in memory and sort cost.
   std::size_t latency_window = 4096;
+
+  // Cost-model planner behind backend = "auto" (DESIGN.md §13). When
+  // enabled, the engine owns a Planner that scores every candidate backend
+  // against the calibrated roofline and current load, and calibrates online
+  // from every completed run (explicit-backend runs included). When
+  // disabled, "auto" requests are rejected at admission.
+  bool enable_planner = true;
+  // Allowlist of backend specs "auto" may place onto; empty means
+  // {"cpu", "hip", "a100"}. Each entry must parse as a runnable spec —
+  // the constructor throws qhip::Error otherwise.
+  std::vector<std::string> planner_candidates;
 };
 
 struct EngineMetrics {
@@ -172,6 +244,16 @@ struct EngineMetrics {
   prof::Histogram fused_gates = prof::count_histogram();
   prof::Histogram result_bytes = prof::bytes_histogram();
 
+  // Planner (backend = "auto") decision and calibration state; all zero /
+  // empty when the planner is disabled (DESIGN.md §13).
+  std::uint64_t planner_decisions = 0;
+  std::uint64_t planner_calibrated_decisions = 0;  // used a learned factor
+  std::uint64_t planner_observations = 0;
+  double planner_predicted_seconds = 0;  // calibrated, summed over decisions
+  double planner_observed_seconds = 0;   // summed over observations
+  std::map<std::string, std::uint64_t> planner_chosen;  // spec -> picks
+  std::map<std::string, double> planner_calibration;  // "spec/q<bucket>" -> f
+
   // Prometheus text exposition (version 0.0.4): counters, gauges and the
   // histograms above as qhip_engine_* families, ready for a /metrics scrape
   // or `qsim_base_hip --prom` (field reference in docs/OBSERVABILITY.md).
@@ -203,6 +285,16 @@ class SimulationEngine {
   // Synchronous convenience: submit + wait.
   SimResult run(SimRequest req);
 
+  // The options the engine actually runs with (post-validation: num_workers
+  // is clamped to the promised minimum of 1).
+  const EngineOptions& options() const { return opt_; }
+
+  // The "auto" placement planner; nullptr when EngineOptions::enable_planner
+  // is false. Exposed so callers can seed or inspect calibration directly
+  // (tests inject observations; dashboards read stats()).
+  Planner* planner() { return planner_.get(); }
+  const Planner* planner() const { return planner_.get(); }
+
   EngineMetrics metrics() const;
 
   // Writes the current metrics as "engine/..." counters into the tracer
@@ -230,10 +322,12 @@ class SimulationEngine {
 
   void worker_loop();
   void process(Job& job);
-  // One attempt ladder on `spec`: fuse (cached), admission-check against
-  // the backend's device memory, run with retries/backoff. Returns the
-  // structured outcome; never throws.
+  // One attempt ladder on `spec` with `fusion` (the request's own, or the
+  // planner's choice): fuse (cached), admission-check against the backend's
+  // device memory, run with retries/backoff. Returns the structured
+  // outcome; never throws.
   SimResult execute_with_retries(const SimRequest& q, const std::string& spec,
+                                 const FusionOptions& fusion,
                                  const Deadline& deadline, std::uint64_t corr,
                                  unsigned* attempts);
   // Records a request-lifecycle span ([ts_us, ts_us+dur_us]) on the trace
@@ -241,7 +335,12 @@ class SimulationEngine {
   void span(const char* name, std::uint64_t corr, std::uint64_t ts_us,
             std::uint64_t dur_us, std::string detail = {}) const;
   BackendSlot& resolve_backend(const std::string& spec, Precision precision);
-  static std::uint64_t result_key(const SimRequest& req);
+  // Load map: predicted seconds of work queued/running per backend spec —
+  // what the planner's queued_seconds hook reads for load-aware placement.
+  double queued_load(const std::string& spec) const;
+  void adjust_load(const std::string& spec, double delta);
+  static std::uint64_t result_key(const SimRequest& req,
+                                  std::uint64_t circuit_hash);
   void record_done(const SimResult& res);
   void count_fault(SimErrorCode code);
   static SimResult rejected(std::string why,
@@ -249,7 +348,19 @@ class SimulationEngine {
 
   EngineOptions opt_;
   FusedCircuitCache fused_cache_;
+  std::unique_ptr<Planner> planner_;  // non-null iff opt_.enable_planner
   std::atomic<std::uint64_t> next_request_id_{1};
+
+  mutable std::mutex load_mu_;
+  std::map<std::string, double> backend_load_s_;  // spec -> predicted seconds
+
+  // Plan memo for hot circuits: (circuit, precision, window) -> the planner's
+  // full candidate list. Raw predictions depend only on the workload, so a
+  // hit is re-scored with the *current* calibration and load
+  // (Planner::rescore) — per-request planning cost drops from a fusion sweep
+  // to a hash plus a few map lookups, with no staleness.
+  mutable std::mutex plan_mu_;
+  std::map<std::uint64_t, std::shared_ptr<const PlanChoice>> plan_cache_;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -1,0 +1,228 @@
+#include "src/engine/planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/error.h"
+#include "src/base/strings.h"
+#include "src/engine/backend.h"
+#include "src/perfmodel/model.h"
+
+namespace qhip::engine {
+
+namespace {
+
+// One observation outside this band is treated as saturated rather than
+// letting a single stall (or a zero-duration timer read) poison the EWMA.
+// The band is wide on purpose: the rooflines predict the paper's hardware,
+// and an emulated device can legitimately run thousands of times slower —
+// the clamp only has to stop absurd ratios, not bound honest ones, or the
+// factors rail at the cap and the relative ordering is lost.
+constexpr double kMinRatio = 1.0 / 65536.0;
+constexpr double kMaxRatio = 65536.0;
+
+std::string bucket_key(const std::string& spec_key, unsigned bucket) {
+  return strfmt("%s/q%u", spec_key.c_str(), bucket);
+}
+
+std::string fusion_key(const std::string& spec_key, unsigned bucket,
+                       unsigned max_fused) {
+  return strfmt("%s/q%u/f%u", spec_key.c_str(), bucket, max_fused);
+}
+
+}  // namespace
+
+Planner::Planner(PlannerOptions opt) : opt_(std::move(opt)) {
+  check(!opt_.candidates.empty(), "planner: candidate allowlist is empty");
+  for (const BackendSpec& c : opt_.candidates) {
+    check(c.runnable(),
+          "planner: candidate '" + c.to_string() + "' is not runnable");
+  }
+  check(opt_.min_fused >= 1 && opt_.max_fused <= 6 &&
+            opt_.min_fused <= opt_.max_fused,
+        "planner: fusion sweep must satisfy 1 <= min <= max <= 6");
+  check(opt_.alpha > 0 && opt_.alpha <= 1, "planner: alpha must be in (0, 1]");
+}
+
+double Planner::raw_predict(const BackendSpec& spec,
+                            const perfmodel::WorkloadStats& stats,
+                            Precision precision) {
+  return perfmodel::predict_seconds(spec, stats, precision);
+}
+
+std::pair<double, bool> Planner::factor_locked(const std::string& spec_key,
+                                               unsigned bucket,
+                                               unsigned max_fused) const {
+  // Finest level first: the roofline's launch-vs-flops tradeoff across
+  // fusion settings is exactly what host emulation distorts, and a shared
+  // per-spec factor scales every fusion candidate equally — it can never
+  // REORDER them. A per-max_fused entry can, after one observation.
+  auto it = table_.find(fusion_key(spec_key, bucket, max_fused));
+  if (it != table_.end() && it->second.samples > 0) {
+    return {it->second.value, true};
+  }
+  it = table_.find(bucket_key(spec_key, bucket));
+  if (it != table_.end() && it->second.samples > 0) {
+    return {it->second.value, true};
+  }
+  it = table_.find(spec_key);  // spec-wide fallback
+  if (it != table_.end() && it->second.samples > 0) {
+    return {it->second.value, true};
+  }
+  return {1.0, false};
+}
+
+PlanChoice Planner::plan(
+    unsigned num_qubits, Precision precision,
+    const std::vector<unsigned>& windows,
+    const std::function<perfmodel::WorkloadStats(const FusionOptions&)>&
+        stats_for,
+    const std::function<double(const BackendSpec&)>& queued_seconds,
+    unsigned engine_cap) {
+  check(static_cast<bool>(stats_for), "planner: stats_for is required");
+
+  // Deduplicated window sweep, order-preserving so ties resolve toward the
+  // request's own window (listed first by the engine).
+  std::vector<unsigned> ws;
+  for (unsigned w : windows) {
+    if (std::find(ws.begin(), ws.end(), w) == ws.end()) ws.push_back(w);
+  }
+  if (ws.empty()) ws.push_back(FusionOptions{}.window_moments);
+
+  PlanChoice choice;
+  bool have_choice = false;
+
+  // Load and calibration snapshots are read under the lock once; the fusion
+  // statistics come from the engine's cache outside it.
+  std::unique_lock lk(mu_);
+  for (unsigned w : ws) {
+    for (unsigned f = opt_.min_fused; f <= opt_.max_fused; ++f) {
+      const FusionOptions fo{f, w};
+      lk.unlock();
+      const perfmodel::WorkloadStats stats = stats_for(fo);
+      lk.lock();
+      for (const BackendSpec& cand : opt_.candidates) {
+        if (!backend_fits(cand, num_qubits, precision)) continue;
+        if (engine_cap != 0 && num_qubits > engine_cap) continue;
+        PlanCandidate pc;
+        pc.backend = cand;
+        pc.fusion = fo;
+        pc.raw_seconds = raw_predict(cand, stats, precision);
+        const auto [factor, learned] =
+            factor_locked(cand.to_string(), bucket_of(num_qubits), f);
+        pc.calibration = factor;
+        pc.predicted_seconds = pc.raw_seconds * factor;
+        pc.wait_seconds = queued_seconds ? std::max(0.0, queued_seconds(cand)) : 0.0;
+        const bool better =
+            !have_choice || pc.total_seconds() < choice.predicted_seconds +
+                                                     choice.wait_seconds;
+        if (better) {
+          choice.backend = pc.backend;
+          choice.fusion = pc.fusion;
+          choice.raw_seconds = pc.raw_seconds;
+          choice.predicted_seconds = pc.predicted_seconds;
+          choice.wait_seconds = pc.wait_seconds;
+          choice.calibration = pc.calibration;
+          have_choice = true;
+        }
+        choice.considered.push_back(pc);
+        (void)learned;
+      }
+    }
+  }
+  check(have_choice,
+        strfmt("planner: no candidate fits a %u-qubit request", num_qubits));
+  choice.candidates_scored = choice.considered.size();
+
+  ++stats_.decisions;
+  if (choice.calibration != 1.0) ++stats_.calibrated_decisions;
+  ++stats_.chosen[choice.backend.to_string()];
+  stats_.predicted_seconds_total += choice.predicted_seconds;
+  return choice;
+}
+
+void Planner::observe(const BackendSpec& spec, unsigned num_qubits,
+                      unsigned max_fused, double predicted_raw,
+                      double observed) {
+  if (!(predicted_raw > 0) || !(observed > 0)) return;
+  const double ratio =
+      std::clamp(observed / predicted_raw, kMinRatio, kMaxRatio);
+  const std::string spec_key = spec.to_string();
+  const unsigned bucket = bucket_of(num_qubits);
+
+  std::lock_guard lk(mu_);
+  for (const std::string& key :
+       {fusion_key(spec_key, bucket, max_fused), bucket_key(spec_key, bucket),
+        spec_key}) {
+    Ewma& e = table_[key];
+    if (e.samples == 0) {
+      e.value = ratio;  // seed with the first observation, no 1.0 inertia
+    } else {
+      e.value = (1.0 - opt_.alpha) * e.value + opt_.alpha * ratio;
+    }
+    ++e.samples;
+  }
+  ++stats_.observations;
+  stats_.observed_seconds_total += observed;
+}
+
+PlanChoice Planner::rescore(
+    const PlanChoice& cached, unsigned num_qubits,
+    const std::function<double(const BackendSpec&)>& queued_seconds) {
+  check(!cached.considered.empty(), "planner: rescore of an empty plan");
+  const unsigned bucket = bucket_of(num_qubits);
+  PlanChoice choice;
+  choice.candidates_scored = cached.considered.size();
+  // Load is per-spec, so resolve each spec's wait once; calibration factors
+  // are per-(spec, max_fused) and cheap map lookups. The cached list itself
+  // is read-only and not copied into the result — rescore is the per-request
+  // hot path for plan-cache hits.
+  std::map<std::string, double> waits;
+  std::lock_guard lk(mu_);
+  bool first = true;
+  for (const PlanCandidate& pc : cached.considered) {
+    const std::string spec_key = pc.backend.to_string();
+    auto [wit, inserted] = waits.try_emplace(spec_key);
+    if (inserted) {
+      wit->second =
+          queued_seconds ? std::max(0.0, queued_seconds(pc.backend)) : 0.0;
+    }
+    const double factor =
+        factor_locked(spec_key, bucket, pc.fusion.max_fused_qubits).first;
+    const double predicted = pc.raw_seconds * factor;
+    if (first || predicted + wit->second <
+                     choice.predicted_seconds + choice.wait_seconds) {
+      choice.backend = pc.backend;
+      choice.fusion = pc.fusion;
+      choice.raw_seconds = pc.raw_seconds;
+      choice.predicted_seconds = predicted;
+      choice.wait_seconds = wit->second;
+      choice.calibration = factor;
+      first = false;
+    }
+  }
+  ++stats_.decisions;
+  if (choice.calibration != 1.0) ++stats_.calibrated_decisions;
+  ++stats_.chosen[choice.backend.to_string()];
+  stats_.predicted_seconds_total += choice.predicted_seconds;
+  return choice;
+}
+
+double Planner::calibration(const BackendSpec& spec, unsigned num_qubits,
+                            unsigned max_fused) const {
+  std::lock_guard lk(mu_);
+  return factor_locked(spec.to_string(), bucket_of(num_qubits), max_fused)
+      .first;
+}
+
+PlannerStats Planner::stats() const {
+  std::lock_guard lk(mu_);
+  PlannerStats s = stats_;
+  for (const auto& [key, e] : table_) {
+    if (key.find('/') == std::string::npos) continue;  // spec-wide fallback
+    s.calibration[key] = e.value;
+  }
+  return s;
+}
+
+}  // namespace qhip::engine

@@ -1,0 +1,186 @@
+// Cost-model-driven backend placement with online calibration (DESIGN.md §13).
+//
+// A SimRequest with backend = "auto" delegates two decisions to the engine:
+// WHERE to run (which backend family/instance) and HOW to fuse (max_fused in
+// 2..6 and the temporal window). The planner answers both by scoring every
+// (candidate backend, fusion option) pair with the calibrated roofline
+// perfmodel over the *exact* fused-workload statistics, then adding the
+// candidate's current load so placement is load-aware, not just
+// workload-aware:
+//
+//   t(candidate, fusion) = raw_predict(candidate, stats(fusion))
+//                          * calibration(candidate, qubit_bucket)
+//                          + queued_seconds(candidate)
+//
+// raw_predict is perfmodel::predict_seconds over the runtime-spec bridge —
+// the paper's Table 1 rooflines. Those predict the paper's hardware, not
+// this serving host, so predictions are corrected online: every completed
+// run reports (predicted_raw, observed) into an EWMA of the
+// observed/predicted ratio, keyed hierarchically — per (backend,
+// qubit-bucket, max_fused), falling back to (backend, qubit-bucket), then
+// to the backend alone. The finest level matters: a single shared factor
+// can rescale a backend's predictions but never REORDER its fusion
+// candidates, and the launch-vs-flops tradeoff across fusion settings is
+// precisely where emulation diverges from the paper's hardware. The planner
+// therefore starts from the paper's relative ordering (GPU 7-9x CPU, fusion
+// optimum ~4) and converges on the machine it is actually serving from.
+//
+// Thread-safe: plan() and observe() take an internal lock (scoring is
+// arithmetic over a handful of candidates; fusion itself happens in the
+// engine's FusedCircuitCache, outside the lock).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/core/backend_spec.h"
+#include "src/fusion/fuser.h"
+#include "src/perfmodel/workload.h"
+
+namespace qhip::engine {
+
+struct PlannerOptions {
+  // Candidate backends "auto" may place onto. Must be runnable (not kAuto).
+  // The engine defaults this to {cpu, hip, a100} when the caller leaves the
+  // allowlist empty (EngineOptions::planner_candidates).
+  std::vector<BackendSpec> candidates;
+
+  // Fusion sweep: max_fused in [min_fused, max_fused] (paper sweeps 2..6).
+  unsigned min_fused = 2;
+  unsigned max_fused = 6;
+
+  // EWMA smoothing for the calibration ratio; higher adapts faster.
+  double alpha = 0.25;
+
+  // Qubit-bucket width for the calibration table: bucket = num_qubits /
+  // bucket_qubits. 2 keeps neighbouring sizes (whose 4x time ratio is real)
+  // in separate buckets without fragmenting the table.
+  unsigned bucket_qubits = 2;
+};
+
+// One scored candidate, for traces and golden-decision tests.
+struct PlanCandidate {
+  BackendSpec backend;
+  FusionOptions fusion;
+  double raw_seconds = 0;         // uncalibrated roofline prediction
+  double predicted_seconds = 0;   // raw * calibration factor
+  double wait_seconds = 0;        // load already queued on this backend
+  double calibration = 1.0;       // factor applied
+  double total_seconds() const { return predicted_seconds + wait_seconds; }
+};
+
+struct PlanChoice {
+  BackendSpec backend;
+  FusionOptions fusion;
+  double raw_seconds = 0;        // what observe() must be fed as `predicted`
+  double predicted_seconds = 0;  // calibrated execute-time prediction
+  double wait_seconds = 0;
+  double calibration = 1.0;
+  std::size_t candidates_scored = 0;
+  // Every (backend, fusion) pair considered, in scoring order — exported in
+  // trace details and asserted by tests; not on any hot path.
+  std::vector<PlanCandidate> considered;
+};
+
+struct PlannerStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t calibrated_decisions = 0;  // decisions that used a learned factor
+  std::uint64_t observations = 0;
+  double predicted_seconds_total = 0;  // calibrated, over planned decisions
+  double observed_seconds_total = 0;   // over observations
+  std::map<std::string, std::uint64_t> chosen;     // spec -> times picked
+  std::map<std::string, double> calibration;       // "spec/q<bucket>" -> factor
+};
+
+class Planner {
+ public:
+  // Validates the options: at least one candidate, all runnable,
+  // min_fused <= max_fused within [1, 6]. Throws qhip::Error otherwise.
+  explicit Planner(PlannerOptions opt);
+
+  // Scores every viable (candidate, max_fused, window) tuple and returns the
+  // minimum-total-time choice. `stats_for` maps a FusionOptions to the fused
+  // circuit's WorkloadStats (the engine passes a lambda over its
+  // FusedCircuitCache, so repeated plans of a hot circuit cost hash lookups,
+  // not transpiles). `queued_seconds`, when non-null, reports the predicted
+  // seconds of work already queued/running per candidate (load-awareness);
+  // `windows` lists the temporal windows to sweep (deduplicated; typically
+  // the request's window and its double). Candidates that cannot fit
+  // `num_qubits` (device memory, dist slice floor, or `engine_cap`) are
+  // skipped; throws qhip::Error if nothing fits.
+  PlanChoice plan(
+      unsigned num_qubits, Precision precision,
+      const std::vector<unsigned>& windows,
+      const std::function<perfmodel::WorkloadStats(const FusionOptions&)>&
+          stats_for,
+      const std::function<double(const BackendSpec&)>& queued_seconds = {},
+      unsigned engine_cap = 0);
+
+  // Raw (uncalibrated) roofline prediction for `spec` — also used by the
+  // engine to price explicitly-routed requests for the load map and to feed
+  // observations for them.
+  static double raw_predict(const BackendSpec& spec,
+                            const perfmodel::WorkloadStats& stats,
+                            Precision precision);
+
+  // Online calibration: a run planned (or explicitly requested) on `spec`
+  // fused at `max_fused` with raw prediction `predicted_raw` seconds
+  // actually took `observed` seconds of execute time. Updates three table
+  // levels — "spec/q<bucket>/f<max_fused>", "spec/q<bucket>", "spec" — so
+  // one mispredicted fusion setting is corrected at the finest level after
+  // a single run while coarser levels keep covering unexplored settings.
+  // Ratios are clamped to [1/65536, 65536] so one absurd outlier (a
+  // zero-length timer read, a stalled device) cannot poison the table;
+  // honest emulation-vs-paper ratios stay inside the band.
+  void observe(const BackendSpec& spec, unsigned num_qubits,
+               unsigned max_fused, double predicted_raw, double observed);
+
+  // The EWMA factor plan() would apply for `spec` at `num_qubits` fused at
+  // `max_fused` (finest learned level, else coarser fallbacks, else 1.0).
+  double calibration(const BackendSpec& spec, unsigned num_qubits,
+                     unsigned max_fused) const;
+
+  // Re-scores a cached PlanChoice without re-fusing: the candidate list's
+  // raw_seconds depend only on the (fixed) workload, so refreshing each
+  // entry's calibration factor and load term reproduces exactly what a full
+  // plan() sweep would score — at the cost of a few map lookups. This is
+  // what makes a per-circuit plan cache sound: cache the choice once, then
+  // rescore on every hit. Counts as a decision in stats(). The returned
+  // summary leaves `considered` empty (the caller keeps the cached list);
+  // candidates_scored still reports the list's size.
+  PlanChoice rescore(
+      const PlanChoice& cached, unsigned num_qubits,
+      const std::function<double(const BackendSpec&)>& queued_seconds = {});
+
+  PlannerStats stats() const;
+  const PlannerOptions& options() const { return opt_; }
+
+ private:
+  struct Ewma {
+    double value = 1.0;
+    std::uint64_t samples = 0;
+  };
+
+  unsigned bucket_of(unsigned num_qubits) const {
+    return num_qubits / std::max(1u, opt_.bucket_qubits);
+  }
+  // Factor + whether it came from a learned entry. Caller holds mu_.
+  std::pair<double, bool> factor_locked(const std::string& spec_key,
+                                        unsigned bucket,
+                                        unsigned max_fused) const;
+
+  PlannerOptions opt_;
+  mutable std::mutex mu_;
+  // "spec/q<bucket>/f<max_fused>" -> EWMA of observed/raw at that fusion
+  // setting; "spec/q<bucket>" and "spec" -> coarser fallbacks.
+  std::map<std::string, Ewma> table_;
+  PlannerStats stats_;
+};
+
+}  // namespace qhip::engine

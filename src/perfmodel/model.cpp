@@ -115,6 +115,45 @@ double predict_seconds(const WorkloadStats& w, Backend b, Precision p) {
   return t;
 }
 
+std::optional<Backend> model_for_spec(const BackendSpec& spec) {
+  switch (spec.kind) {
+    case BackendSpec::Kind::kCpu: return Backend::kCpuTrento;
+    case BackendSpec::Kind::kHip: return Backend::kHipMi250x;
+    case BackendSpec::Kind::kA100: return Backend::kCudaA100;
+    case BackendSpec::Kind::kMultiGcd: return Backend::kHipMi250x;
+    case BackendSpec::Kind::kDist: return Backend::kCpuTrento;
+    case BackendSpec::Kind::kAuto: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+double predict_seconds(const BackendSpec& spec, const WorkloadStats& w,
+                       Precision p) {
+  const std::optional<Backend> model = model_for_spec(spec);
+  check(model.has_value(),
+        "predict_seconds: '" + spec.to_string() +
+            "' has no device model (auto is a policy, not a device)");
+  const double single = predict_seconds(w, *model, p);
+  if (spec.ranks <= 1) return single;
+
+  // Multi-device prior: each of the N ranks streams 2^n/N amplitudes per
+  // gate pass, so compute scales ~1/N; localizing a non-local target costs a
+  // half-slice peer exchange. We charge that exchange on a fraction of gate
+  // passes that grows with log2(N) (more global qubits -> more swaps) —
+  // crude, but monotone in N and workload size, which is all the planner's
+  // online calibration needs as a starting point.
+  const double peer_bw =
+      (spec.kind == BackendSpec::Kind::kMultiGcd ? 50.0 : 25.0) * kGiB;
+  const double d = static_cast<double>(log2_exact(spec.ranks));
+  const double state_bytes =
+      w.state_amps() * static_cast<double>(amp_bytes(p));
+  const double swap_fraction = 0.25 * d / 6.0;  // of gate passes, per rank pair
+  const double swap_seconds = static_cast<double>(w.num_gates) *
+                              swap_fraction * (state_bytes / 2.0) / peer_bw /
+                              static_cast<double>(spec.ranks);
+  return single / static_cast<double>(spec.ranks) + swap_seconds;
+}
+
 std::string format_table1() {
   std::ostringstream os;
   os << "Table 1: Hardware and software setup (model parameters)\n"

@@ -29,9 +29,11 @@
 #pragma once
 
 #include <array>
+#include <optional>
 #include <string>
 
 #include "src/base/types.h"
+#include "src/core/backend_spec.h"
 #include "src/perfmodel/workload.h"
 
 namespace qhip::perfmodel {
@@ -63,6 +65,25 @@ double gate_seconds(Backend b, unsigned num_qubits, unsigned q, Precision p);
 
 // Predicted seconds for a whole fused circuit's workload.
 double predict_seconds(const WorkloadStats& w, Backend b, Precision p);
+
+// --- Runtime-spec bridge (engine planner, DESIGN.md §13) --------------------
+//
+// Maps the runtime BackendSpec grammar onto the calibrated models so the
+// serving engine can score placement candidates without knowing the model
+// enum: cpu -> Trento, hip -> MI250X GCD, a100 -> the CUDA A100 model.
+// Multi-device specs (hip:N, dist:N) scale the single-device roofline by the
+// rank count and add a peer-exchange penalty per gate pass — a deliberately
+// coarse prior (the paper does not benchmark them) that the planner's online
+// EWMA calibration corrects on the serving host.
+
+// The single-device model behind `spec`, when one exists (nullopt for auto).
+std::optional<Backend> model_for_spec(const BackendSpec& spec);
+
+// Predicted wall seconds for running `w` on the backend named by `spec`.
+// Throws qhip::Error for BackendSpec::Kind::kAuto — "auto" is a policy, not
+// a device, and has no roofline of its own.
+double predict_seconds(const BackendSpec& spec, const WorkloadStats& w,
+                       Precision p);
 
 // Prints the hardware/software table the model is built from (Table 1).
 std::string format_table1();

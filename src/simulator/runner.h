@@ -16,10 +16,27 @@
 namespace qhip {
 
 struct RunOptions {
-  unsigned max_fused_qubits = 2;  // fusion limit (paper sweeps 2..6)
-  unsigned window_moments = 4;    // fusion temporal window (FusionOptions)
+  FusionOptions fusion;           // gate-fusion knobs (shared struct; the
+                                  // engine's SimRequest and the CLIs use the
+                                  // same type, DESIGN.md §13)
   std::uint64_t seed = 1;         // measurement + sampling seed
   std::size_t num_samples = 0;    // basis-state samples to draw at the end
+
+  // Deprecated aliases for one release: the pre-FusionOptions field names.
+  // They are references into `fusion`, so reads and writes stay coherent;
+  // the hand-written copy/move ops below rebind them to the destination.
+  unsigned& max_fused_qubits = fusion.max_fused_qubits;
+  unsigned& window_moments = fusion.window_moments;
+
+  RunOptions() = default;
+  RunOptions(const RunOptions& o)
+      : fusion(o.fusion), seed(o.seed), num_samples(o.num_samples) {}
+  RunOptions& operator=(const RunOptions& o) {
+    fusion = o.fusion;
+    seed = o.seed;
+    num_samples = o.num_samples;
+    return *this;
+  }
 };
 
 struct RunResult {
@@ -69,8 +86,7 @@ RunResult run_circuit(const Circuit& circuit, Simulator& sim, StateVector<FP>& s
   Timer total;
 
   Timer t0;
-  FusionResult fused =
-      fuse_circuit(circuit, {opt.max_fused_qubits, opt.window_moments});
+  FusionResult fused = fuse_circuit(circuit, opt.fusion);
   r.fusion = fused.stats;
   r.fuse_seconds = t0.seconds();
 
