@@ -31,18 +31,33 @@
 // the best static backend's throughput AND >= 2x the worst static choice,
 // with samples bit-identical to the chosen backend requested explicitly.
 //
+// A third mode measures trajectory-batch fan-out (DESIGN.md §14):
+//
+//   bench_engine_throughput trajectory [N] [workers]
+//
+// runs N noisy trajectories of a 12-qubit RQC twice — the serial
+// trajectory_distribution reference loop on one thread, and as a single
+// engine trajectory-kind request fanned across `workers` workers — and
+// checks the averaged distributions are bit-identical. Acceptance: >= 4x
+// speedup at 8 workers, scaled down when the host has fewer cores than
+// workers (the fan-out cannot beat the physical parallelism available).
+//
 // Usage: bench_engine_throughput [N] [cold-sample] [qubits-rows cols depth]
 //        bench_engine_throughput auto [K]
+//        bench_engine_throughput trajectory [N] [workers]
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/base/error.h"
 #include "src/base/strings.h"
+#include "src/base/threadpool.h"
 #include "src/base/timer.h"
 #include "src/engine/backend.h"
 #include "src/engine/engine.h"
+#include "src/noise/trajectory.h"
 #include "src/rqc/rqc.h"
 
 using namespace qhip;
@@ -186,6 +201,74 @@ int run_auto_mode(std::size_t k) {
   return 0;
 }
 
+int run_trajectory_mode(std::size_t n_traj, unsigned workers) {
+  rqc::RqcOptions ropt;  // 3x4 grid = 12 qubits: big enough that a
+  ropt.rows = 3;         // trajectory costs real work, small enough that the
+  ropt.cols = 4;         // serial leg finishes in seconds
+  ropt.depth = 8;
+  ropt.seed = 7;
+  const Circuit circuit = rqc::generate_rqc(ropt);
+  const noise::NoiseModel model{noise::depolarizing(0.01)};
+  const std::uint64_t seed = 42;
+
+  std::printf("circuit: %s; depolarizing 0.01, %zu trajectories\n",
+              rqc::describe(circuit).c_str(), n_traj);
+
+  // --- serial reference: one trajectory at a time, one thread -------------
+  ThreadPool serial_pool(1);
+  Timer t_serial;
+  const std::vector<double> ref = noise::trajectory_distribution<double>(
+      circuit, model, n_traj, seed, serial_pool);
+  const double serial_s = t_serial.seconds();
+  std::printf("serial      %8.3f s (%.3f ms / trajectory)\n", serial_s,
+              serial_s / n_traj * 1e3);
+
+  // --- engine: one trajectory-kind request fanned across workers ----------
+  engine::EngineOptions opt;
+  opt.num_workers = workers;
+  engine::SimulationEngine eng(opt);
+  engine::SimRequest req;
+  req.kind = engine::RequestKind::kTrajectory;
+  req.circuit = circuit;
+  req.backend = "cpu";
+  req.precision = Precision::kDouble;
+  req.seed = seed;
+  req.noise = model;
+  req.num_trajectories = n_traj;
+  Timer t_eng;
+  const engine::SimResult r = eng.run(std::move(req));
+  const double engine_s = t_eng.seconds();
+  check(r.ok, "engine trajectory batch failed: " + r.error);
+  std::printf("engine      %8.3f s (%.3f ms / trajectory, %u workers)\n",
+              engine_s, engine_s / n_traj * 1e3, workers);
+
+  check(r.distribution.size() == ref.size(),
+        "distribution size mismatch vs serial reference");
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    check(r.distribution[i] == ref[i],
+          strfmt("distribution[%zu] diverged from the serial reference "
+                 "(%.17g vs %.17g)", i, r.distribution[i], ref[i]));
+  }
+  std::printf("distribution: bit-identical to the serial reference loop\n\n");
+
+  // The fan-out cannot exceed the physical parallelism of this host: scale
+  // the acceptance threshold to min(workers, hardware threads).
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned par = std::min(workers, hw);
+  const double required =
+      par >= 8 ? 4.0 : (par > 1 ? 0.45 * par : 0.85);
+  const double speedup = serial_s / engine_s;
+  std::printf("throughput: engine %.2fx vs serial (need >= %.2fx at "
+              "parallelism %u = min(%u workers, %u hw threads))\n",
+              speedup, required, par, workers, hw);
+  check(speedup >= required,
+        strfmt("trajectory batch speedup %.2fx below the %.2fx floor",
+               speedup, required));
+  std::printf("  [ok] trajectory batch meets the hardware-scaled speedup "
+              "floor\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -193,6 +276,12 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "auto") {
     const std::size_t k = argc > 2 ? parse_uint(argv[2], "K") : 6;
     return run_auto_mode(std::max<std::size_t>(k, 1));
+  }
+  if (argc > 1 && std::string(argv[1]) == "trajectory") {
+    const std::size_t n = argc > 2 ? parse_uint(argv[2], "N") : 64;
+    const unsigned w =
+        argc > 3 ? static_cast<unsigned>(parse_uint(argv[3], "workers")) : 8;
+    return run_trajectory_mode(std::max<std::size_t>(n, 1), std::max(w, 1u));
   }
   std::size_t n_requests = 100;
   std::size_t cold_sample = 3;  // a cold 20-qubit run is ~1 min on this host

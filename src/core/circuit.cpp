@@ -131,6 +131,20 @@ Circuit concatenate(const Circuit& a, const Circuit& b) {
   return out;
 }
 
+Circuit normalize_circuit(const Circuit& c) {
+  Circuit out;
+  out.num_qubits = c.num_qubits;
+  out.gates.reserve(c.gates.size());
+  for (const Gate& g : c.gates) {
+    if (g.is_measurement()) {
+      out.gates.push_back(g);
+      continue;
+    }
+    out.gates.push_back(normalized(g.controls.empty() ? g : expand_controls(g)));
+  }
+  return out;
+}
+
 CMatrix circuit_unitary(const Circuit& c) {
   check(c.num_qubits <= 12, "circuit_unitary: too many qubits for dense form");
   CMatrix u = CMatrix::identity(pow2(c.num_qubits));

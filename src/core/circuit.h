@@ -55,4 +55,15 @@ Circuit inverse_circuit(const Circuit& c);
 // `a` followed by `b` (times renumbered so moments stay monotone).
 Circuit concatenate(const Circuit& a, const Circuit& b);
 
+// The gate-for-gate normal form of `c`: controls folded into plain unitaries
+// and every unitary normalized (sorted targets, matrix bits permuted to
+// match); measurement gates pass through untouched. Unlike fusion — which
+// composes even same-qubit neighbours at max_fused_qubits = 1 — this keeps
+// the gate boundaries intact, so per-gate instrumentation points (the
+// trajectory runner's noise-channel applications) land exactly where they
+// would on the raw circuit. Pure and deterministic: preparing once and
+// sharing the result across trajectory sub-runs is bit-identical to
+// normalizing per gate per run.
+Circuit normalize_circuit(const Circuit& c);
+
 }  // namespace qhip

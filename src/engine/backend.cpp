@@ -8,6 +8,7 @@
 #include "src/base/strings.h"
 #include "src/base/timer.h"
 #include "src/dist/simulator_dist.h"
+#include "src/hipsim/expectation_hip.h"
 #include "src/hipsim/multi_gcd.h"
 #include "src/vgpu/fault.h"
 #include "src/hipsim/simulator_hip.h"
@@ -41,6 +42,20 @@ class ScopeExit {
  private:
   Fn fn_;
 };
+
+// Host-path observable evaluation: one entry per Pauli string, in order,
+// coefficients included (DESIGN.md §14).
+template <typename FP>
+std::vector<cplx64> host_expectations(const obs::Observable& o,
+                                      const StateVector<FP>& state,
+                                      ThreadPool& pool) {
+  std::vector<cplx64> out;
+  out.reserve(o.strings.size());
+  for (const auto& p : o.strings) {
+    out.push_back(obs::expectation(p, state, pool));
+  }
+  return out;
+}
 
 // Times `fn` and, when the run is request-bound, records a "sample" span on
 // the request's trace row (DESIGN.md §11). Returns elapsed seconds.
@@ -105,6 +120,10 @@ class CpuBackend final : public Backend {
       out.amplitudes.push_back(cplx64(state[i].real(), state[i].imag()));
     }
     if (rs.want_state) out.state = state_as_cplx64(state);
+    if (rs.observable != nullptr) {
+      out.expectations =
+          host_expectations(*rs.observable, state, ThreadPool::shared());
+    }
 
     pool_.release(n, std::move(state), pow2(n) * sizeof(cplx<FP>));
     return out;
@@ -174,6 +193,14 @@ class GpuBackend final : public Backend {
         for (const auto& a : amps) out.amplitudes.push_back(cplx64(a.real(), a.imag()));
       }
       if (rs.want_state) out.state = state_as_cplx64(state.to_host());
+      if (rs.observable != nullptr) {
+        // The device kernel path (paper §1's VQE-style workloads); the
+        // device is already synchronized above.
+        out.expectations.reserve(rs.observable->strings.size());
+        for (const auto& p : rs.observable->strings) {
+          out.expectations.push_back(hipsim::expectation(p, state, dev_));
+        }
+      }
 
       pool_.release(n, std::move(state), pow2(n) * sizeof(cplx<FP>));
       return out;
@@ -281,7 +308,8 @@ class MultiGcdBackend final : public Backend {
         out.samples = sim.sample(rs.num_samples, rs.seed);
       });
     }
-    if (!rs.amplitude_indices.empty() || rs.want_state) {
+    if (!rs.amplitude_indices.empty() || rs.want_state ||
+        rs.observable != nullptr) {
       const StateVector<FP> host = sim.to_host();
       out.amplitudes.reserve(rs.amplitude_indices.size());
       for (index_t i : rs.amplitude_indices) {
@@ -289,6 +317,10 @@ class MultiGcdBackend final : public Backend {
         out.amplitudes.push_back(cplx64(host[i].real(), host[i].imag()));
       }
       if (rs.want_state) out.state = state_as_cplx64(host);
+      if (rs.observable != nullptr) {
+        out.expectations =
+            host_expectations(*rs.observable, host, ThreadPool::shared());
+      }
     }
     const hipsim::MultiGcdStats after = sim.stats();
     out.counters["slot_swaps"] = static_cast<double>(after.slot_swaps - before.slot_swaps);
@@ -362,7 +394,8 @@ class DistBackend final : public Backend {
     BackendRunOutput out;
     dist::DistStats round;  // rank-0 copy of the per-run stats
     std::array<double, 4> summed{};  // bytes + phase ns summed over ranks
-    const bool gather_state = rs.want_state || rs.num_samples > 0;
+    const bool gather_state =
+        rs.want_state || rs.num_samples > 0 || rs.observable != nullptr;
 
     dist::run_spmd(ranks_, [&](dist::Comm& comm) {
       ThreadPool pool(1);
@@ -397,6 +430,9 @@ class DistBackend final : public Backend {
           });
         }
         if (rs.want_state) out.state = state_as_cplx64(full);
+        if (rs.observable != nullptr) {
+          out.expectations = host_expectations(*rs.observable, full, pool);
+        }
         round = st;
         std::copy(agg.begin(), agg.end(), summed.begin());
       }
@@ -494,6 +530,12 @@ unsigned backend_max_qubits(const BackendSpec& spec, Precision p) {
       return 0;
   }
   return 0;
+}
+
+bool backend_supports_noise(const BackendSpec& spec) {
+  // The trajectory runner (src/noise/trajectory.h) streams Kraus selections
+  // over a host StateVector; only the cpu backend exposes one per sub-run.
+  return spec.kind == BackendSpec::Kind::kCpu;
 }
 
 bool backend_fits(const BackendSpec& spec, unsigned num_qubits, Precision p) {

@@ -38,6 +38,7 @@
 #include "src/core/backend_spec.h"
 #include "src/core/circuit.h"
 #include "src/engine/buffer_pool.h"
+#include "src/obs/observable.h"
 #include "src/prof/trace.h"
 #include "src/simulator/runner.h"
 
@@ -57,6 +58,11 @@ struct BackendRunSpec {
   // memcpy trace event produced by this run carries the id, and backends
   // record a "sample" span on the request's trace row. 0 = untraced.
   std::uint64_t corr = 0;
+  // When non-null, evaluate <psi| P |psi> of every Pauli string in the
+  // observable over the final state (DESIGN.md §14). GPU backends run the
+  // hipsim::expectation device kernel; host backends use the obs:: path.
+  // The pointer must stay valid for the duration of run().
+  const obs::Observable* observable = nullptr;
 };
 
 struct BackendRunOutput {
@@ -69,6 +75,9 @@ struct BackendRunOutput {
   double sample_seconds = 0;
   // Backend-specific counters ("slot_swaps", "peer_bytes", ... for hip:N).
   std::map<std::string, double> counters;
+  // One entry per Pauli string of BackendRunSpec::observable, in order,
+  // coefficients included (empty when no observable was requested).
+  std::vector<cplx64> expectations;
 };
 
 class Backend {
@@ -118,6 +127,12 @@ unsigned backend_max_qubits(const BackendSpec& spec, Precision p);
 // True if an n-qubit request fits `spec`: n <= backend_max_qubits plus the
 // distributed floor (dist:N needs n > log2(N) so every rank holds a slice).
 bool backend_fits(const BackendSpec& spec, unsigned num_qubits, Precision p);
+
+// True if a backend created from `spec` can run trajectory (noise) workloads.
+// The trajectory runner streams Kraus selections over a host state vector,
+// so only the cpu backend qualifies today; "auto" filters its candidate list
+// with this (DESIGN.md §14). Returns false for Kind::kAuto itself.
+bool backend_supports_noise(const BackendSpec& spec);
 
 // Builds a backend from its typed spec. Throws qhip::Error for
 // Kind::kAuto — "auto" is resolved by the engine's planner (DESIGN.md §13),

@@ -1,5 +1,7 @@
 #include "src/engine/circuit_cache.h"
 
+#include "src/base/timer.h"
+
 namespace qhip::engine {
 
 std::size_t FusedCircuitCache::approx_bytes(const FusionResult& r) {
@@ -11,9 +13,9 @@ std::size_t FusedCircuitCache::approx_bytes(const FusionResult& r) {
   return bytes;
 }
 
-std::shared_ptr<const FusionResult> FusedCircuitCache::get_or_fuse(
-    const Circuit& circuit, const FusionOptions& opt, bool* hit) {
-  const Key key{hash_circuit(circuit), opt};
+template <typename BuildFn>
+std::shared_ptr<const FusionResult> FusedCircuitCache::get_or_build(
+    const Key& key, BuildFn&& build, bool* hit) {
   {
     std::lock_guard lk(mu_);
     auto it = index_.find(key);
@@ -28,10 +30,10 @@ std::shared_ptr<const FusionResult> FusedCircuitCache::get_or_fuse(
   }
   if (hit) *hit = false;
 
-  // Fuse outside the lock: a slow transpile of one circuit must not stall
-  // hits on others. Two threads missing on the same key both fuse; the
+  // Build outside the lock: a slow transpile of one circuit must not stall
+  // hits on others. Two threads missing on the same key both build; the
   // results are identical and the second insert just refreshes the entry.
-  auto fused = std::make_shared<const FusionResult>(fuse_circuit(circuit, opt));
+  auto fused = std::make_shared<const FusionResult>(build());
   if (capacity_ == 0) return fused;
 
   std::lock_guard lk(mu_);
@@ -52,6 +54,33 @@ std::shared_ptr<const FusionResult> FusedCircuitCache::get_or_fuse(
   }
   stats_.entries = lru_.size();
   return fused;
+}
+
+std::shared_ptr<const FusionResult> FusedCircuitCache::get_or_fuse(
+    const Circuit& circuit, const FusionOptions& opt, bool* hit) {
+  return get_or_build(Key{hash_circuit(circuit), opt},
+                      [&] { return fuse_circuit(circuit, opt); }, hit);
+}
+
+std::shared_ptr<const FusionResult> FusedCircuitCache::get_or_normalize(
+    const Circuit& circuit, bool* hit) {
+  // {0, 0} is unreachable from fuse_circuit (it requires max_fused_qubits
+  // >= 1), so this sub-keyspace is exclusively the normalized forms.
+  FusionOptions reserved;
+  reserved.max_fused_qubits = 0;
+  reserved.window_moments = 0;
+  return get_or_build(
+      Key{hash_circuit(circuit), reserved},
+      [&] {
+        Timer t;
+        FusionResult r;
+        r.circuit = normalize_circuit(circuit);
+        r.stats.input_gates = circuit.gates.size();
+        r.stats.output_gates = r.circuit.gates.size();
+        r.stats.seconds = t.seconds();
+        return r;
+      },
+      hit);
 }
 
 FusedCacheStats FusedCircuitCache::stats() const {

@@ -43,6 +43,16 @@ class FusedCircuitCache {
                                                   const FusionOptions& opt,
                                                   bool* hit = nullptr);
 
+  // Returns the normalize_circuit form of `circuit` (gate boundaries intact —
+  // what the trajectory runner needs, where fusion would compose same-qubit
+  // neighbours and move the noise-channel insertion points). Cached in the
+  // same LRU as fused circuits under the reserved options {0, 0}, which
+  // fuse_circuit rejects (max_fused_qubits >= 1), so the key spaces cannot
+  // collide. The result is packaged as a FusionResult with input == output
+  // gate counts so callers can report it through the existing stats plumbing.
+  std::shared_ptr<const FusionResult> get_or_normalize(const Circuit& circuit,
+                                                       bool* hit = nullptr);
+
   FusedCacheStats stats() const;
   void clear();
 
@@ -67,6 +77,11 @@ class FusedCircuitCache {
   };
 
   static std::size_t approx_bytes(const FusionResult& r);
+
+  // Shared lookup/build/insert path; `build` runs outside the lock on a miss.
+  template <typename BuildFn>
+  std::shared_ptr<const FusionResult> get_or_build(const Key& key,
+                                                   BuildFn&& build, bool* hit);
 
   mutable std::mutex mu_;
   std::size_t capacity_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -19,6 +20,11 @@ namespace {
 // Results above this size are served but not memoized: a single 26-qubit
 // want_state result is 1 GiB, which would make the LRU a memory bomb.
 constexpr std::size_t kMaxCachedResultBytes = std::size_t{32} << 20;
+
+// Early stop needs a minimum sample before the stderr estimate means
+// anything; below this many accumulated trajectories the tolerance is
+// never consulted.
+constexpr std::size_t kMinTrajectoriesForStop = 8;
 
 void mix(std::uint64_t& h, std::uint64_t v) {
   // FNV-1a over the value's bytes, same scheme as hash_circuit.
@@ -45,7 +51,20 @@ void app_str(std::string& s, const std::string& v) {
 std::size_t approx_result_bytes(const SimResult& r) {
   return r.samples.size() * sizeof(index_t) +
          r.measurements.size() * sizeof(index_t) +
-         r.amplitudes.size() * sizeof(cplx64) + r.state.size() * sizeof(cplx64);
+         r.amplitudes.size() * sizeof(cplx64) +
+         r.state.size() * sizeof(cplx64) +
+         r.distribution.size() * sizeof(double);
+}
+
+// Standard error of the running trajectory mean over the first k ordered
+// contributions (real parts; Hermitian observables have real expectations).
+double stderr_of_mean(const cplx64& sum, double sumsq, std::size_t k) {
+  if (k < 2) return 0;
+  const double mean = sum.real() / static_cast<double>(k);
+  const double var =
+      std::max(0.0, (sumsq - static_cast<double>(k) * mean * mean) /
+                        static_cast<double>(k - 1));
+  return std::sqrt(var / static_cast<double>(k));
 }
 
 // `sorted` must already be in ascending order (sorted once at the call
@@ -89,6 +108,15 @@ const char* to_string(SimErrorCode code) {
   return "unknown";
 }
 
+const char* to_string(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kCircuit: return "circuit";
+    case RequestKind::kExpectation: return "expectation";
+    case RequestKind::kTrajectory: return "trajectory";
+  }
+  return "unknown";
+}
+
 std::string canonical_request_summary(const SimRequest& req) {
   std::string s;
   s.reserve(64 + req.circuit.gates.size() * 96);
@@ -101,6 +129,31 @@ std::string canonical_request_summary(const SimRequest& req) {
   app_u64(s, req.amplitude_indices.size());
   for (index_t i : req.amplitude_indices) app_u64(s, static_cast<std::uint64_t>(i));
   app_u64(s, req.want_state ? 1 : 0);
+  // Workload kind and its payloads (DESIGN.md §14): the noise channel's
+  // Kraus matrices and the observable's strings are part of what the result
+  // is a function of, bit-exactly like the circuit matrices below.
+  app_u64(s, static_cast<std::uint64_t>(req.kind));
+  app_u64(s, req.num_trajectories);
+  app_f64(s, req.trajectory_tolerance);
+  app_str(s, req.noise.channel.name);
+  app_u64(s, req.noise.channel.ops.size());
+  for (const CMatrix& k : req.noise.channel.ops) {
+    app_u64(s, k.dim());
+    for (const cplx64& v : k.data()) {
+      app_f64(s, v.real());
+      app_f64(s, v.imag());
+    }
+  }
+  app_u64(s, req.observable.strings.size());
+  for (const obs::PauliString& p : req.observable.strings) {
+    app_f64(s, p.coefficient.real());
+    app_f64(s, p.coefficient.imag());
+    app_u64(s, p.terms.size());
+    for (const obs::PauliTerm& t : p.terms) {
+      app_u64(s, t.qubit);
+      app_u64(s, static_cast<std::uint64_t>(t.op));
+    }
+  }
   app_u64(s, req.circuit.num_qubits);
   app_u64(s, req.circuit.gates.size());
   for (const Gate& g : req.circuit.gates) {
@@ -128,6 +181,57 @@ struct SimulationEngine::Job {
   Timer queued;  // started at submit
   std::uint64_t corr = 0;       // request id = trace correlation id
   std::uint64_t submit_us = 0;  // trace timestamp of submit (Timer clock)
+  // Non-null for a trajectory sub-job: the worker runs sub-runs of this
+  // batch instead of process() (the batch holds the promise; req is empty).
+  std::shared_ptr<TrajectoryBatch> sub_batch;
+};
+
+// Shared state of one fanned-out trajectory batch (DESIGN.md §14). The
+// launching worker fills the immutable section, enqueues min(N, workers)
+// sub-jobs at the queue front, and returns to the pool — it never blocks on
+// the batch. Sub-runs claim trajectory indices from next_run and stream
+// their contributions through the reorder buffer (pending_*) so the
+// accumulation happens in strict trajectory order: bit-identical to the
+// serial reference loop, and the early-stop decision is a deterministic
+// function of the ordered prefix. The last sub-run to exit finalizes.
+struct SimulationEngine::TrajectoryBatch {
+  // Immutable after launch.
+  SimRequest req;
+  std::shared_ptr<const FusionResult> prepared;  // normalized circuit
+  std::string spec;            // resolved noise-capable backend spec
+  bool observable_mode = false;
+  std::size_t total = 0;       // requested trajectory count N
+  double raw_pred_total = 0;   // N x per-trajectory roofline pricing
+  Deadline deadline;
+  std::uint64_t corr = 0;
+  std::uint64_t submit_us = 0;
+  std::uint64_t run_start_us = 0;
+  Timer queued;     // copy of the job's submit timer (total_seconds)
+  Timer run_timer;  // started at launch (run_seconds)
+  std::promise<SimResult> promise;
+  std::shared_ptr<Flight> flight;  // non-null iff the request is cacheable
+  std::uint64_t key = 0;
+  std::string summary;
+  SimResult base;  // queue/fuse fields prefilled by the launcher
+
+  // Guarded by mu.
+  std::mutex mu;
+  std::size_t next_run = 0;    // next trajectory index to claim
+  std::size_t next_accum = 0;  // ordered-accumulation cursor (== count done)
+  std::size_t stop_at = 0;     // N, lowered once by a deterministic early stop
+  std::size_t executed = 0;    // sub-runs completed (includes discarded tail)
+  unsigned active_subs = 0;
+  bool failed = false;
+  bool early_stopped = false;
+  SimErrorCode fail_code = SimErrorCode::kInternal;
+  std::string fail_error;
+  // Distribution mode: ordered elementwise accumulation + reorder buffer.
+  std::vector<double> dist;
+  std::map<std::size_t, std::vector<double>> pending_dist;
+  // Observable mode: running sum / sum-of-squares + reorder buffer.
+  std::map<std::size_t, cplx64> pending_vals;
+  cplx64 val_sum{};
+  double val_sumsq = 0;  // over real parts, for the stderr estimate
 };
 
 struct SimulationEngine::BackendSlot {
@@ -166,6 +270,23 @@ SimulationEngine::~SimulationEngine() {
   queue_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
   for (Job& job : orphans) {
+    if (job.sub_batch) {
+      // An orphaned trajectory sub-job: mark its batch failed and, as the
+      // last accounted sub, finalize so the batch promise is fulfilled.
+      TrajectoryBatch& b = *job.sub_batch;
+      bool last = false;
+      {
+        std::lock_guard lk(b.mu);
+        if (!b.failed) {
+          b.failed = true;
+          b.fail_code = SimErrorCode::kRejected;
+          b.fail_error = "engine stopped";
+        }
+        last = (--b.active_subs == 0);
+      }
+      if (last) finalize_trajectory_batch(b);
+      continue;
+    }
     job.promise.set_value(rejected("engine stopped"));
   }
 }
@@ -239,6 +360,10 @@ void SimulationEngine::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    if (job.sub_batch) {
+      trajectory_sub_loop(job.sub_batch);
+      continue;
+    }
     process(job);
   }
 }
@@ -282,6 +407,26 @@ std::uint64_t SimulationEngine::result_key(const SimRequest& req,
   mix(h, req.amplitude_indices.size());
   for (index_t i : req.amplitude_indices) mix(h, static_cast<std::uint64_t>(i));
   mix(h, req.want_state ? 1 : 0);
+  mix(h, static_cast<std::uint64_t>(req.kind));
+  mix(h, req.num_trajectories);
+  mix(h, std::bit_cast<std::uint64_t>(req.trajectory_tolerance));
+  for (char c : req.noise.channel.name) mix(h, static_cast<unsigned char>(c));
+  mix(h, req.noise.channel.ops.size());
+  for (const CMatrix& k : req.noise.channel.ops) {
+    for (const cplx64& v : k.data()) {
+      mix(h, std::bit_cast<std::uint64_t>(v.real()));
+      mix(h, std::bit_cast<std::uint64_t>(v.imag()));
+    }
+  }
+  mix(h, req.observable.strings.size());
+  for (const obs::PauliString& p : req.observable.strings) {
+    mix(h, std::bit_cast<std::uint64_t>(p.coefficient.real()));
+    mix(h, std::bit_cast<std::uint64_t>(p.coefficient.imag()));
+    for (const obs::PauliTerm& t : p.terms) {
+      mix(h, t.qubit);
+      mix(h, static_cast<std::uint64_t>(t.op));
+    }
+  }
   return h;
 }
 
@@ -360,6 +505,11 @@ SimResult SimulationEngine::execute_with_retries(const SimRequest& q,
     rs.want_state = q.want_state;
     rs.deadline = deadline;
     rs.corr = corr;
+    // Expectation requests evaluate the observable over the final state in
+    // the same backend run — the device kernel on hip backends, the host
+    // path on cpu (DESIGN.md §14). `q` outlives the run.
+    rs.observable =
+        q.kind == RequestKind::kExpectation ? &q.observable : nullptr;
 
     const unsigned max_attempts = std::max(1u, opt_.max_attempts);
     double backoff = std::max(0.0, opt_.retry_backoff_seconds);
@@ -383,6 +533,7 @@ SimResult SimulationEngine::execute_with_retries(const SimRequest& q,
         res.state = std::move(out.state);
         res.counters = std::move(out.counters);
         res.sample_seconds = out.sample_seconds;
+        for (const cplx64& e : out.expectations) res.expectation += e;
         res.ok = true;
         res.code = SimErrorCode::kOk;
         res.backend_used = spec;
@@ -455,7 +606,38 @@ void SimulationEngine::process(Job& job) {
       res = rejected(
           "backend 'auto' requires the placement planner "
           "(EngineOptions::enable_planner)");
+    } else if (q.kind == RequestKind::kExpectation &&
+               q.observable.strings.empty()) {
+      res = rejected("expectation request has an empty observable");
+    } else if (q.kind == RequestKind::kTrajectory && q.num_trajectories < 1) {
+      res = rejected("trajectory request needs num_trajectories >= 1");
+    } else if (q.kind == RequestKind::kTrajectory &&
+               (q.num_samples > 0 || !q.amplitude_indices.empty() ||
+                q.want_state)) {
+      res = rejected(
+          "trajectory requests return a mean distribution or an observable "
+          "mean; samples/amplitudes/state are not available");
+    } else if (q.kind == RequestKind::kTrajectory &&
+               q.circuit.num_measurements() > 0) {
+      res = rejected("trajectory requests do not support measurement gates");
+    } else if (q.kind == RequestKind::kTrajectory &&
+               BackendSpec::parse(q.backend).kind != BackendSpec::Kind::kAuto &&
+               !backend_supports_noise(BackendSpec::parse(q.backend))) {
+      res = rejected(strfmt(
+          "backend '%s' cannot run trajectory (noise) workloads; use 'cpu' "
+          "or 'auto'",
+          q.backend.c_str()));
     } else {
+      // Kind-specific payload validation; a throw lands in the catch below
+      // as a structured rejection.
+      if (q.kind != RequestKind::kCircuit && !q.observable.strings.empty()) {
+        q.observable.validate(q.circuit.num_qubits);
+      }
+      if (q.kind == RequestKind::kTrajectory) q.noise.channel.validate();
+      if (q.kind == RequestKind::kExpectation) {
+        std::lock_guard lk(metrics_mu_);
+        ++expectation_requests_;
+      }
       // One circuit hash per request, shared by the result key and (for
       // "auto") the plan-cache key — hashing the gate matrices is the most
       // expensive per-request constant on small circuits.
@@ -528,106 +710,136 @@ void SimulationEngine::process(Job& job) {
           deadline = Deadline::after(q.timeout_seconds - res.queue_seconds);
         }
 
-        // Resolve "auto" through the planner: score every candidate backend
-        // over the request's fused workload and pick backend AND fusion
-        // (DESIGN.md §13). The result is cached under the *auto* key, so
-        // identical auto requests coalesce and memoize like any other.
-        std::string run_spec = q.backend;
-        FusionOptions run_fusion = q.fusion;
-        PlanChoice plan;
-        bool planned = false;
-        if (planner_ &&
-            BackendSpec::parse(q.backend).kind == BackendSpec::Kind::kAuto) {
-          const std::uint64_t plan_start_us = Timer::now_micros();
-          const auto load_of = [this](const BackendSpec& s) {
-            return queued_load(s.to_string());
-          };
-          std::uint64_t plan_key = chash;
-          mix(plan_key, q.precision == Precision::kSingle ? 1 : 2);
-          mix(plan_key, q.fusion.window_moments);
-          std::shared_ptr<const PlanChoice> hit;
-          {
-            std::lock_guard lk(plan_mu_);
-            auto it = plan_cache_.find(plan_key);
-            if (it != plan_cache_.end()) hit = it->second;
+        if (q.kind == RequestKind::kTrajectory) {
+          // Resolve the backend (for "auto": the first noise-capable
+          // candidate that fits — trajectory batches are priced as N x the
+          // per-trajectory prediction, but all noise work runs host-side
+          // today, so there is exactly one placement class), then fan the
+          // batch out across the workers. The batch takes over the promise
+          // and flight; the last sub-run completes the request.
+          std::string traj_spec = q.backend;
+          if (BackendSpec::parse(q.backend).kind == BackendSpec::Kind::kAuto) {
+            traj_spec.clear();
+            for (const BackendSpec& c : planner_->options().candidates) {
+              if (backend_supports_noise(c) &&
+                  backend_fits(c, q.circuit.num_qubits, q.precision)) {
+                traj_spec = c.to_string();
+                break;
+              }
+            }
           }
-          const bool plan_cached = static_cast<bool>(hit);
-          if (hit) {
-            plan = planner_->rescore(*hit, q.circuit.num_qubits, load_of);
+          if (traj_spec.empty()) {
+            res = rejected(
+                "backend 'auto' found no noise-capable candidate for this "
+                "trajectory workload (planner_candidates needs 'cpu')");
           } else {
-            plan = planner_->plan(
-                q.circuit.num_qubits, q.precision,
-                {q.fusion.window_moments, 2 * q.fusion.window_moments},
-                [this, &q](const FusionOptions& fo) {
-                  bool hit = false;
-                  return perfmodel::WorkloadStats::from_circuit(
-                      fused_cache_.get_or_fuse(q.circuit, fo, &hit)->circuit);
-                },
-                load_of, opt_.max_qubits);
-            std::lock_guard lk(plan_mu_);
-            if (plan_cache_.size() >= 512) plan_cache_.clear();
-            plan_cache_[plan_key] = std::make_shared<const PlanChoice>(plan);
+            launch_trajectory_batch(job, key, std::move(summary),
+                                    std::move(flight), traj_spec, deadline,
+                                    res.queue_seconds);
+            return;
           }
-          run_spec = plan.backend.to_string();
-          run_fusion = plan.fusion;
-          planned = true;
-          span("plan", job.corr, plan_start_us,
-               Timer::now_micros() - plan_start_us,
-               strfmt("-> %s f=%u w=%u pred=%.3fms wait=%.3fms cal=%.2f "
-                      "(%zu scored%s)",
-                      run_spec.c_str(),
-                      plan.fusion.max_fused_qubits, plan.fusion.window_moments,
-                      plan.predicted_seconds * 1e3, plan.wait_seconds * 1e3,
-                      plan.calibration, plan.candidates_scored,
-                      plan_cached ? ", cached" : ""));
-        }
-
-        unsigned attempts = 0;
-        SimResult ex = execute_with_retries(q, run_spec, run_fusion, deadline,
-                                            job.corr, &attempts);
-        bool fell_back = false;
-        const std::optional<BackendSpec> fb =
-            BackendSpec::try_parse(opt_.fallback_backend);
-        if (!ex.ok && transient(ex.code) && fb && fb->runnable() &&
-            opt_.fallback_backend != run_spec) {
-          ex = execute_with_retries(q, opt_.fallback_backend, run_fusion,
-                                    deadline, job.corr, &attempts);
-          fell_back = true;
-          std::lock_guard lk(metrics_mu_);
-          ++fallbacks_;
-        }
-        const double queued = res.queue_seconds;
-        res = std::move(ex);
-        res.queue_seconds = queued;
-        res.attempts = attempts;
-        res.fallback_used = fell_back;
-        if (planned) {
-          res.counters["planner/raw_seconds"] = plan.raw_seconds;
-          res.counters["planner/predicted_seconds"] = plan.predicted_seconds;
-          res.counters["planner/wait_seconds"] = plan.wait_seconds;
-          res.counters["planner/calibration"] = plan.calibration;
-          res.counters["planner/candidates_scored"] =
-              static_cast<double>(plan.candidates_scored);
-          res.counters["planner/max_fused"] =
-              static_cast<double>(plan.fusion.max_fused_qubits);
-          res.counters["planner/window"] =
-              static_cast<double>(plan.fusion.window_moments);
-        }
-
-        if (res.ok && opt_.result_cache_capacity > 0 &&
-            approx_result_bytes(res) <= kMaxCachedResultBytes) {
-          if (summary.empty()) summary = canonical_request_summary(q);
-          std::lock_guard lk(results_mu_);
-          auto it = result_index_.find(key);
-          if (it != result_index_.end()) {
-            result_lru_.erase(it->second);
-            result_index_.erase(it);
+        } else {
+          // Resolve "auto" through the planner: score every candidate backend
+          // over the request's fused workload and pick backend AND fusion
+          // (DESIGN.md §13). The result is cached under the *auto* key, so
+          // identical auto requests coalesce and memoize like any other.
+          std::string run_spec = q.backend;
+          FusionOptions run_fusion = q.fusion;
+          PlanChoice plan;
+          bool planned = false;
+          if (planner_ &&
+              BackendSpec::parse(q.backend).kind == BackendSpec::Kind::kAuto) {
+            const std::uint64_t plan_start_us = Timer::now_micros();
+            const auto load_of = [this](const BackendSpec& s) {
+              return queued_load(s.to_string());
+            };
+            std::uint64_t plan_key = chash;
+            mix(plan_key, q.precision == Precision::kSingle ? 1 : 2);
+            mix(plan_key, q.fusion.window_moments);
+            std::shared_ptr<const PlanChoice> hit;
+            {
+              std::lock_guard lk(plan_mu_);
+              auto it = plan_cache_.find(plan_key);
+              if (it != plan_cache_.end()) hit = it->second;
+            }
+            const bool plan_cached = static_cast<bool>(hit);
+            if (hit) {
+              plan = planner_->rescore(*hit, q.circuit.num_qubits, load_of);
+            } else {
+              plan = planner_->plan(
+                  q.circuit.num_qubits, q.precision,
+                  {q.fusion.window_moments, 2 * q.fusion.window_moments},
+                  [this, &q](const FusionOptions& fo) {
+                    bool hit = false;
+                    return perfmodel::WorkloadStats::from_circuit(
+                        fused_cache_.get_or_fuse(q.circuit, fo, &hit)->circuit);
+                  },
+                  load_of, opt_.max_qubits);
+              std::lock_guard lk(plan_mu_);
+              if (plan_cache_.size() >= 512) plan_cache_.clear();
+              plan_cache_[plan_key] = std::make_shared<const PlanChoice>(plan);
+            }
+            run_spec = plan.backend.to_string();
+            run_fusion = plan.fusion;
+            planned = true;
+            span("plan", job.corr, plan_start_us,
+                 Timer::now_micros() - plan_start_us,
+                 strfmt("-> %s f=%u w=%u pred=%.3fms wait=%.3fms cal=%.2f "
+                        "(%zu scored%s)",
+                        run_spec.c_str(),
+                        plan.fusion.max_fused_qubits, plan.fusion.window_moments,
+                        plan.predicted_seconds * 1e3, plan.wait_seconds * 1e3,
+                        plan.calibration, plan.candidates_scored,
+                        plan_cached ? ", cached" : ""));
           }
-          result_lru_.emplace_front(key, CacheEntry{summary, res});
-          result_index_[key] = result_lru_.begin();
-          while (result_lru_.size() > opt_.result_cache_capacity) {
-            result_index_.erase(result_lru_.back().first);
-            result_lru_.pop_back();
+
+          unsigned attempts = 0;
+          SimResult ex = execute_with_retries(q, run_spec, run_fusion, deadline,
+                                              job.corr, &attempts);
+          bool fell_back = false;
+          const std::optional<BackendSpec> fb =
+              BackendSpec::try_parse(opt_.fallback_backend);
+          if (!ex.ok && transient(ex.code) && fb && fb->runnable() &&
+              opt_.fallback_backend != run_spec) {
+            ex = execute_with_retries(q, opt_.fallback_backend, run_fusion,
+                                      deadline, job.corr, &attempts);
+            fell_back = true;
+            std::lock_guard lk(metrics_mu_);
+            ++fallbacks_;
+          }
+          const double queued = res.queue_seconds;
+          res = std::move(ex);
+          res.queue_seconds = queued;
+          res.attempts = attempts;
+          res.fallback_used = fell_back;
+          if (planned) {
+            res.counters["planner/raw_seconds"] = plan.raw_seconds;
+            res.counters["planner/predicted_seconds"] = plan.predicted_seconds;
+            res.counters["planner/wait_seconds"] = plan.wait_seconds;
+            res.counters["planner/calibration"] = plan.calibration;
+            res.counters["planner/candidates_scored"] =
+                static_cast<double>(plan.candidates_scored);
+            res.counters["planner/max_fused"] =
+                static_cast<double>(plan.fusion.max_fused_qubits);
+            res.counters["planner/window"] =
+                static_cast<double>(plan.fusion.window_moments);
+          }
+
+          if (res.ok && opt_.result_cache_capacity > 0 &&
+              approx_result_bytes(res) <= kMaxCachedResultBytes) {
+            if (summary.empty()) summary = canonical_request_summary(q);
+            std::lock_guard lk(results_mu_);
+            auto it = result_index_.find(key);
+            if (it != result_index_.end()) {
+              result_lru_.erase(it->second);
+              result_index_.erase(it);
+            }
+            result_lru_.emplace_front(key, CacheEntry{summary, res});
+            result_index_[key] = result_lru_.begin();
+            while (result_lru_.size() > opt_.result_cache_capacity) {
+              result_index_.erase(result_lru_.back().first);
+              result_lru_.pop_back();
+            }
           }
         }
       }
@@ -666,6 +878,297 @@ void SimulationEngine::process(Job& job) {
        static_cast<std::uint64_t>(res.total_seconds * 1e6), outcome);
   record_done(res);
   job.promise.set_value(std::move(res));
+}
+
+void SimulationEngine::launch_trajectory_batch(
+    Job& job, std::uint64_t key, std::string summary,
+    std::shared_ptr<Flight> flight, const std::string& spec,
+    const Deadline& deadline, double queue_seconds) {
+  auto batch = std::make_shared<TrajectoryBatch>();
+  const SimRequest& q = job.req;
+  const std::size_t n_traj = q.num_trajectories;
+
+  // Prepare (normalize) the circuit once, shared by every sub-run. This is
+  // the trajectory analogue of the fuse stage — fusion itself would compose
+  // same-qubit neighbours and move the noise-insertion points, so the cache
+  // holds the gate-for-gate normal form instead.
+  bool prep_hit = false;
+  Timer tf;
+  const std::uint64_t prep_start_us = Timer::now_micros();
+  batch->prepared = fused_cache_.get_or_normalize(q.circuit, &prep_hit);
+  batch->base.fuse_seconds = tf.seconds();
+  batch->base.fused_cache_hit = prep_hit;
+  batch->base.fusion = batch->prepared->stats;
+  span("fuse", job.corr, prep_start_us,
+       static_cast<std::uint64_t>(batch->base.fuse_seconds * 1e6),
+       prep_hit ? "normalize cache-hit" : "normalize cache-miss");
+
+  // Price the batch as N x the per-trajectory roofline prediction so the
+  // load map (and through it, "auto" placement of concurrent requests) sees
+  // noisy workloads at their real weight (DESIGN.md §14).
+  double raw_total = 0;
+  if (planner_) {
+    try {
+      raw_total =
+          static_cast<double>(n_traj) *
+          Planner::raw_predict(
+              BackendSpec::parse(spec),
+              perfmodel::WorkloadStats::from_circuit(batch->prepared->circuit),
+              q.precision);
+    } catch (const Error&) {
+      raw_total = 0;  // un-modellable: run unpriced
+    }
+    adjust_load(spec, raw_total);
+  }
+
+  batch->spec = spec;
+  batch->observable_mode = !q.observable.strings.empty();
+  batch->total = n_traj;
+  batch->stop_at = n_traj;
+  batch->raw_pred_total = raw_total;
+  batch->deadline = deadline;
+  batch->corr = job.corr;
+  batch->submit_us = job.submit_us;
+  batch->run_start_us = Timer::now_micros();
+  batch->queued = job.queued;
+  batch->key = key;
+  batch->summary = std::move(summary);
+  batch->flight = std::move(flight);
+  batch->base.queue_seconds = queue_seconds;
+  batch->promise = std::move(job.promise);
+  batch->req = std::move(job.req);
+  if (!batch->observable_mode) {
+    batch->dist.assign(pow2(batch->req.circuit.num_qubits), 0.0);
+  }
+  {
+    std::lock_guard lk(metrics_mu_);
+    ++trajectory_batches_;
+  }
+
+  const unsigned fan = static_cast<unsigned>(
+      std::min<std::size_t>(n_traj, opt_.num_workers));
+  batch->active_subs = fan;
+  bool enqueued = false;
+  {
+    std::lock_guard lk(queue_mu_);
+    if (!stop_) {
+      for (unsigned i = 0; i < fan; ++i) {
+        Job sub;
+        sub.sub_batch = batch;
+        sub.corr = batch->corr;
+        // Sub-jobs jump the queue: the launching worker returns to the pool
+        // rather than blocking, and draining subs first keeps coalesced
+        // waiters (which occupy workers) from starving the batch they wait
+        // on — the fan-out cannot deadlock even with one worker.
+        queue_.push_front(std::move(sub));
+      }
+      enqueued = true;
+    }
+  }
+  if (!enqueued) {
+    // Engine is shutting down: no subs will run; finalize the failure here.
+    batch->active_subs = 0;
+    batch->failed = true;
+    batch->fail_code = SimErrorCode::kRejected;
+    batch->fail_error = "engine stopped";
+    finalize_trajectory_batch(*batch);
+    return;
+  }
+  queue_cv_.notify_all();
+}
+
+void SimulationEngine::trajectory_sub_loop(
+    const std::shared_ptr<TrajectoryBatch>& batch) {
+  if (batch->req.precision == Precision::kSingle) {
+    run_trajectory_subs<float>(*batch);
+  } else {
+    run_trajectory_subs<double>(*batch);
+  }
+  bool last = false;
+  {
+    std::lock_guard lk(batch->mu);
+    last = (--batch->active_subs == 0);
+  }
+  if (last) finalize_trajectory_batch(*batch);
+}
+
+template <typename FP>
+void SimulationEngine::run_trajectory_subs(TrajectoryBatch& b) {
+  // A dedicated per-sub pool: its width fixes the fp reduction order inside
+  // apply_channel / obs::expectation, so trajectory_threads = 1 reproduces
+  // the serial reference bit for bit regardless of how many engine workers
+  // share the batch.
+  ThreadPool pool(std::max(1u, opt_.trajectory_threads));
+  StateVector<FP> state(b.req.circuit.num_qubits);
+  std::vector<double> contrib;
+  for (;;) {
+    std::size_t t;
+    {
+      std::lock_guard lk(b.mu);
+      if (b.failed || b.next_run >= b.stop_at) return;
+      t = b.next_run++;
+    }
+    try {
+      noise::run_trajectory_prepared<FP>(b.prepared->circuit, b.req.noise,
+                                         b.req.seed, t, state, pool,
+                                         b.deadline);
+      if (b.observable_mode) {
+        const cplx64 v = obs::expectation(b.req.observable, state, pool);
+        std::lock_guard lk(b.mu);
+        ++b.executed;
+        if (t < b.stop_at) b.pending_vals.emplace(t, v);
+        // Drain the ordered prefix; every accumulation advances the running
+        // mean/stderr and (deterministically) may trigger the early stop.
+        while (!b.pending_vals.empty() && b.next_accum < b.stop_at &&
+               b.pending_vals.begin()->first == b.next_accum) {
+          const cplx64 u = b.pending_vals.begin()->second;
+          b.pending_vals.erase(b.pending_vals.begin());
+          b.val_sum += u;
+          b.val_sumsq += u.real() * u.real();
+          ++b.next_accum;
+          const std::size_t k = b.next_accum;
+          if (b.req.trajectory_tolerance > 0 &&
+              k >= kMinTrajectoriesForStop && k < b.stop_at &&
+              stderr_of_mean(b.val_sum, b.val_sumsq, k) <=
+                  b.req.trajectory_tolerance) {
+            b.stop_at = k;
+            b.early_stopped = true;
+            // Everything still pending is at index >= k: discarded.
+            b.pending_vals.clear();
+          }
+        }
+      } else {
+        contrib.resize(state.size());
+        for (index_t i = 0; i < state.size(); ++i) {
+          contrib[i] = std::norm(cplx64(state[i].real(), state[i].imag()));
+        }
+        std::lock_guard lk(b.mu);
+        ++b.executed;
+        if (t < b.stop_at) {
+          b.pending_dist.emplace(t, std::move(contrib));
+          contrib = {};
+        }
+        // Elementwise accumulation in strict trajectory order — the same
+        // addition order as the serial reference loop, hence bit-identical.
+        while (!b.pending_dist.empty() && b.next_accum < b.stop_at &&
+               b.pending_dist.begin()->first == b.next_accum) {
+          const std::vector<double>& c = b.pending_dist.begin()->second;
+          for (std::size_t i = 0; i < b.dist.size(); ++i) b.dist[i] += c[i];
+          b.pending_dist.erase(b.pending_dist.begin());
+          ++b.next_accum;
+        }
+      }
+    } catch (const CodedError& e) {
+      const SimErrorCode code = classify(e.code());
+      count_fault(code);
+      std::lock_guard lk(b.mu);
+      if (!b.failed) {
+        b.failed = true;
+        b.fail_code = code;
+        b.fail_error = e.what();
+      }
+      return;
+    } catch (const std::exception& e) {
+      std::lock_guard lk(b.mu);
+      if (!b.failed) {
+        b.failed = true;
+        b.fail_code = SimErrorCode::kInternal;
+        b.fail_error = std::string("trajectory failed: ") + e.what();
+      }
+      return;
+    }
+  }
+}
+
+void SimulationEngine::finalize_trajectory_batch(TrajectoryBatch& b) {
+  // Last sub-run standing: every other accessor is gone, so the batch state
+  // is ours without the lock.
+  if (b.raw_pred_total > 0) adjust_load(b.spec, -b.raw_pred_total);
+
+  const std::size_t k = b.next_accum;
+  SimResult res = std::move(b.base);
+  if (b.failed) {
+    const double queued = res.queue_seconds;
+    const double fuse = res.fuse_seconds;
+    SimResult r = rejected(b.fail_error, b.fail_code);
+    r.fusion = res.fusion;
+    r.fused_cache_hit = res.fused_cache_hit;
+    res = std::move(r);
+    res.queue_seconds = queued;
+    res.fuse_seconds = fuse;
+    res.backend_used = b.spec;
+  } else {
+    res.ok = true;
+    res.code = SimErrorCode::kOk;
+    res.backend_used = b.spec;
+    res.attempts = 1;
+    res.trajectories_run = k;
+    res.run_seconds = b.run_timer.seconds();
+    if (b.observable_mode) {
+      res.expectation = b.val_sum / static_cast<double>(k);
+      res.expectation_stderr = stderr_of_mean(b.val_sum, b.val_sumsq, k);
+    } else {
+      res.distribution = std::move(b.dist);
+      for (double& v : res.distribution) v /= static_cast<double>(k);
+    }
+    res.counters["trajectory/requested"] = static_cast<double>(b.total);
+    res.counters["trajectory/executed"] = static_cast<double>(b.executed);
+    res.counters["trajectory/early_stopped"] = b.early_stopped ? 1.0 : 0.0;
+    if (planner_ && b.raw_pred_total > 0) {
+      // Feed the batch wall-clock back: calibration learns the effective
+      // per-trajectory rate including the fan-out speedup.
+      try {
+        planner_->observe(BackendSpec::parse(b.spec),
+                          b.req.circuit.num_qubits, 1, b.raw_pred_total,
+                          res.run_seconds);
+      } catch (const Error&) {
+      }
+    }
+    std::lock_guard lk(metrics_mu_);
+    trajectories_run_ += b.executed;
+    if (b.early_stopped) ++trajectory_early_stops_;
+    hist_trajectories_per_batch_.record(static_cast<double>(k));
+  }
+  span("trajectory", b.corr, b.run_start_us,
+       static_cast<std::uint64_t>(res.run_seconds * 1e6),
+       strfmt("%zu/%zu trajectories on %s%s", k, b.total, b.spec.c_str(),
+              b.early_stopped ? " (early stop)" : ""));
+
+  if (res.ok && b.flight && opt_.result_cache_capacity > 0 &&
+      approx_result_bytes(res) <= kMaxCachedResultBytes) {
+    std::lock_guard lk(results_mu_);
+    auto it = result_index_.find(b.key);
+    if (it != result_index_.end()) {
+      result_lru_.erase(it->second);
+      result_index_.erase(it);
+    }
+    result_lru_.emplace_front(b.key, CacheEntry{b.summary, res});
+    result_index_[b.key] = result_lru_.begin();
+    while (result_lru_.size() > opt_.result_cache_capacity) {
+      result_index_.erase(result_lru_.back().first);
+      result_lru_.pop_back();
+    }
+  }
+  if (b.flight) {
+    std::lock_guard lk(results_mu_);
+    b.flight->result = res;
+    b.flight->done = true;
+    in_flight_.erase(b.key);
+    results_cv_.notify_all();
+  }
+
+  res.request_id = b.corr;
+  res.total_seconds = b.queued.seconds();
+  std::string outcome;
+  if (!res.ok) {
+    outcome = to_string(res.code);
+  } else {
+    outcome = strfmt("ok on %s (trajectory x%zu)", b.spec.c_str(), k);
+  }
+  span("request", b.corr, b.submit_us,
+       static_cast<std::uint64_t>(res.total_seconds * 1e6), outcome);
+  record_done(res);
+  b.promise.set_value(std::move(res));
 }
 
 void SimulationEngine::record_done(const SimResult& res) {
@@ -714,6 +1217,11 @@ EngineMetrics SimulationEngine::metrics() const {
     m.faults_oom = faults_oom_;
     m.faults_backend = faults_backend_;
     m.faults_deadline = faults_deadline_;
+    m.expectation_requests = expectation_requests_;
+    m.trajectory_batches = trajectory_batches_;
+    m.trajectories_run = trajectories_run_;
+    m.trajectory_early_stops = trajectory_early_stops_;
+    m.trajectories_per_batch = hist_trajectories_per_batch_;
     std::vector<double> lat = latencies_ms_;
     std::sort(lat.begin(), lat.end());
     m.p50_ms = percentile(lat, 0.50);
@@ -823,6 +1331,19 @@ std::string EngineMetrics::to_prom_text() const {
                static_cast<double>(faults_backend));
   prom_counter(out, "qhip_engine_faults_deadline", "Deadline expiries",
                "counter", static_cast<double>(faults_deadline));
+  prom_counter(out, "qhip_engine_expectation_requests",
+               "Expectation-kind requests admitted", "counter",
+               static_cast<double>(expectation_requests));
+  prom_counter(out, "qhip_engine_trajectory_batches",
+               "Trajectory batches launched", "counter",
+               static_cast<double>(trajectory_batches));
+  prom_counter(out, "qhip_engine_trajectories_run",
+               "Individual trajectories executed (including any discarded "
+               "past an early stop)",
+               "counter", static_cast<double>(trajectories_run));
+  prom_counter(out, "qhip_engine_trajectory_early_stops",
+               "Trajectory batches stopped early by tolerance", "counter",
+               static_cast<double>(trajectory_early_stops));
   prom_counter(out, "qhip_engine_fused_cache_hit_rate",
                "Fused-circuit cache hit rate", "gauge",
                fused_cache.hit_rate());
@@ -895,6 +1416,11 @@ std::string EngineMetrics::to_prom_text() const {
   out += "# HELP qhip_engine_result_bytes Result payload bytes per request\n";
   out += "# TYPE qhip_engine_result_bytes histogram\n";
   prom_histogram(out, "qhip_engine_result_bytes", "", result_bytes);
+  out += "# HELP qhip_engine_trajectories_per_batch "
+         "Accumulated trajectories per served batch\n";
+  out += "# TYPE qhip_engine_trajectories_per_batch histogram\n";
+  prom_histogram(out, "qhip_engine_trajectories_per_batch", "",
+                 trajectories_per_batch);
   return out;
 }
 
@@ -915,6 +1441,14 @@ void SimulationEngine::export_metrics() const {
   t.set_counter("engine/faults_backend", static_cast<double>(m.faults_backend));
   t.set_counter("engine/faults_deadline",
                 static_cast<double>(m.faults_deadline));
+  t.set_counter("engine/expectation_requests",
+                static_cast<double>(m.expectation_requests));
+  t.set_counter("engine/trajectory_batches",
+                static_cast<double>(m.trajectory_batches));
+  t.set_counter("engine/trajectories_run",
+                static_cast<double>(m.trajectories_run));
+  t.set_counter("engine/trajectory_early_stops",
+                static_cast<double>(m.trajectory_early_stops));
   t.set_counter("engine/fused_cache_hit_rate", m.fused_cache.hit_rate());
   t.set_counter("engine/fused_cache_entries",
                 static_cast<double>(m.fused_cache.entries));
@@ -951,7 +1485,8 @@ void SimulationEngine::export_metrics() const {
       {"queue_ms", &m.queue_ms},       {"fuse_ms", &m.fuse_ms},
       {"execute_ms", &m.execute_ms},   {"sample_ms", &m.sample_ms},
       {"total_ms", &m.total_ms},       {"fused_gates", &m.fused_gates},
-      {"result_bytes", &m.result_bytes}};
+      {"result_bytes", &m.result_bytes},
+      {"trajectories_per_batch", &m.trajectories_per_batch}};
   for (const auto& [name, h] : hists) {
     for (std::size_t i = 0; i <= h->num_buckets(); ++i) {
       if (h->bucket_count(i) == 0) continue;

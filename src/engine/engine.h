@@ -55,6 +55,8 @@
 #include "src/engine/backend.h"
 #include "src/engine/circuit_cache.h"
 #include "src/engine/planner.h"
+#include "src/noise/trajectory.h"
+#include "src/obs/observable.h"
 #include "src/prof/histogram.h"
 #include "src/prof/trace.h"
 
@@ -72,6 +74,27 @@ enum class SimErrorCode {
 };
 
 const char* to_string(SimErrorCode code);
+
+// What the request asks the engine to compute (DESIGN.md §14).
+//
+//  kCircuit      — today's workloads: final state / samples / amplitudes.
+//  kExpectation  — <psi| O |psi> of SimRequest::observable over the ideal
+//                  final state; runs on any backend (hipsim::expectation on
+//                  device, the obs:: host path on cpu).
+//  kTrajectory   — quantum-trajectory noise simulation: num_trajectories
+//                  sub-runs under SimRequest::noise, fanned out across the
+//                  engine's workers and aggregated into a mean distribution
+//                  (or, with a non-empty observable, a mean ± stderr with
+//                  optional early stop). Noise runs on host state vectors,
+//                  so only cpu-class backends qualify; "auto" picks among
+//                  the noise-capable planner candidates.
+enum class RequestKind {
+  kCircuit = 0,
+  kExpectation,
+  kTrajectory,
+};
+
+const char* to_string(RequestKind kind);
 
 struct SimRequest {
   Circuit circuit;
@@ -93,6 +116,21 @@ struct SimRequest {
   // Forces a fresh simulation even when an identical request is cached.
   bool bypass_result_cache = false;
 
+  // Workload kind; the fields below it are only read for the kinds noted.
+  RequestKind kind = RequestKind::kCircuit;
+  // kExpectation: the observable to evaluate. kTrajectory: optional — empty
+  // means "return the mean distribution", non-empty means "return the
+  // trajectory mean ± stderr of this observable".
+  obs::Observable observable;
+  // kTrajectory only.
+  noise::NoiseModel noise;
+  std::size_t num_trajectories = 0;
+  // kTrajectory with an observable: stop early once the standard error of
+  // the running mean falls to or below this (0 = always run all N). The
+  // stopping decision is made on the ordered trajectory prefix, so it is
+  // deterministic regardless of worker scheduling.
+  double trajectory_tolerance = 0;
+
   // Deprecated aliases of fusion.max_fused_qubits / fusion.window_moments,
   // kept for one release so `req.max_fused = 3` keeps compiling (migration
   // note in DESIGN.md §13). They alias `fusion`, which is why the copy/move
@@ -107,14 +145,20 @@ struct SimRequest {
         fusion(o.fusion), seed(o.seed), num_samples(o.num_samples),
         amplitude_indices(o.amplitude_indices), want_state(o.want_state),
         timeout_seconds(o.timeout_seconds),
-        bypass_result_cache(o.bypass_result_cache) {}
+        bypass_result_cache(o.bypass_result_cache), kind(o.kind),
+        observable(o.observable), noise(o.noise),
+        num_trajectories(o.num_trajectories),
+        trajectory_tolerance(o.trajectory_tolerance) {}
   SimRequest(SimRequest&& o) noexcept
       : circuit(std::move(o.circuit)), backend(std::move(o.backend)),
         precision(o.precision), fusion(o.fusion), seed(o.seed),
         num_samples(o.num_samples),
         amplitude_indices(std::move(o.amplitude_indices)),
         want_state(o.want_state), timeout_seconds(o.timeout_seconds),
-        bypass_result_cache(o.bypass_result_cache) {}
+        bypass_result_cache(o.bypass_result_cache), kind(o.kind),
+        observable(std::move(o.observable)), noise(std::move(o.noise)),
+        num_trajectories(o.num_trajectories),
+        trajectory_tolerance(o.trajectory_tolerance) {}
   SimRequest& operator=(const SimRequest& o) {
     circuit = o.circuit;
     backend = o.backend;
@@ -126,6 +170,11 @@ struct SimRequest {
     want_state = o.want_state;
     timeout_seconds = o.timeout_seconds;
     bypass_result_cache = o.bypass_result_cache;
+    kind = o.kind;
+    observable = o.observable;
+    noise = o.noise;
+    num_trajectories = o.num_trajectories;
+    trajectory_tolerance = o.trajectory_tolerance;
     return *this;
   }
   SimRequest& operator=(SimRequest&& o) noexcept {
@@ -139,6 +188,11 @@ struct SimRequest {
     want_state = o.want_state;
     timeout_seconds = o.timeout_seconds;
     bypass_result_cache = o.bypass_result_cache;
+    kind = o.kind;
+    observable = std::move(o.observable);
+    noise = std::move(o.noise);
+    num_trajectories = o.num_trajectories;
+    trajectory_tolerance = o.trajectory_tolerance;
     return *this;
   }
 };
@@ -158,6 +212,17 @@ struct SimResult {
   std::vector<cplx64> amplitudes;
   std::vector<cplx64> state;
   std::map<std::string, double> counters;  // backend extras (slot_swaps, ...)
+
+  // kExpectation: <psi| O |psi> (exactly real for Hermitian O up to fp).
+  // kTrajectory with an observable: the trajectory mean of <O>, with
+  // expectation_stderr the standard error of that mean.
+  cplx64 expectation{};
+  double expectation_stderr = 0;
+  // kTrajectory: trajectories actually executed (< num_trajectories only
+  // when early stop triggered) and, without an observable, the mean output
+  // probability distribution over those trajectories (2^n entries).
+  std::size_t trajectories_run = 0;
+  std::vector<double> distribution;
 
   FusionStats fusion;
   bool fused_cache_hit = false;
@@ -208,6 +273,13 @@ struct EngineOptions {
   // {"cpu", "hip", "a100"}. Each entry must parse as a runnable spec —
   // the constructor throws qhip::Error otherwise.
   std::vector<std::string> planner_candidates;
+
+  // Threads per trajectory sub-run (each worker runs its sub-runs on its own
+  // pool of this size). The default of 1 makes a trajectory batch bit-
+  // identical to the serial run_trajectory reference loop — the fp reduction
+  // order inside apply_channel depends on the pool width; raise it to trade
+  // that identity for per-trajectory speed on big states.
+  unsigned trajectory_threads = 1;
 };
 
 struct EngineMetrics {
@@ -243,6 +315,17 @@ struct EngineMetrics {
   prof::Histogram total_ms = prof::latency_ms_histogram();
   prof::Histogram fused_gates = prof::count_histogram();
   prof::Histogram result_bytes = prof::bytes_histogram();
+
+  // Workload-kind counters (DESIGN.md §14): expectation requests admitted
+  // (cache hits included), trajectory batches launched, trajectories
+  // actually executed across all batches, and batches that stopped early on
+  // the stderr tolerance; trajectories_per_batch is the per-batch executed
+  // count distribution.
+  std::uint64_t expectation_requests = 0;
+  std::uint64_t trajectory_batches = 0;
+  std::uint64_t trajectories_run = 0;
+  std::uint64_t trajectory_early_stops = 0;
+  prof::Histogram trajectories_per_batch = prof::count_histogram();
 
   // Planner (backend = "auto") decision and calibration state; all zero /
   // empty when the planner is disabled (DESIGN.md §13).
@@ -305,6 +388,8 @@ class SimulationEngine {
  private:
   struct Job;
   struct BackendSlot;
+  // Shared state of one fanned-out trajectory batch (defined in engine.cpp).
+  struct TrajectoryBatch;
 
   // One in-flight simulation of a cacheable key. Waiters block on the
   // engine-wide results_cv_ until done, then read the owner's result —
@@ -335,6 +420,23 @@ class SimulationEngine {
   void span(const char* name, std::uint64_t corr, std::uint64_t ts_us,
             std::uint64_t dur_us, std::string detail = {}) const;
   BackendSlot& resolve_backend(const std::string& spec, Precision precision);
+  // Trajectory fan-out (DESIGN.md §14). launch_trajectory_batch prepares the
+  // circuit (normalized, cached), prices the batch as N x the per-trajectory
+  // roofline prediction, and enqueues min(N, num_workers) sub-jobs at the
+  // FRONT of the worker queue — the launching worker never blocks on them,
+  // so the fan-out cannot deadlock even with one worker. Each sub-job claims
+  // trajectory indices from the shared cursor and streams contributions into
+  // the ordered accumulator; the last sub-run to exit finalizes the batch
+  // (aggregation, metrics, result cache, flight publication, promise).
+  void launch_trajectory_batch(Job& job, std::uint64_t key,
+                               std::string summary,
+                               std::shared_ptr<Flight> flight,
+                               const std::string& spec, const Deadline& deadline,
+                               double queue_seconds);
+  void trajectory_sub_loop(const std::shared_ptr<TrajectoryBatch>& batch);
+  template <typename FP>
+  void run_trajectory_subs(TrajectoryBatch& batch);
+  void finalize_trajectory_batch(TrajectoryBatch& batch);
   // Load map: predicted seconds of work queued/running per backend spec —
   // what the planner's queued_seconds hook reads for load-aware placement.
   double queued_load(const std::string& spec) const;
@@ -395,6 +497,12 @@ class SimulationEngine {
   prof::Histogram hist_total_ms_ = prof::latency_ms_histogram();
   prof::Histogram hist_fused_gates_ = prof::count_histogram();
   prof::Histogram hist_result_bytes_ = prof::bytes_histogram();
+  // Workload-kind counters (guarded by metrics_mu_).
+  std::uint64_t expectation_requests_ = 0;
+  std::uint64_t trajectory_batches_ = 0;
+  std::uint64_t trajectories_run_ = 0;
+  std::uint64_t trajectory_early_stops_ = 0;
+  prof::Histogram hist_trajectories_per_batch_ = prof::count_histogram();
 };
 
 }  // namespace qhip::engine

@@ -8,10 +8,16 @@
 // state renormalized by 1/sqrt(p_i). Selection uses a Philox counter
 // stream keyed on (seed, trajectory), so trajectories are independent and
 // reproducible regardless of scheduling.
+//
+// Batch callers (the engine's trajectory fan-out, DESIGN.md §14) prepare
+// the circuit once with normalize_circuit and run many trajectories via
+// run_trajectory_prepared over a reused state buffer; the convenience
+// run_trajectory wrapper below is bit-identical to that path.
 #pragma once
 
 #include <cstdint>
 
+#include "src/base/deadline.h"
 #include "src/base/rng.h"
 #include "src/core/circuit.h"
 #include "src/noise/channels.h"
@@ -55,15 +61,32 @@ std::size_t apply_channel(const KrausChannel& channel, qubit_t q,
     }
   }
 
-  // Select.
-  std::size_t pick = nops - 1;
+  // Select on u * total rather than u: the Born weights are unnormalized
+  // (their sum drifts from 1 with the state's accumulated rounding, and is
+  // genuinely < 1 mid-drift even for exact CPTP channels), so comparing raw
+  // u against the cumulative sum biases late operators and — when the total
+  // lands below u — falls off the loop onto the last operator even if its
+  // weight is zero. `total` accumulates in the same ascending order as the
+  // selection scan, so the final cumulative sum equals it bit for bit and
+  // u < 1 can only escape the loop through floating-point rounding.
+  double total = 0;
+  for (std::size_t i = 0; i < nops; ++i) total += probs[i];
+  check(total > 1e-300, "apply_channel: state has vanishing norm");
+  const double target = u * total;
+  std::size_t pick = nops;
   double csum = 0;
   for (std::size_t i = 0; i < nops; ++i) {
     csum += probs[i];
-    if (u < csum) {
+    if (target < csum) {
       pick = i;
       break;
     }
+  }
+  if (pick == nops) {
+    // u * total rounded up to the full sum: take the last operator that has
+    // any weight (never a zero-probability branch).
+    pick = nops - 1;
+    while (pick > 0 && probs[pick] <= 1e-300) --pick;
   }
   check(probs[pick] > 1e-300, "apply_channel: selected zero-probability branch");
 
@@ -82,6 +105,43 @@ struct NoiseModel {
   KrausChannel channel;  // applied to each touched qubit after every gate
 };
 
+// Philox stream key for one trajectory. The key used to be
+// 0xffff0000 | trajectory, which only separates the low 16 bits: trajectory
+// 65536 OR-ed back onto trajectory 0's stream, silently duplicating
+// trajectories in large batches. Addition is injective over the full 64-bit
+// counter space and agrees with the old key for every trajectory < 65536
+// (the added bits cannot carry into 0xffff0000), so existing seeds
+// reproduce their results.
+inline constexpr std::uint64_t trajectory_stream_key(std::uint64_t trajectory) {
+  return 0xffff0000ull + trajectory;
+}
+
+// Runs one trajectory of an already-normalized circuit (normalize_circuit)
+// into `state` (reset to |0...0> here), drawing channel selections from the
+// Philox stream of (seed, trajectory). The deadline, when active, is
+// checked between gates — batch serving aborts cooperatively mid-run.
+// Sharing one prepared circuit across sub-runs is bit-identical to the
+// run_trajectory wrapper below.
+template <typename FP>
+void run_trajectory_prepared(const Circuit& prepared, const NoiseModel& model,
+                             std::uint64_t seed, std::uint64_t trajectory,
+                             StateVector<FP>& state,
+                             ThreadPool& pool = ThreadPool::shared(),
+                             const Deadline& deadline = {}) {
+  check(state.num_qubits() == prepared.num_qubits,
+        "run_trajectory: state/circuit qubit mismatch");
+  state.set_zero_state();
+  Philox rng(seed, trajectory_stream_key(trajectory));
+  for (const auto& gate : prepared.gates) {
+    check(!gate.is_measurement(), "run_trajectory: measurement unsupported");
+    deadline.check("run_trajectory");
+    apply_gate_inplace(gate, state, pool);
+    for (qubit_t q : gate.qubits) {
+      apply_channel(model.channel, q, state, rng.uniform(), pool);
+    }
+  }
+}
+
 // Runs one trajectory of `circuit` under `model`; trajectory index selects
 // the Philox stream.
 template <typename FP>
@@ -90,15 +150,8 @@ StateVector<FP> run_trajectory(const Circuit& circuit, const NoiseModel& model,
                                ThreadPool& pool = ThreadPool::shared()) {
   model.channel.validate();
   StateVector<FP> s(circuit.num_qubits);
-  Philox rng(seed, 0xffff0000ull | trajectory);
-  for (const auto& gate : circuit.gates) {
-    check(!gate.is_measurement(), "run_trajectory: measurement unsupported");
-    const Gate n = normalized(gate.controls.empty() ? gate : expand_controls(gate));
-    apply_gate_inplace(n, s, pool);
-    for (qubit_t q : n.qubits) {
-      apply_channel(model.channel, q, s, rng.uniform(), pool);
-    }
-  }
+  run_trajectory_prepared(normalize_circuit(circuit), model, seed, trajectory,
+                          s, pool);
   return s;
 }
 
@@ -111,10 +164,12 @@ std::vector<double> trajectory_distribution(const Circuit& circuit,
                                             std::uint64_t seed,
                                             ThreadPool& pool = ThreadPool::shared()) {
   check(num_trajectories > 0, "trajectory_distribution: need trajectories");
+  model.channel.validate();
+  const Circuit prepared = normalize_circuit(circuit);
   std::vector<double> dist(pow2(circuit.num_qubits), 0.0);
+  StateVector<FP> s(circuit.num_qubits);
   for (std::size_t t = 0; t < num_trajectories; ++t) {
-    const StateVector<FP> s =
-        run_trajectory<FP>(circuit, model, seed, t, pool);
+    run_trajectory_prepared<FP>(prepared, model, seed, t, s, pool);
     for (index_t i = 0; i < s.size(); ++i) {
       dist[i] += std::norm(cplx64(s[i].real(), s[i].imag()));
     }

@@ -72,8 +72,8 @@ PauliString parse_pauli_string(const std::string& text);
 
 // --- evaluation ---------------------------------------------------------------
 
-// <psi| P |psi> for one string (excluding its coefficient scale? No — the
-// coefficient is included).
+// <psi| P |psi> for one string; the string's coefficient is included in the
+// returned value.
 template <typename FP>
 cplx64 expectation(const PauliString& p, const StateVector<FP>& s,
                    ThreadPool& pool = ThreadPool::shared()) {

@@ -66,6 +66,11 @@ StateVector<FP> load_state(const std::string& path) {
   f.read(reinterpret_cast<char*>(s.data()),
          static_cast<std::streamsize>(count * sizeof(cplx<FP>)));
   check(f.good(), "load_state: truncated payload in '" + path + "'");
+  // The header fully determines the file size; anything after the payload
+  // means the length fields are lying (truncated-then-concatenated files,
+  // corrupt headers) — reject rather than load a silently wrong state.
+  f.peek();
+  check(f.eof(), "load_state: trailing bytes after payload in '" + path + "'");
   return s;
 }
 

@@ -88,6 +88,49 @@ TYPED_TEST(ExpectationHIPTyped, DeviceAllocationsBalanced) {
   EXPECT_EQ(dev.live_allocations(), 0u);
 }
 
+TYPED_TEST(ExpectationHIPTyped, RandomStatesMatchDenseOracle) {
+  // Three-way parity on random states: the device kernel and the host
+  // sparse path must both agree with <psi| M |psi> computed from the dense
+  // matrix of the observable — including Y-heavy strings, whose factors of
+  // +-i are where a sign slip in either fast path would show.
+  for (unsigned warp : {32u, 64u}) {
+    vgpu::Device dev{vgpu::test_device(warp)};
+    const unsigned n = 6;
+    SimulatorCPU<TypeParam> cpu;
+    StateVector<TypeParam> host(n);
+    SimulatorHIP<TypeParam> gpu(dev);
+    DeviceStateVector<TypeParam> ds(dev, n);
+    prepare(n, 11 + warp, cpu, host, gpu, ds);
+
+    Observable o;
+    o.strings.push_back(PauliString{
+        0.7, {{0, Pauli::kY}, {1, Pauli::kY}, {2, Pauli::kY}}});
+    o.strings.push_back(PauliString{cplx64(0.0, 0.4),
+                                    {{3, Pauli::kY}, {5, Pauli::kY}}});
+    o.strings.push_back(PauliString{-1.3, {{4, Pauli::kY}, {0, Pauli::kX}}});
+    o.strings.push_back(PauliString{0.9, {{2, Pauli::kZ}, {3, Pauli::kY}}});
+
+    const CMatrix m = obs::to_dense(o, n);
+    cplx64 oracle = 0;
+    for (index_t i = 0; i < host.size(); ++i) {
+      cplx64 row = 0;
+      for (index_t j = 0; j < host.size(); ++j) {
+        row += m.at(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) *
+               cplx64(host[j].real(), host[j].imag());
+      }
+      oracle += std::conj(cplx64(host[i].real(), host[i].imag())) * row;
+    }
+
+    const cplx64 host_fast = obs::expectation(o, host);
+    const cplx64 device = expectation(o, ds, dev);
+    const double tol = std::is_same_v<TypeParam, float> ? 2e-4 : 1e-10;
+    EXPECT_NEAR(host_fast.real(), oracle.real(), tol) << "warp " << warp;
+    EXPECT_NEAR(host_fast.imag(), oracle.imag(), tol) << "warp " << warp;
+    EXPECT_NEAR(device.real(), oracle.real(), tol) << "warp " << warp;
+    EXPECT_NEAR(device.imag(), oracle.imag(), tol) << "warp " << warp;
+  }
+}
+
 TEST(ExpectationHIP, ValidatesQubitRange) {
   vgpu::Device dev{vgpu::test_device(64)};
   SimulatorHIP<float> gpu(dev);

@@ -136,6 +136,81 @@ TEST(Trajectory, DistributionIsNormalized) {
   EXPECT_NEAR(total, 1.0, 1e-9);
 }
 
+TEST(ApplyChannel, SelectsOnNormalizedCumulative) {
+  // Regression: selection used to compare u in [0,1) against the raw
+  // cumulative Born weights. With Kraus weights summing to 0.5 (fp drift
+  // exaggerated), probs on |0> are {0.25, 0.25}: u = 0.4 must land in the
+  // first half of the (normalized) mass and pick op 0; the unnormalized
+  // comparison saw 0.4 > 0.25 and mis-picked op 1.
+  KrausChannel half;
+  half.name = "half_mass";
+  half.ops.push_back(CMatrix(2, {0.5, 0.0, 0.0, 0.5}));        // 0.5 * I
+  half.ops.push_back(CMatrix(2, {0.0, 0.5, 0.5, 0.0}));        // 0.5 * X
+  StateVector<double> s(1);  // |0>
+  EXPECT_EQ(apply_channel(half, 0, s, 0.4), 0u);
+  EXPECT_NEAR(std::abs(s[0]), 1.0, 1e-14);  // renormalized identity branch
+}
+
+TEST(ApplyChannel, DriftDoesNotThrowOnValidStates) {
+  // Regression: with total Born mass slightly under 1 (here 0.999 on |0>,
+  // since the damping operator annihilates |0>), u above the total used to
+  // fall through to the last operator — whose probability is exactly zero —
+  // and the vanishing-branch check threw on a perfectly valid state.
+  const double a = std::sqrt(0.999), g = std::sqrt(0.001);
+  KrausChannel damp;
+  damp.name = "lossy_damp";
+  damp.ops.push_back(CMatrix(2, {a, 0.0, 0.0, a}));            // sqrt(.999) I
+  damp.ops.push_back(CMatrix(2, {0.0, g, 0.0, 0.0}));          // |0><1| decay
+  StateVector<double> s(1);  // |0>: probs {0.999, 0}
+  std::size_t pick = 999;
+  EXPECT_NO_THROW(pick = apply_channel(damp, 0, s, 0.9995));
+  EXPECT_EQ(pick, 0u);
+  EXPECT_NEAR(statespace::norm2(s), 1.0, 1e-12);
+}
+
+TEST(Trajectory, StreamKeyAvoidsMaskCollision) {
+  // Regression: the Philox stream key was 0xffff0000 | trajectory, so
+  // trajectory 65536 (bit 16 set) OR-ed into the same stream as trajectory
+  // 0. The additive key keeps every index distinct...
+  EXPECT_NE(trajectory_stream_key(65536), trajectory_stream_key(0));
+  EXPECT_NE(trajectory_stream_key(65537), trajectory_stream_key(1));
+  // ...while agreeing with the old masked form below 65536, so existing
+  // seeds reproduce their recorded trajectories.
+  for (std::uint64_t t : {0ull, 1ull, 7ull, 65535ull}) {
+    EXPECT_EQ(trajectory_stream_key(t), 0xffff0000ull | t) << t;
+  }
+  // Behavioral form of the same bug: the two colliding indices produced
+  // bit-identical states.
+  Circuit c;
+  c.num_qubits = 2;
+  for (unsigned t = 0; t < 4; ++t) {
+    c.gates.push_back(gates::h(t, 0));
+    c.gates.push_back(gates::cnot(t, 0, 1));
+  }
+  const NoiseModel m{depolarizing(0.5)};
+  const auto t0 = run_trajectory<double>(c, m, 5, 0);
+  const auto t65536 = run_trajectory<double>(c, m, 5, 65536);
+  EXPECT_GT(statespace::max_abs_diff(t0, t65536), 1e-9);
+}
+
+TEST(Trajectory, PreparedRunMatchesReference) {
+  // The engine's batch path normalizes once and reuses a state buffer; both
+  // must be bit-identical to the convenience wrapper.
+  Circuit c;
+  c.num_qubits = 3;
+  c.gates.push_back(gates::h(0, 0));
+  c.gates.push_back(gates::cnot(1, 0, 1));
+  c.gates.push_back(gates::fs(2, 1, 2, 0.4, 0.2));
+  const NoiseModel m{depolarizing(0.3)};
+  const Circuit prepared = normalize_circuit(c);
+  StateVector<double> s(3);
+  for (std::uint64_t t = 0; t < 6; ++t) {
+    run_trajectory_prepared<double>(prepared, m, 9, t, s);
+    const auto ref = run_trajectory<double>(c, m, 9, t);
+    EXPECT_EQ(statespace::max_abs_diff(s, ref), 0.0) << t;
+  }
+}
+
 TEST(Trajectory, RejectsMeasurement) {
   Circuit c;
   c.num_qubits = 1;

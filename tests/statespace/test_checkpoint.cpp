@@ -91,5 +91,20 @@ TEST(Checkpoint, CorruptFilesDiagnosed) {
   EXPECT_THROW(load_state<float>("/nonexistent/ckpt.bin"), Error);
 }
 
+TEST(Checkpoint, RejectsTrailingBytes) {
+  // Regression: a checkpoint with extra bytes after the payload used to load
+  // silently — a truncated header count or a concatenated pair of files
+  // would read as the first state and hide the corruption.
+  const std::string path = testing::TempDir() + "/qhip_ckpt_trail.bin";
+  StateVector<float> s(5);
+  save_state(s, path);
+  EXPECT_NO_THROW(load_state<float>(path));
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f << "leftover";
+  }
+  EXPECT_THROW(load_state<float>(path), Error);
+}
+
 }  // namespace
 }  // namespace qhip::statespace
