@@ -1,0 +1,130 @@
+// qhip_serve: network serving front-end for the simulation engine.
+//
+// Listens on TCP, speaks the newline-delimited JSON wire protocol of
+// docs/SERVING.md (all three request kinds: circuit, expectation,
+// trajectory), and serves every request through one SimulationEngine —
+// result cache, coalescing, retry/fallback ladders and "auto" placement
+// included. "GET /metrics" on the same port answers a Prometheus text
+// scrape.
+//
+// SIGTERM/SIGINT drain gracefully: stop accepting, fail queued requests
+// with structured errors, finish in-flight work, flush every response,
+// exit 0. The serve smoke job in CI soaks this path with a mid-soak kill.
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+
+#include "src/engine/engine.h"
+#include "src/prof/trace.h"
+#include "src/serve/server.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: qhip_serve [-p <port>] [-H <host>] [-w <workers>] "
+      "[--max-qubits <n>] [--max-inflight <n>] [--read-timeout <s>] "
+      "[--fallback <spec>] [--trace <file>]\n"
+      "  -p 0 (default) binds an ephemeral port; the bound port is printed\n"
+      "  as \"PORT <n>\" on stdout so scripts can scrape it.\n");
+  return 1;
+}
+
+// Self-pipe: the handler only writes one byte; all shutdown work happens on
+// the main thread, where it is safe to take locks and join threads.
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char b = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &b, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qhip;
+
+  serve::ServerOptions sopt;
+  engine::EngineOptions eopt;
+  eopt.num_workers = 4;
+  std::string trace_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "qhip_serve: %s needs a value\n", a.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (a == "-p") sopt.port = static_cast<unsigned short>(std::atoi(next()));
+    else if (a == "-H") sopt.host = next();
+    else if (a == "-w") eopt.num_workers = static_cast<unsigned>(std::atoi(next()));
+    else if (a == "--max-qubits") eopt.max_qubits = static_cast<unsigned>(std::atoi(next()));
+    else if (a == "--max-inflight") sopt.max_inflight_per_conn = static_cast<std::size_t>(std::atol(next()));
+    else if (a == "--read-timeout") sopt.read_timeout_seconds = std::atof(next());
+    else if (a == "--fallback") eopt.fallback_backend = next();
+    else if (a == "--trace") trace_file = next();
+    else return usage();
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("qhip_serve: pipe");
+    return 1;
+  }
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  Tracer tracer;
+  if (!trace_file.empty()) {
+    eopt.tracer = &tracer;
+    sopt.tracer = &tracer;
+  }
+
+  try {
+    engine::SimulationEngine engine(eopt);
+    serve::Server server(engine, sopt);
+    std::printf("PORT %u\n", static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    std::fprintf(stderr, "qhip_serve: listening on %s:%u (%u workers)\n",
+                 sopt.host.c_str(), static_cast<unsigned>(server.port()),
+                 engine.options().num_workers);
+
+    // Park until a signal arrives, then drain.
+    char b;
+    while (::read(g_signal_pipe[0], &b, 1) < 0 && errno == EINTR) {
+    }
+    std::fprintf(stderr, "qhip_serve: draining...\n");
+    server.shutdown();
+
+    const auto st = server.stats();
+    const auto m = engine.metrics();
+    std::fprintf(stderr,
+                 "qhip_serve: drained. connections=%llu requests=%llu "
+                 "responses=%llu shed=%llu malformed=%llu engine_completed=%llu "
+                 "engine_rejected=%llu\n",
+                 static_cast<unsigned long long>(st.connections),
+                 static_cast<unsigned long long>(st.requests),
+                 static_cast<unsigned long long>(st.responses),
+                 static_cast<unsigned long long>(st.shed),
+                 static_cast<unsigned long long>(st.malformed),
+                 static_cast<unsigned long long>(m.completed),
+                 static_cast<unsigned long long>(m.rejected));
+    if (!trace_file.empty()) {
+      engine.export_metrics();
+      tracer.write_perfetto_json(trace_file);
+      std::fprintf(stderr, "qhip_serve: trace written to %s\n", trace_file.c_str());
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "qhip_serve: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Wire overhead of the qhip_serve front-end (docs/SERVING.md).
+//
+// Serves the same small-circuit workload two ways and reports per-request
+// latency and throughput:
+//
+//   direct   SimulationEngine::run() in-process (no socket, no JSON)
+//   socket   an in-process serve::Server + C client connections speaking
+//            the newline-delimited JSON wire protocol over loopback TCP
+//
+// The interesting number is the per-request overhead (socket - direct):
+// JSON encode/decode + loopback round trip. For serving-size circuits the
+// simulation dominates and the wire adds single-digit percent; the bench
+// prints the ratio so regressions in the codec or the connection loops are
+// visible. Also verifies socket results are bit-identical to direct ones
+// for the fixed seed (the wire's %.17g round trip).
+//
+// Usage: bench_serve [N-requests] [connections] [qubits] [depth]
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "src/base/timer.h"
+#include "src/core/gates.h"
+#include "src/engine/engine.h"
+#include "src/serve/client.h"
+#include "src/serve/server.h"
+
+using namespace qhip;
+
+namespace {
+
+Circuit make_circuit(unsigned qubits, unsigned depth) {
+  Circuit c;
+  c.num_qubits = qubits;
+  unsigned t = 0;
+  for (qubit_t q = 0; q < qubits; ++q) c.gates.push_back(gates::h(t, q));
+  for (unsigned d = 0; d < depth; ++d) {
+    ++t;
+    for (qubit_t q = 0; q < qubits; ++q) {
+      c.gates.push_back(gates::rz(t, q, 0.05 * static_cast<double>(d + 1)));
+    }
+    ++t;
+    for (qubit_t q = 0; q + 1 < qubits; q += 2) {
+      c.gates.push_back(gates::cnot(t, q, q + 1));
+    }
+  }
+  return c;
+}
+
+engine::SimRequest make_request(const Circuit& c, std::uint64_t seed) {
+  engine::SimRequest req;
+  req.circuit = c;
+  req.backend = "cpu";
+  req.seed = seed;
+  req.num_samples = 32;
+  req.bypass_result_cache = true;  // measure simulation + wire, not the LRU
+  return req;
+}
+
+double pct(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto ix = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  return v[ix];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t total = argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 200;
+  const unsigned conns = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 4;
+  const unsigned qubits = argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 12;
+  const unsigned depth = argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 4;
+  if (total == 0) total = 1;
+
+  const Circuit circuit = make_circuit(qubits, depth);
+
+  engine::EngineOptions eopt;
+  eopt.num_workers = 4;
+  engine::SimulationEngine eng(eopt);
+
+  // Direct leg.
+  std::vector<double> direct_ms;
+  direct_ms.reserve(total);
+  Timer direct_timer;
+  for (std::size_t i = 0; i < total; ++i) {
+    Timer t;
+    const auto res = eng.run(make_request(circuit, 1 + i));
+    direct_ms.push_back(t.seconds() * 1e3);
+    if (!res.ok) {
+      std::fprintf(stderr, "bench_serve: direct request failed: %s\n",
+                   res.error.c_str());
+      return 1;
+    }
+  }
+  const double direct_s = direct_timer.seconds();
+
+  // Socket leg, same engine (warm caches for both legs alike).
+  serve::Server server(eng, {});
+  const auto reference = eng.run(make_request(circuit, 1));
+  std::vector<double> socket_ms(total);
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::atomic<bool> mismatch{false};
+  Timer socket_timer;
+  std::vector<std::thread> threads;
+  for (unsigned cix = 0; cix < conns; ++cix) {
+    threads.emplace_back([&] {
+      serve::Client cl("127.0.0.1", server.port());
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= total) break;
+        Timer t;
+        const auto res = cl.call(make_request(circuit, 1 + i));
+        socket_ms[i] = t.seconds() * 1e3;
+        if (!res.ok) failed.store(true);
+        if (i == 0 && res.samples != reference.samples) mismatch.store(true);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double socket_s = socket_timer.seconds();
+  server.shutdown();
+
+  if (failed.load()) {
+    std::fprintf(stderr, "bench_serve: a socket request failed\n");
+    return 1;
+  }
+  if (mismatch.load()) {
+    std::fprintf(stderr,
+                 "bench_serve: FAIL socket samples differ from direct run\n");
+    return 1;
+  }
+
+  const double dmean = direct_s * 1e3 / static_cast<double>(total);
+  const double smean = socket_s * 1e3 / static_cast<double>(total);
+  std::printf("bench_serve: %zu requests, %u qubits depth %u, %u connections\n",
+              total, qubits, depth, conns);
+  std::printf("  direct: %8.3f ms/req  p50 %8.3f  p95 %8.3f  (%.1f req/s)\n",
+              dmean, pct(direct_ms, 0.50), pct(direct_ms, 0.95),
+              static_cast<double>(total) / direct_s);
+  std::printf("  socket: %8.3f ms/req  p50 %8.3f  p95 %8.3f  (%.1f req/s)\n",
+              smean, pct(socket_ms, 0.50), pct(socket_ms, 0.95),
+              static_cast<double>(total) / socket_s);
+  std::printf("  wire overhead: %.3f ms/req (%.1f%%), samples bit-identical\n",
+              smean - dmean, dmean > 0 ? 100.0 * (smean - dmean) / dmean : 0.0);
+  return 0;
+}

@@ -34,6 +34,7 @@ enum class ErrorCode {
   kOutOfMemory,       // hipMalloc-style allocation failure (real or injected)
   kBackendFault,      // device runtime error: failed stream op, kernel fault
   kDeadlineExceeded,  // cooperative deadline checkpoint fired mid-run
+  kMalformedInput,    // loader rejected a truncated / garbage payload
 };
 
 inline const char* to_string(ErrorCode c) {
@@ -41,6 +42,7 @@ inline const char* to_string(ErrorCode c) {
     case ErrorCode::kOutOfMemory: return "out-of-memory";
     case ErrorCode::kBackendFault: return "backend-fault";
     case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::kMalformedInput: return "malformed-input";
     case ErrorCode::kGeneric: break;
   }
   return "error";

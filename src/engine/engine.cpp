@@ -12,6 +12,7 @@
 #include "src/base/strings.h"
 #include "src/base/timer.h"
 #include "src/perfmodel/workload.h"
+#include "src/prof/prom.h"
 
 namespace qhip::engine {
 
@@ -83,6 +84,7 @@ SimErrorCode classify(ErrorCode code) {
     case ErrorCode::kOutOfMemory: return SimErrorCode::kOutOfMemory;
     case ErrorCode::kBackendFault: return SimErrorCode::kBackendFault;
     case ErrorCode::kDeadlineExceeded: return SimErrorCode::kDeadlineExceeded;
+    case ErrorCode::kMalformedInput: return SimErrorCode::kRejected;
     case ErrorCode::kGeneric: break;
   }
   return SimErrorCode::kInternal;
@@ -178,6 +180,9 @@ std::string canonical_request_summary(const SimRequest& req) {
 struct SimulationEngine::Job {
   SimRequest req;
   std::promise<SimResult> promise;
+  // Push-style completion (the serving front-end's seam). When set, the
+  // result is delivered through it instead of the promise.
+  CompletionFn on_done;
   Timer queued;  // started at submit
   std::uint64_t corr = 0;       // request id = trace correlation id
   std::uint64_t submit_us = 0;  // trace timestamp of submit (Timer clock)
@@ -209,6 +214,7 @@ struct SimulationEngine::TrajectoryBatch {
   Timer queued;     // copy of the job's submit timer (total_seconds)
   Timer run_timer;  // started at launch (run_seconds)
   std::promise<SimResult> promise;
+  CompletionFn on_done;  // taken over from the job, like the promise
   std::shared_ptr<Flight> flight;  // non-null iff the request is cacheable
   std::uint64_t key = 0;
   std::string summary;
@@ -260,35 +266,52 @@ SimulationEngine::SimulationEngine(EngineOptions opt)
   }
 }
 
-SimulationEngine::~SimulationEngine() {
-  std::list<Job> orphans;
+SimulationEngine::~SimulationEngine() { stop(); }
+
+void SimulationEngine::stop() {
+  // One caller drains; concurrent stop()/destructor callers block here and
+  // return once the drain is complete.
+  std::lock_guard stop_lk(stop_mu_);
+  std::list<Job> dropped;
   {
     std::lock_guard lk(queue_mu_);
     stop_ = true;
-    orphans.swap(queue_);
+    // Fail only *queued requests*. Trajectory sub-jobs stay: their batch was
+    // already dequeued and launched — it is in-flight from the client's
+    // point of view — and the workers drain sub-jobs before exiting. The
+    // old path (swap the whole queue, join, then finalize orphans) could
+    // deadlock: a coalesced waiter occupying a worker sleeps on the batch's
+    // flight, which only completed *after* the join it was blocking.
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (it->sub_batch) {
+        ++it;
+        continue;
+      }
+      const auto doomed = it++;
+      dropped.splice(dropped.end(), queue_, doomed);
+    }
   }
   queue_cv_.notify_all();
-  for (std::thread& t : workers_) t.join();
-  for (Job& job : orphans) {
-    if (job.sub_batch) {
-      // An orphaned trajectory sub-job: mark its batch failed and, as the
-      // last accounted sub, finalize so the batch promise is fulfilled.
-      TrajectoryBatch& b = *job.sub_batch;
-      bool last = false;
-      {
-        std::lock_guard lk(b.mu);
-        if (!b.failed) {
-          b.failed = true;
-          b.fail_code = SimErrorCode::kRejected;
-          b.fail_error = "engine stopped";
-        }
-        last = (--b.active_subs == 0);
-      }
-      if (last) finalize_trajectory_batch(b);
-      continue;
-    }
-    job.promise.set_value(rejected("engine stopped"));
+  for (Job& job : dropped) {
+    SimResult r = rejected("engine stopped: request drained from queue");
+    r.request_id = job.corr;
+    r.total_seconds = job.queued.seconds();
+    span("request", job.corr, job.submit_us,
+         static_cast<std::uint64_t>(r.total_seconds * 1e6), "drained");
+    record_done(r);
+    deliver(job, std::move(r));
   }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void SimulationEngine::deliver(Job& job, SimResult res) {
+  if (job.on_done) {
+    job.on_done(std::move(res));
+    return;
+  }
+  job.promise.set_value(std::move(res));
 }
 
 SimResult SimulationEngine::rejected(std::string why, SimErrorCode code) {
@@ -307,14 +330,11 @@ void SimulationEngine::span(const char* name, std::uint64_t corr,
                       0, corr, std::move(detail));
 }
 
-std::future<SimResult> SimulationEngine::submit(SimRequest req) {
-  Job job;
-  job.req = std::move(req);
+std::uint64_t SimulationEngine::submit_job(Job&& job) {
   job.corr = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   job.submit_us = Timer::now_micros();
   const std::uint64_t corr = job.corr;
   const std::uint64_t submit_us = job.submit_us;
-  std::future<SimResult> fut = job.promise.get_future();
   {
     std::lock_guard lk(metrics_mu_);
     ++submitted_;
@@ -339,11 +359,26 @@ std::future<SimResult> SimulationEngine::submit(SimRequest req) {
     SimResult r = rejected(std::move(why));
     r.request_id = corr;
     record_done(r);
-    job.promise.set_value(std::move(r));
+    deliver(job, std::move(r));
   } else {
     queue_cv_.notify_one();
   }
+  return corr;
+}
+
+std::future<SimResult> SimulationEngine::submit(SimRequest req) {
+  Job job;
+  job.req = std::move(req);
+  std::future<SimResult> fut = job.promise.get_future();
+  submit_job(std::move(job));
   return fut;
+}
+
+std::uint64_t SimulationEngine::submit(SimRequest req, CompletionFn on_done) {
+  Job job;
+  job.req = std::move(req);
+  job.on_done = std::move(on_done);
+  return submit_job(std::move(job));
 }
 
 SimResult SimulationEngine::run(SimRequest req) {
@@ -877,7 +912,7 @@ void SimulationEngine::process(Job& job) {
   span("request", job.corr, job.submit_us,
        static_cast<std::uint64_t>(res.total_seconds * 1e6), outcome);
   record_done(res);
-  job.promise.set_value(std::move(res));
+  deliver(job, std::move(res));
 }
 
 void SimulationEngine::launch_trajectory_batch(
@@ -936,6 +971,7 @@ void SimulationEngine::launch_trajectory_batch(
   batch->flight = std::move(flight);
   batch->base.queue_seconds = queue_seconds;
   batch->promise = std::move(job.promise);
+  batch->on_done = std::move(job.on_done);
   batch->req = std::move(job.req);
   if (!batch->observable_mode) {
     batch->dist.assign(pow2(batch->req.circuit.num_qubits), 0.0);
@@ -948,31 +984,23 @@ void SimulationEngine::launch_trajectory_batch(
   const unsigned fan = static_cast<unsigned>(
       std::min<std::size_t>(n_traj, opt_.num_workers));
   batch->active_subs = fan;
-  bool enqueued = false;
   {
     std::lock_guard lk(queue_mu_);
-    if (!stop_) {
-      for (unsigned i = 0; i < fan; ++i) {
-        Job sub;
-        sub.sub_batch = batch;
-        sub.corr = batch->corr;
-        // Sub-jobs jump the queue: the launching worker returns to the pool
-        // rather than blocking, and draining subs first keeps coalesced
-        // waiters (which occupy workers) from starving the batch they wait
-        // on — the fan-out cannot deadlock even with one worker.
-        queue_.push_front(std::move(sub));
-      }
-      enqueued = true;
+    // Enqueued even mid-drain (stop_ set): the batch is in-flight — its
+    // request was already dequeued — and the drain contract finishes
+    // in-flight work. The launching worker is alive (it is running this
+    // function), and the workers drain sub-jobs before exiting, so the subs
+    // always run even if every other worker has already returned.
+    for (unsigned i = 0; i < fan; ++i) {
+      Job sub;
+      sub.sub_batch = batch;
+      sub.corr = batch->corr;
+      // Sub-jobs jump the queue: the launching worker returns to the pool
+      // rather than blocking, and draining subs first keeps coalesced
+      // waiters (which occupy workers) from starving the batch they wait
+      // on — the fan-out cannot deadlock even with one worker.
+      queue_.push_front(std::move(sub));
     }
-  }
-  if (!enqueued) {
-    // Engine is shutting down: no subs will run; finalize the failure here.
-    batch->active_subs = 0;
-    batch->failed = true;
-    batch->fail_code = SimErrorCode::kRejected;
-    batch->fail_error = "engine stopped";
-    finalize_trajectory_batch(*batch);
-    return;
   }
   queue_cv_.notify_all();
 }
@@ -1168,7 +1196,11 @@ void SimulationEngine::finalize_trajectory_batch(TrajectoryBatch& b) {
   span("request", b.corr, b.submit_us,
        static_cast<std::uint64_t>(res.total_seconds * 1e6), outcome);
   record_done(res);
-  b.promise.set_value(std::move(res));
+  if (b.on_done) {
+    b.on_done(std::move(res));
+  } else {
+    b.promise.set_value(std::move(res));
+  }
 }
 
 void SimulationEngine::record_done(const SimResult& res) {
@@ -1381,7 +1413,8 @@ std::string EngineMetrics::to_prom_text() const {
     out += "# TYPE qhip_engine_planner_chosen counter\n";
     for (const auto& [spec, n] : planner_chosen) {
       out += strfmt("qhip_engine_planner_chosen{backend=\"%s\"} %llu\n",
-                    spec.c_str(), static_cast<unsigned long long>(n));
+                    prof::prom_escape_label(spec).c_str(),
+                    static_cast<unsigned long long>(n));
     }
   }
   if (!planner_calibration.empty()) {
@@ -1397,7 +1430,8 @@ std::string EngineMetrics::to_prom_text() const {
       out += strfmt(
           "qhip_engine_planner_calibration{backend=\"%s\",bucket=\"%s\"} "
           "%.9g\n",
-          spec.c_str(), bucket.c_str(), f);
+          prof::prom_escape_label(spec).c_str(),
+          prof::prom_escape_label(bucket).c_str(), f);
     }
   }
 

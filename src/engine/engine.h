@@ -42,6 +42,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <list>
 #include <map>
@@ -353,9 +354,14 @@ std::string canonical_request_summary(const SimRequest& req);
 
 class SimulationEngine {
  public:
+  // Completion callback for the push-style submit overload. Invoked exactly
+  // once per request — on a worker thread for executed requests, or inline
+  // on the submitting thread for synchronous rejections (queue full, engine
+  // stopped). It must not call back into the engine's blocking APIs.
+  using CompletionFn = std::function<void(SimResult)>;
+
   explicit SimulationEngine(EngineOptions opt = {});
-  // Stops accepting work, fails queued requests with "engine stopped", joins
-  // the workers, and tears down the backends.
+  // Equivalent to stop(): drains gracefully, then tears down the backends.
   ~SimulationEngine();
 
   SimulationEngine(const SimulationEngine&) = delete;
@@ -365,8 +371,23 @@ class SimulationEngine {
   // through the future as ok=false results.
   std::future<SimResult> submit(SimRequest req);
 
+  // Callback-style submit for serving front-ends that must not park a
+  // thread per pending request: `on_done` fires with the result instead of
+  // a future. Returns the assigned request id (== SimResult::request_id ==
+  // the trace correlation id).
+  std::uint64_t submit(SimRequest req, CompletionFn on_done);
+
   // Synchronous convenience: submit + wait.
   SimResult run(SimRequest req);
+
+  // Graceful drain: stops accepting new requests, fails everything still
+  // *queued* with a structured kRejected result, finishes everything
+  // in-flight (including trajectory batches whose sub-jobs are still
+  // fanning out), and joins the workers. Every accepted request is
+  // guaranteed exactly one completion — future or callback — before stop()
+  // returns. Idempotent and safe to race with concurrent submits (which
+  // reject once the drain begins); the destructor calls it.
+  void stop();
 
   // The options the engine actually runs with (post-validation: num_workers
   // is clamped to the promised minimum of 1).
@@ -406,6 +427,11 @@ class SimulationEngine {
   };
 
   void worker_loop();
+  // Admission (queue bound, stop flag) shared by both submit overloads;
+  // fulfils the job immediately on rejection.
+  std::uint64_t submit_job(Job&& job);
+  // Fulfils the job's promise or completion callback (exactly one is set).
+  static void deliver(Job& job, SimResult res);
   void process(Job& job);
   // One attempt ladder on `spec` with `fusion` (the request's own, or the
   // planner's choice): fuse (cached), admission-check against the backend's
@@ -469,6 +495,9 @@ class SimulationEngine {
   std::list<Job> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+  // Serializes stop()/destructor callers; whoever acquires it first drains
+  // and joins, later callers fall through once the drain is complete.
+  std::mutex stop_mu_;
 
   mutable std::mutex backends_mu_;
   std::map<std::string, std::unique_ptr<BackendSlot>> backends_;

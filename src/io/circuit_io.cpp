@@ -17,6 +17,12 @@ namespace {
 
 using Tokens = std::vector<std::string_view>;
 
+// Loader rejections carry kMalformedInput so the serving layer can tell a
+// bad payload (non-retryable, client's fault) from an engine-side fault.
+void check_input(bool cond, const std::string& msg) {
+  if (!cond) throw CodedError(ErrorCode::kMalformedInput, msg);
+}
+
 // Pops `n` qubit arguments from tok starting at *pos.
 std::vector<qubit_t> pop_qubits(const Tokens& tok, std::size_t* pos, std::size_t n,
                                 const std::string& ctx) {
@@ -203,7 +209,12 @@ Circuit read_circuit(std::istream& in, const std::string& source_name) {
     if (!controls.empty()) g = gates::controlled(std::move(g), std::move(controls));
     c.gates.push_back(std::move(g));
   }
-  check(have_header, source_name + ": empty circuit file");
+  // getline loops exit on either EOF (fine) or a stream-level read error
+  // (badbit): a short read from a truncated or failing file must not be
+  // silently accepted as a complete circuit.
+  check_input(!in.bad(),
+              source_name + ": I/O error mid-read (truncated input?)");
+  check_input(have_header, source_name + ": empty circuit file");
   c.validate();
   return c;
 }

@@ -220,6 +220,12 @@ struct Stmt {
   std::vector<qubit_t> qubits;
 };
 
+// Malformed-payload rejections carry kMalformedInput so callers (and the
+// serving layer) can classify them without string-matching what().
+void check_input(bool cond, const std::string& msg) {
+  if (!cond) throw CodedError(ErrorCode::kMalformedInput, msg);
+}
+
 class QasmReader {
  public:
   explicit QasmReader(const std::string& text) : text_(text) {}
@@ -230,14 +236,21 @@ class QasmReader {
     std::size_t lineno = 0;
     bool header_seen = false;
     while (std::getline(is, raw, ';')) {
+      // If getline hit end-of-text instead of a ';', this chunk is the tail
+      // after the last terminated statement. Anything non-blank there is a
+      // statement whose ';' got cut off — the signature of a truncated file.
+      const bool unterminated = is.eof();
       lineno += static_cast<std::size_t>(std::count(raw.begin(), raw.end(), '\n'));
       std::string stmt = strip_comments(raw);
       const std::string_view body = trim(stmt);
       if (body.empty()) continue;
       const std::string ctx = "<qasm>:" + std::to_string(lineno + 1);
+      check_input(!unterminated,
+                  ctx + ": unterminated statement '" + std::string(body) +
+                      "' (missing ';' — truncated input?)");
       if (starts_with(body, "OPENQASM")) {
-        check(body.find("2.0") != std::string_view::npos,
-              ctx + ": only OPENQASM 2.0 is supported");
+        check_input(trim(body.substr(8)) == "2.0",
+                    ctx + ": only OPENQASM 2.0 is supported");
         header_seen = true;
         continue;
       }
@@ -281,6 +294,8 @@ class QasmReader {
           ctx + ": malformed qreg");
     const auto name = trim(body.substr(5, lb - 5));
     check(!name.empty(), ctx + ": qreg needs a name");
+    check_input(trim(body.substr(rb + 1)).empty(),
+                ctx + ": trailing garbage after qreg declaration");
     reg_ = std::string(name);
     c_.num_qubits = static_cast<unsigned>(
         parse_uint(body.substr(lb + 1, rb - lb - 1), ctx));
@@ -288,8 +303,12 @@ class QasmReader {
 
   qubit_t parse_qubit(std::string_view tok, const std::string& ctx) const {
     const std::size_t lb = tok.find('['), rb = tok.find(']');
-    check(lb != std::string_view::npos && rb != std::string_view::npos,
+    check(lb != std::string_view::npos && rb != std::string_view::npos && rb > lb,
           ctx + ": expected q[i], got '" + std::string(tok) + "'");
+    // The operand token must END at the ']' — "q[0]junk" is not a qubit.
+    check_input(trim(tok.substr(rb + 1)).empty(),
+                ctx + ": trailing garbage after qubit operand '" +
+                    std::string(tok) + "'");
     check(std::string(trim(tok.substr(0, lb))) == reg_,
           ctx + ": unknown register in '" + std::string(tok) + "'");
     return static_cast<qubit_t>(parse_uint(tok.substr(lb + 1, rb - lb - 1), ctx));

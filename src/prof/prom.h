@@ -1,0 +1,51 @@
+// Helpers for the Prometheus text exposition format (version 0.0.4).
+//
+// Label values may contain any UTF-8, but the exposition format requires
+// backslash, double-quote and line-feed to be escaped as \\, \" and \n
+// inside the quoted value (https://prometheus.io/docs/instrumenting/
+// exposition_formats/). EngineMetrics::to_prom_text interpolates runtime
+// strings — backend specs, calibration keys — into label positions, so
+// every such value must pass through prom_escape_label or a hostile spec
+// ("hip\"} 1\n") would splice arbitrary samples into the scrape.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace qhip::prof {
+
+inline std::string prom_escape_label(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Inverse of prom_escape_label over a single label value (used by tests to
+// round-trip hostile strings; unknown escapes pass through unchanged).
+inline std::string prom_unescape_label(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] != '\\' || i + 1 >= v.size()) {
+      out.push_back(v[i]);
+      continue;
+    }
+    const char e = v[++i];
+    if (e == 'n') {
+      out.push_back('\n');
+    } else {
+      out.push_back(e);  // \\ and \" unescape to the character itself
+    }
+  }
+  return out;
+}
+
+}  // namespace qhip::prof

@@ -1,0 +1,112 @@
+#include "src/serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/base/error.h"
+#include "src/serve/wire.h"
+
+namespace qhip::serve {
+
+Client::Client(const std::string& host, unsigned short port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  check(fd_ >= 0, "client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("client: bad address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("client: cannot connect to " + host + ":" +
+                std::to_string(port) + ": " + why);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& o) noexcept : fd_(o.fd_), acc_(std::move(o.acc_)) {
+  o.fd_ = -1;
+}
+
+void Client::send_line(const std::string& line) {
+  std::string payload = line;
+  payload.push_back('\n');
+  const char* data = payload.data();
+  std::size_t len = payload.size();
+  while (len > 0) {
+    const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("client: send failed: ") + std::strerror(errno));
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+bool Client::recv_line(std::string* line) {
+  for (;;) {
+    const std::size_t nl = acc_.find('\n');
+    if (nl != std::string::npos) {
+      *line = acc_.substr(0, nl);
+      acc_.erase(0, nl + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("client: recv failed: ") + std::strerror(errno));
+    }
+    acc_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+engine::SimResult Client::call(const engine::SimRequest& req,
+                               const std::string& id) {
+  send_line(encode_request(req, id));
+  std::string line;
+  check(recv_line(&line), "client: server closed before responding");
+  return decode_result(line);
+}
+
+bool Client::ping() {
+  send_line("{\"op\":\"ping\"}");
+  std::string line;
+  if (!recv_line(&line)) return false;
+  const engine::SimResult res = decode_result(line);
+  return res.ok;
+}
+
+std::string Client::metrics() {
+  send_line("{\"op\":\"metrics\"}");
+  std::string line;
+  check(recv_line(&line), "client: server closed before metrics response");
+  std::string text;
+  decode_result(line, nullptr, &text);
+  return text;
+}
+
+void Client::finish_writes() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+}  // namespace qhip::serve

@@ -1,0 +1,80 @@
+// Minimal JSON for the qhip_serve wire protocol (docs/SERVING.md).
+//
+// Deliberately tiny — the wire format is newline-delimited JSON objects with
+// a known schema, so this is a strict recursive-descent parser plus a
+// writer, not a general DOM library. Two properties matter for serving:
+//
+//  * Numbers keep their RAW TOKEN alongside the parsed double. A 64-bit
+//    seed like 9007199254740993 does not fit a double exactly; storing the
+//    token lets wire.cpp re-parse it as uint64 losslessly.
+//  * Doubles are written with enough digits ("%.17g") that strtod returns
+//    the identical bit pattern — the serve tests assert END-TO-END
+//    bit-identity between socket results and direct engine results.
+//
+// Malformed input throws CodedError(kMalformedInput) with a byte offset, so
+// the server can reject a bad request line with a structured error instead
+// of dying or mis-parsing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/error.h"
+
+namespace qhip::serve {
+
+class JsonValue;
+using JsonPtr = std::shared_ptr<JsonValue>;
+
+enum class JsonType { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class JsonValue {
+ public:
+  JsonType type = JsonType::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string raw_number;  // exact token as it appeared on the wire
+  std::string str;
+  std::vector<JsonPtr> items;
+  // Object members in insertion order (the writer is deterministic, which
+  // keeps golden tests and on-wire diffs stable).
+  std::vector<std::pair<std::string, JsonPtr>> members;
+
+  // --- construction -----------------------------------------------------
+  static JsonPtr make_null();
+  static JsonPtr make_bool(bool b);
+  static JsonPtr make_number(double v);
+  static JsonPtr make_uint(std::uint64_t v);   // exact, via raw token
+  static JsonPtr make_string(std::string s);
+  static JsonPtr make_array();
+  static JsonPtr make_object();
+
+  // Object helpers (no-ops unless type matches).
+  void set(const std::string& key, JsonPtr v);
+  // Returns nullptr when absent (callers treat absent as default).
+  const JsonValue* find(const std::string& key) const;
+
+  // --- typed getters; throw CodedError(kMalformedInput) on mismatch ------
+  bool as_bool(const std::string& ctx) const;
+  double as_double(const std::string& ctx) const;
+  std::uint64_t as_uint(const std::string& ctx) const;  // re-parses raw token
+  const std::string& as_string(const std::string& ctx) const;
+  const std::vector<JsonPtr>& as_array(const std::string& ctx) const;
+
+  // Serializes without any whitespace (one request/response per line; the
+  // writer never emits '\n', which is the wire's message delimiter).
+  std::string dump() const;
+};
+
+// Parses exactly one JSON value spanning the whole input (trailing
+// non-whitespace is malformed). Throws CodedError(kMalformedInput).
+JsonPtr json_parse(const std::string& text);
+
+// "%.17g" — shortest form is overkill; 17 significant digits guarantee the
+// double -> text -> double round trip is exact for every finite value.
+std::string json_double(double v);
+
+}  // namespace qhip::serve

@@ -1,0 +1,405 @@
+#include "src/serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <utility>
+
+#include "src/base/error.h"
+#include "src/base/timer.h"
+#include "src/serve/wire.h"
+
+namespace qhip::serve {
+
+namespace {
+
+// Requests are one JSON line; anything beyond this is not a sane request
+// (the largest legitimate payloads — state vectors — flow server -> client).
+constexpr std::size_t kMaxRequestLine = 64u << 20;
+
+bool send_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer gone, send timeout, or socket shut down
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string http_response(const char* status, const std::string& body) {
+  std::string r = "HTTP/1.0 ";
+  r += status;
+  r += "\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: ";
+  r += std::to_string(body.size());
+  r += "\r\nConnection: close\r\n\r\n";
+  r += body;
+  return r;
+}
+
+}  // namespace
+
+// Per-connection state. The reader admits requests, the writer flushes the
+// outbox; completion callbacks (engine worker threads) only touch mu/outbox/
+// inflight, never the socket.
+struct Server::Conn {
+  int fd = -1;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::string> outbox;  // fully-formed response payloads
+  std::size_t inflight = 0;        // admitted simulate requests outstanding
+  bool read_done = false;  // reader exited: EOF, idle timeout, or drain
+  bool dead = false;       // write side failed; stop queueing, drop outbox
+  std::atomic<bool> reader_exited{false}, writer_exited{false};
+  std::thread reader, writer;
+};
+
+Server::Server(engine::SimulationEngine& eng, ServerOptions opt)
+    : engine_(eng), opt_(std::move(opt)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  check(listen_fd_ >= 0, "serve: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opt_.port);
+  if (::inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw Error("serve: bad listen address '" + opt_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    throw Error("serve: cannot listen on " + opt_.host + ":" +
+                std::to_string(opt_.port) + ": " + why);
+  }
+  socklen_t alen = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = ntohs(addr.sin_port);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() { shutdown(); }
+
+Server::Stats Server::stats() const {
+  std::lock_guard lk(stats_mu_);
+  return stats_;
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 200);
+    if (stopping_.load()) break;
+    // Reap finished connections so a long soak of short-lived clients does
+    // not accumulate fds and exited threads until shutdown.
+    {
+      std::lock_guard lk(conns_mu_);
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        auto& c = *it;
+        if (c->reader_exited.load() && c->writer_exited.load()) {
+          if (c->reader.joinable()) c->reader.join();
+          if (c->writer.joinable()) c->writer.join();
+          ::close(c->fd);
+          it = conns_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (pr <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // A writer stuck on a stalled peer must not wedge shutdown: bound each
+    // send, then declare the connection dead on timeout.
+    timeval tv{30, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    {
+      std::lock_guard lk(stats_mu_);
+      ++stats_.connections;
+    }
+    {
+      std::lock_guard lk(conns_mu_);
+      conns_.push_back(conn);
+    }
+    conn->reader = std::thread([this, conn] { reader_loop(conn); });
+    conn->writer = std::thread([this, conn] { writer_loop(conn); });
+  }
+}
+
+void Server::enqueue(const std::shared_ptr<Conn>& conn, std::string payload,
+                     bool count_response) {
+  {
+    std::lock_guard lk(conn->mu);
+    if (!conn->dead) conn->outbox.push_back(std::move(payload));
+  }
+  if (count_response) {
+    std::lock_guard lk(stats_mu_);
+    ++stats_.responses;
+  }
+  conn->cv.notify_all();
+}
+
+void Server::handle_line(const std::shared_ptr<Conn>& conn,
+                         const std::string& line) {
+  WireRequest wr;
+  try {
+    wr = decode_request(line);
+  } catch (const Error& e) {
+    {
+      std::lock_guard lk(stats_mu_);
+      ++stats_.malformed;
+    }
+    enqueue(conn, encode_error("malformed-input", e.what()) + "\n");
+    return;
+  }
+  if (wr.op == "ping") {
+    enqueue(conn, encode_pong(wr.id) + "\n");
+    return;
+  }
+  if (wr.op == "metrics") {
+    enqueue(conn, encode_metrics(engine_.metrics().to_prom_text(), wr.id) + "\n");
+    return;
+  }
+
+  // Admission: shed instead of queueing beyond the per-connection bound.
+  bool shed = false;
+  {
+    std::lock_guard lk(conn->mu);
+    if (conn->inflight >= opt_.max_inflight_per_conn) {
+      shed = true;
+    } else {
+      ++conn->inflight;
+    }
+  }
+  if (shed) {
+    {
+      std::lock_guard lk(stats_mu_);
+      ++stats_.shed;
+    }
+    enqueue(conn, encode_error("overloaded",
+                               "connection has " +
+                                   std::to_string(opt_.max_inflight_per_conn) +
+                                   " requests in flight",
+                               wr.id) +
+                      "\n");
+    return;
+  }
+  {
+    std::lock_guard lk(stats_mu_);
+    ++stats_.requests;
+  }
+  const std::uint64_t t0 = Timer::now_micros();
+  const std::string tag = wr.id;
+  // The callback may run on an engine worker or inline (synchronous
+  // rejection during drain); both paths only enqueue.
+  engine_.submit(std::move(wr.sim),
+                 [this, conn, tag, t0](engine::SimResult res) {
+                   if (opt_.tracer) {
+                     opt_.tracer->record(
+                         "serve", TraceKind::kSpan, t0,
+                         Timer::now_micros() - t0, span_lane(res.request_id),
+                         0, res.request_id,
+                         res.ok ? "served" : to_string(res.code));
+                   }
+                   std::string out = encode_result(res, tag) + "\n";
+                   {
+                     std::lock_guard lk(conn->mu);
+                     --conn->inflight;
+                   }
+                   enqueue(conn, std::move(out));
+                 });
+}
+
+void Server::reader_loop(const std::shared_ptr<Conn>& conn) {
+  std::string acc;
+  const std::size_t high_water = opt_.max_inflight_per_conn + 16;
+  char buf[64 * 1024];
+  bool http = false;
+  double idle_seconds = 0;
+
+  // Consumes every complete line in `acc`; returns false once the
+  // connection switched to one-shot HTTP mode (stop reading).
+  auto drain_lines = [&]() -> bool {
+    std::size_t start = 0;
+    for (std::size_t nl = acc.find('\n', start); nl != std::string::npos;
+         nl = acc.find('\n', start)) {
+      std::string line = acc.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (line.rfind("GET ", 0) == 0) {
+        // Plaintext scrape endpoint: answer the one request, then close
+        // (HTTP/1.0 semantics; remaining header bytes are discarded).
+        const bool metrics = line.compare(4, 9, "/metrics ") == 0 ||
+                             line.compare(4, 8, "/metrics") == 0;
+        enqueue(conn,
+                metrics
+                    ? http_response("200 OK", engine_.metrics().to_prom_text())
+                    : http_response("404 Not Found", "only /metrics here\n"));
+        acc.clear();
+        return false;
+      }
+      handle_line(conn, line);
+    }
+    acc.erase(0, start);
+    return true;
+  };
+
+  while (!http && !stopping_.load()) {
+    // Backpressure: stop consuming request bytes while the client is not
+    // draining its responses (bounds outbox memory; TCP throttles the peer).
+    {
+      std::unique_lock lk(conn->mu);
+      conn->cv.wait(lk, [&] {
+        return conn->outbox.size() <= high_water || conn->dead ||
+               stopping_.load();
+      });
+      if (conn->dead) break;
+    }
+    if (stopping_.load()) break;
+    // Short poll slices so drain requests are observed promptly and the
+    // idle read-deadline accumulates between them.
+    pollfd pfd{conn->fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 200);
+    if (pr == 0) {
+      idle_seconds += 0.2;
+      if (opt_.read_timeout_seconds > 0 &&
+          idle_seconds >= opt_.read_timeout_seconds) {
+        // Read deadline: drop connections idling with nothing outstanding.
+        std::lock_guard lk(conn->mu);
+        if (conn->inflight == 0 && conn->outbox.empty()) break;
+      }
+      continue;
+    }
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n == 0) break;  // EOF: client closed or half-closed its write side
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    idle_seconds = 0;
+    acc.append(buf, static_cast<std::size_t>(n));
+    if (acc.size() > kMaxRequestLine) {
+      enqueue(conn, encode_error("malformed-input", "request line too long") + "\n");
+      break;
+    }
+    http = !drain_lines();
+  }
+
+  if (stopping_.load() && !http && !conn->dead) {
+    // Drain grace: requests fully sent before the drain began may still sit
+    // in the socket buffer (or a hop away on localhost). Admit every
+    // complete line that arrives until the connection goes quiet — the
+    // engine's own drain then answers them (in-flight finishes, queued
+    // fails with a structured error). Only a *partial* trailing line goes
+    // unanswered, and its sender never finished sending it.
+    for (;;) {
+      pollfd pfd{conn->fd, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, 50);
+      if (pr <= 0) break;  // quiet for 50 ms (or error): done
+      const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      acc.append(buf, static_cast<std::size_t>(n));
+      if (acc.size() > kMaxRequestLine) break;
+      if (!drain_lines()) break;
+    }
+  }
+
+  {
+    std::lock_guard lk(conn->mu);
+    conn->read_done = true;
+  }
+  conn->cv.notify_all();
+  conn->reader_exited.store(true);
+}
+
+void Server::writer_loop(const std::shared_ptr<Conn>& conn) {
+  for (;;) {
+    std::string payload;
+    {
+      std::unique_lock lk(conn->mu);
+      conn->cv.wait(lk, [&] {
+        return !conn->outbox.empty() || conn->dead ||
+               (conn->read_done && conn->inflight == 0);
+      });
+      if (conn->dead) break;
+      if (conn->outbox.empty()) {
+        if (conn->read_done && conn->inflight == 0) break;  // fully drained
+        continue;
+      }
+      payload = std::move(conn->outbox.front());
+      conn->outbox.pop_front();
+    }
+    conn->cv.notify_all();  // reader may be parked on the high-water mark
+    if (!send_all(conn->fd, payload.data(), payload.size())) {
+      std::lock_guard lk(conn->mu);
+      conn->dead = true;
+      conn->outbox.clear();
+      // Wake a reader blocked in poll/recv so it observes the death.
+      ::shutdown(conn->fd, SHUT_RDWR);
+      break;
+    }
+  }
+  conn->cv.notify_all();
+  ::shutdown(conn->fd, SHUT_WR);
+  conn->writer_exited.store(true);
+}
+
+void Server::shutdown() {
+  std::lock_guard shut_lk(shutdown_mu_);
+  if (shut_down_) return;
+  shut_down_ = true;
+  stopping_.store(true);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  std::vector<std::shared_ptr<Conn>> conns;
+  {
+    std::lock_guard lk(conns_mu_);
+    conns = conns_;
+  }
+  // Stop readers first (each finishes its drain-grace pass and admits the
+  // requests already on the wire), then drain the engine: queued requests
+  // fail with structured results, in-flight requests finish, and every
+  // completion callback has returned when stop() does — so each
+  // connection's outbox holds every response it is owed.
+  for (const auto& c : conns) c->cv.notify_all();
+  for (const auto& c : conns) {
+    if (c->reader.joinable()) c->reader.join();
+  }
+  engine_.stop();
+  for (const auto& c : conns) {
+    c->cv.notify_all();
+    if (c->writer.joinable()) c->writer.join();
+    ::close(c->fd);
+  }
+  {
+    std::lock_guard lk(conns_mu_);
+    conns_.clear();
+  }
+}
+
+}  // namespace qhip::serve

@@ -1,0 +1,107 @@
+// qhip_serve's TCP front-end over SimulationEngine (docs/SERVING.md).
+//
+// One Server owns one engine reference and one listening socket. Each
+// accepted connection gets a reader thread (parse + admit) and a writer
+// thread (flush responses); completed requests are delivered through the
+// engine's callback-style submit, so no thread parks per pending request.
+//
+// Flow control (never buffer unboundedly):
+//  * Admission sheds: a connection may have at most max_inflight_per_conn
+//    simulate requests outstanding; beyond that the server answers
+//    immediately with code "overloaded" instead of queueing.
+//  * Write backpressure: the reader stops consuming request bytes while the
+//    connection's outbox is above its high-water mark, so a client that
+//    does not read responses is eventually throttled by TCP itself.
+//
+// Graceful drain: shutdown() stops accepting, drains the engine (queued
+// requests fail with structured kRejected results, in-flight requests
+// finish), flushes every connection's remaining responses, then closes.
+// Every admitted request is answered exactly once — the CI soak asserts
+// zero dropped in-flight responses across a mid-soak SIGTERM.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/prof/trace.h"
+
+namespace qhip::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  unsigned short port = 0;  // 0 = ephemeral; read the bound port via port()
+  // Outstanding simulate requests per connection before shedding with
+  // "overloaded" (the per-connection writer queue bound).
+  std::size_t max_inflight_per_conn = 64;
+  // Per-connection read deadline: an idle connection (no request bytes, no
+  // responses pending) is closed after this long. <= 0 disables.
+  double read_timeout_seconds = 300;
+  // Server-side request spans ("serve" lane) join the engine's request
+  // trees when this is the tracer the engine was built with.
+  Tracer* tracer = nullptr;
+};
+
+class Server {
+ public:
+  // Binds and starts accepting immediately; throws qhip::Error when the
+  // socket cannot be bound.
+  Server(engine::SimulationEngine& eng, ServerOptions opt = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // The bound TCP port (resolves option port 0).
+  unsigned short port() const { return port_; }
+
+  // Graceful drain; idempotent and safe to call from a signal-handling
+  // thread. Returns once every admitted request has been answered and
+  // flushed and all server threads are joined.
+  void shutdown();
+
+  struct Stats {
+    std::uint64_t connections = 0;  // accepted
+    std::uint64_t requests = 0;     // simulate requests admitted
+    std::uint64_t responses = 0;    // response lines queued for write
+    std::uint64_t shed = 0;         // simulate requests answered "overloaded"
+    std::uint64_t malformed = 0;    // request lines rejected at parse
+  };
+  Stats stats() const;
+
+ private:
+  struct Conn;
+
+  void accept_loop();
+  void reader_loop(const std::shared_ptr<Conn>& conn);
+  void writer_loop(const std::shared_ptr<Conn>& conn);
+  void handle_line(const std::shared_ptr<Conn>& conn, const std::string& line);
+  // Queues one response payload (raw bytes, '\n' already included for JSON
+  // lines) and wakes the writer.
+  void enqueue(const std::shared_ptr<Conn>& conn, std::string payload,
+               bool count_response = true);
+
+  engine::SimulationEngine& engine_;
+  ServerOptions opt_;
+  unsigned short port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+  // Serializes shutdown() callers (signal thread vs destructor).
+  std::mutex shutdown_mu_;
+  bool shut_down_ = false;
+};
+
+}  // namespace qhip::serve

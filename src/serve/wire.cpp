@@ -1,0 +1,438 @@
+#include "src/serve/wire.h"
+
+#include <utility>
+
+#include "src/io/circuit_io.h"
+#include "src/io/qasm.h"
+#include "src/noise/channels.h"
+
+namespace qhip::serve {
+
+namespace {
+
+using engine::RequestKind;
+using engine::SimErrorCode;
+using engine::SimRequest;
+using engine::SimResult;
+
+[[noreturn]] void malformed(const std::string& msg) {
+  throw CodedError(ErrorCode::kMalformedInput, "wire: " + msg);
+}
+
+// The loaders and the observable parser throw plain qhip::Error; on the wire
+// every parse failure is malformed input (already-coded errors — e.g. the
+// loaders' own truncation checks — pass through with their code intact).
+template <typename F>
+auto rewrap(const std::string& ctx, F&& f) -> decltype(f()) {
+  try {
+    return f();
+  } catch (const CodedError&) {
+    throw;
+  } catch (const Error& e) {
+    malformed(ctx + ": " + e.what());
+  }
+}
+
+// --- small field helpers ----------------------------------------------------
+
+JsonPtr cplx_array(const std::vector<cplx64>& v) {
+  JsonPtr arr = JsonValue::make_array();
+  arr->items.reserve(2 * v.size());
+  for (const cplx64& c : v) {
+    arr->items.push_back(JsonValue::make_number(c.real()));
+    arr->items.push_back(JsonValue::make_number(c.imag()));
+  }
+  return arr;
+}
+
+std::vector<cplx64> cplx_from(const JsonValue& v, const std::string& ctx) {
+  const auto& items = v.as_array(ctx);
+  if (items.size() % 2 != 0) malformed(ctx + ": odd interleaved re/im array");
+  std::vector<cplx64> out(items.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = {items[2 * i]->as_double(ctx), items[2 * i + 1]->as_double(ctx)};
+  }
+  return out;
+}
+
+JsonPtr uint_array(const std::vector<index_t>& v) {
+  JsonPtr arr = JsonValue::make_array();
+  arr->items.reserve(v.size());
+  for (index_t x : v) arr->items.push_back(JsonValue::make_uint(x));
+  return arr;
+}
+
+std::vector<index_t> uints_from(const JsonValue& v, const std::string& ctx) {
+  std::vector<index_t> out;
+  for (const auto& e : v.as_array(ctx)) {
+    out.push_back(static_cast<index_t>(e->as_uint(ctx)));
+  }
+  return out;
+}
+
+JsonPtr double_array(const std::vector<double>& v) {
+  JsonPtr arr = JsonValue::make_array();
+  arr->items.reserve(v.size());
+  for (double x : v) arr->items.push_back(JsonValue::make_number(x));
+  return arr;
+}
+
+std::vector<double> doubles_from(const JsonValue& v, const std::string& ctx) {
+  std::vector<double> out;
+  for (const auto& e : v.as_array(ctx)) out.push_back(e->as_double(ctx));
+  return out;
+}
+
+// --- observables ------------------------------------------------------------
+
+// Inverse of obs::parse_pauli_string for real-coefficient strings (the only
+// kind the parser produces). Complex coefficients are not representable in
+// the text grammar, so they are not representable on the wire either.
+std::string pauli_to_text(const obs::PauliString& p) {
+  if (p.coefficient.imag() != 0) {
+    malformed("observable coefficients must be real on the wire");
+  }
+  std::string s = json_double(p.coefficient.real());
+  if (!p.terms.empty()) s += " *";
+  for (const auto& t : p.terms) {
+    s += ' ';
+    s += t.op == obs::Pauli::kX ? 'X' : t.op == obs::Pauli::kY ? 'Y' : 'Z';
+    s += std::to_string(t.qubit);
+  }
+  return s;
+}
+
+// --- noise channels ---------------------------------------------------------
+
+// Full Kraus form: bit-exact and closed under every channel the noise
+// library can build. {"channel": name, "rate": r} is accepted on decode as
+// client-side sugar for the standard 1-qubit channels.
+JsonPtr noise_to_json(const noise::NoiseModel& m) {
+  JsonPtr obj = JsonValue::make_object();
+  obj->set("name", JsonValue::make_string(m.channel.name));
+  JsonPtr ops = JsonValue::make_array();
+  for (const CMatrix& k : m.channel.ops) {
+    JsonPtr op = JsonValue::make_object();
+    op->set("dim", JsonValue::make_uint(k.dim()));
+    op->set("values", cplx_array(k.data()));
+    ops->items.push_back(std::move(op));
+  }
+  obj->set("ops", std::move(ops));
+  return obj;
+}
+
+noise::KrausChannel named_channel(const std::string& name, double rate) {
+  if (name == "depolarizing") return noise::depolarizing(rate);
+  if (name == "bitflip") return noise::bit_flip(rate);
+  if (name == "phaseflip") return noise::phase_flip(rate);
+  if (name == "ampdamp") return noise::amplitude_damping(rate);
+  if (name == "phasedamp") return noise::phase_damping(rate);
+  malformed("unknown noise channel '" + name + "'");
+}
+
+noise::NoiseModel noise_from(const JsonValue& v) {
+  noise::NoiseModel m;
+  if (const JsonValue* ch = v.find("channel")) {
+    const JsonValue* rate = v.find("rate");
+    if (!rate) malformed("noise: named channel needs a \"rate\"");
+    m.channel = rewrap("noise", [&] {
+      return named_channel(ch->as_string("noise.channel"),
+                           rate->as_double("noise.rate"));
+    });
+    return m;
+  }
+  const JsonValue* ops = v.find("ops");
+  if (!ops) malformed("noise: need \"ops\" or \"channel\"+\"rate\"");
+  if (const JsonValue* name = v.find("name")) {
+    m.channel.name = name->as_string("noise.name");
+  }
+  for (const auto& op : ops->as_array("noise.ops")) {
+    const JsonValue* dim = op->find("dim");
+    const JsonValue* values = op->find("values");
+    if (!dim || !values) malformed("noise.ops: each op needs dim + values");
+    const auto d = static_cast<unsigned>(dim->as_uint("noise.ops.dim"));
+    std::vector<cplx64> m2 = cplx_from(*values, "noise.ops.values");
+    if (m2.size() != static_cast<std::size_t>(d) * d) {
+      malformed("noise.ops: values size does not match dim");
+    }
+    m.channel.ops.emplace_back(d, std::move(m2));
+  }
+  return m;
+}
+
+// --- enums ------------------------------------------------------------------
+
+RequestKind kind_from(const std::string& s) {
+  if (s == "circuit") return RequestKind::kCircuit;
+  if (s == "expectation") return RequestKind::kExpectation;
+  if (s == "trajectory") return RequestKind::kTrajectory;
+  malformed("unknown request kind '" + s + "'");
+}
+
+SimErrorCode code_from(const std::string& s) {
+  if (s == "ok") return SimErrorCode::kOk;
+  if (s == "rejected") return SimErrorCode::kRejected;
+  if (s == "out-of-memory") return SimErrorCode::kOutOfMemory;
+  if (s == "backend-fault") return SimErrorCode::kBackendFault;
+  if (s == "deadline-exceeded") return SimErrorCode::kDeadlineExceeded;
+  if (s == "internal") return SimErrorCode::kInternal;
+  // Wire-level shed codes ("overloaded", "malformed-input") and anything a
+  // newer server may add decode as structured rejections.
+  return SimErrorCode::kRejected;
+}
+
+}  // namespace
+
+std::string encode_request(const SimRequest& req, const std::string& id) {
+  JsonPtr o = JsonValue::make_object();
+  o->set("op", JsonValue::make_string("simulate"));
+  if (!id.empty()) o->set("id", JsonValue::make_string(id));
+  o->set("kind", JsonValue::make_string(engine::to_string(req.kind)));
+  o->set("format", JsonValue::make_string("qhip"));
+  o->set("circuit", JsonValue::make_string(write_circuit_string(req.circuit)));
+  o->set("backend", JsonValue::make_string(req.backend));
+  o->set("precision", JsonValue::make_string(to_string(req.precision)));
+  o->set("max_fused_qubits", JsonValue::make_uint(req.fusion.max_fused_qubits));
+  o->set("window_moments", JsonValue::make_uint(req.fusion.window_moments));
+  o->set("seed", JsonValue::make_uint(req.seed));
+  if (req.num_samples) o->set("num_samples", JsonValue::make_uint(req.num_samples));
+  if (!req.amplitude_indices.empty()) {
+    o->set("amplitude_indices", uint_array(req.amplitude_indices));
+  }
+  if (req.want_state) o->set("want_state", JsonValue::make_bool(true));
+  if (req.timeout_seconds > 0) {
+    o->set("timeout_seconds", JsonValue::make_number(req.timeout_seconds));
+  }
+  if (req.bypass_result_cache) {
+    o->set("bypass_result_cache", JsonValue::make_bool(true));
+  }
+  if (!req.observable.strings.empty()) {
+    JsonPtr obs = JsonValue::make_array();
+    for (const auto& p : req.observable.strings) {
+      obs->items.push_back(JsonValue::make_string(pauli_to_text(p)));
+    }
+    o->set("observable", std::move(obs));
+  }
+  if (req.kind == RequestKind::kTrajectory) {
+    o->set("noise", noise_to_json(req.noise));
+    o->set("num_trajectories", JsonValue::make_uint(req.num_trajectories));
+    if (req.trajectory_tolerance > 0) {
+      o->set("trajectory_tolerance",
+             JsonValue::make_number(req.trajectory_tolerance));
+    }
+  }
+  return o->dump();
+}
+
+WireRequest decode_request(const std::string& line) {
+  JsonPtr root = json_parse(line);
+  if (root->type != JsonType::kObject) malformed("request must be an object");
+  WireRequest out;
+  if (const JsonValue* id = root->find("id")) out.id = id->as_string("id");
+  if (const JsonValue* op = root->find("op")) out.op = op->as_string("op");
+  if (out.op == "ping" || out.op == "metrics") return out;
+  if (out.op != "simulate") malformed("unknown op '" + out.op + "'");
+
+  SimRequest& q = out.sim;
+  const JsonValue* circuit = root->find("circuit");
+  if (!circuit) malformed("simulate request needs a \"circuit\"");
+  std::string format = "qhip";
+  if (const JsonValue* f = root->find("format")) format = f->as_string("format");
+  if (format == "qhip") {
+    q.circuit = rewrap("circuit", [&] {
+      return read_circuit_string(circuit->as_string("circuit"));
+    });
+  } else if (format == "qasm") {
+    q.circuit =
+        rewrap("circuit", [&] { return read_qasm(circuit->as_string("circuit")); });
+  } else {
+    malformed("unknown circuit format '" + format + "'");
+  }
+
+  if (const JsonValue* v = root->find("kind")) q.kind = kind_from(v->as_string("kind"));
+  if (const JsonValue* v = root->find("backend")) q.backend = v->as_string("backend");
+  if (const JsonValue* v = root->find("precision")) {
+    const std::string& p = v->as_string("precision");
+    if (p == "single") q.precision = Precision::kSingle;
+    else if (p == "double") q.precision = Precision::kDouble;
+    else malformed("unknown precision '" + p + "'");
+  }
+  if (const JsonValue* v = root->find("max_fused_qubits")) {
+    q.fusion.max_fused_qubits = static_cast<unsigned>(v->as_uint("max_fused_qubits"));
+  }
+  if (const JsonValue* v = root->find("window_moments")) {
+    q.fusion.window_moments = static_cast<unsigned>(v->as_uint("window_moments"));
+  }
+  if (const JsonValue* v = root->find("seed")) q.seed = v->as_uint("seed");
+  if (const JsonValue* v = root->find("num_samples")) {
+    q.num_samples = static_cast<std::size_t>(v->as_uint("num_samples"));
+  }
+  if (const JsonValue* v = root->find("amplitude_indices")) {
+    q.amplitude_indices = uints_from(*v, "amplitude_indices");
+  }
+  if (const JsonValue* v = root->find("want_state")) q.want_state = v->as_bool("want_state");
+  if (const JsonValue* v = root->find("timeout_seconds")) {
+    q.timeout_seconds = v->as_double("timeout_seconds");
+  }
+  if (const JsonValue* v = root->find("bypass_result_cache")) {
+    q.bypass_result_cache = v->as_bool("bypass_result_cache");
+  }
+  if (const JsonValue* v = root->find("observable")) {
+    for (const auto& s : v->as_array("observable")) {
+      q.observable.strings.push_back(rewrap("observable", [&] {
+        return obs::parse_pauli_string(s->as_string("observable"));
+      }));
+    }
+  }
+  if (const JsonValue* v = root->find("noise")) q.noise = noise_from(*v);
+  if (const JsonValue* v = root->find("num_trajectories")) {
+    q.num_trajectories = static_cast<std::size_t>(v->as_uint("num_trajectories"));
+  }
+  if (const JsonValue* v = root->find("trajectory_tolerance")) {
+    q.trajectory_tolerance = v->as_double("trajectory_tolerance");
+  }
+  return out;
+}
+
+std::string encode_result(const SimResult& res, const std::string& id) {
+  JsonPtr o = JsonValue::make_object();
+  if (!id.empty()) o->set("id", JsonValue::make_string(id));
+  o->set("ok", JsonValue::make_bool(res.ok));
+  o->set("code", JsonValue::make_string(engine::to_string(res.code)));
+  if (!res.error.empty()) o->set("error", JsonValue::make_string(res.error));
+  o->set("request_id", JsonValue::make_uint(res.request_id));
+  if (!res.measurements.empty()) o->set("measurements", uint_array(res.measurements));
+  if (!res.samples.empty()) o->set("samples", uint_array(res.samples));
+  if (!res.amplitudes.empty()) o->set("amplitudes", cplx_array(res.amplitudes));
+  if (!res.state.empty()) o->set("state", cplx_array(res.state));
+  if (!res.counters.empty()) {
+    JsonPtr c = JsonValue::make_object();
+    for (const auto& [k, v] : res.counters) c->set(k, JsonValue::make_number(v));
+    o->set("counters", std::move(c));
+  }
+  if (res.expectation != cplx64{} || res.expectation_stderr != 0) {
+    JsonPtr e = JsonValue::make_array();
+    e->items.push_back(JsonValue::make_number(res.expectation.real()));
+    e->items.push_back(JsonValue::make_number(res.expectation.imag()));
+    o->set("expectation", std::move(e));
+    o->set("expectation_stderr", JsonValue::make_number(res.expectation_stderr));
+  }
+  if (res.trajectories_run) {
+    o->set("trajectories_run", JsonValue::make_uint(res.trajectories_run));
+  }
+  if (!res.distribution.empty()) {
+    o->set("distribution", double_array(res.distribution));
+  }
+  o->set("fused_cache_hit", JsonValue::make_bool(res.fused_cache_hit));
+  o->set("result_cache_hit", JsonValue::make_bool(res.result_cache_hit));
+  o->set("backend_used", JsonValue::make_string(res.backend_used));
+  o->set("attempts", JsonValue::make_uint(res.attempts));
+  o->set("fallback_used", JsonValue::make_bool(res.fallback_used));
+  o->set("fuse_seconds", JsonValue::make_number(res.fuse_seconds));
+  o->set("queue_seconds", JsonValue::make_number(res.queue_seconds));
+  o->set("run_seconds", JsonValue::make_number(res.run_seconds));
+  o->set("sample_seconds", JsonValue::make_number(res.sample_seconds));
+  o->set("total_seconds", JsonValue::make_number(res.total_seconds));
+  return o->dump();
+}
+
+std::string encode_error(const std::string& code, const std::string& error,
+                         const std::string& id) {
+  JsonPtr o = JsonValue::make_object();
+  if (!id.empty()) o->set("id", JsonValue::make_string(id));
+  o->set("ok", JsonValue::make_bool(false));
+  o->set("code", JsonValue::make_string(code));
+  o->set("error", JsonValue::make_string(error));
+  return o->dump();
+}
+
+std::string encode_pong(const std::string& id) {
+  JsonPtr o = JsonValue::make_object();
+  if (!id.empty()) o->set("id", JsonValue::make_string(id));
+  o->set("ok", JsonValue::make_bool(true));
+  o->set("code", JsonValue::make_string("ok"));
+  o->set("pong", JsonValue::make_bool(true));
+  return o->dump();
+}
+
+std::string encode_metrics(const std::string& prom_text, const std::string& id) {
+  JsonPtr o = JsonValue::make_object();
+  if (!id.empty()) o->set("id", JsonValue::make_string(id));
+  o->set("ok", JsonValue::make_bool(true));
+  o->set("code", JsonValue::make_string("ok"));
+  o->set("text", JsonValue::make_string(prom_text));
+  return o->dump();
+}
+
+SimResult decode_result(const std::string& line, std::string* id_out,
+                        std::string* text_out) {
+  JsonPtr root = json_parse(line);
+  if (root->type != JsonType::kObject) malformed("response must be an object");
+  SimResult res;
+  if (id_out) {
+    id_out->clear();
+    if (const JsonValue* id = root->find("id")) *id_out = id->as_string("id");
+  }
+  if (text_out) {
+    text_out->clear();
+    if (const JsonValue* t = root->find("text")) *text_out = t->as_string("text");
+  }
+  if (const JsonValue* v = root->find("ok")) res.ok = v->as_bool("ok");
+  if (const JsonValue* v = root->find("code")) {
+    res.code = code_from(v->as_string("code"));
+  }
+  if (const JsonValue* v = root->find("error")) res.error = v->as_string("error");
+  if (const JsonValue* v = root->find("request_id")) {
+    res.request_id = v->as_uint("request_id");
+  }
+  if (const JsonValue* v = root->find("measurements")) {
+    res.measurements = uints_from(*v, "measurements");
+  }
+  if (const JsonValue* v = root->find("samples")) res.samples = uints_from(*v, "samples");
+  if (const JsonValue* v = root->find("amplitudes")) {
+    res.amplitudes = cplx_from(*v, "amplitudes");
+  }
+  if (const JsonValue* v = root->find("state")) res.state = cplx_from(*v, "state");
+  if (const JsonValue* v = root->find("counters")) {
+    for (const auto& [k, e] : v->members) {
+      res.counters[k] = e->as_double("counters." + k);
+    }
+  }
+  if (const JsonValue* v = root->find("expectation")) {
+    const auto pair = cplx_from(*v, "expectation");
+    if (pair.size() != 1) malformed("expectation must be one [re, im] pair");
+    res.expectation = pair[0];
+  }
+  if (const JsonValue* v = root->find("expectation_stderr")) {
+    res.expectation_stderr = v->as_double("expectation_stderr");
+  }
+  if (const JsonValue* v = root->find("trajectories_run")) {
+    res.trajectories_run = static_cast<std::size_t>(v->as_uint("trajectories_run"));
+  }
+  if (const JsonValue* v = root->find("distribution")) {
+    res.distribution = doubles_from(*v, "distribution");
+  }
+  if (const JsonValue* v = root->find("fused_cache_hit")) {
+    res.fused_cache_hit = v->as_bool("fused_cache_hit");
+  }
+  if (const JsonValue* v = root->find("result_cache_hit")) {
+    res.result_cache_hit = v->as_bool("result_cache_hit");
+  }
+  if (const JsonValue* v = root->find("backend_used")) {
+    res.backend_used = v->as_string("backend_used");
+  }
+  if (const JsonValue* v = root->find("attempts")) {
+    res.attempts = static_cast<unsigned>(v->as_uint("attempts"));
+  }
+  if (const JsonValue* v = root->find("fallback_used")) {
+    res.fallback_used = v->as_bool("fallback_used");
+  }
+  if (const JsonValue* v = root->find("fuse_seconds")) res.fuse_seconds = v->as_double("fuse_seconds");
+  if (const JsonValue* v = root->find("queue_seconds")) res.queue_seconds = v->as_double("queue_seconds");
+  if (const JsonValue* v = root->find("run_seconds")) res.run_seconds = v->as_double("run_seconds");
+  if (const JsonValue* v = root->find("sample_seconds")) res.sample_seconds = v->as_double("sample_seconds");
+  if (const JsonValue* v = root->find("total_seconds")) res.total_seconds = v->as_double("total_seconds");
+  return res;
+}
+
+}  // namespace qhip::serve

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <istream>
+#include <stdexcept>
+#include <string>
+
 #include "src/base/error.h"
 #include "src/core/gates.h"
 
@@ -128,6 +132,52 @@ TEST(CircuitIO, FileRoundTrip) {
 
 TEST(CircuitIO, MissingFileThrows) {
   EXPECT_THROW(read_circuit_file("/nonexistent/q30"), Error);
+}
+
+// --- malformed / truncated input is a structured rejection -------------------
+// The serving layer maps CodedError(kMalformedInput) to a structured
+// kRejected result instead of a retry ladder, so the loaders must use it for
+// anything that smells like a truncated or garbage payload.
+
+TEST(CircuitIO, EmptyInputIsCodedMalformed) {
+  for (const char* s : {"", "\n\n", "# only a comment\n"}) {
+    try {
+      read_circuit_string(s);
+      FAIL() << "expected throw for: '" << s << "'";
+    } catch (const CodedError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kMalformedInput) << s;
+      EXPECT_NE(std::string(e.what()).find("empty"), std::string::npos);
+    }
+  }
+}
+
+// A streambuf that serves a prefix, then fails hard — what a torn-off NFS
+// read or a closed pipe looks like mid-parse. The loader must surface a
+// coded truncation error, not silently return the prefix as a circuit.
+class TruncatingBuf : public std::streambuf {
+ public:
+  explicit TruncatingBuf(std::string prefix) : prefix_(std::move(prefix)) {
+    setg(prefix_.data(), prefix_.data(), prefix_.data() + prefix_.size());
+  }
+
+ protected:
+  int_type underflow() override { throw std::runtime_error("I/O torn"); }
+
+ private:
+  std::string prefix_;
+};
+
+TEST(CircuitIO, MidReadFailureIsCodedTruncation) {
+  TruncatingBuf buf("3\n0 h 0\n0 h 1\n");
+  std::istream in(&buf);  // exceptions disabled: failure surfaces as badbit
+  try {
+    read_circuit(in, "torn.txt");
+    FAIL() << "expected throw";
+  } catch (const CodedError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kMalformedInput);
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("torn.txt"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -172,6 +172,46 @@ TEST(Qasm, ImportRejectsMalformed) {
   EXPECT_THROW(read_qasm("OPENQASM 3.0;\nqreg q[1];\n"), Error);
 }
 
+// --- truncated / trailing-garbage input is a structured rejection ------------
+// Same contract as the qhip loader: anything that looks like a torn-off or
+// tampered payload throws CodedError(kMalformedInput), which the serving
+// layer turns into a structured kRejected instead of a retry.
+
+void expect_coded_malformed(const std::string& qasm, const char* fragment) {
+  try {
+    read_qasm(qasm);
+    FAIL() << "expected throw for: " << qasm;
+  } catch (const CodedError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kMalformedInput) << qasm;
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Qasm, UnterminatedFinalStatementIsCodedTruncation) {
+  // The file ends mid-statement — a classic truncated upload.
+  expect_coded_malformed(
+      "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0]",
+      "unterminated");
+  expect_coded_malformed("OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1]",
+                         "unterminated");
+}
+
+TEST(Qasm, WrongVersionHeaderIsCodedMalformed) {
+  expect_coded_malformed("OPENQASM 2.1;\nqreg q[1];\n", "2.0");
+  expect_coded_malformed("OPENQASM;\nqreg q[1];\n", "2.0");
+}
+
+TEST(Qasm, TrailingGarbageAfterQregIsCodedMalformed) {
+  expect_coded_malformed("OPENQASM 2.0;\nqreg q[2] zzz;\nh q[0];\n",
+                         "trailing garbage");
+}
+
+TEST(Qasm, TrailingGarbageAfterOperandIsCodedMalformed) {
+  expect_coded_malformed("OPENQASM 2.0;\nqreg q[2];\nh q[0]junk;\n",
+                         "trailing garbage");
+}
+
 TEST(Qasm, U2AndU3Import) {
   const Circuit c = read_qasm(
       "OPENQASM 2.0;\nqreg q[1];\n"

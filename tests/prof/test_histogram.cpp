@@ -1,0 +1,102 @@
+// Edge cases of the fixed-bucket log-scale histogram: empty quantiles,
+// boundary values (upper bounds are inclusive), non-positive observations,
+// and the overflow bucket's saturation semantics.
+#include "src/prof/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/error.h"
+
+namespace qhip::prof {
+namespace {
+
+TEST(Histogram, EmptyReportsZeros) {
+  const Histogram h(1.0, 2.0, 4);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 0.0);
+  for (std::size_t i = 0; i <= h.num_buckets(); ++i) {
+    EXPECT_EQ(h.bucket_count(i), 0u) << i;
+  }
+}
+
+TEST(Histogram, BoundsAreGeometric) {
+  const Histogram h(1.0, 2.0, 4);
+  ASSERT_EQ(h.num_buckets(), 4u);
+  EXPECT_EQ(h.upper_bound(0), 1.0);
+  EXPECT_EQ(h.upper_bound(1), 2.0);
+  EXPECT_EQ(h.upper_bound(2), 4.0);
+  EXPECT_EQ(h.upper_bound(3), 8.0);
+}
+
+TEST(Histogram, UpperBoundsAreInclusive) {
+  // Bucket i covers (bound(i-1), bound(i)]: a value exactly on a bound must
+  // land in that bucket, not the next one (Prometheus "le" semantics).
+  Histogram h(1.0, 2.0, 4);
+  h.record(1.0);
+  h.record(2.0);
+  h.record(2.0000000001);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 0u);
+}
+
+TEST(Histogram, NonPositiveValuesLandInFirstBucket) {
+  Histogram h(1.0, 2.0, 4);
+  h.record(0.0);
+  h.record(-3.5);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.sum(), -3.5);  // the sum still sees the raw values
+}
+
+TEST(Histogram, OverflowBucketSaturatesQuantiles) {
+  Histogram h(1.0, 2.0, 4);  // last finite bound: 8.0
+  h.record(1e9);
+  h.record(1e12);
+  EXPECT_EQ(h.bucket_count(h.num_buckets()), 2u);
+  // The histogram cannot see beyond its last finite bound; quantiles clamp
+  // there instead of inventing a value.
+  EXPECT_EQ(h.quantile(0.5), 8.0);
+  EXPECT_EQ(h.quantile(1.0), 8.0);
+  // But the sum/mean are exact.
+  EXPECT_EQ(h.sum(), 1e9 + 1e12);
+}
+
+TEST(Histogram, QuantileInterpolatesInsideBucket) {
+  Histogram h(1.0, 2.0, 4);
+  for (int i = 0; i < 100; ++i) h.record(1.5);  // all in bucket (1, 2]
+  const double q50 = h.quantile(0.5);
+  EXPECT_GT(q50, 1.0);
+  EXPECT_LE(q50, 2.0);
+  EXPECT_EQ(h.quantile(1.0), 2.0);  // p=1 reaches the bucket's upper bound
+  EXPECT_NEAR(h.mean(), 1.5, 1e-12);
+}
+
+TEST(Histogram, ClearResetsEverything) {
+  Histogram h(1.0, 2.0, 4);
+  h.record(3.0);
+  h.record(100.0);
+  ASSERT_EQ(h.count(), 2u);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.quantile(0.99), 0.0);
+  for (std::size_t i = 0; i <= h.num_buckets(); ++i) {
+    EXPECT_EQ(h.bucket_count(i), 0u) << i;
+  }
+}
+
+TEST(Histogram, RejectsDegenerateShapes) {
+  EXPECT_THROW(Histogram(0.0, 2.0, 4), Error);   // first bound must be > 0
+  EXPECT_THROW(Histogram(-1.0, 2.0, 4), Error);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);   // growth must be > 1
+  EXPECT_THROW(Histogram(1.0, 2.0, 0), Error);   // need at least one bucket
+}
+
+}  // namespace
+}  // namespace qhip::prof

@@ -1,0 +1,81 @@
+// Prometheus label-value escaping: a hostile backend spec or calibration key
+// must not splice samples into the scrape. The round trip through
+// prom_escape_label / prom_unescape_label is lossless, and
+// EngineMetrics::to_prom_text escapes every interpolated label value.
+#include "src/prof/prom.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/engine/engine.h"
+
+namespace qhip::prof {
+namespace {
+
+TEST(PromEscape, RoundTripsHostileStrings) {
+  const std::string hostile[] = {
+      "plain",
+      "quote\"inside",
+      "back\\slash",
+      "new\nline",
+      "hip\"} 1\nevil_metric 42",           // the classic injection
+      "\\n literal backslash-n",
+      "trailing backslash \\",
+      std::string("\n\n\"\"\\\\"),
+  };
+  for (const std::string& s : hostile) {
+    const std::string esc = prom_escape_label(s);
+    // The escaped form is safe to interpolate: no raw quote, no raw newline.
+    EXPECT_EQ(esc.find('\n'), std::string::npos) << s;
+    for (std::size_t i = 0; i < esc.size(); ++i) {
+      if (esc[i] == '"') {
+        ASSERT_GT(i, 0u);
+        EXPECT_EQ(esc[i - 1], '\\') << s;
+      }
+    }
+    EXPECT_EQ(prom_unescape_label(esc), s);
+  }
+}
+
+TEST(PromEscape, EngineMetricsEscapeHostileSpecs) {
+  const std::string hostile = "hip\"} 1\nevil_metric 42";
+  engine::EngineMetrics m;
+  m.planner_decisions = 1;
+  m.planner_chosen[hostile] = 3;
+  m.planner_calibration[hostile + "/q20"] = 1.25;
+
+  const std::string text = m.to_prom_text();
+  // The escaped form appears...
+  EXPECT_NE(text.find(prom_escape_label(hostile)), std::string::npos);
+  // ...and the injection does not: no line starts with the smuggled metric,
+  // and every line is either a comment or a qhip_engine_* sample.
+  EXPECT_EQ(text.find("\nevil_metric"), std::string::npos);
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(line.rfind("#", 0) == 0 || line.rfind("qhip_engine_", 0) == 0)
+        << "spliced line: " << line;
+  }
+}
+
+TEST(PromEscape, EscapedLabelValueRecoversOriginal) {
+  // A scraper that unescapes the label value must read back the exact spec.
+  const std::string hostile = "spec with \"quotes\", \\ and \nnewline";
+  engine::EngineMetrics m;
+  m.planner_chosen[hostile] = 1;
+  const std::string text = m.to_prom_text();
+
+  const std::string needle = "qhip_engine_planner_chosen{backend=\"";
+  const std::size_t at = text.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t start = at + needle.size();
+  const std::size_t end = text.find("\"}", start);
+  ASSERT_NE(end, std::string::npos);
+  EXPECT_EQ(prom_unescape_label(text.substr(start, end - start)), hostile);
+}
+
+}  // namespace
+}  // namespace qhip::prof

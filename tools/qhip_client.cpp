@@ -1,0 +1,257 @@
+// qhip_client: load driver and CI soak probe for qhip_serve
+// (docs/SERVING.md).
+//
+// Modes:
+//   --ping            connect + liveness probe (readiness loops in CI)
+//   --metrics         print the server's Prometheus metrics text
+//   soak (default)    N requests over C connections, cycling through the
+//                     request kinds; optionally SIGTERM a server pid after
+//                     the k-th response to exercise the graceful drain
+//
+// Soak exit code is the drain contract: 0 iff every fully-sent request got
+// exactly one well-formed response (ok, or a structured error such as the
+// drain's "rejected"). A mid-soak SIGTERM must not change that.
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/strings.h"
+#include "src/core/gates.h"
+#include "src/engine/engine.h"
+#include "src/noise/channels.h"
+#include "src/obs/observable.h"
+#include "src/serve/client.h"
+#include "src/serve/wire.h"
+
+namespace {
+
+using namespace qhip;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: qhip_client -p <port> [-H <host>] [--ping] [--metrics]\n"
+      "       [-c <connections>] [-n <requests>] [--qubits <n>] [--depth <d>]\n"
+      "       [--kinds circuit,expectation,trajectory] [--backend <spec>]\n"
+      "       [--seed <s>] [--kill-pid <pid>] [--kill-after <k>]\n");
+  return 2;
+}
+
+Circuit make_circuit(unsigned qubits, unsigned depth) {
+  Circuit c;
+  c.num_qubits = qubits;
+  unsigned t = 0;
+  for (qubit_t q = 0; q < qubits; ++q) c.gates.push_back(gates::h(t, q));
+  for (unsigned d = 0; d < depth; ++d) {
+    ++t;
+    for (qubit_t q = 0; q < qubits; ++q) {
+      c.gates.push_back(gates::rz(t, q, 0.1 * static_cast<double>(d + 1)));
+    }
+    ++t;
+    for (qubit_t q = 0; q + 1 < qubits; q += 2) {
+      c.gates.push_back(gates::cnot(t, q, q + 1));
+    }
+  }
+  return c;
+}
+
+struct Totals {
+  std::atomic<std::size_t> sent{0}, answered{0}, ok{0}, structured_errors{0};
+  std::atomic<std::size_t> protocol_errors{0}, unsent{0};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  unsigned short port = 0;
+  bool do_ping = false, do_metrics = false;
+  unsigned connections = 4;
+  std::size_t total = 100;
+  unsigned qubits = 10, depth = 4;
+  std::string kinds_arg = "circuit,expectation,trajectory";
+  std::string backend = "cpu";
+  std::uint64_t seed_base = 1;
+  long kill_pid = 0;
+  std::size_t kill_after = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "qhip_client: %s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "-p") port = static_cast<unsigned short>(std::atoi(next()));
+    else if (a == "-H") host = next();
+    else if (a == "--ping") do_ping = true;
+    else if (a == "--metrics") do_metrics = true;
+    else if (a == "-c") connections = static_cast<unsigned>(std::atoi(next()));
+    else if (a == "-n") total = static_cast<std::size_t>(std::atol(next()));
+    else if (a == "--qubits") qubits = static_cast<unsigned>(std::atoi(next()));
+    else if (a == "--depth") depth = static_cast<unsigned>(std::atoi(next()));
+    else if (a == "--kinds") kinds_arg = next();
+    else if (a == "--backend") backend = next();
+    else if (a == "--seed") seed_base = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (a == "--kill-pid") kill_pid = std::atol(next());
+    else if (a == "--kill-after") kill_after = static_cast<std::size_t>(std::atol(next()));
+    else return usage();
+  }
+  if (port == 0) return usage();
+
+  try {
+    if (do_ping) {
+      serve::Client cl(host, port);
+      if (!cl.ping()) {
+        std::fprintf(stderr, "qhip_client: ping failed\n");
+        return 1;
+      }
+      std::printf("pong\n");
+      return 0;
+    }
+    if (do_metrics) {
+      serve::Client cl(host, port);
+      std::fputs(cl.metrics().c_str(), stdout);
+      return 0;
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "qhip_client: %s\n", e.what());
+    return 1;
+  }
+
+  std::vector<engine::RequestKind> kinds;
+  for (const auto& tok : split(kinds_arg, ",")) {
+    if (tok == "circuit") kinds.push_back(engine::RequestKind::kCircuit);
+    else if (tok == "expectation") kinds.push_back(engine::RequestKind::kExpectation);
+    else if (tok == "trajectory") kinds.push_back(engine::RequestKind::kTrajectory);
+    else return usage();
+  }
+  if (kinds.empty()) return usage();
+
+  const Circuit circuit = make_circuit(qubits, depth);
+  auto make_request = [&](std::size_t i) {
+    engine::SimRequest req;
+    req.circuit = circuit;
+    req.backend = backend;
+    req.seed = seed_base + i;  // distinct seeds: exercises misses, not memoization
+    switch (kinds[i % kinds.size()]) {
+      case engine::RequestKind::kCircuit:
+        req.kind = engine::RequestKind::kCircuit;
+        req.num_samples = 16;
+        req.amplitude_indices = {0, 1};
+        break;
+      case engine::RequestKind::kExpectation:
+        req.kind = engine::RequestKind::kExpectation;
+        req.observable.strings.push_back(obs::parse_pauli_string("Z0 Z1"));
+        req.observable.strings.push_back(obs::parse_pauli_string("0.5 * X0"));
+        break;
+      case engine::RequestKind::kTrajectory:
+        req.kind = engine::RequestKind::kTrajectory;
+        req.backend = "cpu";  // noise runs on host state vectors only
+        req.precision = Precision::kDouble;
+        req.noise = noise::NoiseModel{noise::depolarizing(0.01)};
+        req.num_trajectories = 4;
+        break;
+    }
+    return req;
+  };
+
+  Totals totals;
+  std::atomic<std::size_t> next_req{0};
+  std::atomic<bool> stop_sending{false};
+  std::atomic<bool> killed{false};
+
+  auto soak_one = [&](unsigned /*thread_idx*/) {
+    try {
+      serve::Client cl(host, port);
+      while (!stop_sending.load()) {
+        const std::size_t i = next_req.fetch_add(1);
+        if (i >= total) break;
+        const std::string line =
+            serve::encode_request(make_request(i), "r" + std::to_string(i));
+        try {
+          cl.send_line(line);
+        } catch (const Error&) {
+          ++totals.unsent;
+          break;
+        }
+        ++totals.sent;
+        std::string resp;
+        bool got = false;
+        try {
+          got = cl.recv_line(&resp);
+        } catch (const Error&) {
+          got = false;
+        }
+        if (!got) break;  // EOF: `dropped` (sent - answered) catches it
+        try {
+          const engine::SimResult res = serve::decode_result(resp);
+          ++totals.answered;
+          if (res.ok) ++totals.ok;
+          else ++totals.structured_errors;
+        } catch (const Error&) {
+          ++totals.protocol_errors;
+          continue;
+        }
+        const std::size_t done = totals.answered.load();
+        if (kill_pid > 0 && kill_after > 0 && done >= kill_after &&
+            !killed.exchange(true)) {
+          // Deterministic mid-soak drain: stop feeding first, then signal.
+          stop_sending.store(true);
+          ::kill(static_cast<pid_t>(kill_pid), SIGTERM);
+        }
+      }
+      cl.finish_writes();
+      // Drain any responses still owed to this connection (requests the
+      // server admitted before the drain/kill).
+      std::string resp;
+      while (true) {
+        bool got = false;
+        try {
+          got = cl.recv_line(&resp);
+        } catch (const Error&) {
+          break;
+        }
+        if (!got) break;
+        try {
+          const engine::SimResult res = serve::decode_result(resp);
+          ++totals.answered;
+          if (res.ok) ++totals.ok;
+          else ++totals.structured_errors;
+        } catch (const Error&) {
+          ++totals.protocol_errors;
+        }
+      }
+    } catch (const Error& e) {
+      std::fprintf(stderr, "qhip_client: connection failed: %s\n", e.what());
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (unsigned cix = 0; cix < connections; ++cix) {
+    threads.emplace_back(soak_one, cix);
+  }
+  for (auto& th : threads) th.join();
+
+  const std::size_t dropped =
+      totals.sent.load() > totals.answered.load()
+          ? totals.sent.load() - totals.answered.load()
+          : 0;
+  std::printf(
+      "sent=%zu answered=%zu ok=%zu structured_errors=%zu dropped=%zu "
+      "protocol_errors=%zu unsent=%zu\n",
+      totals.sent.load(), totals.answered.load(), totals.ok.load(),
+      totals.structured_errors.load(), dropped, totals.protocol_errors.load(),
+      totals.unsent.load());
+  return (dropped == 0 && totals.protocol_errors.load() == 0) ? 0 : 1;
+}
