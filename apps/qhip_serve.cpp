@@ -5,7 +5,13 @@
 // trajectory), and serves every request through one SimulationEngine —
 // result cache, coalescing, retry/fallback ladders and "auto" placement
 // included. "GET /metrics" on the same port answers a Prometheus text
-// scrape.
+// scrape; "GET /debug/requests" and "GET /debug/snapshot" expose the
+// always-on flight recorder (docs/OBSERVABILITY.md).
+//
+// SLO watchdog: repeatable --slo rules ("any:p99_ms=50", see
+// src/engine/watchdog.h for the grammar) arm rolling-window latency and
+// error-rate tracking; a breach writes a Perfetto snapshot of the last
+// requests into --snapshot-dir.
 //
 // SIGTERM/SIGINT drain gracefully: stop accepting, fail queued requests
 // with structured errors, finish in-flight work, flush every response,
@@ -19,6 +25,7 @@
 #include <unistd.h>
 
 #include "src/engine/engine.h"
+#include "src/engine/watchdog.h"
 #include "src/prof/trace.h"
 #include "src/serve/server.h"
 
@@ -29,9 +36,13 @@ int usage() {
       stderr,
       "usage: qhip_serve [-p <port>] [-H <host>] [-w <workers>] "
       "[--max-qubits <n>] [--max-inflight <n>] [--read-timeout <s>] "
-      "[--fallback <spec>] [--trace <file>]\n"
+      "[--fallback <spec>] [--trace <file>] [--flightrec <n>] "
+      "[--snapshot-dir <dir>] [--slo <rule>]... [--slo-epoch <s>] "
+      "[--slo-window <n>] [--slo-interval <s>]\n"
       "  -p 0 (default) binds an ephemeral port; the bound port is printed\n"
-      "  as \"PORT <n>\" on stdout so scripts can scrape it.\n");
+      "  as \"PORT <n>\" on stdout so scripts can scrape it.\n"
+      "  --slo rules look like \"any:p99_ms=50\" or "
+      "\"circuit:error_rate=0.05,min_requests=64\".\n");
   return 1;
 }
 
@@ -71,6 +82,19 @@ int main(int argc, char** argv) {
     else if (a == "--read-timeout") sopt.read_timeout_seconds = std::atof(next());
     else if (a == "--fallback") eopt.fallback_backend = next();
     else if (a == "--trace") trace_file = next();
+    else if (a == "--flightrec") eopt.flight_recorder_capacity = static_cast<std::size_t>(std::atol(next()));
+    else if (a == "--snapshot-dir") eopt.snapshot_dir = next();
+    else if (a == "--slo") {
+      try {
+        eopt.watchdog.rules.push_back(engine::parse_slo_rule(next()));
+      } catch (const Error& e) {
+        std::fprintf(stderr, "qhip_serve: %s\n", e.what());
+        return 1;
+      }
+    }
+    else if (a == "--slo-epoch") eopt.watchdog.epoch_seconds = std::atof(next());
+    else if (a == "--slo-window") eopt.watchdog.window_epochs = static_cast<std::size_t>(std::atol(next()));
+    else if (a == "--slo-interval") eopt.watchdog.min_trigger_interval_seconds = std::atof(next());
     else return usage();
   }
 
@@ -85,17 +109,26 @@ int main(int argc, char** argv) {
   Tracer tracer;
   if (!trace_file.empty()) {
     eopt.tracer = &tracer;
-    sopt.tracer = &tracer;
   }
 
   try {
     engine::SimulationEngine engine(eopt);
+    // The serve span records through the engine's trace sink — the flight
+    // recorder's capture seam when enabled — so it lands in post-hoc
+    // snapshots even without --trace.
+    sopt.tracer = engine.trace_sink();
     serve::Server server(engine, sopt);
     std::printf("PORT %u\n", static_cast<unsigned>(server.port()));
     std::fflush(stdout);
     std::fprintf(stderr, "qhip_serve: listening on %s:%u (%u workers)\n",
                  sopt.host.c_str(), static_cast<unsigned>(server.port()),
                  engine.options().num_workers);
+    if (!eopt.watchdog.rules.empty()) {
+      std::fprintf(stderr,
+                   "qhip_serve: slo watchdog armed (%zu rule(s), "
+                   "snapshot dir '%s')\n",
+                   eopt.watchdog.rules.size(), eopt.snapshot_dir.c_str());
+    }
 
     // Park until a signal arrives, then drain.
     char b;
@@ -109,14 +142,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "qhip_serve: drained. connections=%llu requests=%llu "
                  "responses=%llu shed=%llu malformed=%llu engine_completed=%llu "
-                 "engine_rejected=%llu\n",
+                 "engine_rejected=%llu slo_breaches=%llu snapshots=%llu\n",
                  static_cast<unsigned long long>(st.connections),
                  static_cast<unsigned long long>(st.requests),
                  static_cast<unsigned long long>(st.responses),
                  static_cast<unsigned long long>(st.shed),
                  static_cast<unsigned long long>(st.malformed),
                  static_cast<unsigned long long>(m.completed),
-                 static_cast<unsigned long long>(m.rejected));
+                 static_cast<unsigned long long>(m.rejected),
+                 static_cast<unsigned long long>(m.slo_breaches),
+                 static_cast<unsigned long long>(m.snapshots_written));
+    if (m.snapshots_written > 0) {
+      std::fprintf(stderr, "qhip_serve: last snapshot: %s\n",
+                   m.last_snapshot_path.c_str());
+    }
     if (!trace_file.empty()) {
       engine.export_metrics();
       tracer.write_perfetto_json(trace_file);

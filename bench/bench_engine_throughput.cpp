@@ -42,11 +42,24 @@
 // speedup at 8 workers, scaled down when the host has fewer cores than
 // workers (the fan-out cannot beat the physical parallelism available).
 //
+// A fourth mode prices the always-on flight recorder (docs/OBSERVABILITY.md):
+//
+//   bench_engine_throughput flightrec [N]
+//
+// serves N cache-bypassed requests of a serving-size RQC (the same 12-qubit
+// shape the trajectory mode uses) through two engines with tracing off:
+// flight recorder disabled (capacity 0) and enabled at the default capacity.
+// Batches
+// alternate between the legs and each leg reports its best batch, so clock
+// drift hits both sides equally. Acceptance: recorder overhead <= 2%.
+//
 // Usage: bench_engine_throughput [N] [cold-sample] [qubits-rows cols depth]
 //        bench_engine_throughput auto [K]
 //        bench_engine_throughput trajectory [N] [workers]
+//        bench_engine_throughput flightrec [N]
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -269,6 +282,81 @@ int run_trajectory_mode(std::size_t n_traj, unsigned workers) {
   return 0;
 }
 
+int run_flightrec_mode(std::size_t n_requests) {
+  rqc::RqcOptions ropt;  // 3x4 grid = 12 qubits: the serving-size circuit the
+  ropt.rows = 3;         // trajectory mode also uses, so the recorder's
+  ropt.cols = 4;         // per-event constant is priced against a realistic
+  ropt.depth = 8;        // per-request simulation cost
+  ropt.seed = 7;
+  const Circuit circuit = rqc::generate_rqc(ropt);
+  std::printf("circuit: %s; %zu cache-bypassed requests per batch, "
+              "tracing off\n", rqc::describe(circuit).c_str(), n_requests);
+
+  auto make_engine = [&](std::size_t capacity) {
+    engine::EngineOptions opt;
+    opt.num_workers = 1;  // sequential: batch time is pure per-request cost
+    opt.flight_recorder_capacity = capacity;
+    return std::make_unique<engine::SimulationEngine>(opt);
+  };
+  auto batch_seconds = [&](engine::SimulationEngine& eng,
+                           std::uint64_t seed_base) {
+    engine::SimRequest req;
+    req.circuit = circuit;
+    req.backend = "cpu";
+    req.num_samples = 16;
+    req.bypass_result_cache = true;
+    Timer t;
+    for (std::size_t i = 0; i < n_requests; ++i) {
+      req.seed = seed_base + i;  // distinct seeds: no memoization
+      const engine::SimResult r = eng.run(req);
+      check(r.ok, "flightrec bench request failed: " + r.error);
+    }
+    return t.seconds();
+  };
+
+  auto base = make_engine(0);
+  auto rec = make_engine(engine::EngineOptions{}.flight_recorder_capacity);
+
+  // Warmup both legs (fused-circuit cache, buffer pool, allocator), then
+  // alternate measured batches; min-of-k per leg drops scheduler noise.
+  batch_seconds(*base, 1);
+  batch_seconds(*rec, 1);
+  constexpr std::size_t kBatches = 5;
+  double base_best = 0, rec_best = 0;
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    const double bs = batch_seconds(*base, 1000 + b * n_requests);
+    const double rs = batch_seconds(*rec, 1000 + b * n_requests);
+    std::printf("  batch %zu: recorder-off %.3f s, recorder-on %.3f s\n",
+                b + 1, bs, rs);
+    if (b == 0 || bs < base_best) base_best = bs;
+    if (b == 0 || rs < rec_best) rec_best = rs;
+  }
+
+  const engine::EngineMetrics m = rec->metrics();
+  const auto* fr = rec->flight_recorder();
+  check(fr != nullptr, "flight recorder must be on in the recorder leg");
+  std::printf("recorder leg: %llu requests recorded, ring size %zu, "
+              "%llu events dropped\n",
+              static_cast<unsigned long long>(fr->total_recorded()),
+              fr->size(),
+              static_cast<unsigned long long>(fr->dropped_events()));
+  check(m.completed >= (kBatches + 1) * n_requests,
+        "recorder leg completed-request count");
+
+  const double overhead =
+      base_best > 0 ? (rec_best - base_best) / base_best : 0;
+  std::printf("\nflight recorder overhead: %.2f%% (best batch %.3f s off vs "
+              "%.3f s on; %.1f us / request)\n",
+              overhead * 100.0, base_best, rec_best,
+              (rec_best - base_best) / static_cast<double>(n_requests) * 1e6);
+  check(overhead <= 0.02,
+        strfmt("flight recorder overhead %.2f%% exceeds the 2%% budget",
+               overhead * 100.0));
+  std::printf("  [ok] always-on flight recorder costs <= 2%% with tracing "
+              "off\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -276,6 +364,10 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "auto") {
     const std::size_t k = argc > 2 ? parse_uint(argv[2], "K") : 6;
     return run_auto_mode(std::max<std::size_t>(k, 1));
+  }
+  if (argc > 1 && std::string(argv[1]) == "flightrec") {
+    const std::size_t n = argc > 2 ? parse_uint(argv[2], "N") : 150;
+    return run_flightrec_mode(std::max<std::size_t>(n, 1));
   }
   if (argc > 1 && std::string(argv[1]) == "trajectory") {
     const std::size_t n = argc > 2 ? parse_uint(argv[2], "N") : 64;

@@ -1,9 +1,12 @@
 #include "src/engine/engine.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <fstream>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -66,17 +69,6 @@ double stderr_of_mean(const cplx64& sum, double sumsq, std::size_t k) {
       std::max(0.0, (sumsq - static_cast<double>(k) * mean * mean) /
                         static_cast<double>(k - 1));
   return std::sqrt(var / static_cast<double>(k));
-}
-
-// `sorted` must already be in ascending order (sorted once at the call
-// site); taking it by reference avoids a full copy per percentile query.
-double percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  const double pos = p * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
 SimErrorCode classify(ErrorCode code) {
@@ -250,6 +242,21 @@ SimulationEngine::SimulationEngine(EngineOptions opt)
   // The header promises "min 1"; clamp the stored options so options()
   // reports what actually runs and num_workers = 0 cannot deadlock submit.
   opt_.num_workers = std::max(1u, opt_.num_workers);
+  latency_res_ = prof::LatencyReservoir(opt_.latency_window);
+  if (opt_.flight_recorder_capacity > 0) {
+    prof::FlightRecorderOptions fro;
+    fro.capacity = opt_.flight_recorder_capacity;
+    fro.max_events_per_request =
+        std::max<std::size_t>(1, opt_.flight_recorder_events_per_request);
+    recorder_ = std::make_unique<prof::FlightRecorder>(fro);
+    recorder_->set_downstream(opt_.tracer);
+    trace_ = &recorder_->sink();
+  } else {
+    trace_ = opt_.tracer;
+  }
+  if (!opt_.watchdog.rules.empty()) {
+    watchdog_ = std::make_unique<SloWatchdog>(opt_.watchdog);
+  }
   if (opt_.enable_planner) {
     PlannerOptions po;
     std::vector<std::string> cands = opt_.planner_candidates;
@@ -295,6 +302,7 @@ void SimulationEngine::stop() {
   for (Job& job : dropped) {
     SimResult r = rejected("engine stopped: request drained from queue");
     r.request_id = job.corr;
+    r.kind = job.req.kind;
     r.total_seconds = job.queued.seconds();
     span("request", job.corr, job.submit_us,
          static_cast<std::uint64_t>(r.total_seconds * 1e6), "drained");
@@ -325,9 +333,9 @@ SimResult SimulationEngine::rejected(std::string why, SimErrorCode code) {
 void SimulationEngine::span(const char* name, std::uint64_t corr,
                             std::uint64_t ts_us, std::uint64_t dur_us,
                             std::string detail) const {
-  if (opt_.tracer == nullptr || corr == 0) return;
-  opt_.tracer->record(name, TraceKind::kSpan, ts_us, dur_us, span_lane(corr),
-                      0, corr, std::move(detail));
+  if (trace_ == nullptr || corr == 0) return;
+  trace_->record(name, TraceKind::kSpan, ts_us, dur_us, span_lane(corr),
+                 0, corr, std::move(detail));
 }
 
 std::uint64_t SimulationEngine::submit_job(Job&& job) {
@@ -358,6 +366,7 @@ std::uint64_t SimulationEngine::submit_job(Job&& job) {
   if (reject_now) {
     SimResult r = rejected(std::move(why));
     r.request_id = corr;
+    r.kind = job.req.kind;
     record_done(r);
     deliver(job, std::move(r));
   } else {
@@ -411,7 +420,7 @@ SimulationEngine::BackendSlot& SimulationEngine::resolve_backend(
   auto it = backends_.find(key);
   if (it == backends_.end()) {
     auto slot = std::make_unique<BackendSlot>();
-    slot->backend = create_backend(spec, precision, opt_.tracer, opt_.fault_spec);
+    slot->backend = create_backend(spec, precision, trace_, opt_.fault_spec);
     it = backends_.emplace(key, std::move(slot)).first;
   }
   return *it->second;
@@ -897,6 +906,7 @@ void SimulationEngine::process(Job& job) {
   }
 
   res.request_id = job.corr;
+  res.kind = q.kind;
   res.total_seconds = job.queued.seconds();
   // Enclosing span: the flow-event anchor linking this request's trace row
   // to the kernels and memcpys its backend run produced.
@@ -1186,6 +1196,7 @@ void SimulationEngine::finalize_trajectory_batch(TrajectoryBatch& b) {
   }
 
   res.request_id = b.corr;
+  res.kind = RequestKind::kTrajectory;
   res.total_seconds = b.queued.seconds();
   std::string outcome;
   if (!res.ok) {
@@ -1204,35 +1215,153 @@ void SimulationEngine::finalize_trajectory_batch(TrajectoryBatch& b) {
 }
 
 void SimulationEngine::record_done(const SimResult& res) {
-  std::lock_guard lk(metrics_mu_);
-  if (res.ok) {
-    ++completed_;
-    if (opt_.latency_window > 0) {
-      const double ms = res.total_seconds * 1e3;
-      if (latencies_ms_.size() < opt_.latency_window) {
-        latencies_ms_.push_back(ms);
-      } else {
-        latencies_ms_[latency_next_] = ms;
-        latency_next_ = (latency_next_ + 1) % opt_.latency_window;
+  const std::uint64_t now_us = Timer::now_micros();
+  const std::size_t result_bytes = approx_result_bytes(res);
+  {
+    std::lock_guard lk(metrics_mu_);
+    const auto exemplar = [&](const char* stage, double ms) {
+      auto& e = slowest_[stage];
+      if (ms > e.ms) {
+        e.ms = ms;
+        e.request_id = res.request_id;
       }
-    }
-    hist_queue_ms_.record(res.queue_seconds * 1e3);
-    hist_total_ms_.record(res.total_seconds * 1e3);
-    hist_result_bytes_.record(static_cast<double>(approx_result_bytes(res)));
-    if (!res.result_cache_hit) {
-      // Stage latencies and fusion width only exist for actual runs; a
-      // cache hit would record misleading zeros.
-      hist_fuse_ms_.record(res.fuse_seconds * 1e3);
-      hist_execute_ms_.record(res.run_seconds * 1e3);
-      if (res.sample_seconds > 0) {
-        hist_sample_ms_.record(res.sample_seconds * 1e3);
+    };
+    if (res.ok) {
+      ++completed_;
+      latency_res_.record(res.total_seconds * 1e3);
+      hist_queue_ms_.record(res.queue_seconds * 1e3);
+      hist_total_ms_.record(res.total_seconds * 1e3);
+      hist_result_bytes_.record(static_cast<double>(result_bytes));
+      exemplar("queue", res.queue_seconds * 1e3);
+      exemplar("total", res.total_seconds * 1e3);
+      if (!res.result_cache_hit) {
+        // Stage latencies and fusion width only exist for actual runs; a
+        // cache hit would record misleading zeros.
+        hist_fuse_ms_.record(res.fuse_seconds * 1e3);
+        hist_execute_ms_.record(res.run_seconds * 1e3);
+        exemplar("fuse", res.fuse_seconds * 1e3);
+        exemplar("execute", res.run_seconds * 1e3);
+        if (res.sample_seconds > 0) {
+          hist_sample_ms_.record(res.sample_seconds * 1e3);
+          exemplar("sample", res.sample_seconds * 1e3);
+        }
+        hist_fused_gates_.record(static_cast<double>(res.fusion.output_gates));
       }
-      hist_fused_gates_.record(static_cast<double>(res.fusion.output_gates));
+    } else {
+      ++rejected_;
     }
-  } else {
-    ++rejected_;
+    if (res.result_cache_hit) ++result_cache_hits_;
   }
-  if (res.result_cache_hit) ++result_cache_hits_;
+
+  // Flight-recorder publication: this is what moves the request's pending
+  // trace events into its ring entry, so it must run for every completion —
+  // rejections included (they are exactly the requests an incident
+  // investigation wants to see).
+  if (recorder_) {
+    prof::RequestRecord rec;
+    rec.corr = res.request_id;
+    rec.kind = to_string(res.kind);
+    rec.backend = res.backend_used;
+    if (const auto it = res.counters.find("planner/predicted_seconds");
+        it != res.counters.end()) {
+      double cal = 0;
+      if (const auto c = res.counters.find("planner/calibration");
+          c != res.counters.end()) {
+        cal = c->second;
+      }
+      rec.planner = strfmt("predicted=%.3gs calibration=%.3g", it->second, cal);
+    }
+    rec.outcome = !res.ok ? to_string(res.code)
+                          : (res.result_cache_hit ? "ok: cache-hit" : "ok");
+    rec.ok = res.ok;
+    rec.cache_hit = res.result_cache_hit;
+    rec.attempts = res.attempts;
+    rec.bytes = result_bytes;
+    const auto total_us = static_cast<std::uint64_t>(res.total_seconds * 1e6);
+    rec.submit_us = now_us > total_us ? now_us - total_us : 0;
+    rec.queue_ms = res.queue_seconds * 1e3;
+    rec.fuse_ms = res.fuse_seconds * 1e3;
+    rec.execute_ms = res.run_seconds * 1e3;
+    rec.sample_ms = res.sample_seconds * 1e3;
+    rec.total_ms = res.total_seconds * 1e3;
+    recorder_->record_request(std::move(rec));
+  }
+
+  if (watchdog_) {
+    std::optional<SloBreach> breach;
+    {
+      std::lock_guard lk(metrics_mu_);
+      breach = watchdog_->observe(static_cast<int>(res.kind) + 1,
+                                  res.total_seconds * 1e3, res.ok, now_us);
+      if (breach) ++slo_breaches_;
+    }
+    if (breach) {
+      const std::string path = trigger_snapshot(breach->reason);
+      if (trace_ != nullptr) {
+        trace_->set_counter("engine/slo_breaches",
+                            static_cast<double>(watchdog_->breaches()));
+      }
+      (void)path;
+    }
+  }
+}
+
+std::string SimulationEngine::debug_text() const {
+  std::string out;
+  if (recorder_) {
+    out += recorder_->text_dump();
+  } else {
+    out += "flight recorder disabled\n";
+  }
+  if (watchdog_) {
+    std::lock_guard lk(metrics_mu_);  // watchdog_ is driven under this lock
+    out += watchdog_->status_text();
+    if (snapshots_written_ > 0) {
+      out += "  last snapshot: " + last_snapshot_path_ + "\n";
+    }
+  }
+  return out;
+}
+
+std::string SimulationEngine::trigger_snapshot(const std::string& reason,
+                                               const std::string& dir) {
+  if (!recorder_) return {};
+  const std::string& target = dir.empty() ? opt_.snapshot_dir : dir;
+  if (target.empty()) return {};
+  // Filename-safe reason: the watchdog emits safe reasons already, but the
+  // debug endpoint accepts caller-provided ones.
+  std::string safe;
+  for (char c : reason) {
+    const bool ok_char = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                         (c >= '0' && c <= '9') || c == '-' || c == '_';
+    safe += ok_char ? c : '-';
+  }
+  if (safe.empty()) safe = "manual";
+  ::mkdir(target.c_str(), 0755);  // best-effort; EEXIST is the common case
+  const std::string stem =
+      target + "/snapshot-" + std::to_string(Timer::now_micros()) + "-" + safe;
+  const std::string trace_path = stem + ".trace.json";
+  try {
+    recorder_->write_snapshot(trace_path, reason);
+    std::ofstream txt(stem + ".flightrec.txt", std::ios::binary);
+    if (txt.good()) {
+      const std::string dump = debug_text();
+      txt.write(dump.data(), static_cast<std::streamsize>(dump.size()));
+    }
+  } catch (const std::exception&) {
+    return {};  // best-effort: a full disk must not take the engine down
+  }
+  std::uint64_t written;
+  {
+    std::lock_guard lk(metrics_mu_);
+    written = ++snapshots_written_;
+    last_snapshot_path_ = trace_path;
+  }
+  if (trace_ != nullptr) {
+    trace_->set_counter("engine/snapshots_written",
+                        static_cast<double>(written));
+  }
+  return trace_path;
 }
 
 EngineMetrics SimulationEngine::metrics() const {
@@ -1254,15 +1383,14 @@ EngineMetrics SimulationEngine::metrics() const {
     m.trajectories_run = trajectories_run_;
     m.trajectory_early_stops = trajectory_early_stops_;
     m.trajectories_per_batch = hist_trajectories_per_batch_;
-    std::vector<double> lat = latencies_ms_;
-    std::sort(lat.begin(), lat.end());
-    m.p50_ms = percentile(lat, 0.50);
-    m.p95_ms = percentile(lat, 0.95);
-    if (!lat.empty()) {
-      double sum = 0;
-      for (double v : lat) sum += v;
-      m.mean_ms = sum / static_cast<double>(lat.size());
-    }
+    const std::vector<double> lat = latency_res_.sorted();
+    m.p50_ms = prof::percentile_sorted(lat, 0.50);
+    m.p95_ms = prof::percentile_sorted(lat, 0.95);
+    m.mean_ms = latency_res_.mean();
+    m.slo_breaches = slo_breaches_;
+    m.snapshots_written = snapshots_written_;
+    m.last_snapshot_path = last_snapshot_path_;
+    m.exemplars = slowest_;
     m.queue_ms = hist_queue_ms_;
     m.fuse_ms = hist_fuse_ms_;
     m.execute_ms = hist_execute_ms_;
@@ -1435,6 +1563,13 @@ std::string EngineMetrics::to_prom_text() const {
     }
   }
 
+  prom_counter(out, "qhip_engine_slo_breaches",
+               "SLO watchdog breaches (each one armed a snapshot trigger)",
+               "counter", static_cast<double>(slo_breaches));
+  prom_counter(out, "qhip_engine_snapshots_written",
+               "Flight-recorder snapshots written to the snapshot dir",
+               "counter", static_cast<double>(snapshots_written));
+
   out += "# HELP qhip_engine_stage_latency_ms Per-stage request latency\n";
   out += "# TYPE qhip_engine_stage_latency_ms histogram\n";
   const std::pair<const char*, const prof::Histogram*> stages[] = {
@@ -1443,6 +1578,17 @@ std::string EngineMetrics::to_prom_text() const {
   for (const auto& [stage, h] : stages) {
     prom_histogram(out, "qhip_engine_stage_latency_ms",
                    strfmt("stage=\"%s\"", stage), *h);
+    // Exemplar-style annotation: text-format 0.0.4 has no native exemplars,
+    // so the slowest request behind each stage family rides along as a
+    // comment line scrapers ignore and humans grep (corr resolves in
+    // /debug/requests or any flight-recorder snapshot).
+    if (const auto it = exemplars.find(stage); it != exemplars.end()) {
+      out += strfmt(
+          "# EXEMPLAR qhip_engine_stage_latency_ms{stage=\"%s\"} corr=%llu "
+          "value_ms=%.9g\n",
+          stage, static_cast<unsigned long long>(it->second.request_id),
+          it->second.ms);
+    }
   }
   out += "# HELP qhip_engine_fused_gates Fused gates per executed request\n";
   out += "# TYPE qhip_engine_fused_gates histogram\n";
@@ -1498,6 +1644,9 @@ void SimulationEngine::export_metrics() const {
   t.set_counter("engine/latency_p50_ms", m.p50_ms);
   t.set_counter("engine/latency_p95_ms", m.p95_ms);
   t.set_counter("engine/latency_mean_ms", m.mean_ms);
+  t.set_counter("engine/slo_breaches", static_cast<double>(m.slo_breaches));
+  t.set_counter("engine/snapshots_written",
+                static_cast<double>(m.snapshots_written));
   t.set_counter("engine/planner/decisions",
                 static_cast<double>(m.planner_decisions));
   t.set_counter("engine/planner/calibrated_decisions",

@@ -58,7 +58,10 @@
 #include "src/engine/planner.h"
 #include "src/noise/trajectory.h"
 #include "src/obs/observable.h"
+#include "src/engine/watchdog.h"
+#include "src/prof/flight_recorder.h"
 #include "src/prof/histogram.h"
+#include "src/prof/reservoir.h"
 #include "src/prof/trace.h"
 
 namespace qhip::engine {
@@ -202,6 +205,7 @@ struct SimResult {
   bool ok = false;
   SimErrorCode code = SimErrorCode::kOk;  // != kOk exactly when !ok
   std::string error;  // set when !ok (rejection or execution failure)
+  RequestKind kind = RequestKind::kCircuit;  // echoed from the request
 
   // Stable per-request id, assigned at submit (1, 2, ...). Doubles as the
   // trace correlation id: the request's spans and the kernel/memcpy events
@@ -281,6 +285,20 @@ struct EngineOptions {
   // order inside apply_channel depends on the pool width; raise it to trade
   // that identity for per-trajectory speed on big states.
   unsigned trajectory_threads = 1;
+
+  // Always-on flight recorder (src/prof/flight_recorder.h): the last
+  // this-many completed requests are reconstructible as a Perfetto snapshot
+  // after the fact. 0 disables it (trace_sink() then returns opt_.tracer).
+  std::size_t flight_recorder_capacity = 256;
+  std::size_t flight_recorder_events_per_request = 256;
+
+  // SLO watchdog (src/engine/watchdog.h): armed iff watchdog.rules is
+  // non-empty. A breach bumps EngineMetrics::slo_breaches and — when
+  // snapshot_dir is non-empty — writes snapshot-<ts>-<reason>.trace.json
+  // plus a .flightrec.txt text dump there (rate-limited by
+  // watchdog.min_trigger_interval_seconds).
+  WatchdogOptions watchdog;
+  std::string snapshot_dir;
 };
 
 struct EngineMetrics {
@@ -337,6 +355,22 @@ struct EngineMetrics {
   double planner_observed_seconds = 0;   // summed over observations
   std::map<std::string, std::uint64_t> planner_chosen;  // spec -> picks
   std::map<std::string, double> planner_calibration;  // "spec/q<bucket>" -> f
+
+  // SLO watchdog / snapshot trigger state (0 / empty when no rules are
+  // configured).
+  std::uint64_t slo_breaches = 0;
+  std::uint64_t snapshots_written = 0;
+  std::string last_snapshot_path;
+
+  // Slowest request seen per stage since engine start: what to_prom_text
+  // emits as "# EXEMPLAR" comment lines so a scrape can name the request
+  // behind each latency family's tail (fetch it from /debug/requests or a
+  // snapshot by corr id). Keys: queue, fuse, execute, sample, total.
+  struct StageExemplar {
+    std::uint64_t request_id = 0;
+    double ms = 0;
+  };
+  std::map<std::string, StageExemplar> exemplars;
 
   // Prometheus text exposition (version 0.0.4): counters, gauges and the
   // histograms above as qhip_engine_* families, ready for a /metrics scrape
@@ -405,6 +439,31 @@ class SimulationEngine {
   // passed at construction (no-op without one), so they serialize into the
   // Perfetto trace JSON next to the kernel events.
   void export_metrics() const;
+
+  // The Tracer front-ends should install where they would use opt_.tracer:
+  // the flight recorder's capture sink when the recorder is enabled
+  // (forwarding to opt_.tracer), opt_.tracer itself (possibly null)
+  // otherwise. All engine spans and backend device events flow through it.
+  Tracer* trace_sink() const { return trace_; }
+
+  // Flight recorder / watchdog accessors; null when disabled by options.
+  prof::FlightRecorder* flight_recorder() { return recorder_.get(); }
+  const prof::FlightRecorder* flight_recorder() const {
+    return recorder_.get();
+  }
+  const SloWatchdog* watchdog() const { return watchdog_.get(); }
+
+  // Human-readable debug payload: the flight recorder's request table plus
+  // the watchdog's rule/window status (the {"op":"debug"} and
+  // GET /debug/requests body).
+  std::string debug_text() const;
+
+  // Writes snapshot-<ts>-<reason>.trace.json and a matching .flightrec.txt
+  // into `dir` (or opt_.snapshot_dir when empty). Returns the trace path,
+  // or "" when the recorder is disabled, no directory is configured, or the
+  // write fails — snapshots are best-effort and never throw.
+  std::string trigger_snapshot(const std::string& reason,
+                               const std::string& dir = {});
 
  private:
   struct Job;
@@ -479,6 +538,14 @@ class SimulationEngine {
   std::unique_ptr<Planner> planner_;  // non-null iff opt_.enable_planner
   std::atomic<std::uint64_t> next_request_id_{1};
 
+  // Trace plumbing (DESIGN.md §16): recorder_ is non-null iff
+  // flight_recorder_capacity > 0; trace_ is the sink all spans and backends
+  // record into — the recorder's capture sink (downstream = opt_.tracer)
+  // when enabled, opt_.tracer directly (possibly null) otherwise.
+  std::unique_ptr<prof::FlightRecorder> recorder_;
+  Tracer* trace_ = nullptr;
+  std::unique_ptr<SloWatchdog> watchdog_;  // non-null iff rules configured
+
   mutable std::mutex load_mu_;
   std::map<std::string, double> backend_load_s_;  // spec -> predicted seconds
 
@@ -515,9 +582,9 @@ class SimulationEngine {
   std::uint64_t result_cache_hits_ = 0;
   std::uint64_t retries_ = 0, fallbacks_ = 0, coalesced_failures_ = 0;
   std::uint64_t faults_oom_ = 0, faults_backend_ = 0, faults_deadline_ = 0;
-  // Completion latencies, fixed-capacity ring (opt_.latency_window).
-  std::vector<double> latencies_ms_;
-  std::size_t latency_next_ = 0;
+  // Completion latencies, fixed-capacity ring (opt_.latency_window);
+  // re-seated to the configured capacity in the constructor.
+  prof::LatencyReservoir latency_res_{0};
   // Per-stage distributions over all ok results (guarded by metrics_mu_).
   prof::Histogram hist_queue_ms_ = prof::latency_ms_histogram();
   prof::Histogram hist_fuse_ms_ = prof::latency_ms_histogram();
@@ -532,6 +599,12 @@ class SimulationEngine {
   std::uint64_t trajectories_run_ = 0;
   std::uint64_t trajectory_early_stops_ = 0;
   prof::Histogram hist_trajectories_per_batch_ = prof::count_histogram();
+  // Watchdog/snapshot bookkeeping and per-stage slowest-request exemplars
+  // (guarded by metrics_mu_).
+  std::uint64_t slo_breaches_ = 0;
+  std::uint64_t snapshots_written_ = 0;
+  std::string last_snapshot_path_;
+  std::map<std::string, EngineMetrics::StageExemplar> slowest_;
 };
 
 }  // namespace qhip::engine

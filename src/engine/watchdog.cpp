@@ -1,0 +1,232 @@
+#include "src/engine/watchdog.h"
+
+#include <cstdio>
+
+#include "src/base/error.h"
+
+namespace qhip::engine {
+
+int slo_kind_index(const std::string& name) {
+  for (int i = 0; i < kSloKinds; ++i) {
+    if (name == kSloKindNames[i]) return i;
+  }
+  throw Error("SLO rule: unknown kind '" + name +
+              "' (want any, circuit, expectation, or trajectory)");
+}
+
+SloRule parse_slo_rule(const std::string& spec) {
+  const auto colon = spec.find(':');
+  check(colon != std::string::npos && colon > 0,
+        "SLO rule '" + spec + "': want kind:field=value[,field=value...]");
+  SloRule rule;
+  rule.kind = slo_kind_index(spec.substr(0, colon));
+
+  std::size_t pos = colon + 1;
+  bool any_field = false;
+  while (pos < spec.size()) {
+    auto comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string field = spec.substr(pos, comma - pos);
+    const auto eq = field.find('=');
+    check(eq != std::string::npos && eq > 0 && eq + 1 < field.size(),
+          "SLO rule '" + spec + "': malformed field '" + field + "'");
+    const std::string key = field.substr(0, eq);
+    const std::string val = field.substr(eq + 1);
+    double num = 0;
+    try {
+      std::size_t used = 0;
+      num = std::stod(val, &used);
+      check(used == val.size(), "trailing garbage");
+    } catch (const std::exception&) {
+      throw Error("SLO rule '" + spec + "': bad number '" + val + "' for '" +
+                  key + "'");
+    }
+    check(num >= 0, "SLO rule '" + spec + "': '" + key + "' must be >= 0");
+    if (key == "p99_ms") {
+      rule.p99_ms = num;
+    } else if (key == "error_rate") {
+      check(num <= 1.0,
+            "SLO rule '" + spec + "': error_rate is a fraction in [0, 1]");
+      rule.max_error_rate = num;
+    } else if (key == "min_requests") {
+      rule.min_requests = static_cast<std::size_t>(num);
+    } else {
+      throw Error("SLO rule '" + spec + "': unknown field '" + key +
+                  "' (want p99_ms, error_rate, min_requests)");
+    }
+    any_field = true;
+    pos = comma + 1;
+  }
+  check(any_field && (rule.p99_ms > 0 || rule.max_error_rate > 0),
+        "SLO rule '" + spec + "': need at least p99_ms or error_rate");
+  return rule;
+}
+
+SloWatchdog::SloWatchdog(WatchdogOptions opt) : opt_(std::move(opt)) {
+  check(opt_.epoch_seconds > 0, "SloWatchdog: epoch_seconds must be > 0");
+  check(opt_.window_epochs >= 1, "SloWatchdog: window_epochs must be >= 1");
+  epochs_.resize(opt_.window_epochs);
+}
+
+void SloWatchdog::rotate(std::uint64_t now_us) {
+  if (!started_) {
+    started_ = true;
+    epochs_[cur_].start_us = now_us;
+    return;
+  }
+  const auto epoch_us =
+      static_cast<std::uint64_t>(opt_.epoch_seconds * 1e6);
+  // An idle gap spanning the whole ring leaves nothing worth keeping: clear
+  // every epoch and restart at now, instead of spinning the advance loop
+  // once per elapsed epoch (or, worse, jumping the clock past stale cells
+  // that would then be counted as recent).
+  if (now_us - epochs_[cur_].start_us >=
+      epoch_us * (epochs_.size() + 1)) {
+    for (auto& e : epochs_) {
+      e.start_us = 0;
+      for (auto& cell : e.kinds) {
+        cell.h.clear();
+        cell.total = 0;
+        cell.errors = 0;
+      }
+    }
+    cur_ = 0;
+    epochs_[cur_].start_us = now_us;
+    return;
+  }
+  // Advance one epoch at a time (bounded by the check above) so partial
+  // gaps age exactly the epochs that fell out of the window.
+  while (now_us >= epochs_[cur_].start_us + epoch_us) {
+    const std::uint64_t next_start = epochs_[cur_].start_us + epoch_us;
+    cur_ = (cur_ + 1) % epochs_.size();
+    Epoch& e = epochs_[cur_];
+    e.start_us = next_start;
+    for (auto& cell : e.kinds) {
+      cell.h.clear();
+      cell.total = 0;
+      cell.errors = 0;
+    }
+  }
+}
+
+SloWatchdog::Cell SloWatchdog::merged(int kind) const {
+  Cell out;
+  for (const auto& e : epochs_) {
+    const Cell& c = e.kinds[kind];
+    out.h.merge(c.h);
+    out.total += c.total;
+    out.errors += c.errors;
+  }
+  return out;
+}
+
+std::optional<SloBreach> SloWatchdog::observe(int kind, double total_ms,
+                                              bool ok, std::uint64_t now_us) {
+  rotate(now_us);
+  Epoch& e = epochs_[cur_];
+  const auto record_into = [&](int k) {
+    Cell& c = e.kinds[k];
+    c.h.record(total_ms);
+    ++c.total;
+    if (!ok) ++c.errors;
+  };
+  record_into(0);  // "any" aggregates every request
+  if (kind >= 1 && kind < kSloKinds) record_into(kind);
+
+  for (const SloRule& rule : opt_.rules) {
+    const Cell w = merged(rule.kind);
+    if (w.total < rule.min_requests) continue;
+    const char* kind_name = kSloKindNames[rule.kind];
+    char detail[192];
+    if (rule.p99_ms > 0) {
+      const double p99 = w.h.quantile(0.99);
+      if (p99 > rule.p99_ms) {
+        std::snprintf(detail, sizeof(detail),
+                      "windowed p99 %.3f ms > %.3f ms over %llu %s requests",
+                      p99, rule.p99_ms,
+                      static_cast<unsigned long long>(w.total), kind_name);
+        if (triggered_once_ &&
+            now_us < last_trigger_us_ +
+                         static_cast<std::uint64_t>(
+                             opt_.min_trigger_interval_seconds * 1e6)) {
+          return std::nullopt;  // breach, but inside the rate-limit window
+        }
+        last_trigger_us_ = now_us;
+        triggered_once_ = true;
+        ++breaches_;
+        return SloBreach{std::string("p99-") + kind_name, detail};
+      }
+    }
+    if (rule.max_error_rate > 0) {
+      const double rate =
+          static_cast<double>(w.errors) / static_cast<double>(w.total);
+      if (rate > rule.max_error_rate) {
+        std::snprintf(detail, sizeof(detail),
+                      "windowed error rate %.4f > %.4f over %llu %s requests",
+                      rate, rule.max_error_rate,
+                      static_cast<unsigned long long>(w.total), kind_name);
+        if (triggered_once_ &&
+            now_us < last_trigger_us_ +
+                         static_cast<std::uint64_t>(
+                             opt_.min_trigger_interval_seconds * 1e6)) {
+          return std::nullopt;
+        }
+        last_trigger_us_ = now_us;
+        triggered_once_ = true;
+        ++breaches_;
+        return SloBreach{std::string("errors-") + kind_name, detail};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+SloWindow SloWatchdog::window(int kind) const {
+  check(kind >= 0 && kind < kSloKinds, "SloWatchdog::window: bad kind index");
+  const Cell w = merged(kind);
+  SloWindow out;
+  out.total = w.total;
+  out.errors = w.errors;
+  out.p50_ms = w.h.quantile(0.50);
+  out.p99_ms = w.h.quantile(0.99);
+  return out;
+}
+
+std::string SloWatchdog::status_text() const {
+  char line[224];
+  std::snprintf(line, sizeof(line),
+                "slo watchdog: %zu rule(s), window %.1fs x %zu epochs, "
+                "%llu breach(es)\n",
+                opt_.rules.size(), opt_.epoch_seconds, opt_.window_epochs,
+                static_cast<unsigned long long>(breaches_));
+  std::string out = line;
+  for (const SloRule& r : opt_.rules) {
+    out += "  rule " + std::string(kSloKindNames[r.kind]) + ":";
+    if (r.p99_ms > 0) {
+      std::snprintf(line, sizeof(line), " p99_ms<=%.3f", r.p99_ms);
+      out += line;
+    }
+    if (r.max_error_rate > 0) {
+      std::snprintf(line, sizeof(line), " error_rate<=%.4f",
+                    r.max_error_rate);
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), " min_requests=%zu", r.min_requests);
+    out += line;
+    out += "\n";
+  }
+  for (int k = 0; k < kSloKinds; ++k) {
+    const SloWindow w = window(k);
+    if (w.total == 0 && k != 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "  window %-11s total=%llu errors=%llu p50=%.3fms "
+                  "p99=%.3fms\n",
+                  kSloKindNames[k], static_cast<unsigned long long>(w.total),
+                  static_cast<unsigned long long>(w.errors), w.p50_ms,
+                  w.p99_ms);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace qhip::engine

@@ -1,0 +1,114 @@
+// Windowed SLO watchdog: bounded-memory latency/error-rate rules that arm
+// the flight recorder's snapshot trigger.
+//
+// The engine feeds every completed request into observe(). Internally the
+// watchdog keeps a short ring of per-epoch cells — each cell a
+// prof::Histogram plus ok/error counts, split per request kind — and
+// evaluates the configured rules over the merged rolling window
+// (Histogram::merge), so memory stays O(window_epochs * kinds) no matter how
+// long the process serves. When a rule fires, observe() returns an SloBreach
+// describing why; the engine turns that into a rate-limited
+// snapshot-<ts>-<reason>.trace.json dump (see SimulationEngine::
+// trigger_snapshot). The rate limit lives here so repeated breaches during
+// one incident produce one snapshot, not a disk-filling storm.
+//
+// Not internally synchronized: the engine calls observe() under its metrics
+// mutex; status_text()/window()/breaches() are for the same caller.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/prof/histogram.h"
+
+namespace qhip::engine {
+
+// Rule scopes: index 0 aggregates every request, 1..3 follow RequestKind
+// (circuit, expectation, trajectory) shifted by one.
+inline constexpr int kSloKinds = 4;
+inline constexpr const char* kSloKindNames[kSloKinds] = {
+    "any", "circuit", "expectation", "trajectory"};
+
+// Index for a kind name; throws qhip::Error on unknown names.
+int slo_kind_index(const std::string& name);
+
+struct SloRule {
+  int kind = 0;                  // index into kSloKindNames
+  double p99_ms = 0;             // fire when windowed p99 exceeds this (0 = off)
+  double max_error_rate = 0;     // fire when errors/total exceeds this (0 = off)
+  std::size_t min_requests = 32; // rule is quiet below this window population
+};
+
+// Parses "kind:field=value[,field=value...]" — e.g.
+// "any:p99_ms=50,min_requests=64" or "circuit:error_rate=0.05". Fields:
+// p99_ms, error_rate, min_requests. Throws qhip::Error on malformed input.
+SloRule parse_slo_rule(const std::string& spec);
+
+struct WatchdogOptions {
+  double epoch_seconds = 1.0;          // ring granularity
+  std::size_t window_epochs = 8;       // rolling window = epoch * window
+  double min_trigger_interval_seconds = 30;  // snapshot rate limit
+  std::vector<SloRule> rules;
+};
+
+struct SloBreach {
+  std::string reason;  // filename-safe, e.g. "p99-circuit" / "errors-any"
+  std::string detail;  // human-readable: observed vs. threshold
+};
+
+// Rolling-window view of one kind, for status reporting.
+struct SloWindow {
+  std::uint64_t total = 0;
+  std::uint64_t errors = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+class SloWatchdog {
+ public:
+  explicit SloWatchdog(WatchdogOptions opt);
+
+  // Feeds one completed request (kind = 1-based RequestKind index; ok =
+  // served without error). Returns a breach when a rule fires and the rate
+  // limiter allows it; the caller owns what happens next.
+  std::optional<SloBreach> observe(int kind, double total_ms, bool ok,
+                                   std::uint64_t now_us);
+
+  // Merged rolling-window stats for a kind index (0 = any).
+  SloWindow window(int kind) const;
+
+  // Breaches returned by observe() so far. Rate-limit-suppressed repeats are
+  // not counted: each increment corresponds to one snapshot trigger.
+  std::uint64_t breaches() const { return breaches_; }
+
+  // Human-readable rule + window summary for the debug endpoints.
+  std::string status_text() const;
+
+  const WatchdogOptions& options() const { return opt_; }
+
+ private:
+  struct Cell {
+    prof::Histogram h = prof::latency_ms_histogram();
+    std::uint64_t total = 0;
+    std::uint64_t errors = 0;
+  };
+  struct Epoch {
+    std::uint64_t start_us = 0;
+    Cell kinds[kSloKinds];
+  };
+
+  void rotate(std::uint64_t now_us);
+  Cell merged(int kind) const;
+
+  WatchdogOptions opt_;
+  std::vector<Epoch> epochs_;  // ring, cur_ = active epoch
+  std::size_t cur_ = 0;
+  bool started_ = false;
+  std::uint64_t last_trigger_us_ = 0;
+  bool triggered_once_ = false;
+  std::uint64_t breaches_ = 0;
+};
+
+}  // namespace qhip::engine

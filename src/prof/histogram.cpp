@@ -44,6 +44,15 @@ double Histogram::quantile(double p) const {
   return bounds_.back();
 }
 
+void Histogram::merge(const Histogram& o) {
+  check(bounds_ == o.bounds_,
+        "Histogram::merge: bucket bounds differ (merge requires the same "
+        "first_upper/growth/num_buckets shape)");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  count_ += o.count_;
+  sum_ += o.sum_;
+}
+
 void Histogram::clear() {
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;

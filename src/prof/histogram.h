@@ -43,6 +43,12 @@ class Histogram {
   // finite bound (the histogram cannot see beyond it).
   double quantile(double p) const;
 
+  // Adds `o`'s observations into this histogram. Both must have identical
+  // bucket bounds (same first_upper/growth/num_buckets); throws qhip::Error
+  // otherwise. This is what makes a ring of per-epoch histograms mergeable
+  // into one rolling-window view (the SLO watchdog's windowed percentiles).
+  void merge(const Histogram& o);
+
   void clear();
 
  private:

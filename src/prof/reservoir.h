@@ -1,0 +1,82 @@
+// Bounded latency reservoir: the engine's point-percentile store.
+//
+// The engine keeps the last `capacity` request latencies in a ring and
+// answers percentile queries over exactly that window. This was inlined in
+// engine.cpp (PR 3); it is extracted here so the wrap-around behaviour can be
+// regression-tested against a dense oracle (tests/prof/test_reservoir.cpp)
+// and reused by anything else that wants "recent percentiles" without the
+// bucketing error of a prof::Histogram.
+//
+// Not internally synchronized: callers serialize access (the engine updates
+// it under its metrics mutex).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qhip::prof {
+
+// Percentile of an ascending-sorted sample set with linear interpolation
+// between adjacent order statistics (the "exclusive" scheme most tools use):
+// p = 0 is the minimum, p = 1 the maximum, p = 0.5 the median.
+inline double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+class LatencyReservoir {
+ public:
+  // capacity 0 disables the reservoir (record() is a no-op).
+  explicit LatencyReservoir(std::size_t capacity) : capacity_(capacity) {
+    samples_.reserve(capacity_);
+  }
+
+  void record(double v) {
+    if (capacity_ == 0) return;
+    ++total_;
+    if (samples_.size() < capacity_) {
+      samples_.push_back(v);
+      return;
+    }
+    samples_[next_] = v;  // overwrite the oldest sample
+    next_ = (next_ + 1) % capacity_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  // Samples currently held (<= capacity).
+  std::size_t size() const { return samples_.size(); }
+  // Samples ever recorded (including overwritten ones).
+  std::uint64_t total_recorded() const { return total_; }
+
+  // Ascending copy of the currently-held window.
+  std::vector<double> sorted() const {
+    std::vector<double> s = samples_;
+    std::sort(s.begin(), s.end());
+    return s;
+  }
+
+  // Percentile over the current window; 0 when empty.
+  double percentile(double p) const { return percentile_sorted(sorted(), p); }
+
+  double mean() const {
+    if (samples_.empty()) return 0;
+    double sum = 0;
+    for (double v : samples_) sum += v;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<double> samples_;
+  std::size_t next_ = 0;  // overwrite cursor once full
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace qhip::prof

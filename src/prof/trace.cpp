@@ -100,10 +100,15 @@ std::vector<TraceSummaryRow> Tracer::summary() const {
 }
 
 std::string Tracer::to_perfetto_json() const {
-  std::vector<TraceEvent> evs = events();
-  const std::map<std::string, double> cnts = counters();
+  return perfetto_trace_json(events(), counters(), Timer::now_micros());
+}
+
+std::string perfetto_trace_json(const std::vector<TraceEvent>& evs,
+                                const std::map<std::string, double>& cnts,
+                                std::uint64_t counter_ts_us,
+                                const std::string& extra_json) {
   std::string out;
-  out.reserve(evs.size() * 160 + cnts.size() * 96 + 64);
+  out.reserve(evs.size() * 160 + cnts.size() * 96 + extra_json.size() + 64);
   out += "{\"traceEvents\":[\n";
   bool first = true;
   for (const auto& e : evs) {
@@ -175,21 +180,22 @@ std::string Tracer::to_perfetto_json() const {
                       g.device.back()->ts_us, true);
   }
 
-  const std::uint64_t now = Timer::now_micros();
   for (const auto& [name, value] : cnts) {
     if (!first) out += ",\n";
     first = false;
     out += "{\"name\":\"";
     append_escaped(out, name);
     out += "\",\"cat\":\"metric\",\"ph\":\"C\",\"pid\":1,\"ts\":";
-    out += std::to_string(now);
+    out += std::to_string(counter_ts_us);
     out += ",\"args\":{\"value\":";
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.17g", value);
     out += buf;
     out += "}}";
   }
-  out += "\n]}\n";
+  out += "\n]";
+  out += extra_json;
+  out += "}\n";
   return out;
 }
 

@@ -55,16 +55,36 @@ constexpr int span_lane(std::uint64_t corr) {
   return 100 + static_cast<int>(corr % 24);
 }
 
+// Serializes `events` + `counters` into the Chrome trace-event JSON object
+// {"traceEvents":[...]}: one "ph":"X" object per event, per-correlation-id
+// flow chains ("ph":"s"/"t"/"f" anchored on the longest span), and one
+// "ph":"C" object per counter stamped at `counter_ts_us`. `extra_json`,
+// when non-empty, is spliced verbatim into the top-level object after the
+// traceEvents array and must therefore start with ',' (e.g.
+// ",\"flightRecorder\":{...}"). Shared by Tracer::to_perfetto_json and the
+// flight recorder's snapshot writer so both emit the exact same format.
+std::string perfetto_trace_json(const std::vector<TraceEvent>& events,
+                                const std::map<std::string, double>& counters,
+                                std::uint64_t counter_ts_us,
+                                const std::string& extra_json = {});
+
 // Thread-safe event collector. One Tracer per run; pass nullptr to disable
 // tracing (recording is skipped entirely in that case).
+//
+// record() and set_counter() are virtual: the flight recorder
+// (src/prof/flight_recorder.h) installs a bounded capture sink where a full
+// Tracer would be used, forwarding to an optional downstream Tracer.
 class Tracer {
  public:
+  virtual ~Tracer() = default;
+
   // Records a completed event. `corr` tags the event with a request
   // correlation id (0 = none); `detail` is a free-form annotation surfaced
   // in the trace args and by qhip_prof.
-  void record(std::string name, TraceKind kind, std::uint64_t ts_us,
-              std::uint64_t dur_us, int lane = 0, std::uint64_t bytes = 0,
-              std::uint64_t corr = 0, std::string detail = {});
+  virtual void record(std::string name, TraceKind kind, std::uint64_t ts_us,
+                      std::uint64_t dur_us, int lane = 0,
+                      std::uint64_t bytes = 0, std::uint64_t corr = 0,
+                      std::string detail = {});
 
   // Number of recorded events.
   std::size_t size() const;
@@ -78,7 +98,7 @@ class Tracer {
   // The engine exports its serving metrics (cache hit rate, latency
   // histogram buckets, pooled bytes) through these so they land in the same
   // trace JSON as the kernel timeline.
-  void set_counter(const std::string& name, double value);
+  virtual void set_counter(const std::string& name, double value);
   std::map<std::string, double> counters() const;
 
   // Serializes to the Chrome trace-event JSON array format understood by

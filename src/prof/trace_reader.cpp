@@ -1,6 +1,8 @@
 #include "src/prof/trace_reader.h"
 
 #include <cctype>
+#include <climits>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
@@ -43,7 +45,31 @@ struct JsonValue {
     if (f == nullptr || !std::holds_alternative<double>(f->v)) return dflt;
     return std::get<double>(f->v);
   }
+  bool bool_or(const std::string& key, bool dflt) const {
+    const JsonValue* f = find(key);
+    if (f == nullptr || !std::holds_alternative<bool>(f->v)) return dflt;
+    return std::get<bool>(f->v);
+  }
 };
+
+// Hostile-input clamps: a double->integer cast is UB when the value is NaN
+// or outside the target range, and nothing stops a hand-edited (or
+// truncated-and-patched) trace from carrying "ts":-1 or "dur":1e300. Clamp
+// instead of crashing; a profile built from garbage fields is still more
+// useful than an aborted run.
+std::uint64_t clamp_u64(double v) {
+  if (std::isnan(v) || v <= 0) return 0;
+  constexpr double kMax = 18446744073709549568.0;  // largest double < 2^64
+  if (v >= kMax) return UINT64_MAX;
+  return static_cast<std::uint64_t>(v);
+}
+
+int clamp_int(double v) {
+  if (std::isnan(v)) return 0;
+  if (v <= static_cast<double>(INT_MIN)) return INT_MIN;
+  if (v >= static_cast<double>(INT_MAX)) return INT_MAX;
+  return static_cast<int>(v);
+}
 
 class JsonParser {
  public:
@@ -192,8 +218,39 @@ class JsonParser {
 };
 
 std::uint64_t u64_arg(const JsonValue& args, const std::string& key) {
-  const double v = args.num_or(key, 0);
-  return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+  return clamp_u64(args.num_or(key, 0));
+}
+
+// Parses the "flightRecorder" member a snapshot carries next to its
+// traceEvents (FlightRecorder::snapshot_json). Missing or mistyped fields
+// fall back to zero values — the record table degrades, the parse survives.
+void parse_flight_recorder(const JsonValue& fr, ParsedTrace* out) {
+  if (!fr.is_object()) return;
+  out->snapshot_reason = fr.str_or("reason", "");
+  if (out->snapshot_reason.empty()) out->snapshot_reason = "unknown";
+  out->snapshot_dropped_events = clamp_u64(fr.num_or("dropped_events", 0));
+  const JsonValue* recs = fr.find("records");
+  if (recs == nullptr || !recs->is_array()) return;
+  for (const JsonValue& r : recs->array()) {
+    if (!r.is_object()) continue;
+    FlightRecord rec;
+    rec.corr = clamp_u64(r.num_or("corr", 0));
+    rec.kind = r.str_or("kind", "");
+    rec.backend = r.str_or("backend", "");
+    rec.planner = r.str_or("planner", "");
+    rec.outcome = r.str_or("outcome", "");
+    rec.ok = r.bool_or("ok", false);
+    rec.cache_hit = r.bool_or("cache_hit", false);
+    rec.attempts = clamp_u64(r.num_or("attempts", 0));
+    rec.bytes = clamp_u64(r.num_or("bytes", 0));
+    rec.submit_us = clamp_u64(r.num_or("submit_us", 0));
+    rec.queue_ms = r.num_or("queue_ms", 0);
+    rec.fuse_ms = r.num_or("fuse_ms", 0);
+    rec.execute_ms = r.num_or("execute_ms", 0);
+    rec.sample_ms = r.num_or("sample_ms", 0);
+    rec.total_ms = r.num_or("total_ms", 0);
+    out->flight_records.push_back(std::move(rec));
+  }
 }
 
 }  // namespace
@@ -217,10 +274,10 @@ ParsedTrace parse_trace_json(const std::string& json) {
     pe.name = ev.str_or("name", "");
     pe.cat = ev.str_or("cat", "");
     pe.ph = ph;
-    pe.tid = static_cast<int>(ev.num_or("tid", 0));
-    pe.ts_us = static_cast<std::uint64_t>(ev.num_or("ts", 0));
+    pe.tid = clamp_int(ev.num_or("tid", 0));
+    pe.ts_us = clamp_u64(ev.num_or("ts", 0));
     if (ph == "X") {
-      pe.dur_us = static_cast<std::uint64_t>(ev.num_or("dur", 0));
+      pe.dur_us = clamp_u64(ev.num_or("dur", 0));
       if (const JsonValue* args = ev.find("args"); args != nullptr) {
         pe.bytes = u64_arg(*args, "bytes");
         pe.corr = u64_arg(*args, "corr");
@@ -228,12 +285,17 @@ ParsedTrace parse_trace_json(const std::string& json) {
       }
       out.events.push_back(std::move(pe));
     } else if (ph == "s" || ph == "t" || ph == "f") {
-      pe.corr = static_cast<std::uint64_t>(ev.num_or("id", 0));
+      pe.corr = clamp_u64(ev.num_or("id", 0));
       out.flows.push_back(std::move(pe));
     } else if (ph == "C") {
       if (const JsonValue* args = ev.find("args"); args != nullptr) {
         out.counters[pe.name] = args->num_or("value", 0);
       }
+    }
+  }
+  if (root.is_object()) {
+    if (const JsonValue* fr = root.find("flightRecorder"); fr != nullptr) {
+      parse_flight_recorder(*fr, &out);
     }
   }
   return out;

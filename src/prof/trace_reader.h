@@ -29,10 +29,35 @@ struct ParsedEvent {
   std::string detail;      // args.detail
 };
 
+// One completed-request record from a flight-recorder snapshot's
+// "flightRecorder" member (src/prof/flight_recorder.h).
+struct FlightRecord {
+  std::uint64_t corr = 0;
+  std::string kind;
+  std::string backend;
+  std::string planner;
+  std::string outcome;
+  bool ok = false;
+  bool cache_hit = false;
+  std::uint64_t attempts = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t submit_us = 0;
+  double queue_ms = 0;
+  double fuse_ms = 0;
+  double execute_ms = 0;
+  double sample_ms = 0;
+  double total_ms = 0;
+};
+
 struct ParsedTrace {
   std::vector<ParsedEvent> events;  // "ph":"X" in file order
   std::vector<ParsedEvent> flows;   // "ph":"s"/"t"/"f" in file order
   std::map<std::string, double> counters;  // "ph":"C" name -> last value
+  // Present only when the file is a flight-recorder snapshot
+  // (FlightRecorder::snapshot_json). Records are newest-first.
+  std::string snapshot_reason;
+  std::uint64_t snapshot_dropped_events = 0;
+  std::vector<FlightRecord> flight_records;
 };
 
 // Parses trace JSON text. Throws qhip::Error on malformed JSON or a missing

@@ -37,10 +37,13 @@ bool send_all(int fd, const char* data, std::size_t len) {
   return true;
 }
 
-std::string http_response(const char* status, const std::string& body) {
+std::string http_response(const char* status, const std::string& body,
+                          const char* content_type = nullptr) {
   std::string r = "HTTP/1.0 ";
   r += status;
-  r += "\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: ";
+  r += "\r\nContent-Type: ";
+  r += content_type ? content_type : "text/plain; version=0.0.4";
+  r += "\r\nContent-Length: ";
   r += std::to_string(body.size());
   r += "\r\nConnection: close\r\n\r\n";
   r += body;
@@ -176,6 +179,12 @@ void Server::handle_line(const std::shared_ptr<Conn>& conn,
     enqueue(conn, encode_metrics(engine_.metrics().to_prom_text(), wr.id) + "\n");
     return;
   }
+  if (wr.op == "debug") {
+    // Flight-recorder request table + SLO watchdog status, answered inline
+    // like metrics (no engine round-trip, safe during incidents).
+    enqueue(conn, encode_metrics(engine_.debug_text(), wr.id) + "\n");
+    return;
+  }
 
   // Admission: shed instead of queueing beyond the per-connection bound.
   bool shed = false;
@@ -206,16 +215,23 @@ void Server::handle_line(const std::shared_ptr<Conn>& conn,
   }
   const std::uint64_t t0 = Timer::now_micros();
   const std::string tag = wr.id;
+  const std::string client_corr = wr.client_corr;
   // The callback may run on an engine worker or inline (synchronous
   // rejection during drain); both paths only enqueue.
   engine_.submit(std::move(wr.sim),
-                 [this, conn, tag, t0](engine::SimResult res) {
+                 [this, conn, tag, t0, client_corr](engine::SimResult res) {
                    if (opt_.tracer) {
+                     std::string detail =
+                         res.ok ? "served" : to_string(res.code);
+                     if (!client_corr.empty()) {
+                       // Joins the server-side span tree with the client's
+                       // own trace (docs/SERVING.md).
+                       detail += " client_corr=" + client_corr;
+                     }
                      opt_.tracer->record(
                          "serve", TraceKind::kSpan, t0,
                          Timer::now_micros() - t0, span_lane(res.request_id),
-                         0, res.request_id,
-                         res.ok ? "served" : to_string(res.code));
+                         0, res.request_id, std::move(detail));
                    }
                    std::string out = encode_result(res, tag) + "\n";
                    {
@@ -244,14 +260,36 @@ void Server::reader_loop(const std::shared_ptr<Conn>& conn) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
       if (line.rfind("GET ", 0) == 0) {
-        // Plaintext scrape endpoint: answer the one request, then close
+        // Plaintext scrape endpoints: answer the one request, then close
         // (HTTP/1.0 semantics; remaining header bytes are discarded).
-        const bool metrics = line.compare(4, 9, "/metrics ") == 0 ||
-                             line.compare(4, 8, "/metrics") == 0;
-        enqueue(conn,
-                metrics
-                    ? http_response("200 OK", engine_.metrics().to_prom_text())
-                    : http_response("404 Not Found", "only /metrics here\n"));
+        std::string path = line.substr(4);
+        if (const auto sp = path.find(' '); sp != std::string::npos) {
+          path.resize(sp);
+        }
+        if (path == "/metrics") {
+          enqueue(conn,
+                  http_response("200 OK", engine_.metrics().to_prom_text()));
+        } else if (path == "/debug/requests") {
+          enqueue(conn, http_response("200 OK", engine_.debug_text()));
+        } else if (path == "/debug/snapshot") {
+          // Returns the flight-recorder snapshot JSON; when the engine has a
+          // snapshot directory configured, the same snapshot is also written
+          // to disk (reason "debug-get").
+          if (const auto* rec = engine_.flight_recorder()) {
+            engine_.trigger_snapshot("debug-get");
+            enqueue(conn, http_response("200 OK",
+                                        rec->snapshot_json("debug-get"),
+                                        "application/json"));
+          } else {
+            enqueue(conn, http_response("404 Not Found",
+                                        "flight recorder disabled\n"));
+          }
+        } else {
+          enqueue(conn,
+                  http_response(
+                      "404 Not Found",
+                      "routes: /metrics /debug/requests /debug/snapshot\n"));
+        }
         acc.clear();
         return false;
       }

@@ -183,10 +183,14 @@ SimErrorCode code_from(const std::string& s) {
 
 }  // namespace
 
-std::string encode_request(const SimRequest& req, const std::string& id) {
+std::string encode_request(const SimRequest& req, const std::string& id,
+                           const std::string& client_corr) {
   JsonPtr o = JsonValue::make_object();
   o->set("op", JsonValue::make_string("simulate"));
   if (!id.empty()) o->set("id", JsonValue::make_string(id));
+  if (!client_corr.empty()) {
+    o->set("client_corr", JsonValue::make_string(client_corr));
+  }
   o->set("kind", JsonValue::make_string(engine::to_string(req.kind)));
   o->set("format", JsonValue::make_string("qhip"));
   o->set("circuit", JsonValue::make_string(write_circuit_string(req.circuit)));
@@ -230,7 +234,10 @@ WireRequest decode_request(const std::string& line) {
   WireRequest out;
   if (const JsonValue* id = root->find("id")) out.id = id->as_string("id");
   if (const JsonValue* op = root->find("op")) out.op = op->as_string("op");
-  if (out.op == "ping" || out.op == "metrics") return out;
+  if (const JsonValue* cc = root->find("client_corr")) {
+    out.client_corr = cc->as_string("client_corr");
+  }
+  if (out.op == "ping" || out.op == "metrics" || out.op == "debug") return out;
   if (out.op != "simulate") malformed("unknown op '" + out.op + "'");
 
   SimRequest& q = out.sim;
@@ -300,6 +307,7 @@ std::string encode_result(const SimResult& res, const std::string& id) {
   o->set("ok", JsonValue::make_bool(res.ok));
   o->set("code", JsonValue::make_string(engine::to_string(res.code)));
   if (!res.error.empty()) o->set("error", JsonValue::make_string(res.error));
+  o->set("kind", JsonValue::make_string(engine::to_string(res.kind)));
   o->set("request_id", JsonValue::make_uint(res.request_id));
   if (!res.measurements.empty()) o->set("measurements", uint_array(res.measurements));
   if (!res.samples.empty()) o->set("samples", uint_array(res.samples));
@@ -382,6 +390,7 @@ SimResult decode_result(const std::string& line, std::string* id_out,
     res.code = code_from(v->as_string("code"));
   }
   if (const JsonValue* v = root->find("error")) res.error = v->as_string("error");
+  if (const JsonValue* v = root->find("kind")) res.kind = kind_from(v->as_string("kind"));
   if (const JsonValue* v = root->find("request_id")) {
     res.request_id = v->as_uint("request_id");
   }

@@ -11,9 +11,11 @@
 //    "want_state":false, "timeout_seconds":0, "bypass_result_cache":false,
 //    "observable":["1.5 * Z0 Z1", ...],
 //    "noise":{"channel":"depolarizing","rate":0.01},
-//    "num_trajectories":0, "trajectory_tolerance":0, "id":"<client tag>"}
+//    "num_trajectories":0, "trajectory_tolerance":0, "id":"<client tag>",
+//    "client_corr":"<client-side trace corr id>"}
 //   {"op":"ping"}            — liveness probe, answered inline
 //   {"op":"metrics"}         — engine metrics as Prometheus text in "text"
+//   {"op":"debug"}           — flight-recorder table + SLO status in "text"
 //
 // Responses echo "id" (when given) and carry the full SimResult: doubles
 // with 17 significant digits and integers as exact tokens, so a decoded
@@ -32,15 +34,22 @@ namespace qhip::serve {
 // the client, "request_id" by the engine.
 struct WireRequest {
   std::string id;          // optional client tag, echoed verbatim
-  std::string op = "simulate";  // "simulate" | "ping" | "metrics"
+  std::string op = "simulate";  // "simulate" | "ping" | "metrics" | "debug"
   engine::SimRequest sim;  // valid when op == "simulate"
+  // Optional client-side trace correlation id. The server stamps it into
+  // the request's "serve" span detail, so a client that also records spans
+  // under this id can join its trace with the server-side span tree
+  // (docs/SERVING.md).
+  std::string client_corr;
 };
 
 // --- encode -----------------------------------------------------------------
 
 // Encodes a simulate request as one JSON line (no trailing '\n').
+// `client_corr`, when non-empty, rides along for server-side span joining.
 std::string encode_request(const engine::SimRequest& req,
-                           const std::string& id = {});
+                           const std::string& id = {},
+                           const std::string& client_corr = {});
 
 // Encodes a SimResult response line; `id` echoes the client tag.
 std::string encode_result(const engine::SimResult& res,

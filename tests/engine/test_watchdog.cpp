@@ -1,0 +1,211 @@
+// SloWatchdog: rule parsing, windowed p99/error-rate evaluation over the
+// per-epoch histogram ring, idle-gap aging, kind scoping, and the snapshot
+// rate limiter. Time is injected through observe(now_us), so every test is
+// deterministic.
+#include "src/engine/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/error.h"
+
+namespace qhip::engine {
+namespace {
+
+constexpr std::uint64_t kSec = 1000000;  // us
+
+WatchdogOptions base_options() {
+  WatchdogOptions opt;
+  opt.epoch_seconds = 1.0;
+  opt.window_epochs = 4;
+  opt.min_trigger_interval_seconds = 30;
+  return opt;
+}
+
+TEST(ParseSloRule, AcceptsTheDocumentedGrammar) {
+  const SloRule any = parse_slo_rule("any:p99_ms=50");
+  EXPECT_EQ(any.kind, 0);
+  EXPECT_DOUBLE_EQ(any.p99_ms, 50.0);
+  EXPECT_DOUBLE_EQ(any.max_error_rate, 0.0);
+  EXPECT_EQ(any.min_requests, 32u);  // default
+
+  const SloRule circ = parse_slo_rule("circuit:error_rate=0.05,min_requests=64");
+  EXPECT_EQ(circ.kind, slo_kind_index("circuit"));
+  EXPECT_DOUBLE_EQ(circ.max_error_rate, 0.05);
+  EXPECT_EQ(circ.min_requests, 64u);
+
+  const SloRule both =
+      parse_slo_rule("trajectory:p99_ms=10,error_rate=0.5,min_requests=8");
+  EXPECT_EQ(both.kind, slo_kind_index("trajectory"));
+  EXPECT_DOUBLE_EQ(both.p99_ms, 10.0);
+  EXPECT_DOUBLE_EQ(both.max_error_rate, 0.5);
+  EXPECT_EQ(both.min_requests, 8u);
+}
+
+TEST(ParseSloRule, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_slo_rule(""), Error);
+  EXPECT_THROW(parse_slo_rule("any"), Error);                // no fields
+  EXPECT_THROW(parse_slo_rule("any:"), Error);
+  EXPECT_THROW(parse_slo_rule("bogus:p99_ms=5"), Error);     // unknown kind
+  EXPECT_THROW(parse_slo_rule("any:p99=5"), Error);          // unknown field
+  EXPECT_THROW(parse_slo_rule("any:p99_ms=abc"), Error);     // bad number
+  EXPECT_THROW(parse_slo_rule("any:p99_ms=5junk"), Error);   // trailing garbage
+  EXPECT_THROW(parse_slo_rule("any:error_rate=1.5"), Error); // rate > 1
+  EXPECT_THROW(parse_slo_rule("any:min_requests=8"), Error); // no threshold
+}
+
+TEST(SloKindIndex, MapsNamesAndRejectsUnknown) {
+  EXPECT_EQ(slo_kind_index("any"), 0);
+  EXPECT_EQ(slo_kind_index("circuit"), 1);
+  EXPECT_EQ(slo_kind_index("expectation"), 2);
+  EXPECT_EQ(slo_kind_index("trajectory"), 3);
+  EXPECT_THROW(slo_kind_index("nope"), Error);
+}
+
+TEST(SloWatchdog, P99BreachFiresOncePopulationReached) {
+  WatchdogOptions opt = base_options();
+  opt.rules.push_back(parse_slo_rule("any:p99_ms=5,min_requests=8"));
+  SloWatchdog wd(opt);
+
+  std::uint64_t now = kSec;
+  // Seven slow requests: below min_requests, the rule stays quiet.
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_FALSE(wd.observe(1, 50.0, true, now).has_value()) << i;
+  }
+  // The eighth crosses the population floor and p99 >> 5 ms: breach.
+  const auto breach = wd.observe(1, 50.0, true, now);
+  ASSERT_TRUE(breach.has_value());
+  EXPECT_EQ(breach->reason, "p99-any");
+  EXPECT_FALSE(breach->detail.empty());
+  EXPECT_EQ(wd.breaches(), 1u);
+
+  const SloWindow w = wd.window(0);
+  EXPECT_EQ(w.total, 8u);
+  EXPECT_EQ(w.errors, 0u);
+  EXPECT_GT(w.p99_ms, 5.0);
+}
+
+TEST(SloWatchdog, RateLimiterSuppressesRepeatsUntilIntervalPasses) {
+  WatchdogOptions opt = base_options();
+  opt.min_trigger_interval_seconds = 10;
+  opt.rules.push_back(parse_slo_rule("any:p99_ms=1,min_requests=4"));
+  SloWatchdog wd(opt);
+
+  std::uint64_t now = kSec;
+  for (int i = 0; i < 3; ++i) wd.observe(1, 20.0, true, now);
+  ASSERT_TRUE(wd.observe(1, 20.0, true, now).has_value());
+  EXPECT_EQ(wd.breaches(), 1u);
+
+  // Still breaching every half second, but inside the 10 s interval:
+  // suppressed, not counted.
+  while (now + kSec / 2 < 11 * kSec) {
+    now += kSec / 2;
+    EXPECT_FALSE(wd.observe(1, 20.0, true, now).has_value()) << now;
+  }
+  EXPECT_EQ(wd.breaches(), 1u);
+
+  // Past the interval the next breach fires again.
+  now += kSec / 2;  // t = 11 s = first trigger + the 10 s interval
+  ASSERT_TRUE(wd.observe(1, 20.0, true, now).has_value());
+  EXPECT_EQ(wd.breaches(), 2u);
+}
+
+TEST(SloWatchdog, ErrorRateRuleCountsFailuresOverWindow) {
+  WatchdogOptions opt = base_options();
+  opt.rules.push_back(parse_slo_rule("any:error_rate=0.25,min_requests=8"));
+  SloWatchdog wd(opt);
+
+  std::uint64_t now = kSec;
+  // 6 ok + 2 errors = 25% exactly: not *exceeding* the threshold.
+  for (int i = 0; i < 6; ++i) EXPECT_FALSE(wd.observe(1, 1.0, true, now));
+  for (int i = 0; i < 2; ++i) EXPECT_FALSE(wd.observe(1, 1.0, false, now));
+  // One more error pushes 3/9 > 0.25: breach.
+  const auto breach = wd.observe(1, 1.0, false, now);
+  ASSERT_TRUE(breach.has_value());
+  EXPECT_EQ(breach->reason, "errors-any");
+
+  const SloWindow w = wd.window(0);
+  EXPECT_EQ(w.total, 9u);
+  EXPECT_EQ(w.errors, 3u);
+}
+
+TEST(SloWatchdog, KindScopedRuleIgnoresOtherKinds) {
+  WatchdogOptions opt = base_options();
+  opt.rules.push_back(parse_slo_rule("circuit:p99_ms=5,min_requests=4"));
+  SloWatchdog wd(opt);
+
+  std::uint64_t now = kSec;
+  // Slow trajectory traffic (kind 3) never trips a circuit-scoped rule,
+  // no matter the population.
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(wd.observe(3, 100.0, true, now).has_value()) << i;
+  }
+  // Slow circuit traffic (kind 1) does.
+  for (int i = 0; i < 3; ++i) wd.observe(1, 100.0, true, now);
+  const auto breach = wd.observe(1, 100.0, true, now);
+  ASSERT_TRUE(breach.has_value());
+  EXPECT_EQ(breach->reason, "p99-circuit");
+
+  // The per-kind windows kept the populations apart.
+  EXPECT_EQ(wd.window(1).total, 4u);
+  EXPECT_EQ(wd.window(3).total, 32u);
+  EXPECT_EQ(wd.window(0).total, 36u);
+}
+
+TEST(SloWatchdog, OldEpochsAgeOutOfTheWindow) {
+  WatchdogOptions opt = base_options();  // 4 epochs of 1 s
+  opt.rules.push_back(parse_slo_rule("any:p99_ms=5,min_requests=4"));
+  opt.min_trigger_interval_seconds = 0.0;
+  SloWatchdog wd(opt);
+
+  // Slow burst in the first epoch.
+  std::uint64_t now = kSec;
+  for (int i = 0; i < 4; ++i) wd.observe(1, 50.0, true, now);
+  EXPECT_EQ(wd.window(0).total, 4u);
+  EXPECT_GT(wd.window(0).p99_ms, 5.0);
+
+  // 10 s later (beyond the 4 s window, an idle gap included) only the new
+  // fast traffic is visible: no breach, p99 small, old totals gone.
+  now += 10 * kSec;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(wd.observe(1, 1.0, true, now).has_value()) << i;
+  }
+  const SloWindow w = wd.window(0);
+  EXPECT_EQ(w.total, 8u);
+  EXPECT_LT(w.p99_ms, 5.0);
+}
+
+TEST(SloWatchdog, WindowSlidesEpochByEpoch) {
+  WatchdogOptions opt = base_options();  // 4 epochs of 1 s
+  SloWatchdog wd(opt);
+
+  // One request per second for 8 s: the window must never hold more than
+  // window_epochs seconds' worth.
+  std::uint64_t now = kSec;
+  for (int i = 0; i < 8; ++i) {
+    wd.observe(1, 1.0, true, now);
+    now += kSec;
+  }
+  const SloWindow w = wd.window(0);
+  EXPECT_LE(w.total, opt.window_epochs);
+  EXPECT_GE(w.total, opt.window_epochs - 1);  // boundary epoch may have aged
+}
+
+TEST(SloWatchdog, StatusTextMentionsRulesAndWindows) {
+  WatchdogOptions opt = base_options();
+  opt.rules.push_back(parse_slo_rule("any:p99_ms=50"));
+  opt.rules.push_back(parse_slo_rule("circuit:error_rate=0.05"));
+  SloWatchdog wd(opt);
+  wd.observe(1, 2.0, true, kSec);
+
+  const std::string s = wd.status_text();
+  EXPECT_NE(s.find("p99_ms"), std::string::npos);
+  EXPECT_NE(s.find("error_rate"), std::string::npos);
+  EXPECT_NE(s.find("any"), std::string::npos);
+  EXPECT_NE(s.find("circuit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qhip::engine

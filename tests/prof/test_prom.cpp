@@ -2,14 +2,24 @@
 // must not splice samples into the scrape. The round trip through
 // prom_escape_label / prom_unescape_label is lossless, and
 // EngineMetrics::to_prom_text escapes every interpolated label value.
+//
+// The second half audits the whole scrape against text-format 0.0.4: every
+// family announced by # HELP/# TYPE exactly once, every sample belonging to
+// an announced family, and histogram _bucket/_sum/_count internally
+// consistent (cumulative buckets, +Inf == _count).
 #include "src/prof/prom.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdlib>
+#include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/engine/engine.h"
+#include "src/rqc/rqc.h"
 
 namespace qhip::prof {
 namespace {
@@ -75,6 +85,212 @@ TEST(PromEscape, EscapedLabelValueRecoversOriginal) {
   const std::size_t end = text.find("\"}", start);
   ASSERT_NE(end, std::string::npos);
   EXPECT_EQ(prom_unescape_label(text.substr(start, end - start)), hostile);
+}
+
+// --- text-format 0.0.4 validator ---------------------------------------------
+
+struct PromFamily {
+  int help_lines = 0;
+  int type_lines = 0;
+  std::string type;
+};
+
+struct HistSeries {  // one label set of one histogram family
+  std::vector<std::uint64_t> bucket_cum;  // in exposition order, +Inf last
+  bool saw_inf = false;
+  bool saw_sum = false;
+  std::uint64_t count = 0;
+  bool saw_count = false;
+};
+
+// Base metric name of a sample line: everything before '{' or ' '.
+std::string sample_name(const std::string& line) {
+  const std::size_t cut = line.find_first_of("{ ");
+  return line.substr(0, cut);
+}
+
+// Maps a sample name to its announced family: histogram samples use the
+// _bucket/_sum/_count suffixes of their family name.
+std::string family_of(const std::string& name,
+                      const std::map<std::string, PromFamily>& families) {
+  if (families.count(name) != 0) return name;
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s = suffix;
+    if (name.size() > s.size() &&
+        name.compare(name.size() - s.size(), s.size(), s) == 0) {
+      const std::string base = name.substr(0, name.size() - s.size());
+      if (families.count(base) != 0) return base;
+    }
+  }
+  return "";
+}
+
+// Validates `text` as Prometheus text-format 0.0.4 and cross-checks every
+// histogram series. Uses EXPECT so one run reports every violation.
+void validate_prom_text(const std::string& text) {
+  std::map<std::string, PromFamily> families;
+  std::vector<std::pair<std::string, std::string>> samples;  // name, line
+
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::size_t sp = rest.find(' ');
+      ASSERT_NE(sp, std::string::npos) << line;
+      families[rest.substr(0, sp)].help_lines++;
+      EXPECT_GT(rest.size(), sp + 1) << "empty HELP text: " << line;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::size_t sp = rest.find(' ');
+      ASSERT_NE(sp, std::string::npos) << line;
+      PromFamily& f = families[rest.substr(0, sp)];
+      f.type_lines++;
+      f.type = rest.substr(sp + 1);
+      EXPECT_TRUE(f.type == "counter" || f.type == "gauge" ||
+                  f.type == "histogram")
+          << line;
+      continue;
+    }
+    if (line[0] == '#') continue;  // other comments (# EXEMPLAR) are ignored
+    samples.emplace_back(sample_name(line), line);
+  }
+
+  ASSERT_FALSE(families.empty());
+  for (const auto& [name, f] : families) {
+    EXPECT_EQ(f.help_lines, 1) << "# HELP lines for " << name;
+    EXPECT_EQ(f.type_lines, 1) << "# TYPE lines for " << name;
+  }
+
+  std::map<std::string, HistSeries> hists;  // key: sample name + labels
+  for (const auto& [name, full] : samples) {
+    const std::string fam = family_of(name, families);
+    ASSERT_FALSE(fam.empty()) << "sample without # HELP/# TYPE: " << full;
+    // The value token is everything after the last space.
+    const std::size_t sp = full.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << full;
+    const std::string value_tok = full.substr(sp + 1);
+    char* end = nullptr;
+    const double value = std::strtod(value_tok.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "unparseable value in: " << full;
+
+    if (families[fam].type != "histogram") {
+      EXPECT_EQ(name, fam) << "suffixed sample of non-histogram: " << full;
+      continue;
+    }
+    // Histogram sample: bucket into its series by labels minus `le`.
+    const std::string suffix = name.substr(fam.size());
+    std::string labels;
+    if (const std::size_t brace = full.find('{');
+        brace != std::string::npos && brace < sp) {
+      labels = full.substr(brace, full.find('}', brace) + 1 - brace);
+    }
+    if (suffix == "_bucket") {
+      const std::size_t le = labels.find("le=\"");
+      ASSERT_NE(le, std::string::npos) << "_bucket without le: " << full;
+      const std::size_t le_end = labels.find('"', le + 4);
+      const std::string le_val = labels.substr(le + 4, le_end - le - 4);
+      // Series key: labels with the le pair removed (it is the last label).
+      std::string key = fam + labels.substr(0, le);
+      HistSeries& h = hists[key];
+      EXPECT_FALSE(h.saw_inf) << "bucket after +Inf: " << full;
+      h.bucket_cum.push_back(static_cast<std::uint64_t>(value));
+      if (le_val == "+Inf") h.saw_inf = true;
+    } else if (suffix == "_sum") {
+      hists[fam + labels].saw_sum = true;
+    } else if (suffix == "_count") {
+      HistSeries& h = hists[fam + labels];
+      h.saw_count = true;
+      h.count = static_cast<std::uint64_t>(value);
+    } else {
+      ADD_FAILURE() << "unsuffixed histogram sample: " << full;
+    }
+  }
+
+  // _bucket keys carry a trailing '{...' prefix fragment while _sum/_count
+  // carry the full label set; reconcile by matching prefixes.
+  for (auto& [key, h] : hists) {
+    if (h.bucket_cum.empty()) continue;  // the _sum/_count half of a series
+    EXPECT_TRUE(h.saw_inf) << key << ": histogram without an +Inf bucket";
+    for (std::size_t i = 1; i < h.bucket_cum.size(); ++i) {
+      EXPECT_GE(h.bucket_cum[i], h.bucket_cum[i - 1])
+          << key << ": cumulative bucket counts decreased at " << i;
+    }
+    // Find the matching _sum/_count series (same family+labels, with the
+    // le pair stripped the bucket key ends just before "le=").
+    std::string want = key;
+    if (!want.empty() && (want.back() == ',' || want.back() == '{')) {
+      want.pop_back();
+      if (!want.empty() && want.back() == '{') want.pop_back();
+      if (want.find('{') != std::string::npos) want += '}';
+    }
+    const auto it = hists.find(want);
+    ASSERT_NE(it, hists.end()) << key << ": no _sum/_count series (" << want
+                               << ")";
+    EXPECT_TRUE(it->second.saw_sum) << want << ": missing _sum";
+    EXPECT_TRUE(it->second.saw_count) << want << ": missing _count";
+    EXPECT_EQ(h.bucket_cum.back(), it->second.count)
+        << want << ": +Inf bucket != _count";
+  }
+}
+
+TEST(PromFormat, SyntheticMetricsPassTheValidator) {
+  engine::EngineMetrics m;
+  m.submitted = 10;
+  m.completed = 8;
+  m.rejected = 2;
+  m.planner_decisions = 3;
+  m.planner_chosen["hip"] = 2;
+  m.planner_chosen["cpu"] = 1;
+  m.planner_calibration["hip/q20"] = 1.25;
+  m.slo_breaches = 1;
+  m.snapshots_written = 1;
+  for (double v : {0.5, 1.5, 40.0}) {
+    m.queue_ms.record(v);
+    m.fuse_ms.record(v);
+    m.execute_ms.record(v);
+    m.sample_ms.record(v);
+    m.total_ms.record(v * 4);
+  }
+  m.fused_gates.record(12);
+  m.result_bytes.record(4096);
+  m.trajectories_per_batch.record(16);
+  m.exemplars["total"] = {42, 160.0};
+  m.exemplars["execute"] = {42, 40.0};
+
+  const std::string text = m.to_prom_text();
+  validate_prom_text(text);
+
+  // The exemplar annotations are comment lines carrying the slowest corr.
+  EXPECT_NE(
+      text.find("# EXEMPLAR qhip_engine_stage_latency_ms{stage=\"total\"} "
+                "corr=42"),
+      std::string::npos);
+}
+
+TEST(PromFormat, LiveEngineScrapePassesTheValidator) {
+  rqc::RqcOptions ropt;
+  ropt.rows = 2;
+  ropt.cols = 3;
+  ropt.depth = 8;
+  ropt.seed = 7;
+  engine::EngineOptions opt;
+  opt.num_workers = 1;
+  opt.planner_candidates = {"cpu", "hip"};
+  engine::SimulationEngine eng(opt);
+  engine::SimRequest req;
+  req.circuit = rqc::generate_rqc(ropt);
+  req.backend = "auto";
+  req.num_samples = 16;
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    req.seed = s;
+    const engine::SimResult r = eng.run(req);
+    ASSERT_TRUE(r.ok) << r.error;
+  }
+  validate_prom_text(eng.metrics().to_prom_text());
 }
 
 }  // namespace

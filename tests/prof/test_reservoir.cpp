@@ -1,0 +1,120 @@
+// LatencyReservoir: the engine's bounded point-percentile window (PR 3
+// inlined it; src/prof/reservoir.h extracted it). The regression that
+// matters is wrap-around: once total_recorded() exceeds capacity the ring
+// must answer percentiles over exactly the last `capacity` samples — an
+// off-by-one in the overwrite cursor silently skews every p50/p95 the
+// engine reports. Each test checks against a dense oracle that keeps all
+// samples and slices the tail.
+#include "src/prof/reservoir.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace qhip::prof {
+namespace {
+
+// Deterministic, non-monotonic sample stream: xorshift keeps values spread
+// over [0, 100) with no pattern the ring could accidentally align with.
+double sample_at(std::uint64_t i) {
+  std::uint64_t x = i + 0x9E3779B97F4A7C15ull;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  return static_cast<double>(x % 100000) / 1000.0;
+}
+
+std::vector<double> tail_sorted(const std::deque<double>& all,
+                                std::size_t capacity) {
+  const std::size_t n = std::min(all.size(), capacity);
+  std::vector<double> tail(all.end() - static_cast<std::ptrdiff_t>(n),
+                           all.end());
+  std::sort(tail.begin(), tail.end());
+  return tail;
+}
+
+TEST(LatencyReservoir, PercentileMatchesDenseOracleAfterWrap) {
+  constexpr std::size_t kCapacity = 128;
+  constexpr std::size_t kSamples = 1000;  // ~7.8 laps around the ring
+  LatencyReservoir res(kCapacity);
+  std::deque<double> all;
+
+  const double ps[] = {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0};
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    const double v = sample_at(i);
+    res.record(v);
+    all.push_back(v);
+
+    // Check continuously, not just at the end: the first wrap (i ==
+    // kCapacity) and every lap boundary are where a cursor bug shows.
+    if (i < 2 * kCapacity || i % 97 == 0) {
+      const std::vector<double> oracle = tail_sorted(all, kCapacity);
+      ASSERT_EQ(res.sorted(), oracle) << "window diverged at sample " << i;
+      for (const double p : ps) {
+        ASSERT_DOUBLE_EQ(res.percentile(p), percentile_sorted(oracle, p))
+            << "p=" << p << " at sample " << i;
+      }
+    }
+  }
+  EXPECT_EQ(res.size(), kCapacity);
+  EXPECT_EQ(res.total_recorded(), kSamples);
+}
+
+TEST(LatencyReservoir, ExactWindowContentAfterManyLaps) {
+  constexpr std::size_t kCapacity = 16;
+  LatencyReservoir res(kCapacity);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    res.record(static_cast<double>(i));
+  }
+  // The window must be exactly the last 16 values 984..999.
+  std::vector<double> expect;
+  for (std::size_t i = 984; i < 1000; ++i) {
+    expect.push_back(static_cast<double>(i));
+  }
+  EXPECT_EQ(res.sorted(), expect);
+  EXPECT_DOUBLE_EQ(res.percentile(0.0), 984.0);
+  EXPECT_DOUBLE_EQ(res.percentile(1.0), 999.0);
+  EXPECT_DOUBLE_EQ(res.percentile(0.5), (991.0 + 992.0) / 2.0);
+  EXPECT_DOUBLE_EQ(res.mean(), (984.0 + 999.0) / 2.0);
+}
+
+TEST(LatencyReservoir, PartialFillUsesAllSamples) {
+  LatencyReservoir res(64);
+  res.record(3.0);
+  res.record(1.0);
+  res.record(2.0);
+  EXPECT_EQ(res.size(), 3u);
+  EXPECT_EQ(res.total_recorded(), 3u);
+  const std::vector<double> want = {1.0, 2.0, 3.0};
+  EXPECT_EQ(res.sorted(), want);
+  EXPECT_DOUBLE_EQ(res.percentile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(res.mean(), 2.0);
+}
+
+TEST(LatencyReservoir, CapacityZeroIsDisabled) {
+  LatencyReservoir res(0);
+  res.record(1.0);
+  res.record(2.0);
+  EXPECT_EQ(res.size(), 0u);
+  EXPECT_EQ(res.total_recorded(), 0u);
+  EXPECT_DOUBLE_EQ(res.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(res.mean(), 0.0);
+}
+
+TEST(PercentileSorted, InterpolatesAndClamps) {
+  const std::vector<double> s = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(s, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(s, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(s, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(s, 1.0 / 3.0), 20.0);
+  // Out-of-range p clamps instead of indexing out of bounds.
+  EXPECT_DOUBLE_EQ(percentile_sorted(s, -1.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(s, 2.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace qhip::prof

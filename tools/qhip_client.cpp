@@ -40,7 +40,8 @@ int usage() {
       "usage: qhip_client -p <port> [-H <host>] [--ping] [--metrics]\n"
       "       [-c <connections>] [-n <requests>] [--qubits <n>] [--depth <d>]\n"
       "       [--kinds circuit,expectation,trajectory] [--backend <spec>]\n"
-      "       [--seed <s>] [--kill-pid <pid>] [--kill-after <k>]\n");
+      "       [--seed <s>] [--kill-pid <pid>] [--kill-after <k>]\n"
+      "       [--client-corr <prefix>]\n");
   return 2;
 }
 
@@ -81,6 +82,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed_base = 1;
   long kill_pid = 0;
   std::size_t kill_after = 0;
+  std::string client_corr;  // "" = do not send the wire field
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -104,6 +106,7 @@ int main(int argc, char** argv) {
     else if (a == "--seed") seed_base = static_cast<std::uint64_t>(std::atoll(next()));
     else if (a == "--kill-pid") kill_pid = std::atol(next());
     else if (a == "--kill-after") kill_after = static_cast<std::size_t>(std::atol(next()));
+    else if (a == "--client-corr") client_corr = next();
     else return usage();
   }
   if (port == 0) return usage();
@@ -176,8 +179,13 @@ int main(int argc, char** argv) {
       while (!stop_sending.load()) {
         const std::size_t i = next_req.fetch_add(1);
         if (i >= total) break;
-        const std::string line =
-            serve::encode_request(make_request(i), "r" + std::to_string(i));
+        // --client-corr tags each request with "<prefix>-<i>", which the
+        // server stamps into its "serve" span so client- and server-side
+        // traces join on it.
+        const std::string line = serve::encode_request(
+            make_request(i), "r" + std::to_string(i),
+            client_corr.empty() ? std::string()
+                                : client_corr + "-" + std::to_string(i));
         try {
           cl.send_line(line);
         } catch (const Error&) {
